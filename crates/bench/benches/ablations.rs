@@ -1,0 +1,66 @@
+//! E7 — cost side of the design-choice ablations.
+//!
+//! Measures the design-time phase (critical-subtask computation) with the
+//! exact branch & bound scheduler versus the list-scheduling heuristic, and
+//! the per-activation cost of the reuse + replacement modules. Quality-side
+//! ablations (overhead and reuse percentages) are printed by the `ablations`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drhw_model::Platform;
+use drhw_prefetch::{
+    assign_tiles, reusable_subtasks, BranchBoundScheduler, CriticalSetAnalysis, ListScheduler,
+    ReplacementPolicy, TileContents,
+};
+use drhw_workloads::multimedia::{fully_parallel_schedule, parallel_jpeg_graph};
+
+fn bench_design_time_phase(c: &mut Criterion) {
+    let graph = parallel_jpeg_graph();
+    let schedule = fully_parallel_schedule(&graph).expect("benchmark graph is well-formed");
+    let platform = Platform::virtex_like(16).expect("non-empty platform");
+
+    let mut group = c.benchmark_group("critical_set_computation");
+    group.bench_function(BenchmarkId::from_parameter("branch_and_bound"), |b| {
+        b.iter(|| {
+            CriticalSetAnalysis::compute_with(
+                &graph,
+                &schedule,
+                &platform,
+                &BranchBoundScheduler::new(),
+            )
+            .expect("design-time phase succeeds")
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("list_heuristic"), |b| {
+        b.iter(|| {
+            CriticalSetAnalysis::compute_with(&graph, &schedule, &platform, &ListScheduler::new())
+                .expect("design-time phase succeeds")
+        })
+    });
+    group.finish();
+}
+
+fn bench_reuse_and_replacement(c: &mut Criterion) {
+    let graph = parallel_jpeg_graph();
+    let schedule = fully_parallel_schedule(&graph).expect("benchmark graph is well-formed");
+    let contents = TileContents::new(16);
+
+    let mut group = c.benchmark_group("reuse_and_replacement");
+    for policy in [
+        ReplacementPolicy::ReuseAware,
+        ReplacementPolicy::LeastRecentlyUsed,
+        ReplacementPolicy::Direct,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
+            b.iter(|| {
+                let mapping = assign_tiles(&graph, &schedule, &contents, policy)
+                    .expect("replacement succeeds");
+                reusable_subtasks(&graph, &schedule, &mapping, &contents)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_design_time_phase, bench_reuse_and_replacement);
+criterion_main!(benches);

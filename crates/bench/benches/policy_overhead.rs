@@ -1,0 +1,32 @@
+//! Wall-clock cost of simulating each prefetch policy over the multimedia
+//! task set (the machinery behind Table 1, Figure 6 and the headline numbers).
+//!
+//! This is not a paper artifact by itself, but it documents that the full
+//! experiment harness (1000 iterations × 9 tile counts × 3 policies) runs in
+//! seconds, and it tracks regressions in the per-activation scheduling cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drhw_model::Platform;
+use drhw_prefetch::PolicyKind;
+use drhw_sim::{DynamicSimulation, SimulationConfig};
+use drhw_workloads::multimedia::multimedia_task_set;
+
+fn bench_policies(c: &mut Criterion) {
+    let set = multimedia_task_set();
+    let platform = Platform::virtex_like(8).expect("non-empty platform");
+    let config = SimulationConfig::default().with_iterations(25);
+    let sim = DynamicSimulation::new(&set, &platform, config).expect("simulation builds");
+
+    let mut group = c.benchmark_group("simulate_25_iterations");
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| b.iter(|| sim.run(policy).expect("simulation runs")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

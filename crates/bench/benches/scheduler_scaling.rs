@@ -1,0 +1,95 @@
+//! E5 — the scalability argument of §4.
+//!
+//! The paper motivates the hybrid heuristic by the cost of its earlier
+//! full run-time scheduler: `N·log N` in the number of loads, so a 32× larger
+//! subtask graph took ~192× longer to schedule, while the hybrid run-time
+//! phase only has to identify which subtasks are reusable. This bench measures
+//! the wall-clock cost of (a) the run-time list scheduler, (b) the exact
+//! branch & bound scheduler on small graphs, and (c) the hybrid run-time
+//! decision, as the graph size grows.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drhw_model::{InitialSchedule, Platform, SubtaskGraph};
+use drhw_prefetch::{
+    BranchBoundScheduler, HybridPrefetch, InterTaskWindow, ListScheduler, PrefetchProblem,
+    PrefetchScheduler,
+};
+use drhw_workloads::random::{seeded_random_graph, RandomGraphConfig};
+
+fn setup(subtasks: usize) -> (SubtaskGraph, InitialSchedule, Platform) {
+    let config = RandomGraphConfig { subtasks, width: 8, ..Default::default() };
+    let graph = seeded_random_graph(&config, 42);
+    let schedule = InitialSchedule::fully_parallel(&graph).expect("generated graphs are valid");
+    let platform = Platform::virtex_like(subtasks.max(1)).expect("non-empty platform");
+    (graph, schedule, platform)
+}
+
+fn bench_list_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_time_list_scheduler");
+    for &n in &[8usize, 16, 32, 64, 128, 256] {
+        let (graph, schedule, platform) = setup(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let problem = PrefetchProblem::new(&graph, &schedule, &platform)
+                    .expect("problem is well-formed");
+                ListScheduler::new().schedule(&problem).expect("list scheduling succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_branch_and_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_and_bound");
+    for &n in &[4usize, 6, 8, 10] {
+        let (graph, schedule, platform) = setup(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let problem = PrefetchProblem::new(&graph, &schedule, &platform)
+                    .expect("problem is well-formed");
+                BranchBoundScheduler::new().schedule(&problem).expect("search succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hybrid_runtime_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_runtime_phase");
+    for &n in &[8usize, 16, 32, 64, 128, 256] {
+        let (graph, schedule, platform) = setup(n);
+        // Design-time phase performed once, outside the measured region.
+        let hybrid = HybridPrefetch::compute_with(
+            &graph,
+            &schedule,
+            &platform,
+            &ListScheduler::new(),
+        )
+        .expect("design-time phase succeeds");
+        let resident: BTreeSet<_> = graph.ids().take(n / 4).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                hybrid
+                    .runtime_decision(
+                        &graph,
+                        &schedule,
+                        &platform,
+                        &resident,
+                        InterTaskWindow::empty(),
+                    )
+                    .expect("run-time phase succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_list_scheduler,
+    bench_branch_and_bound,
+    bench_hybrid_runtime_phase
+);
+criterion_main!(benches);

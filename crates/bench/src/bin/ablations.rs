@@ -1,0 +1,33 @@
+//! Ablations of the design choices called out in DESIGN.md:
+//!
+//! * replacement policy (reuse-aware vs LRU vs direct mapping);
+//! * the scheduler used inside the critical-subtask computation (exact branch
+//!   & bound vs the list heuristic).
+//!
+//! Usage: `cargo run -p drhw-bench --bin ablations --release [-- <iterations>]`
+
+use drhw_bench::experiments::{cs_scheduler_ablation, replacement_ablation};
+use drhw_bench::report::render_ablation;
+
+fn main() {
+    let iterations: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+
+    let rows = replacement_ablation(iterations, 2005, 10)
+        .expect("replacement ablation simulation runs");
+    println!(
+        "{}",
+        render_ablation(
+            &rows,
+            &format!("Replacement-policy ablation (hybrid prefetch, multimedia set, 10 tiles, {iterations} iterations)")
+        )
+    );
+
+    println!("Critical-subtask computation: exact branch & bound vs list heuristic");
+    println!("graph                 |CS| exact  |CS| heuristic");
+    for (name, exact, heuristic) in cs_scheduler_ablation() {
+        println!("{name:<22} {exact:>9}  {heuristic:>13}");
+    }
+}

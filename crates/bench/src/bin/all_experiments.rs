@@ -1,0 +1,47 @@
+//! Runs every experiment of the paper in one go (Table 1, the §7 headline
+//! numbers, Figure 6, Figure 7 and the ablations) with a reduced iteration
+//! count suitable for a quick end-to-end check.
+//!
+//! Usage: `cargo run -p drhw-bench --bin all_experiments --release [-- <iterations>]`
+
+use drhw_bench::experiments::{
+    cs_scheduler_ablation, figure6_series, figure7_headline, figure7_series, headline_numbers,
+    replacement_ablation, table1_rows,
+};
+use drhw_bench::report::{render_ablation, render_figure, render_table1};
+
+fn main() {
+    let iterations: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let seed = 2005;
+
+    println!("=== E1: Table 1 ===");
+    println!("{}", render_table1(&table1_rows()));
+
+    println!("=== E2: §7 headline numbers (8 tiles, {iterations} iterations) ===");
+    let (np, dt) = headline_numbers(iterations, seed, 8).expect("simulation runs");
+    println!("  no prefetch          : {:>5.1}%   (paper: 23%)", np.overhead_percent());
+    println!("  design-time prefetch : {:>5.1}%   (paper:  7%)", dt.overhead_percent());
+    println!();
+
+    println!("=== E3: Figure 6 ===");
+    let points = figure6_series(iterations, seed).expect("simulation runs");
+    println!("{}", render_figure(&points, "overhead (%) vs tiles, multimedia set"));
+
+    println!("=== E4: Figure 7 ===");
+    let (np, dt) = figure7_headline(iterations, seed, 5).expect("simulation runs");
+    println!("  no prefetch          : {:>5.1}%   (paper: 71%)", np.overhead_percent());
+    println!("  design-time prefetch : {:>5.1}%   (paper: 25%)", dt.overhead_percent());
+    let points = figure7_series(iterations, seed).expect("simulation runs");
+    println!("{}", render_figure(&points, "overhead (%) vs tiles, Pocket GL renderer"));
+
+    println!("=== E7: ablations ===");
+    let rows = replacement_ablation(iterations, seed, 10).expect("simulation runs");
+    println!("{}", render_ablation(&rows, "replacement policy (hybrid, 10 tiles)"));
+    println!("CS computation: exact vs heuristic");
+    for (name, exact, heuristic) in cs_scheduler_ablation() {
+        println!("  {name:<22} exact={exact}  heuristic={heuristic}");
+    }
+}

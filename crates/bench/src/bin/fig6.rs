@@ -1,0 +1,42 @@
+//! Regenerates Figure 6 (and the §7 headline numbers): reconfiguration
+//! overhead of the multimedia task set for 8–16 DRHW tiles under the run-time,
+//! run-time + inter-task and hybrid prefetch policies, over 1000 randomised
+//! iterations.
+//!
+//! Usage: `cargo run -p drhw-bench --bin fig6 --release [-- <iterations>]`
+
+use drhw_bench::experiments::{figure6_series, headline_numbers};
+use drhw_bench::report::render_figure;
+
+fn main() {
+    let iterations: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let seed = 2005;
+
+    let (no_prefetch, design_time) =
+        headline_numbers(iterations, seed, 8).expect("headline simulation runs");
+    println!("Headline numbers (multimedia set, 8 tiles, {iterations} iterations):");
+    println!(
+        "  no prefetch          : {:>5.1}%   (paper: 23%)",
+        no_prefetch.overhead_percent()
+    );
+    println!(
+        "  design-time prefetch : {:>5.1}%   (paper:  7%)",
+        design_time.overhead_percent()
+    );
+    println!();
+
+    let points = figure6_series(iterations, seed).expect("figure 6 simulation runs");
+    println!(
+        "{}",
+        render_figure(
+            &points,
+            &format!(
+                "Figure 6 — reconfiguration overhead (%) vs DRHW tiles, multimedia set, {iterations} iterations"
+            )
+        )
+    );
+    println!("(paper: run-time ~3% at 8 tiles; run-time+inter-task and hybrid <= 1.3%)");
+}

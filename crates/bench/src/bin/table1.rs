@@ -1,0 +1,13 @@
+//! Regenerates Table 1: per-task reconfiguration overhead without prefetch and
+//! with an optimal prefetch schedule, for the four multimedia benchmarks.
+//!
+//! Usage: `cargo run -p drhw-bench --bin table1 --release`
+
+use drhw_bench::experiments::table1_rows;
+use drhw_bench::report::render_table1;
+
+fn main() {
+    let rows = table1_rows();
+    println!("{}", render_table1(&rows));
+    println!("(4 ms reconfiguration latency; every DRHW subtask on its own tile, as in the ICN model)");
+}

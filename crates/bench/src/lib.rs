@@ -1,0 +1,14 @@
+//! # drhw-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! DATE 2005 hybrid prefetch paper. The heavy lifting lives in
+//! [`experiments`]; the `table1`, `fig6`, `fig7`, `ablations` and
+//! `all_experiments` binaries print the corresponding rows/series, and the
+//! Criterion benches under `benches/` measure the scheduler run-time costs
+//! behind the paper's scalability argument.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,132 @@
+//! Plain-text rendering of experiment results (the rows/series the paper
+//! reports), shared by the experiment binaries.
+
+use drhw_prefetch::PolicyKind;
+
+use crate::experiments::{AblationRow, FigurePoint, Table1Row};
+
+/// Renders Table 1 with a side-by-side paper-versus-measured comparison.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1 — multimedia benchmarks (paper vs measured)\n");
+    out.push_str(
+        "Set of Task      Sub-tasks  Ideal ex time  Overhead (paper)  Overhead (measured)  Prefetch (paper)  Prefetch (measured)\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:<16} {:>9}  {:>12}  {:>15}  {:>18}  {:>15}  {:>18}\n",
+            row.name,
+            row.subtasks,
+            format!("{}", row.ideal),
+            format!("+{:.0}%", row.paper_overhead_percent),
+            format!("+{:.1}%", row.overhead_percent),
+            format!("+{:.0}%", row.paper_prefetch_percent),
+            format!("+{:.1}%", row.prefetch_percent),
+        ));
+    }
+    out
+}
+
+/// Renders a figure sweep (Figure 6 or Figure 7) as one row per tile count and
+/// one column per policy, plus the observed reuse percentage of the run-time
+/// policy.
+pub fn render_figure(points: &[FigurePoint], title: &str) -> String {
+    let mut tiles: Vec<usize> = points.iter().map(|p| p.tiles).collect();
+    tiles.sort_unstable();
+    tiles.dedup();
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str("tiles  run-time  run-time+inter-task  hybrid  (reuse %)\n");
+    for t in tiles {
+        let get = |policy: PolicyKind| {
+            points
+                .iter()
+                .find(|p| p.tiles == t && p.policy == policy)
+                .map(|p| p.overhead_percent)
+                .unwrap_or(f64::NAN)
+        };
+        let reuse = points
+            .iter()
+            .find(|p| p.tiles == t && p.policy == PolicyKind::RunTime)
+            .map(|p| p.reuse_percent)
+            .unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "{:>5}  {:>8.2}  {:>19.2}  {:>6.2}  ({:>5.1})\n",
+            t,
+            get(PolicyKind::RunTime),
+            get(PolicyKind::RunTimeInterTask),
+            get(PolicyKind::Hybrid),
+            reuse,
+        ));
+    }
+    out
+}
+
+/// Renders an ablation table.
+pub fn render_ablation(rows: &[AblationRow], title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str("variant                      overhead %   reuse %\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<28} {:>9.2}  {:>8.1}\n",
+            row.label, row.overhead_percent, row.reuse_percent
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::Time;
+
+    #[test]
+    fn table1_rendering_contains_every_row() {
+        let rows = vec![Table1Row {
+            name: "JPEG dec.",
+            subtasks: 4,
+            ideal: Time::from_millis(81),
+            overhead_percent: 19.8,
+            prefetch_percent: 4.9,
+            paper_overhead_percent: 20.0,
+            paper_prefetch_percent: 5.0,
+        }];
+        let text = render_table1(&rows);
+        assert!(text.contains("JPEG dec."));
+        assert!(text.contains("81ms"));
+        assert!(text.contains("+19.8%"));
+        assert!(text.contains("+20%"));
+    }
+
+    #[test]
+    fn figure_rendering_has_one_line_per_tile_count() {
+        let points = vec![
+            FigurePoint { tiles: 8, policy: PolicyKind::RunTime, overhead_percent: 3.0, reuse_percent: 18.0 },
+            FigurePoint { tiles: 8, policy: PolicyKind::RunTimeInterTask, overhead_percent: 1.2, reuse_percent: 18.0 },
+            FigurePoint { tiles: 8, policy: PolicyKind::Hybrid, overhead_percent: 1.3, reuse_percent: 18.0 },
+            FigurePoint { tiles: 9, policy: PolicyKind::RunTime, overhead_percent: 2.5, reuse_percent: 22.0 },
+            FigurePoint { tiles: 9, policy: PolicyKind::RunTimeInterTask, overhead_percent: 1.0, reuse_percent: 22.0 },
+            FigurePoint { tiles: 9, policy: PolicyKind::Hybrid, overhead_percent: 1.1, reuse_percent: 22.0 },
+        ];
+        let text = render_figure(&points, "Figure 6");
+        assert!(text.starts_with("Figure 6"));
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("    8"));
+        assert!(text.contains("    9"));
+    }
+
+    #[test]
+    fn ablation_rendering_lists_variants() {
+        let rows = vec![AblationRow {
+            label: "replacement=lru".to_string(),
+            overhead_percent: 2.5,
+            reuse_percent: 10.0,
+        }];
+        let text = render_ablation(&rows, "Replacement ablation");
+        assert!(text.contains("replacement=lru"));
+        assert!(text.contains("2.50"));
+    }
+}

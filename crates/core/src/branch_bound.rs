@@ -1,0 +1,280 @@
+//! Exact branch & bound prefetch scheduling.
+//!
+//! The design-time phase of the hybrid heuristic can afford to search for the
+//! *optimal* load order because it runs offline: "we apply a branch&bound
+//! algorithm that always finds the optimal solution and for large graphs we
+//! keep the heuristic presented in [7] since it generates near optimal
+//! schedules in an affordable time" (§5). This module implements exactly that
+//! pair: an exhaustive search over load orders with lower-bound pruning, and a
+//! transparent fallback to the list scheduler once the number of loads exceeds
+//! a configurable threshold.
+
+use std::collections::BTreeSet;
+
+use drhw_model::{SubtaskId, Time};
+
+use crate::error::PrefetchError;
+use crate::executor::{simulate, LoadStrategy};
+use crate::list_scheduler::ListScheduler;
+use crate::problem::{ExecutionResult, PrefetchProblem};
+use crate::scheduler::PrefetchScheduler;
+
+/// Exact prefetch scheduler with a heuristic fallback for large problems.
+///
+/// The search enumerates load orders depth-first. A partial order is pruned
+/// when a relaxation (remaining loads assumed free) already matches or exceeds
+/// the best complete schedule found so far, so the incumbent produced by the
+/// list scheduler makes the search terminate quickly on the graph sizes of the
+/// paper's benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchBoundScheduler {
+    exhaustive_limit: usize,
+    node_limit: u64,
+}
+
+impl BranchBoundScheduler {
+    /// Default maximum number of loads for which the exact search is run;
+    /// larger problems fall back to the list scheduler, mirroring the paper.
+    pub const DEFAULT_EXHAUSTIVE_LIMIT: usize = 12;
+
+    /// Default cap on explored search nodes (a safety valve, far above what
+    /// the benchmark graphs need).
+    pub const DEFAULT_NODE_LIMIT: u64 = 2_000_000;
+
+    /// Creates a scheduler with the default limits.
+    pub fn new() -> Self {
+        BranchBoundScheduler {
+            exhaustive_limit: Self::DEFAULT_EXHAUSTIVE_LIMIT,
+            node_limit: Self::DEFAULT_NODE_LIMIT,
+        }
+    }
+
+    /// Returns a copy with a different exhaustive-search threshold.
+    #[must_use]
+    pub fn with_exhaustive_limit(mut self, loads: usize) -> Self {
+        self.exhaustive_limit = loads;
+        self
+    }
+
+    /// Returns a copy with a different search-node cap.
+    #[must_use]
+    pub fn with_node_limit(mut self, nodes: u64) -> Self {
+        self.node_limit = nodes;
+        self
+    }
+
+    /// The exhaustive-search threshold currently configured.
+    pub fn exhaustive_limit(&self) -> usize {
+        self.exhaustive_limit
+    }
+}
+
+impl Default for BranchBoundScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefetchScheduler for BranchBoundScheduler {
+    fn name(&self) -> &str {
+        "branch-and-bound"
+    }
+
+    fn schedule(&self, problem: &PrefetchProblem<'_>) -> Result<ExecutionResult, PrefetchError> {
+        let loads = problem.loads_by_weight_desc();
+        let incumbent = ListScheduler::new().schedule(problem)?;
+        if loads.len() > self.exhaustive_limit || incumbent.penalty().is_zero() {
+            return Ok(incumbent);
+        }
+
+        let mut search = Search {
+            problem,
+            best: incumbent,
+            nodes: 0,
+            node_limit: self.node_limit,
+        };
+        let mut prefix = Vec::with_capacity(loads.len());
+        search.explore(&mut prefix, &loads)?;
+        Ok(search.best)
+    }
+}
+
+struct Search<'p, 'a> {
+    problem: &'p PrefetchProblem<'a>,
+    best: ExecutionResult,
+    nodes: u64,
+    node_limit: u64,
+}
+
+impl Search<'_, '_> {
+    fn explore(
+        &mut self,
+        prefix: &mut Vec<SubtaskId>,
+        remaining: &[SubtaskId],
+    ) -> Result<(), PrefetchError> {
+        if self.best.penalty().is_zero() || self.nodes >= self.node_limit {
+            return Ok(());
+        }
+        self.nodes += 1;
+
+        if remaining.is_empty() {
+            if let Ok(result) = simulate(self.problem, LoadStrategy::FixedOrder(prefix)) {
+                if result.penalty() < self.best.penalty() {
+                    self.best = result;
+                }
+            }
+            return Ok(());
+        }
+
+        // Lower bound: only the prefix loads cost anything; the rest are free.
+        if !prefix.is_empty() {
+            let subset: BTreeSet<SubtaskId> = prefix.iter().copied().collect();
+            let relaxed = self.problem.restricted_to_loads(&subset);
+            match simulate(&relaxed, LoadStrategy::FixedOrder(prefix)) {
+                Ok(result) if result.penalty() >= self.best.penalty() => return Ok(()),
+                Ok(_) => {}
+                // A deadlocking prefix can never become a feasible order.
+                Err(PrefetchError::DeadlockedOrder) => return Ok(()),
+                Err(other) => return Err(other),
+            }
+        }
+
+        for (index, &next) in remaining.iter().enumerate() {
+            prefix.push(next);
+            let mut rest = remaining.to_vec();
+            rest.remove(index);
+            self.explore(prefix, &rest)?;
+            prefix.pop();
+        }
+        Ok(())
+    }
+}
+
+/// Convenience function: the optimal penalty of a problem (branch & bound with
+/// default limits), returned as a duration.
+///
+/// # Errors
+///
+/// Propagates scheduling errors from the underlying search.
+pub fn optimal_penalty(problem: &PrefetchProblem<'_>) -> Result<Time, PrefetchError> {
+    BranchBoundScheduler::new().schedule(problem).map(|r| r.penalty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OnDemandScheduler;
+    use drhw_model::{
+        ConfigId, InitialSchedule, PeAssignment, Platform, Subtask, SubtaskGraph, TileSlot,
+    };
+
+    /// A two-tile problem where greedy weight order is sub-optimal:
+    /// the highest-weight load is not the one that must go first to keep the
+    /// second tile busy.
+    fn tricky() -> (SubtaskGraph, InitialSchedule, Platform) {
+        let mut g = SubtaskGraph::new("tricky");
+        // slot0: a(6ms) then c(20ms); slot1: b(5ms) then d(5ms).
+        let a = g.add_subtask(Subtask::new("a", Time::from_millis(6), ConfigId::new(0)));
+        let b = g.add_subtask(Subtask::new("b", Time::from_millis(5), ConfigId::new(1)));
+        let c = g.add_subtask(Subtask::new("c", Time::from_millis(20), ConfigId::new(2)));
+        let d = g.add_subtask(Subtask::new("d", Time::from_millis(5), ConfigId::new(3)));
+        g.add_dependency(a, c).unwrap();
+        g.add_dependency(b, d).unwrap();
+        let schedule = InitialSchedule::from_assignment(
+            &g,
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+            ],
+        )
+        .unwrap();
+        let platform = Platform::virtex_like(2).unwrap();
+        (g, schedule, platform)
+    }
+
+    #[test]
+    fn never_worse_than_the_list_scheduler() {
+        let (g, schedule, platform) = tricky();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let list = ListScheduler::new().schedule(&problem).unwrap();
+        let exact = BranchBoundScheduler::new().schedule(&problem).unwrap();
+        assert!(exact.penalty() <= list.penalty());
+        let on_demand = OnDemandScheduler::new().schedule(&problem).unwrap();
+        assert!(exact.penalty() <= on_demand.penalty());
+    }
+
+    #[test]
+    fn matches_exhaustive_enumeration_on_a_small_problem() {
+        let (g, schedule, platform) = tricky();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let loads = problem.loads();
+        // Enumerate every permutation by brute force and keep the best.
+        let mut best = Time::MAX;
+        let mut order = loads.clone();
+        permute(&mut order, 0, &mut |candidate| {
+            if let Ok(result) = simulate(&problem, LoadStrategy::FixedOrder(candidate)) {
+                best = best.min(result.penalty());
+            }
+        });
+        let exact = BranchBoundScheduler::new().schedule(&problem).unwrap();
+        assert_eq!(exact.penalty(), best);
+    }
+
+    fn permute(items: &mut Vec<SubtaskId>, k: usize, visit: &mut impl FnMut(&[SubtaskId])) {
+        if k == items.len() {
+            visit(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute(items, k + 1, visit);
+            items.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn falls_back_to_the_heuristic_beyond_the_limit() {
+        let (g, schedule, platform) = tricky();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let limited = BranchBoundScheduler::new().with_exhaustive_limit(1);
+        let list = ListScheduler::new().schedule(&problem).unwrap();
+        let fallback = limited.schedule(&problem).unwrap();
+        assert_eq!(fallback.penalty(), list.penalty());
+        assert_eq!(limited.exhaustive_limit(), 1);
+    }
+
+    #[test]
+    fn empty_load_set_is_trivially_optimal() {
+        // Two independent subtasks, one per slot, both resident: no loads.
+        let mut g = SubtaskGraph::new("resident");
+        let a = g.add_subtask(Subtask::new("a", Time::from_millis(6), ConfigId::new(0)));
+        let b = g.add_subtask(Subtask::new("b", Time::from_millis(9), ConfigId::new(1)));
+        let schedule = InitialSchedule::from_assignment(
+            &g,
+            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(1))],
+        )
+        .unwrap();
+        let platform = Platform::virtex_like(2).unwrap();
+        let resident: BTreeSet<SubtaskId> = [a, b].into_iter().collect();
+        let problem = PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+        assert_eq!(problem.load_count(), 0);
+        let exact = BranchBoundScheduler::new().schedule(&problem).unwrap();
+        assert_eq!(exact.penalty(), Time::ZERO);
+        assert_eq!(optimal_penalty(&problem).unwrap(), Time::ZERO);
+    }
+
+    #[test]
+    fn residency_cannot_remove_a_second_configuration_on_the_same_slot() {
+        // Marking every subtask resident is physically impossible when a slot
+        // hosts two different configurations: the second one must be loaded.
+        let (g, schedule, platform) = tricky();
+        let resident: BTreeSet<SubtaskId> = g.ids().collect();
+        let problem = PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+        assert_eq!(problem.load_count(), 2);
+        let exact = BranchBoundScheduler::new().schedule(&problem).unwrap();
+        // The loads of c and d hide only partially behind a and b.
+        assert_eq!(exact.penalty(), Time::from_millis(4));
+    }
+}

@@ -1,0 +1,333 @@
+//! Critical Subtask (CS) computation — the design-time core of the hybrid
+//! heuristic (Fig. 4 of the paper).
+//!
+//! The CS subset of a scheduled graph is the minimal set of DRHW subtasks such
+//! that, if every CS member is reused and every remaining subtask is loaded,
+//! the prefetch heuristic hides the latency of *all* those remaining loads.
+//! The selection loop mirrors the paper's pseudo code:
+//!
+//! ```text
+//! CS := {};
+//! while compute_penalty(CS) != 0 do
+//!     S  := subtasks that generate delays;
+//!     S1 := MAX_weight(S);
+//!     add S1 to CS;
+//! ```
+//!
+//! `compute_penalty(CS)` runs the configured prefetch scheduler (branch &
+//! bound for small graphs, the list heuristic for large ones) assuming the CS
+//! members are resident.
+
+use std::collections::BTreeSet;
+
+use drhw_model::{InitialSchedule, Platform, SubtaskGraph, SubtaskId, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::branch_bound::BranchBoundScheduler;
+use crate::error::PrefetchError;
+use crate::problem::PrefetchProblem;
+use crate::scheduler::PrefetchScheduler;
+
+/// The result of the critical-subtask selection for one initial schedule.
+///
+/// Besides the CS set itself, the analysis stores the load order of the final
+/// design-time schedule (the one computed under the "CS reused, everything
+/// else loaded" assumption) and the penalty of that schedule — zero whenever
+/// the assumption can be realised, which is the common case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalSetAnalysis {
+    critical: Vec<SubtaskId>,
+    stored_order: Vec<SubtaskId>,
+    stored_penalty: Time,
+    iterations: usize,
+    drhw_subtasks: usize,
+}
+
+impl CriticalSetAnalysis {
+    /// Runs the CS selection of Fig. 4 with the default design-time scheduler
+    /// (branch & bound, falling back to the list heuristic on large graphs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is inconsistent.
+    pub fn compute(
+        graph: &SubtaskGraph,
+        schedule: &InitialSchedule,
+        platform: &Platform,
+    ) -> Result<Self, PrefetchError> {
+        Self::compute_with(graph, schedule, platform, &BranchBoundScheduler::new())
+    }
+
+    /// Same as [`CriticalSetAnalysis::compute`] with an explicit scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is inconsistent.
+    pub fn compute_with(
+        graph: &SubtaskGraph,
+        schedule: &InitialSchedule,
+        platform: &Platform,
+        scheduler: &dyn PrefetchScheduler,
+    ) -> Result<Self, PrefetchError> {
+        let drhw_subtasks = graph.drhw_subtasks().len();
+        let mut critical: BTreeSet<SubtaskId> = BTreeSet::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let problem = PrefetchProblem::with_resident(graph, schedule, platform, &critical)?;
+            let result = scheduler.schedule(&problem)?;
+            if result.penalty().is_zero() {
+                return Ok(Self::assemble(
+                    graph,
+                    schedule,
+                    platform,
+                    critical,
+                    result.load_order().to_vec(),
+                    Time::ZERO,
+                    iterations,
+                    drhw_subtasks,
+                ));
+            }
+            // Candidates: subtasks whose own load directly delayed them and
+            // that are not already assumed resident.
+            let candidate = result
+                .delayed_subtasks()
+                .into_iter()
+                .filter(|id| !critical.contains(id))
+                .max_by(|a, b| {
+                    problem.weight(*a).cmp(&problem.weight(*b)).then(b.index().cmp(&a.index()))
+                });
+            // Fall back to the heaviest remaining load if the delay is only
+            // inherited (rare, but keeps the loop well-founded).
+            let candidate = candidate.or_else(|| {
+                result
+                    .load_order()
+                    .iter()
+                    .copied()
+                    .filter(|id| !critical.contains(id))
+                    .max_by(|a, b| {
+                        problem.weight(*a).cmp(&problem.weight(*b)).then(b.index().cmp(&a.index()))
+                    })
+            });
+            match candidate {
+                Some(pick) => {
+                    critical.insert(pick);
+                }
+                None => {
+                    // Every loaded subtask is already assumed resident yet a
+                    // penalty remains: the residual cannot be removed by
+                    // reuse (e.g. a slot forced to hold two configurations in
+                    // a row). Store it so the run-time phase can account for it.
+                    return Ok(Self::assemble(
+                        graph,
+                        schedule,
+                        platform,
+                        critical,
+                        result.load_order().to_vec(),
+                        result.penalty(),
+                        iterations,
+                        drhw_subtasks,
+                    ));
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        graph: &SubtaskGraph,
+        _schedule: &InitialSchedule,
+        _platform: &Platform,
+        critical: BTreeSet<SubtaskId>,
+        stored_order: Vec<SubtaskId>,
+        stored_penalty: Time,
+        iterations: usize,
+        drhw_subtasks: usize,
+    ) -> Self {
+        // The initialization phase loads critical subtasks most-critical first;
+        // the loading order is decided at design time (paper §6).
+        let analysis = drhw_model::GraphAnalysis::new(graph)
+            .expect("graph validated by the prefetch problem");
+        let mut critical: Vec<SubtaskId> = critical.into_iter().collect();
+        critical.sort_by(|a, b| {
+            analysis.weight(*b).cmp(&analysis.weight(*a)).then(a.index().cmp(&b.index()))
+        });
+        CriticalSetAnalysis {
+            critical,
+            stored_order,
+            stored_penalty,
+            iterations,
+            drhw_subtasks,
+        }
+    }
+
+    /// The critical subtasks, ordered by decreasing weight (the order the
+    /// initialization phase loads them in).
+    pub fn critical_subtasks(&self) -> &[SubtaskId] {
+        &self.critical
+    }
+
+    /// Returns `true` if the given subtask is critical.
+    pub fn is_critical(&self, id: SubtaskId) -> bool {
+        self.critical.contains(&id)
+    }
+
+    /// The load order of the stored design-time schedule (the loads of the
+    /// non-critical subtasks).
+    pub fn stored_load_order(&self) -> &[SubtaskId] {
+        &self.stored_order
+    }
+
+    /// The penalty of the stored design-time schedule. Zero whenever the CS
+    /// assumption can hide every remaining load, which is the normal outcome.
+    pub fn stored_penalty(&self) -> Time {
+        self.stored_penalty
+    }
+
+    /// Number of `compute_penalty` evaluations the selection loop performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of critical subtasks.
+    pub fn len(&self) -> usize {
+        self.critical.len()
+    }
+
+    /// Returns `true` if no subtask is critical (every load can be hidden even
+    /// in the worst case).
+    pub fn is_empty(&self) -> bool {
+        self.critical.is_empty()
+    }
+
+    /// Fraction of DRHW subtasks that are critical (the paper reports 62 % for
+    /// the 3-D rendering application).
+    pub fn critical_fraction(&self) -> f64 {
+        if self.drhw_subtasks == 0 {
+            0.0
+        } else {
+            self.critical.len() as f64 / self.drhw_subtasks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ListScheduler, PrefetchProblem};
+    use drhw_model::{ConfigId, PeAssignment, Subtask, TileSlot};
+
+    /// The Fig. 3 / Fig. 5 example: only subtask 1 is critical.
+    fn fig3() -> (SubtaskGraph, InitialSchedule, Platform) {
+        let mut g = SubtaskGraph::new("fig3");
+        let s1 = g.add_subtask(Subtask::new("1", Time::from_millis(10), ConfigId::new(1)));
+        let s2 = g.add_subtask(Subtask::new("2", Time::from_millis(12), ConfigId::new(2)));
+        let s3 = g.add_subtask(Subtask::new("3", Time::from_millis(6), ConfigId::new(3)));
+        let s4 = g.add_subtask(Subtask::new("4", Time::from_millis(8), ConfigId::new(4)));
+        g.add_dependency(s1, s2).unwrap();
+        g.add_dependency(s1, s3).unwrap();
+        g.add_dependency(s3, s4).unwrap();
+        let schedule = InitialSchedule::from_assignment(
+            &g,
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+                PeAssignment::Tile(TileSlot::new(2)),
+                PeAssignment::Tile(TileSlot::new(0)),
+            ],
+        )
+        .unwrap();
+        let platform = Platform::virtex_like(3).unwrap();
+        (g, schedule, platform)
+    }
+
+    #[test]
+    fn fig3_has_exactly_one_critical_subtask() {
+        let (g, schedule, platform) = fig3();
+        let cs = CriticalSetAnalysis::compute(&g, &schedule, &platform).unwrap();
+        assert_eq!(cs.critical_subtasks(), &[SubtaskId::new(0)]);
+        assert!(cs.is_critical(SubtaskId::new(0)));
+        assert!(!cs.is_critical(SubtaskId::new(1)));
+        assert_eq!(cs.stored_penalty(), Time::ZERO);
+        assert_eq!(cs.len(), 1);
+        assert!(!cs.is_empty());
+        assert!((cs.critical_fraction() - 0.25).abs() < 1e-9);
+        // The stored schedule loads the three non-critical subtasks.
+        assert_eq!(cs.stored_load_order().len(), 3);
+        assert!(!cs.stored_load_order().contains(&SubtaskId::new(0)));
+    }
+
+    #[test]
+    fn cs_definition_holds_reusing_cs_hides_every_remaining_load() {
+        let (g, schedule, platform) = fig3();
+        let cs = CriticalSetAnalysis::compute(&g, &schedule, &platform).unwrap();
+        let resident: BTreeSet<SubtaskId> = cs.critical_subtasks().iter().copied().collect();
+        let problem = PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+        let result = BranchBoundScheduler::new().schedule(&problem).unwrap();
+        assert_eq!(result.penalty(), cs.stored_penalty());
+    }
+
+    #[test]
+    fn cs_is_minimal_for_fig3() {
+        // Removing the lone critical subtask (i.e. assuming nothing is
+        // resident) must leave a positive penalty — otherwise it would not be
+        // critical in the first place.
+        let (g, schedule, platform) = fig3();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let worst = BranchBoundScheduler::new().schedule(&problem).unwrap();
+        assert!(worst.penalty() > Time::ZERO);
+    }
+
+    #[test]
+    fn saturated_port_yields_multiple_critical_subtasks() {
+        // Eight independent subtasks of 3 ms on eight tiles with 4 ms loads:
+        // the port simply cannot hide 32 ms of loads behind 3 ms of slack, so
+        // most subtasks end up critical.
+        let mut g = SubtaskGraph::new("saturated");
+        for i in 0..8 {
+            g.add_subtask(Subtask::new(format!("s{i}"), Time::from_millis(3), ConfigId::new(i)));
+        }
+        let assignment = (0..8).map(|i| PeAssignment::Tile(TileSlot::new(i))).collect();
+        let schedule = InitialSchedule::from_assignment(&g, assignment).unwrap();
+        let platform = Platform::virtex_like(8).unwrap();
+        let cs = CriticalSetAnalysis::compute(&g, &schedule, &platform).unwrap();
+        assert!(cs.len() >= 4, "expected a large critical set, got {}", cs.len());
+        assert_eq!(cs.stored_penalty(), Time::ZERO);
+        assert!(cs.critical_fraction() >= 0.5);
+        // Critical subtasks are ordered by decreasing weight.
+        let analysis = drhw_model::GraphAnalysis::new(&g).unwrap();
+        let weights: Vec<Time> =
+            cs.critical_subtasks().iter().map(|&id| analysis.weight(id)).collect();
+        let mut sorted = weights.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(weights, sorted);
+    }
+
+    #[test]
+    fn list_scheduler_variant_also_converges() {
+        let (g, schedule, platform) = fig3();
+        let cs =
+            CriticalSetAnalysis::compute_with(&g, &schedule, &platform, &ListScheduler::new())
+                .unwrap();
+        assert!(cs.len() >= 1);
+        assert_eq!(cs.stored_penalty(), Time::ZERO);
+        assert!(cs.iterations() >= 2);
+    }
+
+    #[test]
+    fn all_resident_graph_has_empty_critical_set() {
+        // A single subtask with a long execution still cannot hide its own
+        // load (nothing runs before it), so it must be critical...
+        let mut g = SubtaskGraph::new("single");
+        g.add_subtask(Subtask::new("only", Time::from_millis(50), ConfigId::new(0)));
+        let schedule = InitialSchedule::from_assignment(
+            &g,
+            vec![PeAssignment::Tile(TileSlot::new(0))],
+        )
+        .unwrap();
+        let platform = Platform::virtex_like(1).unwrap();
+        let cs = CriticalSetAnalysis::compute(&g, &schedule, &platform).unwrap();
+        assert_eq!(cs.critical_subtasks(), &[SubtaskId::new(0)]);
+        assert_eq!(cs.critical_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Errors produced by the prefetch schedulers.
+
+use std::error::Error;
+use std::fmt;
+
+use drhw_model::{ModelError, SubtaskId};
+
+/// Errors returned by the prefetch-scheduling public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PrefetchError {
+    /// The underlying model (graph, schedule, platform) is invalid.
+    Model(ModelError),
+    /// A load order references a subtask that does not need a load (or does
+    /// not exist), or misses one that does.
+    InvalidLoadOrder {
+        /// The offending subtask.
+        id: SubtaskId,
+    },
+    /// The given load order cannot be executed: the port would wait forever
+    /// for a tile that can only become free after a later load in the order.
+    DeadlockedOrder,
+    /// The initial schedule uses more tile slots than the platform provides.
+    NotEnoughTiles {
+        /// Slots required by the schedule.
+        required: usize,
+        /// Tiles available on the platform.
+        available: usize,
+    },
+}
+
+impl fmt::Display for PrefetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefetchError::Model(e) => write!(f, "invalid model: {e}"),
+            PrefetchError::InvalidLoadOrder { id } => {
+                write!(f, "load order is not a permutation of the required loads (subtask {id})")
+            }
+            PrefetchError::DeadlockedOrder => {
+                write!(f, "load order deadlocks against the tile occupancy constraints")
+            }
+            PrefetchError::NotEnoughTiles { required, available } => {
+                write!(f, "schedule needs {required} tile slots but the platform has {available} tiles")
+            }
+        }
+    }
+}
+
+impl Error for PrefetchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PrefetchError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for PrefetchError {
+    fn from(e: ModelError) -> Self {
+        PrefetchError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PrefetchError::from(ModelError::CyclicGraph);
+        assert!(e.to_string().contains("invalid model"));
+        assert!(Error::source(&e).is_some());
+        let e = PrefetchError::InvalidLoadOrder { id: SubtaskId::new(2) };
+        assert!(e.to_string().contains("st2"));
+        assert!(Error::source(&e).is_none());
+        let e = PrefetchError::NotEnoughTiles { required: 8, available: 3 };
+        assert!(e.to_string().contains("8"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PrefetchError>();
+    }
+}

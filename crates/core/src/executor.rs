@@ -1,0 +1,432 @@
+//! The shared load/execution timing engine.
+//!
+//! Every prefetch policy in this crate — on-demand loading, the run-time list
+//! scheduler of ref [7], the branch & bound optimum and the stored hybrid
+//! schedules — boils down to choosing the order in which the single
+//! reconfiguration port performs the needed loads. This module simulates a
+//! chosen order (or an online choice rule) against the three constraints of
+//! the platform model:
+//!
+//! 1. a subtask starts when its graph predecessors and the previous subtask on
+//!    its PE have finished and its configuration is resident;
+//! 2. a load may only start once the previous subtask on the target tile has
+//!    finished (reconfiguring destroys the configuration still in use);
+//! 3. the port performs loads one at a time.
+
+use drhw_model::{ExecutionWindow, LoadWindow, SubtaskId, Time};
+
+use crate::error::PrefetchError;
+use crate::problem::{ExecutionResult, PrefetchProblem};
+
+/// How the port chooses its next load.
+#[derive(Debug, Clone)]
+pub(crate) enum LoadStrategy<'o> {
+    /// Perform the loads exactly in the given order.
+    FixedOrder(&'o [SubtaskId]),
+    /// Whenever the port is free, start the startable load with the highest
+    /// criticality weight (the run-time heuristic of ref [7]).
+    ListByWeight,
+    /// No prefetch: a load is only requested once the subtask could otherwise
+    /// start executing; requests are served first-come first-served.
+    OnDemand,
+}
+
+/// Simulates the execution of the problem's initial schedule under the given
+/// load strategy.
+pub(crate) fn simulate(
+    problem: &PrefetchProblem<'_>,
+    strategy: LoadStrategy<'_>,
+) -> Result<ExecutionResult, PrefetchError> {
+    let graph = problem.graph();
+    let schedule = problem.schedule();
+    let latency = problem.platform().reconfig_latency();
+    let n = graph.len();
+    let topo = schedule.combined_topological_order(graph)?;
+
+    let loads = problem.loads();
+    if let LoadStrategy::FixedOrder(order) = &strategy {
+        validate_order(&loads, order)?;
+    }
+
+    let mut exec_start: Vec<Option<Time>> = vec![None; n];
+    let mut exec_finish: Vec<Option<Time>> = vec![None; n];
+    let mut ready_without_load: Vec<Time> = vec![Time::ZERO; n];
+    let mut loaded_at: Vec<Option<Time>> = vec![None; n];
+    let mut pending: Vec<SubtaskId> = loads.clone();
+    let mut performed: Vec<SubtaskId> = Vec::with_capacity(pending.len());
+    let mut load_windows: Vec<LoadWindow> = Vec::with_capacity(pending.len());
+    let mut port_free = problem.earliest_port_start();
+    let mut fixed_cursor = 0usize;
+    let mut remaining_execs = n;
+
+    while remaining_execs > 0 || !pending.is_empty() {
+        let mut progress = false;
+
+        // Phase 1: schedule every execution whose dependencies are all timed.
+        for &id in &topo {
+            if exec_finish[id.index()].is_some() {
+                continue;
+            }
+            let Some(ready) = exec_ready_time(problem, &exec_finish, id) else { continue };
+            if problem.needs_load(id) && loaded_at[id.index()].is_none() {
+                // Remember how long the subtask would have waited anyway so the
+                // direct load delay can be separated from inherited delays.
+                ready_without_load[id.index()] = ready;
+                continue;
+            }
+            let start = match loaded_at[id.index()] {
+                Some(resident) => ready.max(resident),
+                None => ready,
+            };
+            ready_without_load[id.index()] = ready;
+            exec_start[id.index()] = Some(start);
+            exec_finish[id.index()] = Some(start + graph.subtask(id).exec_time());
+            remaining_execs -= 1;
+            progress = true;
+        }
+
+        // Phase 2: let the port start (at most) one more load.
+        if !pending.is_empty() {
+            let pick = match &strategy {
+                LoadStrategy::FixedOrder(order) => pick_fixed(
+                    order,
+                    &mut fixed_cursor,
+                    &pending,
+                    |id| tile_available(problem, &exec_finish, id),
+                ),
+                LoadStrategy::ListByWeight => pick_by_weight(problem, &pending, &exec_finish, port_free),
+                LoadStrategy::OnDemand => pick_on_demand(problem, &pending, &exec_finish),
+            };
+            if let Some((id, available)) = pick {
+                let start = port_free.max(available);
+                let finish = start + latency;
+                loaded_at[id.index()] = Some(finish);
+                port_free = finish;
+                load_windows.push(LoadWindow {
+                    subtask: id,
+                    slot: problem
+                        .slot_of(id)
+                        .expect("only DRHW subtasks ever need a load"),
+                    start,
+                    finish,
+                });
+                pending.retain(|&p| p != id);
+                performed.push(id);
+                progress = true;
+            }
+        }
+
+        if !progress {
+            return Err(PrefetchError::DeadlockedOrder);
+        }
+    }
+
+    let executions: Vec<ExecutionWindow> = graph
+        .ids()
+        .map(|id| ExecutionWindow {
+            subtask: id,
+            pe: schedule.assignment(id),
+            start: exec_start[id.index()].expect("all executions were scheduled"),
+            finish: exec_finish[id.index()].expect("all executions were scheduled"),
+        })
+        .collect();
+    let load_delays: Vec<Time> = graph
+        .ids()
+        .map(|id| {
+            exec_start[id.index()]
+                .expect("all executions were scheduled")
+                .saturating_sub(ready_without_load[id.index()])
+        })
+        .collect();
+    let timed = drhw_model::TimedSchedule::new(executions, load_windows);
+    Ok(ExecutionResult::new(timed, performed, load_delays, problem.ideal_makespan()))
+}
+
+/// Earliest instant a subtask could start, ignoring its own load. `None` if a
+/// dependency has not been timed yet.
+fn exec_ready_time(
+    problem: &PrefetchProblem<'_>,
+    exec_finish: &[Option<Time>],
+    id: SubtaskId,
+) -> Option<Time> {
+    let graph = problem.graph();
+    let mut ready = problem.earliest_exec_start();
+    for &p in graph.predecessors(id) {
+        ready = ready.max(exec_finish[p.index()]?);
+    }
+    if let Some(prev) = problem.schedule().predecessor_on_pe(id) {
+        ready = ready.max(exec_finish[prev.index()]?);
+    }
+    Some(ready)
+}
+
+/// Earliest instant the tile of `id` can accept a load (its previous occupant
+/// has finished). `None` while that occupant is still untimed.
+fn tile_available(
+    problem: &PrefetchProblem<'_>,
+    exec_finish: &[Option<Time>],
+    id: SubtaskId,
+) -> Option<Time> {
+    match problem.schedule().predecessor_on_pe(id) {
+        Some(prev) => exec_finish[prev.index()],
+        None => Some(Time::ZERO),
+    }
+}
+
+fn pick_fixed(
+    order: &[SubtaskId],
+    cursor: &mut usize,
+    pending: &[SubtaskId],
+    available: impl Fn(SubtaskId) -> Option<Time>,
+) -> Option<(SubtaskId, Time)> {
+    while *cursor < order.len() && !pending.contains(&order[*cursor]) {
+        *cursor += 1;
+    }
+    let next = *order.get(*cursor)?;
+    available(next).map(|t| (next, t))
+}
+
+fn pick_by_weight(
+    problem: &PrefetchProblem<'_>,
+    pending: &[SubtaskId],
+    exec_finish: &[Option<Time>],
+    port_free: Time,
+) -> Option<(SubtaskId, Time)> {
+    // The port becomes free at `port_free`; consider every load whose tile is
+    // (or will be) free by the earliest instant a load could actually start,
+    // then take the most critical one.
+    let known: Vec<(SubtaskId, Time)> = pending
+        .iter()
+        .filter_map(|&id| tile_available(problem, exec_finish, id).map(|t| (id, t)))
+        .collect();
+    let horizon = known.iter().map(|&(_, t)| t).min()?.max(port_free);
+    known
+        .into_iter()
+        .filter(|&(_, t)| t <= horizon)
+        .max_by(|a, b| {
+            problem
+                .weight(a.0)
+                .cmp(&problem.weight(b.0))
+                .then(b.0.index().cmp(&a.0.index()))
+        })
+}
+
+fn pick_on_demand(
+    problem: &PrefetchProblem<'_>,
+    pending: &[SubtaskId],
+    exec_finish: &[Option<Time>],
+) -> Option<(SubtaskId, Time)> {
+    // A load is requested only when the subtask could otherwise execute.
+    let requested: Vec<(SubtaskId, Time)> = pending
+        .iter()
+        .filter_map(|&id| exec_ready_time(problem, exec_finish, id).map(|t| (id, t)))
+        .collect();
+    requested.into_iter().min_by(|a, b| {
+        a.1.cmp(&b.1)
+            .then_with(|| problem.weight(b.0).cmp(&problem.weight(a.0)))
+            .then(a.0.index().cmp(&b.0.index()))
+    })
+}
+
+fn validate_order(loads: &[SubtaskId], order: &[SubtaskId]) -> Result<(), PrefetchError> {
+    if order.len() != loads.len() {
+        let id = order
+            .iter()
+            .find(|id| !loads.contains(id))
+            .copied()
+            .or_else(|| loads.iter().find(|id| !order.contains(id)).copied())
+            .unwrap_or(SubtaskId::new(0));
+        return Err(PrefetchError::InvalidLoadOrder { id });
+    }
+    for &id in order {
+        if !loads.contains(&id) {
+            return Err(PrefetchError::InvalidLoadOrder { id });
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for &id in order {
+        if !seen.insert(id) {
+            return Err(PrefetchError::InvalidLoadOrder { id });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::{
+        ConfigId, InitialSchedule, PeAssignment, Platform, Subtask, SubtaskGraph, TileSlot,
+    };
+
+    /// The Fig. 3 example: four subtasks on three tiles, 1 -> {2,3}, 3 -> 4.
+    /// Subtask 4 shares its tile with subtask 1, which finishes early enough
+    /// for load 4 to be hidden behind the executions of subtasks 2 and 3.
+    fn fig3() -> (SubtaskGraph, Vec<SubtaskId>, InitialSchedule, Platform) {
+        let mut g = SubtaskGraph::new("fig3");
+        let s1 = g.add_subtask(Subtask::new("1", Time::from_millis(10), ConfigId::new(1)));
+        let s2 = g.add_subtask(Subtask::new("2", Time::from_millis(12), ConfigId::new(2)));
+        let s3 = g.add_subtask(Subtask::new("3", Time::from_millis(6), ConfigId::new(3)));
+        let s4 = g.add_subtask(Subtask::new("4", Time::from_millis(8), ConfigId::new(4)));
+        g.add_dependency(s1, s2).unwrap();
+        g.add_dependency(s1, s3).unwrap();
+        g.add_dependency(s3, s4).unwrap();
+        let schedule = InitialSchedule::from_assignment(
+            &g,
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+                PeAssignment::Tile(TileSlot::new(2)),
+                PeAssignment::Tile(TileSlot::new(0)),
+            ],
+        )
+        .unwrap();
+        let platform = Platform::virtex_like(3).unwrap();
+        (g, vec![s1, s2, s3, s4], schedule, platform)
+    }
+
+    #[test]
+    fn on_demand_pays_for_every_load_on_the_critical_path() {
+        let (g, ids, schedule, platform) = fig3();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let result = simulate(&problem, LoadStrategy::OnDemand).unwrap();
+        // Ideal: s1 0-10, s2 10-22, s3 10-16, s4 16-24 (s4 shares slot0 with s1).
+        assert_eq!(problem.ideal_makespan(), Time::from_millis(24));
+        // On demand the first load starts at t=0 and every execution start
+        // waits for its own 4 ms load; penalty must be strictly positive.
+        assert!(result.penalty() > Time::ZERO);
+        assert_eq!(result.load_count(), 4);
+        // s1 is directly delayed by its own load: nothing else can run first.
+        assert_eq!(result.load_delay(ids[0]), Time::from_millis(4));
+    }
+
+    #[test]
+    fn list_prefetch_hides_all_but_the_first_load() {
+        let (g, ids, schedule, platform) = fig3();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let result = simulate(&problem, LoadStrategy::ListByWeight).unwrap();
+        // Only the very first load (subtask 1) cannot be hidden: 4 ms penalty,
+        // exactly the "applying prefetch" schedule of Fig. 3(c).
+        assert_eq!(result.penalty(), Time::from_millis(4));
+        assert_eq!(result.load_delay(ids[0]), Time::from_millis(4));
+        assert_eq!(result.load_delay(ids[1]), Time::ZERO);
+        assert_eq!(result.load_delay(ids[2]), Time::ZERO);
+        assert_eq!(result.load_delay(ids[3]), Time::ZERO);
+        assert!(result.penalty() <= simulate(&problem, LoadStrategy::OnDemand).unwrap().penalty());
+    }
+
+    #[test]
+    fn fixed_order_matches_list_result_for_the_same_order() {
+        let (g, _, schedule, platform) = fig3();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let list = simulate(&problem, LoadStrategy::ListByWeight).unwrap();
+        let replay = simulate(&problem, LoadStrategy::FixedOrder(list.load_order())).unwrap();
+        assert_eq!(replay.penalty(), list.penalty());
+        assert_eq!(replay.timed().makespan(), list.timed().makespan());
+    }
+
+    #[test]
+    fn fixed_order_rejects_non_permutations() {
+        let (g, ids, schedule, platform) = fig3();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let err = simulate(&problem, LoadStrategy::FixedOrder(&[ids[0]])).unwrap_err();
+        assert!(matches!(err, PrefetchError::InvalidLoadOrder { .. }));
+        let err = simulate(
+            &problem,
+            LoadStrategy::FixedOrder(&[ids[0], ids[1], ids[2], ids[2]]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PrefetchError::InvalidLoadOrder { .. }));
+    }
+
+    #[test]
+    fn full_residency_leaves_only_the_unavoidable_slot_reload() {
+        let (g, ids, schedule, platform) = fig3();
+        let resident: std::collections::BTreeSet<SubtaskId> = g.ids().collect();
+        let problem =
+            PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+        // Subtask 4 shares slot0 with subtask 1 but uses a different
+        // configuration, so its load cannot be removed by residency.
+        assert_eq!(problem.load_count(), 1);
+        assert_eq!(problem.loads(), vec![ids[3]]);
+        let result = simulate(&problem, LoadStrategy::ListByWeight).unwrap();
+        // That single load hides behind the execution of subtask 3.
+        assert_eq!(result.penalty(), Time::ZERO);
+        assert_eq!(result.timed().execution_makespan(), problem.ideal_makespan());
+        assert!(result.trailing_port_idle() > Time::ZERO);
+    }
+
+    #[test]
+    fn no_loads_means_no_penalty() {
+        // A graph whose slots each host a single configuration can be made
+        // entirely resident, and then nothing is loaded at all.
+        let mut g = SubtaskGraph::new("resident");
+        let a = g.add_subtask(Subtask::new("a", Time::from_millis(5), ConfigId::new(0)));
+        let b = g.add_subtask(Subtask::new("b", Time::from_millis(7), ConfigId::new(1)));
+        g.add_dependency(a, b).unwrap();
+        let schedule = InitialSchedule::from_assignment(
+            &g,
+            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(1))],
+        )
+        .unwrap();
+        let platform = Platform::virtex_like(2).unwrap();
+        let resident: std::collections::BTreeSet<SubtaskId> = g.ids().collect();
+        let problem =
+            PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+        assert_eq!(problem.load_count(), 0);
+        let result = simulate(&problem, LoadStrategy::ListByWeight).unwrap();
+        assert_eq!(result.penalty(), Time::ZERO);
+        assert_eq!(result.timed().makespan(), problem.ideal_makespan());
+        assert_eq!(result.trailing_port_idle(), problem.ideal_makespan());
+    }
+
+    #[test]
+    fn zero_latency_platform_never_pays_overhead() {
+        let (g, _, schedule, _) = fig3();
+        let platform = Platform::new(3, Time::ZERO).unwrap();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        for strategy in [LoadStrategy::OnDemand, LoadStrategy::ListByWeight] {
+            let result = simulate(&problem, strategy).unwrap();
+            assert_eq!(result.penalty(), Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn earliest_exec_start_delays_the_whole_body() {
+        let (g, _, schedule, platform) = fig3();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform)
+            .unwrap()
+            .with_earliest_exec_start(Time::from_millis(100));
+        let result = simulate(&problem, LoadStrategy::ListByWeight).unwrap();
+        assert!(
+            result.timed().execution_makespan()
+                >= problem.ideal_makespan() + Time::from_millis(100)
+        );
+    }
+
+    #[test]
+    fn trailing_idle_window_is_reported() {
+        let (g, _, schedule, platform) = fig3();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let result = simulate(&problem, LoadStrategy::ListByWeight).unwrap();
+        // The port performs 4 loads of 4 ms; executions run for ~34 ms, so the
+        // port is idle for a while at the end of the task.
+        assert!(result.trailing_port_idle() > Time::ZERO);
+        assert_eq!(
+            result.trailing_port_idle(),
+            result.timed().execution_makespan() - result.port_busy_until()
+        );
+    }
+
+    #[test]
+    fn head_of_line_blocking_order_still_completes_when_feasible() {
+        // Loading the second slot-1 occupant (s4) first is legal but wasteful:
+        // its tile only frees after s2 finishes, so the order [s4, ...] makes
+        // the port wait. The executor must not deadlock on it.
+        let (g, ids, schedule, platform) = fig3();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let order = vec![ids[0], ids[1], ids[3], ids[2]];
+        let result = simulate(&problem, LoadStrategy::FixedOrder(&order)).unwrap();
+        assert!(result.penalty() >= Time::from_millis(4));
+    }
+}

@@ -1,0 +1,91 @@
+//! # drhw-prefetch
+//!
+//! Configuration-prefetch scheduling for dynamically reconfigurable hardware:
+//! a reproduction of *"A Hybrid Prefetch Scheduling Heuristic to Minimize at
+//! Run-Time the Reconfiguration Overhead of Dynamically Reconfigurable
+//! Hardware"* (Resano, Mozos, Catthoor — DATE 2005).
+//!
+//! The crate implements the full run-time scheduling flow of the paper
+//! (Fig. 2): the **reuse module** ([`reusable_subtasks`], [`TileContents`]),
+//! the **prefetch module** in all the variants the evaluation compares
+//! ([`OnDemandScheduler`], [`DesignTimePrefetch`], [`ListScheduler`],
+//! [`BranchBoundScheduler`], and the [`HybridPrefetch`] heuristic built on the
+//! Critical Subtask analysis of [`CriticalSetAnalysis`]), and the
+//! **replacement module** ([`assign_tiles`]).
+//!
+//! # The hybrid heuristic in a nutshell
+//!
+//! ```
+//! use std::collections::BTreeSet;
+//! use drhw_model::{ConfigId, InitialSchedule, PeAssignment, Platform, Subtask, SubtaskGraph,
+//!     TileSlot, Time};
+//! use drhw_prefetch::{HybridPrefetch, InterTaskWindow, ListScheduler, PrefetchProblem,
+//!     PrefetchScheduler};
+//!
+//! # fn main() -> Result<(), drhw_prefetch::PrefetchError> {
+//! // A small task: decode -> {transform, filter} on three tiles.
+//! let mut g = SubtaskGraph::new("demo");
+//! let decode = g.add_subtask(Subtask::new("decode", Time::from_millis(16), ConfigId::new(0)));
+//! let transform = g.add_subtask(Subtask::new("transform", Time::from_millis(9), ConfigId::new(1)));
+//! let filter = g.add_subtask(Subtask::new("filter", Time::from_millis(7), ConfigId::new(2)));
+//! g.add_dependency(decode, transform)?;
+//! g.add_dependency(decode, filter)?;
+//! let schedule = InitialSchedule::from_assignment(
+//!     &g,
+//!     vec![
+//!         PeAssignment::Tile(TileSlot::new(0)),
+//!         PeAssignment::Tile(TileSlot::new(1)),
+//!         PeAssignment::Tile(TileSlot::new(2)),
+//!     ],
+//! )?;
+//! let platform = Platform::virtex_like(3)?;
+//!
+//! // Design time: find the critical subtasks and store the load schedule.
+//! let hybrid = HybridPrefetch::compute(&g, &schedule, &platform)?;
+//! assert_eq!(hybrid.critical().critical_subtasks().len(), 1);
+//!
+//! // Run time: nothing resident, no idle window from a previous task.
+//! let outcome = hybrid.evaluate(&g, &schedule, &platform, &BTreeSet::new(),
+//!     InterTaskWindow::empty())?;
+//! // Only the initialization phase (one 4 ms load) is exposed.
+//! assert_eq!(outcome.penalty(), Time::from_millis(4));
+//!
+//! // For comparison, the pure run-time heuristic on the same cold start:
+//! let problem = PrefetchProblem::new(&g, &schedule, &platform)?;
+//! let run_time = ListScheduler::new().schedule(&problem)?;
+//! assert_eq!(run_time.penalty(), Time::from_millis(4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod branch_bound;
+mod critical;
+mod design_time;
+mod error;
+mod executor;
+mod hybrid;
+mod inter_task;
+mod list_scheduler;
+mod on_demand;
+mod policy;
+mod problem;
+mod replacement;
+mod reuse;
+mod scheduler;
+
+pub use branch_bound::{optimal_penalty, BranchBoundScheduler};
+pub use critical::CriticalSetAnalysis;
+pub use design_time::DesignTimePrefetch;
+pub use error::PrefetchError;
+pub use hybrid::{HybridOutcome, HybridPrefetch, HybridRuntimeDecision};
+pub use inter_task::{plan_preloads, InterTaskWindow};
+pub use list_scheduler::ListScheduler;
+pub use on_demand::OnDemandScheduler;
+pub use policy::PolicyKind;
+pub use problem::{ExecutionResult, PrefetchProblem};
+pub use replacement::{assign_tiles, assign_tiles_protecting, ReplacementPolicy};
+pub use reuse::{apply_schedule_to_contents, reusable_subtasks, TileContents, TileMapping};
+pub use scheduler::PrefetchScheduler;

@@ -1,0 +1,461 @@
+//! The reconfiguration-prefetch scheduling problem.
+//!
+//! > *Given an initial subtask schedule that neglects the reconfiguration
+//! > latency, we want to update it including the needed reconfigurations
+//! > scheduled in a way that minimizes the overhead they generate.* (§3)
+//!
+//! [`PrefetchProblem`] bundles everything the heuristics need: the graph, the
+//! initial schedule, the platform, the criticality weights, the ideal
+//! makespan, and — crucially — *which* subtasks actually need their
+//! configuration loaded (the rest are reused).
+
+use std::collections::BTreeSet;
+
+use drhw_model::{
+    ConfigId, GraphAnalysis, InitialSchedule, PeAssignment, Platform, SubtaskGraph, SubtaskId,
+    Time, TileSlot, TimedSchedule,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PrefetchError;
+
+/// One instance of the prefetch scheduling problem.
+///
+/// The problem is parameterised by the set of subtasks whose configuration is
+/// *already resident* when the task starts (`resident`): those subtasks are
+/// reused and need no load. Everything else mapped on DRHW needs a load,
+/// except subtasks that inherit the configuration left on their slot by an
+/// earlier subtask of the same task (intra-task reuse).
+///
+/// # Examples
+///
+/// ```
+/// use drhw_model::{ConfigId, InitialSchedule, PeAssignment, Platform, Subtask, SubtaskGraph,
+///     TileSlot, Time};
+/// use drhw_prefetch::PrefetchProblem;
+///
+/// # fn main() -> Result<(), drhw_prefetch::PrefetchError> {
+/// let mut g = SubtaskGraph::new("demo");
+/// let a = g.add_subtask(Subtask::new("a", Time::from_millis(10), ConfigId::new(0)));
+/// let b = g.add_subtask(Subtask::new("b", Time::from_millis(10), ConfigId::new(1)));
+/// g.add_dependency(a, b)?;
+/// let schedule = InitialSchedule::from_assignment(
+///     &g,
+///     vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(1))],
+/// )?;
+/// let platform = Platform::virtex_like(2)?;
+/// let problem = PrefetchProblem::new(&g, &schedule, &platform)?;
+/// assert_eq!(problem.loads().len(), 2);
+/// assert_eq!(problem.ideal_makespan(), Time::from_millis(20));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchProblem<'a> {
+    graph: &'a SubtaskGraph,
+    schedule: &'a InitialSchedule,
+    platform: &'a Platform,
+    analysis: GraphAnalysis,
+    needs_load: Vec<bool>,
+    ideal_makespan: Time,
+    earliest_exec_start: Time,
+    earliest_port_start: Time,
+}
+
+impl<'a> PrefetchProblem<'a> {
+    /// Creates the worst-case problem in which *no* configuration is resident
+    /// (every DRHW subtask must be loaded, modulo intra-task reuse).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the schedule needs more tile slots than the
+    /// platform has tiles or if the model is otherwise invalid.
+    pub fn new(
+        graph: &'a SubtaskGraph,
+        schedule: &'a InitialSchedule,
+        platform: &'a Platform,
+    ) -> Result<Self, PrefetchError> {
+        Self::with_resident(graph, schedule, platform, &BTreeSet::new())
+    }
+
+    /// Creates a problem where the configurations of `resident` subtasks are
+    /// already loaded on the tiles mapped to their slots when the task starts.
+    ///
+    /// Residency only helps a subtask if no *different* configuration is
+    /// executed earlier on the same slot (a later load would overwrite it);
+    /// the constructor applies that rule automatically, so callers may pass
+    /// any subset — e.g. the Critical Subtask set — without pre-filtering.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the schedule needs more tile slots than the
+    /// platform has tiles or if the model is otherwise invalid.
+    pub fn with_resident(
+        graph: &'a SubtaskGraph,
+        schedule: &'a InitialSchedule,
+        platform: &'a Platform,
+        resident: &BTreeSet<SubtaskId>,
+    ) -> Result<Self, PrefetchError> {
+        graph.validate()?;
+        if schedule.slot_count() > platform.tile_count() {
+            return Err(PrefetchError::NotEnoughTiles {
+                required: schedule.slot_count(),
+                available: platform.tile_count(),
+            });
+        }
+        let analysis = GraphAnalysis::new(graph)?;
+        let ideal_makespan = schedule.ideal_timing(graph)?.makespan();
+        let needs_load = compute_needs_load(graph, schedule, resident);
+        Ok(PrefetchProblem {
+            graph,
+            schedule,
+            platform,
+            analysis,
+            needs_load,
+            ideal_makespan,
+            earliest_exec_start: Time::ZERO,
+            earliest_port_start: Time::ZERO,
+        })
+    }
+
+    /// Returns a copy of the problem in which no execution may start before
+    /// `instant` (used to model the initialization phase of the hybrid
+    /// heuristic, which must complete before the stored schedule starts).
+    #[must_use]
+    pub fn with_earliest_exec_start(mut self, instant: Time) -> Self {
+        self.earliest_exec_start = instant;
+        self
+    }
+
+    /// Returns a copy of the problem in which the reconfiguration port is
+    /// busy until `instant` (used when the port is still finishing loads that
+    /// belong to a previous task).
+    #[must_use]
+    pub fn with_earliest_port_start(mut self, instant: Time) -> Self {
+        self.earliest_port_start = instant;
+        self
+    }
+
+    /// The subtask graph being scheduled.
+    pub fn graph(&self) -> &SubtaskGraph {
+        self.graph
+    }
+
+    /// The reconfiguration-oblivious initial schedule.
+    pub fn schedule(&self) -> &InitialSchedule {
+        self.schedule
+    }
+
+    /// The target platform.
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    /// Precedence-only analysis (criticality weights, ALAP levels).
+    pub fn analysis(&self) -> &GraphAnalysis {
+        &self.analysis
+    }
+
+    /// The paper's criticality weight of a subtask (its bottom level).
+    pub fn weight(&self, id: SubtaskId) -> Time {
+        self.analysis.weight(id)
+    }
+
+    /// Makespan of the initial schedule with zero reconfiguration latency.
+    pub fn ideal_makespan(&self) -> Time {
+        self.ideal_makespan
+    }
+
+    /// Earliest instant any execution may start.
+    pub fn earliest_exec_start(&self) -> Time {
+        self.earliest_exec_start
+    }
+
+    /// Earliest instant the reconfiguration port may start a load.
+    pub fn earliest_port_start(&self) -> Time {
+        self.earliest_port_start
+    }
+
+    /// Whether a subtask requires a configuration load in this problem.
+    pub fn needs_load(&self, id: SubtaskId) -> bool {
+        self.needs_load[id.index()]
+    }
+
+    /// The subtasks that require a load, in subtask-id order.
+    pub fn loads(&self) -> Vec<SubtaskId> {
+        self.graph.ids().filter(|&id| self.needs_load[id.index()]).collect()
+    }
+
+    /// The subtasks that require a load, ordered by decreasing criticality
+    /// weight (the priority order of the list scheduler and of the hybrid
+    /// initialization phase).
+    pub fn loads_by_weight_desc(&self) -> Vec<SubtaskId> {
+        let mut loads = self.loads();
+        loads.sort_by(|a, b| {
+            self.weight(*b).cmp(&self.weight(*a)).then(a.index().cmp(&b.index()))
+        });
+        loads
+    }
+
+    /// Number of loads in the problem.
+    pub fn load_count(&self) -> usize {
+        self.needs_load.iter().filter(|&&b| b).count()
+    }
+
+    /// Returns a copy of the problem in which only `subset` (a subset of the
+    /// current loads) must be loaded and every other load is assumed free.
+    ///
+    /// Used by the branch & bound scheduler to compute optimistic lower bounds
+    /// for partial load orders.
+    pub(crate) fn restricted_to_loads(&self, subset: &BTreeSet<SubtaskId>) -> Self {
+        let mut clone = self.clone();
+        for (index, flag) in clone.needs_load.iter_mut().enumerate() {
+            if *flag && !subset.contains(&SubtaskId::new(index)) {
+                *flag = false;
+            }
+        }
+        clone
+    }
+
+    /// The abstract tile slot a subtask is mapped on, if it runs on DRHW.
+    pub fn slot_of(&self, id: SubtaskId) -> Option<TileSlot> {
+        self.schedule.assignment(id).tile_slot()
+    }
+
+    /// The configuration a subtask requires, if it runs on DRHW.
+    pub fn config_of(&self, id: SubtaskId) -> Option<ConfigId> {
+        self.graph.required_config(id)
+    }
+}
+
+/// Determines which subtasks need a configuration load, honouring intra-task
+/// reuse (consecutive occurrences of the same configuration on a slot) and
+/// externally resident configurations for the first users of each slot.
+fn compute_needs_load(
+    graph: &SubtaskGraph,
+    schedule: &InitialSchedule,
+    resident: &BTreeSet<SubtaskId>,
+) -> Vec<bool> {
+    let mut needs = vec![false; graph.len()];
+    for slot_index in 0..schedule.slot_count() {
+        let slot = PeAssignment::Tile(TileSlot::new(slot_index));
+        // `current` models what is on the tile while the task executes its
+        // slot sequence; `None` means "whatever a previous task left there,
+        // which is not one of this slot's resident configs".
+        let mut current: Option<ConfigId> = None;
+        for (position, &id) in schedule.subtasks_on(slot).iter().enumerate() {
+            let required = match graph.required_config(id) {
+                Some(config) => config,
+                None => continue,
+            };
+            let externally_resident = position == 0 && resident.contains(&id);
+            // A subtask marked resident later in the slot sequence can only
+            // actually be reused if no different configuration was loaded on
+            // the slot since the task started; `current` tracks exactly that.
+            let later_resident = position > 0 && resident.contains(&id) && current.is_none();
+            if Some(required) == current || externally_resident || later_resident {
+                current = Some(required);
+                continue;
+            }
+            needs[id.index()] = true;
+            current = Some(required);
+        }
+    }
+    needs
+}
+
+/// The outcome of timing a schedule under one load order / policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionResult {
+    timed: TimedSchedule,
+    order: Vec<SubtaskId>,
+    load_delays: Vec<Time>,
+    penalty: Time,
+    ideal_makespan: Time,
+}
+
+impl ExecutionResult {
+    pub(crate) fn new(
+        timed: TimedSchedule,
+        order: Vec<SubtaskId>,
+        load_delays: Vec<Time>,
+        ideal_makespan: Time,
+    ) -> Self {
+        let penalty = timed.execution_makespan().saturating_sub(ideal_makespan);
+        ExecutionResult { timed, order, load_delays, penalty, ideal_makespan }
+    }
+
+    /// The fully timed schedule (execution and load windows).
+    pub fn timed(&self) -> &TimedSchedule {
+        &self.timed
+    }
+
+    /// The order in which the reconfiguration port performed the loads.
+    pub fn load_order(&self) -> &[SubtaskId] {
+        &self.order
+    }
+
+    /// The stall directly attributable to waiting for a subtask's own load
+    /// (zero for subtasks that were resident or whose load finished early).
+    pub fn load_delay(&self, id: SubtaskId) -> Time {
+        self.load_delays[id.index()]
+    }
+
+    /// Subtasks whose own load delayed their execution start.
+    pub fn delayed_subtasks(&self) -> Vec<SubtaskId> {
+        self.load_delays
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| !d.is_zero())
+            .map(|(i, _)| SubtaskId::new(i))
+            .collect()
+    }
+
+    /// The reconfiguration penalty: how much later the executions finish
+    /// compared to the ideal (zero-latency) makespan.
+    pub fn penalty(&self) -> Time {
+        self.penalty
+    }
+
+    /// The ideal makespan this result is measured against.
+    pub fn ideal_makespan(&self) -> Time {
+        self.ideal_makespan
+    }
+
+    /// Overhead as a fraction of the ideal makespan (e.g. `0.23` for +23 %).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.penalty.ratio_of(self.ideal_makespan)
+    }
+
+    /// Duration of the trailing window during which the reconfiguration port
+    /// is idle while the task is still executing. The inter-task optimization
+    /// uses this window to start the initialization phase of the next task.
+    pub fn trailing_port_idle(&self) -> Time {
+        self.timed.execution_makespan().saturating_sub(self.port_busy_until())
+    }
+
+    /// Instant until which the reconfiguration port is busy.
+    pub fn port_busy_until(&self) -> Time {
+        self.timed.port_idle_from()
+    }
+
+    /// Number of loads performed.
+    pub fn load_count(&self) -> usize {
+        self.timed.load_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::Subtask;
+
+    fn graph_two_slots() -> (SubtaskGraph, Vec<SubtaskId>, InitialSchedule) {
+        // slot0: a (cfg0) -> c (cfg0) ; slot1: b (cfg1)
+        let mut g = SubtaskGraph::new("p");
+        let a = g.add_subtask(Subtask::new("a", Time::from_millis(10), ConfigId::new(0)));
+        let b = g.add_subtask(Subtask::new("b", Time::from_millis(10), ConfigId::new(1)));
+        let c = g.add_subtask(Subtask::new("c", Time::from_millis(10), ConfigId::new(0)));
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, c).unwrap();
+        let schedule = InitialSchedule::from_assignment(
+            &g,
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+                PeAssignment::Tile(TileSlot::new(0)),
+            ],
+        )
+        .unwrap();
+        (g, vec![a, b, c], schedule)
+    }
+
+    #[test]
+    fn worst_case_problem_loads_everything_except_intra_task_reuse() {
+        let (g, ids, schedule) = graph_two_slots();
+        let platform = Platform::virtex_like(2).unwrap();
+        let p = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        // c shares slot0 and cfg0 with a, so it is intra-task reused.
+        assert!(p.needs_load(ids[0]));
+        assert!(p.needs_load(ids[1]));
+        assert!(!p.needs_load(ids[2]));
+        assert_eq!(p.load_count(), 2);
+        assert_eq!(p.loads(), vec![ids[0], ids[1]]);
+    }
+
+    #[test]
+    fn resident_first_subtask_is_reused() {
+        let (g, ids, schedule) = graph_two_slots();
+        let platform = Platform::virtex_like(2).unwrap();
+        let resident: BTreeSet<_> = [ids[0]].into_iter().collect();
+        let p = PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+        assert!(!p.needs_load(ids[0]));
+        assert!(p.needs_load(ids[1]));
+        assert!(!p.needs_load(ids[2]));
+    }
+
+    #[test]
+    fn residency_of_later_subtask_requires_untouched_slot() {
+        // slot0 executes a (cfg0) then c (cfg2): marking c resident cannot help
+        // because loading cfg0 for a overwrites whatever was on the tile.
+        let mut g = SubtaskGraph::new("overwrite");
+        let a = g.add_subtask(Subtask::new("a", Time::from_millis(5), ConfigId::new(0)));
+        let c = g.add_subtask(Subtask::new("c", Time::from_millis(5), ConfigId::new(2)));
+        g.add_dependency(a, c).unwrap();
+        let schedule = InitialSchedule::from_assignment(
+            &g,
+            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(0))],
+        )
+        .unwrap();
+        let platform = Platform::virtex_like(1).unwrap();
+        let resident: BTreeSet<_> = [c].into_iter().collect();
+        let p = PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+        assert!(p.needs_load(a));
+        assert!(p.needs_load(c), "resident config would have been overwritten");
+        // Marking *a* resident instead lets c still require its own load.
+        let resident: BTreeSet<_> = [a].into_iter().collect();
+        let p = PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+        assert!(!p.needs_load(a));
+        assert!(p.needs_load(c));
+    }
+
+    #[test]
+    fn loads_by_weight_puts_critical_subtasks_first() {
+        let (g, ids, schedule) = graph_two_slots();
+        let platform = Platform::virtex_like(2).unwrap();
+        let p = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        // a has weight 30 (whole chain), b has 20.
+        assert_eq!(p.loads_by_weight_desc(), vec![ids[0], ids[1]]);
+        assert_eq!(p.weight(ids[0]), Time::from_millis(30));
+    }
+
+    #[test]
+    fn too_few_tiles_is_an_error() {
+        let (g, _, schedule) = graph_two_slots();
+        let platform = Platform::virtex_like(1).unwrap();
+        let err = PrefetchProblem::new(&g, &schedule, &platform).unwrap_err();
+        assert_eq!(err, PrefetchError::NotEnoughTiles { required: 2, available: 1 });
+    }
+
+    #[test]
+    fn builder_style_offsets_are_recorded() {
+        let (g, _, schedule) = graph_two_slots();
+        let platform = Platform::virtex_like(2).unwrap();
+        let p = PrefetchProblem::new(&g, &schedule, &platform)
+            .unwrap()
+            .with_earliest_exec_start(Time::from_millis(8))
+            .with_earliest_port_start(Time::from_millis(2));
+        assert_eq!(p.earliest_exec_start(), Time::from_millis(8));
+        assert_eq!(p.earliest_port_start(), Time::from_millis(2));
+    }
+
+    #[test]
+    fn ideal_makespan_matches_initial_schedule() {
+        let (g, _, schedule) = graph_two_slots();
+        let platform = Platform::virtex_like(2).unwrap();
+        let p = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        assert_eq!(p.ideal_makespan(), Time::from_millis(30));
+        assert_eq!(p.slot_of(SubtaskId::new(0)), Some(TileSlot::new(0)));
+        assert_eq!(p.config_of(SubtaskId::new(2)), Some(ConfigId::new(0)));
+    }
+}

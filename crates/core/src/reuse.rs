@@ -1,0 +1,264 @@
+//! The reuse module: tracking tile contents and deciding which subtasks can
+//! reuse a resident configuration (ref [6]).
+//!
+//! At run time, the only information the hybrid prefetcher needs is *which
+//! subtasks of the selected schedule find their configuration already loaded*
+//! on the physical tile their slot is mapped to. [`TileContents`] tracks what
+//! every tile holds across task activations, and [`reusable_subtasks`] turns
+//! that state plus a slot-to-tile mapping into the resident set consumed by
+//! [`PrefetchProblem::with_resident`](crate::PrefetchProblem::with_resident).
+
+use std::collections::BTreeSet;
+
+use drhw_model::{ConfigId, InitialSchedule, SubtaskGraph, SubtaskId, Time, TileId, TileSlot};
+use serde::{Deserialize, Serialize};
+
+/// The configuration currently loaded on every physical tile, together with
+/// the last time each tile was used (for LRU-style replacement).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileContents {
+    configs: Vec<Option<ConfigId>>,
+    last_used: Vec<Time>,
+}
+
+impl TileContents {
+    /// Creates the state of a platform whose tiles are all empty.
+    pub fn new(tile_count: usize) -> Self {
+        TileContents { configs: vec![None; tile_count], last_used: vec![Time::ZERO; tile_count] }
+    }
+
+    /// Number of tiles tracked.
+    pub fn tile_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// The configuration currently on a tile, if any.
+    pub fn config_on(&self, tile: TileId) -> Option<ConfigId> {
+        self.configs.get(tile.index()).copied().flatten()
+    }
+
+    /// When the tile last executed or received a configuration.
+    pub fn last_used(&self, tile: TileId) -> Time {
+        self.last_used.get(tile.index()).copied().unwrap_or(Time::ZERO)
+    }
+
+    /// Records that `config` was loaded onto `tile` at instant `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn record_load(&mut self, tile: TileId, config: ConfigId, now: Time) {
+        self.configs[tile.index()] = Some(config);
+        self.last_used[tile.index()] = self.last_used[tile.index()].max(now);
+    }
+
+    /// Records that the configuration on `tile` was used (executed) at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn record_use(&mut self, tile: TileId, now: Time) {
+        self.last_used[tile.index()] = self.last_used[tile.index()].max(now);
+    }
+
+    /// Tiles currently holding the given configuration.
+    pub fn tiles_holding(&self, config: ConfigId) -> Vec<TileId> {
+        self.configs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == Some(config))
+            .map(|(i, _)| TileId::new(i))
+            .collect()
+    }
+
+    /// Clears every tile (e.g. when the FPGA is fully reconfigured).
+    pub fn clear(&mut self) {
+        for c in &mut self.configs {
+            *c = None;
+        }
+    }
+}
+
+/// A mapping from the abstract tile slots of one schedule to physical tiles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileMapping {
+    slot_to_tile: Vec<TileId>,
+}
+
+impl TileMapping {
+    /// Creates a mapping from a dense slot-indexed vector.
+    pub fn new(slot_to_tile: Vec<TileId>) -> Self {
+        TileMapping { slot_to_tile }
+    }
+
+    /// The identity mapping (slot *i* on tile *i*).
+    pub fn identity(slot_count: usize) -> Self {
+        TileMapping { slot_to_tile: (0..slot_count).map(TileId::new).collect() }
+    }
+
+    /// The physical tile a slot is mapped to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is outside the mapping.
+    pub fn tile_of(&self, slot: TileSlot) -> TileId {
+        self.slot_to_tile[slot.index()]
+    }
+
+    /// Number of slots mapped.
+    pub fn slot_count(&self) -> usize {
+        self.slot_to_tile.len()
+    }
+
+    /// Iterates over `(slot, tile)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TileSlot, TileId)> + '_ {
+        self.slot_to_tile.iter().enumerate().map(|(s, &t)| (TileSlot::new(s), t))
+    }
+}
+
+/// Determines which subtasks of a schedule can reuse a configuration that is
+/// already resident on the physical tile their slot is mapped to.
+///
+/// Only the *first* DRHW subtask of each slot can profit from what a previous
+/// task left on the tile — anything executed later on the slot sees whatever
+/// the slot's own loads put there (that intra-task reuse is handled by
+/// [`PrefetchProblem`](crate::PrefetchProblem) itself).
+pub fn reusable_subtasks(
+    graph: &SubtaskGraph,
+    schedule: &InitialSchedule,
+    mapping: &TileMapping,
+    contents: &TileContents,
+) -> BTreeSet<SubtaskId> {
+    let mut resident = BTreeSet::new();
+    for slot_index in 0..schedule.slot_count() {
+        let slot = TileSlot::new(slot_index);
+        let Some(first) = schedule.first_on_slot(slot) else { continue };
+        let Some(required) = graph.required_config(first) else { continue };
+        if slot_index < mapping.slot_count()
+            && contents.config_on(mapping.tile_of(slot)) == Some(required)
+        {
+            resident.insert(first);
+        }
+    }
+    resident
+}
+
+/// Applies the effect of executing a task to the tile contents: every slot's
+/// tile ends up holding the configuration of the last DRHW subtask executed on
+/// that slot, stamped with the completion instant `now`.
+pub fn apply_schedule_to_contents(
+    graph: &SubtaskGraph,
+    schedule: &InitialSchedule,
+    mapping: &TileMapping,
+    contents: &mut TileContents,
+    now: Time,
+) {
+    for (slot, tile) in mapping.iter() {
+        let subtasks = schedule.subtasks_on(drhw_model::PeAssignment::Tile(slot));
+        let last_config =
+            subtasks.iter().rev().find_map(|&id| graph.required_config(id));
+        if let Some(config) = last_config {
+            contents.record_load(tile, config, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::{PeAssignment, Platform, Subtask};
+
+    fn simple() -> (SubtaskGraph, InitialSchedule, Platform) {
+        let mut g = SubtaskGraph::new("simple");
+        let a = g.add_subtask(Subtask::new("a", Time::from_millis(5), ConfigId::new(10)));
+        let b = g.add_subtask(Subtask::new("b", Time::from_millis(5), ConfigId::new(11)));
+        let c = g.add_subtask(Subtask::new("c", Time::from_millis(5), ConfigId::new(12)));
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, c).unwrap();
+        let schedule = InitialSchedule::from_assignment(
+            &g,
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+                PeAssignment::Tile(TileSlot::new(0)),
+            ],
+        )
+        .unwrap();
+        let platform = Platform::virtex_like(4).unwrap();
+        (g, schedule, platform)
+    }
+
+    #[test]
+    fn empty_tiles_offer_no_reuse() {
+        let (g, schedule, platform) = simple();
+        let contents = TileContents::new(platform.tile_count());
+        let mapping = TileMapping::identity(schedule.slot_count());
+        assert!(reusable_subtasks(&g, &schedule, &mapping, &contents).is_empty());
+    }
+
+    #[test]
+    fn matching_configuration_on_the_mapped_tile_is_reused() {
+        let (g, schedule, platform) = simple();
+        let mut contents = TileContents::new(platform.tile_count());
+        contents.record_load(TileId::new(2), ConfigId::new(10), Time::from_millis(1));
+        // Slot 0 mapped on tile 2 which holds cfg10 = config of subtask a.
+        let mapping = TileMapping::new(vec![TileId::new(2), TileId::new(0)]);
+        let resident = reusable_subtasks(&g, &schedule, &mapping, &contents);
+        assert_eq!(resident, [SubtaskId::new(0)].into_iter().collect());
+    }
+
+    #[test]
+    fn only_the_first_subtask_of_a_slot_can_reuse_residual_contents() {
+        let (g, schedule, platform) = simple();
+        let mut contents = TileContents::new(platform.tile_count());
+        // Tile 0 holds the configuration of subtask c, which runs *second* on
+        // slot 0: the residual content is overwritten by a's load first.
+        contents.record_load(TileId::new(0), ConfigId::new(12), Time::from_millis(1));
+        let mapping = TileMapping::identity(schedule.slot_count());
+        assert!(reusable_subtasks(&g, &schedule, &mapping, &contents).is_empty());
+    }
+
+    #[test]
+    fn contents_track_loads_uses_and_lru_times() {
+        let mut contents = TileContents::new(3);
+        assert_eq!(contents.tile_count(), 3);
+        assert_eq!(contents.config_on(TileId::new(0)), None);
+        contents.record_load(TileId::new(0), ConfigId::new(5), Time::from_millis(10));
+        contents.record_use(TileId::new(0), Time::from_millis(25));
+        assert_eq!(contents.config_on(TileId::new(0)), Some(ConfigId::new(5)));
+        assert_eq!(contents.last_used(TileId::new(0)), Time::from_millis(25));
+        assert_eq!(contents.tiles_holding(ConfigId::new(5)), vec![TileId::new(0)]);
+        // Stale timestamps never move backwards.
+        contents.record_use(TileId::new(0), Time::from_millis(1));
+        assert_eq!(contents.last_used(TileId::new(0)), Time::from_millis(25));
+        contents.clear();
+        assert_eq!(contents.config_on(TileId::new(0)), None);
+    }
+
+    #[test]
+    fn apply_schedule_leaves_the_last_configuration_of_each_slot() {
+        let (g, schedule, platform) = simple();
+        let mut contents = TileContents::new(platform.tile_count());
+        let mapping = TileMapping::identity(schedule.slot_count());
+        apply_schedule_to_contents(&g, &schedule, &mapping, &mut contents, Time::from_millis(15));
+        // Slot 0 executed a then c: tile 0 ends with c's configuration.
+        assert_eq!(contents.config_on(TileId::new(0)), Some(ConfigId::new(12)));
+        assert_eq!(contents.config_on(TileId::new(1)), Some(ConfigId::new(11)));
+        assert_eq!(contents.last_used(TileId::new(0)), Time::from_millis(15));
+        // Running the same task again now reuses slot 1's configuration (slot 0
+        // needs a's configuration which was overwritten by c's).
+        let resident = reusable_subtasks(&g, &schedule, &mapping, &contents);
+        assert_eq!(resident, [SubtaskId::new(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn tile_mapping_accessors() {
+        let mapping = TileMapping::new(vec![TileId::new(3), TileId::new(1)]);
+        assert_eq!(mapping.slot_count(), 2);
+        assert_eq!(mapping.tile_of(TileSlot::new(0)), TileId::new(3));
+        let pairs: Vec<_> = mapping.iter().collect();
+        assert_eq!(pairs, vec![(TileSlot::new(0), TileId::new(3)), (TileSlot::new(1), TileId::new(1))]);
+        let ident = TileMapping::identity(3);
+        assert_eq!(ident.tile_of(TileSlot::new(2)), TileId::new(2));
+    }
+}

@@ -1,0 +1,247 @@
+//! Graph timing analysis: ASAP/ALAP levels and criticality weights.
+//!
+//! The design-time phase of the hybrid heuristic ranks subtasks by *weight*:
+//! "the longest path (in terms of execution time) from the beginning of the
+//! execution of the subtask to the end of the execution of the whole graph
+//! with an As-Late-As-Possible schedule" (paper, §5). That quantity is the
+//! classic *bottom level* of the node, so subtasks on the critical path always
+//! carry the largest weights.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::graph::SubtaskGraph;
+use crate::ids::SubtaskId;
+use crate::time::Time;
+
+/// Precedence-only timing analysis of a [`SubtaskGraph`].
+///
+/// All quantities ignore resource constraints (number of tiles, the
+/// reconfiguration port): they describe the data-flow structure of the graph,
+/// which is what the criticality weights of the paper are defined on.
+///
+/// # Examples
+///
+/// ```
+/// use drhw_model::{ConfigId, GraphAnalysis, Subtask, SubtaskGraph, Time};
+///
+/// # fn main() -> Result<(), drhw_model::ModelError> {
+/// let mut g = SubtaskGraph::new("chain");
+/// let a = g.add_subtask(Subtask::new("a", Time::from_millis(2), ConfigId::new(0)));
+/// let b = g.add_subtask(Subtask::new("b", Time::from_millis(3), ConfigId::new(1)));
+/// g.add_dependency(a, b)?;
+/// let analysis = GraphAnalysis::new(&g)?;
+/// assert_eq!(analysis.critical_path(), Time::from_millis(5));
+/// assert_eq!(analysis.weight(a), Time::from_millis(5));
+/// assert_eq!(analysis.weight(b), Time::from_millis(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphAnalysis {
+    topological: Vec<SubtaskId>,
+    asap_start: Vec<Time>,
+    alap_start: Vec<Time>,
+    bottom_level: Vec<Time>,
+    critical_path: Time,
+}
+
+impl GraphAnalysis {
+    /// Analyses a graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyGraph`] for an empty graph and
+    /// [`ModelError::CyclicGraph`] if the precedence constraints are cyclic.
+    pub fn new(graph: &SubtaskGraph) -> Result<Self, ModelError> {
+        if graph.is_empty() {
+            return Err(ModelError::EmptyGraph);
+        }
+        let topological = graph.topological_order()?;
+        let n = graph.len();
+
+        // Forward sweep: earliest (ASAP) start times under precedence only.
+        let mut asap_start = vec![Time::ZERO; n];
+        for &id in &topological {
+            let ready = graph
+                .predecessors(id)
+                .iter()
+                .map(|&p| asap_start[p.index()] + graph.subtask(p).exec_time())
+                .max()
+                .unwrap_or(Time::ZERO);
+            asap_start[id.index()] = ready;
+        }
+        let critical_path = topological
+            .iter()
+            .map(|&id| asap_start[id.index()] + graph.subtask(id).exec_time())
+            .max()
+            .unwrap_or(Time::ZERO);
+
+        // Backward sweep: bottom levels (weight of the paper) and ALAP starts.
+        let mut bottom_level = vec![Time::ZERO; n];
+        for &id in topological.iter().rev() {
+            let tail = graph
+                .successors(id)
+                .iter()
+                .map(|&s| bottom_level[s.index()])
+                .max()
+                .unwrap_or(Time::ZERO);
+            bottom_level[id.index()] = graph.subtask(id).exec_time() + tail;
+        }
+        let alap_start: Vec<Time> =
+            (0..n).map(|i| critical_path - bottom_level[i]).collect();
+
+        Ok(GraphAnalysis { topological, asap_start, alap_start, bottom_level, critical_path })
+    }
+
+    /// The topological order used by the sweeps (deterministic).
+    pub fn topological_order(&self) -> &[SubtaskId] {
+        &self.topological
+    }
+
+    /// Earliest possible start time of a subtask under precedence constraints.
+    pub fn asap_start(&self, id: SubtaskId) -> Time {
+        self.asap_start[id.index()]
+    }
+
+    /// Latest start time of a subtask that still allows the graph to finish in
+    /// its critical-path length.
+    pub fn alap_start(&self, id: SubtaskId) -> Time {
+        self.alap_start[id.index()]
+    }
+
+    /// The *weight* of a subtask as defined by the paper: the longest path
+    /// from the start of this subtask's execution to the end of the graph.
+    ///
+    /// Equivalent to the node's bottom level (its own execution time plus the
+    /// heaviest chain of successors).
+    pub fn weight(&self, id: SubtaskId) -> Time {
+        self.bottom_level[id.index()]
+    }
+
+    /// Length of the critical path (the precedence-only makespan with
+    /// unlimited resources and zero reconfiguration overhead).
+    pub fn critical_path(&self) -> Time {
+        self.critical_path
+    }
+
+    /// Slack of a subtask: how much its start may slip past ASAP without
+    /// stretching the critical path.
+    pub fn slack(&self, id: SubtaskId) -> Time {
+        self.alap_start[id.index()].saturating_sub(self.asap_start[id.index()])
+    }
+
+    /// Returns `true` if the subtask lies on a critical path (zero slack).
+    pub fn is_on_critical_path(&self, id: SubtaskId) -> bool {
+        self.slack(id).is_zero()
+    }
+
+    /// Subtask ids sorted by decreasing weight (ties broken by id for
+    /// determinism). This is the priority order used by the list scheduler and
+    /// by the initialization phase of the hybrid heuristic.
+    pub fn ids_by_weight_desc(&self) -> Vec<SubtaskId> {
+        let mut ids: Vec<SubtaskId> = (0..self.bottom_level.len()).map(SubtaskId::new).collect();
+        ids.sort_by(|a, b| {
+            self.bottom_level[b.index()]
+                .cmp(&self.bottom_level[a.index()])
+                .then(a.index().cmp(&b.index()))
+        });
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ConfigId;
+    use crate::subtask::Subtask;
+
+    fn st(name: &str, ms: u64) -> Subtask {
+        Subtask::new(name, Time::from_millis(ms), ConfigId::new(0))
+    }
+
+    /// The 4-subtask example of Fig. 3: 1 -> 2, 1 -> 3, 3 -> 4.
+    fn fig3_graph() -> (SubtaskGraph, [SubtaskId; 4]) {
+        let mut g = SubtaskGraph::new("fig3");
+        let s1 = g.add_subtask(st("1", 10));
+        let s2 = g.add_subtask(st("2", 8));
+        let s3 = g.add_subtask(st("3", 6));
+        let s4 = g.add_subtask(st("4", 9));
+        g.add_dependency(s1, s2).unwrap();
+        g.add_dependency(s1, s3).unwrap();
+        g.add_dependency(s3, s4).unwrap();
+        (g, [s1, s2, s3, s4])
+    }
+
+    #[test]
+    fn asap_starts_follow_precedence() {
+        let (g, [s1, s2, s3, s4]) = fig3_graph();
+        let a = GraphAnalysis::new(&g).unwrap();
+        assert_eq!(a.asap_start(s1), Time::ZERO);
+        assert_eq!(a.asap_start(s2), Time::from_millis(10));
+        assert_eq!(a.asap_start(s3), Time::from_millis(10));
+        assert_eq!(a.asap_start(s4), Time::from_millis(16));
+        assert_eq!(a.critical_path(), Time::from_millis(25));
+    }
+
+    #[test]
+    fn weights_are_bottom_levels() {
+        let (g, [s1, s2, s3, s4]) = fig3_graph();
+        let a = GraphAnalysis::new(&g).unwrap();
+        assert_eq!(a.weight(s4), Time::from_millis(9));
+        assert_eq!(a.weight(s3), Time::from_millis(15));
+        assert_eq!(a.weight(s2), Time::from_millis(8));
+        assert_eq!(a.weight(s1), Time::from_millis(25));
+    }
+
+    #[test]
+    fn alap_and_slack_are_consistent() {
+        let (g, [s1, s2, s3, s4]) = fig3_graph();
+        let a = GraphAnalysis::new(&g).unwrap();
+        // Critical path is 1 -> 3 -> 4.
+        assert!(a.is_on_critical_path(s1));
+        assert!(a.is_on_critical_path(s3));
+        assert!(a.is_on_critical_path(s4));
+        assert!(!a.is_on_critical_path(s2));
+        assert_eq!(a.slack(s2), Time::from_millis(7));
+        assert_eq!(a.alap_start(s2), Time::from_millis(17));
+        for id in g.ids() {
+            assert!(a.alap_start(id) >= a.asap_start(id));
+        }
+    }
+
+    #[test]
+    fn weight_ordering_puts_critical_path_first() {
+        let (g, [s1, s2, s3, s4]) = fig3_graph();
+        let a = GraphAnalysis::new(&g).unwrap();
+        assert_eq!(a.ids_by_weight_desc(), vec![s1, s3, s4, s2]);
+    }
+
+    #[test]
+    fn single_node_graph_is_its_own_critical_path() {
+        let mut g = SubtaskGraph::new("single");
+        let only = g.add_subtask(st("only", 7));
+        let a = GraphAnalysis::new(&g).unwrap();
+        assert_eq!(a.critical_path(), Time::from_millis(7));
+        assert_eq!(a.weight(only), Time::from_millis(7));
+        assert_eq!(a.slack(only), Time::ZERO);
+    }
+
+    #[test]
+    fn parallel_independent_nodes_all_have_full_weight_of_themselves() {
+        let mut g = SubtaskGraph::new("parallel");
+        let a_id = g.add_subtask(st("a", 5));
+        let b_id = g.add_subtask(st("b", 3));
+        let a = GraphAnalysis::new(&g).unwrap();
+        assert_eq!(a.critical_path(), Time::from_millis(5));
+        assert_eq!(a.weight(a_id), Time::from_millis(5));
+        assert_eq!(a.weight(b_id), Time::from_millis(3));
+        assert_eq!(a.slack(b_id), Time::from_millis(2));
+    }
+
+    #[test]
+    fn empty_graph_is_an_error() {
+        let g = SubtaskGraph::new("empty");
+        assert_eq!(GraphAnalysis::new(&g).unwrap_err(), ModelError::EmptyGraph);
+    }
+}

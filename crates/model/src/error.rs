@@ -1,0 +1,135 @@
+//! Error types for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{SubtaskId, TileSlot};
+
+/// Errors produced when building or validating graphs, schedules and platforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An edge references a subtask id that does not exist in the graph.
+    UnknownSubtask {
+        /// The offending id.
+        id: SubtaskId,
+        /// Number of subtasks in the graph.
+        len: usize,
+    },
+    /// An edge would connect a subtask to itself.
+    SelfDependency {
+        /// The subtask that would depend on itself.
+        id: SubtaskId,
+    },
+    /// The same precedence edge was added twice.
+    DuplicateEdge {
+        /// Source of the edge.
+        from: SubtaskId,
+        /// Destination of the edge.
+        to: SubtaskId,
+    },
+    /// The dependence relation contains a cycle, so no schedule exists.
+    CyclicGraph,
+    /// A schedule does not cover every subtask exactly once.
+    IncompleteSchedule {
+        /// A subtask missing from (or duplicated in) the schedule.
+        id: SubtaskId,
+    },
+    /// The per-PE execution orders contradict the precedence constraints.
+    InconsistentOrder {
+        /// A subtask involved in the contradiction.
+        id: SubtaskId,
+    },
+    /// A subtask was assigned to a processing element of the wrong class
+    /// (a DRHW subtask to an ISP or vice versa).
+    PeClassMismatch {
+        /// The misassigned subtask.
+        id: SubtaskId,
+    },
+    /// A schedule uses more abstract tile slots than the platform has tiles.
+    NotEnoughTiles {
+        /// Slots required by the schedule.
+        required: usize,
+        /// Tiles available on the platform.
+        available: usize,
+    },
+    /// A schedule references an abstract tile slot outside its declared range.
+    UnknownTileSlot {
+        /// The offending slot.
+        slot: TileSlot,
+    },
+    /// A platform was described with zero DRHW tiles.
+    EmptyPlatform,
+    /// A graph has no subtasks, so scheduling it is meaningless.
+    EmptyGraph,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownSubtask { id, len } => {
+                write!(f, "subtask {id} is out of range for a graph with {len} subtasks")
+            }
+            ModelError::SelfDependency { id } => {
+                write!(f, "subtask {id} cannot depend on itself")
+            }
+            ModelError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate precedence edge {from} -> {to}")
+            }
+            ModelError::CyclicGraph => write!(f, "precedence constraints contain a cycle"),
+            ModelError::IncompleteSchedule { id } => {
+                write!(f, "schedule does not cover subtask {id} exactly once")
+            }
+            ModelError::InconsistentOrder { id } => {
+                write!(f, "per-PE order around subtask {id} contradicts the precedence constraints")
+            }
+            ModelError::PeClassMismatch { id } => {
+                write!(f, "subtask {id} is assigned to a processing element of the wrong class")
+            }
+            ModelError::NotEnoughTiles { required, available } => {
+                write!(f, "schedule needs {required} tile slots but the platform has {available} tiles")
+            }
+            ModelError::UnknownTileSlot { slot } => {
+                write!(f, "schedule references undeclared tile slot {slot}")
+            }
+            ModelError::EmptyPlatform => write!(f, "platform must contain at least one DRHW tile"),
+            ModelError::EmptyGraph => write!(f, "subtask graph contains no subtasks"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModelError::UnknownSubtask { id: SubtaskId::new(5), len: 3 };
+        assert_eq!(e.to_string(), "subtask st5 is out of range for a graph with 3 subtasks");
+        let e = ModelError::CyclicGraph;
+        assert!(e.to_string().contains("cycle"));
+        let e = ModelError::NotEnoughTiles { required: 8, available: 4 };
+        assert!(e.to_string().contains("8"));
+        assert!(e.to_string().contains("4"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            ModelError::SelfDependency { id: SubtaskId::new(1) },
+            ModelError::SelfDependency { id: SubtaskId::new(1) }
+        );
+        assert_ne!(
+            ModelError::SelfDependency { id: SubtaskId::new(1) },
+            ModelError::SelfDependency { id: SubtaskId::new(2) }
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! Directed acyclic graphs of subtasks.
+//!
+//! A [`SubtaskGraph`] is the unit the TCM design-time scheduler and every
+//! prefetch heuristic operate on: nodes are [`Subtask`]s, edges are precedence
+//! (data-dependence) constraints. The graph owns its nodes and stores both
+//! successor and predecessor adjacency so the forward sweep (ASAP/executor)
+//! and the backward sweep (ALAP/criticality weights) are equally cheap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::ids::{ConfigId, PeClass, SubtaskId};
+use crate::subtask::Subtask;
+use crate::time::Time;
+
+/// A directed acyclic graph of subtasks with precedence edges.
+///
+/// # Examples
+///
+/// ```
+/// use drhw_model::{ConfigId, Subtask, SubtaskGraph, Time};
+///
+/// # fn main() -> Result<(), drhw_model::ModelError> {
+/// let mut graph = SubtaskGraph::new("jpeg");
+/// let huff = graph.add_subtask(Subtask::new("huffman", Time::from_millis(20), ConfigId::new(0)));
+/// let iq = graph.add_subtask(Subtask::new("iq", Time::from_millis(15), ConfigId::new(1)));
+/// graph.add_dependency(huff, iq)?;
+/// assert_eq!(graph.len(), 2);
+/// assert_eq!(graph.topological_order()?, vec![huff, iq]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubtaskGraph {
+    name: String,
+    subtasks: Vec<Subtask>,
+    succs: Vec<Vec<SubtaskId>>,
+    preds: Vec<Vec<SubtaskId>>,
+}
+
+impl SubtaskGraph {
+    /// Creates an empty graph with a human-readable name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SubtaskGraph { name: name.into(), subtasks: Vec::new(), succs: Vec::new(), preds: Vec::new() }
+    }
+
+    /// The graph's name (usually the task or scenario it belongs to).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a subtask and returns its dense identifier.
+    pub fn add_subtask(&mut self, subtask: Subtask) -> SubtaskId {
+        let id = SubtaskId::new(self.subtasks.len());
+        self.subtasks.push(subtask);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds a precedence edge `from -> to` (`to` cannot start before `from`
+    /// finishes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownSubtask`] if either endpoint does not
+    /// exist, [`ModelError::SelfDependency`] if `from == to`, and
+    /// [`ModelError::DuplicateEdge`] if the edge already exists. Cycles are
+    /// only detected by [`SubtaskGraph::validate`] /
+    /// [`SubtaskGraph::topological_order`], because detecting them per edge
+    /// would make incremental construction quadratic.
+    pub fn add_dependency(&mut self, from: SubtaskId, to: SubtaskId) -> Result<(), ModelError> {
+        self.check_id(from)?;
+        self.check_id(to)?;
+        if from == to {
+            return Err(ModelError::SelfDependency { id: from });
+        }
+        if self.succs[from.index()].contains(&to) {
+            return Err(ModelError::DuplicateEdge { from, to });
+        }
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        Ok(())
+    }
+
+    fn check_id(&self, id: SubtaskId) -> Result<(), ModelError> {
+        if id.index() < self.subtasks.len() {
+            Ok(())
+        } else {
+            Err(ModelError::UnknownSubtask { id, len: self.subtasks.len() })
+        }
+    }
+
+    /// Number of subtasks in the graph.
+    pub fn len(&self) -> usize {
+        self.subtasks.len()
+    }
+
+    /// Returns `true` if the graph has no subtasks.
+    pub fn is_empty(&self) -> bool {
+        self.subtasks.is_empty()
+    }
+
+    /// Returns the subtask with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; ids handed out by
+    /// [`SubtaskGraph::add_subtask`] are always valid.
+    pub fn subtask(&self, id: SubtaskId) -> &Subtask {
+        &self.subtasks[id.index()]
+    }
+
+    /// Fallible lookup of a subtask.
+    pub fn get(&self, id: SubtaskId) -> Option<&Subtask> {
+        self.subtasks.get(id.index())
+    }
+
+    /// Iterates over `(id, subtask)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SubtaskId, &Subtask)> + '_ {
+        self.subtasks.iter().enumerate().map(|(i, s)| (SubtaskId::new(i), s))
+    }
+
+    /// Iterates over all subtask ids in id order.
+    pub fn ids(&self) -> impl Iterator<Item = SubtaskId> + '_ {
+        (0..self.subtasks.len()).map(SubtaskId::new)
+    }
+
+    /// Direct predecessors (dependencies) of a subtask.
+    pub fn predecessors(&self, id: SubtaskId) -> &[SubtaskId] {
+        &self.preds[id.index()]
+    }
+
+    /// Direct successors (dependents) of a subtask.
+    pub fn successors(&self, id: SubtaskId) -> &[SubtaskId] {
+        &self.succs[id.index()]
+    }
+
+    /// Iterates over every precedence edge as `(from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = (SubtaskId, SubtaskId)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(from, tos)| tos.iter().map(move |&to| (SubtaskId::new(from), to)))
+    }
+
+    /// Number of precedence edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Subtasks with no predecessors.
+    pub fn sources(&self) -> Vec<SubtaskId> {
+        self.ids().filter(|id| self.preds[id.index()].is_empty()).collect()
+    }
+
+    /// Subtasks with no successors.
+    pub fn sinks(&self) -> Vec<SubtaskId> {
+        self.ids().filter(|id| self.succs[id.index()].is_empty()).collect()
+    }
+
+    /// Ids of all subtasks mapped on reconfigurable hardware (the ones that may
+    /// require configuration loads).
+    pub fn drhw_subtasks(&self) -> Vec<SubtaskId> {
+        self.iter().filter(|(_, s)| s.pe_class() == PeClass::Drhw).map(|(id, _)| id).collect()
+    }
+
+    /// The configuration required by a subtask, or `None` for ISP subtasks.
+    pub fn required_config(&self, id: SubtaskId) -> Option<ConfigId> {
+        let s = self.subtask(id);
+        s.needs_configuration().then(|| s.config())
+    }
+
+    /// Sum of all subtask execution times (a lower bound on any single-PE
+    /// schedule and the numerator of utilisation metrics).
+    pub fn total_exec_time(&self) -> Time {
+        self.subtasks.iter().map(Subtask::exec_time).sum()
+    }
+
+    /// Total execution energy of the graph in millijoule.
+    pub fn total_exec_energy_mj(&self) -> f64 {
+        self.subtasks.iter().map(Subtask::exec_energy_mj).sum()
+    }
+
+    /// Checks structural invariants: the graph is non-empty and acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyGraph`] or [`ModelError::CyclicGraph`].
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.is_empty() {
+            return Err(ModelError::EmptyGraph);
+        }
+        self.topological_order().map(|_| ())
+    }
+
+    /// Returns a topological order of the subtasks (Kahn's algorithm).
+    ///
+    /// Ties are broken by subtask id so the order is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CyclicGraph`] if the precedence constraints
+    /// contain a cycle.
+    pub fn topological_order(&self) -> Result<Vec<SubtaskId>, ModelError> {
+        let n = self.subtasks.len();
+        let mut in_degree: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        // A sorted frontier keeps the order deterministic and id-monotone among ready nodes.
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&i| in_degree[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(i)) = ready.pop() {
+            order.push(SubtaskId::new(i));
+            for &succ in &self.succs[i] {
+                in_degree[succ.index()] -= 1;
+                if in_degree[succ.index()] == 0 {
+                    ready.push(std::cmp::Reverse(succ.index()));
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(ModelError::CyclicGraph)
+        }
+    }
+
+    /// Returns `true` if `ancestor` reaches `descendant` through precedence
+    /// edges (transitively). A node does not reach itself.
+    pub fn reaches(&self, ancestor: SubtaskId, descendant: SubtaskId) -> bool {
+        if ancestor == descendant {
+            return false;
+        }
+        let mut stack = vec![ancestor];
+        let mut seen = vec![false; self.subtasks.len()];
+        while let Some(node) = stack.pop() {
+            for &succ in &self.succs[node.index()] {
+                if succ == descendant {
+                    return true;
+                }
+                if !seen[succ.index()] {
+                    seen[succ.index()] = true;
+                    stack.push(succ);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ConfigId;
+
+    fn subtask(name: &str, ms: u64) -> Subtask {
+        Subtask::new(name, Time::from_millis(ms), ConfigId::new(ms as usize))
+    }
+
+    fn diamond() -> (SubtaskGraph, [SubtaskId; 4]) {
+        let mut g = SubtaskGraph::new("diamond");
+        let a = g.add_subtask(subtask("a", 1));
+        let b = g.add_subtask(subtask("b", 2));
+        let c = g.add_subtask(subtask("c", 3));
+        let d = g.add_subtask(subtask("d", 4));
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(a, c).unwrap();
+        g.add_dependency(b, d).unwrap();
+        g.add_dependency(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn add_subtask_returns_dense_ids() {
+        let mut g = SubtaskGraph::new("t");
+        assert_eq!(g.add_subtask(subtask("x", 1)), SubtaskId::new(0));
+        assert_eq!(g.add_subtask(subtask("y", 1)), SubtaskId::new(1));
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn adjacency_is_tracked_in_both_directions() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.successors(a), &[b, c]);
+        assert_eq!(g.predecessors(d), &[b, c]);
+        assert_eq!(g.predecessors(a), &[] as &[SubtaskId]);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+    }
+
+    #[test]
+    fn invalid_edges_are_rejected() {
+        let mut g = SubtaskGraph::new("t");
+        let a = g.add_subtask(subtask("a", 1));
+        let b = g.add_subtask(subtask("b", 1));
+        assert_eq!(
+            g.add_dependency(a, SubtaskId::new(9)),
+            Err(ModelError::UnknownSubtask { id: SubtaskId::new(9), len: 2 })
+        );
+        assert_eq!(g.add_dependency(a, a), Err(ModelError::SelfDependency { id: a }));
+        g.add_dependency(a, b).unwrap();
+        assert_eq!(g.add_dependency(a, b), Err(ModelError::DuplicateEdge { from: a, to: b }));
+    }
+
+    #[test]
+    fn topological_order_is_valid_and_deterministic() {
+        let (g, [a, b, c, d]) = diamond();
+        let order = g.topological_order().unwrap();
+        assert_eq!(order, vec![a, b, c, d]);
+        let pos: Vec<usize> = (0..4).map(|i| order.iter().position(|x| x.index() == i).unwrap()).collect();
+        for (from, to) in g.edges() {
+            assert!(pos[from.index()] < pos[to.index()]);
+        }
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut g = SubtaskGraph::new("cyclic");
+        let a = g.add_subtask(subtask("a", 1));
+        let b = g.add_subtask(subtask("b", 1));
+        let c = g.add_subtask(subtask("c", 1));
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, c).unwrap();
+        g.add_dependency(c, a).unwrap();
+        assert_eq!(g.topological_order(), Err(ModelError::CyclicGraph));
+        assert_eq!(g.validate(), Err(ModelError::CyclicGraph));
+    }
+
+    #[test]
+    fn empty_graph_fails_validation() {
+        let g = SubtaskGraph::new("empty");
+        assert_eq!(g.validate(), Err(ModelError::EmptyGraph));
+    }
+
+    #[test]
+    fn totals_sum_over_all_subtasks() {
+        let (g, _) = diamond();
+        assert_eq!(g.total_exec_time(), Time::from_millis(10));
+        assert!((g.total_exec_energy_mj() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drhw_subtasks_filters_by_pe_class() {
+        let mut g = SubtaskGraph::new("mixed");
+        let a = g.add_subtask(subtask("hw", 1));
+        let _b = g.add_subtask(subtask("sw", 2).with_pe_class(PeClass::Isp));
+        let c = g.add_subtask(subtask("hw2", 3));
+        assert_eq!(g.drhw_subtasks(), vec![a, c]);
+        assert_eq!(g.required_config(a), Some(ConfigId::new(1)));
+        assert_eq!(g.required_config(SubtaskId::new(1)), None);
+    }
+
+    #[test]
+    fn reachability_follows_transitive_edges() {
+        let (g, [a, b, c, d]) = diamond();
+        assert!(g.reaches(a, d));
+        assert!(g.reaches(a, b));
+        assert!(!g.reaches(b, c));
+        assert!(!g.reaches(d, a));
+        assert!(!g.reaches(a, a));
+    }
+
+    #[test]
+    fn iter_and_ids_cover_every_subtask_once() {
+        let (g, _) = diamond();
+        assert_eq!(g.iter().count(), 4);
+        assert_eq!(g.ids().count(), 4);
+        let names: Vec<&str> = g.iter().map(|(_, s)| s.name()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Strongly typed identifiers.
+//!
+//! The scheduling flow juggles several different index spaces: subtasks within
+//! a graph, tasks within an application set, scenarios within a task, abstract
+//! tile *slots* within a schedule, physical tiles on the platform, ISPs, and
+//! configuration bitstreams. Mixing these up is the classic source of subtle
+//! scheduling bugs, so each space gets its own newtype ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Creates a new identifier from a raw index.
+            pub const fn new(index: usize) -> Self {
+                $name(index)
+            }
+
+            /// Returns the raw index backing this identifier.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                $name(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Index of a subtask within one [`SubtaskGraph`](crate::SubtaskGraph).
+    ///
+    /// Subtask ids are dense: the `n`-th subtask added to a graph gets id `n`.
+    SubtaskId,
+    "st"
+);
+
+id_newtype!(
+    /// Identifier of a task (one node of the application-level task set).
+    TaskId,
+    "task"
+);
+
+id_newtype!(
+    /// Identifier of a scenario (one behaviour variant / graph version of a task).
+    ScenarioId,
+    "sc"
+);
+
+id_newtype!(
+    /// An *abstract* DRHW tile slot used by an initial schedule.
+    ///
+    /// The design-time scheduler assigns subtasks to interchangeable abstract
+    /// slots; the replacement module later maps slots to concrete
+    /// [`TileId`]s to maximise configuration reuse.
+    TileSlot,
+    "slot"
+);
+
+id_newtype!(
+    /// A physical DRHW tile of the platform (one independently reconfigurable
+    /// region wrapped by an ICN communication interface).
+    TileId,
+    "tile"
+);
+
+id_newtype!(
+    /// An embedded instruction-set processor of the platform.
+    IspId,
+    "isp"
+);
+
+id_newtype!(
+    /// A configuration bitstream identity.
+    ///
+    /// Two subtasks with equal `ConfigId` can reuse each other's loaded
+    /// configuration; distinct ids always require a reconfiguration.
+    ConfigId,
+    "cfg"
+);
+
+/// The processing element class a subtask may execute on.
+///
+/// Only DRHW subtasks require configuration loads; ISP subtasks never do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeClass {
+    /// Runs on a dynamically reconfigurable tile and needs its configuration
+    /// loaded before execution.
+    Drhw,
+    /// Runs on an embedded instruction-set processor; no load required.
+    Isp,
+}
+
+impl fmt::Display for PeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeClass::Drhw => write!(f, "DRHW"),
+            PeClass::Isp => write!(f, "ISP"),
+        }
+    }
+}
+
+/// A processing element assignment used by an initial schedule: either an
+/// abstract DRHW tile slot or an ISP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PeAssignment {
+    /// Assigned to an abstract DRHW tile slot.
+    Tile(TileSlot),
+    /// Assigned to an instruction-set processor.
+    Isp(IspId),
+}
+
+impl PeAssignment {
+    /// Returns the PE class of this assignment.
+    pub fn class(self) -> PeClass {
+        match self {
+            PeAssignment::Tile(_) => PeClass::Drhw,
+            PeAssignment::Isp(_) => PeClass::Isp,
+        }
+    }
+
+    /// Returns the tile slot if this is a DRHW assignment.
+    pub fn tile_slot(self) -> Option<TileSlot> {
+        match self {
+            PeAssignment::Tile(slot) => Some(slot),
+            PeAssignment::Isp(_) => None,
+        }
+    }
+
+    /// Returns `true` if this assignment targets reconfigurable hardware.
+    pub fn is_drhw(self) -> bool {
+        matches!(self, PeAssignment::Tile(_))
+    }
+}
+
+impl fmt::Display for PeAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeAssignment::Tile(slot) => write!(f, "{slot}"),
+            PeAssignment::Isp(isp) => write!(f, "{isp}"),
+        }
+    }
+}
+
+impl From<TileSlot> for PeAssignment {
+    fn from(slot: TileSlot) -> Self {
+        PeAssignment::Tile(slot)
+    }
+}
+
+impl From<IspId> for PeAssignment {
+    fn from(isp: IspId) -> Self {
+        PeAssignment::Isp(isp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trips_through_usize() {
+        let id = SubtaskId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(SubtaskId::from(7usize), id);
+    }
+
+    #[test]
+    fn ids_display_with_prefixes() {
+        assert_eq!(SubtaskId::new(3).to_string(), "st3");
+        assert_eq!(TaskId::new(1).to_string(), "task1");
+        assert_eq!(TileId::new(2).to_string(), "tile2");
+        assert_eq!(TileSlot::new(0).to_string(), "slot0");
+        assert_eq!(ConfigId::new(9).to_string(), "cfg9");
+        assert_eq!(IspId::new(4).to_string(), "isp4");
+        assert_eq!(ScenarioId::new(5).to_string(), "sc5");
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        // This is a compile-time property; the test documents the intent by
+        // exercising the types in separate collections.
+        let subtasks = vec![SubtaskId::new(0), SubtaskId::new(1)];
+        let tiles = vec![TileId::new(0), TileId::new(1)];
+        assert_eq!(subtasks.len(), tiles.len());
+    }
+
+    #[test]
+    fn pe_assignment_classification() {
+        let drhw = PeAssignment::Tile(TileSlot::new(2));
+        let isp = PeAssignment::Isp(IspId::new(0));
+        assert!(drhw.is_drhw());
+        assert!(!isp.is_drhw());
+        assert_eq!(drhw.class(), PeClass::Drhw);
+        assert_eq!(isp.class(), PeClass::Isp);
+        assert_eq!(drhw.tile_slot(), Some(TileSlot::new(2)));
+        assert_eq!(isp.tile_slot(), None);
+    }
+
+    #[test]
+    fn pe_assignment_from_conversions() {
+        let a: PeAssignment = TileSlot::new(1).into();
+        let b: PeAssignment = IspId::new(3).into();
+        assert_eq!(a, PeAssignment::Tile(TileSlot::new(1)));
+        assert_eq!(b, PeAssignment::Isp(IspId::new(3)));
+    }
+
+    #[test]
+    fn pe_class_display() {
+        assert_eq!(PeClass::Drhw.to_string(), "DRHW");
+        assert_eq!(PeClass::Isp.to_string(), "ISP");
+        assert_eq!(PeAssignment::Tile(TileSlot::new(0)).to_string(), "slot0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        let mut v = vec![SubtaskId::new(4), SubtaskId::new(1), SubtaskId::new(3)];
+        v.sort();
+        assert_eq!(v, vec![SubtaskId::new(1), SubtaskId::new(3), SubtaskId::new(4)]);
+    }
+}

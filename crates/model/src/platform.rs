@@ -1,0 +1,177 @@
+//! The DRHW platform model (the ICN tile model of the paper).
+//!
+//! The platform is an FPGA split into a set of identical, independently
+//! reconfigurable tiles behind an interconnection network, optionally coupled
+//! with embedded instruction-set processors. One shared reconfiguration
+//! controller loads configurations one at a time; each load takes the same
+//! latency on every tile (the tiles are identical by construction).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::time::Time;
+
+/// Description of a reconfigurable platform.
+///
+/// # Examples
+///
+/// ```
+/// use drhw_model::{Platform, Time};
+///
+/// # fn main() -> Result<(), drhw_model::ModelError> {
+/// let platform = Platform::new(8, Time::from_millis(4))?;
+/// assert_eq!(platform.tile_count(), 8);
+/// assert_eq!(platform.reconfig_latency(), Time::from_millis(4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    tile_count: usize,
+    reconfig_latency: Time,
+    isp_count: usize,
+    reconfig_energy_mj: f64,
+}
+
+impl Platform {
+    /// Reconfiguration latency of roughly one tenth of a Virtex XC2V6000,
+    /// the figure the paper quotes (4 ms).
+    pub const VIRTEX_TILE_LATENCY: Time = Time::from_millis(4);
+
+    /// Default energy cost of one reconfiguration in millijoule.
+    ///
+    /// Only the *relative* energy of cancelled loads matters to the
+    /// experiments; the constant gives reuse statistics a physical flavour.
+    pub const DEFAULT_RECONFIG_ENERGY_MJ: f64 = 2.0;
+
+    /// Creates a platform with `tile_count` identical DRHW tiles and the given
+    /// per-tile reconfiguration latency. No ISPs are included by default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyPlatform`] if `tile_count` is zero.
+    pub fn new(tile_count: usize, reconfig_latency: Time) -> Result<Self, ModelError> {
+        if tile_count == 0 {
+            return Err(ModelError::EmptyPlatform);
+        }
+        Ok(Platform {
+            tile_count,
+            reconfig_latency,
+            isp_count: 0,
+            reconfig_energy_mj: Self::DEFAULT_RECONFIG_ENERGY_MJ,
+        })
+    }
+
+    /// Creates a Virtex-II-like platform: `tile_count` tiles, 4 ms latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyPlatform`] if `tile_count` is zero.
+    pub fn virtex_like(tile_count: usize) -> Result<Self, ModelError> {
+        Platform::new(tile_count, Self::VIRTEX_TILE_LATENCY)
+    }
+
+    /// Returns a copy of this platform with `isp_count` instruction-set
+    /// processors attached (subtasks of class [`PeClass::Isp`] run there).
+    ///
+    /// [`PeClass::Isp`]: crate::PeClass::Isp
+    #[must_use]
+    pub fn with_isps(mut self, isp_count: usize) -> Self {
+        self.isp_count = isp_count;
+        self
+    }
+
+    /// Returns a copy of this platform with an explicit per-load energy cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_mj` is negative or not finite.
+    #[must_use]
+    pub fn with_reconfig_energy_mj(mut self, energy_mj: f64) -> Self {
+        assert!(
+            energy_mj.is_finite() && energy_mj >= 0.0,
+            "energy must be finite and non-negative, got {energy_mj}"
+        );
+        self.reconfig_energy_mj = energy_mj;
+        self
+    }
+
+    /// Returns a copy of this platform with a different number of tiles.
+    ///
+    /// Convenient for the tile-count sweeps of Figures 6 and 7.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyPlatform`] if `tile_count` is zero.
+    pub fn resized(&self, tile_count: usize) -> Result<Self, ModelError> {
+        if tile_count == 0 {
+            return Err(ModelError::EmptyPlatform);
+        }
+        Ok(Platform { tile_count, ..self.clone() })
+    }
+
+    /// Number of DRHW tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tile_count
+    }
+
+    /// Latency of loading one configuration onto one tile.
+    pub fn reconfig_latency(&self) -> Time {
+        self.reconfig_latency
+    }
+
+    /// Number of instruction-set processors.
+    pub fn isp_count(&self) -> usize {
+        self.isp_count
+    }
+
+    /// Energy cost of one reconfiguration in millijoule.
+    pub fn reconfig_energy_mj(&self) -> f64 {
+        self.reconfig_energy_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_tiles() {
+        assert_eq!(Platform::new(0, Time::from_millis(4)).unwrap_err(), ModelError::EmptyPlatform);
+        assert!(Platform::new(1, Time::ZERO).is_ok());
+    }
+
+    #[test]
+    fn virtex_like_uses_four_millisecond_latency() {
+        let p = Platform::virtex_like(9).unwrap();
+        assert_eq!(p.tile_count(), 9);
+        assert_eq!(p.reconfig_latency(), Time::from_millis(4));
+        assert_eq!(p.isp_count(), 0);
+    }
+
+    #[test]
+    fn builder_style_extensions() {
+        let p = Platform::virtex_like(4)
+            .unwrap()
+            .with_isps(2)
+            .with_reconfig_energy_mj(3.5);
+        assert_eq!(p.isp_count(), 2);
+        assert!((p.reconfig_energy_mj() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resized_keeps_other_parameters() {
+        let p = Platform::virtex_like(8).unwrap().with_isps(1);
+        let q = p.resized(16).unwrap();
+        assert_eq!(q.tile_count(), 16);
+        assert_eq!(q.isp_count(), 1);
+        assert_eq!(q.reconfig_latency(), p.reconfig_latency());
+        assert!(p.resized(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_energy_is_rejected() {
+        let _ = Platform::virtex_like(4).unwrap().with_reconfig_energy_mj(-0.1);
+    }
+}

@@ -1,0 +1,316 @@
+//! Tasks, scenarios and task sets (the TCM application model).
+//!
+//! In TCM an application is a set of *tasks*; each task is a subtask graph.
+//! Non-deterministic behaviour stays outside the task boundaries: when a
+//! task's behaviour depends on external data, one graph per behaviour is
+//! generated and called a *scenario* (e.g. the B, P and I frame variants of
+//! the MPEG encoder). The run-time scheduler identifies the active scenario of
+//! every running task and picks a pre-computed schedule for it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::graph::SubtaskGraph;
+use crate::ids::{ScenarioId, TaskId};
+use crate::time::Time;
+
+/// One behaviour variant of a task: a concrete subtask graph plus the relative
+/// frequency with which the run-time scheduler observes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    id: ScenarioId,
+    name: String,
+    graph: SubtaskGraph,
+    probability: f64,
+}
+
+impl Scenario {
+    /// Creates a scenario wrapping a subtask graph with selection probability 1.
+    pub fn new(id: ScenarioId, graph: SubtaskGraph) -> Self {
+        let name = graph.name().to_string();
+        Scenario { id, name, graph, probability: 1.0 }
+    }
+
+    /// Returns a copy with the given relative selection probability.
+    ///
+    /// Probabilities of the scenarios of one task are normalised by the
+    /// run-time scenario selector, so they only need to be proportional.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is negative or not finite.
+    #[must_use]
+    pub fn with_probability(mut self, probability: f64) -> Self {
+        assert!(
+            probability.is_finite() && probability >= 0.0,
+            "probability must be finite and non-negative, got {probability}"
+        );
+        self.probability = probability;
+        self
+    }
+
+    /// Scenario identifier (unique within its task).
+    pub fn id(&self) -> ScenarioId {
+        self.id
+    }
+
+    /// Scenario name (defaults to the graph name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The subtask graph describing this behaviour.
+    pub fn graph(&self) -> &SubtaskGraph {
+        &self.graph
+    }
+
+    /// Relative selection probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+}
+
+/// A task: a named collection of scenarios sharing an identity and an optional
+/// real-time constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    id: TaskId,
+    name: String,
+    scenarios: Vec<Scenario>,
+    deadline: Option<Time>,
+}
+
+impl Task {
+    /// Creates a task from its scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyGraph`] if `scenarios` is empty or any
+    /// scenario graph fails validation.
+    pub fn new(
+        id: TaskId,
+        name: impl Into<String>,
+        scenarios: Vec<Scenario>,
+    ) -> Result<Self, ModelError> {
+        if scenarios.is_empty() {
+            return Err(ModelError::EmptyGraph);
+        }
+        for scenario in &scenarios {
+            scenario.graph().validate()?;
+        }
+        Ok(Task { id, name: name.into(), scenarios, deadline: None })
+    }
+
+    /// Creates a task with a single scenario built from one graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph fails validation.
+    pub fn single_scenario(
+        id: TaskId,
+        name: impl Into<String>,
+        graph: SubtaskGraph,
+    ) -> Result<Self, ModelError> {
+        Task::new(id, name, vec![Scenario::new(ScenarioId::new(0), graph)])
+    }
+
+    /// Returns a copy with a real-time deadline attached (used by the TCM
+    /// run-time scheduler when picking Pareto points).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Time) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Task identifier.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Task name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scenarios of this task (never empty).
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Looks up a scenario by id.
+    pub fn scenario(&self, id: ScenarioId) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.id() == id)
+    }
+
+    /// Number of scenarios.
+    pub fn scenario_count(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// The real-time deadline, if one was set.
+    pub fn deadline(&self) -> Option<Time> {
+        self.deadline
+    }
+
+    /// Average ideal (critical-path) execution time over scenarios, weighted
+    /// by probability. Useful for reporting.
+    pub fn mean_critical_path(&self) -> Time {
+        let total_prob: f64 = self.scenarios.iter().map(Scenario::probability).sum();
+        if total_prob <= 0.0 {
+            return Time::ZERO;
+        }
+        let mean_micros: f64 = self
+            .scenarios
+            .iter()
+            .filter_map(|s| {
+                crate::GraphAnalysis::new(s.graph())
+                    .ok()
+                    .map(|a| a.critical_path().as_micros() as f64 * s.probability())
+            })
+            .sum::<f64>()
+            / total_prob;
+        Time::from_micros(mean_micros.round() as u64)
+    }
+}
+
+/// A named set of tasks forming the application mix of an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSet {
+    name: String,
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Creates a task set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyGraph`] if `tasks` is empty.
+    pub fn new(name: impl Into<String>, tasks: Vec<Task>) -> Result<Self, ModelError> {
+        if tasks.is_empty() {
+            return Err(ModelError::EmptyGraph);
+        }
+        Ok(TaskSet { name: name.into(), tasks })
+    }
+
+    /// Name of the task set.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tasks of the set.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Looks up a task by id.
+    pub fn task(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.id() == id)
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` if the set has no tasks (never true for a validated set).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total number of scenarios across all tasks.
+    pub fn scenario_count(&self) -> usize {
+        self.tasks.iter().map(Task::scenario_count).sum()
+    }
+
+    /// Largest number of abstract tile slots any single scenario can use when
+    /// every DRHW subtask gets its own slot (an upper bound on the tiles a
+    /// fully parallel schedule needs).
+    pub fn max_drhw_subtasks(&self) -> usize {
+        self.tasks
+            .iter()
+            .flat_map(Task::scenarios)
+            .map(|s| s.graph().drhw_subtasks().len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ConfigId;
+    use crate::subtask::Subtask;
+
+    fn graph(name: &str, n: usize, ms: u64) -> SubtaskGraph {
+        let mut g = SubtaskGraph::new(name);
+        let ids: Vec<_> = (0..n)
+            .map(|i| g.add_subtask(Subtask::new(format!("{name}{i}"), Time::from_millis(ms), ConfigId::new(i))))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_dependency(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn scenario_defaults_and_probability() {
+        let s = Scenario::new(ScenarioId::new(0), graph("g", 2, 5));
+        assert_eq!(s.name(), "g");
+        assert_eq!(s.probability(), 1.0);
+        let s = s.with_probability(0.25);
+        assert_eq!(s.probability(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be finite")]
+    fn negative_probability_panics() {
+        let _ = Scenario::new(ScenarioId::new(0), graph("g", 2, 5)).with_probability(-0.5);
+    }
+
+    #[test]
+    fn task_requires_at_least_one_valid_scenario() {
+        assert_eq!(Task::new(TaskId::new(0), "t", vec![]).unwrap_err(), ModelError::EmptyGraph);
+        let empty_graph = SubtaskGraph::new("empty");
+        let bad = Task::new(
+            TaskId::new(0),
+            "t",
+            vec![Scenario::new(ScenarioId::new(0), empty_graph)],
+        );
+        assert!(bad.is_err());
+        let ok = Task::single_scenario(TaskId::new(0), "t", graph("g", 3, 10)).unwrap();
+        assert_eq!(ok.scenario_count(), 1);
+        assert_eq!(ok.name(), "t");
+        assert!(ok.deadline().is_none());
+    }
+
+    #[test]
+    fn task_scenario_lookup_and_deadline() {
+        let scenarios = vec![
+            Scenario::new(ScenarioId::new(0), graph("b", 2, 5)).with_probability(0.5),
+            Scenario::new(ScenarioId::new(1), graph("p", 3, 5)).with_probability(0.5),
+        ];
+        let task = Task::new(TaskId::new(1), "mpeg", scenarios)
+            .unwrap()
+            .with_deadline(Time::from_millis(40));
+        assert_eq!(task.scenario(ScenarioId::new(1)).unwrap().name(), "p");
+        assert!(task.scenario(ScenarioId::new(7)).is_none());
+        assert_eq!(task.deadline(), Some(Time::from_millis(40)));
+        // Mean of 10ms and 15ms critical paths with equal probability.
+        assert_eq!(task.mean_critical_path(), Time::from_micros(12_500));
+    }
+
+    #[test]
+    fn task_set_aggregates() {
+        let t0 = Task::single_scenario(TaskId::new(0), "a", graph("a", 4, 10)).unwrap();
+        let t1 = Task::single_scenario(TaskId::new(1), "b", graph("b", 6, 10)).unwrap();
+        let set = TaskSet::new("mix", vec![t0, t1]).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.scenario_count(), 2);
+        assert_eq!(set.max_drhw_subtasks(), 6);
+        assert_eq!(set.task(TaskId::new(1)).unwrap().name(), "b");
+        assert!(set.task(TaskId::new(9)).is_none());
+        assert!(TaskSet::new("empty", vec![]).is_err());
+    }
+}

@@ -1,0 +1,699 @@
+//! Initial (reconfiguration-oblivious) schedules and timed schedules.
+//!
+//! The prefetch problem of the paper starts from "an initial subtask schedule
+//! that neglects the reconfiguration latency": an assignment of every subtask
+//! to a processing element (an abstract DRHW tile slot or an ISP) plus an
+//! execution order on every PE. [`InitialSchedule`] captures exactly that
+//! pair; start times are *derived*, not stored, because they change once the
+//! loads are inserted.
+//!
+//! [`TimedSchedule`] is the result of actually timing a schedule — with or
+//! without configuration loads — and is what overhead numbers are computed
+//! from.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::GraphAnalysis;
+use crate::error::ModelError;
+use crate::graph::SubtaskGraph;
+use crate::ids::{PeAssignment, SubtaskId, TileSlot};
+use crate::time::Time;
+
+/// An assignment of subtasks to processing elements plus a per-PE execution
+/// order, produced by a scheduler that ignores reconfiguration latency.
+///
+/// # Examples
+///
+/// ```
+/// use drhw_model::{ConfigId, InitialSchedule, PeAssignment, Subtask, SubtaskGraph, TileSlot, Time};
+///
+/// # fn main() -> Result<(), drhw_model::ModelError> {
+/// let mut g = SubtaskGraph::new("pair");
+/// let a = g.add_subtask(Subtask::new("a", Time::from_millis(5), ConfigId::new(0)));
+/// let b = g.add_subtask(Subtask::new("b", Time::from_millis(5), ConfigId::new(1)));
+/// g.add_dependency(a, b)?;
+/// let schedule = InitialSchedule::from_assignment(
+///     &g,
+///     vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(1))],
+/// )?;
+/// assert_eq!(schedule.slot_count(), 2);
+/// let timed = schedule.ideal_timing(&g)?;
+/// assert_eq!(timed.makespan(), Time::from_millis(10));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InitialSchedule {
+    assignment: Vec<PeAssignment>,
+    pe_order: BTreeMap<PeAssignment, Vec<SubtaskId>>,
+    slot_count: usize,
+}
+
+impl InitialSchedule {
+    /// Builds a schedule from an assignment, ordering the subtasks sharing a
+    /// PE by increasing ALAP start time (ties broken by id).
+    ///
+    /// This is the natural order a list scheduler that ignores
+    /// reconfiguration latency would produce, and it is always consistent with
+    /// the precedence constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the assignment length does not match the graph, if
+    /// a subtask is mapped on the wrong PE class, or if the graph is invalid.
+    pub fn from_assignment(
+        graph: &SubtaskGraph,
+        assignment: Vec<PeAssignment>,
+    ) -> Result<Self, ModelError> {
+        let analysis = GraphAnalysis::new(graph)?;
+        Self::check_assignment(graph, &assignment)?;
+        let mut pe_order: BTreeMap<PeAssignment, Vec<SubtaskId>> = BTreeMap::new();
+        for (idx, &pe) in assignment.iter().enumerate() {
+            pe_order.entry(pe).or_default().push(SubtaskId::new(idx));
+        }
+        for order in pe_order.values_mut() {
+            order.sort_by(|a, b| {
+                analysis
+                    .alap_start(*a)
+                    .cmp(&analysis.alap_start(*b))
+                    .then_with(|| analysis.asap_start(*a).cmp(&analysis.asap_start(*b)))
+                    .then(a.index().cmp(&b.index()))
+            });
+        }
+        let schedule = Self::assemble(assignment, pe_order);
+        schedule.check_consistency(graph)?;
+        Ok(schedule)
+    }
+
+    /// Builds the fully parallel schedule: every DRHW subtask gets its own
+    /// abstract tile slot and every ISP subtask goes to ISP 0.
+    ///
+    /// This mirrors how the ICN platform model maps relocatable subtasks onto
+    /// tiles and is the assignment used for the per-task characterisation of
+    /// the paper's Table 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph validation errors.
+    pub fn fully_parallel(graph: &SubtaskGraph) -> Result<Self, ModelError> {
+        let mut next_slot = 0usize;
+        let assignment = graph
+            .iter()
+            .map(|(_, s)| {
+                if s.pe_class() == crate::ids::PeClass::Drhw {
+                    let slot = TileSlot::new(next_slot);
+                    next_slot += 1;
+                    PeAssignment::Tile(slot)
+                } else {
+                    PeAssignment::Isp(crate::ids::IspId::new(0))
+                }
+            })
+            .collect();
+        Self::from_assignment(graph, assignment)
+    }
+
+    /// Builds a schedule from an assignment and explicit per-PE orders.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the orders do not cover every subtask exactly once,
+    /// reference a different PE than the assignment, or contradict the
+    /// precedence constraints (combined precedence + order must be acyclic).
+    pub fn with_order(
+        graph: &SubtaskGraph,
+        assignment: Vec<PeAssignment>,
+        pe_order: BTreeMap<PeAssignment, Vec<SubtaskId>>,
+    ) -> Result<Self, ModelError> {
+        Self::check_assignment(graph, &assignment)?;
+        let mut seen = vec![false; graph.len()];
+        for (pe, order) in &pe_order {
+            for &id in order {
+                if id.index() >= graph.len() {
+                    return Err(ModelError::UnknownSubtask { id, len: graph.len() });
+                }
+                if assignment[id.index()] != *pe || seen[id.index()] {
+                    return Err(ModelError::IncompleteSchedule { id });
+                }
+                seen[id.index()] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(ModelError::IncompleteSchedule { id: SubtaskId::new(missing) });
+        }
+        let schedule = Self::assemble(assignment, pe_order);
+        schedule.check_consistency(graph)?;
+        Ok(schedule)
+    }
+
+    fn assemble(
+        assignment: Vec<PeAssignment>,
+        pe_order: BTreeMap<PeAssignment, Vec<SubtaskId>>,
+    ) -> Self {
+        let slot_count = assignment
+            .iter()
+            .filter_map(|pe| pe.tile_slot())
+            .map(|slot| slot.index() + 1)
+            .max()
+            .unwrap_or(0);
+        InitialSchedule { assignment, pe_order, slot_count }
+    }
+
+    fn check_assignment(
+        graph: &SubtaskGraph,
+        assignment: &[PeAssignment],
+    ) -> Result<(), ModelError> {
+        if assignment.len() != graph.len() {
+            let id = SubtaskId::new(assignment.len().min(graph.len()));
+            return Err(ModelError::IncompleteSchedule { id });
+        }
+        for (idx, pe) in assignment.iter().enumerate() {
+            let id = SubtaskId::new(idx);
+            if graph.subtask(id).pe_class() != pe.class() {
+                return Err(ModelError::PeClassMismatch { id });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies that the per-PE order combined with the precedence edges is
+    /// acyclic, i.e. the schedule is executable.
+    fn check_consistency(&self, graph: &SubtaskGraph) -> Result<(), ModelError> {
+        // Kahn's algorithm over the combined relation.
+        let n = graph.len();
+        let mut extra_succs: Vec<Vec<SubtaskId>> = vec![Vec::new(); n];
+        for order in self.pe_order.values() {
+            for pair in order.windows(2) {
+                extra_succs[pair[0].index()].push(pair[1]);
+            }
+        }
+        let mut in_degree = vec![0usize; n];
+        for id in graph.ids() {
+            for &succ in graph.successors(id) {
+                in_degree[succ.index()] += 1;
+            }
+            for &succ in &extra_succs[id.index()] {
+                in_degree[succ.index()] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| in_degree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = stack.pop() {
+            visited += 1;
+            let id = SubtaskId::new(i);
+            for &succ in graph.successors(id).iter().chain(&extra_succs[i]) {
+                in_degree[succ.index()] -= 1;
+                if in_degree[succ.index()] == 0 {
+                    stack.push(succ.index());
+                }
+            }
+        }
+        if visited == n {
+            Ok(())
+        } else {
+            let id = SubtaskId::new(
+                in_degree.iter().position(|&d| d > 0).unwrap_or(0),
+            );
+            Err(ModelError::InconsistentOrder { id })
+        }
+    }
+
+    /// Processing element assigned to a subtask.
+    pub fn assignment(&self, id: SubtaskId) -> PeAssignment {
+        self.assignment[id.index()]
+    }
+
+    /// All assignments, indexed by subtask id.
+    pub fn assignments(&self) -> &[PeAssignment] {
+        &self.assignment
+    }
+
+    /// Number of distinct abstract tile slots used (the schedule needs at
+    /// least this many physical tiles).
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// Processing elements used by this schedule together with their execution
+    /// order.
+    pub fn pe_order(&self) -> &BTreeMap<PeAssignment, Vec<SubtaskId>> {
+        &self.pe_order
+    }
+
+    /// Execution order on a given PE (empty if the PE is unused).
+    pub fn subtasks_on(&self, pe: PeAssignment) -> &[SubtaskId] {
+        self.pe_order.get(&pe).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The subtask scheduled immediately before `id` on the same PE, if any.
+    ///
+    /// The reconfiguration of `id`'s tile cannot start before this subtask
+    /// finishes (loading would destroy the configuration still in use).
+    pub fn predecessor_on_pe(&self, id: SubtaskId) -> Option<SubtaskId> {
+        let order = self.subtasks_on(self.assignment(id));
+        let pos = order.iter().position(|&s| s == id)?;
+        if pos == 0 {
+            None
+        } else {
+            Some(order[pos - 1])
+        }
+    }
+
+    /// The subtask scheduled immediately after `id` on the same PE, if any.
+    pub fn successor_on_pe(&self, id: SubtaskId) -> Option<SubtaskId> {
+        let order = self.subtasks_on(self.assignment(id));
+        let pos = order.iter().position(|&s| s == id)?;
+        order.get(pos + 1).copied()
+    }
+
+    /// The first subtask executed on an abstract tile slot, if the slot is used.
+    ///
+    /// Only this subtask can reuse a configuration left on the physical tile by
+    /// a *previous* task; later subtasks on the slot find whatever the slot's
+    /// own loads put there.
+    pub fn first_on_slot(&self, slot: TileSlot) -> Option<SubtaskId> {
+        self.subtasks_on(PeAssignment::Tile(slot)).first().copied()
+    }
+
+    /// All subtasks assigned to DRHW slots, in (slot, position) order.
+    pub fn drhw_subtasks(&self) -> Vec<SubtaskId> {
+        (0..self.slot_count)
+            .flat_map(|s| self.subtasks_on(PeAssignment::Tile(TileSlot::new(s))).iter().copied())
+            .collect()
+    }
+
+    /// Times this schedule assuming zero reconfiguration latency (the "ideal"
+    /// execution the paper measures overhead against).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph validation errors.
+    pub fn ideal_timing(&self, graph: &SubtaskGraph) -> Result<TimedSchedule, ModelError> {
+        graph.validate()?;
+        // Combined precedence (graph + per-PE order) is acyclic by
+        // construction, so a longest-path sweep over the combined relation
+        // yields the start times directly.
+        let n = graph.len();
+        let mut start = vec![Time::ZERO; n];
+        let mut finish = vec![Time::ZERO; n];
+        let order = self.combined_topological_order(graph)?;
+        for &id in &order {
+            let mut ready = Time::ZERO;
+            for &p in graph.predecessors(id) {
+                ready = ready.max(finish[p.index()]);
+            }
+            if let Some(prev) = self.predecessor_on_pe(id) {
+                ready = ready.max(finish[prev.index()]);
+            }
+            start[id.index()] = ready;
+            finish[id.index()] = ready + graph.subtask(id).exec_time();
+        }
+        let makespan = finish.iter().copied().max().unwrap_or(Time::ZERO);
+        let executions = (0..n)
+            .map(|i| {
+                let id = SubtaskId::new(i);
+                ExecutionWindow {
+                    subtask: id,
+                    pe: self.assignment(id),
+                    start: start[i],
+                    finish: finish[i],
+                }
+            })
+            .collect();
+        Ok(TimedSchedule { executions, loads: Vec::new(), makespan })
+    }
+
+    /// Topological order of the combined relation (precedence + per-PE order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InconsistentOrder`] if the combination is cyclic.
+    pub fn combined_topological_order(
+        &self,
+        graph: &SubtaskGraph,
+    ) -> Result<Vec<SubtaskId>, ModelError> {
+        let n = graph.len();
+        let mut extra_succs: Vec<Vec<SubtaskId>> = vec![Vec::new(); n];
+        for order in self.pe_order.values() {
+            for pair in order.windows(2) {
+                extra_succs[pair[0].index()].push(pair[1]);
+            }
+        }
+        let mut in_degree = vec![0usize; n];
+        for id in graph.ids() {
+            for &succ in graph.successors(id).iter().chain(&extra_succs[id.index()]) {
+                in_degree[succ.index()] += 1;
+            }
+        }
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+            (0..n).filter(|&i| in_degree[i] == 0).map(std::cmp::Reverse).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(i)) = heap.pop() {
+            let id = SubtaskId::new(i);
+            order.push(id);
+            for &succ in graph.successors(id).iter().chain(&extra_succs[i]) {
+                in_degree[succ.index()] -= 1;
+                if in_degree[succ.index()] == 0 {
+                    heap.push(std::cmp::Reverse(succ.index()));
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            let id = SubtaskId::new(in_degree.iter().position(|&d| d > 0).unwrap_or(0));
+            Err(ModelError::InconsistentOrder { id })
+        }
+    }
+}
+
+/// The execution window of one subtask in a timed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionWindow {
+    /// The subtask being executed.
+    pub subtask: SubtaskId,
+    /// The PE it executes on.
+    pub pe: PeAssignment,
+    /// Execution start time.
+    pub start: Time,
+    /// Execution finish time.
+    pub finish: Time,
+}
+
+impl ExecutionWindow {
+    /// Duration of the window.
+    pub fn duration(&self) -> Time {
+        self.finish.saturating_sub(self.start)
+    }
+}
+
+/// The load (reconfiguration) window of one subtask on the shared port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadWindow {
+    /// The subtask whose configuration is loaded.
+    pub subtask: SubtaskId,
+    /// The abstract tile slot being reconfigured.
+    pub slot: TileSlot,
+    /// Load start time (port acquisition).
+    pub start: Time,
+    /// Load finish time (configuration resident).
+    pub finish: Time,
+}
+
+impl LoadWindow {
+    /// Duration of the load.
+    pub fn duration(&self) -> Time {
+        self.finish.saturating_sub(self.start)
+    }
+}
+
+/// A fully timed schedule: execution windows for every subtask plus the load
+/// windows placed on the reconfiguration port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedSchedule {
+    executions: Vec<ExecutionWindow>,
+    loads: Vec<LoadWindow>,
+    makespan: Time,
+}
+
+impl TimedSchedule {
+    /// Assembles a timed schedule from its windows.
+    ///
+    /// The makespan is the latest finish time over all windows (loads may
+    /// outlast the executions when the port keeps prefetching for a follow-up
+    /// task).
+    pub fn new(executions: Vec<ExecutionWindow>, loads: Vec<LoadWindow>) -> Self {
+        let makespan = executions
+            .iter()
+            .map(|e| e.finish)
+            .chain(loads.iter().map(|l| l.finish))
+            .max()
+            .unwrap_or(Time::ZERO);
+        TimedSchedule { executions, loads, makespan }
+    }
+
+    /// Execution windows indexed by subtask id order of insertion.
+    pub fn executions(&self) -> &[ExecutionWindow] {
+        &self.executions
+    }
+
+    /// The execution window of a specific subtask, if present.
+    pub fn execution(&self, id: SubtaskId) -> Option<&ExecutionWindow> {
+        self.executions.iter().find(|e| e.subtask == id)
+    }
+
+    /// Load windows in port order.
+    pub fn loads(&self) -> &[LoadWindow] {
+        &self.loads
+    }
+
+    /// The load window of a specific subtask, if its configuration was loaded.
+    pub fn load(&self, id: SubtaskId) -> Option<&LoadWindow> {
+        self.loads.iter().find(|l| l.subtask == id)
+    }
+
+    /// Completion time of the whole schedule.
+    pub fn makespan(&self) -> Time {
+        self.makespan
+    }
+
+    /// Completion time of the *executions* only (ignoring trailing loads that
+    /// prefetch for a subsequent task).
+    pub fn execution_makespan(&self) -> Time {
+        self.executions.iter().map(|e| e.finish).max().unwrap_or(Time::ZERO)
+    }
+
+    /// The reconfiguration overhead relative to an ideal makespan:
+    /// `max(0, execution_makespan - ideal)`.
+    pub fn overhead_vs(&self, ideal: Time) -> Time {
+        self.execution_makespan().saturating_sub(ideal)
+    }
+
+    /// Number of loads actually performed.
+    pub fn load_count(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Instant at which the reconfiguration port becomes idle for good
+    /// (`Time::ZERO` when no load was performed).
+    pub fn port_idle_from(&self) -> Time {
+        self.loads.iter().map(|l| l.finish).max().unwrap_or(Time::ZERO)
+    }
+
+    /// Renders a compact textual Gantt chart, one line per PE plus one line
+    /// for the reconfiguration port. Intended for examples and debugging.
+    pub fn to_gantt_string(&self, graph: &SubtaskGraph) -> String {
+        use std::fmt::Write as _;
+        let mut lines: BTreeMap<String, Vec<(Time, Time, String)>> = BTreeMap::new();
+        for e in &self.executions {
+            lines.entry(format!("{}", e.pe)).or_default().push((
+                e.start,
+                e.finish,
+                format!("Ex {}", graph.subtask(e.subtask).name()),
+            ));
+        }
+        for l in &self.loads {
+            lines.entry("port".to_string()).or_default().push((
+                l.start,
+                l.finish,
+                format!("L {}", graph.subtask(l.subtask).name()),
+            ));
+        }
+        let mut out = String::new();
+        for (pe, mut windows) in lines {
+            windows.sort_by_key(|w| w.0);
+            let _ = write!(out, "{pe:>6} |");
+            for (start, finish, label) in windows {
+                let _ = write!(out, " [{start}..{finish} {label}]");
+            }
+            out.push('\n');
+        }
+        let _ = write!(out, "makespan: {}", self.makespan);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ConfigId, IspId, PeClass};
+    use crate::subtask::Subtask;
+
+    fn st(name: &str, ms: u64, cfg: usize) -> Subtask {
+        Subtask::new(name, Time::from_millis(ms), ConfigId::new(cfg))
+    }
+
+    fn chain_graph() -> (SubtaskGraph, Vec<SubtaskId>) {
+        let mut g = SubtaskGraph::new("chain");
+        let ids: Vec<SubtaskId> = (0..3).map(|i| g.add_subtask(st(&format!("s{i}"), 10, i))).collect();
+        g.add_dependency(ids[0], ids[1]).unwrap();
+        g.add_dependency(ids[1], ids[2]).unwrap();
+        (g, ids)
+    }
+
+    #[test]
+    fn from_assignment_groups_by_pe_and_orders_by_alap() {
+        let (g, ids) = chain_graph();
+        let slot0 = PeAssignment::Tile(TileSlot::new(0));
+        let schedule =
+            InitialSchedule::from_assignment(&g, vec![slot0, slot0, slot0]).unwrap();
+        assert_eq!(schedule.subtasks_on(slot0), &ids[..]);
+        assert_eq!(schedule.slot_count(), 1);
+        assert_eq!(schedule.predecessor_on_pe(ids[1]), Some(ids[0]));
+        assert_eq!(schedule.predecessor_on_pe(ids[0]), None);
+        assert_eq!(schedule.successor_on_pe(ids[1]), Some(ids[2]));
+        assert_eq!(schedule.first_on_slot(TileSlot::new(0)), Some(ids[0]));
+    }
+
+    #[test]
+    fn assignment_length_mismatch_is_rejected() {
+        let (g, _) = chain_graph();
+        let slot0 = PeAssignment::Tile(TileSlot::new(0));
+        let err = InitialSchedule::from_assignment(&g, vec![slot0]).unwrap_err();
+        assert!(matches!(err, ModelError::IncompleteSchedule { .. }));
+    }
+
+    #[test]
+    fn pe_class_mismatch_is_rejected() {
+        let mut g = SubtaskGraph::new("mixed");
+        let hw = g.add_subtask(st("hw", 5, 0));
+        let sw = g.add_subtask(st("sw", 5, 1).with_pe_class(PeClass::Isp));
+        g.add_dependency(hw, sw).unwrap();
+        let err = InitialSchedule::from_assignment(
+            &g,
+            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(1))],
+        )
+        .unwrap_err();
+        assert_eq!(err, ModelError::PeClassMismatch { id: sw });
+        // And the correct assignment is accepted.
+        let ok = InitialSchedule::from_assignment(
+            &g,
+            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Isp(IspId::new(0))],
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn with_order_rejects_incomplete_or_contradictory_orders() {
+        let (g, ids) = chain_graph();
+        let slot0 = PeAssignment::Tile(TileSlot::new(0));
+        let assignment = vec![slot0, slot0, slot0];
+        // Missing subtask.
+        let mut order = BTreeMap::new();
+        order.insert(slot0, vec![ids[0], ids[1]]);
+        assert!(matches!(
+            InitialSchedule::with_order(&g, assignment.clone(), order).unwrap_err(),
+            ModelError::IncompleteSchedule { .. }
+        ));
+        // Order that contradicts precedence: s2 before s0 on the same tile.
+        let mut order = BTreeMap::new();
+        order.insert(slot0, vec![ids[2], ids[1], ids[0]]);
+        assert!(matches!(
+            InitialSchedule::with_order(&g, assignment, order).unwrap_err(),
+            ModelError::InconsistentOrder { .. }
+        ));
+    }
+
+    #[test]
+    fn ideal_timing_serializes_on_shared_pe() {
+        let mut g = SubtaskGraph::new("par");
+        let a = g.add_subtask(st("a", 10, 0));
+        let b = g.add_subtask(st("b", 20, 1));
+        // No precedence: a and b are independent.
+        let slot0 = PeAssignment::Tile(TileSlot::new(0));
+        let same = InitialSchedule::from_assignment(&g, vec![slot0, slot0]).unwrap();
+        let timed = same.ideal_timing(&g).unwrap();
+        assert_eq!(timed.makespan(), Time::from_millis(30));
+        let separate = InitialSchedule::from_assignment(
+            &g,
+            vec![slot0, PeAssignment::Tile(TileSlot::new(1))],
+        )
+        .unwrap();
+        let timed = separate.ideal_timing(&g).unwrap();
+        assert_eq!(timed.makespan(), Time::from_millis(20));
+        assert_eq!(timed.execution(a).unwrap().start, Time::ZERO);
+        assert_eq!(timed.execution(b).unwrap().start, Time::ZERO);
+    }
+
+    #[test]
+    fn ideal_timing_respects_precedence() {
+        let (g, ids) = chain_graph();
+        let schedule = InitialSchedule::from_assignment(
+            &g,
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+                PeAssignment::Tile(TileSlot::new(2)),
+            ],
+        )
+        .unwrap();
+        let timed = schedule.ideal_timing(&g).unwrap();
+        assert_eq!(timed.makespan(), Time::from_millis(30));
+        assert_eq!(timed.execution(ids[2]).unwrap().start, Time::from_millis(20));
+        assert_eq!(timed.overhead_vs(Time::from_millis(30)), Time::ZERO);
+        assert_eq!(timed.load_count(), 0);
+        assert_eq!(timed.port_idle_from(), Time::ZERO);
+    }
+
+    #[test]
+    fn timed_schedule_accessors() {
+        let exec = vec![ExecutionWindow {
+            subtask: SubtaskId::new(0),
+            pe: PeAssignment::Tile(TileSlot::new(0)),
+            start: Time::from_millis(4),
+            finish: Time::from_millis(14),
+        }];
+        let loads = vec![LoadWindow {
+            subtask: SubtaskId::new(0),
+            slot: TileSlot::new(0),
+            start: Time::ZERO,
+            finish: Time::from_millis(4),
+        }];
+        let ts = TimedSchedule::new(exec, loads);
+        assert_eq!(ts.makespan(), Time::from_millis(14));
+        assert_eq!(ts.execution_makespan(), Time::from_millis(14));
+        assert_eq!(ts.overhead_vs(Time::from_millis(10)), Time::from_millis(4));
+        assert_eq!(ts.load(SubtaskId::new(0)).unwrap().duration(), Time::from_millis(4));
+        assert_eq!(ts.execution(SubtaskId::new(0)).unwrap().duration(), Time::from_millis(10));
+        assert_eq!(ts.port_idle_from(), Time::from_millis(4));
+        assert_eq!(ts.load_count(), 1);
+    }
+
+    #[test]
+    fn gantt_rendering_mentions_every_window() {
+        let (g, _) = chain_graph();
+        let slot0 = PeAssignment::Tile(TileSlot::new(0));
+        let schedule = InitialSchedule::from_assignment(&g, vec![slot0, slot0, slot0]).unwrap();
+        let timed = schedule.ideal_timing(&g).unwrap();
+        let gantt = timed.to_gantt_string(&g);
+        assert!(gantt.contains("Ex s0"));
+        assert!(gantt.contains("Ex s2"));
+        assert!(gantt.contains("makespan"));
+    }
+
+    #[test]
+    fn fully_parallel_gives_each_drhw_subtask_its_own_slot() {
+        let mut g = SubtaskGraph::new("mixed");
+        let a = g.add_subtask(st("a", 5, 0));
+        let b = g.add_subtask(st("b", 5, 1).with_pe_class(PeClass::Isp));
+        let c = g.add_subtask(st("c", 5, 2));
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, c).unwrap();
+        let s = InitialSchedule::fully_parallel(&g).unwrap();
+        assert_eq!(s.slot_count(), 2);
+        assert_eq!(s.assignment(a), PeAssignment::Tile(TileSlot::new(0)));
+        assert_eq!(s.assignment(b), PeAssignment::Isp(IspId::new(0)));
+        assert_eq!(s.assignment(c), PeAssignment::Tile(TileSlot::new(1)));
+        assert_eq!(s.ideal_timing(&g).unwrap().makespan(), Time::from_millis(15));
+    }
+
+    #[test]
+    fn drhw_subtasks_lists_slot_order() {
+        let (g, ids) = chain_graph();
+        let slot0 = PeAssignment::Tile(TileSlot::new(0));
+        let slot1 = PeAssignment::Tile(TileSlot::new(1));
+        let schedule = InitialSchedule::from_assignment(&g, vec![slot0, slot1, slot0]).unwrap();
+        assert_eq!(schedule.drhw_subtasks(), vec![ids[0], ids[2], ids[1]]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Subtasks: the schedulable units of a task graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ConfigId, PeClass};
+use crate::time::Time;
+
+/// One schedulable node of a [`SubtaskGraph`](crate::SubtaskGraph).
+///
+/// A subtask carries the information every scheduler in the flow needs:
+/// how long it executes, which configuration bitstream it requires (DRHW
+/// subtasks only), which class of processing element it runs on, and a rough
+/// energy figure used by the TCM Pareto exploration.
+///
+/// # Examples
+///
+/// ```
+/// use drhw_model::{ConfigId, PeClass, Subtask, Time};
+///
+/// let dct = Subtask::new("dct", Time::from_millis(12), ConfigId::new(3));
+/// assert_eq!(dct.pe_class(), PeClass::Drhw);
+/// assert_eq!(dct.exec_time(), Time::from_millis(12));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subtask {
+    name: String,
+    exec_time: Time,
+    config: ConfigId,
+    pe_class: PeClass,
+    exec_energy_mj: f64,
+}
+
+impl Subtask {
+    /// Default energy figure per millisecond of DRHW execution, in millijoule.
+    ///
+    /// The absolute value is irrelevant to the prefetch heuristics; it only
+    /// gives the TCM Pareto curves a second axis with a sensible shape.
+    pub const DEFAULT_ENERGY_PER_MS: f64 = 1.0;
+
+    /// Creates a DRHW subtask with the given name, execution time and
+    /// configuration, using the default energy model.
+    pub fn new(name: impl Into<String>, exec_time: Time, config: ConfigId) -> Self {
+        let exec_time = exec_time;
+        Subtask {
+            name: name.into(),
+            exec_time,
+            config,
+            pe_class: PeClass::Drhw,
+            exec_energy_mj: exec_time.as_millis_f64() * Self::DEFAULT_ENERGY_PER_MS,
+        }
+    }
+
+    /// Returns a copy of this subtask targeted at the given PE class.
+    ///
+    /// ISP subtasks never require configuration loads.
+    #[must_use]
+    pub fn with_pe_class(mut self, pe_class: PeClass) -> Self {
+        self.pe_class = pe_class;
+        self
+    }
+
+    /// Returns a copy of this subtask with an explicit execution energy in mJ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_mj` is negative or not finite.
+    #[must_use]
+    pub fn with_energy_mj(mut self, energy_mj: f64) -> Self {
+        assert!(
+            energy_mj.is_finite() && energy_mj >= 0.0,
+            "energy must be finite and non-negative, got {energy_mj}"
+        );
+        self.exec_energy_mj = energy_mj;
+        self
+    }
+
+    /// The human-readable name of the subtask.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execution time on its assigned processing element (load time excluded).
+    pub fn exec_time(&self) -> Time {
+        self.exec_time
+    }
+
+    /// The configuration bitstream this subtask requires.
+    ///
+    /// Two subtasks sharing a `ConfigId` can reuse each other's loaded
+    /// configuration; the reuse module relies on this identity.
+    pub fn config(&self) -> ConfigId {
+        self.config
+    }
+
+    /// The class of processing element the subtask runs on.
+    pub fn pe_class(&self) -> PeClass {
+        self.pe_class
+    }
+
+    /// Whether executing this subtask requires a configuration to be resident,
+    /// i.e. whether it is mapped on reconfigurable hardware.
+    pub fn needs_configuration(&self) -> bool {
+        self.pe_class == PeClass::Drhw
+    }
+
+    /// Execution energy in millijoule (used by the TCM energy axis).
+    pub fn exec_energy_mj(&self) -> f64 {
+        self.exec_energy_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ConfigId;
+
+    #[test]
+    fn new_defaults_to_drhw_with_derived_energy() {
+        let s = Subtask::new("huffman", Time::from_millis(10), ConfigId::new(0));
+        assert_eq!(s.name(), "huffman");
+        assert_eq!(s.exec_time(), Time::from_millis(10));
+        assert_eq!(s.config(), ConfigId::new(0));
+        assert_eq!(s.pe_class(), PeClass::Drhw);
+        assert!(s.needs_configuration());
+        assert!((s.exec_energy_mj() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isp_subtasks_do_not_need_configuration() {
+        let s = Subtask::new("control", Time::from_millis(1), ConfigId::new(9))
+            .with_pe_class(PeClass::Isp);
+        assert_eq!(s.pe_class(), PeClass::Isp);
+        assert!(!s.needs_configuration());
+    }
+
+    #[test]
+    fn explicit_energy_overrides_default() {
+        let s = Subtask::new("idct", Time::from_millis(5), ConfigId::new(1)).with_energy_mj(42.5);
+        assert!((s.exec_energy_mj() - 42.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_energy_is_rejected() {
+        let _ = Subtask::new("bad", Time::from_millis(5), ConfigId::new(1)).with_energy_mj(-1.0);
+    }
+
+    #[test]
+    fn subtasks_with_same_fields_are_equal() {
+        let a = Subtask::new("x", Time::from_millis(2), ConfigId::new(7));
+        let b = Subtask::new("x", Time::from_millis(2), ConfigId::new(7));
+        assert_eq!(a, b);
+    }
+}

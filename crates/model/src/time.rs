@@ -1,0 +1,336 @@
+//! Time representation used throughout the workspace.
+//!
+//! All quantities (subtask execution times, reconfiguration latencies, schedule
+//! instants) are expressed in integer **microseconds** wrapped in the [`Time`]
+//! newtype. Integer arithmetic keeps schedule computations exact and
+//! platform-independent, which matters because the scheduling heuristics make
+//! decisions from equality/ordering comparisons on times. The paper quotes all
+//! values in milliseconds (e.g. the 4 ms Virtex-II reconfiguration latency);
+//! [`Time::from_millis`] and [`Time::as_millis_f64`] convert at the boundary.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A non-negative instant or duration in integer microseconds.
+///
+/// `Time` is used both for durations (subtask execution time, reconfiguration
+/// latency) and for instants on a schedule timeline that starts at
+/// [`Time::ZERO`]. The two uses share the same arithmetic, mirroring how the
+/// paper reasons about schedules.
+///
+/// # Examples
+///
+/// ```
+/// use drhw_model::Time;
+///
+/// let latency = Time::from_millis(4);
+/// let exec = Time::from_micros(5_700);
+/// assert!(latency < exec);
+/// assert_eq!((latency + exec).as_micros(), 9_700);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Time(u64);
+
+impl Time {
+    /// The origin of every schedule timeline (also the zero duration).
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable time; useful as an "unreachable" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from integer microseconds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drhw_model::Time;
+    /// assert_eq!(Time::from_micros(250).as_micros(), 250);
+    /// ```
+    pub const fn from_micros(micros: u64) -> Self {
+        Time(micros)
+    }
+
+    /// Creates a time from integer milliseconds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drhw_model::Time;
+    /// assert_eq!(Time::from_millis(4).as_micros(), 4_000);
+    /// ```
+    pub const fn from_millis(millis: u64) -> Self {
+        Time(millis * 1_000)
+    }
+
+    /// Creates a time from fractional milliseconds, rounding to the nearest
+    /// microsecond. Convenient for the paper's figures quoted like `5.7 ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis` is negative or not finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drhw_model::Time;
+    /// assert_eq!(Time::from_millis_f64(5.7).as_micros(), 5_700);
+    /// ```
+    pub fn from_millis_f64(millis: f64) -> Self {
+        assert!(
+            millis.is_finite() && millis >= 0.0,
+            "time must be finite and non-negative, got {millis}"
+        );
+        Time((millis * 1_000.0).round() as u64)
+    }
+
+    /// Returns the value in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in (possibly fractional) milliseconds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drhw_model::Time;
+    /// assert_eq!(Time::from_micros(1_500).as_millis_f64(), 1.5);
+    /// ```
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns `true` if this is [`Time::ZERO`].
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtraction that clamps at zero instead of underflowing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drhw_model::Time;
+    /// assert_eq!(Time::from_micros(3).saturating_sub(Time::from_micros(5)), Time::ZERO);
+    /// ```
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Addition that saturates at [`Time::MAX`] instead of overflowing.
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    pub const fn checked_sub(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, rhs: Time) -> Time {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, rhs: Time) -> Time {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The ratio `self / denominator` as a floating-point number.
+    ///
+    /// Used to express reconfiguration overhead as a fraction of the ideal
+    /// execution time. Returns `0.0` when the denominator is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drhw_model::Time;
+    /// let overhead = Time::from_millis(16).ratio_of(Time::from_millis(80));
+    /// assert!((overhead - 0.2).abs() < 1e-9);
+    /// ```
+    pub fn ratio_of(self, denominator: Time) -> f64 {
+        if denominator.is_zero() {
+            0.0
+        } else {
+            self.0 as f64 / denominator.0 as f64
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self`; use
+    /// [`Time::saturating_sub`] when the difference may be negative.
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Time> for Time {
+    fn sum<I: Iterator<Item = &'a Time>>(iter: I) -> Time {
+        iter.copied().sum()
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 1_000 == 0 {
+            write!(f, "{}ms", self.0 / 1_000)
+        } else {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        }
+    }
+}
+
+impl From<u64> for Time {
+    /// Interprets the raw value as microseconds.
+    fn from(micros: u64) -> Self {
+        Time::from_micros(micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Time::from_millis(4).as_micros(), 4_000);
+        assert_eq!(Time::from_micros(4_000).as_millis_f64(), 4.0);
+        assert_eq!(Time::from_millis_f64(0.2).as_micros(), 200);
+        assert_eq!(Time::from_millis_f64(30.0), Time::from_millis(30));
+    }
+
+    #[test]
+    fn zero_and_max_constants() {
+        assert!(Time::ZERO.is_zero());
+        assert!(!Time::from_micros(1).is_zero());
+        assert!(Time::MAX > Time::from_millis(1_000_000));
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_integers() {
+        let a = Time::from_micros(1_500);
+        let b = Time::from_micros(500);
+        assert_eq!(a + b, Time::from_micros(2_000));
+        assert_eq!(a - b, Time::from_micros(1_000));
+        assert_eq!(a * 3, Time::from_micros(4_500));
+        assert_eq!(a / 3, Time::from_micros(500));
+    }
+
+    #[test]
+    fn saturating_operations_clamp() {
+        let small = Time::from_micros(1);
+        let big = Time::from_micros(10);
+        assert_eq!(small.saturating_sub(big), Time::ZERO);
+        assert_eq!(Time::MAX.saturating_add(big), Time::MAX);
+        assert_eq!(small.checked_sub(big), None);
+        assert_eq!(big.checked_sub(small), Some(Time::from_micros(9)));
+    }
+
+    #[test]
+    fn min_max_selection() {
+        let a = Time::from_micros(3);
+        let b = Time::from_micros(7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.max(b), b);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let times = [Time::from_millis(1), Time::from_millis(2), Time::from_millis(3)];
+        let total: Time = times.iter().sum();
+        assert_eq!(total, Time::from_millis(6));
+        let total_owned: Time = times.into_iter().sum();
+        assert_eq!(total_owned, Time::from_millis(6));
+    }
+
+    #[test]
+    fn ratio_of_handles_zero_denominator() {
+        assert_eq!(Time::from_millis(4).ratio_of(Time::ZERO), 0.0);
+        let r = Time::from_millis(1).ratio_of(Time::from_millis(4));
+        assert!((r - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_milliseconds() {
+        assert_eq!(Time::from_millis(4).to_string(), "4ms");
+        assert_eq!(Time::from_micros(5_700).to_string(), "5.700ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_millis_f64_rejects_negative() {
+        let _ = Time::from_millis_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Time::from_micros(100) < Time::from_millis(1));
+        let mut v = vec![Time::from_millis(3), Time::ZERO, Time::from_millis(1)];
+        v.sort();
+        assert_eq!(v, vec![Time::ZERO, Time::from_millis(1), Time::from_millis(3)]);
+    }
+}

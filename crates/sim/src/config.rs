@@ -1,0 +1,183 @@
+//! Configuration of the dynamic multi-iteration simulation.
+
+use std::collections::BTreeMap;
+
+use drhw_model::{ScenarioId, TaskId};
+use drhw_prefetch::ReplacementPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// How the initial schedule of each activation is chosen from the design-time
+/// artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PointSelection {
+    /// Map every DRHW subtask on its own tile slot, as in the ICN platform
+    /// model and the paper's Table 1 characterisation (default). Falls back to
+    /// the fastest Pareto point that fits when the platform is too small.
+    FullyParallel,
+    /// Always pick the fastest Pareto point that fits on the platform.
+    Fastest,
+    /// TCM behaviour: the most energy-efficient Pareto point that meets the
+    /// task's deadline (ablation).
+    EnergyAware,
+}
+
+impl Default for PointSelection {
+    fn default() -> Self {
+        PointSelection::FullyParallel
+    }
+}
+
+/// How scenarios are chosen for each activation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioPolicy {
+    /// Each task picks one of its scenarios independently, weighted by the
+    /// scenario probabilities (the multimedia experiments).
+    Independent,
+    /// One of the listed inter-task scenario combinations is drawn per
+    /// iteration and every task follows it (the Pocket GL experiment, where
+    /// inter-task dependencies leave only 20 feasible combinations).
+    Correlated(Vec<BTreeMap<TaskId, ScenarioId>>),
+}
+
+impl Default for ScenarioPolicy {
+    fn default() -> Self {
+        ScenarioPolicy::Independent
+    }
+}
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Number of iterations (the paper simulates 1000).
+    pub iterations: usize,
+    /// Seed of the pseudo-random generator driving the workload dynamism.
+    pub seed: u64,
+    /// Probability that each task of the set is activated in an iteration
+    /// ("the applications executed during each iteration vary randomly").
+    pub task_inclusion_probability: f64,
+    /// Replacement policy used to map slots onto physical tiles.
+    pub replacement: ReplacementPolicy,
+    /// How initial schedules are selected.
+    pub point_selection: PointSelection,
+    /// How scenarios are selected.
+    pub scenario_policy: ScenarioPolicy,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            iterations: 1000,
+            seed: 2005,
+            task_inclusion_probability: 0.75,
+            replacement: ReplacementPolicy::ReuseAware,
+            point_selection: PointSelection::FullyParallel,
+            scenario_policy: ScenarioPolicy::Independent,
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// A configuration suitable for quick tests: few iterations, fixed seed.
+    pub fn quick() -> Self {
+        SimulationConfig { iterations: 50, ..Default::default() }
+    }
+
+    /// Checks the configuration for obvious mistakes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the iteration count is zero or the inclusion
+    /// probability is outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.iterations == 0 {
+            return Err(SimError::NoIterations);
+        }
+        if !(0.0..=1.0).contains(&self.task_inclusion_probability)
+            || !self.task_inclusion_probability.is_finite()
+        {
+            return Err(SimError::InvalidInclusionProbability {
+                permille: (self.task_inclusion_probability * 1000.0) as u32,
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with a different iteration count.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different replacement policy.
+    #[must_use]
+    pub fn with_replacement(mut self, replacement: ReplacementPolicy) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Returns a copy with a different point-selection strategy.
+    #[must_use]
+    pub fn with_point_selection(mut self, point_selection: PointSelection) -> Self {
+        self.point_selection = point_selection;
+        self
+    }
+
+    /// Returns a copy with a correlated scenario policy.
+    #[must_use]
+    pub fn with_scenario_policy(mut self, scenario_policy: ScenarioPolicy) -> Self {
+        self.scenario_policy = scenario_policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_paper_setup() {
+        let c = SimulationConfig::default();
+        assert_eq!(c.iterations, 1000);
+        assert_eq!(c.replacement, ReplacementPolicy::ReuseAware);
+        assert_eq!(c.point_selection, PointSelection::FullyParallel);
+        assert_eq!(c.scenario_policy, ScenarioPolicy::Independent);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = SimulationConfig::quick()
+            .with_iterations(10)
+            .with_seed(7)
+            .with_replacement(ReplacementPolicy::LeastRecentlyUsed)
+            .with_point_selection(PointSelection::Fastest);
+        assert_eq!(c.iterations, 10);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.replacement, ReplacementPolicy::LeastRecentlyUsed);
+        assert_eq!(c.point_selection, PointSelection::Fastest);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert_eq!(
+            SimulationConfig::default().with_iterations(0).validate().unwrap_err(),
+            SimError::NoIterations
+        );
+        let mut c = SimulationConfig::default();
+        c.task_inclusion_probability = 1.5;
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            SimError::InvalidInclusionProbability { .. }
+        ));
+    }
+}

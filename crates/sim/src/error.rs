@@ -1,0 +1,94 @@
+//! Errors produced by the simulation driver.
+
+use std::error::Error;
+use std::fmt;
+
+use drhw_model::ModelError;
+use drhw_prefetch::PrefetchError;
+use drhw_tcm::TcmError;
+
+/// Errors returned by the dynamic simulation runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The underlying model is invalid.
+    Model(ModelError),
+    /// The TCM substrate rejected a request.
+    Tcm(TcmError),
+    /// A prefetch scheduler rejected a request.
+    Prefetch(PrefetchError),
+    /// The simulation was configured with zero iterations.
+    NoIterations,
+    /// The configured task-inclusion probability is outside `[0, 1]`.
+    InvalidInclusionProbability {
+        /// The offending value, scaled by 1000 for exact comparison.
+        permille: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Model(e) => write!(f, "invalid model: {e}"),
+            SimError::Tcm(e) => write!(f, "tcm substrate error: {e}"),
+            SimError::Prefetch(e) => write!(f, "prefetch error: {e}"),
+            SimError::NoIterations => write!(f, "simulation needs at least one iteration"),
+            SimError::InvalidInclusionProbability { permille } => {
+                write!(f, "task inclusion probability {} is outside [0, 1]", *permille as f64 / 1000.0)
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            SimError::Tcm(e) => Some(e),
+            SimError::Prefetch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+impl From<TcmError> for SimError {
+    fn from(e: TcmError) -> Self {
+        SimError::Tcm(e)
+    }
+}
+
+impl From<PrefetchError> for SimError {
+    fn from(e: PrefetchError) -> Self {
+        SimError::Prefetch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e = SimError::from(ModelError::CyclicGraph);
+        assert!(Error::source(&e).is_some());
+        let e = SimError::from(TcmError::EmptyCurve);
+        assert!(e.to_string().contains("tcm"));
+        let e = SimError::from(PrefetchError::DeadlockedOrder);
+        assert!(e.to_string().contains("prefetch"));
+        assert!(SimError::NoIterations.to_string().contains("iteration"));
+        let e = SimError::InvalidInclusionProbability { permille: 1500 };
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! # drhw-sim
+//!
+//! The dynamic multi-iteration simulation driver used to reproduce the
+//! experimental results of the DATE 2005 hybrid prefetch paper: Table 1, the
+//! headline overhead numbers of §7, Figure 6 (multimedia task set) and
+//! Figure 7 (Pocket GL 3-D renderer).
+//!
+//! A [`DynamicSimulation`] prepares a task set and a platform once, then runs
+//! any [`PolicyKind`](drhw_prefetch::PolicyKind) under an identical randomised
+//! workload so policy comparisons are paired. The result is a
+//! [`SimulationReport`] whose [`overhead_percent`](SimulationReport::overhead_percent)
+//! is the metric plotted on the paper's figures.
+//!
+//! ```
+//! use drhw_model::{ConfigId, Platform, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time};
+//! use drhw_prefetch::PolicyKind;
+//! use drhw_sim::{DynamicSimulation, SimulationConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut graph = SubtaskGraph::new("toy");
+//! let a = graph.add_subtask(Subtask::new("a", Time::from_millis(10), ConfigId::new(0)));
+//! let b = graph.add_subtask(Subtask::new("b", Time::from_millis(10), ConfigId::new(1)));
+//! graph.add_dependency(a, b)?;
+//! let set = TaskSet::new("toy", vec![Task::single_scenario(TaskId::new(0), "toy", graph)?])?;
+//! let platform = Platform::virtex_like(4)?;
+//!
+//! let sim = DynamicSimulation::new(&set, &platform, SimulationConfig::quick())?;
+//! let no_prefetch = sim.run(PolicyKind::NoPrefetch)?;
+//! let hybrid = sim.run(PolicyKind::Hybrid)?;
+//! assert!(hybrid.overhead_percent() <= no_prefetch.overhead_percent());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod error;
+mod runner;
+mod stats;
+
+pub use config::{PointSelection, ScenarioPolicy, SimulationConfig};
+pub use error::SimError;
+pub use runner::DynamicSimulation;
+pub use stats::SimulationReport;

@@ -1,0 +1,463 @@
+//! The dynamic multi-iteration simulation driver.
+//!
+//! This is the experimental harness of §7: a task set runs for many
+//! iterations, the mix of applications varies randomly between iterations,
+//! scenarios are selected at run time, tile contents persist from one
+//! activation to the next, and the five prefetch policies are compared on the
+//! aggregate reconfiguration overhead they leave exposed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use drhw_model::{
+    InitialSchedule, Platform, ScenarioId, SubtaskGraph, SubtaskId, Task, TaskId, TaskSet, Time,
+};
+use drhw_prefetch::{
+    apply_schedule_to_contents, assign_tiles_protecting, plan_preloads, reusable_subtasks,
+    DesignTimePrefetch, HybridPrefetch, InterTaskWindow, ListScheduler, OnDemandScheduler,
+    PolicyKind, PrefetchProblem, PrefetchScheduler, TileContents,
+};
+use drhw_tcm::{DesignTimeLibrary, DesignTimeScheduler, RuntimeScheduler, TaskActivation};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{PointSelection, ScenarioPolicy, SimulationConfig};
+use crate::error::SimError;
+use crate::stats::{SimulationReport, StatsAccumulator};
+
+/// A reusable simulation instance: the task set, platform and design-time
+/// artifacts are prepared once, then any number of policies can be simulated
+/// under identical randomised workloads (same seed ⇒ same activation
+/// sequence, so policy comparisons are paired).
+#[derive(Debug)]
+pub struct DynamicSimulation<'a> {
+    task_set: &'a TaskSet,
+    platform: &'a Platform,
+    config: SimulationConfig,
+    library: DesignTimeLibrary,
+}
+
+impl<'a> DynamicSimulation<'a> {
+    /// Prepares a simulation: validates the configuration and builds the TCM
+    /// design-time library for every scenario of every task.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration or any scenario graph is invalid.
+    pub fn new(
+        task_set: &'a TaskSet,
+        platform: &'a Platform,
+        config: SimulationConfig,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        let library = DesignTimeLibrary::build(task_set, platform, &DesignTimeScheduler::new())?;
+        Ok(DynamicSimulation { task_set, platform, config, library })
+    }
+
+    /// The configuration of this simulation.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The TCM design-time library built for the task set.
+    pub fn library(&self) -> &DesignTimeLibrary {
+        &self.library
+    }
+
+    /// Simulates one policy over the configured number of iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if scheduling any activation fails (e.g. a scenario
+    /// needs more tiles than the platform provides and no fallback exists).
+    pub fn run(&self, policy: PolicyKind) -> Result<SimulationReport, SimError> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut contents = TileContents::new(self.platform.tile_count());
+        let mut stats = StatsAccumulator::default();
+        let mut window = InterTaskWindow::empty();
+        let mut now = Time::ZERO;
+        let mut schedules: BTreeMap<(TaskId, ScenarioId), InitialSchedule> = BTreeMap::new();
+        let mut design_time: BTreeMap<(TaskId, ScenarioId), DesignTimePrefetch> = BTreeMap::new();
+        let mut hybrids: BTreeMap<(TaskId, ScenarioId), HybridPrefetch> = BTreeMap::new();
+        let latency = self.platform.reconfig_latency();
+
+        for _ in 0..self.config.iterations {
+            let activations = self.pick_activations(&mut rng);
+            for (position, &(task, scenario_id)) in activations.iter().enumerate() {
+                let scenario = task
+                    .scenario(scenario_id)
+                    .ok_or(drhw_tcm::TcmError::UnknownScenario { task: task.id(), scenario: scenario_id })?;
+                let graph = scenario.graph();
+                let key = (task.id(), scenario_id);
+                if !schedules.contains_key(&key) {
+                    let schedule = self.build_schedule(task.id(), scenario_id, graph)?;
+                    schedules.insert(key, schedule);
+                }
+                let schedule = &schedules[&key];
+                let ideal = schedule.ideal_timing(graph)?.makespan();
+
+                // The run-time scheduler knows which tasks follow in this
+                // iteration; the replacement module avoids evicting the
+                // configurations they are about to need.
+                let protected: BTreeSet<drhw_model::ConfigId> = activations[position + 1..]
+                    .iter()
+                    .filter_map(|&(t, s)| t.scenario(s))
+                    .flat_map(|sc| {
+                        sc.graph()
+                            .drhw_subtasks()
+                            .into_iter()
+                            .filter_map(|id| sc.graph().required_config(id))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                let mapping = assign_tiles_protecting(
+                    graph,
+                    schedule,
+                    &contents,
+                    self.config.replacement,
+                    &protected,
+                )?;
+                let resident: BTreeSet<SubtaskId> = if policy.exploits_reuse() {
+                    reusable_subtasks(graph, schedule, &mapping, &contents)
+                } else {
+                    BTreeSet::new()
+                };
+
+                let (penalty, loads, cancelled) = match policy {
+                    PolicyKind::NoPrefetch => {
+                        let problem = PrefetchProblem::new(graph, schedule, self.platform)?;
+                        let result = OnDemandScheduler::new().schedule(&problem)?;
+                        (result.penalty(), result.load_count(), 0)
+                    }
+                    PolicyKind::DesignTimeOnly => {
+                        if !design_time.contains_key(&key) {
+                            design_time.insert(
+                                key,
+                                DesignTimePrefetch::compute(graph, schedule, self.platform)?,
+                            );
+                        }
+                        let artifact = &design_time[&key];
+                        (artifact.penalty(), artifact.load_count(), 0)
+                    }
+                    PolicyKind::RunTime => {
+                        let problem = PrefetchProblem::with_resident(
+                            graph,
+                            schedule,
+                            self.platform,
+                            &resident,
+                        )?;
+                        let result = ListScheduler::new().schedule(&problem)?;
+                        (result.penalty(), result.load_count(), 0)
+                    }
+                    PolicyKind::RunTimeInterTask => {
+                        let base = PrefetchProblem::with_resident(
+                            graph,
+                            schedule,
+                            self.platform,
+                            &resident,
+                        )?;
+                        let (preloaded, _) =
+                            plan_preloads(&base.loads_by_weight_desc(), window, latency);
+                        let mut extended = resident.clone();
+                        extended.extend(preloaded.iter().copied());
+                        let problem = PrefetchProblem::with_resident(
+                            graph,
+                            schedule,
+                            self.platform,
+                            &extended,
+                        )?;
+                        let result = ListScheduler::new().schedule(&problem)?;
+                        window = InterTaskWindow::new(result.trailing_port_idle());
+                        (result.penalty(), result.load_count() + preloaded.len(), 0)
+                    }
+                    PolicyKind::Hybrid => {
+                        if !hybrids.contains_key(&key) {
+                            hybrids.insert(
+                                key,
+                                HybridPrefetch::compute(graph, schedule, self.platform)?,
+                            );
+                        }
+                        let hybrid = &hybrids[&key];
+                        let outcome =
+                            hybrid.evaluate(graph, schedule, self.platform, &resident, window)?;
+                        window = outcome.trailing_window();
+                        let loads =
+                            outcome.loads_performed() + outcome.decision().preloaded.len();
+                        let cancelled = outcome.decision().cancelled_loads.len();
+                        (outcome.penalty(), loads, cancelled)
+                    }
+                };
+
+                stats.activations += 1;
+                stats.ideal_total += ideal;
+                stats.penalty_total += penalty;
+                stats.loads_performed += loads;
+                stats.loads_cancelled += cancelled;
+                stats.drhw_subtasks_executed += graph.drhw_subtasks().len();
+                stats.reused_subtasks += resident.len();
+                stats.reconfiguration_energy_mj +=
+                    loads as f64 * self.platform.reconfig_energy_mj();
+
+                now += ideal + penalty;
+                apply_schedule_to_contents(graph, schedule, &mapping, &mut contents, now);
+            }
+        }
+
+        Ok(stats.finish(policy, self.platform.tile_count(), self.config.iterations))
+    }
+
+    /// Simulates every policy under the same workload and returns the reports
+    /// in the order of [`PolicyKind::ALL`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation error encountered.
+    pub fn run_all(&self) -> Result<Vec<SimulationReport>, SimError> {
+        PolicyKind::ALL.iter().map(|&p| self.run(p)).collect()
+    }
+
+    /// Chooses which tasks run this iteration and in which scenarios.
+    fn pick_activations(&self, rng: &mut StdRng) -> Vec<(&'a Task, ScenarioId)> {
+        let tasks = self.task_set.tasks();
+        let mut selected: Vec<&Task> = tasks
+            .iter()
+            .filter(|_| rng.gen_bool(self.config.task_inclusion_probability))
+            .collect();
+        if selected.is_empty() {
+            selected.push(&tasks[rng.gen_range(0..tasks.len())]);
+        }
+        selected.shuffle(rng);
+
+        match &self.config.scenario_policy {
+            ScenarioPolicy::Independent => selected
+                .into_iter()
+                .map(|task| {
+                    let scenario = pick_weighted_scenario(task, rng);
+                    (task, scenario)
+                })
+                .collect(),
+            ScenarioPolicy::Correlated(combos) => {
+                let combo = &combos[rng.gen_range(0..combos.len().max(1))];
+                selected
+                    .into_iter()
+                    .map(|task| {
+                        let scenario = combo
+                            .get(&task.id())
+                            .copied()
+                            .unwrap_or_else(|| task.scenarios()[0].id());
+                        (task, scenario)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Builds the initial schedule of one scenario according to the configured
+    /// point-selection strategy.
+    fn build_schedule(
+        &self,
+        task: TaskId,
+        scenario: ScenarioId,
+        graph: &SubtaskGraph,
+    ) -> Result<InitialSchedule, SimError> {
+        let tiles = self.platform.tile_count();
+        match self.config.point_selection {
+            PointSelection::FullyParallel => {
+                let parallel = InitialSchedule::fully_parallel(graph)?;
+                if parallel.slot_count() <= tiles {
+                    return Ok(parallel);
+                }
+                // Fall back to the fastest Pareto point that fits.
+                let curve = self.library.curve(task, scenario)?;
+                let point = curve.fastest_within_tiles(tiles).ok_or(
+                    drhw_tcm::TcmError::NoFeasiblePoint { task, scenario, available_tiles: tiles },
+                )?;
+                Ok(point.schedule().clone())
+            }
+            PointSelection::Fastest => {
+                let curve = self.library.curve(task, scenario)?;
+                let point = curve.fastest_within_tiles(tiles).ok_or(
+                    drhw_tcm::TcmError::NoFeasiblePoint { task, scenario, available_tiles: tiles },
+                )?;
+                Ok(point.schedule().clone())
+            }
+            PointSelection::EnergyAware => {
+                let runtime = RuntimeScheduler::new(&self.library);
+                let point = runtime.select(TaskActivation { task, scenario }, tiles)?;
+                Ok(point.schedule().clone())
+            }
+        }
+    }
+}
+
+/// Picks a scenario of a task with probability proportional to the scenario
+/// weights.
+fn pick_weighted_scenario(task: &Task, rng: &mut StdRng) -> ScenarioId {
+    let total: f64 = task.scenarios().iter().map(|s| s.probability()).sum();
+    if total <= 0.0 {
+        return task.scenarios()[0].id();
+    }
+    let mut draw = rng.gen::<f64>() * total;
+    for scenario in task.scenarios() {
+        draw -= scenario.probability();
+        if draw <= 0.0 {
+            return scenario.id();
+        }
+    }
+    task.scenarios().last().expect("tasks always have a scenario").id()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::{ConfigId, Scenario, Subtask};
+
+    /// A small two-task set with a chain and a fork, enough to exercise reuse.
+    fn small_task_set() -> TaskSet {
+        let mut chain = SubtaskGraph::new("chain");
+        let ids: Vec<_> = (0..3)
+            .map(|i| {
+                chain.add_subtask(Subtask::new(
+                    format!("c{i}"),
+                    Time::from_millis(10),
+                    ConfigId::new(i),
+                ))
+            })
+            .collect();
+        chain.add_dependency(ids[0], ids[1]).unwrap();
+        chain.add_dependency(ids[1], ids[2]).unwrap();
+
+        let mut fork = SubtaskGraph::new("fork");
+        let root = fork.add_subtask(Subtask::new("root", Time::from_millis(15), ConfigId::new(10)));
+        for i in 0..2 {
+            let child = fork.add_subtask(Subtask::new(
+                format!("f{i}"),
+                Time::from_millis(8),
+                ConfigId::new(11 + i),
+            ));
+            fork.add_dependency(root, child).unwrap();
+        }
+
+        TaskSet::new(
+            "small",
+            vec![
+                Task::new(
+                    TaskId::new(0),
+                    "chain",
+                    vec![Scenario::new(ScenarioId::new(0), chain)],
+                )
+                .unwrap(),
+                Task::new(TaskId::new(1), "fork", vec![Scenario::new(ScenarioId::new(0), fork)])
+                    .unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn simulate(policy: PolicyKind, tiles: usize) -> SimulationReport {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(tiles).unwrap();
+        let sim = DynamicSimulation::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        sim.run(policy).unwrap()
+    }
+
+    #[test]
+    fn policies_are_ordered_as_the_paper_reports() {
+        let tiles = 8;
+        let no_prefetch = simulate(PolicyKind::NoPrefetch, tiles);
+        let design_time = simulate(PolicyKind::DesignTimeOnly, tiles);
+        let run_time = simulate(PolicyKind::RunTime, tiles);
+        let inter_task = simulate(PolicyKind::RunTimeInterTask, tiles);
+        let hybrid = simulate(PolicyKind::Hybrid, tiles);
+
+        assert!(no_prefetch.overhead_percent() > design_time.overhead_percent());
+        assert!(design_time.overhead_percent() >= run_time.overhead_percent());
+        assert!(run_time.overhead_percent() >= inter_task.overhead_percent() - 1e-9);
+        // Hybrid and run-time+inter-task are close; both remove most overhead.
+        assert!(hybrid.overhead_percent() <= design_time.overhead_percent());
+        assert!(hybrid.overhead_hidden_vs(&no_prefetch) > 50.0);
+    }
+
+    #[test]
+    fn reuse_grows_with_the_number_of_tiles() {
+        let few = simulate(PolicyKind::RunTime, 3);
+        let many = simulate(PolicyKind::RunTime, 8);
+        assert!(many.reuse_percent() >= few.reuse_percent());
+        // With 8 tiles every configuration of the small set stays resident, so
+        // reuse is substantial.
+        assert!(many.reuse_percent() > 30.0, "reuse was {}", many.reuse_percent());
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = simulate(PolicyKind::Hybrid, 6);
+        let b = simulate(PolicyKind::Hybrid, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_change_the_workload_but_not_the_shape() {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let sim_a =
+            DynamicSimulation::new(&set, &platform, SimulationConfig::quick().with_seed(1)).unwrap();
+        let sim_b =
+            DynamicSimulation::new(&set, &platform, SimulationConfig::quick().with_seed(2)).unwrap();
+        let a = sim_a.run(PolicyKind::NoPrefetch).unwrap();
+        let b = sim_b.run(PolicyKind::NoPrefetch).unwrap();
+        // Different activation counts are expected; both still show overhead.
+        assert!(a.overhead_percent() > 5.0);
+        assert!(b.overhead_percent() > 5.0);
+    }
+
+    #[test]
+    fn run_all_covers_every_policy() {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(8).unwrap();
+        let sim = DynamicSimulation::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let reports = sim.run_all().unwrap();
+        assert_eq!(reports.len(), PolicyKind::ALL.len());
+        for (report, policy) in reports.iter().zip(PolicyKind::ALL) {
+            assert_eq!(report.policy(), policy);
+            assert_eq!(report.iterations(), SimulationConfig::quick().iterations);
+            assert!(report.activations() > 0);
+        }
+    }
+
+    #[test]
+    fn energy_aware_selection_also_runs() {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(4).unwrap();
+        let config = SimulationConfig::quick()
+            .with_point_selection(PointSelection::EnergyAware)
+            .with_iterations(20);
+        let sim = DynamicSimulation::new(&set, &platform, config).unwrap();
+        let report = sim.run(PolicyKind::Hybrid).unwrap();
+        assert!(report.activations() > 0);
+    }
+
+    #[test]
+    fn fully_parallel_falls_back_when_the_platform_is_small() {
+        // The fork task needs 3 slots; with only 2 tiles the runner must fall
+        // back to a Pareto point that fits.
+        let set = small_task_set();
+        let platform = Platform::virtex_like(2).unwrap();
+        let sim = DynamicSimulation::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let report = sim.run(PolicyKind::RunTime).unwrap();
+        assert!(report.activations() > 0);
+    }
+
+    #[test]
+    fn correlated_scenarios_use_the_listed_combinations() {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(8).unwrap();
+        let mut combo = BTreeMap::new();
+        combo.insert(TaskId::new(0), ScenarioId::new(0));
+        combo.insert(TaskId::new(1), ScenarioId::new(0));
+        let config = SimulationConfig::quick()
+            .with_scenario_policy(ScenarioPolicy::Correlated(vec![combo]));
+        let sim = DynamicSimulation::new(&set, &platform, config).unwrap();
+        let report = sim.run(PolicyKind::Hybrid).unwrap();
+        assert!(report.activations() > 0);
+    }
+}

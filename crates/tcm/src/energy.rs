@@ -1,0 +1,214 @@
+//! A simple energy model for the TCM Pareto exploration.
+//!
+//! TCM optimises execution time *and* energy: the design-time scheduler emits
+//! one Pareto point per interesting trade-off and the run-time scheduler picks
+//! the least energy-hungry point that still meets the deadline. The absolute
+//! joule figures are irrelevant to the prefetch study — only the shape of the
+//! trade-off matters — so the model is deliberately simple: DRHW execution
+//! uses the subtask's own energy figure, ISP execution is a configurable
+//! factor more expensive (software on an ISP burns more energy per operation
+//! than a dedicated datapath), and every configuration load adds the
+//! platform's per-load energy.
+
+use drhw_model::{PeClass, Platform, SubtaskGraph};
+use serde::{Deserialize, Serialize};
+
+/// Energy accounting used when building Pareto curves and when reporting the
+/// energy saved by cancelled loads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    isp_energy_factor: f64,
+    tile_static_mj_per_ms: f64,
+    tile_activation_mj: f64,
+}
+
+impl EnergyModel {
+    /// Default ratio between executing a subtask on an ISP and on DRHW.
+    pub const DEFAULT_ISP_FACTOR: f64 = 3.0;
+
+    /// Default static energy drawn by one powered tile, in mJ per millisecond
+    /// of schedule length.
+    pub const DEFAULT_TILE_STATIC_MJ_PER_MS: f64 = 0.1;
+
+    /// Default fixed cost of powering up one tile for a task activation, in
+    /// mJ. Together with the static term this makes wider (faster) schedules
+    /// more energy-hungry and gives the Pareto curves their second dimension.
+    pub const DEFAULT_TILE_ACTIVATION_MJ: f64 = 1.0;
+
+    /// Creates the default energy model.
+    pub fn new() -> Self {
+        EnergyModel {
+            isp_energy_factor: Self::DEFAULT_ISP_FACTOR,
+            tile_static_mj_per_ms: Self::DEFAULT_TILE_STATIC_MJ_PER_MS,
+            tile_activation_mj: Self::DEFAULT_TILE_ACTIVATION_MJ,
+        }
+    }
+
+    /// Returns a copy with a different ISP energy factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or is below 1.0 (an ISP is never more
+    /// efficient than dedicated hardware in this model).
+    #[must_use]
+    pub fn with_isp_factor(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 1.0, "isp factor must be >= 1, got {factor}");
+        self.isp_energy_factor = factor;
+        self
+    }
+
+    /// Returns a copy with a different per-tile static energy figure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mj_per_ms` is negative or not finite.
+    #[must_use]
+    pub fn with_tile_static_mj_per_ms(mut self, mj_per_ms: f64) -> Self {
+        assert!(
+            mj_per_ms.is_finite() && mj_per_ms >= 0.0,
+            "static energy must be finite and non-negative, got {mj_per_ms}"
+        );
+        self.tile_static_mj_per_ms = mj_per_ms;
+        self
+    }
+
+    /// The configured ISP energy factor.
+    pub fn isp_factor(&self) -> f64 {
+        self.isp_energy_factor
+    }
+
+    /// The configured per-tile static energy (mJ per ms of schedule length).
+    pub fn tile_static_mj_per_ms(&self) -> f64 {
+        self.tile_static_mj_per_ms
+    }
+
+    /// Static energy of keeping `tiles` tiles powered for `duration`.
+    pub fn static_energy_mj(&self, tiles: usize, duration: drhw_model::Time) -> f64 {
+        self.tile_static_mj_per_ms * tiles as f64 * duration.as_millis_f64()
+    }
+
+    /// Energy of one schedule: execution energy of the graph, plus the static
+    /// energy of the tiles it keeps powered for its whole duration, plus a
+    /// fixed activation cost per tile. This is the figure used on the energy
+    /// axis of the Pareto curves.
+    pub fn schedule_energy_mj(
+        &self,
+        graph: &SubtaskGraph,
+        tiles: usize,
+        exec_time: drhw_model::Time,
+    ) -> f64 {
+        self.graph_execution_energy_mj(graph)
+            + self.static_energy_mj(tiles, exec_time)
+            + self.tile_activation_mj * tiles as f64
+    }
+
+    /// Energy (mJ) of executing one subtask on the given PE class.
+    pub fn execution_energy_mj(&self, graph: &SubtaskGraph, id: drhw_model::SubtaskId, pe: PeClass) -> f64 {
+        let base = graph.subtask(id).exec_energy_mj();
+        match pe {
+            PeClass::Drhw => base,
+            PeClass::Isp => base * self.isp_energy_factor,
+        }
+    }
+
+    /// Energy (mJ) of executing an entire graph with every subtask on its
+    /// preferred PE class (the common case for the benchmark workloads).
+    pub fn graph_execution_energy_mj(&self, graph: &SubtaskGraph) -> f64 {
+        graph
+            .iter()
+            .map(|(id, s)| self.execution_energy_mj(graph, id, s.pe_class()))
+            .sum()
+    }
+
+    /// Energy (mJ) of performing `loads` configuration loads on the platform.
+    pub fn reconfiguration_energy_mj(&self, platform: &Platform, loads: usize) -> f64 {
+        platform.reconfig_energy_mj() * loads as f64
+    }
+
+    /// Total energy of one task activation: execution plus reconfiguration.
+    pub fn activation_energy_mj(
+        &self,
+        graph: &SubtaskGraph,
+        platform: &Platform,
+        loads: usize,
+    ) -> f64 {
+        self.graph_execution_energy_mj(graph) + self.reconfiguration_energy_mj(platform, loads)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::{ConfigId, Subtask, SubtaskId, Time};
+
+    fn graph() -> SubtaskGraph {
+        let mut g = SubtaskGraph::new("e");
+        g.add_subtask(Subtask::new("hw", Time::from_millis(10), ConfigId::new(0)));
+        g.add_subtask(
+            Subtask::new("sw", Time::from_millis(10), ConfigId::new(1)).with_pe_class(PeClass::Isp),
+        );
+        g
+    }
+
+    #[test]
+    fn isp_execution_costs_more_than_drhw() {
+        let g = graph();
+        let m = EnergyModel::new();
+        let hw = m.execution_energy_mj(&g, SubtaskId::new(0), PeClass::Drhw);
+        let sw = m.execution_energy_mj(&g, SubtaskId::new(0), PeClass::Isp);
+        assert!((sw / hw - EnergyModel::DEFAULT_ISP_FACTOR).abs() < 1e-9);
+    }
+
+    #[test]
+    fn graph_energy_uses_each_subtasks_preferred_pe() {
+        let g = graph();
+        let m = EnergyModel::new();
+        // 10 mJ for the DRHW subtask + 30 mJ for the ISP subtask.
+        assert!((m.graph_execution_energy_mj(&g) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconfiguration_energy_scales_with_load_count() {
+        let m = EnergyModel::new();
+        let platform = Platform::virtex_like(4).unwrap().with_reconfig_energy_mj(2.5);
+        assert!((m.reconfiguration_energy_mj(&platform, 4) - 10.0).abs() < 1e-9);
+        let g = graph();
+        let total = m.activation_energy_mj(&g, &platform, 2);
+        assert!((total - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_isp_factor_is_applied() {
+        let m = EnergyModel::new().with_isp_factor(5.0);
+        assert_eq!(m.isp_factor(), 5.0);
+        assert_eq!(EnergyModel::default().isp_factor(), 3.0);
+    }
+
+    #[test]
+    fn static_energy_scales_with_tiles_and_duration() {
+        let m = EnergyModel::new().with_tile_static_mj_per_ms(0.5);
+        assert!((m.static_energy_mj(4, Time::from_millis(10)) - 20.0).abs() < 1e-9);
+        assert_eq!(m.tile_static_mj_per_ms(), 0.5);
+        let g = graph();
+        // 40 mJ execution + 2 tiles * 10 ms * 0.5 mJ/ms + 2 tiles * 1 mJ activation.
+        assert!((m.schedule_energy_mj(&g, 2, Time::from_millis(10)) - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "static energy must be finite")]
+    fn negative_static_energy_is_rejected() {
+        let _ = EnergyModel::new().with_tile_static_mj_per_ms(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "isp factor must be >= 1")]
+    fn sub_unity_isp_factor_is_rejected() {
+        let _ = EnergyModel::new().with_isp_factor(0.5);
+    }
+}

@@ -1,0 +1,95 @@
+//! Errors produced by the TCM scheduling substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use drhw_model::{ModelError, ScenarioId, TaskId};
+
+/// Errors returned by the TCM design-time and run-time schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TcmError {
+    /// The underlying model is invalid.
+    Model(ModelError),
+    /// A task id is unknown to the design-time library.
+    UnknownTask {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A scenario id is unknown for the given task.
+    UnknownScenario {
+        /// The task being looked up.
+        task: TaskId,
+        /// The offending scenario.
+        scenario: ScenarioId,
+    },
+    /// No Pareto point of the scenario fits within the given resource budget.
+    NoFeasiblePoint {
+        /// The task being scheduled.
+        task: TaskId,
+        /// The scenario being scheduled.
+        scenario: ScenarioId,
+        /// The number of tiles that were available.
+        available_tiles: usize,
+    },
+    /// A Pareto curve would be empty (no schedules could be produced).
+    EmptyCurve,
+}
+
+impl fmt::Display for TcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcmError::Model(e) => write!(f, "invalid model: {e}"),
+            TcmError::UnknownTask { task } => write!(f, "unknown task {task}"),
+            TcmError::UnknownScenario { task, scenario } => {
+                write!(f, "task {task} has no scenario {scenario}")
+            }
+            TcmError::NoFeasiblePoint { task, scenario, available_tiles } => write!(
+                f,
+                "no pareto point of {task}/{scenario} fits on {available_tiles} tiles"
+            ),
+            TcmError::EmptyCurve => write!(f, "pareto curve would contain no schedules"),
+        }
+    }
+}
+
+impl Error for TcmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TcmError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for TcmError {
+    fn from(e: ModelError) -> Self {
+        TcmError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_ids() {
+        let e = TcmError::UnknownScenario { task: TaskId::new(3), scenario: ScenarioId::new(1) };
+        assert!(e.to_string().contains("task3"));
+        assert!(e.to_string().contains("sc1"));
+        let e = TcmError::NoFeasiblePoint {
+            task: TaskId::new(0),
+            scenario: ScenarioId::new(0),
+            available_tiles: 2,
+        };
+        assert!(e.to_string().contains("2 tiles"));
+    }
+
+    #[test]
+    fn wraps_model_errors() {
+        let e = TcmError::from(ModelError::EmptyGraph);
+        assert!(Error::source(&e).is_some());
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TcmError>();
+    }
+}

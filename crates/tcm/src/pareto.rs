@@ -1,0 +1,243 @@
+//! Pareto curves of schedules (execution time versus energy).
+//!
+//! For every scenario of every task, the TCM design-time scheduler produces a
+//! set of schedules; each schedule is better than the others in at least one
+//! of the optimised parameters. The run-time scheduler later picks, among the
+//! points of the active scenario, the most energy-efficient one that still
+//! meets the timing constraints.
+
+use drhw_model::{InitialSchedule, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::error::TcmError;
+
+/// One point of a Pareto curve: a concrete assignment/schedule plus the two
+/// figures of merit TCM optimises.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    schedule: InitialSchedule,
+    exec_time: Time,
+    energy_mj: f64,
+}
+
+impl ParetoPoint {
+    /// Creates a point from a schedule and its metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_mj` is negative or not finite.
+    pub fn new(schedule: InitialSchedule, exec_time: Time, energy_mj: f64) -> Self {
+        assert!(
+            energy_mj.is_finite() && energy_mj >= 0.0,
+            "energy must be finite and non-negative, got {energy_mj}"
+        );
+        ParetoPoint { schedule, exec_time, energy_mj }
+    }
+
+    /// The reconfiguration-oblivious schedule of this point.
+    pub fn schedule(&self) -> &InitialSchedule {
+        &self.schedule
+    }
+
+    /// Ideal execution time of the schedule (no reconfiguration overhead).
+    pub fn exec_time(&self) -> Time {
+        self.exec_time
+    }
+
+    /// Estimated energy of one activation in millijoule.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy_mj
+    }
+
+    /// Number of DRHW tiles the schedule needs.
+    pub fn tiles_used(&self) -> usize {
+        self.schedule.slot_count()
+    }
+
+    /// Returns `true` if `self` dominates `other` (no worse in both metrics,
+    /// strictly better in at least one).
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let no_worse = self.exec_time <= other.exec_time && self.energy_mj <= other.energy_mj;
+        let better = self.exec_time < other.exec_time || self.energy_mj < other.energy_mj;
+        no_worse && better
+    }
+}
+
+/// A Pareto-optimal set of schedules for one scenario, sorted by increasing
+/// execution time (and therefore decreasing energy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoCurve {
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoCurve {
+    /// Builds a curve from candidate points, dropping every dominated point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TcmError::EmptyCurve`] if `candidates` is empty.
+    pub fn from_candidates(candidates: Vec<ParetoPoint>) -> Result<Self, TcmError> {
+        if candidates.is_empty() {
+            return Err(TcmError::EmptyCurve);
+        }
+        let mut points: Vec<ParetoPoint> = Vec::new();
+        for candidate in candidates {
+            if points.iter().any(|p| p.dominates(&candidate)) {
+                continue;
+            }
+            points.retain(|p| !candidate.dominates(p));
+            // Identical metric pairs: keep the first (deterministic).
+            if !points
+                .iter()
+                .any(|p| p.exec_time() == candidate.exec_time() && p.energy_mj() == candidate.energy_mj())
+            {
+                points.push(candidate);
+            }
+        }
+        points.sort_by(|a, b| {
+            a.exec_time()
+                .cmp(&b.exec_time())
+                .then(a.energy_mj().partial_cmp(&b.energy_mj()).expect("energy is finite"))
+        });
+        Ok(ParetoCurve { points })
+    }
+
+    /// The points of the curve, sorted by increasing execution time.
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Number of Pareto points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the curve has no points (never true for a constructed
+    /// curve).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The fastest point (smallest execution time).
+    pub fn fastest(&self) -> &ParetoPoint {
+        &self.points[0]
+    }
+
+    /// The most energy-efficient point.
+    pub fn most_efficient(&self) -> &ParetoPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.energy_mj().partial_cmp(&b.energy_mj()).expect("energy is finite"))
+            .expect("curve is never empty")
+    }
+
+    /// The most energy-efficient point that meets `deadline` and fits on
+    /// `available_tiles`, or `None` if no point qualifies.
+    pub fn best_within(&self, deadline: Option<Time>, available_tiles: usize) -> Option<&ParetoPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.tiles_used() <= available_tiles)
+            .filter(|p| deadline.map_or(true, |d| p.exec_time() <= d))
+            .min_by(|a, b| a.energy_mj().partial_cmp(&b.energy_mj()).expect("energy is finite"))
+    }
+
+    /// The fastest point that fits on `available_tiles`, used as a fallback
+    /// when no point meets the deadline.
+    pub fn fastest_within_tiles(&self, available_tiles: usize) -> Option<&ParetoPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.tiles_used() <= available_tiles)
+            .min_by_key(|p| p.exec_time())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::{ConfigId, PeAssignment, Subtask, SubtaskGraph, TileSlot};
+
+    fn schedule_with_slots(slots: usize) -> InitialSchedule {
+        let mut g = SubtaskGraph::new("s");
+        let ids: Vec<_> = (0..slots)
+            .map(|i| g.add_subtask(Subtask::new(format!("s{i}"), Time::from_millis(5), ConfigId::new(i))))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_dependency(w[0], w[1]).unwrap();
+        }
+        let assignment = (0..slots).map(|i| PeAssignment::Tile(TileSlot::new(i))).collect();
+        InitialSchedule::from_assignment(&g, assignment).unwrap()
+    }
+
+    fn point(slots: usize, ms: u64, mj: f64) -> ParetoPoint {
+        ParetoPoint::new(schedule_with_slots(slots), Time::from_millis(ms), mj)
+    }
+
+    #[test]
+    fn dominance_is_strict_in_at_least_one_metric() {
+        let a = point(1, 10, 5.0);
+        let b = point(1, 12, 6.0);
+        let c = point(1, 10, 5.0);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c), "equal points do not dominate each other");
+    }
+
+    #[test]
+    fn from_candidates_filters_dominated_points() {
+        let curve = ParetoCurve::from_candidates(vec![
+            point(4, 10, 20.0),
+            point(2, 20, 12.0),
+            point(3, 15, 25.0), // dominated by the first in energy? no: slower and more energy -> dominated by none? 10<=15 and 20<=25 -> dominated by the first
+            point(1, 40, 8.0),
+        ])
+        .unwrap();
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve.fastest().exec_time(), Time::from_millis(10));
+        assert!((curve.most_efficient().energy_mj() - 8.0).abs() < 1e-9);
+        // Sorted by increasing execution time.
+        let times: Vec<Time> = curve.points().iter().map(ParetoPoint::exec_time).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn duplicate_metric_pairs_are_collapsed() {
+        let curve =
+            ParetoCurve::from_candidates(vec![point(2, 10, 5.0), point(2, 10, 5.0)]).unwrap();
+        assert_eq!(curve.len(), 1);
+    }
+
+    #[test]
+    fn empty_candidate_set_is_an_error() {
+        assert_eq!(ParetoCurve::from_candidates(vec![]).unwrap_err(), TcmError::EmptyCurve);
+    }
+
+    #[test]
+    fn best_within_respects_deadline_and_tiles() {
+        let curve = ParetoCurve::from_candidates(vec![
+            point(4, 10, 20.0),
+            point(2, 20, 12.0),
+            point(1, 40, 8.0),
+        ])
+        .unwrap();
+        // Plenty of tiles, 25 ms deadline: the 20 ms / 12 mJ point wins.
+        let best = curve.best_within(Some(Time::from_millis(25)), 8).unwrap();
+        assert_eq!(best.exec_time(), Time::from_millis(20));
+        // Only 1 tile available: the single-slot point is the only option.
+        let best = curve.best_within(None, 1).unwrap();
+        assert_eq!(best.tiles_used(), 1);
+        // Impossible deadline: nothing qualifies.
+        assert!(curve.best_within(Some(Time::from_millis(5)), 8).is_none());
+        // Fallback: fastest point that fits on two tiles.
+        let fallback = curve.fastest_within_tiles(2).unwrap();
+        assert_eq!(fallback.exec_time(), Time::from_millis(20));
+        assert!(curve.fastest_within_tiles(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "energy must be finite")]
+    fn negative_energy_is_rejected() {
+        let _ = point(1, 10, -3.0);
+    }
+}

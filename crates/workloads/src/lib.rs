@@ -1,0 +1,33 @@
+//! # drhw-workloads
+//!
+//! Benchmark workloads for the DATE 2005 hybrid prefetch reproduction:
+//!
+//! * [`multimedia`] — the four multimedia tasks of Table 1 (Pattern
+//!   Recognition, sequential and parallel JPEG decoding, MPEG encoding with
+//!   B/P/I scenarios);
+//! * [`pocket_gl`] — the highly dynamic Pocket GL 3-D rendering application of
+//!   Figure 7 (6 tasks, 10 subtasks, 40 scenarios, 20 inter-task scenarios);
+//! * [`random`] — TGFF-style layered random DAGs for the scalability studies.
+//!
+//! The original task graphs were never published; these are synthetic
+//! reconstructions matching every quantitative property the paper states
+//! (subtask counts, ideal execution times, scenario counts, execution-time
+//! ranges). DESIGN.md and EXPERIMENTS.md document the substitution.
+//!
+//! ```
+//! use drhw_workloads::multimedia::{jpeg_decoder_graph, fully_parallel_schedule};
+//! # fn main() -> Result<(), drhw_model::ModelError> {
+//! let graph = jpeg_decoder_graph();
+//! let schedule = fully_parallel_schedule(&graph)?;
+//! let ideal = schedule.ideal_timing(&graph)?.makespan();
+//! assert_eq!(ideal, drhw_model::Time::from_millis(81));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod multimedia;
+pub mod pocket_gl;
+pub mod random;

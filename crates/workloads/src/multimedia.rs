@@ -1,0 +1,324 @@
+//! The multimedia benchmark set of Table 1.
+//!
+//! The paper evaluates four multimedia tasks: a Pattern Recognition
+//! application (Hough transform), a sequential and a parallel JPEG decoder,
+//! and an MPEG encoder with three scenarios (B, P and I frames). The original
+//! task graphs were never published, so the graphs here are synthetic
+//! reconstructions with the published subtask counts and ideal execution
+//! times, shaped so that the no-prefetch and optimal-prefetch overheads land
+//! close to the figures of Table 1 (see EXPERIMENTS.md for the comparison).
+//!
+//! Configuration identifiers are globally unique across the whole set, and the
+//! MPEG scenarios share the configurations of their common functional stages,
+//! so configurations can be reused across scenario switches exactly like in
+//! the paper's experiments.
+
+use drhw_model::{
+    ConfigId, InitialSchedule, ModelError, PeAssignment, Scenario, ScenarioId, Subtask,
+    SubtaskGraph, SubtaskId, Task, TaskId, TaskSet, TileSlot, Time,
+};
+
+/// Identifier of the Pattern Recognition task.
+pub const PATTERN_RECOGNITION: TaskId = TaskId::new(0);
+/// Identifier of the sequential JPEG decoder task.
+pub const JPEG_DECODER: TaskId = TaskId::new(1);
+/// Identifier of the parallel JPEG decoder task.
+pub const PARALLEL_JPEG: TaskId = TaskId::new(2);
+/// Identifier of the MPEG encoder task.
+pub const MPEG_ENCODER: TaskId = TaskId::new(3);
+
+fn ms(v: u64) -> Time {
+    Time::from_millis(v)
+}
+
+/// The Pattern Recognition application: a Hough transform looking for
+/// geometrical figures in a matrix of pixels. Six subtasks, 94 ms ideal
+/// execution time.
+///
+/// Structure: edge detection feeds a critical chain (rho accumulation, theta
+/// accumulation, peak detection) plus two gradient helpers with generous
+/// slack.
+pub fn pattern_recognition_graph() -> SubtaskGraph {
+    let mut g = SubtaskGraph::new("pattern-recognition");
+    let edge = g.add_subtask(Subtask::new("edge_detect", ms(20), ConfigId::new(0)));
+    let rho = g.add_subtask(Subtask::new("hough_rho", ms(24), ConfigId::new(1)));
+    let theta = g.add_subtask(Subtask::new("hough_theta", ms(26), ConfigId::new(2)));
+    let grad_x = g.add_subtask(Subtask::new("gradient_x", ms(12), ConfigId::new(3)));
+    let grad_y = g.add_subtask(Subtask::new("gradient_y", ms(12), ConfigId::new(4)));
+    let peak = g.add_subtask(Subtask::new("peak_detect", ms(24), ConfigId::new(5)));
+    let deps =
+        [(edge, rho), (rho, theta), (theta, peak), (edge, grad_x), (edge, grad_y), (grad_x, peak), (grad_y, peak)];
+    for (from, to) in deps {
+        g.add_dependency(from, to).expect("static benchmark graph is well-formed");
+    }
+    g
+}
+
+/// The sequential JPEG decoder: four pipeline stages, 81 ms ideal execution
+/// time.
+pub fn jpeg_decoder_graph() -> SubtaskGraph {
+    let mut g = SubtaskGraph::new("jpeg-decoder");
+    let stages = [
+        ("huffman_decode", 25u64, 10usize),
+        ("dequantize", 20, 11),
+        ("idct", 22, 12),
+        ("color_convert", 14, 13),
+    ];
+    let mut prev: Option<SubtaskId> = None;
+    for (name, t, cfg) in stages {
+        let id = g.add_subtask(Subtask::new(name, ms(t), ConfigId::new(cfg)));
+        if let Some(p) = prev {
+            g.add_dependency(p, id).expect("static benchmark graph is well-formed");
+        }
+        prev = Some(id);
+    }
+    g
+}
+
+/// The parallel JPEG decoder: a parser feeding three per-component pipelines
+/// (Y, U, V) that join in a merge stage. Eight subtasks, 57 ms ideal execution
+/// time.
+pub fn parallel_jpeg_graph() -> SubtaskGraph {
+    let mut g = SubtaskGraph::new("parallel-jpeg");
+    let parse = g.add_subtask(Subtask::new("parse", ms(6), ConfigId::new(20)));
+    let y1 = g.add_subtask(Subtask::new("y_idct", ms(16), ConfigId::new(21)));
+    let y2 = g.add_subtask(Subtask::new("y_upsample", ms(14), ConfigId::new(22)));
+    let u1 = g.add_subtask(Subtask::new("u_idct", ms(14), ConfigId::new(23)));
+    let u2 = g.add_subtask(Subtask::new("u_upsample", ms(14), ConfigId::new(24)));
+    let v1 = g.add_subtask(Subtask::new("v_idct", ms(14), ConfigId::new(25)));
+    let v2 = g.add_subtask(Subtask::new("v_upsample", ms(12), ConfigId::new(26)));
+    let merge = g.add_subtask(Subtask::new("merge", ms(21), ConfigId::new(27)));
+    let deps = [
+        (parse, y1),
+        (y1, y2),
+        (y2, merge),
+        (parse, u1),
+        (u1, u2),
+        (u2, merge),
+        (parse, v1),
+        (v1, v2),
+        (v2, merge),
+    ];
+    for (from, to) in deps {
+        g.add_dependency(from, to).expect("static benchmark graph is well-formed");
+    }
+    g
+}
+
+/// The frame types of the MPEG encoder, one scenario each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpegFrame {
+    /// Intra-coded frame.
+    I,
+    /// Predicted frame.
+    P,
+    /// Bidirectionally predicted frame.
+    B,
+}
+
+impl MpegFrame {
+    /// All frame types in scenario-id order.
+    pub const ALL: [MpegFrame; 3] = [MpegFrame::I, MpegFrame::P, MpegFrame::B];
+
+    /// The scenario id of this frame type.
+    pub fn scenario_id(self) -> ScenarioId {
+        match self {
+            MpegFrame::I => ScenarioId::new(0),
+            MpegFrame::P => ScenarioId::new(1),
+            MpegFrame::B => ScenarioId::new(2),
+        }
+    }
+}
+
+/// One scenario of the MPEG encoder: five pipeline stages whose execution
+/// times depend on the frame type. The functional stages share configurations
+/// across scenarios, so switching frame type still allows reuse.
+pub fn mpeg_encoder_graph(frame: MpegFrame) -> SubtaskGraph {
+    let times: [u64; 5] = match frame {
+        MpegFrame::I => [2, 2, 9, 6, 12],
+        MpegFrame::P => [9, 6, 7, 4, 7],
+        MpegFrame::B => [14, 8, 5, 3, 5],
+    };
+    let names = ["motion_estimation", "motion_compensation", "dct", "quantize", "vlc"];
+    let mut g = SubtaskGraph::new(match frame {
+        MpegFrame::I => "mpeg-encoder-i",
+        MpegFrame::P => "mpeg-encoder-p",
+        MpegFrame::B => "mpeg-encoder-b",
+    });
+    let mut prev: Option<SubtaskId> = None;
+    for (i, (name, t)) in names.iter().zip(times).enumerate() {
+        let id = g.add_subtask(Subtask::new(*name, ms(t), ConfigId::new(30 + i)));
+        if let Some(p) = prev {
+            g.add_dependency(p, id).expect("static benchmark graph is well-formed");
+        }
+        prev = Some(id);
+    }
+    g
+}
+
+/// The Pattern Recognition task (single scenario).
+pub fn pattern_recognition_task() -> Task {
+    Task::single_scenario(PATTERN_RECOGNITION, "pattern-recognition", pattern_recognition_graph())
+        .expect("static benchmark graph is well-formed")
+}
+
+/// The sequential JPEG decoder task (single scenario).
+pub fn jpeg_decoder_task() -> Task {
+    Task::single_scenario(JPEG_DECODER, "jpeg-decoder", jpeg_decoder_graph())
+        .expect("static benchmark graph is well-formed")
+}
+
+/// The parallel JPEG decoder task (single scenario).
+pub fn parallel_jpeg_task() -> Task {
+    Task::single_scenario(PARALLEL_JPEG, "parallel-jpeg", parallel_jpeg_graph())
+        .expect("static benchmark graph is well-formed")
+}
+
+/// The MPEG encoder task with its three frame-type scenarios. Frame-type
+/// probabilities follow a typical IBBPBB group of pictures: I frames are rare,
+/// B frames dominate.
+pub fn mpeg_encoder_task() -> Task {
+    let scenarios = vec![
+        Scenario::new(MpegFrame::I.scenario_id(), mpeg_encoder_graph(MpegFrame::I))
+            .with_probability(1.0 / 6.0),
+        Scenario::new(MpegFrame::P.scenario_id(), mpeg_encoder_graph(MpegFrame::P))
+            .with_probability(2.0 / 6.0),
+        Scenario::new(MpegFrame::B.scenario_id(), mpeg_encoder_graph(MpegFrame::B))
+            .with_probability(3.0 / 6.0),
+    ];
+    Task::new(MPEG_ENCODER, "mpeg-encoder", scenarios)
+        .expect("static benchmark graphs are well-formed")
+}
+
+/// The complete multimedia benchmark set of Table 1.
+pub fn multimedia_task_set() -> TaskSet {
+    TaskSet::new(
+        "multimedia",
+        vec![
+            pattern_recognition_task(),
+            jpeg_decoder_task(),
+            parallel_jpeg_task(),
+            mpeg_encoder_task(),
+        ],
+    )
+    .expect("static benchmark set is non-empty")
+}
+
+/// A fully parallel initial schedule: every DRHW subtask gets its own abstract
+/// tile slot (ISP subtasks go to ISP 0). This is the schedule used for the
+/// per-task characterisation of Table 1, where the platform always has at
+/// least as many tiles as the task has subtasks.
+///
+/// # Errors
+///
+/// Propagates model validation errors.
+pub fn fully_parallel_schedule(graph: &SubtaskGraph) -> Result<InitialSchedule, ModelError> {
+    let mut next_slot = 0usize;
+    let assignment = graph
+        .iter()
+        .map(|(_, s)| {
+            if s.needs_configuration() {
+                let slot = TileSlot::new(next_slot);
+                next_slot += 1;
+                PeAssignment::Tile(slot)
+            } else {
+                // A single ISP serves every software subtask.
+                PeAssignment::Isp(drhw_model::IspId::new(0))
+            }
+        })
+        .collect();
+    InitialSchedule::from_assignment(graph, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::GraphAnalysis;
+
+    #[test]
+    fn subtask_counts_match_table_1() {
+        assert_eq!(pattern_recognition_graph().len(), 6);
+        assert_eq!(jpeg_decoder_graph().len(), 4);
+        assert_eq!(parallel_jpeg_graph().len(), 8);
+        for frame in MpegFrame::ALL {
+            assert_eq!(mpeg_encoder_graph(frame).len(), 5);
+        }
+    }
+
+    #[test]
+    fn ideal_execution_times_match_table_1() {
+        let cases = [
+            (pattern_recognition_graph(), 94u64),
+            (jpeg_decoder_graph(), 81),
+            (parallel_jpeg_graph(), 57),
+        ];
+        for (graph, expected_ms) in cases {
+            let schedule = fully_parallel_schedule(&graph).unwrap();
+            let ideal = schedule.ideal_timing(&graph).unwrap().makespan();
+            assert_eq!(ideal, Time::from_millis(expected_ms), "graph {}", graph.name());
+        }
+        // MPEG: the *average* over B, P, I scenarios is 33 ms.
+        let total: u64 = MpegFrame::ALL
+            .iter()
+            .map(|&f| {
+                let g = mpeg_encoder_graph(f);
+                let s = fully_parallel_schedule(&g).unwrap();
+                s.ideal_timing(&g).unwrap().makespan().as_micros() / 1_000
+            })
+            .sum();
+        assert_eq!(total / 3, 33);
+    }
+
+    #[test]
+    fn graphs_are_valid_dags() {
+        for graph in [
+            pattern_recognition_graph(),
+            jpeg_decoder_graph(),
+            parallel_jpeg_graph(),
+            mpeg_encoder_graph(MpegFrame::B),
+        ] {
+            graph.validate().unwrap();
+            GraphAnalysis::new(&graph).unwrap();
+        }
+    }
+
+    #[test]
+    fn config_ids_are_unique_across_the_set_except_shared_mpeg_stages() {
+        let mut seen = std::collections::BTreeSet::new();
+        for graph in [pattern_recognition_graph(), jpeg_decoder_graph(), parallel_jpeg_graph()] {
+            for (_, s) in graph.iter() {
+                assert!(seen.insert(s.config()), "duplicate config {:?}", s.config());
+            }
+        }
+        // MPEG scenarios intentionally share their stage configurations.
+        let i = mpeg_encoder_graph(MpegFrame::I);
+        let b = mpeg_encoder_graph(MpegFrame::B);
+        for ((_, si), (_, sb)) in i.iter().zip(b.iter()) {
+            assert_eq!(si.config(), sb.config());
+            assert!(!seen.contains(&si.config()));
+        }
+    }
+
+    #[test]
+    fn task_set_contains_the_four_tasks_with_their_scenarios() {
+        let set = multimedia_task_set();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.scenario_count(), 6);
+        assert_eq!(set.task(MPEG_ENCODER).unwrap().scenario_count(), 3);
+        assert_eq!(set.max_drhw_subtasks(), 8);
+        // MPEG scenario probabilities follow the group-of-pictures mix.
+        let mpeg = set.task(MPEG_ENCODER).unwrap();
+        let probs: f64 = mpeg.scenarios().iter().map(|s| s.probability()).sum();
+        assert!((probs - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_parallel_schedule_gives_every_drhw_subtask_its_own_slot() {
+        let g = parallel_jpeg_graph();
+        let s = fully_parallel_schedule(&g).unwrap();
+        assert_eq!(s.slot_count(), 8);
+        for id in g.ids() {
+            assert_eq!(s.subtasks_on(s.assignment(id)).len(), 1);
+        }
+    }
+}

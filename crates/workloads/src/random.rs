@@ -1,0 +1,210 @@
+//! Random task-graph generation (TGFF-style layered DAGs).
+//!
+//! The paper motivates the hybrid heuristic with a scalability argument: the
+//! earlier full run-time scheduler is `N·log N` in the number of loads, so a
+//! 32× larger subtask graph took ~192× longer to schedule. Reproducing that
+//! argument needs graphs much larger than the multimedia benchmarks, so this
+//! module generates layered random DAGs with controllable size, parallelism
+//! and execution-time distribution.
+
+use drhw_model::{ConfigId, Scenario, ScenarioId, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random graph generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomGraphConfig {
+    /// Number of subtasks to generate.
+    pub subtasks: usize,
+    /// Average number of subtasks per layer (controls available parallelism).
+    pub width: usize,
+    /// Probability of adding an edge between a node and a candidate
+    /// predecessor in the previous layer, beyond the one mandatory edge.
+    pub extra_edge_probability: f64,
+    /// Minimum subtask execution time.
+    pub min_exec: Time,
+    /// Maximum subtask execution time.
+    pub max_exec: Time,
+    /// Base used for configuration ids (keeps independently generated graphs
+    /// from aliasing each other's configurations).
+    pub config_base: usize,
+}
+
+impl Default for RandomGraphConfig {
+    fn default() -> Self {
+        RandomGraphConfig {
+            subtasks: 16,
+            width: 4,
+            extra_edge_probability: 0.3,
+            min_exec: Time::from_millis(2),
+            max_exec: Time::from_millis(20),
+            config_base: 1_000,
+        }
+    }
+}
+
+impl RandomGraphConfig {
+    /// Creates a configuration for a graph of the given size, keeping the
+    /// other parameters at their defaults.
+    pub fn with_subtasks(subtasks: usize) -> Self {
+        RandomGraphConfig { subtasks, ..Default::default() }
+    }
+}
+
+/// Generates a layered random DAG.
+///
+/// Nodes are organised in layers of roughly `width` subtasks; every node in a
+/// layer depends on at least one node of the previous layer, plus extra edges
+/// drawn with `extra_edge_probability`. The result is always a valid,
+/// connected-enough DAG for scheduling experiments.
+///
+/// # Panics
+///
+/// Panics if `subtasks` or `width` is zero, or if `min_exec > max_exec`.
+pub fn random_graph(config: &RandomGraphConfig, rng: &mut impl Rng) -> SubtaskGraph {
+    assert!(config.subtasks > 0, "graph must contain at least one subtask");
+    assert!(config.width > 0, "layer width must be positive");
+    assert!(config.min_exec <= config.max_exec, "min_exec must not exceed max_exec");
+    let mut graph = SubtaskGraph::new(format!("random-{}", config.subtasks));
+    let mut layers: Vec<Vec<drhw_model::SubtaskId>> = Vec::new();
+    let mut created = 0usize;
+    while created < config.subtasks {
+        let remaining = config.subtasks - created;
+        let layer_size = if layers.is_empty() {
+            // A modest entry layer keeps the graph from being a pure fork.
+            config.width.min(remaining).max(1)
+        } else {
+            rng.gen_range(1..=config.width.min(remaining).max(1))
+        };
+        let mut layer = Vec::with_capacity(layer_size);
+        for _ in 0..layer_size {
+            let micros = rng.gen_range(config.min_exec.as_micros()..=config.max_exec.as_micros());
+            let id = graph.add_subtask(Subtask::new(
+                format!("n{created}"),
+                Time::from_micros(micros),
+                ConfigId::new(config.config_base + created),
+            ));
+            if let Some(previous) = layers.last() {
+                let mandatory = previous[rng.gen_range(0..previous.len())];
+                graph
+                    .add_dependency(mandatory, id)
+                    .expect("layered construction cannot create cycles");
+                for &candidate in previous {
+                    if candidate != mandatory && rng.gen_bool(config.extra_edge_probability) {
+                        graph
+                            .add_dependency(candidate, id)
+                            .expect("layered construction cannot create cycles");
+                    }
+                }
+            }
+            layer.push(id);
+            created += 1;
+        }
+        layers.push(layer);
+    }
+    graph
+}
+
+/// Generates a random graph from a seed (convenience wrapper used by the
+/// benches, which need deterministic inputs).
+pub fn seeded_random_graph(config: &RandomGraphConfig, seed: u64) -> SubtaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_graph(config, &mut rng)
+}
+
+/// Generates a task set of `tasks` random single-scenario tasks, each with its
+/// own configuration-id range so no configuration is shared between tasks.
+pub fn random_task_set(
+    tasks: usize,
+    subtasks_per_task: usize,
+    seed: u64,
+) -> TaskSet {
+    assert!(tasks > 0, "task set must contain at least one task");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let built: Vec<Task> = (0..tasks)
+        .map(|t| {
+            let config = RandomGraphConfig {
+                subtasks: subtasks_per_task,
+                config_base: 10_000 + t * 1_000,
+                ..Default::default()
+            };
+            let graph = random_graph(&config, &mut rng);
+            Task::new(
+                TaskId::new(100 + t),
+                format!("random-task-{t}"),
+                vec![Scenario::new(ScenarioId::new(0), graph)],
+            )
+            .expect("generated graphs are valid")
+        })
+        .collect();
+    TaskSet::new("random", built).expect("at least one task was generated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::GraphAnalysis;
+
+    #[test]
+    fn generated_graphs_are_valid_dags_of_the_requested_size() {
+        for &n in &[1usize, 5, 16, 64, 200] {
+            let g = seeded_random_graph(&RandomGraphConfig::with_subtasks(n), 42);
+            assert_eq!(g.len(), n);
+            g.validate().unwrap();
+            GraphAnalysis::new(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_fixed_seed() {
+        let config = RandomGraphConfig::with_subtasks(32);
+        let a = seeded_random_graph(&config, 7);
+        let b = seeded_random_graph(&config, 7);
+        assert_eq!(a, b);
+        let c = seeded_random_graph(&config, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn execution_times_respect_the_configured_range() {
+        let config = RandomGraphConfig {
+            subtasks: 50,
+            min_exec: Time::from_millis(3),
+            max_exec: Time::from_millis(5),
+            ..Default::default()
+        };
+        let g = seeded_random_graph(&config, 1);
+        for (_, s) in g.iter() {
+            assert!(s.exec_time() >= Time::from_millis(3));
+            assert!(s.exec_time() <= Time::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn every_non_entry_subtask_has_a_predecessor() {
+        let g = seeded_random_graph(&RandomGraphConfig::with_subtasks(40), 3);
+        let entry_layer_max = 4; // default width
+        let orphans = g.ids().filter(|&id| g.predecessors(id).is_empty()).count();
+        assert!(orphans <= entry_layer_max);
+    }
+
+    #[test]
+    fn random_task_sets_have_distinct_configurations_per_task() {
+        let set = random_task_set(3, 10, 9);
+        assert_eq!(set.len(), 3);
+        let mut all_configs = std::collections::BTreeSet::new();
+        for task in set.tasks() {
+            for scenario in task.scenarios() {
+                for (_, s) in scenario.graph().iter() {
+                    assert!(all_configs.insert(s.config()), "duplicate config across tasks");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subtask")]
+    fn zero_subtasks_is_rejected() {
+        let _ = seeded_random_graph(&RandomGraphConfig::with_subtasks(0), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The highly dynamic Pocket GL 3-D rendering application of Figure 7.
+//!
+//! Runs the six-stage rendering pipeline for a number of frames with the
+//! scenario of every stage drawn from the 20 feasible inter-task scenarios,
+//! and compares the five prefetch policies on the aggregate reconfiguration
+//! overhead, exactly like the paper's Figure 7 experiment (scaled down to a
+//! few hundred iterations so it finishes in seconds).
+//!
+//! Run with: `cargo run -p drhw-examples --bin dynamic_3d_rendering [-- <iterations>]`
+
+use std::collections::BTreeMap;
+use std::error::Error;
+
+use drhw_model::{Platform, ScenarioId, TaskId};
+use drhw_prefetch::PolicyKind;
+use drhw_sim::{DynamicSimulation, ScenarioPolicy, SimulationConfig};
+use drhw_workloads::pocket_gl::{
+    inter_task_scenarios, pocket_gl_task_set, workload_stats, TASK_COUNT,
+};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let iterations: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    let set = pocket_gl_task_set();
+    let stats = workload_stats();
+    println!("Pocket GL application:");
+    println!("  tasks            : {}", set.len());
+    println!("  subtasks         : {}", stats.subtask_count);
+    println!("  scenarios        : {}", stats.scenario_count);
+    println!("  inter-task scen. : {}", inter_task_scenarios().len());
+    println!("  subtask exec time: {} .. {} (mean {})", stats.min, stats.max, stats.mean);
+    println!();
+
+    // Convert the feasible inter-task scenarios into the correlated scenario
+    // maps the simulator consumes.
+    let combos: Vec<BTreeMap<TaskId, ScenarioId>> = inter_task_scenarios()
+        .into_iter()
+        .map(|combo| {
+            (0..TASK_COUNT)
+                .map(|t| (TaskId::new(10 + t), ScenarioId::new(combo.scenarios[t])))
+                .collect()
+        })
+        .collect();
+
+    println!("Reconfiguration overhead over {iterations} frames (4 ms loads):");
+    println!("tiles  no-prefetch  design-time  run-time  run-time+inter  hybrid");
+    for tiles in [5usize, 6, 7, 8, 9, 10] {
+        let platform = Platform::virtex_like(tiles)?;
+        let config = SimulationConfig {
+            task_inclusion_probability: 1.0,
+            ..SimulationConfig::default()
+                .with_iterations(iterations)
+                .with_scenario_policy(ScenarioPolicy::Correlated(combos.clone()))
+        };
+        let sim = DynamicSimulation::new(&set, &platform, config)?;
+        let overhead = |policy: PolicyKind| -> Result<f64, Box<dyn Error>> {
+            Ok(sim.run(policy)?.overhead_percent())
+        };
+        println!(
+            "{:>5}  {:>10.1}%  {:>10.1}%  {:>7.1}%  {:>13.1}%  {:>5.1}%",
+            tiles,
+            overhead(PolicyKind::NoPrefetch)?,
+            overhead(PolicyKind::DesignTimeOnly)?,
+            overhead(PolicyKind::RunTime)?,
+            overhead(PolicyKind::RunTimeInterTask)?,
+            overhead(PolicyKind::Hybrid)?,
+        );
+    }
+    println!();
+    println!("The hybrid heuristic should track run-time+inter-task closely and remove");
+    println!("most of the no-prefetch overhead, as in Figure 7 of the paper.");
+    Ok(())
+}

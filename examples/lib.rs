@@ -1,0 +1,8 @@
+//! Runnable examples for the DRHW hybrid prefetch reproduction.
+//!
+//! Each example is a standalone binary exercising the public API:
+//!
+//! * `quickstart` — the Fig. 3 / Fig. 5 worked example;
+//! * `jpeg_pipeline` — the JPEG decoders through the full Fig. 2 flow;
+//! * `dynamic_3d_rendering` — the Pocket GL application swept over tile counts;
+//! * `design_vs_runtime` — critical-subtask statistics and run-time cost.

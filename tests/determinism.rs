@@ -1,0 +1,79 @@
+//! Determinism guarantees: the same seed reproduces the same workload and the
+//! same reports, and policy comparisons are paired (every policy sees exactly
+//! the same activation sequence).
+
+use drhw_model::Platform;
+use drhw_prefetch::PolicyKind;
+use drhw_sim::{DynamicSimulation, SimulationConfig};
+use drhw_workloads::multimedia::multimedia_task_set;
+use drhw_workloads::pocket_gl::pocket_gl_task_set;
+use drhw_workloads::random::{random_task_set, seeded_random_graph, RandomGraphConfig};
+
+#[test]
+fn identical_seeds_produce_identical_reports() {
+    let set = multimedia_task_set();
+    let platform = Platform::virtex_like(9).unwrap();
+    let config = SimulationConfig::default().with_iterations(80).with_seed(77);
+    let sim_a = DynamicSimulation::new(&set, &platform, config.clone()).unwrap();
+    let sim_b = DynamicSimulation::new(&set, &platform, config).unwrap();
+    for policy in PolicyKind::ALL {
+        assert_eq!(sim_a.run(policy).unwrap(), sim_b.run(policy).unwrap(), "{policy}");
+    }
+}
+
+#[test]
+fn policies_see_exactly_the_same_workload() {
+    let set = multimedia_task_set();
+    let platform = Platform::virtex_like(12).unwrap();
+    let config = SimulationConfig::default().with_iterations(60).with_seed(3);
+    let sim = DynamicSimulation::new(&set, &platform, config).unwrap();
+    let reports = sim.run_all().unwrap();
+    let reference = &reports[0];
+    for report in &reports {
+        assert_eq!(report.activations(), reference.activations());
+        assert_eq!(report.ideal_total(), reference.ideal_total());
+        assert_eq!(report.drhw_subtasks_executed(), reference.drhw_subtasks_executed());
+    }
+}
+
+#[test]
+fn pocket_gl_simulation_is_deterministic_too() {
+    let set = pocket_gl_task_set();
+    let platform = Platform::virtex_like(7).unwrap();
+    let config = SimulationConfig::default().with_iterations(50).with_seed(11);
+    let sim = DynamicSimulation::new(&set, &platform, config).unwrap();
+    let a = sim.run(PolicyKind::Hybrid).unwrap();
+    let b = sim.run(PolicyKind::Hybrid).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn random_workload_generation_is_seed_stable() {
+    let a = seeded_random_graph(&RandomGraphConfig::with_subtasks(48), 123);
+    let b = seeded_random_graph(&RandomGraphConfig::with_subtasks(48), 123);
+    assert_eq!(a, b);
+    let set_a = random_task_set(4, 12, 5);
+    let set_b = random_task_set(4, 12, 5);
+    assert_eq!(set_a, set_b);
+}
+
+#[test]
+fn different_seeds_produce_different_workloads() {
+    let set = multimedia_task_set();
+    let platform = Platform::virtex_like(9).unwrap();
+    let sim_a = DynamicSimulation::new(
+        &set,
+        &platform,
+        SimulationConfig::default().with_iterations(80).with_seed(1),
+    )
+    .unwrap();
+    let sim_b = DynamicSimulation::new(
+        &set,
+        &platform,
+        SimulationConfig::default().with_iterations(80).with_seed(2),
+    )
+    .unwrap();
+    let a = sim_a.run(PolicyKind::NoPrefetch).unwrap();
+    let b = sim_b.run(PolicyKind::NoPrefetch).unwrap();
+    assert_ne!(a, b);
+}

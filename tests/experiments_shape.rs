@@ -1,0 +1,117 @@
+//! Shape checks for the paper's experiments: who wins, by roughly what factor,
+//! and how the curves move with the number of tiles. Run with reduced
+//! iteration counts so the whole suite stays fast; the full-size sweeps are
+//! produced by the `drhw-bench` binaries.
+
+use drhw_bench::experiments::{
+    figure6_series, figure7_series, headline_numbers, table1_rows,
+};
+use drhw_model::Platform;
+use drhw_prefetch::PolicyKind;
+use drhw_sim::{DynamicSimulation, SimulationConfig};
+use drhw_workloads::multimedia::multimedia_task_set;
+use drhw_workloads::pocket_gl::pocket_gl_task_set;
+
+const ITERATIONS: usize = 120;
+const SEED: u64 = 2005;
+
+#[test]
+fn table1_reproduces_the_published_shape() {
+    let rows = table1_rows();
+    assert_eq!(rows.len(), 4);
+    for row in &rows {
+        // Optimal prefetch always removes most of the on-demand overhead.
+        assert!(row.prefetch_percent < row.overhead_percent * 0.6, "{}", row.name);
+    }
+    // The MPEG encoder has the highest relative overhead (shortest task), the
+    // pattern recognition application the lowest, as in Table 1.
+    let overhead: Vec<f64> = rows.iter().map(|r| r.overhead_percent).collect();
+    assert!(overhead[3] > overhead[2] && overhead[2] > overhead[1] && overhead[1] > overhead[0]);
+}
+
+#[test]
+fn headline_numbers_follow_the_paper_ordering() {
+    let (no_prefetch, design_time) = headline_numbers(ITERATIONS, SEED, 8).unwrap();
+    // ~23 % and ~7 % in the paper: we accept a generous band but require the
+    // factor-three improvement and the absolute ballpark.
+    assert!(no_prefetch.overhead_percent() > 15.0 && no_prefetch.overhead_percent() < 45.0);
+    assert!(design_time.overhead_percent() > 3.0 && design_time.overhead_percent() < 15.0);
+    assert!(design_time.overhead_percent() < no_prefetch.overhead_percent() / 2.0);
+}
+
+#[test]
+fn figure6_curves_keep_their_relative_order_and_fall_with_tiles() {
+    let points = figure6_series(ITERATIONS, SEED).unwrap();
+    let at = |tiles: usize, policy: PolicyKind| {
+        points
+            .iter()
+            .find(|p| p.tiles == tiles && p.policy == policy)
+            .map(|p| p.overhead_percent)
+            .expect("series covers every point")
+    };
+    for tiles in 8..=16 {
+        // The hybrid heuristic and the inter-task variant track each other and
+        // dominate the plain run-time heuristic.
+        assert!(at(tiles, PolicyKind::Hybrid) <= at(tiles, PolicyKind::RunTime) + 1.0);
+        assert!(
+            at(tiles, PolicyKind::RunTimeInterTask) <= at(tiles, PolicyKind::RunTime) + 1.0
+        );
+        // Both advanced policies stay in the low single digits, as in Fig. 6.
+        assert!(at(tiles, PolicyKind::Hybrid) < 4.0);
+    }
+    // More tiles -> more reuse -> less overhead for the run-time policy.
+    assert!(at(16, PolicyKind::RunTime) < at(8, PolicyKind::RunTime));
+    // Reuse grows monotonically enough to double from 8 to 16 tiles.
+    let reuse8 = points.iter().find(|p| p.tiles == 8 && p.policy == PolicyKind::RunTime).unwrap();
+    let reuse16 = points.iter().find(|p| p.tiles == 16 && p.policy == PolicyKind::RunTime).unwrap();
+    assert!(reuse16.reuse_percent > reuse8.reuse_percent * 1.5);
+    // "less than 20 % of the subtasks reused (for 8 tiles)".
+    assert!(reuse8.reuse_percent < 25.0);
+}
+
+#[test]
+fn figure7_hybrid_removes_most_of_the_initial_overhead() {
+    let points = figure7_series(ITERATIONS, SEED).unwrap();
+    let hybrid_5 = points
+        .iter()
+        .find(|p| p.tiles == 5 && p.policy == PolicyKind::Hybrid)
+        .unwrap()
+        .overhead_percent;
+    let hybrid_10 = points
+        .iter()
+        .find(|p| p.tiles == 10 && p.policy == PolicyKind::Hybrid)
+        .unwrap()
+        .overhead_percent;
+    let run_time_5 = points
+        .iter()
+        .find(|p| p.tiles == 5 && p.policy == PolicyKind::RunTime)
+        .unwrap()
+        .overhead_percent;
+    // The hybrid dominates the pure run-time heuristic on this workload and
+    // its overhead collapses once every configuration fits on the platform.
+    assert!(hybrid_5 < run_time_5);
+    assert!(hybrid_10 < 2.0);
+    assert!(hybrid_5 > hybrid_10);
+}
+
+#[test]
+fn figure_policies_always_beat_the_baselines() {
+    // One joint simulation per workload: the reuse-exploiting policies must
+    // never lose to the design-time-only prefetch, which in turn beats
+    // loading on demand.
+    for (set, tiles) in [(multimedia_task_set(), 10), (pocket_gl_task_set(), 8)] {
+        let platform = Platform::virtex_like(tiles).unwrap();
+        let config = SimulationConfig::default().with_iterations(ITERATIONS).with_seed(SEED);
+        let sim = DynamicSimulation::new(&set, &platform, config).unwrap();
+        let reports = sim.run_all().unwrap();
+        let overhead = |policy: PolicyKind| {
+            reports.iter().find(|r| r.policy() == policy).unwrap().overhead_percent()
+        };
+        assert!(overhead(PolicyKind::DesignTimeOnly) < overhead(PolicyKind::NoPrefetch));
+        assert!(overhead(PolicyKind::RunTime) <= overhead(PolicyKind::DesignTimeOnly));
+        assert!(overhead(PolicyKind::Hybrid) <= overhead(PolicyKind::DesignTimeOnly));
+        assert!(
+            overhead(PolicyKind::RunTimeInterTask) <= overhead(PolicyKind::RunTime) + 0.5
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in the sibling `*.rs` files (`pipeline`,
+//! `experiments_shape`, `determinism`, `properties`); this small library only
+//! hosts fixtures they share.
+
+use drhw_model::{InitialSchedule, Platform, SubtaskGraph};
+use drhw_workloads::random::{seeded_random_graph, RandomGraphConfig};
+
+/// Builds a random graph together with its fully parallel schedule and a
+/// platform large enough to host it — the standard fixture of the property
+/// tests.
+pub fn random_instance(
+    subtasks: usize,
+    seed: u64,
+    latency_ms: u64,
+) -> (SubtaskGraph, InitialSchedule, Platform) {
+    let graph = seeded_random_graph(&RandomGraphConfig::with_subtasks(subtasks.max(1)), seed);
+    let schedule =
+        InitialSchedule::fully_parallel(&graph).expect("generated graphs are valid");
+    let platform = Platform::new(
+        schedule.slot_count().max(1),
+        drhw_model::Time::from_millis(latency_ms),
+    )
+    .expect("non-empty platform");
+    (graph, schedule, platform)
+}

@@ -1,0 +1,117 @@
+//! End-to-end integration of the full Fig. 2 flow across every crate:
+//! TCM design-time scheduling → run-time selection → reuse → prefetch →
+//! replacement → simulated execution.
+
+use std::collections::BTreeSet;
+
+use drhw_model::{Platform, ScenarioId, Time};
+use drhw_prefetch::{
+    apply_schedule_to_contents, assign_tiles, reusable_subtasks, HybridPrefetch, InterTaskWindow,
+    ListScheduler, OnDemandScheduler, PrefetchProblem, PrefetchScheduler, ReplacementPolicy,
+    TileContents,
+};
+use drhw_tcm::{DesignTimeLibrary, DesignTimeScheduler, RuntimeScheduler, TaskActivation};
+use drhw_workloads::multimedia::{
+    fully_parallel_schedule, multimedia_task_set, MPEG_ENCODER, PARALLEL_JPEG,
+};
+
+#[test]
+fn tcm_library_covers_the_multimedia_set_and_selects_valid_points() {
+    let set = multimedia_task_set();
+    let platform = Platform::virtex_like(8).unwrap();
+    let library = DesignTimeLibrary::build(&set, &platform, &DesignTimeScheduler::new()).unwrap();
+    assert_eq!(library.artifacts().len(), 4);
+    let runtime = RuntimeScheduler::new(&library);
+    for task in set.tasks() {
+        for scenario in task.scenarios() {
+            let point = runtime
+                .select(
+                    TaskActivation { task: task.id(), scenario: scenario.id() },
+                    platform.tile_count(),
+                )
+                .unwrap();
+            assert!(point.tiles_used() <= platform.tile_count());
+            assert!(point.exec_time() > Time::ZERO);
+            // The selected schedule must be executable against its graph.
+            point.schedule().ideal_timing(scenario.graph()).unwrap();
+        }
+    }
+}
+
+#[test]
+fn full_flow_on_two_consecutive_frames_reuses_configurations() {
+    let set = multimedia_task_set();
+    let platform = Platform::virtex_like(10).unwrap();
+    let task = set.task(PARALLEL_JPEG).unwrap();
+    let graph = task.scenarios()[0].graph();
+    let schedule = fully_parallel_schedule(graph).unwrap();
+    let hybrid = HybridPrefetch::compute(graph, &schedule, &platform).unwrap();
+
+    let mut contents = TileContents::new(platform.tile_count());
+    let mut window = InterTaskWindow::empty();
+
+    // Frame 1: cold start — loads for everything, positive penalty.
+    let mapping = assign_tiles(graph, &schedule, &contents, ReplacementPolicy::ReuseAware).unwrap();
+    let resident = reusable_subtasks(graph, &schedule, &mapping, &contents);
+    assert!(resident.is_empty());
+    let cold = hybrid.evaluate(graph, &schedule, &platform, &resident, window).unwrap();
+    assert!(cold.penalty() > Time::ZERO);
+    assert_eq!(cold.loads_performed(), graph.drhw_subtasks().len());
+    window = cold.trailing_window();
+    apply_schedule_to_contents(graph, &schedule, &mapping, &mut contents, Time::from_millis(100));
+
+    // Frame 2: the same task re-runs, every configuration is still resident.
+    let mapping = assign_tiles(graph, &schedule, &contents, ReplacementPolicy::ReuseAware).unwrap();
+    let resident = reusable_subtasks(graph, &schedule, &mapping, &contents);
+    assert_eq!(resident.len(), graph.drhw_subtasks().len());
+    let warm = hybrid.evaluate(graph, &schedule, &platform, &resident, window).unwrap();
+    assert_eq!(warm.penalty(), Time::ZERO);
+    assert_eq!(warm.loads_performed(), 0);
+    assert_eq!(warm.decision().cancelled_loads.len(), hybrid.critical().stored_load_order().len());
+}
+
+#[test]
+fn every_mpeg_scenario_flows_through_the_prefetch_stack() {
+    let set = multimedia_task_set();
+    let platform = Platform::virtex_like(8).unwrap();
+    let task = set.task(MPEG_ENCODER).unwrap();
+    for scenario_index in 0..task.scenario_count() {
+        let scenario = task.scenario(ScenarioId::new(scenario_index)).unwrap();
+        let graph = scenario.graph();
+        let schedule = fully_parallel_schedule(graph).unwrap();
+        let problem = PrefetchProblem::new(graph, &schedule, &platform).unwrap();
+        let on_demand = OnDemandScheduler::new().schedule(&problem).unwrap();
+        let list = ListScheduler::new().schedule(&problem).unwrap();
+        let hybrid = HybridPrefetch::compute(graph, &schedule, &platform).unwrap();
+        let outcome = hybrid
+            .evaluate(graph, &schedule, &platform, &BTreeSet::new(), InterTaskWindow::empty())
+            .unwrap();
+        assert!(list.penalty() <= on_demand.penalty());
+        assert!(outcome.penalty() <= on_demand.penalty());
+        // The MPEG scenarios are short pipelines: every prefetch variant must
+        // leave strictly less overhead than loading on demand.
+        assert!(list.penalty() < on_demand.penalty());
+    }
+}
+
+#[test]
+fn hybrid_runtime_decision_matches_the_simulated_outcome() {
+    let set = multimedia_task_set();
+    let platform = Platform::virtex_like(8).unwrap();
+    let task = set.task(PARALLEL_JPEG).unwrap();
+    let graph = task.scenarios()[0].graph();
+    let schedule = fully_parallel_schedule(graph).unwrap();
+    let hybrid = HybridPrefetch::compute(graph, &schedule, &platform).unwrap();
+    let resident: BTreeSet<_> = graph.drhw_subtasks().into_iter().take(2).collect();
+    let decision = hybrid
+        .runtime_decision(graph, &schedule, &platform, &resident, InterTaskWindow::empty())
+        .unwrap();
+    let outcome = hybrid
+        .evaluate(graph, &schedule, &platform, &resident, InterTaskWindow::empty())
+        .unwrap();
+    assert_eq!(decision, *outcome.decision());
+    assert_eq!(
+        outcome.init_duration(),
+        platform.reconfig_latency() * decision.init_loads.len() as u64
+    );
+}

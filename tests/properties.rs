@@ -1,0 +1,144 @@
+//! Property-based tests (proptest) of the scheduling invariants on random
+//! task graphs.
+
+use std::collections::BTreeSet;
+
+use drhw_integration::random_instance;
+use drhw_model::{PeAssignment, Platform, SubtaskId, Time};
+use drhw_prefetch::{
+    BranchBoundScheduler, CriticalSetAnalysis, HybridPrefetch, InterTaskWindow, ListScheduler,
+    OnDemandScheduler, PrefetchProblem, PrefetchScheduler,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Prefetching never loses to loading on demand, and the exact search
+    /// never loses to the heuristic.
+    #[test]
+    fn prefetch_never_loses_to_on_demand(subtasks in 2usize..24, seed in 0u64..500, latency in 1u64..8) {
+        let (graph, schedule, platform) = random_instance(subtasks, seed, latency);
+        let problem = PrefetchProblem::new(&graph, &schedule, &platform).unwrap();
+        let on_demand = OnDemandScheduler::new().schedule(&problem).unwrap();
+        let list = ListScheduler::new().schedule(&problem).unwrap();
+        prop_assert!(list.penalty() <= on_demand.penalty());
+        if problem.load_count() <= 8 {
+            let exact = BranchBoundScheduler::new().schedule(&problem).unwrap();
+            prop_assert!(exact.penalty() <= list.penalty());
+        }
+    }
+
+    /// The timing engine never violates the platform constraints: precedence,
+    /// per-PE serialisation, configuration residency before execution, and the
+    /// single serialised reconfiguration port.
+    #[test]
+    fn executor_respects_every_constraint(subtasks in 2usize..24, seed in 0u64..500, latency in 0u64..8) {
+        let (graph, schedule, platform) = random_instance(subtasks, seed, latency);
+        let problem = PrefetchProblem::new(&graph, &schedule, &platform).unwrap();
+        let result = ListScheduler::new().schedule(&problem).unwrap();
+        let timed = result.timed();
+
+        for (from, to) in graph.edges() {
+            prop_assert!(timed.execution(to).unwrap().start >= timed.execution(from).unwrap().finish);
+        }
+        for id in graph.ids() {
+            if let Some(prev) = schedule.predecessor_on_pe(id) {
+                prop_assert!(timed.execution(id).unwrap().start >= timed.execution(prev).unwrap().finish);
+            }
+            if problem.needs_load(id) {
+                let load = timed.load(id).expect("every needed load is performed");
+                prop_assert!(timed.execution(id).unwrap().start >= load.finish);
+                // The tile cannot be reconfigured while its previous occupant runs.
+                if let Some(prev) = schedule.predecessor_on_pe(id) {
+                    prop_assert!(load.start >= timed.execution(prev).unwrap().finish);
+                }
+            }
+        }
+        // Loads never overlap on the shared port.
+        let mut loads: Vec<_> = timed.loads().to_vec();
+        loads.sort_by_key(|l| l.start);
+        for pair in loads.windows(2) {
+            prop_assert!(pair[1].start >= pair[0].finish);
+        }
+        // Executions sharing a PE never overlap either.
+        for (pe, order) in schedule.pe_order() {
+            if let PeAssignment::Tile(_) = pe {
+                for pair in order.windows(2) {
+                    prop_assert!(
+                        timed.execution(pair[1]).unwrap().start
+                            >= timed.execution(pair[0]).unwrap().finish
+                    );
+                }
+            }
+        }
+    }
+
+    /// Zero reconfiguration latency means zero overhead for every policy.
+    #[test]
+    fn zero_latency_means_zero_overhead(subtasks in 2usize..20, seed in 0u64..500) {
+        let (graph, schedule, _) = random_instance(subtasks, seed, 0);
+        let platform = Platform::new(schedule.slot_count().max(1), Time::ZERO).unwrap();
+        let problem = PrefetchProblem::new(&graph, &schedule, &platform).unwrap();
+        prop_assert_eq!(OnDemandScheduler::new().schedule(&problem).unwrap().penalty(), Time::ZERO);
+        prop_assert_eq!(ListScheduler::new().schedule(&problem).unwrap().penalty(), Time::ZERO);
+    }
+
+    /// The defining property of the Critical Subtask set: if every CS member is
+    /// resident, the stored schedule hides all remaining loads (up to the
+    /// residual penalty recorded at design time).
+    #[test]
+    fn critical_set_definition_holds(subtasks in 2usize..16, seed in 0u64..300, latency in 1u64..8) {
+        let (graph, schedule, platform) = random_instance(subtasks, seed, latency);
+        let cs = CriticalSetAnalysis::compute_with(&graph, &schedule, &platform, &ListScheduler::new()).unwrap();
+        let resident: BTreeSet<SubtaskId> = cs.critical_subtasks().iter().copied().collect();
+        let problem = PrefetchProblem::with_resident(&graph, &schedule, &platform, &resident).unwrap();
+        let replay = ListScheduler::new().schedule(&problem).unwrap();
+        prop_assert_eq!(replay.penalty(), cs.stored_penalty());
+        // The critical set never exceeds the number of DRHW subtasks.
+        prop_assert!(cs.len() <= graph.drhw_subtasks().len());
+    }
+
+    /// A cold-start activation of the hybrid heuristic costs exactly its
+    /// initialization phase plus the residual penalty stored at design time,
+    /// and an inter-task window can only help.
+    #[test]
+    fn hybrid_cold_start_cost_is_the_initialization_phase(subtasks in 2usize..16, seed in 0u64..300, latency in 1u64..8) {
+        let (graph, schedule, platform) = random_instance(subtasks, seed, latency);
+        let hybrid = HybridPrefetch::compute_with(&graph, &schedule, &platform, &ListScheduler::new()).unwrap();
+        let cold = hybrid
+            .evaluate(&graph, &schedule, &platform, &BTreeSet::new(), InterTaskWindow::empty())
+            .unwrap();
+        let expected = cold.init_duration() + hybrid.critical().stored_penalty();
+        prop_assert_eq!(cold.penalty(), expected);
+
+        let warm = hybrid
+            .evaluate(
+                &graph,
+                &schedule,
+                &platform,
+                &BTreeSet::new(),
+                InterTaskWindow::new(Time::from_millis(1_000)),
+            )
+            .unwrap();
+        prop_assert!(warm.penalty() <= cold.penalty());
+        prop_assert_eq!(warm.init_duration(), Time::ZERO);
+    }
+
+    /// More residency never increases the number of loads the prefetch problem
+    /// requires (monotonicity the hybrid run-time phase relies on).
+    #[test]
+    fn residency_is_monotone(subtasks in 2usize..20, seed in 0u64..300, keep in 0usize..20) {
+        let (graph, schedule, platform) = random_instance(subtasks, seed, 4);
+        let all: Vec<SubtaskId> = graph.drhw_subtasks();
+        let some: BTreeSet<SubtaskId> = all.iter().copied().take(keep % (all.len() + 1)).collect();
+        let base = PrefetchProblem::new(&graph, &schedule, &platform).unwrap();
+        let reduced = PrefetchProblem::with_resident(&graph, &schedule, &platform, &some).unwrap();
+        prop_assert!(reduced.load_count() <= base.load_count());
+        for id in graph.ids() {
+            if reduced.needs_load(id) {
+                prop_assert!(base.needs_load(id));
+            }
+        }
+    }
+}
