@@ -1,0 +1,168 @@
+//! Offline stub of the `criterion` benchmarking API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the subset the `drhw-bench` benches call — benchmark groups,
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a simple measurement loop: each closure
+//! is warmed up once, then timed over a fixed number of iterations, and the
+//! mean wall-clock time per iteration is printed. No statistics, plots, or
+//! baselines; the point is that `cargo bench` compiles, runs, and reports
+//! comparable numbers offline.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone (the group name provides context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs and times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        black_box(body()); // warm-up, and keeps the result observable
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(body());
+        }
+        let elapsed = start.elapsed();
+        let per_iter = elapsed / self.iterations;
+        println!(
+            "    {per_iter:>12.2?}/iter over {} iterations",
+            self.iterations
+        );
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    iterations: u32,
+}
+
+impl BenchmarkGroup {
+    /// Runs `body` once with a [`Bencher`] and the given input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut body: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("  {}/{}", self.name, id);
+        let mut bencher = Bencher {
+            iterations: self.iterations,
+        };
+        body(&mut bencher, input);
+    }
+
+    /// Runs `body` once with a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut body: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("  {}/{}", self.name, id);
+        let mut bencher = Bencher {
+            iterations: self.iterations,
+        };
+        body(&mut bencher);
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    iterations: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // A fixed, modest iteration count: enough for a stable mean on the
+        // microsecond-scale bodies in this workspace, small enough that the
+        // full bench suite stays in the seconds range.
+        Criterion { iterations: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            iterations: self.iterations,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("  {name}");
+        let mut bencher = Bencher {
+            iterations: self.iterations,
+        };
+        body(&mut bencher);
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

@@ -1,0 +1,182 @@
+//! Offline stub of the `proptest` surface used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! deterministic re-implementation of what `tests/properties.rs` relies on:
+//! the [`proptest!`] macro over `arg in range` bindings, integer-range
+//! strategies, [`prop_assert!`] / [`prop_assert_eq!`], and
+//! [`prelude::ProptestConfig::with_cases`]. Each test runs its configured
+//! number of cases with inputs drawn from a SplitMix64 stream seeded from the
+//! test's module path and case index, so failures reproduce exactly across
+//! runs and machines.
+//!
+//! Unsupported (not needed here): shrinking, `prop_oneof!`, collection and
+//! composite strategies, persisted failure files.
+
+#![warn(missing_docs)]
+
+/// Deterministic random source for drawing test cases.
+pub mod test_runner {
+    /// SplitMix64 stream seeded from the test name and case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the generator for one test case. The `name` (usually
+        /// `module_path!()::test_fn`) decorrelates different tests that run
+        /// the same case indices.
+        pub fn new(name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Returns the next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Value-generation strategies. Only integer ranges are implemented.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of values for one `proptest!` argument.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "cannot sample from empty range");
+                        let span = (self.end - self.start) as u64;
+                        self.start + (rng.next_u64() % span) as $t
+                    }
+                }
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "cannot sample from empty range");
+                        let span = (end - start) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        start + (rng.next_u64() % (span + 1)) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy!(u16, u32, u64, usize, i32, i64);
+}
+
+/// The subset of `proptest::prelude` the workspace imports.
+pub mod prelude {
+    /// Per-test configuration; only the case count is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body for every sampled case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#![proptest_config($cfg:expr)])?
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        #[allow(unused)]
+        fn __proptest_cases() -> u32 {
+            let cfg = $crate::prelude::ProptestConfig::default();
+            $(let cfg = $cfg;)?
+            cfg.cases
+        }
+
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __name = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..u64::from(__proptest_cases()) {
+                    let mut __rng = $crate::test_runner::TestRng::new(__name, __case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    // Echo the sampled inputs on failure — without shrinking,
+                    // the concrete case is the only reproduction handle.
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(__err) = __result {
+                        eprintln!("{}: case {} failed with inputs:", __name, __case);
+                        $(
+                            eprintln!("    {} = {:?}", stringify!($arg), $arg);
+                        )+
+                        ::std::panic::resume_unwind(__err);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property; panics with the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

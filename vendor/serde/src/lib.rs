@@ -1,0 +1,74 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the minimal surface the workspace actually uses: the [`Serialize`] and
+//! [`Deserialize`] marker traits and the `#[derive(Serialize, Deserialize)]`
+//! macros (re-exported from the sibling `serde_derive` stub). No format
+//! backend (`serde_json`, …) exists here, so the traits carry no methods —
+//! deriving them records serialisability as a compile-time capability without
+//! generating any runtime code.
+//!
+//! Swapping in the real `serde` later is a one-line manifest change per crate;
+//! no source file needs to change.
+
+#![warn(missing_docs)]
+
+/// Marker for types whose values can be serialised.
+///
+/// The real trait's `serialize` method is omitted because no serialiser
+/// backend is vendored; the derive macro emits an empty impl.
+pub trait Serialize {}
+
+/// Marker for types whose values can be deserialised.
+///
+/// The lifetime parameter mirrors the real trait so that `#[derive]` output
+/// and any future hand-written bounds stay source-compatible.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+    ()
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}

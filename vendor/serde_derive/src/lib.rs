@@ -1,0 +1,58 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Emits empty `impl serde::Serialize` / `impl serde::Deserialize` blocks for
+//! the derived type (the stub traits carry no methods). The input stream is
+//! parsed by hand — `syn`/`quote` are not available offline — which is enough
+//! because every derived type in this workspace is a plain, non-generic
+//! struct or enum. `#[serde(...)]` helper attributes (e.g. `transparent`) are
+//! accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name: the first identifier following the `struct` or
+/// `enum` keyword at the top level of the item.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "serde_derive stub: generic type `{name}` is not supported; \
+                                     add a manual impl or extend the stub"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => {
+                        panic!("serde_derive stub: expected type name after `{kw}`, got {other:?}")
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: no `struct` or `enum` keyword found in derive input");
+}
+
+/// Stub `#[derive(Serialize)]`: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Stub `#[derive(Deserialize)]`: emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
