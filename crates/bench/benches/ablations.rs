@@ -51,16 +51,24 @@ fn bench_reuse_and_replacement(c: &mut Criterion) {
         ReplacementPolicy::LeastRecentlyUsed,
         ReplacementPolicy::Direct,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
-            b.iter(|| {
-                let mapping = assign_tiles(&graph, &schedule, &contents, policy)
-                    .expect("replacement succeeds");
-                reusable_subtasks(&graph, &schedule, &mapping, &contents)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mapping = assign_tiles(&graph, &schedule, &contents, policy)
+                        .expect("replacement succeeds");
+                    reusable_subtasks(&graph, &schedule, &mapping, &contents)
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_design_time_phase, bench_reuse_and_replacement);
+criterion_group!(
+    benches,
+    bench_design_time_phase,
+    bench_reuse_and_replacement
+);
 criterion_main!(benches);

@@ -19,7 +19,11 @@ use drhw_prefetch::{
 use drhw_workloads::random::{seeded_random_graph, RandomGraphConfig};
 
 fn setup(subtasks: usize) -> (SubtaskGraph, InitialSchedule, Platform) {
-    let config = RandomGraphConfig { subtasks, width: 8, ..Default::default() };
+    let config = RandomGraphConfig {
+        subtasks,
+        width: 8,
+        ..Default::default()
+    };
     let graph = seeded_random_graph(&config, 42);
     let schedule = InitialSchedule::fully_parallel(&graph).expect("generated graphs are valid");
     let platform = Platform::virtex_like(subtasks.max(1)).expect("non-empty platform");
@@ -34,7 +38,9 @@ fn bench_list_scheduler(c: &mut Criterion) {
             b.iter(|| {
                 let problem = PrefetchProblem::new(&graph, &schedule, &platform)
                     .expect("problem is well-formed");
-                ListScheduler::new().schedule(&problem).expect("list scheduling succeeds")
+                ListScheduler::new()
+                    .schedule(&problem)
+                    .expect("list scheduling succeeds")
             })
         });
     }
@@ -49,7 +55,9 @@ fn bench_branch_and_bound(c: &mut Criterion) {
             b.iter(|| {
                 let problem = PrefetchProblem::new(&graph, &schedule, &platform)
                     .expect("problem is well-formed");
-                BranchBoundScheduler::new().schedule(&problem).expect("search succeeds")
+                BranchBoundScheduler::new()
+                    .schedule(&problem)
+                    .expect("search succeeds")
             })
         });
     }
@@ -61,13 +69,9 @@ fn bench_hybrid_runtime_phase(c: &mut Criterion) {
     for &n in &[8usize, 16, 32, 64, 128, 256] {
         let (graph, schedule, platform) = setup(n);
         // Design-time phase performed once, outside the measured region.
-        let hybrid = HybridPrefetch::compute_with(
-            &graph,
-            &schedule,
-            &platform,
-            &ListScheduler::new(),
-        )
-        .expect("design-time phase succeeds");
+        let hybrid =
+            HybridPrefetch::compute_with(&graph, &schedule, &platform, &ListScheduler::new())
+                .expect("design-time phase succeeds");
         let resident: BTreeSet<_> = graph.ids().take(n / 4).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {

@@ -157,7 +157,9 @@ impl Search<'_, '_> {
 ///
 /// Propagates scheduling errors from the underlying search.
 pub fn optimal_penalty(problem: &PrefetchProblem<'_>) -> Result<Time, PrefetchError> {
-    BranchBoundScheduler::new().schedule(problem).map(|r| r.penalty())
+    BranchBoundScheduler::new()
+        .schedule(problem)
+        .map(|r| r.penalty())
 }
 
 #[cfg(test)]
@@ -253,7 +255,10 @@ mod tests {
         let b = g.add_subtask(Subtask::new("b", Time::from_millis(9), ConfigId::new(1)));
         let schedule = InitialSchedule::from_assignment(
             &g,
-            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(1))],
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+            ],
         )
         .unwrap();
         let platform = Platform::virtex_like(2).unwrap();

@@ -117,7 +117,10 @@ mod tests {
         g.add_dependency(a, b).unwrap();
         let schedule = InitialSchedule::from_assignment(
             &g,
-            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(1))],
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+            ],
         )
         .unwrap();
         let platform = Platform::virtex_like(2).unwrap();

@@ -34,13 +34,25 @@ impl fmt::Display for PrefetchError {
         match self {
             PrefetchError::Model(e) => write!(f, "invalid model: {e}"),
             PrefetchError::InvalidLoadOrder { id } => {
-                write!(f, "load order is not a permutation of the required loads (subtask {id})")
+                write!(
+                    f,
+                    "load order is not a permutation of the required loads (subtask {id})"
+                )
             }
             PrefetchError::DeadlockedOrder => {
-                write!(f, "load order deadlocks against the tile occupancy constraints")
+                write!(
+                    f,
+                    "load order deadlocks against the tile occupancy constraints"
+                )
             }
-            PrefetchError::NotEnoughTiles { required, available } => {
-                write!(f, "schedule needs {required} tile slots but the platform has {available} tiles")
+            PrefetchError::NotEnoughTiles {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "schedule needs {required} tile slots but the platform has {available} tiles"
+                )
             }
         }
     }
@@ -70,10 +82,15 @@ mod tests {
         let e = PrefetchError::from(ModelError::CyclicGraph);
         assert!(e.to_string().contains("invalid model"));
         assert!(Error::source(&e).is_some());
-        let e = PrefetchError::InvalidLoadOrder { id: SubtaskId::new(2) };
+        let e = PrefetchError::InvalidLoadOrder {
+            id: SubtaskId::new(2),
+        };
         assert!(e.to_string().contains("st2"));
         assert!(Error::source(&e).is_none());
-        let e = PrefetchError::NotEnoughTiles { required: 8, available: 3 };
+        let e = PrefetchError::NotEnoughTiles {
+            required: 8,
+            available: 3,
+        };
         assert!(e.to_string().contains("8"));
     }
 

@@ -67,7 +67,9 @@ pub(crate) fn simulate(
             if exec_finish[id.index()].is_some() {
                 continue;
             }
-            let Some(ready) = exec_ready_time(problem, &exec_finish, id) else { continue };
+            let Some(ready) = exec_ready_time(problem, &exec_finish, id) else {
+                continue;
+            };
             if problem.needs_load(id) && loaded_at[id.index()].is_none() {
                 // Remember how long the subtask would have waited anyway so the
                 // direct load delay can be separated from inherited delays.
@@ -88,13 +90,14 @@ pub(crate) fn simulate(
         // Phase 2: let the port start (at most) one more load.
         if !pending.is_empty() {
             let pick = match &strategy {
-                LoadStrategy::FixedOrder(order) => pick_fixed(
-                    order,
-                    &mut fixed_cursor,
-                    &pending,
-                    |id| tile_available(problem, &exec_finish, id),
-                ),
-                LoadStrategy::ListByWeight => pick_by_weight(problem, &pending, &exec_finish, port_free),
+                LoadStrategy::FixedOrder(order) => {
+                    pick_fixed(order, &mut fixed_cursor, &pending, |id| {
+                        tile_available(problem, &exec_finish, id)
+                    })
+                }
+                LoadStrategy::ListByWeight => {
+                    pick_by_weight(problem, &pending, &exec_finish, port_free)
+                }
                 LoadStrategy::OnDemand => pick_on_demand(problem, &pending, &exec_finish),
             };
             if let Some((id, available)) = pick {
@@ -139,7 +142,12 @@ pub(crate) fn simulate(
         })
         .collect();
     let timed = drhw_model::TimedSchedule::new(executions, load_windows);
-    Ok(ExecutionResult::new(timed, performed, load_delays, problem.ideal_makespan()))
+    Ok(ExecutionResult::new(
+        timed,
+        performed,
+        load_delays,
+        problem.ideal_makespan(),
+    ))
 }
 
 /// Earliest instant a subtask could start, ignoring its own load. `None` if a
@@ -312,7 +320,12 @@ mod tests {
         assert_eq!(result.load_delay(ids[1]), Time::ZERO);
         assert_eq!(result.load_delay(ids[2]), Time::ZERO);
         assert_eq!(result.load_delay(ids[3]), Time::ZERO);
-        assert!(result.penalty() <= simulate(&problem, LoadStrategy::OnDemand).unwrap().penalty());
+        assert!(
+            result.penalty()
+                <= simulate(&problem, LoadStrategy::OnDemand)
+                    .unwrap()
+                    .penalty()
+        );
     }
 
     #[test]
@@ -343,8 +356,7 @@ mod tests {
     fn full_residency_leaves_only_the_unavoidable_slot_reload() {
         let (g, ids, schedule, platform) = fig3();
         let resident: std::collections::BTreeSet<SubtaskId> = g.ids().collect();
-        let problem =
-            PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+        let problem = PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
         // Subtask 4 shares slot0 with subtask 1 but uses a different
         // configuration, so its load cannot be removed by residency.
         assert_eq!(problem.load_count(), 1);
@@ -352,7 +364,10 @@ mod tests {
         let result = simulate(&problem, LoadStrategy::ListByWeight).unwrap();
         // That single load hides behind the execution of subtask 3.
         assert_eq!(result.penalty(), Time::ZERO);
-        assert_eq!(result.timed().execution_makespan(), problem.ideal_makespan());
+        assert_eq!(
+            result.timed().execution_makespan(),
+            problem.ideal_makespan()
+        );
         assert!(result.trailing_port_idle() > Time::ZERO);
     }
 
@@ -366,13 +381,15 @@ mod tests {
         g.add_dependency(a, b).unwrap();
         let schedule = InitialSchedule::from_assignment(
             &g,
-            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(1))],
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+            ],
         )
         .unwrap();
         let platform = Platform::virtex_like(2).unwrap();
         let resident: std::collections::BTreeSet<SubtaskId> = g.ids().collect();
-        let problem =
-            PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+        let problem = PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
         assert_eq!(problem.load_count(), 0);
         let result = simulate(&problem, LoadStrategy::ListByWeight).unwrap();
         assert_eq!(result.penalty(), Time::ZERO);

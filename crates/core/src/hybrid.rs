@@ -143,7 +143,9 @@ impl HybridPrefetch {
         schedule: &InitialSchedule,
         platform: &Platform,
     ) -> Result<Self, PrefetchError> {
-        Ok(HybridPrefetch { critical: CriticalSetAnalysis::compute(graph, schedule, platform)? })
+        Ok(HybridPrefetch {
+            critical: CriticalSetAnalysis::compute(graph, schedule, platform)?,
+        })
     }
 
     /// Runs the design-time phase with an explicit scheduler (ablation hook).
@@ -201,7 +203,9 @@ impl HybridPrefetch {
             .filter(|&id| base.needs_load(id) && !assumed.needs_load(id))
             .collect();
         // Loads already hidden by the previous task's idle window.
-        let fit = window.whole_loads(platform.reconfig_latency()).min(init.len());
+        let fit = window
+            .whole_loads(platform.reconfig_latency())
+            .min(init.len());
         let preloaded: Vec<SubtaskId> = init.drain(..fit).collect();
 
         // Body loads: the stored order, minus the loads whose configuration is
@@ -228,7 +232,12 @@ impl HybridPrefetch {
             .filter(|id| !body_needed.contains(id))
             .collect();
 
-        Ok(HybridRuntimeDecision { init_loads: init, preloaded, body_loads, cancelled_loads })
+        Ok(HybridRuntimeDecision {
+            init_loads: init,
+            preloaded,
+            body_loads,
+            cancelled_loads,
+        })
     }
 
     /// Simulates one activation of the task under the hybrid heuristic.
@@ -263,8 +272,15 @@ impl HybridPrefetch {
             PrefetchProblem::with_resident(graph, schedule, platform, &body_resident)?
                 .with_earliest_exec_start(init_duration)
                 .with_earliest_port_start(init_duration);
-        let result = simulate(&body_problem, LoadStrategy::FixedOrder(&decision.body_loads))?;
-        Ok(HybridOutcome { decision, init_duration, result })
+        let result = simulate(
+            &body_problem,
+            LoadStrategy::FixedOrder(&decision.body_loads),
+        )?;
+        Ok(HybridOutcome {
+            decision,
+            init_duration,
+            result,
+        })
     }
 }
 
@@ -303,7 +319,13 @@ mod tests {
         let (g, schedule, platform) = fig3();
         let hybrid = HybridPrefetch::compute(&g, &schedule, &platform).unwrap();
         let outcome = hybrid
-            .evaluate(&g, &schedule, &platform, &BTreeSet::new(), InterTaskWindow::empty())
+            .evaluate(
+                &g,
+                &schedule,
+                &platform,
+                &BTreeSet::new(),
+                InterTaskWindow::empty(),
+            )
             .unwrap();
         // One critical subtask, nothing resident, no window: 4 ms init phase
         // and a zero-penalty body.
@@ -321,7 +343,13 @@ mod tests {
         let hybrid = HybridPrefetch::compute(&g, &schedule, &platform).unwrap();
         let resident: BTreeSet<SubtaskId> = [SubtaskId::new(0)].into_iter().collect();
         let outcome = hybrid
-            .evaluate(&g, &schedule, &platform, &resident, InterTaskWindow::empty())
+            .evaluate(
+                &g,
+                &schedule,
+                &platform,
+                &resident,
+                InterTaskWindow::empty(),
+            )
             .unwrap();
         assert_eq!(outcome.init_duration(), Time::ZERO);
         assert_eq!(outcome.penalty(), Time::ZERO);
@@ -358,13 +386,25 @@ mod tests {
         // load is cancelled without touching the rest of the schedule.
         let resident: BTreeSet<SubtaskId> = [SubtaskId::new(2)].into_iter().collect();
         let decision = hybrid
-            .runtime_decision(&g, &schedule, &platform, &resident, InterTaskWindow::empty())
+            .runtime_decision(
+                &g,
+                &schedule,
+                &platform,
+                &resident,
+                InterTaskWindow::empty(),
+            )
             .unwrap();
         assert_eq!(decision.cancelled_loads, vec![SubtaskId::new(2)]);
         assert_eq!(decision.init_loads, vec![SubtaskId::new(0)]);
         assert_eq!(decision.body_loads.len(), 2);
         let outcome = hybrid
-            .evaluate(&g, &schedule, &platform, &resident, InterTaskWindow::empty())
+            .evaluate(
+                &g,
+                &schedule,
+                &platform,
+                &resident,
+                InterTaskWindow::empty(),
+            )
             .unwrap();
         // The body stays penalty-free; only the init phase is paid.
         assert_eq!(outcome.penalty(), Time::from_millis(4));
@@ -376,7 +416,13 @@ mod tests {
         let hybrid = HybridPrefetch::compute(&g, &schedule, &platform).unwrap();
         let resident: BTreeSet<SubtaskId> = g.ids().collect();
         let outcome = hybrid
-            .evaluate(&g, &schedule, &platform, &resident, InterTaskWindow::empty())
+            .evaluate(
+                &g,
+                &schedule,
+                &platform,
+                &resident,
+                InterTaskWindow::empty(),
+            )
             .unwrap();
         // Subtask 4 shares its slot with subtask 1 under a different
         // configuration, so its load is unavoidable — but it hides behind the
@@ -395,7 +441,13 @@ mod tests {
         let (g, schedule, platform) = fig3();
         let hybrid = HybridPrefetch::compute(&g, &schedule, &platform).unwrap();
         let outcome = hybrid
-            .evaluate(&g, &schedule, &platform, &BTreeSet::new(), InterTaskWindow::empty())
+            .evaluate(
+                &g,
+                &schedule,
+                &platform,
+                &BTreeSet::new(),
+                InterTaskWindow::empty(),
+            )
             .unwrap();
         let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
         let run_time = ListScheduler::new().schedule(&problem).unwrap();
@@ -407,7 +459,13 @@ mod tests {
         let (g, schedule, platform) = fig3();
         let hybrid = HybridPrefetch::compute(&g, &schedule, &platform).unwrap();
         let outcome = hybrid
-            .evaluate(&g, &schedule, &platform, &BTreeSet::new(), InterTaskWindow::empty())
+            .evaluate(
+                &g,
+                &schedule,
+                &platform,
+                &BTreeSet::new(),
+                InterTaskWindow::empty(),
+            )
             .unwrap();
         assert!(outcome.trailing_window().remaining() > Time::ZERO);
     }
@@ -415,16 +473,15 @@ mod tests {
     #[test]
     fn compute_with_list_scheduler_matches_branch_and_bound_here() {
         let (g, schedule, platform) = fig3();
-        let a = HybridPrefetch::compute_with(&g, &schedule, &platform, &ListScheduler::new())
-            .unwrap();
-        let b = HybridPrefetch::compute_with(
-            &g,
-            &schedule,
-            &platform,
-            &BranchBoundScheduler::new(),
-        )
-        .unwrap();
-        assert_eq!(a.critical().critical_subtasks(), b.critical().critical_subtasks());
+        let a =
+            HybridPrefetch::compute_with(&g, &schedule, &platform, &ListScheduler::new()).unwrap();
+        let b =
+            HybridPrefetch::compute_with(&g, &schedule, &platform, &BranchBoundScheduler::new())
+                .unwrap();
+        assert_eq!(
+            a.critical().critical_subtasks(),
+            b.critical().critical_subtasks()
+        );
     }
 
     #[test]
@@ -436,7 +493,13 @@ mod tests {
         let stored = hybrid.critical().stored_load_order().to_vec();
         let resident: BTreeSet<SubtaskId> = [SubtaskId::new(2)].into_iter().collect();
         let decision = hybrid
-            .runtime_decision(&g, &schedule, &platform, &resident, InterTaskWindow::empty())
+            .runtime_decision(
+                &g,
+                &schedule,
+                &platform,
+                &resident,
+                InterTaskWindow::empty(),
+            )
             .unwrap();
         let positions: Vec<usize> = decision
             .body_loads

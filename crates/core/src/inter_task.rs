@@ -32,12 +32,16 @@ pub struct InterTaskWindow {
 impl InterTaskWindow {
     /// Creates a window of the given duration.
     pub fn new(duration: Time) -> Self {
-        InterTaskWindow { remaining: duration }
+        InterTaskWindow {
+            remaining: duration,
+        }
     }
 
     /// An empty window (no idle time available).
     pub fn empty() -> Self {
-        InterTaskWindow { remaining: Time::ZERO }
+        InterTaskWindow {
+            remaining: Time::ZERO,
+        }
     }
 
     /// Idle time still available.
@@ -117,7 +121,10 @@ mod tests {
         let w = InterTaskWindow::new(Time::from_millis(11));
         assert_eq!(w.whole_loads(Time::from_millis(4)), 2);
         assert_eq!(w.whole_loads(Time::from_millis(12)), 0);
-        assert_eq!(InterTaskWindow::empty().whole_loads(Time::from_millis(4)), 0);
+        assert_eq!(
+            InterTaskWindow::empty().whole_loads(Time::from_millis(4)),
+            0
+        );
     }
 
     #[test]
@@ -129,16 +136,21 @@ mod tests {
     #[test]
     fn plan_preloads_splits_by_whole_loads() {
         let loads: Vec<SubtaskId> = (0..4).map(SubtaskId::new).collect();
-        let (pre, rest) =
-            plan_preloads(&loads, InterTaskWindow::new(Time::from_millis(8)), Time::from_millis(4));
+        let (pre, rest) = plan_preloads(
+            &loads,
+            InterTaskWindow::new(Time::from_millis(8)),
+            Time::from_millis(4),
+        );
         assert_eq!(pre.len(), 2);
         assert_eq!(rest.len(), 2);
-        let (pre, rest) =
-            plan_preloads(&loads, InterTaskWindow::new(Time::from_millis(100)), Time::from_millis(4));
+        let (pre, rest) = plan_preloads(
+            &loads,
+            InterTaskWindow::new(Time::from_millis(100)),
+            Time::from_millis(4),
+        );
         assert_eq!(pre.len(), 4);
         assert!(rest.is_empty());
-        let (pre, rest) =
-            plan_preloads(&loads, InterTaskWindow::empty(), Time::from_millis(4));
+        let (pre, rest) = plan_preloads(&loads, InterTaskWindow::empty(), Time::from_millis(4));
         assert!(pre.is_empty());
         assert_eq!(rest.len(), 4);
     }

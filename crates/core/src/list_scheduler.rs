@@ -80,7 +80,11 @@ mod tests {
     /// Wide fork: one root feeding `width` independent children on their own tiles.
     fn fork(width: usize, child_ms: u64) -> (SubtaskGraph, InitialSchedule, Platform) {
         let mut g = SubtaskGraph::new("fork");
-        let root = g.add_subtask(Subtask::new("root", Time::from_millis(30), ConfigId::new(0)));
+        let root = g.add_subtask(Subtask::new(
+            "root",
+            Time::from_millis(30),
+            ConfigId::new(0),
+        ));
         let children: Vec<_> = (0..width)
             .map(|i| {
                 g.add_subtask(Subtask::new(
@@ -105,11 +109,17 @@ mod tests {
         let (g, schedule, platform) = fork(3, 10);
         let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
         let result = ListScheduler::new().schedule(&problem).unwrap();
-        let weights: Vec<Time> =
-            result.load_order().iter().map(|&id| problem.weight(id)).collect();
+        let weights: Vec<Time> = result
+            .load_order()
+            .iter()
+            .map(|&id| problem.weight(id))
+            .collect();
         let mut sorted = weights.clone();
         sorted.sort_by(|a, b| b.cmp(a));
-        assert_eq!(weights, sorted, "port order must follow decreasing criticality");
+        assert_eq!(
+            weights, sorted,
+            "port order must follow decreasing criticality"
+        );
         assert_eq!(result.load_order()[0], SubtaskId::new(0));
     }
 

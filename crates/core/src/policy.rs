@@ -31,8 +31,11 @@ impl PolicyKind {
     ];
 
     /// The three policies plotted in Figures 6 and 7.
-    pub const FIGURE_POLICIES: [PolicyKind; 3] =
-        [PolicyKind::RunTime, PolicyKind::RunTimeInterTask, PolicyKind::Hybrid];
+    pub const FIGURE_POLICIES: [PolicyKind; 3] = [
+        PolicyKind::RunTime,
+        PolicyKind::RunTimeInterTask,
+        PolicyKind::Hybrid,
+    ];
 
     /// Whether the policy can exploit configurations left over from previous
     /// task activations.

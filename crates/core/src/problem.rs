@@ -13,7 +13,7 @@ use std::collections::BTreeSet;
 
 use drhw_model::{
     ConfigId, GraphAnalysis, InitialSchedule, PeAssignment, Platform, SubtaskGraph, SubtaskId,
-    Time, TileSlot, TimedSchedule,
+    TileSlot, Time, TimedSchedule,
 };
 use serde::{Deserialize, Serialize};
 
@@ -183,7 +183,10 @@ impl<'a> PrefetchProblem<'a> {
 
     /// The subtasks that require a load, in subtask-id order.
     pub fn loads(&self) -> Vec<SubtaskId> {
-        self.graph.ids().filter(|&id| self.needs_load[id.index()]).collect()
+        self.graph
+            .ids()
+            .filter(|&id| self.needs_load[id.index()])
+            .collect()
     }
 
     /// The subtasks that require a load, ordered by decreasing criticality
@@ -192,7 +195,9 @@ impl<'a> PrefetchProblem<'a> {
     pub fn loads_by_weight_desc(&self) -> Vec<SubtaskId> {
         let mut loads = self.loads();
         loads.sort_by(|a, b| {
-            self.weight(*b).cmp(&self.weight(*a)).then(a.index().cmp(&b.index()))
+            self.weight(*b)
+                .cmp(&self.weight(*a))
+                .then(a.index().cmp(&b.index()))
         });
         loads
     }
@@ -282,7 +287,13 @@ impl ExecutionResult {
         ideal_makespan: Time,
     ) -> Self {
         let penalty = timed.execution_makespan().saturating_sub(ideal_makespan);
-        ExecutionResult { timed, order, load_delays, penalty, ideal_makespan }
+        ExecutionResult {
+            timed,
+            order,
+            load_delays,
+            penalty,
+            ideal_makespan,
+        }
     }
 
     /// The fully timed schedule (execution and load windows).
@@ -331,7 +342,9 @@ impl ExecutionResult {
     /// is idle while the task is still executing. The inter-task optimization
     /// uses this window to start the initialization phase of the next task.
     pub fn trailing_port_idle(&self) -> Time {
-        self.timed.execution_makespan().saturating_sub(self.port_busy_until())
+        self.timed
+            .execution_makespan()
+            .saturating_sub(self.port_busy_until())
     }
 
     /// Instant until which the reconfiguration port is busy.
@@ -404,14 +417,20 @@ mod tests {
         g.add_dependency(a, c).unwrap();
         let schedule = InitialSchedule::from_assignment(
             &g,
-            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(0))],
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(0)),
+            ],
         )
         .unwrap();
         let platform = Platform::virtex_like(1).unwrap();
         let resident: BTreeSet<_> = [c].into_iter().collect();
         let p = PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
         assert!(p.needs_load(a));
-        assert!(p.needs_load(c), "resident config would have been overwritten");
+        assert!(
+            p.needs_load(c),
+            "resident config would have been overwritten"
+        );
         // Marking *a* resident instead lets c still require its own load.
         let resident: BTreeSet<_> = [a].into_iter().collect();
         let p = PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
@@ -434,7 +453,13 @@ mod tests {
         let (g, _, schedule) = graph_two_slots();
         let platform = Platform::virtex_like(1).unwrap();
         let err = PrefetchProblem::new(&g, &schedule, &platform).unwrap_err();
-        assert_eq!(err, PrefetchError::NotEnoughTiles { required: 2, available: 1 });
+        assert_eq!(
+            err,
+            PrefetchError::NotEnoughTiles {
+                required: 2,
+                available: 1
+            }
+        );
     }
 
     #[test]

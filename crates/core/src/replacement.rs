@@ -16,11 +16,12 @@ use crate::error::PrefetchError;
 use crate::reuse::{TileContents, TileMapping};
 
 /// The policy used to map slots onto physical tiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ReplacementPolicy {
     /// Match slots to tiles already holding their first configuration, then
     /// fill the remaining slots with the least-recently-used tiles (the
     /// behaviour of ref [6]; default).
+    #[default]
     ReuseAware,
     /// Ignore contents entirely and always evict the least-recently-used
     /// tiles (ablation baseline).
@@ -28,12 +29,6 @@ pub enum ReplacementPolicy {
     /// Map slot *i* to tile *i* (the degenerate baseline: no replacement
     /// intelligence at all).
     Direct,
-}
-
-impl Default for ReplacementPolicy {
-    fn default() -> Self {
-        ReplacementPolicy::ReuseAware
-    }
 }
 
 impl std::fmt::Display for ReplacementPolicy {
@@ -81,7 +76,10 @@ pub fn assign_tiles_protecting(
     let slots = schedule.slot_count();
     let tiles = contents.tile_count();
     if slots > tiles {
-        return Err(PrefetchError::NotEnoughTiles { required: slots, available: tiles });
+        return Err(PrefetchError::NotEnoughTiles {
+            required: slots,
+            available: tiles,
+        });
     }
     let mapping = match policy {
         ReplacementPolicy::Direct => TileMapping::identity(slots),
@@ -123,7 +121,9 @@ fn reuse_aware_mapping(
     // Pass 1: give every slot a tile that already holds its first
     // configuration (greedy, slot order is deterministic).
     for (slot, desired_config) in desired.iter().enumerate() {
-        let Some(config) = desired_config else { continue };
+        let Some(config) = desired_config else {
+            continue;
+        };
         if let Some(tile) = contents
             .tiles_holding(*config)
             .into_iter()
@@ -152,7 +152,12 @@ fn reuse_aware_mapping(
             .config_on(t)
             .map(|c| protected.contains(&c))
             .unwrap_or(false);
-        (holds_wanted, holds_protected, contents.last_used(t), t.index())
+        (
+            holds_wanted,
+            holds_protected,
+            contents.last_used(t),
+            t.index(),
+        )
     });
     let mut free_iter = free.into_iter();
     for slot_tile in assigned.iter_mut() {
@@ -182,7 +187,10 @@ mod tests {
         g.add_dependency(a, b).unwrap();
         let schedule = InitialSchedule::from_assignment(
             &g,
-            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(1))],
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+            ],
         )
         .unwrap();
         (g, schedule)
@@ -234,7 +242,13 @@ mod tests {
         contents.record_load(TileId::new(0), ConfigId::new(100), Time::from_millis(30));
         contents.record_load(TileId::new(1), ConfigId::new(200), Time::from_millis(20));
         contents.record_load(TileId::new(2), ConfigId::new(300), Time::from_millis(10));
-        let m = assign_tiles(&g, &schedule, &contents, ReplacementPolicy::LeastRecentlyUsed).unwrap();
+        let m = assign_tiles(
+            &g,
+            &schedule,
+            &contents,
+            ReplacementPolicy::LeastRecentlyUsed,
+        )
+        .unwrap();
         // Oldest first: tile 2 then tile 1 — even though tile 0 holds cfg100.
         assert_eq!(m.tile_of(TileSlot::new(0)), TileId::new(2));
         assert_eq!(m.tile_of(TileSlot::new(1)), TileId::new(1));
@@ -244,8 +258,15 @@ mod tests {
     fn too_few_tiles_is_rejected() {
         let (g, schedule) = two_slot_schedule();
         let contents = TileContents::new(1);
-        let err = assign_tiles(&g, &schedule, &contents, ReplacementPolicy::ReuseAware).unwrap_err();
-        assert_eq!(err, PrefetchError::NotEnoughTiles { required: 2, available: 1 });
+        let err =
+            assign_tiles(&g, &schedule, &contents, ReplacementPolicy::ReuseAware).unwrap_err();
+        assert_eq!(
+            err,
+            PrefetchError::NotEnoughTiles {
+                required: 2,
+                available: 1
+            }
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use drhw_model::{ConfigId, InitialSchedule, SubtaskGraph, SubtaskId, Time, TileId, TileSlot};
+use drhw_model::{ConfigId, InitialSchedule, SubtaskGraph, SubtaskId, TileId, TileSlot, Time};
 use serde::{Deserialize, Serialize};
 
 /// The configuration currently loaded on every physical tile, together with
@@ -24,7 +24,10 @@ pub struct TileContents {
 impl TileContents {
     /// Creates the state of a platform whose tiles are all empty.
     pub fn new(tile_count: usize) -> Self {
-        TileContents { configs: vec![None; tile_count], last_used: vec![Time::ZERO; tile_count] }
+        TileContents {
+            configs: vec![None; tile_count],
+            last_used: vec![Time::ZERO; tile_count],
+        }
     }
 
     /// Number of tiles tracked.
@@ -39,7 +42,10 @@ impl TileContents {
 
     /// When the tile last executed or received a configuration.
     pub fn last_used(&self, tile: TileId) -> Time {
-        self.last_used.get(tile.index()).copied().unwrap_or(Time::ZERO)
+        self.last_used
+            .get(tile.index())
+            .copied()
+            .unwrap_or(Time::ZERO)
     }
 
     /// Records that `config` was loaded onto `tile` at instant `now`.
@@ -93,7 +99,9 @@ impl TileMapping {
 
     /// The identity mapping (slot *i* on tile *i*).
     pub fn identity(slot_count: usize) -> Self {
-        TileMapping { slot_to_tile: (0..slot_count).map(TileId::new).collect() }
+        TileMapping {
+            slot_to_tile: (0..slot_count).map(TileId::new).collect(),
+        }
     }
 
     /// The physical tile a slot is mapped to.
@@ -112,7 +120,10 @@ impl TileMapping {
 
     /// Iterates over `(slot, tile)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (TileSlot, TileId)> + '_ {
-        self.slot_to_tile.iter().enumerate().map(|(s, &t)| (TileSlot::new(s), t))
+        self.slot_to_tile
+            .iter()
+            .enumerate()
+            .map(|(s, &t)| (TileSlot::new(s), t))
     }
 }
 
@@ -132,8 +143,12 @@ pub fn reusable_subtasks(
     let mut resident = BTreeSet::new();
     for slot_index in 0..schedule.slot_count() {
         let slot = TileSlot::new(slot_index);
-        let Some(first) = schedule.first_on_slot(slot) else { continue };
-        let Some(required) = graph.required_config(first) else { continue };
+        let Some(first) = schedule.first_on_slot(slot) else {
+            continue;
+        };
+        let Some(required) = graph.required_config(first) else {
+            continue;
+        };
         if slot_index < mapping.slot_count()
             && contents.config_on(mapping.tile_of(slot)) == Some(required)
         {
@@ -155,8 +170,10 @@ pub fn apply_schedule_to_contents(
 ) {
     for (slot, tile) in mapping.iter() {
         let subtasks = schedule.subtasks_on(drhw_model::PeAssignment::Tile(slot));
-        let last_config =
-            subtasks.iter().rev().find_map(|&id| graph.required_config(id));
+        let last_config = subtasks
+            .iter()
+            .rev()
+            .find_map(|&id| graph.required_config(id));
         if let Some(config) = last_config {
             contents.record_load(tile, config, now);
         }
@@ -227,7 +244,10 @@ mod tests {
         contents.record_use(TileId::new(0), Time::from_millis(25));
         assert_eq!(contents.config_on(TileId::new(0)), Some(ConfigId::new(5)));
         assert_eq!(contents.last_used(TileId::new(0)), Time::from_millis(25));
-        assert_eq!(contents.tiles_holding(ConfigId::new(5)), vec![TileId::new(0)]);
+        assert_eq!(
+            contents.tiles_holding(ConfigId::new(5)),
+            vec![TileId::new(0)]
+        );
         // Stale timestamps never move backwards.
         contents.record_use(TileId::new(0), Time::from_millis(1));
         assert_eq!(contents.last_used(TileId::new(0)), Time::from_millis(25));
@@ -240,7 +260,13 @@ mod tests {
         let (g, schedule, platform) = simple();
         let mut contents = TileContents::new(platform.tile_count());
         let mapping = TileMapping::identity(schedule.slot_count());
-        apply_schedule_to_contents(&g, &schedule, &mapping, &mut contents, Time::from_millis(15));
+        apply_schedule_to_contents(
+            &g,
+            &schedule,
+            &mapping,
+            &mut contents,
+            Time::from_millis(15),
+        );
         // Slot 0 executed a then c: tile 0 ends with c's configuration.
         assert_eq!(contents.config_on(TileId::new(0)), Some(ConfigId::new(12)));
         assert_eq!(contents.config_on(TileId::new(1)), Some(ConfigId::new(11)));
@@ -257,7 +283,13 @@ mod tests {
         assert_eq!(mapping.slot_count(), 2);
         assert_eq!(mapping.tile_of(TileSlot::new(0)), TileId::new(3));
         let pairs: Vec<_> = mapping.iter().collect();
-        assert_eq!(pairs, vec![(TileSlot::new(0), TileId::new(3)), (TileSlot::new(1), TileId::new(1))]);
+        assert_eq!(
+            pairs,
+            vec![
+                (TileSlot::new(0), TileId::new(3)),
+                (TileSlot::new(1), TileId::new(1))
+            ]
+        );
         let ident = TileMapping::identity(3);
         assert_eq!(ident.tile_of(TileSlot::new(2)), TileId::new(2));
     }

@@ -43,6 +43,9 @@ mod tests {
             Box::new(BranchBoundScheduler::new()),
         ];
         let names: Vec<&str> = schedulers.iter().map(|s| s.name()).collect();
-        assert_eq!(names, vec!["on-demand", "list-prefetch", "branch-and-bound"]);
+        assert_eq!(
+            names,
+            vec!["on-demand", "list-prefetch", "branch-and-bound"]
+        );
     }
 }

@@ -88,10 +88,15 @@ impl GraphAnalysis {
                 .unwrap_or(Time::ZERO);
             bottom_level[id.index()] = graph.subtask(id).exec_time() + tail;
         }
-        let alap_start: Vec<Time> =
-            (0..n).map(|i| critical_path - bottom_level[i]).collect();
+        let alap_start: Vec<Time> = (0..n).map(|i| critical_path - bottom_level[i]).collect();
 
-        Ok(GraphAnalysis { topological, asap_start, alap_start, bottom_level, critical_path })
+        Ok(GraphAnalysis {
+            topological,
+            asap_start,
+            alap_start,
+            bottom_level,
+            critical_path,
+        })
     }
 
     /// The topological order used by the sweeps (deterministic).

@@ -68,7 +68,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::UnknownSubtask { id, len } => {
-                write!(f, "subtask {id} is out of range for a graph with {len} subtasks")
+                write!(
+                    f,
+                    "subtask {id} is out of range for a graph with {len} subtasks"
+                )
             }
             ModelError::SelfDependency { id } => {
                 write!(f, "subtask {id} cannot depend on itself")
@@ -81,13 +84,25 @@ impl fmt::Display for ModelError {
                 write!(f, "schedule does not cover subtask {id} exactly once")
             }
             ModelError::InconsistentOrder { id } => {
-                write!(f, "per-PE order around subtask {id} contradicts the precedence constraints")
+                write!(
+                    f,
+                    "per-PE order around subtask {id} contradicts the precedence constraints"
+                )
             }
             ModelError::PeClassMismatch { id } => {
-                write!(f, "subtask {id} is assigned to a processing element of the wrong class")
+                write!(
+                    f,
+                    "subtask {id} is assigned to a processing element of the wrong class"
+                )
             }
-            ModelError::NotEnoughTiles { required, available } => {
-                write!(f, "schedule needs {required} tile slots but the platform has {available} tiles")
+            ModelError::NotEnoughTiles {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "schedule needs {required} tile slots but the platform has {available} tiles"
+                )
             }
             ModelError::UnknownTileSlot { slot } => {
                 write!(f, "schedule references undeclared tile slot {slot}")
@@ -106,11 +121,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = ModelError::UnknownSubtask { id: SubtaskId::new(5), len: 3 };
-        assert_eq!(e.to_string(), "subtask st5 is out of range for a graph with 3 subtasks");
+        let e = ModelError::UnknownSubtask {
+            id: SubtaskId::new(5),
+            len: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "subtask st5 is out of range for a graph with 3 subtasks"
+        );
         let e = ModelError::CyclicGraph;
         assert!(e.to_string().contains("cycle"));
-        let e = ModelError::NotEnoughTiles { required: 8, available: 4 };
+        let e = ModelError::NotEnoughTiles {
+            required: 8,
+            available: 4,
+        };
         assert!(e.to_string().contains("8"));
         assert!(e.to_string().contains("4"));
     }
@@ -124,12 +148,20 @@ mod tests {
     #[test]
     fn errors_compare_by_value() {
         assert_eq!(
-            ModelError::SelfDependency { id: SubtaskId::new(1) },
-            ModelError::SelfDependency { id: SubtaskId::new(1) }
+            ModelError::SelfDependency {
+                id: SubtaskId::new(1)
+            },
+            ModelError::SelfDependency {
+                id: SubtaskId::new(1)
+            }
         );
         assert_ne!(
-            ModelError::SelfDependency { id: SubtaskId::new(1) },
-            ModelError::SelfDependency { id: SubtaskId::new(2) }
+            ModelError::SelfDependency {
+                id: SubtaskId::new(1)
+            },
+            ModelError::SelfDependency {
+                id: SubtaskId::new(2)
+            }
         );
     }
 }

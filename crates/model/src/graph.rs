@@ -41,7 +41,12 @@ pub struct SubtaskGraph {
 impl SubtaskGraph {
     /// Creates an empty graph with a human-readable name.
     pub fn new(name: impl Into<String>) -> Self {
-        SubtaskGraph { name: name.into(), subtasks: Vec::new(), succs: Vec::new(), preds: Vec::new() }
+        SubtaskGraph {
+            name: name.into(),
+            subtasks: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        }
     }
 
     /// The graph's name (usually the task or scenario it belongs to).
@@ -87,7 +92,10 @@ impl SubtaskGraph {
         if id.index() < self.subtasks.len() {
             Ok(())
         } else {
-            Err(ModelError::UnknownSubtask { id, len: self.subtasks.len() })
+            Err(ModelError::UnknownSubtask {
+                id,
+                len: self.subtasks.len(),
+            })
         }
     }
 
@@ -118,7 +126,10 @@ impl SubtaskGraph {
 
     /// Iterates over `(id, subtask)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (SubtaskId, &Subtask)> + '_ {
-        self.subtasks.iter().enumerate().map(|(i, s)| (SubtaskId::new(i), s))
+        self.subtasks
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SubtaskId::new(i), s))
     }
 
     /// Iterates over all subtask ids in id order.
@@ -151,18 +162,25 @@ impl SubtaskGraph {
 
     /// Subtasks with no predecessors.
     pub fn sources(&self) -> Vec<SubtaskId> {
-        self.ids().filter(|id| self.preds[id.index()].is_empty()).collect()
+        self.ids()
+            .filter(|id| self.preds[id.index()].is_empty())
+            .collect()
     }
 
     /// Subtasks with no successors.
     pub fn sinks(&self) -> Vec<SubtaskId> {
-        self.ids().filter(|id| self.succs[id.index()].is_empty()).collect()
+        self.ids()
+            .filter(|id| self.succs[id.index()].is_empty())
+            .collect()
     }
 
     /// Ids of all subtasks mapped on reconfigurable hardware (the ones that may
     /// require configuration loads).
     pub fn drhw_subtasks(&self) -> Vec<SubtaskId> {
-        self.iter().filter(|(_, s)| s.pe_class() == PeClass::Drhw).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, s)| s.pe_class() == PeClass::Drhw)
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// The configuration required by a subtask, or `None` for ISP subtasks.
@@ -299,11 +317,20 @@ mod tests {
         let b = g.add_subtask(subtask("b", 1));
         assert_eq!(
             g.add_dependency(a, SubtaskId::new(9)),
-            Err(ModelError::UnknownSubtask { id: SubtaskId::new(9), len: 2 })
+            Err(ModelError::UnknownSubtask {
+                id: SubtaskId::new(9),
+                len: 2
+            })
         );
-        assert_eq!(g.add_dependency(a, a), Err(ModelError::SelfDependency { id: a }));
+        assert_eq!(
+            g.add_dependency(a, a),
+            Err(ModelError::SelfDependency { id: a })
+        );
         g.add_dependency(a, b).unwrap();
-        assert_eq!(g.add_dependency(a, b), Err(ModelError::DuplicateEdge { from: a, to: b }));
+        assert_eq!(
+            g.add_dependency(a, b),
+            Err(ModelError::DuplicateEdge { from: a, to: b })
+        );
     }
 
     #[test]
@@ -311,7 +338,9 @@ mod tests {
         let (g, [a, b, c, d]) = diamond();
         let order = g.topological_order().unwrap();
         assert_eq!(order, vec![a, b, c, d]);
-        let pos: Vec<usize> = (0..4).map(|i| order.iter().position(|x| x.index() == i).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| order.iter().position(|x| x.index() == i).unwrap())
+            .collect();
         for (from, to) in g.edges() {
             assert!(pos[from.index()] < pos[to.index()]);
         }

@@ -207,8 +207,8 @@ mod tests {
     fn distinct_id_types_do_not_compare() {
         // This is a compile-time property; the test documents the intent by
         // exercising the types in separate collections.
-        let subtasks = vec![SubtaskId::new(0), SubtaskId::new(1)];
-        let tiles = vec![TileId::new(0), TileId::new(1)];
+        let subtasks = [SubtaskId::new(0), SubtaskId::new(1)];
+        let tiles = [TileId::new(0), TileId::new(1)];
         assert_eq!(subtasks.len(), tiles.len());
     }
 
@@ -243,6 +243,9 @@ mod tests {
     fn ids_are_ordered_by_index() {
         let mut v = vec![SubtaskId::new(4), SubtaskId::new(1), SubtaskId::new(3)];
         v.sort();
-        assert_eq!(v, vec![SubtaskId::new(1), SubtaskId::new(3), SubtaskId::new(4)]);
+        assert_eq!(
+            v,
+            vec![SubtaskId::new(1), SubtaskId::new(3), SubtaskId::new(4)]
+        );
     }
 }

@@ -107,7 +107,10 @@ impl Platform {
         if tile_count == 0 {
             return Err(ModelError::EmptyPlatform);
         }
-        Ok(Platform { tile_count, ..self.clone() })
+        Ok(Platform {
+            tile_count,
+            ..self.clone()
+        })
     }
 
     /// Number of DRHW tiles.
@@ -137,7 +140,10 @@ mod tests {
 
     #[test]
     fn new_rejects_zero_tiles() {
-        assert_eq!(Platform::new(0, Time::from_millis(4)).unwrap_err(), ModelError::EmptyPlatform);
+        assert_eq!(
+            Platform::new(0, Time::from_millis(4)).unwrap_err(),
+            ModelError::EmptyPlatform
+        );
         assert!(Platform::new(1, Time::ZERO).is_ok());
     }
 
@@ -172,6 +178,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite and non-negative")]
     fn negative_energy_is_rejected() {
-        let _ = Platform::virtex_like(4).unwrap().with_reconfig_energy_mj(-0.1);
+        let _ = Platform::virtex_like(4)
+            .unwrap()
+            .with_reconfig_energy_mj(-0.1);
     }
 }

@@ -28,7 +28,12 @@ impl Scenario {
     /// Creates a scenario wrapping a subtask graph with selection probability 1.
     pub fn new(id: ScenarioId, graph: SubtaskGraph) -> Self {
         let name = graph.name().to_string();
-        Scenario { id, name, graph, probability: 1.0 }
+        Scenario {
+            id,
+            name,
+            graph,
+            probability: 1.0,
+        }
     }
 
     /// Returns a copy with the given relative selection probability.
@@ -98,7 +103,12 @@ impl Task {
         for scenario in &scenarios {
             scenario.graph().validate()?;
         }
-        Ok(Task { id, name: name.into(), scenarios, deadline: None })
+        Ok(Task {
+            id,
+            name: name.into(),
+            scenarios,
+            deadline: None,
+        })
     }
 
     /// Creates a task with a single scenario built from one graph.
@@ -190,7 +200,10 @@ impl TaskSet {
         if tasks.is_empty() {
             return Err(ModelError::EmptyGraph);
         }
-        Ok(TaskSet { name: name.into(), tasks })
+        Ok(TaskSet {
+            name: name.into(),
+            tasks,
+        })
     }
 
     /// Name of the task set.
@@ -245,7 +258,13 @@ mod tests {
     fn graph(name: &str, n: usize, ms: u64) -> SubtaskGraph {
         let mut g = SubtaskGraph::new(name);
         let ids: Vec<_> = (0..n)
-            .map(|i| g.add_subtask(Subtask::new(format!("{name}{i}"), Time::from_millis(ms), ConfigId::new(i))))
+            .map(|i| {
+                g.add_subtask(Subtask::new(
+                    format!("{name}{i}"),
+                    Time::from_millis(ms),
+                    ConfigId::new(i),
+                ))
+            })
             .collect();
         for w in ids.windows(2) {
             g.add_dependency(w[0], w[1]).unwrap();
@@ -270,7 +289,10 @@ mod tests {
 
     #[test]
     fn task_requires_at_least_one_valid_scenario() {
-        assert_eq!(Task::new(TaskId::new(0), "t", vec![]).unwrap_err(), ModelError::EmptyGraph);
+        assert_eq!(
+            Task::new(TaskId::new(0), "t", vec![]).unwrap_err(),
+            ModelError::EmptyGraph
+        );
         let empty_graph = SubtaskGraph::new("empty");
         let bad = Task::new(
             TaskId::new(0),

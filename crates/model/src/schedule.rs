@@ -131,7 +131,10 @@ impl InitialSchedule {
         for (pe, order) in &pe_order {
             for &id in order {
                 if id.index() >= graph.len() {
-                    return Err(ModelError::UnknownSubtask { id, len: graph.len() });
+                    return Err(ModelError::UnknownSubtask {
+                        id,
+                        len: graph.len(),
+                    });
                 }
                 if assignment[id.index()] != *pe || seen[id.index()] {
                     return Err(ModelError::IncompleteSchedule { id });
@@ -140,7 +143,9 @@ impl InitialSchedule {
             }
         }
         if let Some(missing) = seen.iter().position(|&s| !s) {
-            return Err(ModelError::IncompleteSchedule { id: SubtaskId::new(missing) });
+            return Err(ModelError::IncompleteSchedule {
+                id: SubtaskId::new(missing),
+            });
         }
         let schedule = Self::assemble(assignment, pe_order);
         schedule.check_consistency(graph)?;
@@ -157,7 +162,11 @@ impl InitialSchedule {
             .map(|slot| slot.index() + 1)
             .max()
             .unwrap_or(0);
-        InitialSchedule { assignment, pe_order, slot_count }
+        InitialSchedule {
+            assignment,
+            pe_order,
+            slot_count,
+        }
     }
 
     fn check_assignment(
@@ -212,9 +221,7 @@ impl InitialSchedule {
         if visited == n {
             Ok(())
         } else {
-            let id = SubtaskId::new(
-                in_degree.iter().position(|&d| d > 0).unwrap_or(0),
-            );
+            let id = SubtaskId::new(in_degree.iter().position(|&d| d > 0).unwrap_or(0));
             Err(ModelError::InconsistentOrder { id })
         }
     }
@@ -279,7 +286,11 @@ impl InitialSchedule {
     /// All subtasks assigned to DRHW slots, in (slot, position) order.
     pub fn drhw_subtasks(&self) -> Vec<SubtaskId> {
         (0..self.slot_count)
-            .flat_map(|s| self.subtasks_on(PeAssignment::Tile(TileSlot::new(s))).iter().copied())
+            .flat_map(|s| {
+                self.subtasks_on(PeAssignment::Tile(TileSlot::new(s)))
+                    .iter()
+                    .copied()
+            })
             .collect()
     }
 
@@ -321,7 +332,11 @@ impl InitialSchedule {
                 }
             })
             .collect();
-        Ok(TimedSchedule { executions, loads: Vec::new(), makespan })
+        Ok(TimedSchedule {
+            executions,
+            loads: Vec::new(),
+            makespan,
+        })
     }
 
     /// Topological order of the combined relation (precedence + per-PE order).
@@ -346,8 +361,10 @@ impl InitialSchedule {
                 in_degree[succ.index()] += 1;
             }
         }
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
-            (0..n).filter(|&i| in_degree[i] == 0).map(std::cmp::Reverse).collect();
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&i| in_degree[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
         let mut order = Vec::with_capacity(n);
         while let Some(std::cmp::Reverse(i)) = heap.pop() {
             let id = SubtaskId::new(i);
@@ -430,7 +447,11 @@ impl TimedSchedule {
             .chain(loads.iter().map(|l| l.finish))
             .max()
             .unwrap_or(Time::ZERO);
-        TimedSchedule { executions, loads, makespan }
+        TimedSchedule {
+            executions,
+            loads,
+            makespan,
+        }
     }
 
     /// Execution windows indexed by subtask id order of insertion.
@@ -461,7 +482,11 @@ impl TimedSchedule {
     /// Completion time of the *executions* only (ignoring trailing loads that
     /// prefetch for a subsequent task).
     pub fn execution_makespan(&self) -> Time {
-        self.executions.iter().map(|e| e.finish).max().unwrap_or(Time::ZERO)
+        self.executions
+            .iter()
+            .map(|e| e.finish)
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 
     /// The reconfiguration overhead relative to an ideal makespan:
@@ -478,7 +503,11 @@ impl TimedSchedule {
     /// Instant at which the reconfiguration port becomes idle for good
     /// (`Time::ZERO` when no load was performed).
     pub fn port_idle_from(&self) -> Time {
-        self.loads.iter().map(|l| l.finish).max().unwrap_or(Time::ZERO)
+        self.loads
+            .iter()
+            .map(|l| l.finish)
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 
     /// Renders a compact textual Gantt chart, one line per PE plus one line
@@ -526,7 +555,9 @@ mod tests {
 
     fn chain_graph() -> (SubtaskGraph, Vec<SubtaskId>) {
         let mut g = SubtaskGraph::new("chain");
-        let ids: Vec<SubtaskId> = (0..3).map(|i| g.add_subtask(st(&format!("s{i}"), 10, i))).collect();
+        let ids: Vec<SubtaskId> = (0..3)
+            .map(|i| g.add_subtask(st(&format!("s{i}"), 10, i)))
+            .collect();
         g.add_dependency(ids[0], ids[1]).unwrap();
         g.add_dependency(ids[1], ids[2]).unwrap();
         (g, ids)
@@ -536,8 +567,7 @@ mod tests {
     fn from_assignment_groups_by_pe_and_orders_by_alap() {
         let (g, ids) = chain_graph();
         let slot0 = PeAssignment::Tile(TileSlot::new(0));
-        let schedule =
-            InitialSchedule::from_assignment(&g, vec![slot0, slot0, slot0]).unwrap();
+        let schedule = InitialSchedule::from_assignment(&g, vec![slot0, slot0, slot0]).unwrap();
         assert_eq!(schedule.subtasks_on(slot0), &ids[..]);
         assert_eq!(schedule.slot_count(), 1);
         assert_eq!(schedule.predecessor_on_pe(ids[1]), Some(ids[0]));
@@ -562,14 +592,20 @@ mod tests {
         g.add_dependency(hw, sw).unwrap();
         let err = InitialSchedule::from_assignment(
             &g,
-            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Tile(TileSlot::new(1))],
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+            ],
         )
         .unwrap_err();
         assert_eq!(err, ModelError::PeClassMismatch { id: sw });
         // And the correct assignment is accepted.
         let ok = InitialSchedule::from_assignment(
             &g,
-            vec![PeAssignment::Tile(TileSlot::new(0)), PeAssignment::Isp(IspId::new(0))],
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Isp(IspId::new(0)),
+            ],
         );
         assert!(ok.is_ok());
     }
@@ -605,11 +641,9 @@ mod tests {
         let same = InitialSchedule::from_assignment(&g, vec![slot0, slot0]).unwrap();
         let timed = same.ideal_timing(&g).unwrap();
         assert_eq!(timed.makespan(), Time::from_millis(30));
-        let separate = InitialSchedule::from_assignment(
-            &g,
-            vec![slot0, PeAssignment::Tile(TileSlot::new(1))],
-        )
-        .unwrap();
+        let separate =
+            InitialSchedule::from_assignment(&g, vec![slot0, PeAssignment::Tile(TileSlot::new(1))])
+                .unwrap();
         let timed = separate.ideal_timing(&g).unwrap();
         assert_eq!(timed.makespan(), Time::from_millis(20));
         assert_eq!(timed.execution(a).unwrap().start, Time::ZERO);
@@ -630,7 +664,10 @@ mod tests {
         .unwrap();
         let timed = schedule.ideal_timing(&g).unwrap();
         assert_eq!(timed.makespan(), Time::from_millis(30));
-        assert_eq!(timed.execution(ids[2]).unwrap().start, Time::from_millis(20));
+        assert_eq!(
+            timed.execution(ids[2]).unwrap().start,
+            Time::from_millis(20)
+        );
         assert_eq!(timed.overhead_vs(Time::from_millis(30)), Time::ZERO);
         assert_eq!(timed.load_count(), 0);
         assert_eq!(timed.port_idle_from(), Time::ZERO);
@@ -654,8 +691,14 @@ mod tests {
         assert_eq!(ts.makespan(), Time::from_millis(14));
         assert_eq!(ts.execution_makespan(), Time::from_millis(14));
         assert_eq!(ts.overhead_vs(Time::from_millis(10)), Time::from_millis(4));
-        assert_eq!(ts.load(SubtaskId::new(0)).unwrap().duration(), Time::from_millis(4));
-        assert_eq!(ts.execution(SubtaskId::new(0)).unwrap().duration(), Time::from_millis(10));
+        assert_eq!(
+            ts.load(SubtaskId::new(0)).unwrap().duration(),
+            Time::from_millis(4)
+        );
+        assert_eq!(
+            ts.execution(SubtaskId::new(0)).unwrap().duration(),
+            Time::from_millis(10)
+        );
         assert_eq!(ts.port_idle_from(), Time::from_millis(4));
         assert_eq!(ts.load_count(), 1);
     }
@@ -685,7 +728,10 @@ mod tests {
         assert_eq!(s.assignment(a), PeAssignment::Tile(TileSlot::new(0)));
         assert_eq!(s.assignment(b), PeAssignment::Isp(IspId::new(0)));
         assert_eq!(s.assignment(c), PeAssignment::Tile(TileSlot::new(1)));
-        assert_eq!(s.ideal_timing(&g).unwrap().makespan(), Time::from_millis(15));
+        assert_eq!(
+            s.ideal_timing(&g).unwrap().makespan(),
+            Time::from_millis(15)
+        );
     }
 
     #[test]

@@ -40,7 +40,6 @@ impl Subtask {
     /// Creates a DRHW subtask with the given name, execution time and
     /// configuration, using the default energy model.
     pub fn new(name: impl Into<String>, exec_time: Time, config: ConfigId) -> Self {
-        let exec_time = exec_time;
         Subtask {
             name: name.into(),
             exec_time,

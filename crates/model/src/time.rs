@@ -31,7 +31,9 @@ use serde::{Deserialize, Serialize};
 /// assert!(latency < exec);
 /// assert_eq!((latency + exec).as_micros(), 9_700);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Time(u64);
 
@@ -235,7 +237,7 @@ impl<'a> Sum<&'a Time> for Time {
 
 impl fmt::Display for Time {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 1_000 == 0 {
+        if self.0.is_multiple_of(1_000) {
             write!(f, "{}ms", self.0 / 1_000)
         } else {
             write!(f, "{:.3}ms", self.as_millis_f64())
@@ -300,7 +302,11 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let times = [Time::from_millis(1), Time::from_millis(2), Time::from_millis(3)];
+        let times = [
+            Time::from_millis(1),
+            Time::from_millis(2),
+            Time::from_millis(3),
+        ];
         let total: Time = times.iter().sum();
         assert_eq!(total, Time::from_millis(6));
         let total_owned: Time = times.into_iter().sum();
@@ -331,6 +337,9 @@ mod tests {
         assert!(Time::from_micros(100) < Time::from_millis(1));
         let mut v = vec![Time::from_millis(3), Time::ZERO, Time::from_millis(1)];
         v.sort();
-        assert_eq!(v, vec![Time::ZERO, Time::from_millis(1), Time::from_millis(3)]);
+        assert_eq!(
+            v,
+            vec![Time::ZERO, Time::from_millis(1), Time::from_millis(3)]
+        );
     }
 }

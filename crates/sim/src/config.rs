@@ -10,11 +10,12 @@ use crate::error::SimError;
 
 /// How the initial schedule of each activation is chosen from the design-time
 /// artifacts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum PointSelection {
     /// Map every DRHW subtask on its own tile slot, as in the ICN platform
     /// model and the paper's Table 1 characterisation (default). Falls back to
     /// the fastest Pareto point that fits when the platform is too small.
+    #[default]
     FullyParallel,
     /// Always pick the fastest Pareto point that fits on the platform.
     Fastest,
@@ -23,28 +24,17 @@ pub enum PointSelection {
     EnergyAware,
 }
 
-impl Default for PointSelection {
-    fn default() -> Self {
-        PointSelection::FullyParallel
-    }
-}
-
 /// How scenarios are chosen for each activation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ScenarioPolicy {
     /// Each task picks one of its scenarios independently, weighted by the
     /// scenario probabilities (the multimedia experiments).
+    #[default]
     Independent,
     /// One of the listed inter-task scenario combinations is drawn per
     /// iteration and every task follows it (the Pocket GL experiment, where
     /// inter-task dependencies leave only 20 feasible combinations).
     Correlated(Vec<BTreeMap<TaskId, ScenarioId>>),
-}
-
-impl Default for ScenarioPolicy {
-    fn default() -> Self {
-        ScenarioPolicy::Independent
-    }
 }
 
 /// Parameters of one simulation run.
@@ -81,7 +71,10 @@ impl Default for SimulationConfig {
 impl SimulationConfig {
     /// A configuration suitable for quick tests: few iterations, fixed seed.
     pub fn quick() -> Self {
-        SimulationConfig { iterations: 50, ..Default::default() }
+        SimulationConfig {
+            iterations: 50,
+            ..Default::default()
+        }
     }
 
     /// Checks the configuration for obvious mistakes.
@@ -170,11 +163,16 @@ mod tests {
     #[test]
     fn validation_rejects_bad_values() {
         assert_eq!(
-            SimulationConfig::default().with_iterations(0).validate().unwrap_err(),
+            SimulationConfig::default()
+                .with_iterations(0)
+                .validate()
+                .unwrap_err(),
             SimError::NoIterations
         );
-        let mut c = SimulationConfig::default();
-        c.task_inclusion_probability = 1.5;
+        let c = SimulationConfig {
+            task_inclusion_probability: 1.5,
+            ..Default::default()
+        };
         assert!(matches!(
             c.validate().unwrap_err(),
             SimError::InvalidInclusionProbability { .. }

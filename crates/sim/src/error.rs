@@ -34,7 +34,11 @@ impl fmt::Display for SimError {
             SimError::Prefetch(e) => write!(f, "prefetch error: {e}"),
             SimError::NoIterations => write!(f, "simulation needs at least one iteration"),
             SimError::InvalidInclusionProbability { permille } => {
-                write!(f, "task inclusion probability {} is outside [0, 1]", *permille as f64 / 1000.0)
+                write!(
+                    f,
+                    "task inclusion probability {} is outside [0, 1]",
+                    *permille as f64 / 1000.0
+                )
             }
         }
     }

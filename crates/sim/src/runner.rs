@@ -51,7 +51,12 @@ impl<'a> DynamicSimulation<'a> {
     ) -> Result<Self, SimError> {
         config.validate()?;
         let library = DesignTimeLibrary::build(task_set, platform, &DesignTimeScheduler::new())?;
-        Ok(DynamicSimulation { task_set, platform, config, library })
+        Ok(DynamicSimulation {
+            task_set,
+            platform,
+            config,
+            library,
+        })
     }
 
     /// The configuration of this simulation.
@@ -84,14 +89,17 @@ impl<'a> DynamicSimulation<'a> {
         for _ in 0..self.config.iterations {
             let activations = self.pick_activations(&mut rng);
             for (position, &(task, scenario_id)) in activations.iter().enumerate() {
-                let scenario = task
-                    .scenario(scenario_id)
-                    .ok_or(drhw_tcm::TcmError::UnknownScenario { task: task.id(), scenario: scenario_id })?;
+                let scenario =
+                    task.scenario(scenario_id)
+                        .ok_or(drhw_tcm::TcmError::UnknownScenario {
+                            task: task.id(),
+                            scenario: scenario_id,
+                        })?;
                 let graph = scenario.graph();
                 let key = (task.id(), scenario_id);
-                if !schedules.contains_key(&key) {
+                if let std::collections::btree_map::Entry::Vacant(e) = schedules.entry(key) {
                     let schedule = self.build_schedule(task.id(), scenario_id, graph)?;
-                    schedules.insert(key, schedule);
+                    e.insert(schedule);
                 }
                 let schedule = &schedules[&key];
                 let ideal = schedule.ideal_timing(graph)?.makespan();
@@ -130,11 +138,10 @@ impl<'a> DynamicSimulation<'a> {
                         (result.penalty(), result.load_count(), 0)
                     }
                     PolicyKind::DesignTimeOnly => {
-                        if !design_time.contains_key(&key) {
-                            design_time.insert(
-                                key,
-                                DesignTimePrefetch::compute(graph, schedule, self.platform)?,
-                            );
+                        if let std::collections::btree_map::Entry::Vacant(e) =
+                            design_time.entry(key)
+                        {
+                            e.insert(DesignTimePrefetch::compute(graph, schedule, self.platform)?);
                         }
                         let artifact = &design_time[&key];
                         (artifact.penalty(), artifact.load_count(), 0)
@@ -171,18 +178,14 @@ impl<'a> DynamicSimulation<'a> {
                         (result.penalty(), result.load_count() + preloaded.len(), 0)
                     }
                     PolicyKind::Hybrid => {
-                        if !hybrids.contains_key(&key) {
-                            hybrids.insert(
-                                key,
-                                HybridPrefetch::compute(graph, schedule, self.platform)?,
-                            );
+                        if let std::collections::btree_map::Entry::Vacant(e) = hybrids.entry(key) {
+                            e.insert(HybridPrefetch::compute(graph, schedule, self.platform)?);
                         }
                         let hybrid = &hybrids[&key];
                         let outcome =
                             hybrid.evaluate(graph, schedule, self.platform, &resident, window)?;
                         window = outcome.trailing_window();
-                        let loads =
-                            outcome.loads_performed() + outcome.decision().preloaded.len();
+                        let loads = outcome.loads_performed() + outcome.decision().preloaded.len();
                         let cancelled = outcome.decision().cancelled_loads.len();
                         (outcome.penalty(), loads, cancelled)
                     }
@@ -270,14 +273,22 @@ impl<'a> DynamicSimulation<'a> {
                 // Fall back to the fastest Pareto point that fits.
                 let curve = self.library.curve(task, scenario)?;
                 let point = curve.fastest_within_tiles(tiles).ok_or(
-                    drhw_tcm::TcmError::NoFeasiblePoint { task, scenario, available_tiles: tiles },
+                    drhw_tcm::TcmError::NoFeasiblePoint {
+                        task,
+                        scenario,
+                        available_tiles: tiles,
+                    },
                 )?;
                 Ok(point.schedule().clone())
             }
             PointSelection::Fastest => {
                 let curve = self.library.curve(task, scenario)?;
                 let point = curve.fastest_within_tiles(tiles).ok_or(
-                    drhw_tcm::TcmError::NoFeasiblePoint { task, scenario, available_tiles: tiles },
+                    drhw_tcm::TcmError::NoFeasiblePoint {
+                        task,
+                        scenario,
+                        available_tiles: tiles,
+                    },
                 )?;
                 Ok(point.schedule().clone())
             }
@@ -304,7 +315,10 @@ fn pick_weighted_scenario(task: &Task, rng: &mut StdRng) -> ScenarioId {
             return scenario.id();
         }
     }
-    task.scenarios().last().expect("tasks always have a scenario").id()
+    task.scenarios()
+        .last()
+        .expect("tasks always have a scenario")
+        .id()
 }
 
 #[cfg(test)]
@@ -328,7 +342,11 @@ mod tests {
         chain.add_dependency(ids[1], ids[2]).unwrap();
 
         let mut fork = SubtaskGraph::new("fork");
-        let root = fork.add_subtask(Subtask::new("root", Time::from_millis(15), ConfigId::new(10)));
+        let root = fork.add_subtask(Subtask::new(
+            "root",
+            Time::from_millis(15),
+            ConfigId::new(10),
+        ));
         for i in 0..2 {
             let child = fork.add_subtask(Subtask::new(
                 format!("f{i}"),
@@ -347,8 +365,12 @@ mod tests {
                     vec![Scenario::new(ScenarioId::new(0), chain)],
                 )
                 .unwrap(),
-                Task::new(TaskId::new(1), "fork", vec![Scenario::new(ScenarioId::new(0), fork)])
-                    .unwrap(),
+                Task::new(
+                    TaskId::new(1),
+                    "fork",
+                    vec![Scenario::new(ScenarioId::new(0), fork)],
+                )
+                .unwrap(),
             ],
         )
         .unwrap()
@@ -385,7 +407,11 @@ mod tests {
         assert!(many.reuse_percent() >= few.reuse_percent());
         // With 8 tiles every configuration of the small set stays resident, so
         // reuse is substantial.
-        assert!(many.reuse_percent() > 30.0, "reuse was {}", many.reuse_percent());
+        assert!(
+            many.reuse_percent() > 30.0,
+            "reuse was {}",
+            many.reuse_percent()
+        );
     }
 
     #[test]
@@ -399,10 +425,10 @@ mod tests {
     fn different_seeds_change_the_workload_but_not_the_shape() {
         let set = small_task_set();
         let platform = Platform::virtex_like(6).unwrap();
-        let sim_a =
-            DynamicSimulation::new(&set, &platform, SimulationConfig::quick().with_seed(1)).unwrap();
-        let sim_b =
-            DynamicSimulation::new(&set, &platform, SimulationConfig::quick().with_seed(2)).unwrap();
+        let sim_a = DynamicSimulation::new(&set, &platform, SimulationConfig::quick().with_seed(1))
+            .unwrap();
+        let sim_b = DynamicSimulation::new(&set, &platform, SimulationConfig::quick().with_seed(2))
+            .unwrap();
         let a = sim_a.run(PolicyKind::NoPrefetch).unwrap();
         let b = sim_b.run(PolicyKind::NoPrefetch).unwrap();
         // Different activation counts are expected; both still show overhead.
@@ -454,8 +480,8 @@ mod tests {
         let mut combo = BTreeMap::new();
         combo.insert(TaskId::new(0), ScenarioId::new(0));
         combo.insert(TaskId::new(1), ScenarioId::new(0));
-        let config = SimulationConfig::quick()
-            .with_scenario_policy(ScenarioPolicy::Correlated(vec![combo]));
+        let config =
+            SimulationConfig::quick().with_scenario_policy(ScenarioPolicy::Correlated(vec![combo]));
         let sim = DynamicSimulation::new(&set, &platform, config).unwrap();
         let report = sim.run(PolicyKind::Hybrid).unwrap();
         assert!(report.activations() > 0);

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use drhw_model::{
     GraphAnalysis, InitialSchedule, IspId, PeAssignment, PeClass, Platform, SubtaskGraph,
-    SubtaskId, Time, TileSlot,
+    SubtaskId, TileSlot, Time,
 };
 use serde::{Deserialize, Serialize};
 
@@ -29,7 +29,9 @@ pub struct DesignTimeScheduler {
 impl DesignTimeScheduler {
     /// Creates a scheduler with the default energy model.
     pub fn new() -> Self {
-        DesignTimeScheduler { energy: EnergyModel::new() }
+        DesignTimeScheduler {
+            energy: EnergyModel::new(),
+        }
     }
 
     /// Returns a copy using the given energy model.
@@ -75,8 +77,10 @@ impl DesignTimeScheduler {
         let mut pe_order: BTreeMap<PeAssignment, Vec<SubtaskId>> = BTreeMap::new();
         let mut slot_free = vec![Time::ZERO; slots.max(1)];
         let mut isp_free = Time::ZERO;
-        let mut ready: Vec<SubtaskId> =
-            graph.ids().filter(|&id| remaining_preds[id.index()] == 0).collect();
+        let mut ready: Vec<SubtaskId> = graph
+            .ids()
+            .filter(|&id| remaining_preds[id.index()] == 0)
+            .collect();
         let mut scheduled = 0usize;
 
         while scheduled < n {
@@ -105,7 +109,10 @@ impl DesignTimeScheduler {
                         .min_by_key(|(i, &f)| (f.max(preds_ready), std::cmp::Reverse(f), *i))
                         .expect("at least one slot exists");
                     slot_free[slot] = free.max(preds_ready) + graph.subtask(id).exec_time();
-                    (PeAssignment::Tile(TileSlot::new(slot)), free.max(preds_ready))
+                    (
+                        PeAssignment::Tile(TileSlot::new(slot)),
+                        free.max(preds_ready),
+                    )
                 }
                 PeClass::Isp => {
                     let start = isp_free.max(preds_ready);
@@ -147,7 +154,9 @@ impl DesignTimeScheduler {
         for slots in 1..=max_slots {
             let schedule = self.schedule_on(graph, slots)?;
             let exec_time = schedule.ideal_timing(graph)?.makespan();
-            let energy = self.energy.schedule_energy_mj(graph, schedule.slot_count(), exec_time);
+            let energy = self
+                .energy
+                .schedule_energy_mj(graph, schedule.slot_count(), exec_time);
             candidates.push(ParetoPoint::new(schedule, exec_time, energy));
         }
         ParetoCurve::from_candidates(candidates)
@@ -235,20 +244,32 @@ mod tests {
         );
         let scheduler = DesignTimeScheduler::new();
         let schedule = scheduler.schedule_on(&g, 2).unwrap();
-        assert_eq!(schedule.assignment(control), PeAssignment::Isp(IspId::new(0)));
+        assert_eq!(
+            schedule.assignment(control),
+            PeAssignment::Isp(IspId::new(0))
+        );
     }
 
     #[test]
     fn pareto_curve_trades_time_for_energy() {
         let g = two_chains();
         let platform = Platform::virtex_like(8).unwrap();
-        let curve = DesignTimeScheduler::new().pareto_curve(&g, &platform).unwrap();
-        assert!(curve.len() >= 2, "expected a real trade-off, got {} points", curve.len());
+        let curve = DesignTimeScheduler::new()
+            .pareto_curve(&g, &platform)
+            .unwrap();
+        assert!(
+            curve.len() >= 2,
+            "expected a real trade-off, got {} points",
+            curve.len()
+        );
         assert_eq!(curve.fastest().exec_time(), Time::from_millis(30));
         // The most efficient point uses fewer tiles than the fastest one.
         assert!(curve.most_efficient().tiles_used() < curve.fastest().tiles_used().max(2));
         // Every point respects the platform's tile budget.
-        assert!(curve.points().iter().all(|p| p.tiles_used() <= platform.tile_count()));
+        assert!(curve
+            .points()
+            .iter()
+            .all(|p| p.tiles_used() <= platform.tile_count()));
     }
 
     #[test]

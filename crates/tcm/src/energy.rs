@@ -52,7 +52,10 @@ impl EnergyModel {
     /// efficient than dedicated hardware in this model).
     #[must_use]
     pub fn with_isp_factor(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 1.0, "isp factor must be >= 1, got {factor}");
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "isp factor must be >= 1, got {factor}"
+        );
         self.isp_energy_factor = factor;
         self
     }
@@ -103,7 +106,12 @@ impl EnergyModel {
     }
 
     /// Energy (mJ) of executing one subtask on the given PE class.
-    pub fn execution_energy_mj(&self, graph: &SubtaskGraph, id: drhw_model::SubtaskId, pe: PeClass) -> f64 {
+    pub fn execution_energy_mj(
+        &self,
+        graph: &SubtaskGraph,
+        id: drhw_model::SubtaskId,
+        pe: PeClass,
+    ) -> f64 {
         let base = graph.subtask(id).exec_energy_mj();
         match pe {
             PeClass::Drhw => base,
@@ -176,7 +184,9 @@ mod tests {
     #[test]
     fn reconfiguration_energy_scales_with_load_count() {
         let m = EnergyModel::new();
-        let platform = Platform::virtex_like(4).unwrap().with_reconfig_energy_mj(2.5);
+        let platform = Platform::virtex_like(4)
+            .unwrap()
+            .with_reconfig_energy_mj(2.5);
         assert!((m.reconfiguration_energy_mj(&platform, 4) - 10.0).abs() < 1e-9);
         let g = graph();
         let total = m.activation_energy_mj(&g, &platform, 2);

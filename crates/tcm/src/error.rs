@@ -44,7 +44,11 @@ impl fmt::Display for TcmError {
             TcmError::UnknownScenario { task, scenario } => {
                 write!(f, "task {task} has no scenario {scenario}")
             }
-            TcmError::NoFeasiblePoint { task, scenario, available_tiles } => write!(
+            TcmError::NoFeasiblePoint {
+                task,
+                scenario,
+                available_tiles,
+            } => write!(
                 f,
                 "no pareto point of {task}/{scenario} fits on {available_tiles} tiles"
             ),
@@ -74,7 +78,10 @@ mod tests {
 
     #[test]
     fn display_mentions_the_ids() {
-        let e = TcmError::UnknownScenario { task: TaskId::new(3), scenario: ScenarioId::new(1) };
+        let e = TcmError::UnknownScenario {
+            task: TaskId::new(3),
+            scenario: ScenarioId::new(1),
+        };
         assert!(e.to_string().contains("task3"));
         assert!(e.to_string().contains("sc1"));
         let e = TcmError::NoFeasiblePoint {

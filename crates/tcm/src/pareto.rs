@@ -31,7 +31,11 @@ impl ParetoPoint {
             energy_mj.is_finite() && energy_mj >= 0.0,
             "energy must be finite and non-negative, got {energy_mj}"
         );
-        ParetoPoint { schedule, exec_time, energy_mj }
+        ParetoPoint {
+            schedule,
+            exec_time,
+            energy_mj,
+        }
     }
 
     /// The reconfiguration-oblivious schedule of this point.
@@ -87,17 +91,18 @@ impl ParetoCurve {
             }
             points.retain(|p| !candidate.dominates(p));
             // Identical metric pairs: keep the first (deterministic).
-            if !points
-                .iter()
-                .any(|p| p.exec_time() == candidate.exec_time() && p.energy_mj() == candidate.energy_mj())
-            {
+            if !points.iter().any(|p| {
+                p.exec_time() == candidate.exec_time() && p.energy_mj() == candidate.energy_mj()
+            }) {
                 points.push(candidate);
             }
         }
         points.sort_by(|a, b| {
-            a.exec_time()
-                .cmp(&b.exec_time())
-                .then(a.energy_mj().partial_cmp(&b.energy_mj()).expect("energy is finite"))
+            a.exec_time().cmp(&b.exec_time()).then(
+                a.energy_mj()
+                    .partial_cmp(&b.energy_mj())
+                    .expect("energy is finite"),
+            )
         });
         Ok(ParetoCurve { points })
     }
@@ -127,18 +132,30 @@ impl ParetoCurve {
     pub fn most_efficient(&self) -> &ParetoPoint {
         self.points
             .iter()
-            .min_by(|a, b| a.energy_mj().partial_cmp(&b.energy_mj()).expect("energy is finite"))
+            .min_by(|a, b| {
+                a.energy_mj()
+                    .partial_cmp(&b.energy_mj())
+                    .expect("energy is finite")
+            })
             .expect("curve is never empty")
     }
 
     /// The most energy-efficient point that meets `deadline` and fits on
     /// `available_tiles`, or `None` if no point qualifies.
-    pub fn best_within(&self, deadline: Option<Time>, available_tiles: usize) -> Option<&ParetoPoint> {
+    pub fn best_within(
+        &self,
+        deadline: Option<Time>,
+        available_tiles: usize,
+    ) -> Option<&ParetoPoint> {
         self.points
             .iter()
             .filter(|p| p.tiles_used() <= available_tiles)
-            .filter(|p| deadline.map_or(true, |d| p.exec_time() <= d))
-            .min_by(|a, b| a.energy_mj().partial_cmp(&b.energy_mj()).expect("energy is finite"))
+            .filter(|p| deadline.is_none_or(|d| p.exec_time() <= d))
+            .min_by(|a, b| {
+                a.energy_mj()
+                    .partial_cmp(&b.energy_mj())
+                    .expect("energy is finite")
+            })
     }
 
     /// The fastest point that fits on `available_tiles`, used as a fallback
@@ -159,12 +176,20 @@ mod tests {
     fn schedule_with_slots(slots: usize) -> InitialSchedule {
         let mut g = SubtaskGraph::new("s");
         let ids: Vec<_> = (0..slots)
-            .map(|i| g.add_subtask(Subtask::new(format!("s{i}"), Time::from_millis(5), ConfigId::new(i))))
+            .map(|i| {
+                g.add_subtask(Subtask::new(
+                    format!("s{i}"),
+                    Time::from_millis(5),
+                    ConfigId::new(i),
+                ))
+            })
             .collect();
         for w in ids.windows(2) {
             g.add_dependency(w[0], w[1]).unwrap();
         }
-        let assignment = (0..slots).map(|i| PeAssignment::Tile(TileSlot::new(i))).collect();
+        let assignment = (0..slots)
+            .map(|i| PeAssignment::Tile(TileSlot::new(i)))
+            .collect();
         InitialSchedule::from_assignment(&g, assignment).unwrap()
     }
 
@@ -210,7 +235,10 @@ mod tests {
 
     #[test]
     fn empty_candidate_set_is_an_error() {
-        assert_eq!(ParetoCurve::from_candidates(vec![]).unwrap_err(), TcmError::EmptyCurve);
+        assert_eq!(
+            ParetoCurve::from_candidates(vec![]).unwrap_err(),
+            TcmError::EmptyCurve
+        );
     }
 
     #[test]

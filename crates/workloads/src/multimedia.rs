@@ -46,10 +46,18 @@ pub fn pattern_recognition_graph() -> SubtaskGraph {
     let grad_x = g.add_subtask(Subtask::new("gradient_x", ms(12), ConfigId::new(3)));
     let grad_y = g.add_subtask(Subtask::new("gradient_y", ms(12), ConfigId::new(4)));
     let peak = g.add_subtask(Subtask::new("peak_detect", ms(24), ConfigId::new(5)));
-    let deps =
-        [(edge, rho), (rho, theta), (theta, peak), (edge, grad_x), (edge, grad_y), (grad_x, peak), (grad_y, peak)];
+    let deps = [
+        (edge, rho),
+        (rho, theta),
+        (theta, peak),
+        (edge, grad_x),
+        (edge, grad_y),
+        (grad_x, peak),
+        (grad_y, peak),
+    ];
     for (from, to) in deps {
-        g.add_dependency(from, to).expect("static benchmark graph is well-formed");
+        g.add_dependency(from, to)
+            .expect("static benchmark graph is well-formed");
     }
     g
 }
@@ -68,7 +76,8 @@ pub fn jpeg_decoder_graph() -> SubtaskGraph {
     for (name, t, cfg) in stages {
         let id = g.add_subtask(Subtask::new(name, ms(t), ConfigId::new(cfg)));
         if let Some(p) = prev {
-            g.add_dependency(p, id).expect("static benchmark graph is well-formed");
+            g.add_dependency(p, id)
+                .expect("static benchmark graph is well-formed");
         }
         prev = Some(id);
     }
@@ -100,7 +109,8 @@ pub fn parallel_jpeg_graph() -> SubtaskGraph {
         (v2, merge),
     ];
     for (from, to) in deps {
-        g.add_dependency(from, to).expect("static benchmark graph is well-formed");
+        g.add_dependency(from, to)
+            .expect("static benchmark graph is well-formed");
     }
     g
 }
@@ -139,7 +149,13 @@ pub fn mpeg_encoder_graph(frame: MpegFrame) -> SubtaskGraph {
         MpegFrame::P => [9, 6, 7, 4, 7],
         MpegFrame::B => [14, 8, 5, 3, 5],
     };
-    let names = ["motion_estimation", "motion_compensation", "dct", "quantize", "vlc"];
+    let names = [
+        "motion_estimation",
+        "motion_compensation",
+        "dct",
+        "quantize",
+        "vlc",
+    ];
     let mut g = SubtaskGraph::new(match frame {
         MpegFrame::I => "mpeg-encoder-i",
         MpegFrame::P => "mpeg-encoder-p",
@@ -149,7 +165,8 @@ pub fn mpeg_encoder_graph(frame: MpegFrame) -> SubtaskGraph {
     for (i, (name, t)) in names.iter().zip(times).enumerate() {
         let id = g.add_subtask(Subtask::new(*name, ms(t), ConfigId::new(30 + i)));
         if let Some(p) = prev {
-            g.add_dependency(p, id).expect("static benchmark graph is well-formed");
+            g.add_dependency(p, id)
+                .expect("static benchmark graph is well-formed");
         }
         prev = Some(id);
     }
@@ -158,8 +175,12 @@ pub fn mpeg_encoder_graph(frame: MpegFrame) -> SubtaskGraph {
 
 /// The Pattern Recognition task (single scenario).
 pub fn pattern_recognition_task() -> Task {
-    Task::single_scenario(PATTERN_RECOGNITION, "pattern-recognition", pattern_recognition_graph())
-        .expect("static benchmark graph is well-formed")
+    Task::single_scenario(
+        PATTERN_RECOGNITION,
+        "pattern-recognition",
+        pattern_recognition_graph(),
+    )
+    .expect("static benchmark graph is well-formed")
 }
 
 /// The sequential JPEG decoder task (single scenario).
@@ -255,7 +276,12 @@ mod tests {
         for (graph, expected_ms) in cases {
             let schedule = fully_parallel_schedule(&graph).unwrap();
             let ideal = schedule.ideal_timing(&graph).unwrap().makespan();
-            assert_eq!(ideal, Time::from_millis(expected_ms), "graph {}", graph.name());
+            assert_eq!(
+                ideal,
+                Time::from_millis(expected_ms),
+                "graph {}",
+                graph.name()
+            );
         }
         // MPEG: the *average* over B, P, I scenarios is 33 ms.
         let total: u64 = MpegFrame::ALL
@@ -285,7 +311,11 @@ mod tests {
     #[test]
     fn config_ids_are_unique_across_the_set_except_shared_mpeg_stages() {
         let mut seen = std::collections::BTreeSet::new();
-        for graph in [pattern_recognition_graph(), jpeg_decoder_graph(), parallel_jpeg_graph()] {
+        for graph in [
+            pattern_recognition_graph(),
+            jpeg_decoder_graph(),
+            parallel_jpeg_graph(),
+        ] {
             for (_, s) in graph.iter() {
                 assert!(seen.insert(s.config()), "duplicate config {:?}", s.config());
             }

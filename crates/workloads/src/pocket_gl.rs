@@ -32,8 +32,14 @@ pub const SCENARIOS_PER_TASK: [usize; TASK_COUNT] = [4, 6, 4, 10, 4, 12];
 pub const SUBTASKS_PER_TASK: [usize; TASK_COUNT] = [2, 2, 1, 2, 2, 1];
 
 /// Names of the six pipeline stages.
-pub const TASK_NAMES: [&str; TASK_COUNT] =
-    ["geometry", "clipping", "projection", "rasterize", "texture", "fragment"];
+pub const TASK_NAMES: [&str; TASK_COUNT] = [
+    "geometry",
+    "clipping",
+    "projection",
+    "rasterize",
+    "texture",
+    "fragment",
+];
 
 /// Base execution times (microseconds) of the ten subtasks in their nominal
 /// scenario. The spread — from sub-millisecond clipping helpers to a 15 ms
@@ -77,7 +83,8 @@ fn scenario_graph(task: usize, scenario: usize) -> SubtaskGraph {
             config_of(task, subtask),
         ));
         if let Some(p) = prev {
-            g.add_dependency(p, id).expect("static pipeline graph is well-formed");
+            g.add_dependency(p, id)
+                .expect("static pipeline graph is well-formed");
         }
         prev = Some(id);
     }

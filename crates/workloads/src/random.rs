@@ -7,7 +7,9 @@
 //! module generates layered random DAGs with controllable size, parallelism
 //! and execution-time distribution.
 
-use drhw_model::{ConfigId, Scenario, ScenarioId, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time};
+use drhw_model::{
+    ConfigId, Scenario, ScenarioId, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,7 +49,10 @@ impl RandomGraphConfig {
     /// Creates a configuration for a graph of the given size, keeping the
     /// other parameters at their defaults.
     pub fn with_subtasks(subtasks: usize) -> Self {
-        RandomGraphConfig { subtasks, ..Default::default() }
+        RandomGraphConfig {
+            subtasks,
+            ..Default::default()
+        }
     }
 }
 
@@ -62,9 +67,15 @@ impl RandomGraphConfig {
 ///
 /// Panics if `subtasks` or `width` is zero, or if `min_exec > max_exec`.
 pub fn random_graph(config: &RandomGraphConfig, rng: &mut impl Rng) -> SubtaskGraph {
-    assert!(config.subtasks > 0, "graph must contain at least one subtask");
+    assert!(
+        config.subtasks > 0,
+        "graph must contain at least one subtask"
+    );
     assert!(config.width > 0, "layer width must be positive");
-    assert!(config.min_exec <= config.max_exec, "min_exec must not exceed max_exec");
+    assert!(
+        config.min_exec <= config.max_exec,
+        "min_exec must not exceed max_exec"
+    );
     let mut graph = SubtaskGraph::new(format!("random-{}", config.subtasks));
     let mut layers: Vec<Vec<drhw_model::SubtaskId>> = Vec::new();
     let mut created = 0usize;
@@ -114,11 +125,7 @@ pub fn seeded_random_graph(config: &RandomGraphConfig, seed: u64) -> SubtaskGrap
 
 /// Generates a task set of `tasks` random single-scenario tasks, each with its
 /// own configuration-id range so no configuration is shared between tasks.
-pub fn random_task_set(
-    tasks: usize,
-    subtasks_per_task: usize,
-    seed: u64,
-) -> TaskSet {
+pub fn random_task_set(tasks: usize, subtasks_per_task: usize, seed: u64) -> TaskSet {
     assert!(tasks > 0, "task set must contain at least one task");
     let mut rng = StdRng::seed_from_u64(seed);
     let built: Vec<Task> = (0..tasks)
@@ -196,7 +203,10 @@ mod tests {
         for task in set.tasks() {
             for scenario in task.scenarios() {
                 for (_, s) in scenario.graph().iter() {
-                    assert!(all_configs.insert(s.config()), "duplicate config across tasks");
+                    assert!(
+                        all_configs.insert(s.config()),
+                        "duplicate config across tasks"
+                    );
                 }
             }
         }

@@ -19,8 +19,10 @@ use drhw_workloads::pocket_gl::{
 };
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let iterations: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let iterations: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
 
     let set = pocket_gl_task_set();
     let stats = workload_stats();
@@ -29,7 +31,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("  subtasks         : {}", stats.subtask_count);
     println!("  scenarios        : {}", stats.scenario_count);
     println!("  inter-task scen. : {}", inter_task_scenarios().len());
-    println!("  subtask exec time: {} .. {} (mean {})", stats.min, stats.max, stats.mean);
+    println!(
+        "  subtask exec time: {} .. {} (mean {})",
+        stats.min, stats.max, stats.mean
+    );
     println!();
 
     // Convert the feasible inter-task scenarios into the correlated scenario

@@ -18,7 +18,9 @@ use drhw_prefetch::{
     PrefetchScheduler, ReplacementPolicy, TileContents,
 };
 use drhw_tcm::DesignTimeScheduler;
-use drhw_workloads::multimedia::{fully_parallel_schedule, jpeg_decoder_graph, parallel_jpeg_graph};
+use drhw_workloads::multimedia::{
+    fully_parallel_schedule, jpeg_decoder_graph, parallel_jpeg_graph,
+};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let platform = Platform::virtex_like(8)?;
@@ -46,8 +48,14 @@ fn main() -> Result<(), Box<dyn Error>> {
 
         for (name, result) in [
             ("no prefetch", OnDemandScheduler::new().schedule(&problem)?),
-            ("run-time list prefetch", ListScheduler::new().schedule(&problem)?),
-            ("optimal (branch & bound)", BranchBoundScheduler::new().schedule(&problem)?),
+            (
+                "run-time list prefetch",
+                ListScheduler::new().schedule(&problem)?,
+            ),
+            (
+                "optimal (branch & bound)",
+                BranchBoundScheduler::new().schedule(&problem)?,
+            ),
         ] {
             println!(
                 "  {name:<26} penalty {:>6}  (+{:.1}%)",

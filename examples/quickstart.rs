@@ -47,13 +47,19 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Without prefetch every load sits on the critical path (Fig. 3(b)).
     let problem = PrefetchProblem::new(&graph, &schedule, &platform)?;
     let on_demand = OnDemandScheduler::new().schedule(&problem)?;
-    println!("== Without prefetch, Fig. 3(b): penalty {} ==", on_demand.penalty());
+    println!(
+        "== Without prefetch, Fig. 3(b): penalty {} ==",
+        on_demand.penalty()
+    );
     println!("{}\n", on_demand.timed().to_gantt_string(&graph));
 
     // The run-time list-scheduling heuristic hides all but the first load
     // (Fig. 3(c)).
     let run_time = ListScheduler::new().schedule(&problem)?;
-    println!("== Run-time prefetch, Fig. 3(c): penalty {} ==", run_time.penalty());
+    println!(
+        "== Run-time prefetch, Fig. 3(c): penalty {} ==",
+        run_time.penalty()
+    );
     println!("{}\n", run_time.timed().to_gantt_string(&graph));
 
     // The hybrid heuristic: the design-time phase finds the critical subtasks
@@ -67,11 +73,20 @@ fn main() -> Result<(), Box<dyn Error>> {
         .collect();
     println!("== Hybrid heuristic ==");
     println!("critical subtasks (CS): {critical:?}");
-    println!("stored load order     : {:?}", hybrid.critical().stored_load_order());
+    println!(
+        "stored load order     : {:?}",
+        hybrid.critical().stored_load_order()
+    );
 
     // Cold start: nothing resident, no idle window — the task pays only the
     // initialization phase (loading subtask 1).
-    let cold = hybrid.evaluate(&graph, &schedule, &platform, &BTreeSet::new(), InterTaskWindow::empty())?;
+    let cold = hybrid.evaluate(
+        &graph,
+        &schedule,
+        &platform,
+        &BTreeSet::new(),
+        InterTaskWindow::empty(),
+    )?;
     println!("cold start            : penalty {}", cold.penalty());
 
     // With the inter-task optimization the previous task's idle window loads
@@ -84,6 +99,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         InterTaskWindow::new(Time::from_millis(6)),
     )?;
     println!("with inter-task window: penalty {}", warm.penalty());
-    println!("trailing idle window offered to the next task: {}", warm.trailing_window().remaining());
+    println!(
+        "trailing idle window offered to the next task: {}",
+        warm.trailing_window().remaining()
+    );
     Ok(())
 }

@@ -13,11 +13,17 @@ use drhw_workloads::random::{random_task_set, seeded_random_graph, RandomGraphCo
 fn identical_seeds_produce_identical_reports() {
     let set = multimedia_task_set();
     let platform = Platform::virtex_like(9).unwrap();
-    let config = SimulationConfig::default().with_iterations(80).with_seed(77);
+    let config = SimulationConfig::default()
+        .with_iterations(80)
+        .with_seed(77);
     let sim_a = DynamicSimulation::new(&set, &platform, config.clone()).unwrap();
     let sim_b = DynamicSimulation::new(&set, &platform, config).unwrap();
     for policy in PolicyKind::ALL {
-        assert_eq!(sim_a.run(policy).unwrap(), sim_b.run(policy).unwrap(), "{policy}");
+        assert_eq!(
+            sim_a.run(policy).unwrap(),
+            sim_b.run(policy).unwrap(),
+            "{policy}"
+        );
     }
 }
 
@@ -32,7 +38,10 @@ fn policies_see_exactly_the_same_workload() {
     for report in &reports {
         assert_eq!(report.activations(), reference.activations());
         assert_eq!(report.ideal_total(), reference.ideal_total());
-        assert_eq!(report.drhw_subtasks_executed(), reference.drhw_subtasks_executed());
+        assert_eq!(
+            report.drhw_subtasks_executed(),
+            reference.drhw_subtasks_executed()
+        );
     }
 }
 
@@ -40,7 +49,9 @@ fn policies_see_exactly_the_same_workload() {
 fn pocket_gl_simulation_is_deterministic_too() {
     let set = pocket_gl_task_set();
     let platform = Platform::virtex_like(7).unwrap();
-    let config = SimulationConfig::default().with_iterations(50).with_seed(11);
+    let config = SimulationConfig::default()
+        .with_iterations(50)
+        .with_seed(11);
     let sim = DynamicSimulation::new(&set, &platform, config).unwrap();
     let a = sim.run(PolicyKind::Hybrid).unwrap();
     let b = sim.run(PolicyKind::Hybrid).unwrap();

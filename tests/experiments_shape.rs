@@ -3,9 +3,7 @@
 //! iteration counts so the whole suite stays fast; the full-size sweeps are
 //! produced by the `drhw-bench` binaries.
 
-use drhw_bench::experiments::{
-    figure6_series, figure7_series, headline_numbers, table1_rows,
-};
+use drhw_bench::experiments::{figure6_series, figure7_series, headline_numbers, table1_rows};
 use drhw_model::Platform;
 use drhw_prefetch::PolicyKind;
 use drhw_sim::{DynamicSimulation, SimulationConfig};
@@ -21,7 +19,11 @@ fn table1_reproduces_the_published_shape() {
     assert_eq!(rows.len(), 4);
     for row in &rows {
         // Optimal prefetch always removes most of the on-demand overhead.
-        assert!(row.prefetch_percent < row.overhead_percent * 0.6, "{}", row.name);
+        assert!(
+            row.prefetch_percent < row.overhead_percent * 0.6,
+            "{}",
+            row.name
+        );
     }
     // The MPEG encoder has the highest relative overhead (shortest task), the
     // pattern recognition application the lowest, as in Table 1.
@@ -53,17 +55,21 @@ fn figure6_curves_keep_their_relative_order_and_fall_with_tiles() {
         // The hybrid heuristic and the inter-task variant track each other and
         // dominate the plain run-time heuristic.
         assert!(at(tiles, PolicyKind::Hybrid) <= at(tiles, PolicyKind::RunTime) + 1.0);
-        assert!(
-            at(tiles, PolicyKind::RunTimeInterTask) <= at(tiles, PolicyKind::RunTime) + 1.0
-        );
+        assert!(at(tiles, PolicyKind::RunTimeInterTask) <= at(tiles, PolicyKind::RunTime) + 1.0);
         // Both advanced policies stay in the low single digits, as in Fig. 6.
         assert!(at(tiles, PolicyKind::Hybrid) < 4.0);
     }
     // More tiles -> more reuse -> less overhead for the run-time policy.
     assert!(at(16, PolicyKind::RunTime) < at(8, PolicyKind::RunTime));
     // Reuse grows monotonically enough to double from 8 to 16 tiles.
-    let reuse8 = points.iter().find(|p| p.tiles == 8 && p.policy == PolicyKind::RunTime).unwrap();
-    let reuse16 = points.iter().find(|p| p.tiles == 16 && p.policy == PolicyKind::RunTime).unwrap();
+    let reuse8 = points
+        .iter()
+        .find(|p| p.tiles == 8 && p.policy == PolicyKind::RunTime)
+        .unwrap();
+    let reuse16 = points
+        .iter()
+        .find(|p| p.tiles == 16 && p.policy == PolicyKind::RunTime)
+        .unwrap();
     assert!(reuse16.reuse_percent > reuse8.reuse_percent * 1.5);
     // "less than 20 % of the subtasks reused (for 8 tiles)".
     assert!(reuse8.reuse_percent < 25.0);
@@ -101,17 +107,21 @@ fn figure_policies_always_beat_the_baselines() {
     // loading on demand.
     for (set, tiles) in [(multimedia_task_set(), 10), (pocket_gl_task_set(), 8)] {
         let platform = Platform::virtex_like(tiles).unwrap();
-        let config = SimulationConfig::default().with_iterations(ITERATIONS).with_seed(SEED);
+        let config = SimulationConfig::default()
+            .with_iterations(ITERATIONS)
+            .with_seed(SEED);
         let sim = DynamicSimulation::new(&set, &platform, config).unwrap();
         let reports = sim.run_all().unwrap();
         let overhead = |policy: PolicyKind| {
-            reports.iter().find(|r| r.policy() == policy).unwrap().overhead_percent()
+            reports
+                .iter()
+                .find(|r| r.policy() == policy)
+                .unwrap()
+                .overhead_percent()
         };
         assert!(overhead(PolicyKind::DesignTimeOnly) < overhead(PolicyKind::NoPrefetch));
         assert!(overhead(PolicyKind::RunTime) <= overhead(PolicyKind::DesignTimeOnly));
         assert!(overhead(PolicyKind::Hybrid) <= overhead(PolicyKind::DesignTimeOnly));
-        assert!(
-            overhead(PolicyKind::RunTimeInterTask) <= overhead(PolicyKind::RunTime) + 0.5
-        );
+        assert!(overhead(PolicyKind::RunTimeInterTask) <= overhead(PolicyKind::RunTime) + 0.5);
     }
 }

@@ -16,8 +16,7 @@ pub fn random_instance(
     latency_ms: u64,
 ) -> (SubtaskGraph, InitialSchedule, Platform) {
     let graph = seeded_random_graph(&RandomGraphConfig::with_subtasks(subtasks.max(1)), seed);
-    let schedule =
-        InitialSchedule::fully_parallel(&graph).expect("generated graphs are valid");
+    let schedule = InitialSchedule::fully_parallel(&graph).expect("generated graphs are valid");
     let platform = Platform::new(
         schedule.slot_count().max(1),
         drhw_model::Time::from_millis(latency_ms),

@@ -26,7 +26,10 @@ fn tcm_library_covers_the_multimedia_set_and_selects_valid_points() {
         for scenario in task.scenarios() {
             let point = runtime
                 .select(
-                    TaskActivation { task: task.id(), scenario: scenario.id() },
+                    TaskActivation {
+                        task: task.id(),
+                        scenario: scenario.id(),
+                    },
                     platform.tile_count(),
                 )
                 .unwrap();
@@ -54,20 +57,33 @@ fn full_flow_on_two_consecutive_frames_reuses_configurations() {
     let mapping = assign_tiles(graph, &schedule, &contents, ReplacementPolicy::ReuseAware).unwrap();
     let resident = reusable_subtasks(graph, &schedule, &mapping, &contents);
     assert!(resident.is_empty());
-    let cold = hybrid.evaluate(graph, &schedule, &platform, &resident, window).unwrap();
+    let cold = hybrid
+        .evaluate(graph, &schedule, &platform, &resident, window)
+        .unwrap();
     assert!(cold.penalty() > Time::ZERO);
     assert_eq!(cold.loads_performed(), graph.drhw_subtasks().len());
     window = cold.trailing_window();
-    apply_schedule_to_contents(graph, &schedule, &mapping, &mut contents, Time::from_millis(100));
+    apply_schedule_to_contents(
+        graph,
+        &schedule,
+        &mapping,
+        &mut contents,
+        Time::from_millis(100),
+    );
 
     // Frame 2: the same task re-runs, every configuration is still resident.
     let mapping = assign_tiles(graph, &schedule, &contents, ReplacementPolicy::ReuseAware).unwrap();
     let resident = reusable_subtasks(graph, &schedule, &mapping, &contents);
     assert_eq!(resident.len(), graph.drhw_subtasks().len());
-    let warm = hybrid.evaluate(graph, &schedule, &platform, &resident, window).unwrap();
+    let warm = hybrid
+        .evaluate(graph, &schedule, &platform, &resident, window)
+        .unwrap();
     assert_eq!(warm.penalty(), Time::ZERO);
     assert_eq!(warm.loads_performed(), 0);
-    assert_eq!(warm.decision().cancelled_loads.len(), hybrid.critical().stored_load_order().len());
+    assert_eq!(
+        warm.decision().cancelled_loads.len(),
+        hybrid.critical().stored_load_order().len()
+    );
 }
 
 #[test]
@@ -84,7 +100,13 @@ fn every_mpeg_scenario_flows_through_the_prefetch_stack() {
         let list = ListScheduler::new().schedule(&problem).unwrap();
         let hybrid = HybridPrefetch::compute(graph, &schedule, &platform).unwrap();
         let outcome = hybrid
-            .evaluate(graph, &schedule, &platform, &BTreeSet::new(), InterTaskWindow::empty())
+            .evaluate(
+                graph,
+                &schedule,
+                &platform,
+                &BTreeSet::new(),
+                InterTaskWindow::empty(),
+            )
             .unwrap();
         assert!(list.penalty() <= on_demand.penalty());
         assert!(outcome.penalty() <= on_demand.penalty());
@@ -104,10 +126,22 @@ fn hybrid_runtime_decision_matches_the_simulated_outcome() {
     let hybrid = HybridPrefetch::compute(graph, &schedule, &platform).unwrap();
     let resident: BTreeSet<_> = graph.drhw_subtasks().into_iter().take(2).collect();
     let decision = hybrid
-        .runtime_decision(graph, &schedule, &platform, &resident, InterTaskWindow::empty())
+        .runtime_decision(
+            graph,
+            &schedule,
+            &platform,
+            &resident,
+            InterTaskWindow::empty(),
+        )
         .unwrap();
     let outcome = hybrid
-        .evaluate(graph, &schedule, &platform, &resident, InterTaskWindow::empty())
+        .evaluate(
+            graph,
+            &schedule,
+            &platform,
+            &resident,
+            InterTaskWindow::empty(),
+        )
         .unwrap();
     assert_eq!(decision, *outcome.decision());
     assert_eq!(
