@@ -6,17 +6,15 @@
 //!
 //! Usage: `cargo run -p drhw-bench --bin ablations --release [-- <iterations>]`
 
+use drhw_bench::cli::iterations_arg;
 use drhw_bench::experiments::{cs_scheduler_ablation, replacement_ablation};
 use drhw_bench::report::render_ablation;
 
 fn main() {
-    let iterations: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500);
+    let iterations = iterations_arg(500);
 
-    let rows = replacement_ablation(iterations, 2005, 10)
-        .expect("replacement ablation simulation runs");
+    let rows =
+        replacement_ablation(iterations, 2005, 10).expect("replacement ablation simulation runs");
     println!(
         "{}",
         render_ablation(

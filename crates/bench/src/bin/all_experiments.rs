@@ -1,47 +1,88 @@
 //! Runs every experiment of the paper in one go (Table 1, the §7 headline
 //! numbers, Figure 6, Figure 7 and the ablations) with a reduced iteration
-//! count suitable for a quick end-to-end check.
+//! count suitable for a quick end-to-end check, and writes the cross-policy
+//! overhead numbers to `BENCH_results.json` (override the path with the
+//! `BENCH_RESULTS_PATH` environment variable).
 //!
 //! Usage: `cargo run -p drhw-bench --bin all_experiments --release [-- <iterations>]`
 
+use drhw_bench::cli::iterations_arg;
 use drhw_bench::experiments::{
-    cs_scheduler_ablation, figure6_series, figure7_headline, figure7_series, headline_numbers,
-    replacement_ablation, table1_rows,
+    cs_scheduler_ablation, figure6_series, figure7_headline, figure7_series,
+    policy_overhead_reports, replacement_ablation, table1_rows,
 };
-use drhw_bench::report::{render_ablation, render_figure, render_table1};
+use drhw_bench::report::{render_ablation, render_figure, render_results_json, render_table1};
+use drhw_prefetch::PolicyKind;
 
 fn main() {
-    let iterations: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
+    let iterations = iterations_arg(300);
     let seed = 2005;
 
     println!("=== E1: Table 1 ===");
     println!("{}", render_table1(&table1_rows()));
 
+    // One paired five-policy simulation serves both the E2 headline numbers
+    // and the machine-readable results written at the end.
+    let reports = policy_overhead_reports(iterations, seed, 8).expect("simulation runs");
+    let overhead = |wanted: PolicyKind| {
+        reports
+            .iter()
+            .find(|r| r.policy() == wanted)
+            .expect("run_all covers every policy")
+            .overhead_percent()
+    };
+
     println!("=== E2: §7 headline numbers (8 tiles, {iterations} iterations) ===");
-    let (np, dt) = headline_numbers(iterations, seed, 8).expect("simulation runs");
-    println!("  no prefetch          : {:>5.1}%   (paper: 23%)", np.overhead_percent());
-    println!("  design-time prefetch : {:>5.1}%   (paper:  7%)", dt.overhead_percent());
+    println!(
+        "  no prefetch          : {:>5.1}%   (paper: 23%)",
+        overhead(PolicyKind::NoPrefetch)
+    );
+    println!(
+        "  design-time prefetch : {:>5.1}%   (paper:  7%)",
+        overhead(PolicyKind::DesignTimeOnly)
+    );
     println!();
 
     println!("=== E3: Figure 6 ===");
     let points = figure6_series(iterations, seed).expect("simulation runs");
-    println!("{}", render_figure(&points, "overhead (%) vs tiles, multimedia set"));
+    println!(
+        "{}",
+        render_figure(&points, "overhead (%) vs tiles, multimedia set")
+    );
 
     println!("=== E4: Figure 7 ===");
     let (np, dt) = figure7_headline(iterations, seed, 5).expect("simulation runs");
-    println!("  no prefetch          : {:>5.1}%   (paper: 71%)", np.overhead_percent());
-    println!("  design-time prefetch : {:>5.1}%   (paper: 25%)", dt.overhead_percent());
+    println!(
+        "  no prefetch          : {:>5.1}%   (paper: 71%)",
+        np.overhead_percent()
+    );
+    println!(
+        "  design-time prefetch : {:>5.1}%   (paper: 25%)",
+        dt.overhead_percent()
+    );
     let points = figure7_series(iterations, seed).expect("simulation runs");
-    println!("{}", render_figure(&points, "overhead (%) vs tiles, Pocket GL renderer"));
+    println!(
+        "{}",
+        render_figure(&points, "overhead (%) vs tiles, Pocket GL renderer")
+    );
 
     println!("=== E7: ablations ===");
     let rows = replacement_ablation(iterations, seed, 10).expect("simulation runs");
-    println!("{}", render_ablation(&rows, "replacement policy (hybrid, 10 tiles)"));
+    println!(
+        "{}",
+        render_ablation(&rows, "replacement policy (hybrid, 10 tiles)")
+    );
     println!("CS computation: exact vs heuristic");
     for (name, exact, heuristic) in cs_scheduler_ablation() {
         println!("  {name:<22} exact={exact}  heuristic={heuristic}");
     }
+
+    let path =
+        std::env::var("BENCH_RESULTS_PATH").unwrap_or_else(|_| "BENCH_results.json".to_string());
+    if let Err(err) = std::fs::write(&path, render_results_json(&reports)) {
+        eprintln!("error: cannot write {path}: {err}");
+        std::process::exit(1);
+    }
+    println!();
+    println!("machine-readable results written to {path}");
 }

@@ -5,14 +5,12 @@
 //!
 //! Usage: `cargo run -p drhw-bench --bin fig6 --release [-- <iterations>]`
 
+use drhw_bench::cli::iterations_arg;
 use drhw_bench::experiments::{figure6_series, headline_numbers};
 use drhw_bench::report::render_figure;
 
 fn main() {
-    let iterations: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1000);
+    let iterations = iterations_arg(1000);
     let seed = 2005;
 
     let (no_prefetch, design_time) =

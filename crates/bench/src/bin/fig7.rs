@@ -4,14 +4,12 @@
 //!
 //! Usage: `cargo run -p drhw-bench --bin fig7 --release [-- <iterations>]`
 
+use drhw_bench::cli::iterations_arg;
 use drhw_bench::experiments::{figure7_headline, figure7_series};
 use drhw_bench::report::render_figure;
 
 fn main() {
-    let iterations: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1000);
+    let iterations = iterations_arg(1000);
     let seed = 2005;
 
     let (no_prefetch, design_time) =
@@ -37,5 +35,7 @@ fn main() {
             )
         )
     );
-    println!("(paper: hybrid ~5% at 5 tiles, <2% at 8 tiles; >=93% of the initial overhead hidden)");
+    println!(
+        "(paper: hybrid ~5% at 5 tiles, <2% at 8 tiles; >=93% of the initial overhead hidden)"
+    );
 }

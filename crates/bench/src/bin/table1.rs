@@ -9,5 +9,7 @@ use drhw_bench::report::render_table1;
 fn main() {
     let rows = table1_rows();
     println!("{}", render_table1(&rows));
-    println!("(4 ms reconfiguration latency; every DRHW subtask on its own tile, as in the ICN model)");
+    println!(
+        "(4 ms reconfiguration latency; every DRHW subtask on its own tile, as in the ICN model)"
+    );
 }

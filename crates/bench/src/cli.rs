@@ -1,0 +1,21 @@
+//! Shared command-line helpers for the experiment binaries.
+
+/// Parses the iteration count from the first CLI argument, falling back to
+/// `default` when no argument is given.
+///
+/// Exits with status 2 (and a message on stderr) when the argument is not a
+/// positive integer: every experiment needs at least one iteration, and a
+/// clean CLI error beats the `SimError::NoIterations` panic the simulation
+/// layer would otherwise raise through the binaries' `expect`s.
+pub fn iterations_arg(default: usize) -> usize {
+    match std::env::args().nth(1) {
+        None => default,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: expected a positive iteration count, got {raw:?}");
+                std::process::exit(2);
+            }
+        },
+    }
+}

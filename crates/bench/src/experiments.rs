@@ -58,7 +58,11 @@ fn characterise(graph: &SubtaskGraph, platform: &Platform) -> (Time, f64, f64) {
     let optimal = BranchBoundScheduler::new()
         .schedule(&problem)
         .expect("benchmark graphs schedule cleanly");
-    (ideal, on_demand.overhead_ratio() * 100.0, optimal.overhead_ratio() * 100.0)
+    (
+        ideal,
+        on_demand.overhead_ratio() * 100.0,
+        optimal.overhead_ratio() * 100.0,
+    )
 }
 
 /// Regenerates the rows of Table 1.
@@ -172,7 +176,9 @@ fn sweep(
 /// Propagates simulation errors.
 pub fn figure6_series(iterations: usize, seed: u64) -> Result<Vec<FigurePoint>, SimError> {
     let set = multimedia_task_set();
-    let config = SimulationConfig::default().with_iterations(iterations).with_seed(seed);
+    let config = SimulationConfig::default()
+        .with_iterations(iterations)
+        .with_seed(seed);
     sweep(&set, 8..=16, &PolicyKind::FIGURE_POLICIES, &config)
 }
 
@@ -190,9 +196,14 @@ pub fn headline_numbers(
 ) -> Result<(SimulationReport, SimulationReport), SimError> {
     let set = multimedia_task_set();
     let platform = Platform::virtex_like(tiles).expect("tile count is positive");
-    let config = SimulationConfig::default().with_iterations(iterations).with_seed(seed);
+    let config = SimulationConfig::default()
+        .with_iterations(iterations)
+        .with_seed(seed);
     let sim = DynamicSimulation::new(&set, &platform, config)?;
-    Ok((sim.run(PolicyKind::NoPrefetch)?, sim.run(PolicyKind::DesignTimeOnly)?))
+    Ok((
+        sim.run(PolicyKind::NoPrefetch)?,
+        sim.run(PolicyKind::DesignTimeOnly)?,
+    ))
 }
 
 /// Regenerates the three curves of Figure 7: the Pocket GL application swept
@@ -235,7 +246,10 @@ pub fn figure7_headline(
     let set = pocket_gl_task_set();
     let platform = Platform::virtex_like(tiles).expect("tile count is positive");
     let sim = DynamicSimulation::new(&set, &platform, pocket_gl_config(iterations, seed))?;
-    Ok((sim.run(PolicyKind::NoPrefetch)?, sim.run(PolicyKind::DesignTimeOnly)?))
+    Ok((
+        sim.run(PolicyKind::NoPrefetch)?,
+        sim.run(PolicyKind::DesignTimeOnly)?,
+    ))
 }
 
 /// Converts the Pocket GL inter-task scenarios into the correlated scenario
@@ -245,7 +259,12 @@ pub fn correlated_combinations() -> Vec<BTreeMap<TaskId, drhw_model::ScenarioId>
         .into_iter()
         .map(|combo| {
             (0..TASK_COUNT)
-                .map(|t| (TaskId::new(10 + t), drhw_model::ScenarioId::new(combo.scenarios[t])))
+                .map(|t| {
+                    (
+                        TaskId::new(10 + t),
+                        drhw_model::ScenarioId::new(combo.scenarios[t]),
+                    )
+                })
                 .collect()
         })
         .collect()
@@ -261,6 +280,27 @@ pub struct AblationRow {
     pub overhead_percent: f64,
     /// Reuse percentage observed.
     pub reuse_percent: f64,
+}
+
+/// Runs every policy of [`PolicyKind::ALL`] on the multimedia set under the
+/// same workload and returns the reports, in that order. This is the dataset
+/// behind the machine-readable `BENCH_results.json` the `all_experiments`
+/// binary emits.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn policy_overhead_reports(
+    iterations: usize,
+    seed: u64,
+    tiles: usize,
+) -> Result<Vec<SimulationReport>, SimError> {
+    let set = multimedia_task_set();
+    let platform = Platform::virtex_like(tiles).expect("tile count is positive");
+    let config = SimulationConfig::default()
+        .with_iterations(iterations)
+        .with_seed(seed);
+    DynamicSimulation::new(&set, &platform, config)?.run_all()
 }
 
 /// Ablation: how much the reuse-aware replacement policy matters compared to
@@ -313,12 +353,20 @@ pub fn cs_scheduler_ablation() -> Vec<(String, usize, usize)> {
         .map(|graph| {
             let schedule =
                 fully_parallel_schedule(&graph).expect("benchmark graphs are well-formed");
-            let exact =
-                CriticalSetAnalysis::compute_with(&graph, &schedule, &platform, &BranchBoundScheduler::new())
-                    .expect("benchmark graphs schedule cleanly");
-            let heuristic =
-                CriticalSetAnalysis::compute_with(&graph, &schedule, &platform, &ListScheduler::new())
-                    .expect("benchmark graphs schedule cleanly");
+            let exact = CriticalSetAnalysis::compute_with(
+                &graph,
+                &schedule,
+                &platform,
+                &BranchBoundScheduler::new(),
+            )
+            .expect("benchmark graphs schedule cleanly");
+            let heuristic = CriticalSetAnalysis::compute_with(
+                &graph,
+                &schedule,
+                &platform,
+                &ListScheduler::new(),
+            )
+            .expect("benchmark graphs schedule cleanly");
             (graph.name().to_string(), exact.len(), heuristic.len())
         })
         .collect()
@@ -394,7 +442,10 @@ mod tests {
         let cs = cs_scheduler_ablation();
         assert_eq!(cs.len(), 4);
         for (name, exact, heuristic) in cs {
-            assert!(exact <= heuristic, "{name}: exact CS larger than heuristic CS");
+            assert!(
+                exact <= heuristic,
+                "{name}: exact CS larger than heuristic CS"
+            );
             assert!(exact >= 1);
         }
     }

@@ -10,5 +10,6 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cli;
 pub mod experiments;
 pub mod report;

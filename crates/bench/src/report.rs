@@ -2,6 +2,7 @@
 //! reports), shared by the experiment binaries.
 
 use drhw_prefetch::PolicyKind;
+use drhw_sim::SimulationReport;
 
 use crate::experiments::{AblationRow, FigurePoint, Table1Row};
 
@@ -78,6 +79,51 @@ pub fn render_ablation(rows: &[AblationRow], title: &str) -> String {
     out
 }
 
+/// Renders the cross-policy simulation reports as the machine-readable JSON
+/// written to `BENCH_results.json`: simulation parameters plus one
+/// `policy → overhead_percent` (and `policy → reuse_percent`) entry per
+/// policy. Hand-rolled because no JSON backend is available offline; the
+/// output is plain ASCII and the policy names contain no characters needing
+/// escapes.
+pub fn render_results_json(reports: &[SimulationReport]) -> String {
+    fn number(v: f64) -> String {
+        // JSON has no NaN/Infinity; an absent measurement becomes null.
+        if v.is_finite() {
+            format!("{v:.4}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    if let Some(first) = reports.first() {
+        out.push_str(&format!("  \"iterations\": {},\n", first.iterations()));
+        out.push_str(&format!("  \"tiles\": {},\n", first.tile_count()));
+    }
+    for (key, value) in [
+        (
+            "policy_overhead_percent",
+            SimulationReport::overhead_percent as fn(&_) -> f64,
+        ),
+        (
+            "policy_reuse_percent",
+            SimulationReport::reuse_percent as fn(&_) -> f64,
+        ),
+    ] {
+        out.push_str(&format!("  \"{key}\": {{\n"));
+        for (i, report) in reports.iter().enumerate() {
+            let comma = if i + 1 < reports.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    \"{}\": {}{comma}\n",
+                report.policy(),
+                number(value(report))
+            ));
+        }
+        out.push_str("  },\n");
+    }
+    out.push_str("  \"schema_version\": 1\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,18 +150,66 @@ mod tests {
     #[test]
     fn figure_rendering_has_one_line_per_tile_count() {
         let points = vec![
-            FigurePoint { tiles: 8, policy: PolicyKind::RunTime, overhead_percent: 3.0, reuse_percent: 18.0 },
-            FigurePoint { tiles: 8, policy: PolicyKind::RunTimeInterTask, overhead_percent: 1.2, reuse_percent: 18.0 },
-            FigurePoint { tiles: 8, policy: PolicyKind::Hybrid, overhead_percent: 1.3, reuse_percent: 18.0 },
-            FigurePoint { tiles: 9, policy: PolicyKind::RunTime, overhead_percent: 2.5, reuse_percent: 22.0 },
-            FigurePoint { tiles: 9, policy: PolicyKind::RunTimeInterTask, overhead_percent: 1.0, reuse_percent: 22.0 },
-            FigurePoint { tiles: 9, policy: PolicyKind::Hybrid, overhead_percent: 1.1, reuse_percent: 22.0 },
+            FigurePoint {
+                tiles: 8,
+                policy: PolicyKind::RunTime,
+                overhead_percent: 3.0,
+                reuse_percent: 18.0,
+            },
+            FigurePoint {
+                tiles: 8,
+                policy: PolicyKind::RunTimeInterTask,
+                overhead_percent: 1.2,
+                reuse_percent: 18.0,
+            },
+            FigurePoint {
+                tiles: 8,
+                policy: PolicyKind::Hybrid,
+                overhead_percent: 1.3,
+                reuse_percent: 18.0,
+            },
+            FigurePoint {
+                tiles: 9,
+                policy: PolicyKind::RunTime,
+                overhead_percent: 2.5,
+                reuse_percent: 22.0,
+            },
+            FigurePoint {
+                tiles: 9,
+                policy: PolicyKind::RunTimeInterTask,
+                overhead_percent: 1.0,
+                reuse_percent: 22.0,
+            },
+            FigurePoint {
+                tiles: 9,
+                policy: PolicyKind::Hybrid,
+                overhead_percent: 1.1,
+                reuse_percent: 22.0,
+            },
         ];
         let text = render_figure(&points, "Figure 6");
         assert!(text.starts_with("Figure 6"));
         assert_eq!(text.lines().count(), 4);
         assert!(text.contains("    8"));
         assert!(text.contains("    9"));
+    }
+
+    #[test]
+    fn results_json_is_well_formed_and_covers_every_policy() {
+        let reports =
+            crate::experiments::policy_overhead_reports(2, 1, 8).expect("simulation runs");
+        let json = render_results_json(&reports);
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"policy_overhead_percent\""));
+        assert!(json.contains("\"policy_reuse_percent\""));
+        for policy in PolicyKind::ALL {
+            assert!(json.contains(&format!("\"{policy}\":")), "missing {policy}");
+        }
+        // No trailing comma before a closing brace, and balanced braces.
+        assert!(!json.contains(",\n  }"));
+        assert!(!json.contains(",\n    }"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
