@@ -1,0 +1,78 @@
+//! Cross-policy smoke test: every [`PolicyKind`] variant must run end-to-end
+//! on the quickstart graph (the Fig. 3 worked example), and the hybrid
+//! heuristic must never lose to loading on demand — the invariant the
+//! `drhw-sim` crate documentation claims.
+
+use drhw_model::{ConfigId, Platform, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time};
+use drhw_prefetch::PolicyKind;
+use drhw_sim::{DynamicSimulation, SimulationConfig};
+
+/// The four-subtask graph of Fig. 3: `1 -> {2, 3}`, `3 -> 4`, as used by the
+/// `quickstart` example.
+fn quickstart_graph() -> SubtaskGraph {
+    let mut graph = SubtaskGraph::new("fig3");
+    let s1 = graph.add_subtask(Subtask::new("1", Time::from_millis(10), ConfigId::new(1)));
+    let s2 = graph.add_subtask(Subtask::new("2", Time::from_millis(12), ConfigId::new(2)));
+    let s3 = graph.add_subtask(Subtask::new("3", Time::from_millis(6), ConfigId::new(3)));
+    let s4 = graph.add_subtask(Subtask::new("4", Time::from_millis(8), ConfigId::new(4)));
+    graph.add_dependency(s1, s2).unwrap();
+    graph.add_dependency(s1, s3).unwrap();
+    graph.add_dependency(s3, s4).unwrap();
+    graph
+}
+
+#[test]
+fn every_policy_runs_on_the_quickstart_graph() {
+    let set = TaskSet::new(
+        "quickstart",
+        vec![Task::single_scenario(TaskId::new(0), "quickstart", quickstart_graph()).unwrap()],
+    )
+    .unwrap();
+    let platform = Platform::virtex_like(4).unwrap();
+    let sim = DynamicSimulation::new(&set, &platform, SimulationConfig::quick()).unwrap();
+
+    let mut overhead = std::collections::BTreeMap::new();
+    for policy in PolicyKind::ALL {
+        let report = sim.run(policy).unwrap();
+        assert_eq!(report.policy(), policy);
+        assert!(
+            report.activations() > 0,
+            "{policy}: no activations simulated"
+        );
+        assert!(
+            report.ideal_total() > Time::ZERO,
+            "{policy}: empty workload"
+        );
+        assert!(
+            report.overhead_percent().is_finite() && report.overhead_percent() >= 0.0,
+            "{policy}: overhead must be a finite non-negative percentage"
+        );
+        overhead.insert(policy, report.overhead_percent());
+    }
+
+    // The invariant claimed in the drhw-sim crate docs: the hybrid heuristic
+    // never loses to loading on demand under the same paired workload.
+    assert!(
+        overhead[&PolicyKind::Hybrid] <= overhead[&PolicyKind::NoPrefetch],
+        "hybrid ({:.3}%) must not exceed no-prefetch ({:.3}%)",
+        overhead[&PolicyKind::Hybrid],
+        overhead[&PolicyKind::NoPrefetch],
+    );
+}
+
+#[test]
+fn hybrid_never_loses_to_no_prefetch_on_the_multimedia_set() {
+    let set = drhw_workloads::multimedia::multimedia_task_set();
+    for tiles in [8, 12, 16] {
+        let platform = Platform::virtex_like(tiles).unwrap();
+        let sim = DynamicSimulation::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let no_prefetch = sim.run(PolicyKind::NoPrefetch).unwrap();
+        let hybrid = sim.run(PolicyKind::Hybrid).unwrap();
+        assert!(
+            hybrid.overhead_percent() <= no_prefetch.overhead_percent(),
+            "{tiles} tiles: hybrid ({:.3}%) must not exceed no-prefetch ({:.3}%)",
+            hybrid.overhead_percent(),
+            no_prefetch.overhead_percent(),
+        );
+    }
+}
