@@ -12,7 +12,8 @@
 //! The original task graphs were never published; these are synthetic
 //! reconstructions matching every quantitative property the paper states
 //! (subtask counts, ideal execution times, scenario counts, execution-time
-//! ranges). DESIGN.md and EXPERIMENTS.md document the substitution.
+//! ranges). `DESIGN.md` and `EXPERIMENTS.md` at the repository root document
+//! the substitution and the paper-vs-measured comparison.
 //!
 //! ```
 //! use drhw_workloads::multimedia::{jpeg_decoder_graph, fully_parallel_schedule};
