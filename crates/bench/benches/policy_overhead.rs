@@ -4,25 +4,34 @@
 //! This is not a paper artifact by itself, but it documents that the full
 //! experiment harness (1000 iterations × 9 tile counts × 3 policies) runs in
 //! seconds, and it tracks regressions in the per-activation scheduling cost.
+//! Policies dispatch through the batched engine pinned to one worker so the
+//! numbers isolate per-policy scheduling cost from parallel scaling (that
+//! side lives in the `sim_batch` bench).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drhw_model::Platform;
 use drhw_prefetch::PolicyKind;
-use drhw_sim::{DynamicSimulation, SimulationConfig};
-use drhw_workloads::multimedia::multimedia_task_set;
+use drhw_sim::{IterationPlan, SimBatch, SimulationConfig};
+use drhw_workloads::{MultimediaWorkload, Workload};
 
 fn bench_policies(c: &mut Criterion) {
-    let set = multimedia_task_set();
+    let set = MultimediaWorkload.task_set();
     let platform = Platform::virtex_like(8).expect("non-empty platform");
     let config = SimulationConfig::default().with_iterations(25);
-    let sim = DynamicSimulation::new(&set, &platform, config).expect("simulation builds");
+    let plan = IterationPlan::new(&set, &platform, config).expect("plan builds");
 
     let mut group = c.benchmark_group("simulate_25_iterations");
     for policy in PolicyKind::ALL {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy),
             &policy,
-            |b, &policy| b.iter(|| sim.run(policy).expect("simulation runs")),
+            |b, &policy| {
+                b.iter(|| {
+                    SimBatch::with_threads(&plan, 1)
+                        .run(&[policy])
+                        .expect("simulation runs")
+                })
+            },
         );
     }
     group.finish();

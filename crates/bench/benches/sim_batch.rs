@@ -1,0 +1,51 @@
+//! Scaling of the parallel batched simulation engine.
+//!
+//! Measures the wall clock of the full five-policy batch over the multimedia
+//! set for increasing worker counts. On a multi-core machine the batch
+//! should get faster with more workers while — by construction — returning
+//! bit-identical reports; on a single core the engine must not cost
+//! noticeably more than the sequential loop. CI invokes this bench as a
+//! smoke test of the parallel path, so any panic or determinism violation in
+//! the worker pool fails the pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drhw_model::Platform;
+use drhw_prefetch::PolicyKind;
+use drhw_sim::{IterationPlan, SimBatch, SimulationConfig};
+use drhw_workloads::{MultimediaWorkload, Workload};
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    let set = MultimediaWorkload.task_set();
+    let platform = Platform::virtex_like(8).expect("non-empty platform");
+    let config = SimulationConfig::default()
+        .with_iterations(64)
+        .with_chunk_size(8);
+    let plan = IterationPlan::new(&set, &platform, config).expect("plan builds");
+    let reference = SimBatch::with_threads(&plan, 1)
+        .run(&PolicyKind::ALL)
+        .expect("simulation runs");
+
+    let mut group = c.benchmark_group("sim_batch_64_iterations_5_policies");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let reports = SimBatch::with_threads(&plan, threads)
+                        .run(&PolicyKind::ALL)
+                        .expect("simulation runs");
+                    assert_eq!(
+                        reports, reference,
+                        "{threads} workers must reproduce the sequential reports"
+                    );
+                    reports
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_scaling);
+criterion_main!(benches);

@@ -12,6 +12,7 @@ use drhw_bench::report::render_ablation;
 
 fn main() {
     let iterations = iterations_arg(500);
+    drhw_bench::cli::announce_engine_threads();
 
     let rows =
         replacement_ablation(iterations, 2005, 10).expect("replacement ablation simulation runs");

@@ -1,34 +1,95 @@
 //! Runs every experiment of the paper in one go (Table 1, the §7 headline
 //! numbers, Figure 6, Figure 7 and the ablations) with a reduced iteration
 //! count suitable for a quick end-to-end check, and writes the cross-policy
-//! overhead numbers to `BENCH_results.json` (override the path with the
-//! `BENCH_RESULTS_PATH` environment variable).
+//! overhead numbers **plus the wall-clock timing of every experiment and a
+//! sequential-versus-parallel speedup measurement** to `BENCH_results.json`
+//! (override the path with the `BENCH_RESULTS_PATH` environment variable).
+//!
+//! All simulations dispatch through the parallel `SimBatch` engine; the
+//! worker count comes from `DRHW_SIM_THREADS` or the available hardware
+//! parallelism, and never changes the simulated numbers — only the wall
+//! clock.
 //!
 //! Usage: `cargo run -p drhw-bench --bin all_experiments --release [-- <iterations>]`
 
+use std::time::Instant;
+
 use drhw_bench::cli::iterations_arg;
 use drhw_bench::experiments::{
-    cs_scheduler_ablation, figure6_series, figure7_headline, figure7_series,
-    policy_overhead_reports, replacement_ablation, table1_rows,
+    cs_scheduler_ablation, figure6_series, figure7_headline, figure7_series, replacement_ablation,
+    table1_rows, workload_config,
 };
-use drhw_bench::report::{render_ablation, render_figure, render_results_json, render_table1};
+use drhw_bench::report::{
+    render_ablation, render_figure, render_results_json, render_table1, RunTiming,
+};
+use drhw_model::Platform;
 use drhw_prefetch::PolicyKind;
+use drhw_sim::{IterationPlan, SimBatch};
+use drhw_workloads::{MultimediaWorkload, Workload};
+
+/// Runs one experiment, records its wall clock under `label`, and returns its
+/// value.
+fn timed<T>(timing: &mut RunTiming, label: &str, run: impl FnOnce() -> T) -> T {
+    let started = Instant::now();
+    let value = run();
+    timing
+        .experiments
+        .push((label.to_string(), started.elapsed().as_secs_f64() * 1e3));
+    value
+}
 
 fn main() {
     let iterations = iterations_arg(300);
     let seed = 2005;
+    let threads = drhw_bench::cli::announce_engine_threads();
+    let mut timing = RunTiming {
+        threads,
+        ..RunTiming::default()
+    };
+    println!();
 
     println!("=== E1: Table 1 ===");
-    println!("{}", render_table1(&table1_rows()));
+    let rows = timed(&mut timing, "table1", table1_rows);
+    println!("{}", render_table1(&rows));
 
-    // One paired five-policy simulation serves both the E2 headline numbers
-    // and the machine-readable results written at the end.
-    let reports = policy_overhead_reports(iterations, seed, 8).expect("simulation runs");
+    // One paired five-policy simulation serves the E2 headline numbers, the
+    // machine-readable results written at the end, and the speedup
+    // measurement. The plan (design-time artifacts) is prepared once outside
+    // both timed regions, so sequential_ms and parallel_ms measure the batch
+    // engine alone on the very same work — and the reports are asserted
+    // bit-identical before the timing is recorded.
+    let workload = MultimediaWorkload;
+    let set = workload.task_set();
+    let platform = Platform::virtex_like(8).expect("tile count is positive");
+    let plan = IterationPlan::new(
+        &set,
+        &platform,
+        workload_config(&workload, iterations, seed),
+    )
+    .expect("plan builds");
+    // Untimed warm-up so the first timed pass does not pay the cold caches.
+    SimBatch::with_threads(&plan, 1)
+        .run(&PolicyKind::ALL)
+        .expect("simulation runs");
+    let sequential_started = Instant::now();
+    let sequential = SimBatch::with_threads(&plan, 1)
+        .run(&PolicyKind::ALL)
+        .expect("simulation runs");
+    timing.sequential_ms = Some(sequential_started.elapsed().as_secs_f64() * 1e3);
+    let parallel_started = Instant::now();
+    let reports = SimBatch::with_threads(&plan, threads)
+        .run(&PolicyKind::ALL)
+        .expect("simulation runs");
+    timing.parallel_ms = Some(parallel_started.elapsed().as_secs_f64() * 1e3);
+    assert_eq!(
+        sequential, reports,
+        "the parallel engine must be bit-identical to the sequential one"
+    );
     let overhead = |wanted: PolicyKind| {
         reports
             .iter()
             .find(|r| r.policy() == wanted)
-            .expect("run_all covers every policy")
+            .expect("the batch covers every policy")
             .overhead_percent()
     };
 
@@ -44,14 +105,18 @@ fn main() {
     println!();
 
     println!("=== E3: Figure 6 ===");
-    let points = figure6_series(iterations, seed).expect("simulation runs");
+    let points = timed(&mut timing, "fig6", || {
+        figure6_series(iterations, seed).expect("simulation runs")
+    });
     println!(
         "{}",
         render_figure(&points, "overhead (%) vs tiles, multimedia set")
     );
 
     println!("=== E4: Figure 7 ===");
-    let (np, dt) = figure7_headline(iterations, seed, 5).expect("simulation runs");
+    let (np, dt) = timed(&mut timing, "fig7_headline", || {
+        figure7_headline(iterations, seed, 5).expect("simulation runs")
+    });
     println!(
         "  no prefetch          : {:>5.1}%   (paper: 71%)",
         np.overhead_percent()
@@ -60,14 +125,18 @@ fn main() {
         "  design-time prefetch : {:>5.1}%   (paper: 25%)",
         dt.overhead_percent()
     );
-    let points = figure7_series(iterations, seed).expect("simulation runs");
+    let points = timed(&mut timing, "fig7", || {
+        figure7_series(iterations, seed).expect("simulation runs")
+    });
     println!(
         "{}",
         render_figure(&points, "overhead (%) vs tiles, Pocket GL renderer")
     );
 
     println!("=== E7: ablations ===");
-    let rows = replacement_ablation(iterations, seed, 10).expect("simulation runs");
+    let rows = timed(&mut timing, "ablations", || {
+        replacement_ablation(iterations, seed, 10).expect("simulation runs")
+    });
     println!(
         "{}",
         render_ablation(&rows, "replacement policy (hybrid, 10 tiles)")
@@ -77,12 +146,22 @@ fn main() {
         println!("  {name:<22} exact={exact}  heuristic={heuristic}");
     }
 
+    println!();
+    println!(
+        "cross-policy wall clock: {:.0} ms sequential, {:.0} ms on {threads} thread(s){}",
+        timing.sequential_ms.unwrap_or(f64::NAN),
+        timing.parallel_ms.unwrap_or(f64::NAN),
+        timing
+            .speedup()
+            .map(|s| format!(" ({s:.2}x)"))
+            .unwrap_or_default()
+    );
+
     let path =
         std::env::var("BENCH_RESULTS_PATH").unwrap_or_else(|_| "BENCH_results.json".to_string());
-    if let Err(err) = std::fs::write(&path, render_results_json(&reports)) {
+    if let Err(err) = std::fs::write(&path, render_results_json(&reports, &timing)) {
         eprintln!("error: cannot write {path}: {err}");
         std::process::exit(1);
     }
-    println!();
     println!("machine-readable results written to {path}");
 }

@@ -11,6 +11,7 @@ use drhw_bench::report::render_figure;
 fn main() {
     let iterations = iterations_arg(1000);
     let seed = 2005;
+    drhw_bench::cli::announce_engine_threads();
 
     let (no_prefetch, design_time) =
         figure7_headline(iterations, seed, 5).expect("headline simulation runs");

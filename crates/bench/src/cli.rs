@@ -1,5 +1,14 @@
 //! Shared command-line helpers for the experiment binaries.
 
+/// Prints the worker-thread count the batched simulation engine resolves to
+/// (`DRHW_SIM_THREADS` or the available hardware parallelism) and returns it,
+/// so every experiment binary reports the same banner.
+pub fn announce_engine_threads() -> usize {
+    let threads = drhw_sim::SimulationConfig::default().resolved_threads();
+    println!("batched simulation engine: {threads} worker thread(s)");
+    threads
+}
+
 /// Parses the iteration count from the first CLI argument, falling back to
 /// `default` when no argument is given.
 ///

@@ -15,17 +15,20 @@
 
 use std::collections::BTreeMap;
 
-use drhw_model::{Platform, SubtaskGraph, TaskId, TaskSet, Time};
+use drhw_model::{Platform, SubtaskGraph, TaskId, Time};
 use drhw_prefetch::{
     BranchBoundScheduler, CriticalSetAnalysis, ListScheduler, OnDemandScheduler, PolicyKind,
     PrefetchProblem, PrefetchScheduler, ReplacementPolicy,
 };
-use drhw_sim::{DynamicSimulation, ScenarioPolicy, SimError, SimulationConfig, SimulationReport};
-use drhw_workloads::multimedia::{
-    fully_parallel_schedule, jpeg_decoder_graph, mpeg_encoder_graph, multimedia_task_set,
-    parallel_jpeg_graph, pattern_recognition_graph, MpegFrame,
+use drhw_sim::{
+    DynamicSimulation, IterationPlan, ScenarioPolicy, SimBatch, SimError, SimulationConfig,
+    SimulationReport,
 };
-use drhw_workloads::pocket_gl::{inter_task_scenarios, pocket_gl_task_set, TASK_COUNT};
+use drhw_workloads::multimedia::{
+    fully_parallel_schedule, jpeg_decoder_graph, mpeg_encoder_graph, parallel_jpeg_graph,
+    pattern_recognition_graph, MpegFrame,
+};
+use drhw_workloads::{MultimediaWorkload, PocketGlWorkload, Workload};
 
 /// One row of Table 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,21 +147,49 @@ pub struct FigurePoint {
     pub reuse_percent: f64,
 }
 
-fn sweep(
-    task_set: &TaskSet,
-    tiles: std::ops::RangeInclusive<usize>,
+/// The simulation configuration a workload's experiments run under: the
+/// workload-specific knobs (inter-task scenarios, activation probability)
+/// fixed by the [`Workload`] itself, plus the caller's iteration count and
+/// seed.
+pub fn workload_config(workload: &dyn Workload, iterations: usize, seed: u64) -> SimulationConfig {
+    let mut config = SimulationConfig::default()
+        .with_iterations(iterations)
+        .with_seed(seed);
+    config.task_inclusion_probability = workload.task_inclusion_probability();
+    if let Some(combos) = workload.correlated_scenarios() {
+        config = config.with_scenario_policy(ScenarioPolicy::Correlated(combos));
+    }
+    config
+}
+
+/// Sweeps one workload over its tile range: every sweep point prepares an
+/// [`IterationPlan`] and dispatches all requested policies × iterations
+/// through the parallel [`SimBatch`] engine in a single pass.
+///
+/// This is the generic engine behind Figures 6 and 7; it runs unchanged over
+/// any workload registered in a
+/// [`WorkloadRegistry`](drhw_workloads::WorkloadRegistry).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn workload_sweep(
+    workload: &dyn Workload,
+    iterations: usize,
+    seed: u64,
     policies: &[PolicyKind],
-    config: &SimulationConfig,
 ) -> Result<Vec<FigurePoint>, SimError> {
+    let task_set = workload.task_set();
+    let config = workload_config(workload, iterations, seed);
     let mut points = Vec::new();
-    for tile_count in tiles {
+    for tile_count in workload.tile_sweep() {
         let platform = Platform::virtex_like(tile_count).expect("tile count is positive");
-        let sim = DynamicSimulation::new(task_set, &platform, config.clone())?;
-        for &policy in policies {
-            let report = sim.run(policy)?;
+        let plan = IterationPlan::new(&task_set, &platform, config.clone())?;
+        let reports = SimBatch::new(&plan).run(policies)?;
+        for report in reports {
             points.push(FigurePoint {
                 tiles: tile_count,
-                policy,
+                policy: report.policy(),
                 overhead_percent: report.overhead_percent(),
                 reuse_percent: report.reuse_percent(),
             });
@@ -175,11 +206,12 @@ fn sweep(
 ///
 /// Propagates simulation errors.
 pub fn figure6_series(iterations: usize, seed: u64) -> Result<Vec<FigurePoint>, SimError> {
-    let set = multimedia_task_set();
-    let config = SimulationConfig::default()
-        .with_iterations(iterations)
-        .with_seed(seed);
-    sweep(&set, 8..=16, &PolicyKind::FIGURE_POLICIES, &config)
+    workload_sweep(
+        &MultimediaWorkload,
+        iterations,
+        seed,
+        &PolicyKind::FIGURE_POLICIES,
+    )
 }
 
 /// The aggregate §7 headline numbers on the multimedia set: the overhead
@@ -194,15 +226,26 @@ pub fn headline_numbers(
     seed: u64,
     tiles: usize,
 ) -> Result<(SimulationReport, SimulationReport), SimError> {
-    let set = multimedia_task_set();
+    baseline_pair(&MultimediaWorkload, iterations, seed, tiles)
+}
+
+/// Runs the no-prefetch and design-time-only baselines of one workload in a
+/// single batched pass.
+fn baseline_pair(
+    workload: &dyn Workload,
+    iterations: usize,
+    seed: u64,
+    tiles: usize,
+) -> Result<(SimulationReport, SimulationReport), SimError> {
+    let set = workload.task_set();
     let platform = Platform::virtex_like(tiles).expect("tile count is positive");
-    let config = SimulationConfig::default()
-        .with_iterations(iterations)
-        .with_seed(seed);
-    let sim = DynamicSimulation::new(&set, &platform, config)?;
+    let plan = IterationPlan::new(&set, &platform, workload_config(workload, iterations, seed))?;
+    let mut reports = SimBatch::new(&plan)
+        .run(&[PolicyKind::NoPrefetch, PolicyKind::DesignTimeOnly])?
+        .into_iter();
     Ok((
-        sim.run(PolicyKind::NoPrefetch)?,
-        sim.run(PolicyKind::DesignTimeOnly)?,
+        reports.next().expect("one report per requested policy"),
+        reports.next().expect("one report per requested policy"),
     ))
 }
 
@@ -214,22 +257,12 @@ pub fn headline_numbers(
 ///
 /// Propagates simulation errors.
 pub fn figure7_series(iterations: usize, seed: u64) -> Result<Vec<FigurePoint>, SimError> {
-    let set = pocket_gl_task_set();
-    let config = pocket_gl_config(iterations, seed);
-    sweep(&set, 5..=10, &PolicyKind::FIGURE_POLICIES, &config)
-}
-
-/// The simulation configuration of the Pocket GL experiment: every frame runs
-/// the whole six-stage rendering pipeline (all tasks every iteration) and the
-/// scenario of each stage follows one of the 20 feasible inter-task scenarios.
-fn pocket_gl_config(iterations: usize, seed: u64) -> SimulationConfig {
-    SimulationConfig {
-        task_inclusion_probability: 1.0,
-        ..SimulationConfig::default()
-            .with_iterations(iterations)
-            .with_seed(seed)
-            .with_scenario_policy(ScenarioPolicy::Correlated(correlated_combinations()))
-    }
+    workload_sweep(
+        &PocketGlWorkload,
+        iterations,
+        seed,
+        &PolicyKind::FIGURE_POLICIES,
+    )
 }
 
 /// The Pocket GL headline numbers (71 % without prefetch, 25 % with the
@@ -243,31 +276,15 @@ pub fn figure7_headline(
     seed: u64,
     tiles: usize,
 ) -> Result<(SimulationReport, SimulationReport), SimError> {
-    let set = pocket_gl_task_set();
-    let platform = Platform::virtex_like(tiles).expect("tile count is positive");
-    let sim = DynamicSimulation::new(&set, &platform, pocket_gl_config(iterations, seed))?;
-    Ok((
-        sim.run(PolicyKind::NoPrefetch)?,
-        sim.run(PolicyKind::DesignTimeOnly)?,
-    ))
+    baseline_pair(&PocketGlWorkload, iterations, seed, tiles)
 }
 
 /// Converts the Pocket GL inter-task scenarios into the correlated scenario
 /// maps the simulator expects.
 pub fn correlated_combinations() -> Vec<BTreeMap<TaskId, drhw_model::ScenarioId>> {
-    inter_task_scenarios()
-        .into_iter()
-        .map(|combo| {
-            (0..TASK_COUNT)
-                .map(|t| {
-                    (
-                        TaskId::new(10 + t),
-                        drhw_model::ScenarioId::new(combo.scenarios[t]),
-                    )
-                })
-                .collect()
-        })
-        .collect()
+    PocketGlWorkload
+        .correlated_scenarios()
+        .expect("Pocket GL defines its 20 inter-task scenarios")
 }
 
 /// One row of the replacement-policy ablation: the hybrid policy simulated
@@ -287,6 +304,13 @@ pub struct AblationRow {
 /// behind the machine-readable `BENCH_results.json` the `all_experiments`
 /// binary emits.
 ///
+/// `threads` is the worker count handed to the batched engine (`0` = the
+/// automatic resolution of
+/// [`SimulationConfig::resolved_threads`](drhw_sim::SimulationConfig::resolved_threads));
+/// the reports are bit-identical for every value, which is what lets the
+/// binaries measure the sequential-versus-parallel speedup on the very same
+/// workload.
+///
 /// # Errors
 ///
 /// Propagates simulation errors.
@@ -294,13 +318,14 @@ pub fn policy_overhead_reports(
     iterations: usize,
     seed: u64,
     tiles: usize,
+    threads: usize,
 ) -> Result<Vec<SimulationReport>, SimError> {
-    let set = multimedia_task_set();
+    let workload = MultimediaWorkload;
+    let set = workload.task_set();
     let platform = Platform::virtex_like(tiles).expect("tile count is positive");
-    let config = SimulationConfig::default()
-        .with_iterations(iterations)
-        .with_seed(seed);
-    DynamicSimulation::new(&set, &platform, config)?.run_all()
+    let config = workload_config(&workload, iterations, seed).with_threads(threads);
+    let plan = IterationPlan::new(&set, &platform, config)?;
+    SimBatch::new(&plan).run(&PolicyKind::ALL)
 }
 
 /// Ablation: how much the reuse-aware replacement policy matters compared to
@@ -314,7 +339,7 @@ pub fn replacement_ablation(
     seed: u64,
     tiles: usize,
 ) -> Result<Vec<AblationRow>, SimError> {
-    let set = multimedia_task_set();
+    let set = MultimediaWorkload.task_set();
     let platform = Platform::virtex_like(tiles).expect("tile count is positive");
     let mut rows = Vec::new();
     for policy in [
@@ -429,6 +454,18 @@ mod tests {
             };
             assert!(at(PolicyKind::RunTimeInterTask) <= at(PolicyKind::RunTime) + 0.5);
             assert!(at(PolicyKind::Hybrid) <= at(PolicyKind::RunTime) + 1.5);
+        }
+    }
+
+    #[test]
+    fn workload_sweep_runs_over_any_registered_workload() {
+        let registry = drhw_workloads::WorkloadRegistry::with_builtins();
+        let random = registry.get("random-3x5").expect("built-in workload");
+        let points = workload_sweep(random.as_ref(), 10, 1, &[PolicyKind::Hybrid]).unwrap();
+        assert_eq!(points.len(), random.tile_sweep().count());
+        for point in &points {
+            assert_eq!(point.policy, PolicyKind::Hybrid);
+            assert!(point.overhead_percent.is_finite());
         }
     }
 

@@ -79,13 +79,42 @@ pub fn render_ablation(rows: &[AblationRow], title: &str) -> String {
     out
 }
 
-/// Renders the cross-policy simulation reports as the machine-readable JSON
-/// written to `BENCH_results.json`: simulation parameters plus one
-/// `policy → overhead_percent` (and `policy → reuse_percent`) entry per
-/// policy. Hand-rolled because no JSON backend is available offline; the
-/// output is plain ASCII and the policy names contain no characters needing
-/// escapes.
-pub fn render_results_json(reports: &[SimulationReport]) -> String {
+/// Wall-clock measurements of one experiment-harness run, recorded alongside
+/// the simulation results so the performance trajectory of the engine itself
+/// is machine-readable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTiming {
+    /// Worker threads the batched engine used.
+    pub threads: usize,
+    /// Wall-clock of each experiment, as `(label, milliseconds)` pairs in run
+    /// order.
+    pub experiments: Vec<(String, f64)>,
+    /// Wall-clock of the cross-policy simulation forced onto one thread.
+    pub sequential_ms: Option<f64>,
+    /// Wall-clock of the same cross-policy simulation on `threads` workers.
+    pub parallel_ms: Option<f64>,
+}
+
+impl RunTiming {
+    /// Sequential-over-parallel wall-clock ratio (> 1 means the parallel
+    /// engine won), when both measurements were taken.
+    pub fn speedup(&self) -> Option<f64> {
+        match (self.sequential_ms, self.parallel_ms) {
+            (Some(seq), Some(par)) if par > 0.0 => Some(seq / par),
+            _ => None,
+        }
+    }
+}
+
+/// Renders the cross-policy simulation reports plus the run's wall-clock
+/// timings as the machine-readable JSON written to `BENCH_results.json`:
+/// simulation parameters, one `policy → overhead_percent` (and `policy →
+/// reuse_percent`) entry per policy, the threads used, per-experiment
+/// `wall_clock_ms`, and the sequential-versus-parallel speedup measurement.
+/// Hand-rolled because no JSON backend is available offline; the output is
+/// plain ASCII and the policy names and experiment labels contain no
+/// characters needing escapes.
+pub fn render_results_json(reports: &[SimulationReport], timing: &RunTiming) -> String {
     fn number(v: f64) -> String {
         // JSON has no NaN/Infinity; an absent measurement becomes null.
         if v.is_finite() {
@@ -120,7 +149,26 @@ pub fn render_results_json(reports: &[SimulationReport]) -> String {
         }
         out.push_str("  },\n");
     }
-    out.push_str("  \"schema_version\": 1\n}\n");
+    out.push_str(&format!("  \"threads\": {},\n", timing.threads));
+    out.push_str("  \"wall_clock_ms\": {\n");
+    for (i, (label, ms)) in timing.experiments.iter().enumerate() {
+        let comma = if i + 1 < timing.experiments.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!("    \"{label}\": {}{comma}\n", number(*ms)));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"speedup\": {\n");
+    let seq = timing.sequential_ms.map_or("null".to_string(), number);
+    let par = timing.parallel_ms.map_or("null".to_string(), number);
+    let ratio = timing.speedup().map_or("null".to_string(), number);
+    out.push_str(&format!("    \"sequential_ms\": {seq},\n"));
+    out.push_str(&format!("    \"parallel_ms\": {par},\n"));
+    out.push_str(&format!("    \"sequential_over_parallel\": {ratio}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"schema_version\": 2\n}\n");
     out
 }
 
@@ -197,8 +245,14 @@ mod tests {
     #[test]
     fn results_json_is_well_formed_and_covers_every_policy() {
         let reports =
-            crate::experiments::policy_overhead_reports(2, 1, 8).expect("simulation runs");
-        let json = render_results_json(&reports);
+            crate::experiments::policy_overhead_reports(2, 1, 8, 1).expect("simulation runs");
+        let timing = RunTiming {
+            threads: 2,
+            experiments: vec![("fig6".to_string(), 1234.5), ("fig7".to_string(), 987.0)],
+            sequential_ms: Some(2000.0),
+            parallel_ms: Some(1000.0),
+        };
+        let json = render_results_json(&reports, &timing);
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"policy_overhead_percent\""));
@@ -206,10 +260,30 @@ mod tests {
         for policy in PolicyKind::ALL {
             assert!(json.contains(&format!("\"{policy}\":")), "missing {policy}");
         }
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"fig6\": 1234.5000"));
+        assert!(json.contains("\"wall_clock_ms\""));
+        assert!(json.contains("\"sequential_over_parallel\": 2.0000"));
         // No trailing comma before a closing brace, and balanced braces.
         assert!(!json.contains(",\n  }"));
         assert!(!json.contains(",\n    }"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn timing_speedup_handles_missing_measurements() {
+        assert_eq!(RunTiming::default().speedup(), None);
+        let timing = RunTiming {
+            threads: 1,
+            experiments: Vec::new(),
+            sequential_ms: Some(10.0),
+            parallel_ms: None,
+        };
+        assert_eq!(timing.speedup(), None);
+        let json = render_results_json(&[], &timing);
+        assert!(json.contains("\"sequential_ms\": 10.0000"));
+        assert!(json.contains("\"parallel_ms\": null"));
+        assert!(json.contains("\"sequential_over_parallel\": null"));
     }
 
     #[test]

@@ -16,8 +16,12 @@ use crate::problem::{ExecutionResult, PrefetchProblem};
 /// * [`BranchBoundScheduler`](crate::BranchBoundScheduler) — exact branch &
 ///   bound used inside the design-time phase for small graphs.
 ///
-/// The trait is object-safe so simulations can switch policies at run time.
-pub trait PrefetchScheduler {
+/// The trait is object-safe so simulations can switch policies at run time,
+/// and requires `Send + Sync` so schedulers can be shared freely by the
+/// parallel batched simulation engine (`SimBatch` in `drhw-sim`), which
+/// evaluates many (policy, iteration) pairs concurrently against the same
+/// design-time artifacts.
+pub trait PrefetchScheduler: Send + Sync {
     /// A short human-readable name used in experiment reports.
     fn name(&self) -> &str;
 

@@ -1,0 +1,254 @@
+//! The parallel batched simulation engine.
+//!
+//! [`SimBatch`] takes a prepared [`IterationPlan`] and runs all requested
+//! policies × iterations in one pass over a small scoped-thread worker pool
+//! (`std` only). The unit of work is one *chunk* of consecutive iterations
+//! per policy; workers claim chunks from a shared atomic counter, and the
+//! per-chunk statistics are folded back together **in (policy, chunk) order**
+//! on the calling thread, so the resulting [`SimulationReport`]s are
+//! bit-identical no matter how many threads ran or how work was interleaved.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use drhw_prefetch::PolicyKind;
+
+use crate::error::SimError;
+use crate::plan::IterationPlan;
+use crate::stats::StatsAccumulator;
+use crate::SimulationReport;
+
+/// A batched run of one or more policies over a prepared simulation.
+///
+/// ```
+/// use drhw_model::{ConfigId, Platform, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time};
+/// use drhw_prefetch::PolicyKind;
+/// use drhw_sim::{IterationPlan, SimBatch, SimulationConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut graph = SubtaskGraph::new("toy");
+/// let a = graph.add_subtask(Subtask::new("a", Time::from_millis(10), ConfigId::new(0)));
+/// let b = graph.add_subtask(Subtask::new("b", Time::from_millis(10), ConfigId::new(1)));
+/// graph.add_dependency(a, b)?;
+/// let set = TaskSet::new("toy", vec![Task::single_scenario(TaskId::new(0), "toy", graph)?])?;
+/// let platform = Platform::virtex_like(4)?;
+///
+/// let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick())?;
+/// let reports = SimBatch::new(&plan).run(&PolicyKind::ALL)?;
+/// assert_eq!(reports.len(), PolicyKind::ALL.len());
+/// // Thread count never changes the outcome.
+/// let single = SimBatch::with_threads(&plan, 1).run(&PolicyKind::ALL)?;
+/// assert_eq!(reports, single);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SimBatch<'p, 'a> {
+    plan: &'p IterationPlan<'a>,
+    threads: usize,
+}
+
+impl<'p, 'a> SimBatch<'p, 'a> {
+    /// A batch over the given plan, using the thread count the plan's
+    /// configuration resolves to ([`SimulationConfig::resolved_threads`]).
+    ///
+    /// [`SimulationConfig::resolved_threads`]: crate::SimulationConfig::resolved_threads
+    pub fn new(plan: &'p IterationPlan<'a>) -> Self {
+        let threads = plan.config().resolved_threads();
+        SimBatch::with_threads(plan, threads)
+    }
+
+    /// A batch with an explicit worker count (at least 1).
+    pub fn with_threads(plan: &'p IterationPlan<'a>, threads: usize) -> Self {
+        SimBatch {
+            plan,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The number of worker threads this batch will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every requested policy over every configured iteration and
+    /// returns one report per policy, in the order given.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in (policy, iteration) order — the same error
+    /// a sequential run would report, regardless of the thread count.
+    pub fn run(&self, policies: &[PolicyKind]) -> Result<Vec<SimulationReport>, SimError> {
+        let chunk_count = self.plan.chunk_count();
+        let jobs = policies.len() * chunk_count;
+        let workers = self.threads.min(jobs.max(1));
+
+        let mut slots: Vec<Option<Result<StatsAccumulator, SimError>>> = Vec::new();
+        slots.resize_with(jobs, || None);
+
+        if workers <= 1 {
+            for (job, slot) in slots.iter_mut().enumerate() {
+                let policy = policies[job / chunk_count];
+                let outcome = self.plan.evaluate_chunk(policy, job % chunk_count);
+                let stop = outcome.is_err();
+                *slot = Some(outcome);
+                // Fail fast, as the pre-batch sequential runner did; the
+                // fold below reports the error from its slot.
+                if stop {
+                    break;
+                }
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let failed = AtomicBool::new(false);
+            let results = Mutex::new(&mut slots);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        // Check the failure flag BEFORE claiming: once a job
+                        // is claimed it is always evaluated and its slot
+                        // written, so the filled slots always form a prefix
+                        // of the job order and every error lands in it.
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let job = next.fetch_add(1, Ordering::Relaxed);
+                        if job >= jobs {
+                            break;
+                        }
+                        let policy = policies[job / chunk_count];
+                        let outcome = self.plan.evaluate_chunk(policy, job % chunk_count);
+                        if outcome.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        results.lock().expect("simulation workers never panic")[job] =
+                            Some(outcome);
+                    });
+                }
+            });
+        }
+
+        // Report the first error in job order — deterministic regardless of
+        // which worker hit it first. Scanning every slot (rather than
+        // stopping at the first hole) keeps this robust even if a job after
+        // the failure was abandoned unevaluated.
+        for slot in slots.iter_mut() {
+            if matches!(slot.as_ref(), Some(Err(_))) {
+                let Some(Err(e)) = slot.take() else {
+                    unreachable!("just matched an error in this slot")
+                };
+                return Err(e);
+            }
+        }
+
+        // Fold in (policy, chunk) order so integer counters and the f64
+        // energy sum come out bit-identical to a single-threaded run. With
+        // no error present every job was claimed and completed, so every
+        // slot is filled.
+        let mut reports = Vec::with_capacity(policies.len());
+        for (which, &policy) in policies.iter().enumerate() {
+            let mut total = StatsAccumulator::default();
+            for chunk in 0..chunk_count {
+                match slots[which * chunk_count + chunk].take() {
+                    Some(Ok(stats)) => total.merge(&stats),
+                    _ => unreachable!(
+                        "workers only leave holes after an error, and errors return above"
+                    ),
+                }
+            }
+            reports.push(total.finish(
+                policy,
+                self.plan.platform().tile_count(),
+                self.plan.config().iterations,
+            ));
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimulationConfig;
+    use drhw_model::{
+        ConfigId, Platform, Scenario, ScenarioId, Subtask, SubtaskGraph, Task, TaskId, TaskSet,
+        Time,
+    };
+
+    fn task_set() -> TaskSet {
+        let mut g = SubtaskGraph::new("pipe");
+        let a = g.add_subtask(Subtask::new("a", Time::from_millis(9), ConfigId::new(0)));
+        let b = g.add_subtask(Subtask::new("b", Time::from_millis(7), ConfigId::new(1)));
+        let c = g.add_subtask(Subtask::new("c", Time::from_millis(5), ConfigId::new(2)));
+        g.add_dependency(a, b).unwrap();
+        g.add_dependency(b, c).unwrap();
+        let mut h = SubtaskGraph::new("pair");
+        let x = h.add_subtask(Subtask::new("x", Time::from_millis(8), ConfigId::new(10)));
+        let y = h.add_subtask(Subtask::new("y", Time::from_millis(6), ConfigId::new(11)));
+        h.add_dependency(x, y).unwrap();
+        TaskSet::new(
+            "batch",
+            vec![
+                Task::new(
+                    TaskId::new(0),
+                    "pipe",
+                    vec![Scenario::new(ScenarioId::new(0), g)],
+                )
+                .unwrap(),
+                Task::new(
+                    TaskId::new(1),
+                    "pair",
+                    vec![Scenario::new(ScenarioId::new(0), h)],
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_reports() {
+        let set = task_set();
+        let platform = Platform::virtex_like(4).unwrap();
+        let config = SimulationConfig::quick()
+            .with_iterations(40)
+            .with_chunk_size(8);
+        let plan = IterationPlan::new(&set, &platform, config).unwrap();
+        let sequential = SimBatch::with_threads(&plan, 1)
+            .run(&PolicyKind::ALL)
+            .unwrap();
+        for threads in [2, 3, 7] {
+            let parallel = SimBatch::with_threads(&plan, threads)
+                .run(&PolicyKind::ALL)
+                .unwrap();
+            assert_eq!(sequential, parallel, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_batch_still_runs() {
+        let set = task_set();
+        let platform = Platform::virtex_like(4).unwrap();
+        // 5 iterations fit in a single chunk, far fewer jobs than workers.
+        let config = SimulationConfig::quick()
+            .with_iterations(5)
+            .with_threads(64);
+        let plan = IterationPlan::new(&set, &platform, config).unwrap();
+        let batch = SimBatch::new(&plan);
+        assert_eq!(batch.threads(), 64);
+        let reports = batch.run(&[PolicyKind::Hybrid]).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].iterations(), 5);
+    }
+
+    #[test]
+    fn reports_cover_the_requested_policies_in_order() {
+        let set = task_set();
+        let platform = Platform::virtex_like(4).unwrap();
+        let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let wanted = [PolicyKind::Hybrid, PolicyKind::NoPrefetch];
+        let reports = SimBatch::new(&plan).run(&wanted).unwrap();
+        let kinds: Vec<PolicyKind> = reports.iter().map(|r| r.policy()).collect();
+        assert_eq!(kinds, wanted);
+    }
+}

@@ -43,6 +43,8 @@ pub struct SimulationConfig {
     /// Number of iterations (the paper simulates 1000).
     pub iterations: usize,
     /// Seed of the pseudo-random generator driving the workload dynamism.
+    /// Every iteration derives its own sub-seed from this master seed, so any
+    /// (policy, iteration) pair can be evaluated independently.
     pub seed: u64,
     /// Probability that each task of the set is activated in an iteration
     /// ("the applications executed during each iteration vary randomly").
@@ -53,7 +55,23 @@ pub struct SimulationConfig {
     pub point_selection: PointSelection,
     /// How scenarios are selected.
     pub scenario_policy: ScenarioPolicy,
+    /// Number of worker threads used by the batched engine. `0` (the default)
+    /// resolves to the `DRHW_SIM_THREADS` environment variable if set, and to
+    /// the machine's available parallelism otherwise. The thread count never
+    /// changes the results: reports are bit-identical for any value.
+    pub threads: usize,
+    /// Number of consecutive iterations evaluated as one unit of parallel
+    /// work. Tile contents and the inter-task idle window persist across the
+    /// iterations of a chunk (the paper's "configurations remain on the tiles"
+    /// behaviour) and reset at chunk boundaries, which is what makes chunks
+    /// independent and therefore schedulable on any thread. The boundaries are
+    /// fixed by this value alone, so results do not depend on the thread
+    /// count. Must be at least 1.
+    pub chunk_size: usize,
 }
+
+/// Default number of iterations per independent chunk of work.
+pub const DEFAULT_CHUNK_SIZE: usize = 32;
 
 impl Default for SimulationConfig {
     fn default() -> Self {
@@ -64,6 +82,8 @@ impl Default for SimulationConfig {
             replacement: ReplacementPolicy::ReuseAware,
             point_selection: PointSelection::FullyParallel,
             scenario_policy: ScenarioPolicy::Independent,
+            threads: 0,
+            chunk_size: DEFAULT_CHUNK_SIZE,
         }
     }
 }
@@ -94,7 +114,33 @@ impl SimulationConfig {
                 permille: (self.task_inclusion_probability * 1000.0) as u32,
             });
         }
+        if self.chunk_size == 0 {
+            return Err(SimError::InvalidChunkSize);
+        }
+        if matches!(&self.scenario_policy, ScenarioPolicy::Correlated(combos) if combos.is_empty())
+        {
+            return Err(SimError::NoScenarioCombinations);
+        }
         Ok(())
+    }
+
+    /// The worker-thread count the batched engine will actually use:
+    /// [`threads`](Self::threads) if non-zero, else the `DRHW_SIM_THREADS`
+    /// environment variable, else the available hardware parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Some(n) = std::env::var("DRHW_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     }
 
     /// Returns a copy with a different iteration count.
@@ -131,6 +177,20 @@ impl SimulationConfig {
         self.scenario_policy = scenario_policy;
         self
     }
+
+    /// Returns a copy with an explicit worker-thread count (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns a copy with a different chunk size.
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +204,21 @@ mod tests {
         assert_eq!(c.replacement, ReplacementPolicy::ReuseAware);
         assert_eq!(c.point_selection, PointSelection::FullyParallel);
         assert_eq!(c.scenario_policy, ScenarioPolicy::Independent);
+        assert_eq!(c.threads, 0);
+        assert_eq!(c.chunk_size, DEFAULT_CHUNK_SIZE);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn explicit_thread_count_wins_over_auto_detection() {
+        assert_eq!(
+            SimulationConfig::default()
+                .with_threads(3)
+                .resolved_threads(),
+            3
+        );
+        // Auto detection always lands on at least one thread.
+        assert!(SimulationConfig::default().resolved_threads() >= 1);
     }
 
     #[test]
@@ -177,5 +251,19 @@ mod tests {
             c.validate().unwrap_err(),
             SimError::InvalidInclusionProbability { .. }
         ));
+        assert_eq!(
+            SimulationConfig::default()
+                .with_chunk_size(0)
+                .validate()
+                .unwrap_err(),
+            SimError::InvalidChunkSize
+        );
+        assert_eq!(
+            SimulationConfig::default()
+                .with_scenario_policy(ScenarioPolicy::Correlated(Vec::new()))
+                .validate()
+                .unwrap_err(),
+            SimError::NoScenarioCombinations
+        );
     }
 }

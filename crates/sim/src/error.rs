@@ -19,6 +19,18 @@ pub enum SimError {
     Prefetch(PrefetchError),
     /// The simulation was configured with zero iterations.
     NoIterations,
+    /// The simulation was configured with a zero chunk size.
+    InvalidChunkSize,
+    /// A correlated scenario policy was configured with no combinations to
+    /// draw from.
+    NoScenarioCombinations,
+    /// An iteration index beyond the configured iteration count was requested.
+    IterationOutOfRange {
+        /// The requested iteration index.
+        index: usize,
+        /// The configured number of iterations.
+        iterations: usize,
+    },
     /// The configured task-inclusion probability is outside `[0, 1]`.
     InvalidInclusionProbability {
         /// The offending value, scaled by 1000 for exact comparison.
@@ -33,6 +45,21 @@ impl fmt::Display for SimError {
             SimError::Tcm(e) => write!(f, "tcm substrate error: {e}"),
             SimError::Prefetch(e) => write!(f, "prefetch error: {e}"),
             SimError::NoIterations => write!(f, "simulation needs at least one iteration"),
+            SimError::InvalidChunkSize => {
+                write!(f, "simulation chunks need at least one iteration each")
+            }
+            SimError::NoScenarioCombinations => {
+                write!(
+                    f,
+                    "a correlated scenario policy needs at least one combination"
+                )
+            }
+            SimError::IterationOutOfRange { index, iterations } => {
+                write!(
+                    f,
+                    "iteration {index} is out of range: the simulation has {iterations} iterations"
+                )
+            }
             SimError::InvalidInclusionProbability { permille } => {
                 write!(
                     f,
@@ -86,6 +113,10 @@ mod tests {
         let e = SimError::from(PrefetchError::DeadlockedOrder);
         assert!(e.to_string().contains("prefetch"));
         assert!(SimError::NoIterations.to_string().contains("iteration"));
+        assert!(SimError::InvalidChunkSize.to_string().contains("chunk"));
+        assert!(SimError::NoScenarioCombinations
+            .to_string()
+            .contains("combination"));
         let e = SimError::InvalidInclusionProbability { permille: 1500 };
         assert!(e.to_string().contains("1.5"));
     }

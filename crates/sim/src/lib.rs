@@ -11,6 +11,16 @@
 //! [`SimulationReport`] whose [`overhead_percent`](SimulationReport::overhead_percent)
 //! is the metric plotted on the paper's figures.
 //!
+//! Internally every run goes through the batched parallel engine: an
+//! [`IterationPlan`] precomputes the design-time artifacts and can score any
+//! (policy, iteration) pair independently thanks to per-iteration seeds, and
+//! [`SimBatch`] fans policies × iterations out over a scoped-thread worker
+//! pool ([`SimulationConfig::threads`], or the `DRHW_SIM_THREADS` environment
+//! variable). Reports are **bit-identical for every thread count**: work is
+//! split into fixed chunks of consecutive iterations
+//! ([`SimulationConfig::chunk_size`]) whose boundaries depend only on the
+//! configuration, and per-chunk statistics are folded back in chunk order.
+//!
 //! ```
 //! use drhw_model::{ConfigId, Platform, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time};
 //! use drhw_prefetch::PolicyKind;
@@ -35,12 +45,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod batch;
 mod config;
 mod error;
+mod plan;
 mod runner;
 mod stats;
 
-pub use config::{PointSelection, ScenarioPolicy, SimulationConfig};
+pub use batch::SimBatch;
+pub use config::{PointSelection, ScenarioPolicy, SimulationConfig, DEFAULT_CHUNK_SIZE};
 pub use error::SimError;
+pub use plan::IterationPlan;
 pub use runner::DynamicSimulation;
-pub use stats::SimulationReport;
+pub use stats::{IterationOutcome, SimulationReport};

@@ -1,0 +1,654 @@
+//! The pure per-iteration evaluator behind the batched simulation engine.
+//!
+//! [`IterationPlan`] prepares everything that is iteration-independent once —
+//! the TCM design-time library, one initial schedule per (task, scenario)
+//! pair, the design-time and hybrid prefetch artifacts — and can then score
+//! any (policy, iteration) pair with [`IterationPlan::evaluate`]. Every
+//! iteration derives its own seed from the master seed, so the activation
+//! sequence of iteration *i* is the same no matter which thread evaluates it,
+//! which policy is being scored, or how many iterations ran before it. This
+//! is what lets [`SimBatch`](crate::SimBatch) fan the §7 evaluation out
+//! across cores while producing reports bit-identical to a single-threaded
+//! run, with policy comparisons still paired on identical workloads.
+//!
+//! Tile contents and the inter-task idle window persist across the
+//! iterations of one *chunk* ([`SimulationConfig::chunk_size`]) and reset at
+//! chunk boundaries; the boundaries depend only on the configuration, never
+//! on the thread count.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use drhw_model::{
+    ConfigId, InitialSchedule, Platform, ScenarioId, SubtaskGraph, SubtaskId, Task, TaskId,
+    TaskSet, Time,
+};
+use drhw_prefetch::{
+    apply_schedule_to_contents, assign_tiles_protecting, plan_preloads, reusable_subtasks,
+    DesignTimePrefetch, HybridPrefetch, InterTaskWindow, ListScheduler, OnDemandScheduler,
+    PolicyKind, PrefetchProblem, PrefetchScheduler, TileContents,
+};
+use drhw_tcm::{DesignTimeLibrary, DesignTimeScheduler, RuntimeScheduler, TaskActivation};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{PointSelection, ScenarioPolicy, SimulationConfig};
+use crate::error::SimError;
+use crate::stats::{IterationOutcome, StatsAccumulator};
+
+/// Everything the simulator precomputes for one (task, scenario) pair.
+#[derive(Debug)]
+struct ScenarioArtifacts {
+    schedule: InitialSchedule,
+    ideal: Time,
+    /// Configurations the scenario's DRHW subtasks require (protected from
+    /// eviction while the scenario is still queued in the iteration).
+    required_configs: Vec<ConfigId>,
+    design_time: DesignTimePrefetch,
+    hybrid: HybridPrefetch,
+}
+
+/// The mutable state one chunk of consecutive iterations threads along:
+/// which configurations the tiles hold, the trailing reconfiguration-port
+/// idle window of the previous task, and the simulated clock.
+#[derive(Debug)]
+struct ChunkState {
+    contents: TileContents,
+    window: InterTaskWindow,
+    now: Time,
+}
+
+impl ChunkState {
+    fn cold(tile_count: usize) -> Self {
+        ChunkState {
+            contents: TileContents::new(tile_count),
+            window: InterTaskWindow::empty(),
+            now: Time::ZERO,
+        }
+    }
+}
+
+/// A fully prepared simulation: design-time artifacts for every scenario of
+/// every task, ready to score any (policy, iteration) pair from any thread.
+///
+/// The plan is immutable after construction and `Send + Sync`, so a single
+/// instance can back an entire [`SimBatch`](crate::SimBatch) run.
+#[derive(Debug)]
+pub struct IterationPlan<'a> {
+    task_set: &'a TaskSet,
+    platform: &'a Platform,
+    config: SimulationConfig,
+    library: DesignTimeLibrary,
+    artifacts: BTreeMap<(TaskId, ScenarioId), ScenarioArtifacts>,
+}
+
+impl<'a> IterationPlan<'a> {
+    /// Prepares a plan: validates the configuration, builds the TCM
+    /// design-time library, and precomputes the initial schedule plus the
+    /// design-time and hybrid prefetch artifacts of every scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration or any scenario graph is
+    /// invalid, or if any design-time artifact cannot be computed.
+    pub fn new(
+        task_set: &'a TaskSet,
+        platform: &'a Platform,
+        config: SimulationConfig,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        let library = DesignTimeLibrary::build(task_set, platform, &DesignTimeScheduler::new())?;
+        let mut plan = IterationPlan {
+            task_set,
+            platform,
+            config,
+            library,
+            artifacts: BTreeMap::new(),
+        };
+        // Artifacts for every policy are computed eagerly so the plan stays
+        // immutable (and trivially Send + Sync) afterwards — the design-time
+        // and hybrid artifacts are cheap next to even a handful of simulated
+        // iterations. What IS worth skipping are scenarios a correlated
+        // policy can never activate.
+        let reachable = plan.reachable_scenarios();
+        for task in task_set.tasks() {
+            for scenario in task.scenarios() {
+                if let Some(reachable) = &reachable {
+                    if !reachable.contains(&(task.id(), scenario.id())) {
+                        continue;
+                    }
+                }
+                let graph = scenario.graph();
+                let schedule = plan.build_schedule(task.id(), scenario.id(), graph)?;
+                let ideal = schedule.ideal_timing(graph)?.makespan();
+                let required_configs = graph
+                    .drhw_subtasks()
+                    .into_iter()
+                    .filter_map(|id| graph.required_config(id))
+                    .collect();
+                let design_time = DesignTimePrefetch::compute(graph, &schedule, platform)?;
+                let hybrid = HybridPrefetch::compute(graph, &schedule, platform)?;
+                plan.artifacts.insert(
+                    (task.id(), scenario.id()),
+                    ScenarioArtifacts {
+                        schedule,
+                        ideal,
+                        required_configs,
+                        design_time,
+                        hybrid,
+                    },
+                );
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The (task, scenario) pairs the configured scenario policy can ever
+    /// activate, or `None` when every pair is reachable (independent
+    /// selection). Under a correlated policy a task runs either the scenario
+    /// a drawn combination names or, when the combination omits the task,
+    /// its first scenario — nothing else.
+    fn reachable_scenarios(&self) -> Option<BTreeSet<(TaskId, ScenarioId)>> {
+        match &self.config.scenario_policy {
+            ScenarioPolicy::Independent => None,
+            ScenarioPolicy::Correlated(combos) => {
+                let mut reachable = BTreeSet::new();
+                for task in self.task_set.tasks() {
+                    reachable.insert((task.id(), task.scenarios()[0].id()));
+                    for combo in combos {
+                        if let Some(&scenario) = combo.get(&task.id()) {
+                            reachable.insert((task.id(), scenario));
+                        }
+                    }
+                }
+                Some(reachable)
+            }
+        }
+    }
+
+    /// The configuration of this plan.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The platform the plan simulates.
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    /// The TCM design-time library built for the task set.
+    pub fn library(&self) -> &DesignTimeLibrary {
+        &self.library
+    }
+
+    /// The seed driving iteration `index`, derived from the master seed with
+    /// a SplitMix64 step so neighbouring iterations get decorrelated streams.
+    pub fn iteration_seed(&self, index: usize) -> u64 {
+        splitmix64(
+            self.config
+                .seed
+                .wrapping_add((index as u64).wrapping_mul(GOLDEN_GAMMA)),
+        )
+    }
+
+    /// Number of chunks the configured iteration count splits into.
+    pub fn chunk_count(&self) -> usize {
+        self.config.iterations.div_ceil(self.config.chunk_size)
+    }
+
+    /// Which tasks run in iteration `index` and in which scenarios. The
+    /// sequence depends only on the master seed and `index`, so every policy
+    /// sees exactly the same workload (paired comparisons).
+    pub fn activations(&self, index: usize) -> Vec<(TaskId, ScenarioId)> {
+        self.pick_activations(index)
+            .into_iter()
+            .map(|(task, scenario)| (task.id(), scenario))
+            .collect()
+    }
+
+    /// Scores one (policy, iteration) pair independently of any other.
+    ///
+    /// The iteration is evaluated exactly as [`SimBatch`](crate::SimBatch)
+    /// would evaluate it: the chunk containing `index` is replayed from its
+    /// cold start so tile contents and the inter-task window carry the same
+    /// history, then the outcome of iteration `index` itself is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `index` is out of range or scheduling fails.
+    pub fn evaluate(&self, policy: PolicyKind, index: usize) -> Result<IterationOutcome, SimError> {
+        if index >= self.config.iterations {
+            return Err(SimError::IterationOutOfRange {
+                index,
+                iterations: self.config.iterations,
+            });
+        }
+        let chunk_start = index - index % self.config.chunk_size;
+        let mut state = ChunkState::cold(self.platform.tile_count());
+        for warm in chunk_start..index {
+            self.run_iteration(policy, warm, &mut state)?;
+        }
+        self.run_iteration(policy, index, &mut state)
+    }
+
+    /// Evaluates every iteration of one chunk in order and returns their
+    /// summed statistics. This is the unit of work the parallel engine
+    /// schedules onto threads.
+    pub(crate) fn evaluate_chunk(
+        &self,
+        policy: PolicyKind,
+        chunk: usize,
+    ) -> Result<StatsAccumulator, SimError> {
+        let start = chunk * self.config.chunk_size;
+        let end = (start + self.config.chunk_size).min(self.config.iterations);
+        let mut state = ChunkState::cold(self.platform.tile_count());
+        let mut stats = StatsAccumulator::default();
+        for index in start..end {
+            let outcome = self.run_iteration(policy, index, &mut state)?;
+            stats.absorb(&outcome);
+        }
+        Ok(stats)
+    }
+
+    /// Simulates one iteration on top of the given chunk state.
+    fn run_iteration(
+        &self,
+        policy: PolicyKind,
+        index: usize,
+        state: &mut ChunkState,
+    ) -> Result<IterationOutcome, SimError> {
+        let latency = self.platform.reconfig_latency();
+        let activations = self.pick_activations(index);
+        let mut outcome = IterationOutcome::default();
+
+        for (position, &(task, scenario_id)) in activations.iter().enumerate() {
+            let key = (task.id(), scenario_id);
+            // A correlated scenario policy can name a scenario the task does
+            // not define; report it as the scheduling error it is rather
+            // than panicking inside a worker thread.
+            let (artifacts, scenario) = self
+                .artifacts
+                .get(&key)
+                .zip(task.scenario(scenario_id))
+                .ok_or(drhw_tcm::TcmError::UnknownScenario {
+                    task: task.id(),
+                    scenario: scenario_id,
+                })?;
+            let graph = scenario.graph();
+            let schedule = &artifacts.schedule;
+            let ideal = artifacts.ideal;
+
+            // The run-time scheduler knows which tasks follow in this
+            // iteration; the replacement module avoids evicting the
+            // configurations they are about to need.
+            let protected: BTreeSet<ConfigId> = activations[position + 1..]
+                .iter()
+                .filter_map(|&(t, s)| self.artifacts.get(&(t.id(), s)))
+                .flat_map(|a| a.required_configs.iter().copied())
+                .collect();
+            let mapping = assign_tiles_protecting(
+                graph,
+                schedule,
+                &state.contents,
+                self.config.replacement,
+                &protected,
+            )?;
+            let resident: BTreeSet<SubtaskId> = if policy.exploits_reuse() {
+                reusable_subtasks(graph, schedule, &mapping, &state.contents)
+            } else {
+                BTreeSet::new()
+            };
+
+            let (penalty, loads, cancelled) = match policy {
+                PolicyKind::NoPrefetch => {
+                    let problem = PrefetchProblem::new(graph, schedule, self.platform)?;
+                    let result = OnDemandScheduler::new().schedule(&problem)?;
+                    (result.penalty(), result.load_count(), 0)
+                }
+                PolicyKind::DesignTimeOnly => {
+                    let artifact = &artifacts.design_time;
+                    (artifact.penalty(), artifact.load_count(), 0)
+                }
+                PolicyKind::RunTime => {
+                    let problem =
+                        PrefetchProblem::with_resident(graph, schedule, self.platform, &resident)?;
+                    let result = ListScheduler::new().schedule(&problem)?;
+                    (result.penalty(), result.load_count(), 0)
+                }
+                PolicyKind::RunTimeInterTask => {
+                    let base =
+                        PrefetchProblem::with_resident(graph, schedule, self.platform, &resident)?;
+                    let (preloaded, _) =
+                        plan_preloads(&base.loads_by_weight_desc(), state.window, latency);
+                    let mut extended = resident.clone();
+                    extended.extend(preloaded.iter().copied());
+                    let problem =
+                        PrefetchProblem::with_resident(graph, schedule, self.platform, &extended)?;
+                    let result = ListScheduler::new().schedule(&problem)?;
+                    state.window = InterTaskWindow::new(result.trailing_port_idle());
+                    (result.penalty(), result.load_count() + preloaded.len(), 0)
+                }
+                PolicyKind::Hybrid => {
+                    let hybrid = &artifacts.hybrid;
+                    let run =
+                        hybrid.evaluate(graph, schedule, self.platform, &resident, state.window)?;
+                    state.window = run.trailing_window();
+                    let loads = run.loads_performed() + run.decision().preloaded.len();
+                    let cancelled = run.decision().cancelled_loads.len();
+                    (run.penalty(), loads, cancelled)
+                }
+            };
+
+            outcome.activations += 1;
+            outcome.ideal += ideal;
+            outcome.penalty += penalty;
+            outcome.loads_performed += loads;
+            outcome.loads_cancelled += cancelled;
+            outcome.drhw_subtasks_executed += graph.drhw_subtasks().len();
+            outcome.reused_subtasks += resident.len();
+            outcome.reconfiguration_energy_mj += loads as f64 * self.platform.reconfig_energy_mj();
+
+            state.now += ideal + penalty;
+            apply_schedule_to_contents(graph, schedule, &mapping, &mut state.contents, state.now);
+        }
+
+        Ok(outcome)
+    }
+
+    /// Chooses which tasks run in iteration `index` and in which scenarios.
+    fn pick_activations(&self, index: usize) -> Vec<(&'a Task, ScenarioId)> {
+        let mut rng = StdRng::seed_from_u64(self.iteration_seed(index));
+        let tasks = self.task_set.tasks();
+        let mut selected: Vec<&Task> = tasks
+            .iter()
+            .filter(|_| rng.gen_bool(self.config.task_inclusion_probability))
+            .collect();
+        if selected.is_empty() {
+            selected.push(&tasks[rng.gen_range(0..tasks.len())]);
+        }
+        selected.shuffle(&mut rng);
+
+        match &self.config.scenario_policy {
+            ScenarioPolicy::Independent => selected
+                .into_iter()
+                .map(|task| {
+                    let scenario = pick_weighted_scenario(task, &mut rng);
+                    (task, scenario)
+                })
+                .collect(),
+            ScenarioPolicy::Correlated(combos) => {
+                // validate() guarantees at least one combination.
+                let combo = &combos[rng.gen_range(0..combos.len())];
+                selected
+                    .into_iter()
+                    .map(|task| {
+                        let scenario = combo
+                            .get(&task.id())
+                            .copied()
+                            .unwrap_or_else(|| task.scenarios()[0].id());
+                        (task, scenario)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Builds the initial schedule of one scenario according to the configured
+    /// point-selection strategy.
+    fn build_schedule(
+        &self,
+        task: TaskId,
+        scenario: ScenarioId,
+        graph: &SubtaskGraph,
+    ) -> Result<InitialSchedule, SimError> {
+        let tiles = self.platform.tile_count();
+        match self.config.point_selection {
+            PointSelection::FullyParallel => {
+                let parallel = InitialSchedule::fully_parallel(graph)?;
+                if parallel.slot_count() <= tiles {
+                    return Ok(parallel);
+                }
+                // Fall back to the fastest Pareto point that fits.
+                self.fastest_schedule(task, scenario, tiles)
+            }
+            PointSelection::Fastest => self.fastest_schedule(task, scenario, tiles),
+            PointSelection::EnergyAware => {
+                let runtime = RuntimeScheduler::new(&self.library);
+                let point = runtime.select(TaskActivation { task, scenario }, tiles)?;
+                Ok(point.schedule().clone())
+            }
+        }
+    }
+
+    /// The fastest Pareto point of the scenario that fits on `tiles` tiles.
+    fn fastest_schedule(
+        &self,
+        task: TaskId,
+        scenario: ScenarioId,
+        tiles: usize,
+    ) -> Result<InitialSchedule, SimError> {
+        let curve = self.library.curve(task, scenario)?;
+        let point =
+            curve
+                .fastest_within_tiles(tiles)
+                .ok_or(drhw_tcm::TcmError::NoFeasiblePoint {
+                    task,
+                    scenario,
+                    available_tiles: tiles,
+                })?;
+        Ok(point.schedule().clone())
+    }
+}
+
+/// The Weyl-sequence increment of SplitMix64.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One SplitMix64 output step: a bijective avalanche mix, so distinct
+/// (seed, iteration) pairs never collapse onto the same iteration seed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Picks a scenario of a task with probability proportional to the scenario
+/// weights.
+fn pick_weighted_scenario(task: &Task, rng: &mut StdRng) -> ScenarioId {
+    let total: f64 = task.scenarios().iter().map(|s| s.probability()).sum();
+    if total <= 0.0 {
+        return task.scenarios()[0].id();
+    }
+    let mut draw = rng.gen::<f64>() * total;
+    for scenario in task.scenarios() {
+        draw -= scenario.probability();
+        if draw <= 0.0 {
+            return scenario.id();
+        }
+    }
+    task.scenarios()
+        .last()
+        .expect("tasks always have a scenario")
+        .id()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::{Scenario, Subtask};
+
+    fn two_task_set() -> TaskSet {
+        let mut chain = SubtaskGraph::new("chain");
+        let ids: Vec<_> = (0..3)
+            .map(|i| {
+                chain.add_subtask(Subtask::new(
+                    format!("c{i}"),
+                    Time::from_millis(10),
+                    ConfigId::new(i),
+                ))
+            })
+            .collect();
+        chain.add_dependency(ids[0], ids[1]).unwrap();
+        chain.add_dependency(ids[1], ids[2]).unwrap();
+
+        let mut fork = SubtaskGraph::new("fork");
+        let root = fork.add_subtask(Subtask::new(
+            "root",
+            Time::from_millis(15),
+            ConfigId::new(10),
+        ));
+        for i in 0..2 {
+            let child = fork.add_subtask(Subtask::new(
+                format!("f{i}"),
+                Time::from_millis(8),
+                ConfigId::new(11 + i),
+            ));
+            fork.add_dependency(root, child).unwrap();
+        }
+
+        TaskSet::new(
+            "small",
+            vec![
+                Task::new(
+                    TaskId::new(0),
+                    "chain",
+                    vec![Scenario::new(ScenarioId::new(0), chain)],
+                )
+                .unwrap(),
+                Task::new(
+                    TaskId::new(1),
+                    "fork",
+                    vec![Scenario::new(ScenarioId::new(0), fork)],
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IterationPlan<'_>>();
+    }
+
+    #[test]
+    fn iteration_seeds_are_stable_and_distinct() {
+        let set = two_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let seeds: Vec<u64> = (0..50).map(|i| plan.iteration_seed(i)).collect();
+        let again: Vec<u64> = (0..50).map(|i| plan.iteration_seed(i)).collect();
+        assert_eq!(seeds, again);
+        let unique: BTreeSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            seeds.len(),
+            "iteration seeds must not collide"
+        );
+    }
+
+    #[test]
+    fn activations_are_independent_of_evaluation_order() {
+        let set = two_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        // Reading iteration 7's workload before or after iteration 3's makes
+        // no difference: the sequences depend only on (seed, index).
+        let seven = plan.activations(7);
+        let three = plan.activations(3);
+        assert_eq!(plan.activations(3), three);
+        assert_eq!(plan.activations(7), seven);
+        assert!(!seven.is_empty());
+    }
+
+    #[test]
+    fn evaluate_is_pure_and_paired_across_policies() {
+        let set = two_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let a = plan.evaluate(PolicyKind::Hybrid, 11).unwrap();
+        let b = plan.evaluate(PolicyKind::Hybrid, 11).unwrap();
+        assert_eq!(a, b, "evaluate must be a pure function of (policy, index)");
+        // Paired workload: every policy executes the same activations.
+        let np = plan.evaluate(PolicyKind::NoPrefetch, 11).unwrap();
+        assert_eq!(a.activations(), np.activations());
+        assert_eq!(a.ideal(), np.ideal());
+    }
+
+    #[test]
+    fn unknown_correlated_scenario_is_an_error_not_a_panic() {
+        // A correlated combination can name a scenario a task does not
+        // define; the engine must surface TcmError::UnknownScenario instead
+        // of panicking inside a worker.
+        let set = two_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let mut combo = BTreeMap::new();
+        combo.insert(TaskId::new(0), ScenarioId::new(99));
+        combo.insert(TaskId::new(1), ScenarioId::new(0));
+        let config =
+            SimulationConfig::quick().with_scenario_policy(ScenarioPolicy::Correlated(vec![combo]));
+        let plan = IterationPlan::new(&set, &platform, config).unwrap();
+        let mut saw_unknown = false;
+        for index in 0..plan.config().iterations {
+            match plan.evaluate(PolicyKind::NoPrefetch, index) {
+                Ok(_) => {}
+                Err(SimError::Tcm(drhw_tcm::TcmError::UnknownScenario { task, scenario })) => {
+                    assert_eq!(task, TaskId::new(0));
+                    assert_eq!(scenario, ScenarioId::new(99));
+                    saw_unknown = true;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        // Task 0 is activated in some iteration of the quick config.
+        assert!(saw_unknown);
+    }
+
+    #[test]
+    fn evaluate_rejects_out_of_range_iterations() {
+        let set = two_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let config = SimulationConfig::quick().with_iterations(10);
+        let plan = IterationPlan::new(&set, &platform, config).unwrap();
+        assert!(matches!(
+            plan.evaluate(PolicyKind::RunTime, 10).unwrap_err(),
+            SimError::IterationOutOfRange {
+                index: 10,
+                iterations: 10
+            }
+        ));
+    }
+
+    #[test]
+    fn chunk_count_rounds_up() {
+        let set = two_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let config = SimulationConfig::quick()
+            .with_iterations(33)
+            .with_chunk_size(16);
+        let plan = IterationPlan::new(&set, &platform, config).unwrap();
+        assert_eq!(plan.chunk_count(), 3);
+    }
+
+    #[test]
+    fn evaluate_matches_the_chunk_pass() {
+        // Summing evaluate() over a chunk's iterations reproduces exactly what
+        // evaluate_chunk computes in one pass.
+        let set = two_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let config = SimulationConfig::quick()
+            .with_iterations(12)
+            .with_chunk_size(4);
+        let plan = IterationPlan::new(&set, &platform, config).unwrap();
+        let chunk = plan.evaluate_chunk(PolicyKind::RunTime, 1).unwrap();
+        let mut summed = StatsAccumulator::default();
+        for index in 4..8 {
+            summed.absorb(&plan.evaluate(PolicyKind::RunTime, index).unwrap());
+        }
+        assert_eq!(
+            chunk.finish(PolicyKind::RunTime, 6, 4),
+            summed.finish(PolicyKind::RunTime, 6, 4)
+        );
+    }
+}

@@ -5,25 +5,21 @@
 //! scenarios are selected at run time, tile contents persist from one
 //! activation to the next, and the five prefetch policies are compared on the
 //! aggregate reconfiguration overhead they leave exposed.
+//!
+//! [`DynamicSimulation`] is a convenience facade over the batched engine: it
+//! prepares an [`IterationPlan`] once and dispatches every run through
+//! [`SimBatch`], so even `run(policy)` transparently uses all configured
+//! worker threads — with results bit-identical to a single-threaded run.
 
-use std::collections::{BTreeMap, BTreeSet};
+use drhw_model::{Platform, TaskSet};
+use drhw_prefetch::PolicyKind;
+use drhw_tcm::DesignTimeLibrary;
 
-use drhw_model::{
-    InitialSchedule, Platform, ScenarioId, SubtaskGraph, SubtaskId, Task, TaskId, TaskSet, Time,
-};
-use drhw_prefetch::{
-    apply_schedule_to_contents, assign_tiles_protecting, plan_preloads, reusable_subtasks,
-    DesignTimePrefetch, HybridPrefetch, InterTaskWindow, ListScheduler, OnDemandScheduler,
-    PolicyKind, PrefetchProblem, PrefetchScheduler, TileContents,
-};
-use drhw_tcm::{DesignTimeLibrary, DesignTimeScheduler, RuntimeScheduler, TaskActivation};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
-use crate::config::{PointSelection, ScenarioPolicy, SimulationConfig};
+use crate::batch::SimBatch;
+use crate::config::SimulationConfig;
 use crate::error::SimError;
-use crate::stats::{SimulationReport, StatsAccumulator};
+use crate::plan::IterationPlan;
+use crate::stats::SimulationReport;
 
 /// A reusable simulation instance: the task set, platform and design-time
 /// artifacts are prepared once, then any number of policies can be simulated
@@ -31,15 +27,13 @@ use crate::stats::{SimulationReport, StatsAccumulator};
 /// sequence, so policy comparisons are paired).
 #[derive(Debug)]
 pub struct DynamicSimulation<'a> {
-    task_set: &'a TaskSet,
-    platform: &'a Platform,
-    config: SimulationConfig,
-    library: DesignTimeLibrary,
+    plan: IterationPlan<'a>,
 }
 
 impl<'a> DynamicSimulation<'a> {
     /// Prepares a simulation: validates the configuration and builds the TCM
-    /// design-time library for every scenario of every task.
+    /// design-time library and prefetch artifacts for every scenario of every
+    /// task.
     ///
     /// # Errors
     ///
@@ -49,24 +43,24 @@ impl<'a> DynamicSimulation<'a> {
         platform: &'a Platform,
         config: SimulationConfig,
     ) -> Result<Self, SimError> {
-        config.validate()?;
-        let library = DesignTimeLibrary::build(task_set, platform, &DesignTimeScheduler::new())?;
         Ok(DynamicSimulation {
-            task_set,
-            platform,
-            config,
-            library,
+            plan: IterationPlan::new(task_set, platform, config)?,
         })
     }
 
     /// The configuration of this simulation.
     pub fn config(&self) -> &SimulationConfig {
-        &self.config
+        self.plan.config()
     }
 
     /// The TCM design-time library built for the task set.
     pub fn library(&self) -> &DesignTimeLibrary {
-        &self.library
+        self.plan.library()
+    }
+
+    /// The prepared per-iteration evaluator backing this simulation.
+    pub fn plan(&self) -> &IterationPlan<'a> {
+        &self.plan
     }
 
     /// Simulates one policy over the configured number of iterations.
@@ -76,137 +70,8 @@ impl<'a> DynamicSimulation<'a> {
     /// Returns an error if scheduling any activation fails (e.g. a scenario
     /// needs more tiles than the platform provides and no fallback exists).
     pub fn run(&self, policy: PolicyKind) -> Result<SimulationReport, SimError> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut contents = TileContents::new(self.platform.tile_count());
-        let mut stats = StatsAccumulator::default();
-        let mut window = InterTaskWindow::empty();
-        let mut now = Time::ZERO;
-        let mut schedules: BTreeMap<(TaskId, ScenarioId), InitialSchedule> = BTreeMap::new();
-        let mut design_time: BTreeMap<(TaskId, ScenarioId), DesignTimePrefetch> = BTreeMap::new();
-        let mut hybrids: BTreeMap<(TaskId, ScenarioId), HybridPrefetch> = BTreeMap::new();
-        let latency = self.platform.reconfig_latency();
-
-        for _ in 0..self.config.iterations {
-            let activations = self.pick_activations(&mut rng);
-            for (position, &(task, scenario_id)) in activations.iter().enumerate() {
-                let scenario =
-                    task.scenario(scenario_id)
-                        .ok_or(drhw_tcm::TcmError::UnknownScenario {
-                            task: task.id(),
-                            scenario: scenario_id,
-                        })?;
-                let graph = scenario.graph();
-                let key = (task.id(), scenario_id);
-                if let std::collections::btree_map::Entry::Vacant(e) = schedules.entry(key) {
-                    let schedule = self.build_schedule(task.id(), scenario_id, graph)?;
-                    e.insert(schedule);
-                }
-                let schedule = &schedules[&key];
-                let ideal = schedule.ideal_timing(graph)?.makespan();
-
-                // The run-time scheduler knows which tasks follow in this
-                // iteration; the replacement module avoids evicting the
-                // configurations they are about to need.
-                let protected: BTreeSet<drhw_model::ConfigId> = activations[position + 1..]
-                    .iter()
-                    .filter_map(|&(t, s)| t.scenario(s))
-                    .flat_map(|sc| {
-                        sc.graph()
-                            .drhw_subtasks()
-                            .into_iter()
-                            .filter_map(|id| sc.graph().required_config(id))
-                            .collect::<Vec<_>>()
-                    })
-                    .collect();
-                let mapping = assign_tiles_protecting(
-                    graph,
-                    schedule,
-                    &contents,
-                    self.config.replacement,
-                    &protected,
-                )?;
-                let resident: BTreeSet<SubtaskId> = if policy.exploits_reuse() {
-                    reusable_subtasks(graph, schedule, &mapping, &contents)
-                } else {
-                    BTreeSet::new()
-                };
-
-                let (penalty, loads, cancelled) = match policy {
-                    PolicyKind::NoPrefetch => {
-                        let problem = PrefetchProblem::new(graph, schedule, self.platform)?;
-                        let result = OnDemandScheduler::new().schedule(&problem)?;
-                        (result.penalty(), result.load_count(), 0)
-                    }
-                    PolicyKind::DesignTimeOnly => {
-                        if let std::collections::btree_map::Entry::Vacant(e) =
-                            design_time.entry(key)
-                        {
-                            e.insert(DesignTimePrefetch::compute(graph, schedule, self.platform)?);
-                        }
-                        let artifact = &design_time[&key];
-                        (artifact.penalty(), artifact.load_count(), 0)
-                    }
-                    PolicyKind::RunTime => {
-                        let problem = PrefetchProblem::with_resident(
-                            graph,
-                            schedule,
-                            self.platform,
-                            &resident,
-                        )?;
-                        let result = ListScheduler::new().schedule(&problem)?;
-                        (result.penalty(), result.load_count(), 0)
-                    }
-                    PolicyKind::RunTimeInterTask => {
-                        let base = PrefetchProblem::with_resident(
-                            graph,
-                            schedule,
-                            self.platform,
-                            &resident,
-                        )?;
-                        let (preloaded, _) =
-                            plan_preloads(&base.loads_by_weight_desc(), window, latency);
-                        let mut extended = resident.clone();
-                        extended.extend(preloaded.iter().copied());
-                        let problem = PrefetchProblem::with_resident(
-                            graph,
-                            schedule,
-                            self.platform,
-                            &extended,
-                        )?;
-                        let result = ListScheduler::new().schedule(&problem)?;
-                        window = InterTaskWindow::new(result.trailing_port_idle());
-                        (result.penalty(), result.load_count() + preloaded.len(), 0)
-                    }
-                    PolicyKind::Hybrid => {
-                        if let std::collections::btree_map::Entry::Vacant(e) = hybrids.entry(key) {
-                            e.insert(HybridPrefetch::compute(graph, schedule, self.platform)?);
-                        }
-                        let hybrid = &hybrids[&key];
-                        let outcome =
-                            hybrid.evaluate(graph, schedule, self.platform, &resident, window)?;
-                        window = outcome.trailing_window();
-                        let loads = outcome.loads_performed() + outcome.decision().preloaded.len();
-                        let cancelled = outcome.decision().cancelled_loads.len();
-                        (outcome.penalty(), loads, cancelled)
-                    }
-                };
-
-                stats.activations += 1;
-                stats.ideal_total += ideal;
-                stats.penalty_total += penalty;
-                stats.loads_performed += loads;
-                stats.loads_cancelled += cancelled;
-                stats.drhw_subtasks_executed += graph.drhw_subtasks().len();
-                stats.reused_subtasks += resident.len();
-                stats.reconfiguration_energy_mj +=
-                    loads as f64 * self.platform.reconfig_energy_mj();
-
-                now += ideal + penalty;
-                apply_schedule_to_contents(graph, schedule, &mapping, &mut contents, now);
-            }
-        }
-
-        Ok(stats.finish(policy, self.platform.tile_count(), self.config.iterations))
+        let mut reports = SimBatch::new(&self.plan).run(&[policy])?;
+        Ok(reports.remove(0))
     }
 
     /// Simulates every policy under the same workload and returns the reports
@@ -216,115 +81,16 @@ impl<'a> DynamicSimulation<'a> {
     ///
     /// Propagates the first simulation error encountered.
     pub fn run_all(&self) -> Result<Vec<SimulationReport>, SimError> {
-        PolicyKind::ALL.iter().map(|&p| self.run(p)).collect()
+        SimBatch::new(&self.plan).run(&PolicyKind::ALL)
     }
-
-    /// Chooses which tasks run this iteration and in which scenarios.
-    fn pick_activations(&self, rng: &mut StdRng) -> Vec<(&'a Task, ScenarioId)> {
-        let tasks = self.task_set.tasks();
-        let mut selected: Vec<&Task> = tasks
-            .iter()
-            .filter(|_| rng.gen_bool(self.config.task_inclusion_probability))
-            .collect();
-        if selected.is_empty() {
-            selected.push(&tasks[rng.gen_range(0..tasks.len())]);
-        }
-        selected.shuffle(rng);
-
-        match &self.config.scenario_policy {
-            ScenarioPolicy::Independent => selected
-                .into_iter()
-                .map(|task| {
-                    let scenario = pick_weighted_scenario(task, rng);
-                    (task, scenario)
-                })
-                .collect(),
-            ScenarioPolicy::Correlated(combos) => {
-                let combo = &combos[rng.gen_range(0..combos.len().max(1))];
-                selected
-                    .into_iter()
-                    .map(|task| {
-                        let scenario = combo
-                            .get(&task.id())
-                            .copied()
-                            .unwrap_or_else(|| task.scenarios()[0].id());
-                        (task, scenario)
-                    })
-                    .collect()
-            }
-        }
-    }
-
-    /// Builds the initial schedule of one scenario according to the configured
-    /// point-selection strategy.
-    fn build_schedule(
-        &self,
-        task: TaskId,
-        scenario: ScenarioId,
-        graph: &SubtaskGraph,
-    ) -> Result<InitialSchedule, SimError> {
-        let tiles = self.platform.tile_count();
-        match self.config.point_selection {
-            PointSelection::FullyParallel => {
-                let parallel = InitialSchedule::fully_parallel(graph)?;
-                if parallel.slot_count() <= tiles {
-                    return Ok(parallel);
-                }
-                // Fall back to the fastest Pareto point that fits.
-                let curve = self.library.curve(task, scenario)?;
-                let point = curve.fastest_within_tiles(tiles).ok_or(
-                    drhw_tcm::TcmError::NoFeasiblePoint {
-                        task,
-                        scenario,
-                        available_tiles: tiles,
-                    },
-                )?;
-                Ok(point.schedule().clone())
-            }
-            PointSelection::Fastest => {
-                let curve = self.library.curve(task, scenario)?;
-                let point = curve.fastest_within_tiles(tiles).ok_or(
-                    drhw_tcm::TcmError::NoFeasiblePoint {
-                        task,
-                        scenario,
-                        available_tiles: tiles,
-                    },
-                )?;
-                Ok(point.schedule().clone())
-            }
-            PointSelection::EnergyAware => {
-                let runtime = RuntimeScheduler::new(&self.library);
-                let point = runtime.select(TaskActivation { task, scenario }, tiles)?;
-                Ok(point.schedule().clone())
-            }
-        }
-    }
-}
-
-/// Picks a scenario of a task with probability proportional to the scenario
-/// weights.
-fn pick_weighted_scenario(task: &Task, rng: &mut StdRng) -> ScenarioId {
-    let total: f64 = task.scenarios().iter().map(|s| s.probability()).sum();
-    if total <= 0.0 {
-        return task.scenarios()[0].id();
-    }
-    let mut draw = rng.gen::<f64>() * total;
-    for scenario in task.scenarios() {
-        draw -= scenario.probability();
-        if draw <= 0.0 {
-            return scenario.id();
-        }
-    }
-    task.scenarios()
-        .last()
-        .expect("tasks always have a scenario")
-        .id()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drhw_model::{ConfigId, Scenario, Subtask};
+    use crate::config::{PointSelection, ScenarioPolicy};
+    use drhw_model::{ConfigId, Scenario, ScenarioId, Subtask, SubtaskGraph, Task, TaskId, Time};
+    use std::collections::BTreeMap;
 
     /// A small two-task set with a chain and a fork, enough to exercise reuse.
     fn small_task_set() -> TaskSet {
@@ -448,6 +214,17 @@ mod tests {
             assert_eq!(report.iterations(), SimulationConfig::quick().iterations);
             assert!(report.activations() > 0);
         }
+    }
+
+    #[test]
+    fn run_agrees_with_the_underlying_batch() {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(8).unwrap();
+        let sim = DynamicSimulation::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let direct = SimBatch::with_threads(sim.plan(), 1)
+            .run(&[PolicyKind::Hybrid])
+            .unwrap();
+        assert_eq!(sim.run(PolicyKind::Hybrid).unwrap(), direct[0]);
     }
 
     #[test]

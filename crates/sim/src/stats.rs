@@ -20,7 +20,53 @@ pub struct SimulationReport {
     reconfiguration_energy_mj: f64,
 }
 
-/// Mutable accumulator used by the runner while iterating.
+/// What one simulated iteration contributed to the aggregate statistics.
+///
+/// Produced by [`IterationPlan::evaluate`](crate::IterationPlan::evaluate);
+/// summing the outcomes of every iteration (in iteration order) yields exactly
+/// the [`SimulationReport`] of the whole run, which is how the parallel
+/// [`SimBatch`](crate::SimBatch) engine reassembles bit-identical reports from
+/// work done on many threads.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IterationOutcome {
+    pub(crate) activations: usize,
+    pub(crate) ideal: Time,
+    pub(crate) penalty: Time,
+    pub(crate) loads_performed: usize,
+    pub(crate) loads_cancelled: usize,
+    pub(crate) drhw_subtasks_executed: usize,
+    pub(crate) reused_subtasks: usize,
+    pub(crate) reconfiguration_energy_mj: f64,
+}
+
+impl IterationOutcome {
+    /// Number of task activations this iteration simulated.
+    pub fn activations(&self) -> usize {
+        self.activations
+    }
+
+    /// Total ideal (zero-latency) execution time of the iteration.
+    pub fn ideal(&self) -> Time {
+        self.ideal
+    }
+
+    /// Reconfiguration penalty the iteration left exposed.
+    pub fn penalty(&self) -> Time {
+        self.penalty
+    }
+
+    /// Number of configuration loads performed.
+    pub fn loads_performed(&self) -> usize {
+        self.loads_performed
+    }
+
+    /// Number of subtask executions that reused a resident configuration.
+    pub fn reused_subtasks(&self) -> usize {
+        self.reused_subtasks
+    }
+}
+
+/// Mutable accumulator used by the engine while iterating.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct StatsAccumulator {
     pub activations: usize,
@@ -34,6 +80,33 @@ pub(crate) struct StatsAccumulator {
 }
 
 impl StatsAccumulator {
+    /// Adds one iteration's contribution. Must be called in iteration order so
+    /// the floating-point energy sum is reproduced bit-for-bit regardless of
+    /// how iterations were distributed over threads.
+    pub(crate) fn absorb(&mut self, outcome: &IterationOutcome) {
+        self.activations += outcome.activations;
+        self.ideal_total += outcome.ideal;
+        self.penalty_total += outcome.penalty;
+        self.loads_performed += outcome.loads_performed;
+        self.loads_cancelled += outcome.loads_cancelled;
+        self.drhw_subtasks_executed += outcome.drhw_subtasks_executed;
+        self.reused_subtasks += outcome.reused_subtasks;
+        self.reconfiguration_energy_mj += outcome.reconfiguration_energy_mj;
+    }
+
+    /// Folds another accumulator (a chunk's subtotal) into this one. Like
+    /// [`absorb`](Self::absorb), callers fold chunks in chunk order.
+    pub(crate) fn merge(&mut self, other: &StatsAccumulator) {
+        self.activations += other.activations;
+        self.ideal_total += other.ideal_total;
+        self.penalty_total += other.penalty_total;
+        self.loads_performed += other.loads_performed;
+        self.loads_cancelled += other.loads_cancelled;
+        self.drhw_subtasks_executed += other.drhw_subtasks_executed;
+        self.reused_subtasks += other.reused_subtasks;
+        self.reconfiguration_energy_mj += other.reconfiguration_energy_mj;
+    }
+
     pub(crate) fn finish(
         self,
         policy: PolicyKind,

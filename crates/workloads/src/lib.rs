@@ -9,6 +9,10 @@
 //!   Figure 7 (6 tasks, 10 subtasks, 40 scenarios, 20 inter-task scenarios);
 //! * [`random`] — TGFF-style layered random DAGs for the scalability studies.
 //!
+//! The [`registry`] module packages these as pluggable [`Workload`]s behind a
+//! named [`WorkloadRegistry`], so experiment harnesses can sweep any
+//! registered application without knowing it at compile time.
+//!
 //! The original task graphs were never published; these are synthetic
 //! reconstructions matching every quantitative property the paper states
 //! (subtask counts, ideal execution times, scenario counts, execution-time
@@ -32,3 +36,8 @@
 pub mod multimedia;
 pub mod pocket_gl;
 pub mod random;
+pub mod registry;
+
+pub use registry::{
+    MultimediaWorkload, PocketGlWorkload, RandomDagWorkload, Workload, WorkloadRegistry,
+};

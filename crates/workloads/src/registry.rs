@@ -1,0 +1,315 @@
+//! A pluggable workload abstraction and a named registry over it.
+//!
+//! A [`Workload`] bundles everything an experiment harness needs to simulate
+//! one benchmark application: the task set itself plus the workload-specific
+//! simulation knobs the paper fixes per experiment (the feasible inter-task
+//! scenario combinations, the task-activation probability, and the tile-count
+//! range its figure sweeps). The [`WorkloadRegistry`] maps stable names to
+//! workloads so tile sweeps and policy comparisons can be launched over *any*
+//! registered application — the paper's two benchmarks ship as built-ins, and
+//! parameterised random DAG workloads can be registered alongside them.
+//!
+//! The trait deliberately speaks only `drhw-model` vocabulary; mapping a
+//! workload onto a `SimulationConfig` stays in the experiment layer
+//! (`drhw-bench`), which keeps this crate free of simulation dependencies.
+//!
+//! ```
+//! use drhw_workloads::registry::WorkloadRegistry;
+//!
+//! let registry = WorkloadRegistry::with_builtins();
+//! let multimedia = registry.get("multimedia").expect("built-in workload");
+//! assert_eq!(multimedia.task_set().tasks().len(), 4);
+//! assert!(registry.names().len() >= 3);
+//! ```
+
+use std::collections::BTreeMap;
+use std::ops::RangeInclusive;
+use std::sync::Arc;
+
+use drhw_model::{ScenarioId, TaskId, TaskSet};
+
+use crate::multimedia::multimedia_task_set;
+use crate::pocket_gl::{inter_task_scenarios, pocket_gl_task_set, TASK_COUNT};
+use crate::random::random_task_set;
+
+/// One benchmark application, packaged with the simulation knobs the paper
+/// fixes for it.
+pub trait Workload: Send + Sync {
+    /// Stable registry name (also used in experiment labels and reports).
+    fn name(&self) -> &str;
+
+    /// One-line description for listings.
+    fn description(&self) -> &str;
+
+    /// Builds the task set to simulate. Workloads are stateless descriptions;
+    /// building is deterministic, so repeated calls return equal sets.
+    fn task_set(&self) -> TaskSet;
+
+    /// The feasible inter-task scenario combinations, if the application's
+    /// inter-task dependencies restrict scenario selection (Pocket GL's 20
+    /// inter-task scenarios). `None` means every task picks its scenario
+    /// independently, weighted by the scenario probabilities.
+    fn correlated_scenarios(&self) -> Option<Vec<BTreeMap<TaskId, ScenarioId>>> {
+        None
+    }
+
+    /// Probability that each task of the set is activated in an iteration.
+    fn task_inclusion_probability(&self) -> f64 {
+        0.75
+    }
+
+    /// The tile-count range this workload's figure sweeps over.
+    fn tile_sweep(&self) -> RangeInclusive<usize>;
+}
+
+/// The multimedia task set of Table 1 / Figure 6: four tasks, independent
+/// weighted scenario selection, swept over 8–16 tiles.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultimediaWorkload;
+
+impl Workload for MultimediaWorkload {
+    fn name(&self) -> &str {
+        "multimedia"
+    }
+
+    fn description(&self) -> &str {
+        "Table 1 multimedia set: pattern recognition, two JPEG decoders, MPEG encoder"
+    }
+
+    fn task_set(&self) -> TaskSet {
+        multimedia_task_set()
+    }
+
+    fn tile_sweep(&self) -> RangeInclusive<usize> {
+        8..=16
+    }
+}
+
+/// The Pocket GL 3-D renderer of Figure 7: six pipeline tasks that all run
+/// every frame, restricted to the 20 feasible inter-task scenarios, swept
+/// over 5–10 tiles.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PocketGlWorkload;
+
+impl Workload for PocketGlWorkload {
+    fn name(&self) -> &str {
+        "pocket_gl"
+    }
+
+    fn description(&self) -> &str {
+        "Figure 7 Pocket GL renderer: 6 tasks, 40 scenarios, 20 inter-task scenarios"
+    }
+
+    fn task_set(&self) -> TaskSet {
+        pocket_gl_task_set()
+    }
+
+    fn correlated_scenarios(&self) -> Option<Vec<BTreeMap<TaskId, ScenarioId>>> {
+        Some(
+            inter_task_scenarios()
+                .into_iter()
+                .map(|combo| {
+                    (0..TASK_COUNT)
+                        .map(|t| (TaskId::new(10 + t), ScenarioId::new(combo.scenarios[t])))
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    fn task_inclusion_probability(&self) -> f64 {
+        // Every frame runs the whole six-stage pipeline.
+        1.0
+    }
+
+    fn tile_sweep(&self) -> RangeInclusive<usize> {
+        5..=10
+    }
+}
+
+/// A parameterised TGFF-style random workload: `tasks` layered random DAGs of
+/// `subtasks_per_task` subtasks each, for scalability studies beyond the
+/// published benchmarks.
+#[derive(Debug, Clone)]
+pub struct RandomDagWorkload {
+    name: String,
+    tasks: usize,
+    subtasks_per_task: usize,
+    seed: u64,
+}
+
+impl RandomDagWorkload {
+    /// A random workload of `tasks` DAGs with `subtasks_per_task` subtasks
+    /// each, generated from `seed`. The registry name encodes the shape:
+    /// `random-<tasks>x<subtasks_per_task>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` or `subtasks_per_task` is zero.
+    pub fn new(tasks: usize, subtasks_per_task: usize, seed: u64) -> Self {
+        assert!(tasks > 0, "random workload needs at least one task");
+        assert!(
+            subtasks_per_task > 0,
+            "random workload tasks need at least one subtask"
+        );
+        RandomDagWorkload {
+            name: format!("random-{tasks}x{subtasks_per_task}"),
+            tasks,
+            subtasks_per_task,
+            seed,
+        }
+    }
+
+    /// The generator seed of this workload.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Workload for RandomDagWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn description(&self) -> &str {
+        "parameterised layered random DAGs (TGFF-style) for scalability studies"
+    }
+
+    fn task_set(&self) -> TaskSet {
+        random_task_set(self.tasks, self.subtasks_per_task, self.seed)
+    }
+
+    fn tile_sweep(&self) -> RangeInclusive<usize> {
+        // Wide enough that the fully-parallel point rarely fits and the
+        // Pareto fallback gets exercised, as in the scalability argument.
+        self.subtasks_per_task..=(self.subtasks_per_task + 4)
+    }
+}
+
+/// A named collection of workloads.
+#[derive(Clone, Default)]
+pub struct WorkloadRegistry {
+    entries: BTreeMap<String, Arc<dyn Workload>>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        WorkloadRegistry::default()
+    }
+
+    /// A registry pre-populated with the paper's two benchmark applications
+    /// and a small random workload:
+    /// `multimedia`, `pocket_gl`, and `random-3x5`.
+    pub fn with_builtins() -> Self {
+        let mut registry = WorkloadRegistry::new();
+        registry.register(Arc::new(MultimediaWorkload));
+        registry.register(Arc::new(PocketGlWorkload));
+        registry.register(Arc::new(RandomDagWorkload::new(3, 5, 2005)));
+        registry
+    }
+
+    /// Registers a workload under its own name, replacing any previous entry
+    /// with the same name.
+    pub fn register(&mut self, workload: Arc<dyn Workload>) {
+        self.entries.insert(workload.name().to_string(), workload);
+    }
+
+    /// Looks a workload up by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn Workload>> {
+        self.entries.get(name)
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Iterates over the registered workloads in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn Workload>> {
+        self.entries.values()
+    }
+
+    /// Number of registered workloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::fmt::Debug for WorkloadRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_cover_the_paper_benchmarks() {
+        let registry = WorkloadRegistry::with_builtins();
+        assert_eq!(
+            registry.names(),
+            vec!["multimedia", "pocket_gl", "random-3x5"]
+        );
+        assert!(!registry.is_empty());
+        assert_eq!(registry.len(), 3);
+    }
+
+    #[test]
+    fn workload_task_sets_build_deterministically() {
+        for workload in WorkloadRegistry::with_builtins().iter() {
+            let a = workload.task_set();
+            let b = workload.task_set();
+            assert_eq!(a, b, "{}", workload.name());
+            assert!(!a.tasks().is_empty(), "{}", workload.name());
+            assert!(!workload.tile_sweep().is_empty(), "{}", workload.name());
+            assert!(
+                (0.0..=1.0).contains(&workload.task_inclusion_probability()),
+                "{}",
+                workload.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pocket_gl_exposes_the_twenty_inter_task_scenarios() {
+        let combos = PocketGlWorkload.correlated_scenarios().unwrap();
+        assert_eq!(combos.len(), 20);
+        for combo in &combos {
+            assert_eq!(combo.len(), TASK_COUNT);
+        }
+        assert!(MultimediaWorkload.correlated_scenarios().is_none());
+    }
+
+    #[test]
+    fn random_workload_names_encode_their_shape() {
+        let w = RandomDagWorkload::new(4, 8, 7);
+        assert_eq!(w.name(), "random-4x8");
+        assert_eq!(w.seed(), 7);
+        let mut registry = WorkloadRegistry::new();
+        registry.register(Arc::new(w));
+        assert!(registry.get("random-4x8").is_some());
+        assert!(registry.get("random-9x9").is_none());
+    }
+
+    #[test]
+    fn registering_the_same_name_replaces_the_entry() {
+        let mut registry = WorkloadRegistry::new();
+        registry.register(Arc::new(RandomDagWorkload::new(2, 4, 1)));
+        registry.register(Arc::new(RandomDagWorkload::new(2, 4, 99)));
+        assert_eq!(registry.len(), 1);
+        let entry = registry.get("random-2x4").unwrap();
+        // Latest registration wins.
+        let dag = entry.task_set();
+        assert_eq!(dag, RandomDagWorkload::new(2, 4, 99).task_set());
+    }
+}

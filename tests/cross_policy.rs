@@ -1,11 +1,14 @@
 //! Cross-policy smoke test: every [`PolicyKind`] variant must run end-to-end
-//! on the quickstart graph (the Fig. 3 worked example), and the hybrid
-//! heuristic must never lose to loading on demand — the invariant the
+//! on the quickstart graph (the Fig. 3 worked example), every workload of the
+//! registry must survive a build → validate → simulate round trip, and the
+//! hybrid heuristic must never lose to loading on demand — the invariant the
 //! `drhw-sim` crate documentation claims.
 
+use drhw_bench::experiments::workload_config;
 use drhw_model::{ConfigId, Platform, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time};
 use drhw_prefetch::PolicyKind;
-use drhw_sim::{DynamicSimulation, SimulationConfig};
+use drhw_sim::{DynamicSimulation, IterationPlan, SimBatch, SimulationConfig};
+use drhw_workloads::WorkloadRegistry;
 
 /// The four-subtask graph of Fig. 3: `1 -> {2, 3}`, `3 -> 4`, as used by the
 /// `quickstart` example.
@@ -58,6 +61,48 @@ fn every_policy_runs_on_the_quickstart_graph() {
         overhead[&PolicyKind::Hybrid],
         overhead[&PolicyKind::NoPrefetch],
     );
+}
+
+#[test]
+fn every_registered_workload_round_trips_through_the_engine() {
+    // Registry round trip: each built-in workload must build a valid task
+    // set, prepare an IterationPlan (which validates every scenario graph
+    // and computes all design-time artifacts), and simulate end-to-end.
+    let registry = WorkloadRegistry::with_builtins();
+    assert!(!registry.is_empty());
+    for workload in registry.iter() {
+        let name = workload.name();
+        let set = workload.task_set();
+        for task in set.tasks() {
+            for scenario in task.scenarios() {
+                scenario
+                    .graph()
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{name}: invalid scenario graph: {e}"));
+            }
+        }
+
+        let tiles = *workload.tile_sweep().end();
+        let platform = Platform::virtex_like(tiles).unwrap();
+        // The same workload → config mapping the experiment binaries use.
+        let config = workload_config(workload.as_ref(), 20, 1);
+        let plan = IterationPlan::new(&set, &platform, config)
+            .unwrap_or_else(|e| panic!("{name}: plan fails to build: {e}"));
+        let reports = SimBatch::new(&plan)
+            .run(&[PolicyKind::NoPrefetch, PolicyKind::Hybrid])
+            .unwrap_or_else(|e| panic!("{name}: simulation fails: {e}"));
+        for report in &reports {
+            assert!(report.activations() > 0, "{name}: no activations simulated");
+            assert!(
+                report.overhead_percent().is_finite() && report.overhead_percent() >= 0.0,
+                "{name}: overhead must be a finite non-negative percentage"
+            );
+        }
+        assert!(
+            reports[1].overhead_percent() <= reports[0].overhead_percent(),
+            "{name}: hybrid must not exceed no-prefetch"
+        );
+    }
 }
 
 #[test]

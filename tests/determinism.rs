@@ -4,7 +4,7 @@
 
 use drhw_model::Platform;
 use drhw_prefetch::PolicyKind;
-use drhw_sim::{DynamicSimulation, SimulationConfig};
+use drhw_sim::{DynamicSimulation, IterationPlan, SimBatch, SimulationConfig};
 use drhw_workloads::multimedia::multimedia_task_set;
 use drhw_workloads::pocket_gl::pocket_gl_task_set;
 use drhw_workloads::random::{random_task_set, seeded_random_graph, RandomGraphConfig};
@@ -66,6 +66,47 @@ fn random_workload_generation_is_seed_stable() {
     let set_a = random_task_set(4, 12, 5);
     let set_b = random_task_set(4, 12, 5);
     assert_eq!(set_a, set_b);
+}
+
+#[test]
+fn sim_batch_is_bit_identical_for_any_thread_count() {
+    // The ISSUE 2 acceptance criterion: with the same master seed, a
+    // single-threaded SimBatch and a multi-threaded one must produce
+    // identical SimulationReports for all five policies on the multimedia
+    // set — including the floating-point energy totals, which the engine
+    // folds in chunk order precisely so this equality is exact.
+    let set = multimedia_task_set();
+    let platform = Platform::virtex_like(9).unwrap();
+    let config = SimulationConfig::default()
+        .with_iterations(96)
+        .with_chunk_size(16)
+        .with_seed(2005);
+    let plan = IterationPlan::new(&set, &platform, config).unwrap();
+    let sequential = SimBatch::with_threads(&plan, 1)
+        .run(&PolicyKind::ALL)
+        .unwrap();
+    for threads in [2, 4, 8] {
+        let parallel = SimBatch::with_threads(&plan, threads)
+            .run(&PolicyKind::ALL)
+            .unwrap();
+        assert_eq!(
+            sequential, parallel,
+            "{threads}-thread batch diverged from the sequential reference"
+        );
+    }
+}
+
+#[test]
+fn batch_reports_match_the_dynamic_simulation_facade() {
+    let set = multimedia_task_set();
+    let platform = Platform::virtex_like(9).unwrap();
+    let config = SimulationConfig::default().with_iterations(40).with_seed(7);
+    let sim = DynamicSimulation::new(&set, &platform, config.clone()).unwrap();
+    let plan = IterationPlan::new(&set, &platform, config).unwrap();
+    let batch = SimBatch::with_threads(&plan, 3)
+        .run(&PolicyKind::ALL)
+        .unwrap();
+    assert_eq!(sim.run_all().unwrap(), batch);
 }
 
 #[test]
