@@ -1,0 +1,73 @@
+//! Differential-oracle corpus runner.
+//!
+//! Sweeps the pinned fuzz corpus — all five policies per case, per-iteration
+//! and aggregate bit-for-bit comparisons against the straight-line reference
+//! simulator of `drhw-oracle` — and prints a corpus summary. Exits with
+//! status 1 on the first divergence, after shrinking it to the smallest
+//! failing task set.
+//!
+//! Usage:
+//!
+//! ```text
+//! oracle_diff [cases]          # default 240 cases
+//! DRHW_FUZZ_CASES=2000 oracle_diff
+//! ```
+//!
+//! The CLI argument wins over the `DRHW_FUZZ_CASES` environment knob.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use drhw_oracle::{corpus_cases_from_env, pinned_corpus, run_corpus};
+
+/// Corpus size when neither the CLI argument nor `DRHW_FUZZ_CASES` is given:
+/// "hundreds of cases in CI".
+const DEFAULT_CASES: usize = 240;
+
+fn main() {
+    let cases = match std::env::args().nth(1) {
+        None => corpus_cases_from_env(DEFAULT_CASES),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: expected a positive case count, got {raw:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let corpus = pinned_corpus(cases);
+    println!(
+        "differential oracle: {} cases, 5 policies each, per-iteration + aggregate comparisons",
+        corpus.len()
+    );
+    let started = Instant::now();
+    match run_corpus(&corpus) {
+        Ok(outcomes) => {
+            let iterations: usize = outcomes.iter().map(|o| o.iterations).sum();
+            let mut per_family: BTreeMap<&str, usize> = BTreeMap::new();
+            for case in &corpus {
+                let family = case
+                    .label
+                    .split("fuzz-")
+                    .nth(1)
+                    .and_then(|rest| rest.split('-').next())
+                    .unwrap_or("unknown");
+                *per_family.entry(family).or_insert(0) += 1;
+            }
+            println!(
+                "corpus clean: {} cases x 5 policies, {} iterations compared bit-for-bit in {:.1}s",
+                outcomes.len(),
+                iterations,
+                started.elapsed().as_secs_f64()
+            );
+            for (family, count) in per_family {
+                println!("  {family:<8} {count} cases");
+            }
+        }
+        Err(divergence) => {
+            eprintln!("{divergence}");
+            std::process::exit(1);
+        }
+    }
+}

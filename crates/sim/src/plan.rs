@@ -231,6 +231,35 @@ impl<'a> IterationPlan<'a> {
         self.run_iteration(policy, index, &mut state)
     }
 
+    /// Scores every configured iteration of one policy in a single
+    /// sequential pass and returns the per-iteration outcomes, in iteration
+    /// order.
+    ///
+    /// This is the entry point the differential oracle (`drhw-oracle`)
+    /// targets: it exposes exactly what each iteration contributed — with the
+    /// same chunked state-reset semantics the batched engine uses — without
+    /// the quadratic chunk replay that per-index [`evaluate`](Self::evaluate)
+    /// calls would cost. Summing the outcomes reproduces the
+    /// [`SimBatch`](crate::SimBatch) report, with one caveat for the
+    /// floating-point energy field: the engine folds per-chunk partial sums
+    /// in chunk order, so a bit-for-bit reproduction must group the
+    /// outcomes by chunk the same way rather than running one straight fold.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scheduling error in iteration order.
+    pub fn evaluate_run(&self, policy: PolicyKind) -> Result<Vec<IterationOutcome>, SimError> {
+        let mut outcomes = Vec::with_capacity(self.config.iterations);
+        let mut state = ChunkState::cold(self.platform.tile_count());
+        for index in 0..self.config.iterations {
+            if index % self.config.chunk_size == 0 {
+                state = ChunkState::cold(self.platform.tile_count());
+            }
+            outcomes.push(self.run_iteration(policy, index, &mut state)?);
+        }
+        Ok(outcomes)
+    }
+
     /// Evaluates every iteration of one chunk in order and returns their
     /// summed statistics. This is the unit of work the parallel engine
     /// schedules onto threads.
@@ -629,6 +658,27 @@ mod tests {
             .with_chunk_size(16);
         let plan = IterationPlan::new(&set, &platform, config).unwrap();
         assert_eq!(plan.chunk_count(), 3);
+    }
+
+    #[test]
+    fn evaluate_run_matches_per_index_evaluation() {
+        let set = two_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let config = SimulationConfig::quick()
+            .with_iterations(13)
+            .with_chunk_size(4);
+        let plan = IterationPlan::new(&set, &platform, config).unwrap();
+        for policy in [PolicyKind::Hybrid, PolicyKind::RunTimeInterTask] {
+            let run = plan.evaluate_run(policy).unwrap();
+            assert_eq!(run.len(), 13);
+            for (index, outcome) in run.iter().enumerate() {
+                assert_eq!(
+                    outcome,
+                    &plan.evaluate(policy, index).unwrap(),
+                    "{policy} iteration {index}"
+                );
+            }
+        }
     }
 
     #[test]

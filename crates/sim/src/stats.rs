@@ -60,9 +60,24 @@ impl IterationOutcome {
         self.loads_performed
     }
 
+    /// Number of stored loads the hybrid policy cancelled thanks to reuse.
+    pub fn loads_cancelled(&self) -> usize {
+        self.loads_cancelled
+    }
+
+    /// Number of DRHW subtask executions this iteration simulated.
+    pub fn drhw_subtasks_executed(&self) -> usize {
+        self.drhw_subtasks_executed
+    }
+
     /// Number of subtask executions that reused a resident configuration.
     pub fn reused_subtasks(&self) -> usize {
         self.reused_subtasks
+    }
+
+    /// Energy spent on this iteration's reconfigurations, in millijoule.
+    pub fn reconfiguration_energy_mj(&self) -> f64 {
+        self.reconfiguration_energy_mj
     }
 }
 

@@ -1,0 +1,455 @@
+//! Scenario fuzzing: seeded generators for diverse DAG families.
+//!
+//! The differential oracle (`drhw-oracle`) cross-checks the parallel
+//! simulation engine against a straight-line reference implementation, and it
+//! needs *many* structurally diverse workloads to do that credibly — far more
+//! than the two published benchmarks plus the layered random DAGs of
+//! [`random`](crate::random). This module generates small task sets from six
+//! families, each stressing a different corner of the scheduling stack:
+//!
+//! * **chain** — serial pipelines (every load sits behind one predecessor;
+//!   intra-task reuse via repeated configurations);
+//! * **fork** — one root fanning out to independent children (port saturation
+//!   while the root runs);
+//! * **diamond** — fork/join shapes, occasionally with an ISP join node
+//!   (mixed PE classes);
+//! * **layered** — the TGFF-style layered DAGs of [`random`](crate::random)
+//!   at fuzz-sized parameters;
+//! * **heavy** — reconfiguration-heavy sets: short executions, shared
+//!   configurations across tasks (cross-task reuse), more subtasks than the
+//!   platform has tiles (exercises the Pareto fallback);
+//! * **mix** — multi-scenario tasks with correlated inter-task scenario
+//!   combinations (some combinations deliberately omit tasks, exercising the
+//!   first-scenario default).
+//!
+//! A family plus a seed fully determines the workload; the registry name is
+//! `fuzz-<family>-<seed>` so corpora can be pinned by name alone.
+
+use std::collections::BTreeMap;
+use std::ops::RangeInclusive;
+
+use drhw_model::{
+    ConfigId, PeClass, Scenario, ScenarioId, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::random::{random_graph, RandomGraphConfig};
+use crate::registry::Workload;
+
+/// One of the six generated DAG families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuzzFamily {
+    /// Serial pipelines with occasional repeated configurations.
+    Chain,
+    /// One root fanning out to independent children.
+    Fork,
+    /// Fork/join diamonds, sometimes with an ISP join node.
+    Diamond,
+    /// Small TGFF-style layered random DAGs.
+    Layered,
+    /// Reconfiguration-heavy sets with shared configurations across tasks.
+    Heavy,
+    /// Multi-scenario tasks with correlated scenario combinations.
+    Mix,
+}
+
+impl FuzzFamily {
+    /// Every family, in a stable order (used to pin fuzz corpora).
+    pub const ALL: [FuzzFamily; 6] = [
+        FuzzFamily::Chain,
+        FuzzFamily::Fork,
+        FuzzFamily::Diamond,
+        FuzzFamily::Layered,
+        FuzzFamily::Heavy,
+        FuzzFamily::Mix,
+    ];
+
+    /// The name used in `fuzz-<family>-<seed>` registry names.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzFamily::Chain => "chain",
+            FuzzFamily::Fork => "fork",
+            FuzzFamily::Diamond => "diamond",
+            FuzzFamily::Layered => "layered",
+            FuzzFamily::Heavy => "heavy",
+            FuzzFamily::Mix => "mix",
+        }
+    }
+
+    /// Parses a family name as it appears in `fuzz-<family>-<seed>`.
+    pub fn parse(name: &str) -> Option<FuzzFamily> {
+        FuzzFamily::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+impl std::fmt::Display for FuzzFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A generated workload: one DAG family instantiated from one seed.
+#[derive(Debug, Clone)]
+pub struct FuzzWorkload {
+    name: String,
+    family: FuzzFamily,
+    seed: u64,
+}
+
+impl FuzzWorkload {
+    /// Creates the workload of `family` generated from `seed`. The registry
+    /// name is `fuzz-<family>-<seed>`.
+    pub fn new(family: FuzzFamily, seed: u64) -> Self {
+        FuzzWorkload {
+            name: format!("fuzz-{}-{seed}", family.name()),
+            family,
+            seed,
+        }
+    }
+
+    /// The family this workload instantiates.
+    pub fn family(&self) -> FuzzFamily {
+        self.family
+    }
+
+    /// The generator seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Workload for FuzzWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn description(&self) -> &str {
+        "generated differential-fuzzing workload (see drhw-oracle)"
+    }
+
+    fn task_set(&self) -> TaskSet {
+        fuzz_task_set(self.family, self.seed)
+    }
+
+    fn correlated_scenarios(&self) -> Option<Vec<BTreeMap<TaskId, ScenarioId>>> {
+        if self.family == FuzzFamily::Mix {
+            Some(mix_combinations(self.seed))
+        } else {
+            None
+        }
+    }
+
+    fn task_inclusion_probability(&self) -> f64 {
+        match self.family {
+            // Heavy sets activate everything so the port is always contended.
+            FuzzFamily::Heavy => 1.0,
+            _ => 0.75,
+        }
+    }
+
+    fn tile_sweep(&self) -> RangeInclusive<usize> {
+        // Wide enough that small platforms force the Pareto fallback and
+        // large ones let the fully parallel point fit.
+        let widest = fuzz_task_set(self.family, self.seed)
+            .tasks()
+            .iter()
+            .flat_map(|t| t.scenarios())
+            .map(|s| s.graph().drhw_subtasks().len())
+            .max()
+            .unwrap_or(1);
+        widest.saturating_sub(2).max(1)..=widest.max(1) + 1
+    }
+}
+
+fn chain_graph(name: &str, rng: &mut StdRng, config_base: usize) -> SubtaskGraph {
+    let len = rng.gen_range(3usize..=7);
+    let mut g = SubtaskGraph::new(name.to_string());
+    let mut prev = None;
+    for i in 0..len {
+        // Occasionally repeat the previous configuration to trigger the
+        // intra-task reuse rule of the prefetch problem.
+        let config = if i > 0 && rng.gen_bool(0.25) {
+            config_base + i - 1
+        } else {
+            config_base + i
+        };
+        let id = g.add_subtask(Subtask::new(
+            format!("{name}-{i}"),
+            Time::from_millis(rng.gen_range(2u64..=15)),
+            ConfigId::new(config),
+        ));
+        if let Some(p) = prev {
+            g.add_dependency(p, id).expect("chain edges are acyclic");
+        }
+        prev = Some(id);
+    }
+    g
+}
+
+fn fork_graph(name: &str, rng: &mut StdRng, config_base: usize) -> SubtaskGraph {
+    let width = rng.gen_range(2usize..=5);
+    let mut g = SubtaskGraph::new(name.to_string());
+    let root = g.add_subtask(Subtask::new(
+        format!("{name}-root"),
+        Time::from_millis(rng.gen_range(6u64..=20)),
+        ConfigId::new(config_base),
+    ));
+    for i in 0..width {
+        let child = g.add_subtask(Subtask::new(
+            format!("{name}-c{i}"),
+            Time::from_millis(rng.gen_range(2u64..=10)),
+            ConfigId::new(config_base + 1 + i),
+        ));
+        g.add_dependency(root, child)
+            .expect("fork edges are acyclic");
+    }
+    g
+}
+
+fn diamond_graph(name: &str, rng: &mut StdRng, config_base: usize) -> SubtaskGraph {
+    let width = rng.gen_range(2usize..=4);
+    let mut g = SubtaskGraph::new(name.to_string());
+    let root = g.add_subtask(Subtask::new(
+        format!("{name}-root"),
+        Time::from_millis(rng.gen_range(4u64..=12)),
+        ConfigId::new(config_base),
+    ));
+    let mut mids = Vec::with_capacity(width);
+    for i in 0..width {
+        let mid = g.add_subtask(Subtask::new(
+            format!("{name}-m{i}"),
+            Time::from_millis(rng.gen_range(3u64..=12)),
+            ConfigId::new(config_base + 1 + i),
+        ));
+        g.add_dependency(root, mid)
+            .expect("diamond edges are acyclic");
+        mids.push(mid);
+    }
+    // The join occasionally runs on the ISP, exercising mixed PE classes.
+    let mut join = Subtask::new(
+        format!("{name}-join"),
+        Time::from_millis(rng.gen_range(2u64..=8)),
+        ConfigId::new(config_base + 1 + width),
+    );
+    if rng.gen_bool(0.4) {
+        join = join.with_pe_class(PeClass::Isp);
+    }
+    let join = g.add_subtask(join);
+    for mid in mids {
+        g.add_dependency(mid, join)
+            .expect("diamond edges are acyclic");
+    }
+    g
+}
+
+fn layered_fuzz_graph(rng: &mut StdRng, config_base: usize) -> SubtaskGraph {
+    let config = RandomGraphConfig {
+        subtasks: rng.gen_range(4usize..=10),
+        width: rng.gen_range(2usize..=4),
+        extra_edge_probability: 0.35,
+        min_exec: Time::from_millis(2),
+        max_exec: Time::from_millis(12),
+        config_base,
+    };
+    random_graph(&config, rng)
+}
+
+fn heavy_graph(name: &str, rng: &mut StdRng, shared_configs: usize) -> SubtaskGraph {
+    // Short executions against the 4 ms latency, few distinct configurations
+    // shared across every task of the set: reconfigurations dominate and
+    // cross-task reuse actually fires.
+    let len = rng.gen_range(4usize..=8);
+    let mut g = SubtaskGraph::new(name.to_string());
+    let mut prev: Option<drhw_model::SubtaskId> = None;
+    for i in 0..len {
+        let id = g.add_subtask(Subtask::new(
+            format!("{name}-{i}"),
+            Time::from_millis(rng.gen_range(1u64..=4)),
+            ConfigId::new(rng.gen_range(0usize..shared_configs)),
+        ));
+        if let Some(p) = prev {
+            // Sparse precedence keeps some parallelism in the schedule.
+            if rng.gen_bool(0.6) {
+                g.add_dependency(p, id).expect("forward edges are acyclic");
+            }
+        }
+        prev = Some(id);
+    }
+    g
+}
+
+/// Builds the task set of one `(family, seed)` pair. Deterministic: equal
+/// inputs produce equal sets.
+pub fn fuzz_task_set(family: FuzzFamily, seed: u64) -> TaskSet {
+    // Fold the family into the stream so `fuzz-chain-7` and `fuzz-fork-7`
+    // differ in more than topology.
+    let mut rng = StdRng::seed_from_u64(seed ^ ((family as u64 + 1) << 56));
+    let tasks = match family {
+        FuzzFamily::Chain | FuzzFamily::Fork | FuzzFamily::Diamond | FuzzFamily::Layered => {
+            let count = rng.gen_range(1usize..=3);
+            (0..count)
+                .map(|t| {
+                    let base = 100 * (t + 1);
+                    let name = format!("{family}-{t}");
+                    let graph = match family {
+                        FuzzFamily::Chain => chain_graph(&name, &mut rng, base),
+                        FuzzFamily::Fork => fork_graph(&name, &mut rng, base),
+                        FuzzFamily::Diamond => diamond_graph(&name, &mut rng, base),
+                        _ => layered_fuzz_graph(&mut rng, base),
+                    };
+                    Task::single_scenario(TaskId::new(t), name, graph)
+                        .expect("generated graphs are valid")
+                })
+                .collect()
+        }
+        FuzzFamily::Heavy => {
+            let count = rng.gen_range(2usize..=3);
+            let shared = rng.gen_range(3usize..=5);
+            (0..count)
+                .map(|t| {
+                    let name = format!("heavy-{t}");
+                    let graph = heavy_graph(&name, &mut rng, shared);
+                    Task::single_scenario(TaskId::new(t), name, graph)
+                        .expect("generated graphs are valid")
+                })
+                .collect()
+        }
+        FuzzFamily::Mix => mix_tasks(&mut rng),
+    };
+    TaskSet::new(format!("fuzz-{family}-{seed}"), tasks).expect("families generate at least 1 task")
+}
+
+fn mix_tasks(rng: &mut StdRng) -> Vec<Task> {
+    let count = rng.gen_range(2usize..=3);
+    (0..count)
+        .map(|t| {
+            let scenario_count = rng.gen_range(2usize..=3);
+            let scenarios = (0..scenario_count)
+                .map(|s| {
+                    let base = 1_000 * (t + 1) + 100 * s;
+                    let name = format!("mix-{t}-s{s}");
+                    let graph = match s % 3 {
+                        0 => chain_graph(&name, rng, base),
+                        1 => fork_graph(&name, rng, base),
+                        _ => diamond_graph(&name, rng, base),
+                    };
+                    Scenario::new(ScenarioId::new(s), graph)
+                        .with_probability(rng.gen_range(1u64..=4) as f64)
+                })
+                .collect();
+            Task::new(TaskId::new(t), format!("mix-{t}"), scenarios)
+                .expect("generated graphs are valid")
+        })
+        .collect()
+}
+
+/// The correlated inter-task scenario combinations of a `mix` workload.
+///
+/// Combinations are drawn from the same seed as the task set so the pair is
+/// always consistent; some combinations deliberately omit tasks (those tasks
+/// fall back to their first scenario, as the simulator documents).
+pub fn mix_combinations(seed: u64) -> Vec<BTreeMap<TaskId, ScenarioId>> {
+    let set = fuzz_task_set(FuzzFamily::Mix, seed);
+    // A second, offset stream: the combination draws must not perturb the
+    // task-set stream (the set is rebuilt independently elsewhere).
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00C0_FFEE);
+    let combos = rng.gen_range(2usize..=4);
+    (0..combos)
+        .map(|_| {
+            let mut combo = BTreeMap::new();
+            for task in set.tasks() {
+                if !rng.gen_bool(0.8) {
+                    continue;
+                }
+                let pick = rng.gen_range(0usize..task.scenarios().len());
+                combo.insert(task.id(), task.scenarios()[pick].id());
+            }
+            combo
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_model::GraphAnalysis;
+
+    #[test]
+    fn every_family_generates_valid_deterministic_sets() {
+        for family in FuzzFamily::ALL {
+            for seed in [0u64, 1, 7, 2005] {
+                let a = fuzz_task_set(family, seed);
+                let b = fuzz_task_set(family, seed);
+                assert_eq!(a, b, "{family}-{seed} must be deterministic");
+                assert!(!a.tasks().is_empty());
+                for task in a.tasks() {
+                    for scenario in task.scenarios() {
+                        scenario.graph().validate().expect("generated DAGs");
+                        GraphAnalysis::new(scenario.graph()).expect("non-empty DAGs");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for family in FuzzFamily::ALL {
+            assert_eq!(FuzzFamily::parse(family.name()), Some(family));
+        }
+        assert_eq!(FuzzFamily::parse("bogus"), None);
+    }
+
+    #[test]
+    fn workload_names_encode_family_and_seed() {
+        let w = FuzzWorkload::new(FuzzFamily::Diamond, 42);
+        assert_eq!(w.name(), "fuzz-diamond-42");
+        assert_eq!(w.family(), FuzzFamily::Diamond);
+        assert_eq!(w.seed(), 42);
+        assert!(!w.tile_sweep().is_empty());
+        assert!((0.0..=1.0).contains(&w.task_inclusion_probability()));
+    }
+
+    #[test]
+    fn mix_workloads_expose_consistent_correlations() {
+        let w = FuzzWorkload::new(FuzzFamily::Mix, 11);
+        let set = w.task_set();
+        let combos = w.correlated_scenarios().expect("mix is correlated");
+        assert!(!combos.is_empty());
+        for combo in &combos {
+            for (&task, &scenario) in combo {
+                let task = set
+                    .tasks()
+                    .iter()
+                    .find(|t| t.id() == task)
+                    .expect("combos only reference generated tasks");
+                assert!(
+                    task.scenario(scenario).is_some(),
+                    "combo references undefined scenario"
+                );
+            }
+        }
+        // Non-mix families are uncorrelated.
+        assert!(FuzzWorkload::new(FuzzFamily::Chain, 11)
+            .correlated_scenarios()
+            .is_none());
+    }
+
+    #[test]
+    fn heavy_family_shares_configurations_across_tasks() {
+        let set = fuzz_task_set(FuzzFamily::Heavy, 3);
+        let mut seen = std::collections::BTreeMap::new();
+        for task in set.tasks() {
+            for scenario in task.scenarios() {
+                for (_, s) in scenario.graph().iter() {
+                    *seen.entry(s.config()).or_insert(0usize) += 1;
+                }
+            }
+        }
+        assert!(
+            seen.values().any(|&count| count > 1),
+            "heavy sets must share configurations"
+        );
+    }
+}

@@ -7,7 +7,9 @@
 //!   B/P/I scenarios);
 //! * [`pocket_gl`] — the highly dynamic Pocket GL 3-D rendering application of
 //!   Figure 7 (6 tasks, 10 subtasks, 40 scenarios, 20 inter-task scenarios);
-//! * [`random`] — TGFF-style layered random DAGs for the scalability studies.
+//! * [`random`] — TGFF-style layered random DAGs for the scalability studies;
+//! * [`fuzz`] — seeded DAG-family generators (`fuzz-<family>-<seed>`) feeding
+//!   the differential oracle of `drhw-oracle`.
 //!
 //! The [`registry`] module packages these as pluggable [`Workload`]s behind a
 //! named [`WorkloadRegistry`], so experiment harnesses can sweep any
@@ -33,11 +35,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fuzz;
 pub mod multimedia;
 pub mod pocket_gl;
 pub mod random;
 pub mod registry;
 
+pub use fuzz::{FuzzFamily, FuzzWorkload};
 pub use registry::{
-    MultimediaWorkload, PocketGlWorkload, RandomDagWorkload, Workload, WorkloadRegistry,
+    MultimediaWorkload, PocketGlWorkload, RandomDagWorkload, Workload, WorkloadError,
+    WorkloadRegistry,
 };

@@ -28,9 +28,66 @@ use std::sync::Arc;
 
 use drhw_model::{ScenarioId, TaskId, TaskSet};
 
+use crate::fuzz::{FuzzFamily, FuzzWorkload};
 use crate::multimedia::multimedia_task_set;
 use crate::pocket_gl::{inter_task_scenarios, pocket_gl_task_set, TASK_COUNT};
 use crate::random::random_task_set;
+
+/// Why a workload name could not be resolved.
+///
+/// [`WorkloadRegistry::resolve`] parses the parameterised name families
+/// (`random-<tasks>x<subtasks>`, `fuzz-<family>-<seed>`) on demand; a name
+/// that *looks* parameterised but is malformed gets a descriptive error
+/// naming the offending input instead of a generic lookup failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The name matches no registered workload and no parameterised family.
+    Unknown {
+        /// The name that was looked up.
+        name: String,
+        /// The names currently registered, for the error message.
+        known: Vec<String>,
+    },
+    /// A `random-…` name that does not parse as `random-<tasks>x<subtasks>`.
+    MalformedRandom {
+        /// The offending name.
+        name: String,
+        /// What exactly is wrong with it.
+        reason: String,
+    },
+    /// A `fuzz-…` name that does not parse as `fuzz-<family>-<seed>`.
+    MalformedFuzz {
+        /// The offending name.
+        name: String,
+        /// What exactly is wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Unknown { name, known } => write!(
+                f,
+                "unknown workload {name:?}; registered: {}",
+                known.join(", ")
+            ),
+            WorkloadError::MalformedRandom { name, reason } => write!(
+                f,
+                "malformed random workload name {name:?}: {reason} \
+                 (expected random-<tasks>x<subtasks>, e.g. random-3x5)"
+            ),
+            WorkloadError::MalformedFuzz { name, reason } => write!(
+                f,
+                "malformed fuzz workload name {name:?}: {reason} \
+                 (expected fuzz-<family>-<seed>, e.g. fuzz-chain-7)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// One benchmark application, packaged with the simulation knobs the paper
 /// fixes for it.
@@ -205,7 +262,7 @@ impl WorkloadRegistry {
         let mut registry = WorkloadRegistry::new();
         registry.register(Arc::new(MultimediaWorkload));
         registry.register(Arc::new(PocketGlWorkload));
-        registry.register(Arc::new(RandomDagWorkload::new(3, 5, 2005)));
+        registry.register(Arc::new(RandomDagWorkload::new(3, 5, DEFAULT_RANDOM_SEED)));
         registry
     }
 
@@ -218,6 +275,39 @@ impl WorkloadRegistry {
     /// Looks a workload up by name.
     pub fn get(&self, name: &str) -> Option<&Arc<dyn Workload>> {
         self.entries.get(name)
+    }
+
+    /// Resolves a name to a workload, constructing parameterised workloads
+    /// (`random-<tasks>x<subtasks>`, `fuzz-<family>-<seed>`) on demand.
+    ///
+    /// Registered entries win over on-demand construction, so an explicitly
+    /// registered `random-3x5` keeps its registered seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::MalformedRandom`] / [`WorkloadError::MalformedFuzz`]
+    /// — naming the offending input — when a parameterised name does not parse,
+    /// and [`WorkloadError::Unknown`] for everything else.
+    pub fn resolve(&self, name: &str) -> Result<Arc<dyn Workload>, WorkloadError> {
+        if let Some(entry) = self.entries.get(name) {
+            return Ok(Arc::clone(entry));
+        }
+        if let Some(shape) = name.strip_prefix("random-") {
+            let (tasks, subtasks) = parse_random_shape(name, shape)?;
+            return Ok(Arc::new(RandomDagWorkload::new(
+                tasks,
+                subtasks,
+                DEFAULT_RANDOM_SEED,
+            )));
+        }
+        if let Some(spec) = name.strip_prefix("fuzz-") {
+            let (family, seed) = parse_fuzz_spec(name, spec)?;
+            return Ok(Arc::new(FuzzWorkload::new(family, seed)));
+        }
+        Err(WorkloadError::Unknown {
+            name: name.to_string(),
+            known: self.names().iter().map(|n| n.to_string()).collect(),
+        })
     }
 
     /// The registered names, sorted.
@@ -239,6 +329,59 @@ impl WorkloadRegistry {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+}
+
+/// The seed used for `random-<t>x<s>` workloads resolved by name (the same
+/// seed the built-in `random-3x5` registration uses, so resolution and
+/// registration agree).
+pub const DEFAULT_RANDOM_SEED: u64 = 2005;
+
+fn parse_random_shape(name: &str, shape: &str) -> Result<(usize, usize), WorkloadError> {
+    let malformed = |reason: String| WorkloadError::MalformedRandom {
+        name: name.to_string(),
+        reason,
+    };
+    let (tasks, subtasks) = shape.split_once('x').ok_or_else(|| {
+        malformed(format!(
+            "missing the `x` separator in the shape suffix {shape:?}"
+        ))
+    })?;
+    let parse_count = |what: &str, raw: &str| -> Result<usize, WorkloadError> {
+        let value: usize = raw
+            .parse()
+            .map_err(|_| malformed(format!("{what} count {raw:?} is not an integer")))?;
+        if value == 0 {
+            return Err(malformed(format!("{what} count must be at least 1")));
+        }
+        Ok(value)
+    };
+    Ok((
+        parse_count("task", tasks)?,
+        parse_count("subtask", subtasks)?,
+    ))
+}
+
+fn parse_fuzz_spec(name: &str, spec: &str) -> Result<(FuzzFamily, u64), WorkloadError> {
+    let malformed = |reason: String| WorkloadError::MalformedFuzz {
+        name: name.to_string(),
+        reason,
+    };
+    let (family, seed) = spec.rsplit_once('-').ok_or_else(|| {
+        malformed(format!(
+            "missing the `-` separator between family and seed in {spec:?}"
+        ))
+    })?;
+    let family = FuzzFamily::parse(family).ok_or_else(|| {
+        let known: Vec<&str> = FuzzFamily::ALL.iter().map(|f| f.name()).collect();
+        malformed(format!(
+            "unknown family {family:?}; families: {}",
+            known.join(", ")
+        ))
+    })?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| malformed(format!("seed {seed:?} is not an unsigned integer")))?;
+    Ok((family, seed))
 }
 
 impl std::fmt::Debug for WorkloadRegistry {
@@ -299,6 +442,95 @@ mod tests {
         registry.register(Arc::new(w));
         assert!(registry.get("random-4x8").is_some());
         assert!(registry.get("random-9x9").is_none());
+    }
+
+    #[test]
+    fn resolve_constructs_parameterised_workloads_on_demand() {
+        let registry = WorkloadRegistry::with_builtins();
+        // Registered entries resolve to themselves.
+        assert_eq!(registry.resolve("multimedia").unwrap().name(), "multimedia");
+        // The registered random-3x5 and the resolved one agree (same seed).
+        let registered = registry.get("random-3x5").unwrap().task_set();
+        assert_eq!(
+            registry.resolve("random-3x5").unwrap().task_set(),
+            registered
+        );
+        // Unregistered shapes and fuzz names are constructed on demand.
+        assert_eq!(registry.resolve("random-4x8").unwrap().name(), "random-4x8");
+        assert_eq!(
+            registry.resolve("fuzz-chain-7").unwrap().name(),
+            "fuzz-chain-7"
+        );
+    }
+
+    /// `Arc<dyn Workload>` has no `Debug`, so `unwrap_err` is unavailable.
+    fn resolve_err(registry: &WorkloadRegistry, name: &str) -> WorkloadError {
+        match registry.resolve(name) {
+            Ok(w) => panic!("{name}: expected an error, resolved {}", w.name()),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn malformed_random_names_get_descriptive_errors() {
+        let registry = WorkloadRegistry::with_builtins();
+        for (name, needle) in [
+            ("random-35", "missing the `x` separator"),
+            ("random-x5", "not an integer"),
+            ("random-3x", "not an integer"),
+            ("random-3xfive", "not an integer"),
+            ("random-0x5", "task count must be at least 1"),
+            ("random-3x0", "subtask count must be at least 1"),
+            ("random-3x5x7", "not an integer"),
+        ] {
+            let err = resolve_err(&registry, name);
+            match &err {
+                WorkloadError::MalformedRandom {
+                    name: offending,
+                    reason,
+                } => {
+                    assert_eq!(offending, name);
+                    assert!(
+                        reason.contains(needle),
+                        "{name}: reason {reason:?} should mention {needle:?}"
+                    );
+                }
+                other => panic!("{name}: expected MalformedRandom, got {other:?}"),
+            }
+            // The rendered message names the offending input and the shape.
+            let message = err.to_string();
+            assert!(message.contains(name), "{message}");
+            assert!(message.contains("random-<tasks>x<subtasks>"), "{message}");
+        }
+    }
+
+    #[test]
+    fn malformed_fuzz_names_get_descriptive_errors() {
+        let registry = WorkloadRegistry::with_builtins();
+        let err = resolve_err(&registry, "fuzz-chain");
+        assert!(matches!(err, WorkloadError::MalformedFuzz { .. }));
+        let err = resolve_err(&registry, "fuzz-bogus-3");
+        assert!(err.to_string().contains("unknown family"));
+        let err = resolve_err(&registry, "fuzz-chain-x");
+        assert!(err.to_string().contains("not an unsigned integer"));
+        // Seeds parse greedily from the right: fuzz-chain-1-2 has family
+        // "chain-1", which is unknown.
+        let err = resolve_err(&registry, "fuzz-chain-1-2");
+        assert!(err.to_string().contains("unknown family"));
+    }
+
+    #[test]
+    fn unknown_names_list_the_registered_workloads() {
+        let registry = WorkloadRegistry::with_builtins();
+        let err = resolve_err(&registry, "nonsense");
+        match &err {
+            WorkloadError::Unknown { name, known } => {
+                assert_eq!(name, "nonsense");
+                assert!(known.iter().any(|n| n == "multimedia"));
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        assert!(err.to_string().contains("multimedia"));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use drhw_prefetch::{
     BranchBoundScheduler, CriticalSetAnalysis, HybridPrefetch, InterTaskWindow, ListScheduler,
     OnDemandScheduler, PrefetchProblem, PrefetchScheduler,
 };
+use drhw_tcm::DesignTimeScheduler;
 use proptest::prelude::*;
 
 proptest! {
@@ -123,6 +124,78 @@ proptest! {
             .unwrap();
         prop_assert!(warm.penalty() <= cold.penalty());
         prop_assert_eq!(warm.init_duration(), Time::ZERO);
+    }
+
+    /// The Pareto front of every scenario is a real front: no point dominates
+    /// another, the points are sorted by increasing execution time, and every
+    /// point fits the platform.
+    #[test]
+    fn pareto_front_has_no_dominated_points_and_is_sorted(subtasks in 2usize..20, seed in 0u64..400, tiles in 1usize..10) {
+        let (graph, _, _) = random_instance(subtasks, seed, 4);
+        let platform = Platform::virtex_like(tiles).unwrap();
+        let curve = DesignTimeScheduler::new().pareto_curve(&graph, &platform).unwrap();
+        let points = curve.points();
+        prop_assert!(!points.is_empty());
+        for (i, a) in points.iter().enumerate() {
+            prop_assert!(a.tiles_used() <= platform.tile_count().max(1));
+            for (j, b) in points.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.dominates(b), "point {i} dominates point {j}");
+                }
+            }
+        }
+        // Sorted by increasing execution time; the energy axis must strictly
+        // decrease along it (otherwise a later point would be dominated).
+        for pair in points.windows(2) {
+            prop_assert!(pair[0].exec_time() <= pair[1].exec_time());
+            if pair[0].exec_time() < pair[1].exec_time() {
+                prop_assert!(pair[0].energy_mj() > pair[1].energy_mj());
+            }
+        }
+    }
+
+    /// No tile double-booking: on every slot, execution windows and load
+    /// windows form a serial, non-overlapping sequence (a tile cannot execute
+    /// one configuration while another is being loaded onto it).
+    #[test]
+    fn schedules_never_double_book_a_tile(subtasks in 2usize..24, seed in 0u64..400, latency in 0u64..8) {
+        let (graph, schedule, platform) = random_instance(subtasks, seed, latency);
+        let problem = PrefetchProblem::new(&graph, &schedule, &platform).unwrap();
+        for result in [
+            ListScheduler::new().schedule(&problem).unwrap(),
+            OnDemandScheduler::new().schedule(&problem).unwrap(),
+        ] {
+            let timed = result.timed();
+            for slot_index in 0..schedule.slot_count() {
+                let slot = drhw_model::TileSlot::new(slot_index);
+                // Every window occupying this slot: executions of its
+                // subtasks plus the loads reconfiguring it.
+                let mut windows: Vec<(Time, Time)> = schedule
+                    .subtasks_on(PeAssignment::Tile(slot))
+                    .iter()
+                    .map(|&id| {
+                        let e = timed.execution(id).expect("every subtask is timed");
+                        (e.start, e.finish)
+                    })
+                    .collect();
+                windows.extend(
+                    timed
+                        .loads()
+                        .iter()
+                        .filter(|l| l.slot == slot)
+                        .map(|l| (l.start, l.finish)),
+                );
+                windows.sort();
+                for pair in windows.windows(2) {
+                    prop_assert!(
+                        pair[1].0 >= pair[0].1,
+                        "slot {slot_index} double-booked: {:?} overlaps {:?}",
+                        pair[0],
+                        pair[1]
+                    );
+                }
+            }
+        }
     }
 
     /// More residency never increases the number of loads the prefetch problem

@@ -1,0 +1,151 @@
+//! Golden snapshot of the `BENCH_results.json` schema (version 2).
+//!
+//! `render_results_json` is hand-rolled (no JSON backend offline), so report
+//! refactors can silently drop or rename keys that downstream consumers —
+//! CI artifact scrapers, the EXPERIMENTS.md examples — depend on. This test
+//! pins the exact key set, nesting and value *types* of schema v2; changing
+//! the schema intentionally means bumping `schema_version` and updating this
+//! snapshot in the same commit.
+
+use drhw_bench::experiments::policy_overhead_reports;
+use drhw_bench::report::{render_results_json, RunTiming};
+
+/// Parses the flat `indent → key → raw value` triples of the hand-rolled
+/// JSON (two-space indentation per nesting level, one key per line).
+fn keys_with_indent(json: &str) -> Vec<(usize, String, String)> {
+    json.lines()
+        .filter_map(|line| {
+            let trimmed = line.trim_start();
+            let indent = line.len() - trimmed.len();
+            let rest = trimmed.strip_prefix('"')?;
+            let (key, after) = rest.split_once("\": ")?;
+            Some((
+                indent,
+                key.to_string(),
+                after.trim_end_matches(',').to_string(),
+            ))
+        })
+        .collect()
+}
+
+fn is_number(raw: &str) -> bool {
+    raw.parse::<f64>().is_ok()
+}
+
+#[test]
+fn bench_results_schema_v2_golden_snapshot() {
+    let reports = policy_overhead_reports(2, 1, 8, 1).expect("simulation runs");
+    let timing = RunTiming {
+        threads: 2,
+        experiments: vec![("table1".to_string(), 10.0), ("fig6".to_string(), 20.0)],
+        sequential_ms: Some(100.0),
+        parallel_ms: Some(50.0),
+    };
+    let json = render_results_json(&reports, &timing);
+    let entries = keys_with_indent(&json);
+
+    // Top level: the exact schema v2 key set, in order.
+    let top: Vec<&str> = entries
+        .iter()
+        .filter(|(indent, _, _)| *indent == 2)
+        .map(|(_, key, _)| key.as_str())
+        .collect();
+    assert_eq!(
+        top,
+        vec![
+            "iterations",
+            "tiles",
+            "policy_overhead_percent",
+            "policy_reuse_percent",
+            "threads",
+            "wall_clock_ms",
+            "speedup",
+            "schema_version",
+        ],
+        "schema v2 top-level keys changed — bump schema_version and update this snapshot"
+    );
+
+    // Scalar top-level values are numbers.
+    for (_, key, raw) in entries.iter().filter(|(indent, _, _)| *indent == 2) {
+        match key.as_str() {
+            "policy_overhead_percent" | "policy_reuse_percent" | "wall_clock_ms" | "speedup" => {
+                assert_eq!(raw, "{", "{key} must be an object");
+            }
+            "schema_version" => assert_eq!(raw, "2", "this snapshot pins schema v2"),
+            _ => assert!(is_number(raw), "{key} must be a number, got {raw:?}"),
+        }
+    }
+
+    // Both policy maps carry exactly the five policy names, each numeric.
+    let policies = [
+        "no-prefetch",
+        "design-time-prefetch",
+        "run-time",
+        "run-time+inter-task",
+        "hybrid",
+    ];
+    let nested: Vec<(&str, &str)> = entries
+        .iter()
+        .filter(|(indent, _, _)| *indent == 4)
+        .map(|(_, key, raw)| (key.as_str(), raw.as_str()))
+        .collect();
+    for policy in policies {
+        let occurrences = nested.iter().filter(|(key, _)| *key == policy).count();
+        assert_eq!(occurrences, 2, "{policy} must appear in both policy maps");
+    }
+    for (key, raw) in &nested {
+        assert!(
+            is_number(raw) || *raw == "null",
+            "nested key {key} must be numeric or null, got {raw:?}"
+        );
+    }
+
+    // The speedup block: exact key set, with the headline ratio present.
+    let speedup_start = json.find("\"speedup\": {").expect("speedup block present");
+    let speedup_block = &json[speedup_start
+        ..json[speedup_start..]
+            .find('}')
+            .map(|end| speedup_start + end)
+            .expect("speedup block closes")];
+    for key in ["sequential_ms", "parallel_ms", "sequential_over_parallel"] {
+        assert!(
+            speedup_block.contains(&format!("\"{key}\":")),
+            "speedup block lost {key}"
+        );
+    }
+    assert!(
+        speedup_block.contains("\"sequential_over_parallel\": 2.0000"),
+        "speedup ratio must be sequential/parallel"
+    );
+
+    // Per-experiment wall clocks survive verbatim.
+    assert!(json.contains("\"table1\": 10.0000"));
+    assert!(json.contains("\"fig6\": 20.0000"));
+}
+
+#[test]
+fn schema_snapshot_also_holds_for_absent_measurements() {
+    // Null measurements must stay *null*, not vanish from the key set.
+    let json = render_results_json(&[], &RunTiming::default());
+    let entries = keys_with_indent(&json);
+    let top: Vec<&str> = entries
+        .iter()
+        .filter(|(indent, _, _)| *indent == 2)
+        .map(|(_, key, _)| key.as_str())
+        .collect();
+    // Without reports the iteration/tile header is absent, but everything
+    // else — including the speedup block — must survive.
+    assert_eq!(
+        top,
+        vec![
+            "policy_overhead_percent",
+            "policy_reuse_percent",
+            "threads",
+            "wall_clock_ms",
+            "speedup",
+            "schema_version",
+        ]
+    );
+    assert!(json.contains("\"sequential_over_parallel\": null"));
+    assert!(json.ends_with("\"schema_version\": 2\n}\n"));
+}
