@@ -85,6 +85,17 @@ fn main() {
         sequential, reports,
         "the parallel engine must be bit-identical to the sequential one"
     );
+    // Per-policy iteration throughput on the same prepared plan (schema v3).
+    for policy in PolicyKind::ALL {
+        let started = Instant::now();
+        SimBatch::with_threads(&plan, threads)
+            .run(&[policy])
+            .expect("simulation runs");
+        let throughput = iterations as f64 / started.elapsed().as_secs_f64();
+        timing
+            .policy_iterations_per_sec
+            .push((policy.to_string(), throughput));
+    }
     let overhead = |wanted: PolicyKind| {
         reports
             .iter()
@@ -132,6 +143,14 @@ fn main() {
         "{}",
         render_figure(&points, "overhead (%) vs tiles, Pocket GL renderer")
     );
+
+    println!("=== E6: pipeline stage timings ===");
+    let stage_timings = drhw_bench::stages::measure_stage_timings(5);
+    timing.stage_ms = stage_timings.as_pairs();
+    for (stage, stage_ms) in &timing.stage_ms {
+        println!("  {stage:<20} {stage_ms:>8.2} ms");
+    }
+    println!();
 
     println!("=== E7: ablations ===");
     let rows = timed(&mut timing, "ablations", || {

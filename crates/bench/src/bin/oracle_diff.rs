@@ -14,6 +14,10 @@
 //! ```
 //!
 //! The CLI argument wins over the `DRHW_FUZZ_CASES` environment knob.
+//!
+//! On divergence the shrunk counterexample is also written to
+//! `ORACLE_counterexample.txt` (override with `ORACLE_COUNTEREXAMPLE_PATH`)
+//! so CI can upload it as an artifact.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -66,7 +70,16 @@ fn main() {
             }
         }
         Err(divergence) => {
-            eprintln!("{divergence}");
+            let report = divergence.to_string();
+            eprintln!("{report}");
+            // Persist the shrunk counterexample so CI uploads it even after
+            // the job fails.
+            let path = std::env::var("ORACLE_COUNTEREXAMPLE_PATH")
+                .unwrap_or_else(|_| "ORACLE_counterexample.txt".to_string());
+            match std::fs::write(&path, &report) {
+                Ok(()) => eprintln!("shrunk counterexample written to {path}"),
+                Err(err) => eprintln!("warning: cannot write {path}: {err}"),
+            }
             std::process::exit(1);
         }
     }

@@ -1,0 +1,182 @@
+//! The CI performance gate.
+//!
+//! Runs the pinned perf suite (multimedia set, 8 tiles, fixed seed) several
+//! times, takes the **median** per-policy iteration throughput and
+//! cross-policy wall clock, and compares them against the committed
+//! `BENCH_baseline.json` under per-metric tolerance bands. On a regression it
+//! prints a delta table and exits non-zero; the same table plus the
+//! schema-v3 `BENCH_results.json` are written to disk so CI can upload them
+//! as artifacts.
+//!
+//! ```text
+//! perf_gate                    # gate against BENCH_baseline.json
+//! perf_gate --write-baseline   # record a fresh baseline instead of gating
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `PERF_GATE_RUNS` — repeated measurement runs (default 5)
+//! * `PERF_GATE_ITERATIONS` — simulated iterations per run (default 2000)
+//! * `PERF_BASELINE_PATH` — baseline location (default `BENCH_baseline.json`)
+//! * `BENCH_RESULTS_PATH` — schema-v3 results output (default `BENCH_results.json`)
+//! * `PERF_DELTA_PATH` — delta table output (default `PERF_delta.txt`)
+//!
+//! The suite runs single-threaded on purpose: the gate measures the engine,
+//! not the CI runner's core count, and one thread is the least noisy
+//! configuration.
+//!
+//! Exit status: `0` pass (or baseline written), `1` regression, `2` missing
+//! or invalid baseline, `3` output file not writable.
+
+use std::time::Instant;
+
+use drhw_bench::experiments::workload_config;
+use drhw_bench::gate::{
+    evaluate_gate, load_baseline, render_baseline_json, Measured, DEFAULT_TOLERANCE,
+};
+use drhw_bench::report::{render_results_json, RunTiming};
+use drhw_bench::stages::measure_stage_timings;
+use drhw_model::Platform;
+use drhw_prefetch::PolicyKind;
+use drhw_sim::{IterationPlan, SimBatch};
+use drhw_workloads::{MultimediaWorkload, Workload};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn env_path(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("wall clocks are finite"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn main() {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let runs = env_usize("PERF_GATE_RUNS", 5);
+    let iterations = env_usize("PERF_GATE_ITERATIONS", 2000);
+    let baseline_path = env_path("PERF_BASELINE_PATH", "BENCH_baseline.json");
+    let results_path = env_path("BENCH_RESULTS_PATH", "BENCH_results.json");
+    let delta_path = env_path("PERF_DELTA_PATH", "PERF_delta.txt");
+    let seed = 2005;
+
+    println!(
+        "perf gate: {runs} runs x {iterations} iterations, single-threaded pinned suite (multimedia, 8 tiles)"
+    );
+
+    let workload = MultimediaWorkload;
+    let set = workload.task_set();
+    let platform = Platform::virtex_like(8).expect("tile count is positive");
+    let plan = IterationPlan::new(
+        &set,
+        &platform,
+        workload_config(&workload, iterations, seed).with_threads(1),
+    )
+    .expect("plan builds");
+    let batch = SimBatch::with_threads(&plan, 1);
+
+    // Untimed warm-up so the first measured run does not pay the cold caches.
+    batch.run(&PolicyKind::ALL).expect("simulation runs");
+
+    let mut per_policy_ms: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); PolicyKind::ALL.len()];
+    let mut cross_policy_ms: Vec<f64> = Vec::with_capacity(runs);
+    let mut reports = Vec::new();
+    for run in 0..runs {
+        for (which, &policy) in PolicyKind::ALL.iter().enumerate() {
+            let started = Instant::now();
+            batch.run(&[policy]).expect("simulation runs");
+            per_policy_ms[which].push(started.elapsed().as_secs_f64() * 1e3);
+        }
+        let started = Instant::now();
+        let batch_reports = batch.run(&PolicyKind::ALL).expect("simulation runs");
+        cross_policy_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        if run == 0 {
+            reports = batch_reports;
+        }
+    }
+
+    let mut timing = RunTiming {
+        threads: 1,
+        stage_ms: measure_stage_timings(5).as_pairs(),
+        ..RunTiming::default()
+    };
+    let mut measured = Vec::new();
+    for (which, &policy) in PolicyKind::ALL.iter().enumerate() {
+        let ms = median(&mut per_policy_ms[which]);
+        let throughput = iterations as f64 / (ms / 1e3);
+        timing
+            .policy_iterations_per_sec
+            .push((policy.to_string(), throughput));
+        measured.push(Measured::higher_is_better(
+            format!("iterations_per_sec.{policy}"),
+            throughput,
+        ));
+        println!("  {policy:<22} {throughput:>12.0} iterations/s (median of {runs})");
+    }
+    let cross_ms = median(&mut cross_policy_ms);
+    let all_throughput = (iterations * PolicyKind::ALL.len()) as f64 / (cross_ms / 1e3);
+    timing
+        .policy_iterations_per_sec
+        .push(("all-policies".to_string(), all_throughput));
+    measured.push(Measured::higher_is_better(
+        "iterations_per_sec.all-policies",
+        all_throughput,
+    ));
+    measured.push(Measured::lower_is_better(
+        "wall_clock_ms.cross_policy",
+        cross_ms,
+    ));
+    timing
+        .experiments
+        .push(("perf_gate_cross_policy".to_string(), cross_ms));
+    println!("  cross-policy batch: {cross_ms:.1} ms ({all_throughput:.0} policy-iterations/s)");
+
+    if let Err(err) = std::fs::write(&results_path, render_results_json(&reports, &timing)) {
+        eprintln!("error: cannot write {results_path}: {err}");
+        std::process::exit(3);
+    }
+    println!("schema-v3 results written to {results_path}");
+
+    if write_baseline {
+        let text = render_baseline_json(&measured, DEFAULT_TOLERANCE);
+        if let Err(err) = std::fs::write(&baseline_path, text) {
+            eprintln!("error: cannot write {baseline_path}: {err}");
+            std::process::exit(3);
+        }
+        println!("baseline written to {baseline_path} — commit it to pin the gate");
+        return;
+    }
+
+    let baseline = match load_baseline(&baseline_path) {
+        Ok(baseline) => baseline,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    };
+    let report = evaluate_gate(&measured, &baseline);
+    let table = report.render_table();
+    println!("\n{table}");
+    if let Err(err) = std::fs::write(&delta_path, &table) {
+        eprintln!("error: cannot write {delta_path}: {err}");
+        std::process::exit(3);
+    }
+    println!("delta table written to {delta_path}");
+    if report.regressed() {
+        eprintln!("perf gate FAILED: at least one metric regressed beyond its tolerance band");
+        std::process::exit(1);
+    }
+    println!("perf gate passed");
+}

@@ -1,0 +1,540 @@
+//! The CI performance gate: tolerance-band comparison against a committed
+//! baseline.
+//!
+//! CI machines are noisy, so the gate never compares raw numbers for
+//! equality. Every metric in `BENCH_baseline.json` carries a *tolerance
+//! band*: a throughput metric regresses only when it falls below
+//! `baseline × (1 − tolerance)`, a wall-clock metric only when it rises above
+//! `baseline × (1 + tolerance)`. The bands are committed alongside the
+//! baseline values, so loosening one for a legitimately noisy metric is an
+//! explicit, reviewable change.
+//!
+//! The baseline file is hand-rolled JSON in the same two-space-indent style
+//! as `BENCH_results.json` (no JSON backend is available offline):
+//!
+//! ```json
+//! {
+//!   "schema_version": 3,
+//!   "default_tolerance": 0.5000,
+//!   "tolerance": {
+//!     "wall_clock_ms.cross_policy": 1.0000
+//!   },
+//!   "iterations_per_sec": {
+//!     "hybrid": 123456.0000
+//!   },
+//!   "wall_clock_ms": {
+//!     "cross_policy": 42.0000
+//!   }
+//! }
+//! ```
+//!
+//! Refreshing the baseline is `cargo run --release --bin perf_gate --
+//! --write-baseline` on the reference machine (see EXPERIMENTS.md).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Tolerance applied when a metric has no per-metric override.
+pub const DEFAULT_TOLERANCE: f64 = 0.5;
+
+/// Which direction of change counts as a regression for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricDirection {
+    /// Throughput-style metric: smaller measured values are regressions.
+    HigherIsBetter,
+    /// Latency-style metric: larger measured values are regressions.
+    LowerIsBetter,
+}
+
+/// One measured metric to gate, e.g. `iterations_per_sec.hybrid`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measured {
+    /// Dotted metric name (`section.key` in the baseline file).
+    pub name: String,
+    /// The measured value (median over the gate's repeated runs).
+    pub value: f64,
+    /// Which direction regresses.
+    pub direction: MetricDirection,
+}
+
+impl Measured {
+    /// Convenience constructor for a throughput metric.
+    pub fn higher_is_better(name: impl Into<String>, value: f64) -> Self {
+        Measured {
+            name: name.into(),
+            value,
+            direction: MetricDirection::HigherIsBetter,
+        }
+    }
+
+    /// Convenience constructor for a wall-clock metric.
+    pub fn lower_is_better(name: impl Into<String>, value: f64) -> Self {
+        Measured {
+            name: name.into(),
+            value,
+            direction: MetricDirection::LowerIsBetter,
+        }
+    }
+}
+
+/// The committed reference numbers plus their tolerance bands.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Metric values keyed by dotted name (`iterations_per_sec.hybrid`).
+    pub values: BTreeMap<String, f64>,
+    /// Per-metric tolerance overrides, same keys.
+    pub tolerance: BTreeMap<String, f64>,
+    /// Tolerance for metrics without an override.
+    pub default_tolerance: f64,
+}
+
+impl Baseline {
+    /// The tolerance band applied to a metric.
+    pub fn tolerance_for(&self, metric: &str) -> f64 {
+        self.tolerance
+            .get(metric)
+            .copied()
+            .unwrap_or(self.default_tolerance)
+    }
+}
+
+/// Why the gate could not run at all (distinct from a regression).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateError {
+    /// The baseline file does not exist — commit one with `--write-baseline`.
+    MissingBaseline {
+        /// The path that was looked up.
+        path: String,
+    },
+    /// The baseline file exists but cannot be understood.
+    InvalidBaseline {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::MissingBaseline { path } => write!(
+                f,
+                "no baseline at {path}; record one with `perf_gate --write-baseline` and commit it"
+            ),
+            GateError::InvalidBaseline { reason } => {
+                write!(f, "baseline file is invalid: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// Parses a baseline file in the hand-rolled two-space-indent JSON dialect.
+///
+/// # Errors
+///
+/// Returns [`GateError::InvalidBaseline`] when the text carries no metric
+/// values or a value fails to parse as a number.
+pub fn parse_baseline(text: &str) -> Result<Baseline, GateError> {
+    let mut baseline = Baseline {
+        default_tolerance: DEFAULT_TOLERANCE,
+        ..Baseline::default()
+    };
+    let mut section: Option<String> = None;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        let indent = line.len() - trimmed.len();
+        let Some(rest) = trimmed.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, raw)) = rest.split_once("\": ") else {
+            continue;
+        };
+        let raw = raw.trim_end_matches(',').trim();
+        if indent == 2 {
+            if raw == "{" {
+                section = Some(key.to_string());
+                continue;
+            }
+            section = None;
+            match key {
+                "default_tolerance" => {
+                    baseline.default_tolerance = parse_number(key, raw)?;
+                }
+                "schema_version" => {
+                    // Informational; any version parses the same today.
+                    parse_number(key, raw)?;
+                }
+                _ => {
+                    baseline
+                        .values
+                        .insert(key.to_string(), parse_number(key, raw)?);
+                }
+            }
+        } else if indent == 4 {
+            let Some(section) = &section else { continue };
+            let value = parse_number(key, raw)?;
+            if section == "tolerance" {
+                baseline.tolerance.insert(key.to_string(), value);
+            } else {
+                baseline.values.insert(format!("{section}.{key}"), value);
+            }
+        }
+    }
+    if baseline.values.is_empty() {
+        return Err(GateError::InvalidBaseline {
+            reason: "no metric values found".to_string(),
+        });
+    }
+    Ok(baseline)
+}
+
+fn parse_number(key: &str, raw: &str) -> Result<f64, GateError> {
+    raw.parse::<f64>().map_err(|_| GateError::InvalidBaseline {
+        reason: format!("value of {key:?} is not a number: {raw:?}"),
+    })
+}
+
+/// Loads and parses the baseline file at `path`.
+///
+/// # Errors
+///
+/// Returns [`GateError::MissingBaseline`] when the file does not exist and
+/// [`GateError::InvalidBaseline`] when it cannot be parsed.
+pub fn load_baseline(path: &str) -> Result<Baseline, GateError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_baseline(&text),
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Err(GateError::MissingBaseline {
+            path: path.to_string(),
+        }),
+        Err(err) => Err(GateError::InvalidBaseline {
+            reason: format!("cannot read {path}: {err}"),
+        }),
+    }
+}
+
+/// Renders measured metrics as a committable baseline file, with the given
+/// default tolerance and no per-metric overrides (add those by hand where a
+/// metric proves noisy).
+pub fn render_baseline_json(measured: &[Measured], default_tolerance: f64) -> String {
+    let mut sections: BTreeMap<&str, Vec<(&str, f64)>> = BTreeMap::new();
+    let mut top_level: Vec<(&str, f64)> = Vec::new();
+    for m in measured {
+        // Dotted names become "section": { "key": … } objects; undotted names
+        // stay top-level scalars — both round-trip through parse_baseline to
+        // exactly the original metric name.
+        match m.name.split_once('.') {
+            Some((section, key)) => sections.entry(section).or_default().push((key, m.value)),
+            None => top_level.push((m.name.as_str(), m.value)),
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str(&format!(
+        "  \"default_tolerance\": {default_tolerance:.4},\n"
+    ));
+    for (key, value) in top_level {
+        out.push_str(&format!("  \"{key}\": {value:.4},\n"));
+    }
+    let section_count = sections.len();
+    // The tolerance block's comma depends on whether any section follows —
+    // a trailing comma before the closing brace is not JSON.
+    let comma = if section_count > 0 { "," } else { "" };
+    out.push_str(&format!("  \"tolerance\": {{\n  }}{comma}\n"));
+    for (i, (section, entries)) in sections.into_iter().enumerate() {
+        out.push_str(&format!("  \"{section}\": {{\n"));
+        let n = entries.len();
+        for (j, (key, value)) in entries.into_iter().enumerate() {
+            let comma = if j + 1 < n { "," } else { "" };
+            out.push_str(&format!("    \"{key}\": {value:.4}{comma}\n"));
+        }
+        let comma = if i + 1 < section_count { "," } else { "" };
+        out.push_str(&format!("  }}{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// How one metric fared against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within the tolerance band.
+    Pass,
+    /// Outside the band, in the bad direction.
+    Regressed,
+    /// The baseline has no entry for this metric (reported, never fatal —
+    /// refresh the baseline to start gating it).
+    NoBaseline,
+}
+
+impl fmt::Display for GateStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateStatus::Pass => write!(f, "ok"),
+            GateStatus::Regressed => write!(f, "REGRESSED"),
+            GateStatus::NoBaseline => write!(f, "no-baseline"),
+        }
+    }
+}
+
+/// One row of the delta table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Dotted metric name.
+    pub metric: String,
+    /// Measured value.
+    pub measured: f64,
+    /// Baseline value, when present.
+    pub baseline: Option<f64>,
+    /// The tolerance band applied.
+    pub tolerance: f64,
+    /// `measured / baseline − 1`, in percent, when a baseline exists.
+    pub delta_percent: Option<f64>,
+    /// The verdict.
+    pub status: GateStatus,
+}
+
+/// The gate's overall verdict plus its per-metric rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// One row per measured metric, in input order.
+    pub rows: Vec<GateRow>,
+}
+
+impl GateReport {
+    /// `true` when any metric regressed beyond its band.
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.status == GateStatus::Regressed)
+    }
+
+    /// Renders the human-readable delta table the gate prints and uploads.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "metric                                    measured      baseline    delta      band  verdict\n",
+        );
+        for row in &self.rows {
+            let baseline = row
+                .baseline
+                .map(|b| format!("{b:>12.2}"))
+                .unwrap_or_else(|| format!("{:>12}", "-"));
+            let delta = row
+                .delta_percent
+                .map(|d| format!("{d:>+8.1}%"))
+                .unwrap_or_else(|| format!("{:>9}", "-"));
+            out.push_str(&format!(
+                "{:<40} {:>12.2} {baseline} {delta}  {:>7.0}%  {}\n",
+                row.metric,
+                row.measured,
+                row.tolerance * 100.0,
+                row.status
+            ));
+        }
+        out
+    }
+}
+
+/// Compares every measured metric against the baseline under its tolerance
+/// band.
+pub fn evaluate_gate(measured: &[Measured], baseline: &Baseline) -> GateReport {
+    let rows = measured
+        .iter()
+        .map(|m| {
+            let reference = baseline.values.get(&m.name).copied();
+            let tolerance = baseline.tolerance_for(&m.name);
+            let (status, delta_percent) = match reference {
+                None => (GateStatus::NoBaseline, None),
+                Some(reference) => {
+                    let delta = if reference != 0.0 {
+                        Some((m.value / reference - 1.0) * 100.0)
+                    } else {
+                        None
+                    };
+                    let regressed = match m.direction {
+                        MetricDirection::HigherIsBetter => m.value < reference * (1.0 - tolerance),
+                        MetricDirection::LowerIsBetter => m.value > reference * (1.0 + tolerance),
+                    };
+                    (
+                        if regressed {
+                            GateStatus::Regressed
+                        } else {
+                            GateStatus::Pass
+                        },
+                        delta,
+                    )
+                }
+            };
+            GateRow {
+                metric: m.name.clone(),
+                measured: m.value,
+                baseline: reference,
+                tolerance,
+                delta_percent,
+                status,
+            }
+        })
+        .collect();
+    GateReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_with(entries: &[(&str, f64)]) -> Baseline {
+        Baseline {
+            values: entries.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            tolerance: BTreeMap::new(),
+            default_tolerance: 0.2,
+        }
+    }
+
+    #[test]
+    fn metrics_within_the_band_pass() {
+        let baseline = baseline_with(&[
+            ("iterations_per_sec.hybrid", 1000.0),
+            ("wall_clock_ms.cross_policy", 100.0),
+        ]);
+        let measured = [
+            // 10 % slower throughput: inside the 20 % band.
+            Measured::higher_is_better("iterations_per_sec.hybrid", 900.0),
+            // 15 % more wall clock: inside the band.
+            Measured::lower_is_better("wall_clock_ms.cross_policy", 115.0),
+        ];
+        let report = evaluate_gate(&measured, &baseline);
+        assert!(!report.regressed());
+        assert!(report.rows.iter().all(|r| r.status == GateStatus::Pass));
+        // Improvements always pass, no matter how large.
+        let improved = [
+            Measured::higher_is_better("iterations_per_sec.hybrid", 5000.0),
+            Measured::lower_is_better("wall_clock_ms.cross_policy", 1.0),
+        ];
+        assert!(!evaluate_gate(&improved, &baseline).regressed());
+    }
+
+    #[test]
+    fn metrics_outside_the_band_fail() {
+        let baseline = baseline_with(&[
+            ("iterations_per_sec.hybrid", 1000.0),
+            ("wall_clock_ms.cross_policy", 100.0),
+        ]);
+        // 25 % slower throughput: outside the 20 % band.
+        let slow = [Measured::higher_is_better(
+            "iterations_per_sec.hybrid",
+            750.0,
+        )];
+        let report = evaluate_gate(&slow, &baseline);
+        assert!(report.regressed());
+        assert_eq!(report.rows[0].status, GateStatus::Regressed);
+        assert!((report.rows[0].delta_percent.unwrap() + 25.0).abs() < 1e-9);
+        // 30 % more wall clock: outside the band.
+        let slow = [Measured::lower_is_better(
+            "wall_clock_ms.cross_policy",
+            130.0,
+        )];
+        assert!(evaluate_gate(&slow, &baseline).regressed());
+        // The rendered table names the verdicts.
+        let table = evaluate_gate(&slow, &baseline).render_table();
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("wall_clock_ms.cross_policy"));
+    }
+
+    #[test]
+    fn per_metric_tolerance_overrides_the_default() {
+        let mut baseline = baseline_with(&[("iterations_per_sec.hybrid", 1000.0)]);
+        baseline
+            .tolerance
+            .insert("iterations_per_sec.hybrid".to_string(), 0.5);
+        // 40 % slower: would fail the 20 % default, passes the 50 % override.
+        let measured = [Measured::higher_is_better(
+            "iterations_per_sec.hybrid",
+            600.0,
+        )];
+        assert!(!evaluate_gate(&measured, &baseline).regressed());
+        assert!((baseline.tolerance_for("iterations_per_sec.hybrid") - 0.5).abs() < 1e-12);
+        assert!((baseline.tolerance_for("unknown") - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_metrics_are_reported_but_never_fatal() {
+        let baseline = baseline_with(&[("iterations_per_sec.hybrid", 1000.0)]);
+        let measured = [Measured::higher_is_better("iterations_per_sec.new", 1.0)];
+        let report = evaluate_gate(&measured, &baseline);
+        assert!(!report.regressed());
+        assert_eq!(report.rows[0].status, GateStatus::NoBaseline);
+        assert!(report.render_table().contains("no-baseline"));
+    }
+
+    #[test]
+    fn missing_baseline_file_is_a_distinct_error() {
+        let err = load_baseline("/nonexistent/BENCH_baseline.json").unwrap_err();
+        assert!(matches!(err, GateError::MissingBaseline { .. }));
+        assert!(err.to_string().contains("--write-baseline"));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_and_parse() {
+        let measured = [
+            Measured::higher_is_better("iterations_per_sec.hybrid", 1234.5),
+            Measured::higher_is_better("iterations_per_sec.no-prefetch", 999.25),
+            Measured::lower_is_better("wall_clock_ms.cross_policy", 42.125),
+            // Undotted names must survive as top-level scalars, not get filed
+            // under a synthetic section that renames them on the way back.
+            Measured::lower_is_better("plain_metric", 7.5),
+        ];
+        let text = render_baseline_json(&measured, 0.4);
+        let baseline = parse_baseline(&text).unwrap();
+        assert!((baseline.default_tolerance - 0.4).abs() < 1e-12);
+        assert!(
+            (baseline.values["iterations_per_sec.hybrid"] - 1234.5).abs() < 1e-9,
+            "{baseline:?}"
+        );
+        assert!((baseline.values["wall_clock_ms.cross_policy"] - 42.125).abs() < 1e-9);
+        assert!(
+            (baseline.values["plain_metric"] - 7.5).abs() < 1e-9,
+            "undotted metric names must round-trip: {baseline:?}"
+        );
+        assert!(!evaluate_gate(&measured, &baseline).regressed());
+        assert!(baseline.tolerance.is_empty());
+        // Undotted-only metrics must still render valid JSON (no trailing
+        // comma before the final closing brace).
+        let flat_only = [Measured::lower_is_better("plain_metric", 7.5)];
+        let flat_text = render_baseline_json(&flat_only, 0.5);
+        assert!(!flat_text.contains(",\n}"), "{flat_text}");
+        assert!(!flat_text.contains(",\n  }"), "{flat_text}");
+        let flat = parse_baseline(&flat_text).unwrap();
+        assert!((flat.values["plain_metric"] - 7.5).abs() < 1e-9);
+        // Balanced braces, no trailing comma before a closing brace.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert!(!text.contains(",\n  }"));
+        assert!(!text.contains(",\n}"));
+    }
+
+    #[test]
+    fn invalid_baselines_are_rejected_with_a_reason() {
+        assert!(matches!(
+            parse_baseline("{\n}\n").unwrap_err(),
+            GateError::InvalidBaseline { .. }
+        ));
+        let err = parse_baseline("{\n  \"iterations_per_sec\": {\n    \"hybrid\": oops\n  }\n}\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("hybrid"));
+    }
+
+    #[test]
+    fn tolerance_section_feeds_overrides_not_values() {
+        let text = "{\n  \"schema_version\": 3,\n  \"default_tolerance\": 0.3000,\n  \"tolerance\": {\n    \"wall_clock_ms.cross_policy\": 1.0000\n  },\n  \"wall_clock_ms\": {\n    \"cross_policy\": 50.0000\n  }\n}\n";
+        let baseline = parse_baseline(text).unwrap();
+        assert!((baseline.tolerance["wall_clock_ms.cross_policy"] - 1.0).abs() < 1e-12);
+        assert!((baseline.values["wall_clock_ms.cross_policy"] - 50.0).abs() < 1e-12);
+        assert!(!baseline
+            .values
+            .contains_key("tolerance.wall_clock_ms.cross_policy"));
+        // A doubled wall clock is inside the 100 % override band.
+        let measured = [Measured::lower_is_better(
+            "wall_clock_ms.cross_policy",
+            99.0,
+        )];
+        assert!(!evaluate_gate(&measured, &baseline).regressed());
+    }
+}

@@ -93,6 +93,13 @@ pub struct RunTiming {
     pub sequential_ms: Option<f64>,
     /// Wall-clock of the same cross-policy simulation on `threads` workers.
     pub parallel_ms: Option<f64>,
+    /// Per-stage wall clocks of the scheduling pipeline (list scheduler,
+    /// Pareto pruning, branch & bound, replacement/reuse, critical-set loop)
+    /// as `(stage, milliseconds)` pairs — see [`crate::stages`].
+    pub stage_ms: Vec<(String, f64)>,
+    /// Measured simulation throughput per policy, as `(policy,
+    /// iterations per second)` pairs.
+    pub policy_iterations_per_sec: Vec<(String, f64)>,
 }
 
 impl RunTiming {
@@ -107,13 +114,15 @@ impl RunTiming {
 }
 
 /// Renders the cross-policy simulation reports plus the run's wall-clock
-/// timings as the machine-readable JSON written to `BENCH_results.json`:
-/// simulation parameters, one `policy → overhead_percent` (and `policy →
-/// reuse_percent`) entry per policy, the threads used, per-experiment
-/// `wall_clock_ms`, and the sequential-versus-parallel speedup measurement.
-/// Hand-rolled because no JSON backend is available offline; the output is
-/// plain ASCII and the policy names and experiment labels contain no
-/// characters needing escapes.
+/// timings as the machine-readable JSON written to `BENCH_results.json`
+/// (schema v3): simulation parameters, one `policy → overhead_percent` (and
+/// `policy → reuse_percent`) entry per policy, the threads used,
+/// per-experiment `wall_clock_ms`, the sequential-versus-parallel speedup
+/// measurement, the per-stage `stage_ms` block, and the per-policy
+/// `policy_iterations_per_sec` throughput block. Hand-rolled because no JSON
+/// backend is available offline; the output is plain ASCII and the policy
+/// names, experiment labels and stage names contain no characters needing
+/// escapes.
 pub fn render_results_json(reports: &[SimulationReport], timing: &RunTiming) -> String {
     fn number(v: f64) -> String {
         // JSON has no NaN/Infinity; an absent measurement becomes null.
@@ -168,7 +177,21 @@ pub fn render_results_json(reports: &[SimulationReport], timing: &RunTiming) -> 
     out.push_str(&format!("    \"parallel_ms\": {par},\n"));
     out.push_str(&format!("    \"sequential_over_parallel\": {ratio}\n"));
     out.push_str("  },\n");
-    out.push_str("  \"schema_version\": 2\n}\n");
+    for (key, pairs) in [
+        ("stage_ms", &timing.stage_ms),
+        (
+            "policy_iterations_per_sec",
+            &timing.policy_iterations_per_sec,
+        ),
+    ] {
+        out.push_str(&format!("  \"{key}\": {{\n"));
+        for (i, (label, value)) in pairs.iter().enumerate() {
+            let comma = if i + 1 < pairs.len() { "," } else { "" };
+            out.push_str(&format!("    \"{label}\": {}{comma}\n", number(*value)));
+        }
+        out.push_str("  },\n");
+    }
+    out.push_str("  \"schema_version\": 3\n}\n");
     out
 }
 
@@ -251,6 +274,11 @@ mod tests {
             experiments: vec![("fig6".to_string(), 1234.5), ("fig7".to_string(), 987.0)],
             sequential_ms: Some(2000.0),
             parallel_ms: Some(1000.0),
+            stage_ms: vec![
+                ("list_scheduler".to_string(), 1.5),
+                ("pareto".to_string(), 2.5),
+            ],
+            policy_iterations_per_sec: vec![("hybrid".to_string(), 512.0)],
         };
         let json = render_results_json(&reports, &timing);
         assert!(json.starts_with("{\n"));
@@ -264,6 +292,11 @@ mod tests {
         assert!(json.contains("\"fig6\": 1234.5000"));
         assert!(json.contains("\"wall_clock_ms\""));
         assert!(json.contains("\"sequential_over_parallel\": 2.0000"));
+        assert!(json.contains("\"stage_ms\""));
+        assert!(json.contains("\"list_scheduler\": 1.5000"));
+        assert!(json.contains("\"policy_iterations_per_sec\""));
+        assert!(json.contains("\"hybrid\": 512.0000"));
+        assert!(json.ends_with("\"schema_version\": 3\n}\n"));
         // No trailing comma before a closing brace, and balanced braces.
         assert!(!json.contains(",\n  }"));
         assert!(!json.contains(",\n    }"));
@@ -275,15 +308,17 @@ mod tests {
         assert_eq!(RunTiming::default().speedup(), None);
         let timing = RunTiming {
             threads: 1,
-            experiments: Vec::new(),
             sequential_ms: Some(10.0),
-            parallel_ms: None,
+            ..RunTiming::default()
         };
         assert_eq!(timing.speedup(), None);
         let json = render_results_json(&[], &timing);
         assert!(json.contains("\"sequential_ms\": 10.0000"));
         assert!(json.contains("\"parallel_ms\": null"));
         assert!(json.contains("\"sequential_over_parallel\": null"));
+        // Empty stage/throughput blocks stay in the key set as empty objects.
+        assert!(json.contains("\"stage_ms\": {\n  }"));
+        assert!(json.contains("\"policy_iterations_per_sec\": {\n  }"));
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Per-stage wall-clock measurement of the scheduling pipeline.
+//!
+//! The engine's hot path decomposes into five named stages, and the `stage_ms`
+//! block of the schema-v3 `BENCH_results.json` records what each of them
+//! costs on the multimedia benchmark set:
+//!
+//! | stage               | what is measured                                     |
+//! |---------------------|------------------------------------------------------|
+//! | `pareto`            | TCM design-time library build (Pareto-curve          |
+//! |                     | construction and pruning over every scenario)        |
+//! | `branch_bound`      | the exact branch & bound load-order search           |
+//! | `critical_set`      | the Fig. 4 critical-subtask selection loop           |
+//! | `list_scheduler`    | the run-time list-scheduling kernel (arena path)     |
+//! | `replacement_reuse` | slot-to-tile replacement + reuse detection kernels   |
+//!
+//! The design-time stages run through the classic one-shot entry points (that
+//! is what a design flow pays); the run-time stages run through the same
+//! allocation-free [`drhw_prefetch::PreparedSchedule`] kernels the simulation
+//! engine uses, so the numbers track the code that actually executes per
+//! iteration.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use drhw_model::Platform;
+use drhw_prefetch::{
+    BranchBoundScheduler, CriticalSetAnalysis, PrefetchProblem, PrefetchScheduler,
+    PreparedSchedule, ReplacementPolicy, Scratch, TileContents,
+};
+use drhw_tcm::{DesignTimeLibrary, DesignTimeScheduler};
+use drhw_workloads::multimedia::{
+    fully_parallel_schedule, jpeg_decoder_graph, mpeg_encoder_graph, parallel_jpeg_graph,
+    pattern_recognition_graph, MpegFrame,
+};
+use drhw_workloads::{MultimediaWorkload, Workload};
+
+/// Names of the five pipeline stages, in the order they are reported.
+pub const STAGE_NAMES: [&str; 5] = [
+    "pareto",
+    "branch_bound",
+    "critical_set",
+    "list_scheduler",
+    "replacement_reuse",
+];
+
+/// Wall clock spent in each pipeline stage, in milliseconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageTimings {
+    /// TCM design-time library build (Pareto-curve construction + pruning).
+    pub pareto_ms: f64,
+    /// Exact branch & bound load-order search over the benchmark graphs.
+    pub branch_bound_ms: f64,
+    /// The critical-subtask selection loop (Fig. 4).
+    pub critical_set_ms: f64,
+    /// The run-time list-scheduling kernel.
+    pub list_scheduler_ms: f64,
+    /// Replacement mapping plus reuse detection kernels.
+    pub replacement_reuse_ms: f64,
+}
+
+impl StageTimings {
+    /// The timings as `(stage, milliseconds)` pairs in [`STAGE_NAMES`] order,
+    /// ready for [`RunTiming::stage_ms`](crate::report::RunTiming::stage_ms).
+    pub fn as_pairs(&self) -> Vec<(String, f64)> {
+        vec![
+            (STAGE_NAMES[0].to_string(), self.pareto_ms),
+            (STAGE_NAMES[1].to_string(), self.branch_bound_ms),
+            (STAGE_NAMES[2].to_string(), self.critical_set_ms),
+            (STAGE_NAMES[3].to_string(), self.list_scheduler_ms),
+            (STAGE_NAMES[4].to_string(), self.replacement_reuse_ms),
+        ]
+    }
+}
+
+fn ms(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1e3
+}
+
+/// Measures every pipeline stage over the multimedia benchmark set, running
+/// each stage `rounds` times (the reported number is the *total* over all
+/// rounds, so more rounds mean proportionally larger but less noisy values).
+///
+/// # Panics
+///
+/// Panics if the multimedia benchmark graphs fail to schedule — they are
+/// static and well-formed, so that indicates a broken build.
+pub fn measure_stage_timings(rounds: usize) -> StageTimings {
+    let platform = Platform::virtex_like(16).expect("non-empty platform");
+    let graphs = [
+        pattern_recognition_graph(),
+        jpeg_decoder_graph(),
+        parallel_jpeg_graph(),
+        mpeg_encoder_graph(MpegFrame::P),
+    ];
+    let schedules: Vec<_> = graphs
+        .iter()
+        .map(|g| fully_parallel_schedule(g).expect("benchmark graphs are well-formed"))
+        .collect();
+    let mut timings = StageTimings::default();
+
+    // Stage: Pareto pruning — the TCM design-time library over the full set.
+    let set = MultimediaWorkload.task_set();
+    let started = Instant::now();
+    for _ in 0..rounds {
+        black_box(
+            DesignTimeLibrary::build(&set, &platform, &DesignTimeScheduler::new())
+                .expect("benchmark set builds"),
+        );
+    }
+    timings.pareto_ms = ms(started);
+
+    // Stage: branch & bound — the exact load-order search, worst case (all
+    // loads needed).
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for (graph, schedule) in graphs.iter().zip(&schedules) {
+            let problem = PrefetchProblem::new(graph, schedule, &platform)
+                .expect("benchmark graphs fit the platform");
+            black_box(
+                BranchBoundScheduler::new()
+                    .schedule(&problem)
+                    .expect("benchmark graphs schedule cleanly"),
+            );
+        }
+    }
+    timings.branch_bound_ms = ms(started);
+
+    // Stage: critical-set loop — the Fig. 4 selection (which itself invokes
+    // the scheduler repeatedly; measured as the whole loop).
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for (graph, schedule) in graphs.iter().zip(&schedules) {
+            black_box(
+                CriticalSetAnalysis::compute(graph, schedule, &platform)
+                    .expect("benchmark graphs schedule cleanly"),
+            );
+        }
+    }
+    timings.critical_set_ms = ms(started);
+
+    // The run-time stages go through the arena kernels — the code the
+    // simulation engine actually runs per iteration.
+    let prepared: Vec<_> = graphs
+        .iter()
+        .zip(&schedules)
+        .map(|(graph, schedule)| {
+            PreparedSchedule::new(graph, schedule.clone(), &platform)
+                .expect("benchmark graphs fit the platform")
+        })
+        .collect();
+    let mut scratch = Scratch::new();
+
+    // Stage: list scheduler — cold-start run-time scheduling of every graph.
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for p in &prepared {
+            p.clear_residency(&mut scratch);
+            black_box(p.evaluate_list(&mut scratch).expect("kernel runs"));
+        }
+    }
+    timings.list_scheduler_ms = ms(started);
+
+    // Stage: replacement + reuse — slot-to-tile mapping, reuse detection and
+    // the contents update, against an evolving tile state.
+    let mut contents = TileContents::new(platform.tile_count());
+    let started = Instant::now();
+    for round in 0..rounds {
+        for p in &prepared {
+            scratch.set_protected(std::iter::empty());
+            p.assign_tiles_into(&contents, ReplacementPolicy::ReuseAware, &mut scratch)
+                .expect("kernel runs");
+            black_box(p.mark_reusable(&contents, &mut scratch));
+            p.apply_to_contents(
+                &mut contents,
+                &scratch,
+                drhw_model::Time::from_millis(round as u64 + 1),
+            );
+        }
+    }
+    timings.replacement_reuse_ms = ms(started);
+
+    timings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_timings_cover_every_stage_with_positive_values() {
+        let timings = measure_stage_timings(1);
+        let pairs = timings.as_pairs();
+        let names: Vec<&str> = pairs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, STAGE_NAMES);
+        for (name, value) in &pairs {
+            assert!(
+                value.is_finite() && *value >= 0.0,
+                "{name} must be a finite non-negative wall clock, got {value}"
+            );
+        }
+        // The stages do real work, so the total cannot be exactly zero.
+        assert!(pairs.iter().map(|(_, v)| v).sum::<f64>() > 0.0);
+    }
+}

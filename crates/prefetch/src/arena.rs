@@ -1,0 +1,1181 @@
+//! Allocation-free per-activation evaluation kernels.
+//!
+//! The dynamic simulation evaluates the same (graph, initial schedule,
+//! platform) triple thousands of times with different residency states. The
+//! classic entry points ([`PrefetchProblem`](crate::PrefetchProblem) plus the
+//! [`PrefetchScheduler`](crate::PrefetchScheduler) implementations) rebuild
+//! the graph analysis, the topological order and a handful of vectors on
+//! every call — fine for one-shot use, wasteful in a hot loop.
+//!
+//! This module splits that work in two:
+//!
+//! * [`PreparedSchedule`] owns everything that is *activation-independent* —
+//!   the graph analysis, the combined topological order, the per-PE
+//!   predecessor of every subtask, the per-slot first subtask and desired
+//!   configuration — computed once per (task, scenario) pair.
+//! * [`Scratch`] owns every buffer the per-activation kernels write into.
+//!   One scratch per worker thread; buffers are pre-sized with
+//!   [`Scratch::reserve`] and only ever `clear()`-ed between activations, so
+//!   a warm evaluation loop performs **zero heap allocations**.
+//!
+//! The kernels replicate the classic implementations *exactly* — same
+//! traversal orders, same tie-breaking comparators, same chunk semantics —
+//! so their results are bit-for-bit identical to the
+//! [`executor`](crate::executor)-based path. The differential oracle corpus
+//! (`drhw-oracle`) enforces that equivalence on every CI run.
+
+use drhw_model::{
+    ConfigId, GraphAnalysis, InitialSchedule, PeAssignment, Platform, SubtaskGraph, SubtaskId,
+    TileId, TileSlot, Time,
+};
+
+use crate::error::PrefetchError;
+use crate::hybrid::HybridPrefetch;
+use crate::inter_task::InterTaskWindow;
+use crate::replacement::ReplacementPolicy;
+use crate::reuse::TileContents;
+
+/// One (graph, initial schedule, platform) triple prepared for repeated
+/// evaluation: every activation-independent artifact is computed once here
+/// and borrowed by the per-activation kernels.
+#[derive(Debug)]
+pub struct PreparedSchedule<'a> {
+    graph: &'a SubtaskGraph,
+    platform: &'a Platform,
+    schedule: InitialSchedule,
+    analysis: GraphAnalysis,
+    /// Combined (precedence + per-PE order) topological order, the traversal
+    /// order of the timing loop.
+    topo: Vec<SubtaskId>,
+    /// The subtask scheduled immediately before each subtask on the same PE.
+    pred_on_pe: Vec<Option<SubtaskId>>,
+    /// Makespan of the schedule under zero reconfiguration latency.
+    ideal: Time,
+    /// First subtask executed on each abstract tile slot.
+    first_on_slot: Vec<Option<SubtaskId>>,
+    /// The configuration each slot wants to find already loaded (the one of
+    /// its first DRHW subtask).
+    desired_configs: Vec<Option<ConfigId>>,
+    /// `desired_configs` flattened in slot order (the replacement module's
+    /// "wanted" list).
+    wanted_configs: Vec<ConfigId>,
+    /// Number of DRHW subtasks in the graph.
+    drhw_count: usize,
+}
+
+impl<'a> PreparedSchedule<'a> {
+    /// Prepares a schedule for repeated evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is invalid or the schedule needs more
+    /// tile slots than the platform has tiles.
+    pub fn new(
+        graph: &'a SubtaskGraph,
+        schedule: InitialSchedule,
+        platform: &'a Platform,
+    ) -> Result<Self, PrefetchError> {
+        graph.validate()?;
+        if schedule.slot_count() > platform.tile_count() {
+            return Err(PrefetchError::NotEnoughTiles {
+                required: schedule.slot_count(),
+                available: platform.tile_count(),
+            });
+        }
+        let analysis = GraphAnalysis::new(graph)?;
+        let ideal = schedule.ideal_timing(graph)?.makespan();
+        let topo = schedule.combined_topological_order(graph)?;
+        let pred_on_pe = graph
+            .ids()
+            .map(|id| schedule.predecessor_on_pe(id))
+            .collect();
+        let first_on_slot: Vec<Option<SubtaskId>> = (0..schedule.slot_count())
+            .map(|s| schedule.first_on_slot(TileSlot::new(s)))
+            .collect();
+        let desired_configs: Vec<Option<ConfigId>> = first_on_slot
+            .iter()
+            .map(|first| first.and_then(|id| graph.required_config(id)))
+            .collect();
+        let wanted_configs = desired_configs.iter().flatten().copied().collect();
+        let drhw_count = graph.drhw_subtasks().len();
+        Ok(PreparedSchedule {
+            graph,
+            platform,
+            schedule,
+            analysis,
+            topo,
+            pred_on_pe,
+            ideal,
+            first_on_slot,
+            desired_configs,
+            wanted_configs,
+            drhw_count,
+        })
+    }
+
+    /// The graph being scheduled.
+    pub fn graph(&self) -> &'a SubtaskGraph {
+        self.graph
+    }
+
+    /// The prepared initial schedule.
+    pub fn schedule(&self) -> &InitialSchedule {
+        &self.schedule
+    }
+
+    /// The target platform.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// The precedence-only analysis (criticality weights).
+    pub fn analysis(&self) -> &GraphAnalysis {
+        &self.analysis
+    }
+
+    /// Makespan of the schedule with zero reconfiguration latency.
+    pub fn ideal_makespan(&self) -> Time {
+        self.ideal
+    }
+
+    /// Number of DRHW subtasks in the graph.
+    pub fn drhw_count(&self) -> usize {
+        self.drhw_count
+    }
+
+    /// The paper's criticality weight of a subtask.
+    fn weight(&self, id: SubtaskId) -> Time {
+        self.analysis.weight(id)
+    }
+
+    /// Chooses a physical tile for every abstract slot, writing the mapping
+    /// into `scratch.slot_to_tile`. Replicates
+    /// [`assign_tiles_protecting`](crate::assign_tiles_protecting) exactly;
+    /// `protected` must be sorted (it is only binary-searched).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefetchError::NotEnoughTiles`] if the schedule uses more
+    /// slots than `contents` tracks tiles.
+    pub fn assign_tiles_into(
+        &self,
+        contents: &TileContents,
+        policy: ReplacementPolicy,
+        scratch: &mut Scratch,
+    ) -> Result<(), PrefetchError> {
+        let slots = self.schedule.slot_count();
+        let tiles = contents.tile_count();
+        if slots > tiles {
+            return Err(PrefetchError::NotEnoughTiles {
+                required: slots,
+                available: tiles,
+            });
+        }
+        let Scratch {
+            slot_to_tile,
+            assigned,
+            taken,
+            free,
+            protected,
+            ..
+        } = scratch;
+        slot_to_tile.clear();
+        match policy {
+            ReplacementPolicy::Direct => {
+                slot_to_tile.extend((0..slots).map(TileId::new));
+            }
+            ReplacementPolicy::LeastRecentlyUsed => {
+                free.clear();
+                free.extend((0..tiles).map(TileId::new));
+                // The (last_used, index) key is a strict total order, so the
+                // unstable sort is deterministic and matches the classic
+                // stable sort without its merge buffer.
+                free.sort_unstable_by_key(|&t| (contents.last_used(t), t.index()));
+                slot_to_tile.extend(free.iter().take(slots).copied());
+            }
+            ReplacementPolicy::ReuseAware => {
+                assigned.clear();
+                assigned.resize(slots, None);
+                taken.clear();
+                taken.resize(tiles, false);
+                // Pass 1: give every slot a tile that already holds its first
+                // configuration (greedy, slot order, lowest matching tile).
+                for (slot, desired) in self.desired_configs.iter().enumerate() {
+                    let Some(config) = desired else { continue };
+                    let hit = (0..tiles)
+                        .map(TileId::new)
+                        .find(|t| !taken[t.index()] && contents.config_on(*t) == Some(*config));
+                    if let Some(tile) = hit {
+                        assigned[slot] = Some(tile);
+                        taken[tile.index()] = true;
+                    }
+                }
+                // Pass 2: fill the rest with free tiles, evicting tiles whose
+                // content nobody wants first, oldest first.
+                free.clear();
+                free.extend((0..tiles).map(TileId::new).filter(|t| !taken[t.index()]));
+                free.sort_unstable_by_key(|&t| {
+                    let holds_wanted = contents
+                        .config_on(t)
+                        .map(|c| self.wanted_configs.contains(&c))
+                        .unwrap_or(false);
+                    let holds_protected = contents
+                        .config_on(t)
+                        .map(|c| protected.binary_search(&c).is_ok())
+                        .unwrap_or(false);
+                    (
+                        holds_wanted,
+                        holds_protected,
+                        contents.last_used(t),
+                        t.index(),
+                    )
+                });
+                let mut free_iter = free.iter().copied();
+                slot_to_tile.extend(assigned.iter().map(|slot_tile| {
+                    slot_tile.unwrap_or_else(|| {
+                        free_iter
+                            .next()
+                            .expect("slot count was checked against tile count")
+                    })
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks in `scratch.resident` the subtasks that can reuse a
+    /// configuration already resident on the physical tile their slot is
+    /// mapped to (per `scratch.slot_to_tile`), returning how many there are.
+    /// Replicates [`reusable_subtasks`](crate::reusable_subtasks).
+    pub fn mark_reusable(&self, contents: &TileContents, scratch: &mut Scratch) -> usize {
+        let n = self.graph.len();
+        scratch.resident.clear();
+        scratch.resident.resize(n, false);
+        let mut count = 0usize;
+        for (slot, first) in self.first_on_slot.iter().enumerate() {
+            let Some(first) = first else { continue };
+            let Some(required) = self.graph.required_config(*first) else {
+                continue;
+            };
+            if slot < scratch.slot_to_tile.len()
+                && contents.config_on(scratch.slot_to_tile[slot]) == Some(required)
+            {
+                scratch.resident[first.index()] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Clears the residency mask (for policies that cannot exploit reuse).
+    pub fn clear_residency(&self, scratch: &mut Scratch) {
+        scratch.resident.clear();
+        scratch.resident.resize(self.graph.len(), false);
+    }
+
+    /// Applies the effect of executing this schedule to the tile contents:
+    /// every slot's tile ends up holding the configuration of the last DRHW
+    /// subtask executed on it, stamped `now`. Replicates
+    /// [`apply_schedule_to_contents`](crate::apply_schedule_to_contents)
+    /// against `scratch.slot_to_tile`.
+    pub fn apply_to_contents(&self, contents: &mut TileContents, scratch: &Scratch, now: Time) {
+        for (slot, &tile) in scratch.slot_to_tile.iter().enumerate() {
+            let subtasks = self
+                .schedule
+                .subtasks_on(PeAssignment::Tile(TileSlot::new(slot)));
+            let last_config = subtasks
+                .iter()
+                .rev()
+                .find_map(|&id| self.graph.required_config(id));
+            if let Some(config) = last_config {
+                contents.record_load(tile, config, now);
+            }
+        }
+    }
+
+    /// Computes which subtasks need a configuration load given a residency
+    /// mask, honouring intra-task reuse. Replicates the private
+    /// `compute_needs_load` of [`PrefetchProblem`](crate::PrefetchProblem).
+    fn needs_load_into(&self, resident: &[bool], needs: &mut Vec<bool>) {
+        needs.clear();
+        needs.resize(self.graph.len(), false);
+        for slot_index in 0..self.schedule.slot_count() {
+            let slot = PeAssignment::Tile(TileSlot::new(slot_index));
+            let mut current: Option<ConfigId> = None;
+            for (position, &id) in self.schedule.subtasks_on(slot).iter().enumerate() {
+                let Some(required) = self.graph.required_config(id) else {
+                    continue;
+                };
+                let externally_resident = position == 0 && resident[id.index()];
+                let later_resident = position > 0 && resident[id.index()] && current.is_none();
+                if Some(required) == current || externally_resident || later_resident {
+                    current = Some(required);
+                    continue;
+                }
+                needs[id.index()] = true;
+                current = Some(required);
+            }
+        }
+    }
+
+    /// Scores the on-demand (no-prefetch) policy with nothing resident.
+    ///
+    /// The outcome is activation-independent, so callers normally invoke this
+    /// once at preparation time and cache the summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-loop errors.
+    pub fn evaluate_on_demand_cold(
+        &self,
+        scratch: &mut Scratch,
+    ) -> Result<ExecSummary, PrefetchError> {
+        self.clear_residency(scratch);
+        let Scratch {
+            resident,
+            needs_base,
+            exec_finish,
+            loaded_at,
+            pending,
+            ..
+        } = scratch;
+        self.needs_load_into(resident, needs_base);
+        simulate_core(
+            self,
+            needs_base,
+            Strategy::OnDemand,
+            Time::ZERO,
+            Time::ZERO,
+            exec_finish,
+            loaded_at,
+            pending,
+        )
+    }
+
+    /// Scores the run-time list-scheduling policy against the residency mask
+    /// currently in `scratch.resident`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-loop errors.
+    pub fn evaluate_list(&self, scratch: &mut Scratch) -> Result<ExecSummary, PrefetchError> {
+        let Scratch {
+            resident,
+            needs_base,
+            exec_finish,
+            loaded_at,
+            pending,
+            ..
+        } = scratch;
+        self.needs_load_into(resident, needs_base);
+        simulate_core(
+            self,
+            needs_base,
+            Strategy::ListByWeight,
+            Time::ZERO,
+            Time::ZERO,
+            exec_finish,
+            loaded_at,
+            pending,
+        )
+    }
+
+    /// Scores the run-time policy with the §6 inter-task optimization: the
+    /// most critical loads that fit in `window` are preloaded before the task
+    /// starts. Returns the body summary and the number of preloaded loads
+    /// (the caller adds them to the performed-load count and derives the next
+    /// window from the summary's trailing idle time).
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-loop errors.
+    pub fn evaluate_inter_task(
+        &self,
+        window: InterTaskWindow,
+        scratch: &mut Scratch,
+    ) -> Result<(ExecSummary, usize), PrefetchError> {
+        let latency = self.platform.reconfig_latency();
+        let Scratch {
+            resident,
+            aux_resident,
+            needs_base,
+            needs_aux,
+            order_a,
+            exec_finish,
+            loaded_at,
+            pending,
+            ..
+        } = scratch;
+        self.needs_load_into(resident, needs_base);
+        // The pending loads by decreasing criticality weight — the order the
+        // initialization phase would load them in.
+        order_a.clear();
+        order_a.extend(self.graph.ids().filter(|id| needs_base[id.index()]));
+        order_a.sort_unstable_by(|a, b| {
+            self.weight(*b)
+                .cmp(&self.weight(*a))
+                .then(a.index().cmp(&b.index()))
+        });
+        let fit = window.whole_loads(latency).min(order_a.len());
+        // Extended residency: what the preloads leave on the tiles.
+        aux_resident.clear();
+        aux_resident.extend_from_slice(resident);
+        for &id in order_a.iter().take(fit) {
+            aux_resident[id.index()] = true;
+        }
+        self.needs_load_into(aux_resident, needs_aux);
+        let summary = simulate_core(
+            self,
+            needs_aux,
+            Strategy::ListByWeight,
+            Time::ZERO,
+            Time::ZERO,
+            exec_finish,
+            loaded_at,
+            pending,
+        )?;
+        Ok((summary, fit))
+    }
+
+    /// Scores one activation of the hybrid heuristic against the residency
+    /// mask currently in `scratch.resident`. Replicates
+    /// [`HybridPrefetch::evaluate`] (runtime decision + body simulation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-loop errors.
+    pub fn evaluate_hybrid(
+        &self,
+        hybrid: &HybridPrefetch,
+        window: InterTaskWindow,
+        scratch: &mut Scratch,
+    ) -> Result<HybridSummary, PrefetchError> {
+        let latency = self.platform.reconfig_latency();
+        let critical = hybrid.critical();
+        let Scratch {
+            resident,
+            aux_resident,
+            needs_base,
+            needs_aux,
+            needs_body,
+            order_a,
+            order_b,
+            exec_finish,
+            loaded_at,
+            pending,
+            ..
+        } = scratch;
+        self.needs_load_into(resident, needs_base);
+        // Assumed residency: the critical set on top of what is resident.
+        aux_resident.clear();
+        aux_resident.extend_from_slice(resident);
+        for &id in critical.critical_subtasks() {
+            aux_resident[id.index()] = true;
+        }
+        self.needs_load_into(aux_resident, needs_aux);
+
+        // Critical subtasks whose residency assumption must be realised by
+        // the initialization phase, most critical first; the prefix that fits
+        // in the inter-task window is preloaded for free.
+        order_a.clear();
+        order_a.extend(
+            critical
+                .critical_subtasks()
+                .iter()
+                .copied()
+                .filter(|id| needs_base[id.index()] && !needs_aux[id.index()]),
+        );
+        let preloaded = window.whole_loads(latency).min(order_a.len());
+        let init_count = order_a.len() - preloaded;
+        let init_duration = latency * init_count as u64;
+
+        // Body loads: the stored order minus cancelled loads, plus any load
+        // the stored order does not cover, in subtask-id order.
+        order_b.clear();
+        order_b.extend(
+            critical
+                .stored_load_order()
+                .iter()
+                .copied()
+                .filter(|id| needs_aux[id.index()]),
+        );
+        for (index, &needed) in needs_aux.iter().enumerate() {
+            let id = SubtaskId::new(index);
+            if needed && !order_b.contains(&id) {
+                order_b.push(id);
+            }
+        }
+        let cancelled = critical
+            .stored_load_order()
+            .iter()
+            .filter(|id| !needs_aux[id.index()])
+            .count();
+
+        // During the body the initialization and preloaded configurations are
+        // resident, and nothing starts before the initialization phase ends.
+        aux_resident.clear();
+        aux_resident.extend_from_slice(resident);
+        for &id in order_a.iter() {
+            aux_resident[id.index()] = true;
+        }
+        self.needs_load_into(aux_resident, needs_body);
+        // The classic path validates the stored order against the body
+        // problem's loads; replicate that contract.
+        let body_load_count = needs_body.iter().filter(|&&b| b).count();
+        if order_b.len() != body_load_count {
+            let id = order_b
+                .iter()
+                .copied()
+                .find(|id| !needs_body[id.index()])
+                .unwrap_or(SubtaskId::new(0));
+            return Err(PrefetchError::InvalidLoadOrder { id });
+        }
+        if let Some(&id) = order_b.iter().find(|id| !needs_body[id.index()]) {
+            return Err(PrefetchError::InvalidLoadOrder { id });
+        }
+
+        let summary = simulate_core(
+            self,
+            needs_body,
+            Strategy::Fixed(order_b),
+            init_duration,
+            init_duration,
+            exec_finish,
+            loaded_at,
+            pending,
+        )?;
+        Ok(HybridSummary {
+            penalty: summary.penalty,
+            loads_performed: init_count + order_b.len(),
+            preloaded,
+            cancelled,
+            trailing_port_idle: summary.trailing_port_idle,
+        })
+    }
+}
+
+/// What the per-activation timing loop reports back to the simulation:
+/// everything the aggregate statistics need, without materialising the timed
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSummary {
+    /// Reconfiguration penalty versus the ideal makespan.
+    pub penalty: Time,
+    /// Number of loads the reconfiguration port performed.
+    pub loads: usize,
+    /// Idle time the port offers at the end of the task (for the inter-task
+    /// optimization of the next activation).
+    pub trailing_port_idle: Time,
+}
+
+/// The hybrid policy's per-activation summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridSummary {
+    /// Reconfiguration penalty (initialization phase plus body stalls).
+    pub penalty: Time,
+    /// Loads performed by this activation (initialization + body, excluding
+    /// loads hidden in the previous task's window).
+    pub loads_performed: usize,
+    /// Critical loads hidden entirely inside the previous task's idle window.
+    pub preloaded: usize,
+    /// Stored loads cancelled because their configuration was resident.
+    pub cancelled: usize,
+    /// Idle time the port offers at the end of the task.
+    pub trailing_port_idle: Time,
+}
+
+/// Every buffer the per-activation kernels write into. One instance per
+/// worker thread; create it once, [`reserve`](Scratch::reserve) it to the
+/// largest graph it will see, and reuse it for every activation — the kernels
+/// only `clear()` and refill, so a warm loop never touches the allocator.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Residency mask consumed by the evaluation kernels (one flag per
+    /// subtask). Fill via [`PreparedSchedule::mark_reusable`] or
+    /// [`PreparedSchedule::clear_residency`].
+    pub(crate) resident: Vec<bool>,
+    /// Secondary residency mask (assumed / extended residency).
+    aux_resident: Vec<bool>,
+    /// Needs-load mask under the primary residency.
+    needs_base: Vec<bool>,
+    /// Needs-load mask under the secondary residency.
+    needs_aux: Vec<bool>,
+    /// Needs-load mask of the hybrid body problem.
+    needs_body: Vec<bool>,
+    /// Weight-ordered load list / hybrid initialization loads.
+    order_a: Vec<SubtaskId>,
+    /// Hybrid body load order.
+    order_b: Vec<SubtaskId>,
+    /// Execution finish times of the timing loop (`None` = not yet timed).
+    exec_finish: Vec<Option<Time>>,
+    /// Instant each load completes (`None` = not yet loaded).
+    loaded_at: Vec<Option<Time>>,
+    /// Loads the port still has to perform, in ascending subtask-id order.
+    pending: Vec<SubtaskId>,
+    /// The slot-to-tile mapping the replacement kernel produces.
+    pub(crate) slot_to_tile: Vec<TileId>,
+    /// Per-slot assignment working buffer of the reuse-aware mapping.
+    assigned: Vec<Option<TileId>>,
+    /// Per-tile "already taken" flags of the reuse-aware mapping.
+    taken: Vec<bool>,
+    /// Free-tile candidate list of the replacement kernels.
+    free: Vec<TileId>,
+    /// Sorted configurations the upcoming tasks want kept resident.
+    protected: Vec<ConfigId>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch. Buffers grow on first use; call
+    /// [`reserve`](Scratch::reserve) to pre-size them and make even the first
+    /// activation allocation-free.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Pre-sizes every buffer for graphs of up to `subtasks` subtasks,
+    /// schedules of up to `slots` slots, platforms of up to `tiles` tiles and
+    /// protected-configuration lists of up to `configs` entries.
+    pub fn reserve(&mut self, subtasks: usize, slots: usize, tiles: usize, configs: usize) {
+        self.resident.reserve(subtasks);
+        self.aux_resident.reserve(subtasks);
+        self.needs_base.reserve(subtasks);
+        self.needs_aux.reserve(subtasks);
+        self.needs_body.reserve(subtasks);
+        self.order_a.reserve(subtasks);
+        self.order_b.reserve(subtasks);
+        self.exec_finish.reserve(subtasks);
+        self.loaded_at.reserve(subtasks);
+        self.pending.reserve(subtasks);
+        self.slot_to_tile.reserve(slots.max(tiles));
+        self.assigned.reserve(slots.max(tiles));
+        self.taken.reserve(tiles);
+        self.free.reserve(tiles);
+        self.protected.reserve(configs);
+    }
+
+    /// The slot-to-tile mapping most recently produced by
+    /// [`PreparedSchedule::assign_tiles_into`].
+    pub fn slot_to_tile(&self) -> &[TileId] {
+        &self.slot_to_tile
+    }
+
+    /// Replaces the protected-configuration list (the configurations upcoming
+    /// tasks will want, which the replacement kernel avoids evicting). The
+    /// list is sorted and deduplicated in place.
+    pub fn set_protected(&mut self, configs: impl IntoIterator<Item = ConfigId>) {
+        self.protected.clear();
+        self.protected.extend(configs);
+        self.protected.sort_unstable();
+        self.protected.dedup();
+    }
+}
+
+/// How the port chooses its next load (mirror of the executor's
+/// `LoadStrategy`, borrowing the fixed order from the scratch).
+enum Strategy<'o> {
+    Fixed(&'o [SubtaskId]),
+    ListByWeight,
+    OnDemand,
+}
+
+/// Earliest instant a subtask could start, ignoring its own load. `None`
+/// while a dependency is untimed.
+#[inline]
+fn ready_time(
+    prepared: &PreparedSchedule<'_>,
+    exec_finish: &[Option<Time>],
+    earliest_exec: Time,
+    id: SubtaskId,
+) -> Option<Time> {
+    let mut ready = earliest_exec;
+    for &p in prepared.graph.predecessors(id) {
+        ready = ready.max(exec_finish[p.index()]?);
+    }
+    if let Some(prev) = prepared.pred_on_pe[id.index()] {
+        ready = ready.max(exec_finish[prev.index()]?);
+    }
+    Some(ready)
+}
+
+/// Earliest instant the tile of `id` can accept a load. `None` while its
+/// previous occupant is untimed.
+#[inline]
+fn tile_available(
+    prepared: &PreparedSchedule<'_>,
+    exec_finish: &[Option<Time>],
+    id: SubtaskId,
+) -> Option<Time> {
+    match prepared.pred_on_pe[id.index()] {
+        Some(prev) => exec_finish[prev.index()],
+        None => Some(Time::ZERO),
+    }
+}
+
+/// The timing loop shared by every strategy: a scratch-buffer replica of the
+/// executor's `simulate` that reports only the aggregate summary instead of
+/// materialising execution and load windows.
+#[allow(clippy::too_many_arguments)]
+fn simulate_core(
+    prepared: &PreparedSchedule<'_>,
+    needs: &[bool],
+    strategy: Strategy<'_>,
+    earliest_exec: Time,
+    earliest_port: Time,
+    exec_finish: &mut Vec<Option<Time>>,
+    loaded_at: &mut Vec<Option<Time>>,
+    pending: &mut Vec<SubtaskId>,
+) -> Result<ExecSummary, PrefetchError> {
+    let graph = prepared.graph;
+    let latency = prepared.platform.reconfig_latency();
+    let n = graph.len();
+
+    exec_finish.clear();
+    exec_finish.resize(n, None);
+    loaded_at.clear();
+    loaded_at.resize(n, None);
+    pending.clear();
+    pending.extend(graph.ids().filter(|id| needs[id.index()]));
+    let total_loads = pending.len();
+
+    let mut port_free = earliest_port;
+    let mut last_load_finish: Option<Time> = None;
+    let mut fixed_cursor = 0usize;
+    let mut remaining_execs = n;
+    let mut exec_makespan = Time::ZERO;
+
+    while remaining_execs > 0 || !pending.is_empty() {
+        let mut progress = false;
+
+        // Phase 1: schedule every execution whose dependencies are all timed.
+        for &id in &prepared.topo {
+            if exec_finish[id.index()].is_some() {
+                continue;
+            }
+            let Some(ready) = ready_time(prepared, exec_finish, earliest_exec, id) else {
+                continue;
+            };
+            if needs[id.index()] && loaded_at[id.index()].is_none() {
+                continue;
+            }
+            let start = match loaded_at[id.index()] {
+                Some(resident) => ready.max(resident),
+                None => ready,
+            };
+            let finish = start + graph.subtask(id).exec_time();
+            exec_finish[id.index()] = Some(finish);
+            exec_makespan = exec_makespan.max(finish);
+            remaining_execs -= 1;
+            progress = true;
+        }
+
+        // Phase 2: let the port start (at most) one more load.
+        if !pending.is_empty() {
+            let pick = match &strategy {
+                Strategy::Fixed(order) => {
+                    while fixed_cursor < order.len()
+                        && loaded_at[order[fixed_cursor].index()].is_some()
+                    {
+                        fixed_cursor += 1;
+                    }
+                    order.get(fixed_cursor).and_then(|&next| {
+                        tile_available(prepared, exec_finish, next).map(|t| (next, t))
+                    })
+                }
+                Strategy::ListByWeight => {
+                    // Horizon: earliest instant any known-available load could
+                    // actually start.
+                    let mut earliest: Option<Time> = None;
+                    for &id in pending.iter() {
+                        if let Some(t) = tile_available(prepared, exec_finish, id) {
+                            earliest = Some(earliest.map_or(t, |e| e.min(t)));
+                        }
+                    }
+                    earliest.and_then(|e| {
+                        let horizon = e.max(port_free);
+                        let mut best: Option<(SubtaskId, Time)> = None;
+                        for &id in pending.iter() {
+                            let Some(t) = tile_available(prepared, exec_finish, id) else {
+                                continue;
+                            };
+                            if t > horizon {
+                                continue;
+                            }
+                            // Replicates `max_by(weight asc, index desc)`:
+                            // higher weight wins, lower index breaks ties.
+                            best = match best {
+                                None => Some((id, t)),
+                                Some((bid, _))
+                                    if prepared.weight(id) > prepared.weight(bid)
+                                        || (prepared.weight(id) == prepared.weight(bid)
+                                            && id.index() < bid.index()) =>
+                                {
+                                    Some((id, t))
+                                }
+                                keep => keep,
+                            };
+                        }
+                        best
+                    })
+                }
+                Strategy::OnDemand => {
+                    // Replicates `min_by(ready asc, weight desc, index asc)`:
+                    // the earliest requested load wins, most critical first.
+                    let mut best: Option<(SubtaskId, Time)> = None;
+                    for &id in pending.iter() {
+                        let Some(t) = ready_time(prepared, exec_finish, earliest_exec, id) else {
+                            continue;
+                        };
+                        best = match best {
+                            None => Some((id, t)),
+                            Some((bid, bt))
+                                if t < bt
+                                    || (t == bt && prepared.weight(id) > prepared.weight(bid))
+                                    || (t == bt
+                                        && prepared.weight(id) == prepared.weight(bid)
+                                        && id.index() < bid.index()) =>
+                            {
+                                Some((id, t))
+                            }
+                            keep => keep,
+                        };
+                    }
+                    best
+                }
+            };
+            if let Some((id, available)) = pick {
+                let start = port_free.max(available);
+                let finish = start + latency;
+                loaded_at[id.index()] = Some(finish);
+                port_free = finish;
+                last_load_finish = Some(finish);
+                pending.retain(|&p| p != id);
+                progress = true;
+            }
+        }
+
+        if !progress {
+            return Err(PrefetchError::DeadlockedOrder);
+        }
+    }
+
+    let port_busy_until = last_load_finish.unwrap_or(Time::ZERO);
+    Ok(ExecSummary {
+        penalty: exec_makespan.saturating_sub(prepared.ideal),
+        loads: total_loads,
+        trailing_port_idle: exec_makespan.saturating_sub(port_busy_until),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{simulate, LoadStrategy};
+    use crate::{
+        apply_schedule_to_contents, assign_tiles_protecting, plan_preloads, reusable_subtasks,
+        ListScheduler, OnDemandScheduler, PrefetchProblem, PrefetchScheduler, TileMapping,
+    };
+    use drhw_model::Subtask;
+    use std::collections::BTreeSet;
+
+    /// The Fig. 3 example plus an extra slot-sharing tail, to exercise
+    /// intra-task reuse and tile-occupancy constraints.
+    fn fig3() -> (SubtaskGraph, InitialSchedule, Platform) {
+        let mut g = SubtaskGraph::new("fig3");
+        let s1 = g.add_subtask(Subtask::new("1", Time::from_millis(10), ConfigId::new(1)));
+        let s2 = g.add_subtask(Subtask::new("2", Time::from_millis(12), ConfigId::new(2)));
+        let s3 = g.add_subtask(Subtask::new("3", Time::from_millis(6), ConfigId::new(3)));
+        let s4 = g.add_subtask(Subtask::new("4", Time::from_millis(8), ConfigId::new(4)));
+        g.add_dependency(s1, s2).unwrap();
+        g.add_dependency(s1, s3).unwrap();
+        g.add_dependency(s3, s4).unwrap();
+        let schedule = InitialSchedule::from_assignment(
+            &g,
+            vec![
+                PeAssignment::Tile(TileSlot::new(0)),
+                PeAssignment::Tile(TileSlot::new(1)),
+                PeAssignment::Tile(TileSlot::new(2)),
+                PeAssignment::Tile(TileSlot::new(0)),
+            ],
+        )
+        .unwrap();
+        let platform = Platform::virtex_like(3).unwrap();
+        (g, schedule, platform)
+    }
+
+    fn resident_masks(n: usize) -> Vec<BTreeSet<SubtaskId>> {
+        // Empty, every singleton, and the full set.
+        let mut masks = vec![BTreeSet::new()];
+        for i in 0..n {
+            masks.push([SubtaskId::new(i)].into_iter().collect());
+        }
+        masks.push((0..n).map(SubtaskId::new).collect());
+        masks
+    }
+
+    #[test]
+    fn list_kernel_matches_the_classic_list_scheduler() {
+        let (g, schedule, platform) = fig3();
+        let prepared = PreparedSchedule::new(&g, schedule.clone(), &platform).unwrap();
+        let mut scratch = Scratch::new();
+        for resident in resident_masks(g.len()) {
+            let problem =
+                PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+            let classic = ListScheduler::new().schedule(&problem).unwrap();
+            prepared.clear_residency(&mut scratch);
+            for &id in &resident {
+                scratch.resident[id.index()] = true;
+            }
+            let summary = prepared.evaluate_list(&mut scratch).unwrap();
+            assert_eq!(summary.penalty, classic.penalty(), "{resident:?}");
+            assert_eq!(summary.loads, classic.load_count(), "{resident:?}");
+            assert_eq!(
+                summary.trailing_port_idle,
+                classic.trailing_port_idle(),
+                "{resident:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn on_demand_kernel_matches_the_classic_scheduler() {
+        let (g, schedule, platform) = fig3();
+        let prepared = PreparedSchedule::new(&g, schedule.clone(), &platform).unwrap();
+        let mut scratch = Scratch::new();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let classic = OnDemandScheduler::new().schedule(&problem).unwrap();
+        let summary = prepared.evaluate_on_demand_cold(&mut scratch).unwrap();
+        assert_eq!(summary.penalty, classic.penalty());
+        assert_eq!(summary.loads, classic.load_count());
+    }
+
+    #[test]
+    fn inter_task_kernel_matches_the_classic_pipeline() {
+        let (g, schedule, platform) = fig3();
+        let prepared = PreparedSchedule::new(&g, schedule.clone(), &platform).unwrap();
+        let mut scratch = Scratch::new();
+        let latency = platform.reconfig_latency();
+        for resident in resident_masks(g.len()) {
+            for window_ms in [0u64, 4, 9, 100] {
+                let window = InterTaskWindow::new(Time::from_millis(window_ms));
+                // Classic pipeline, as run_iteration used to do it.
+                let base =
+                    PrefetchProblem::with_resident(&g, &schedule, &platform, &resident).unwrap();
+                let (preloaded, _) = plan_preloads(&base.loads_by_weight_desc(), window, latency);
+                let mut extended = resident.clone();
+                extended.extend(preloaded.iter().copied());
+                let problem =
+                    PrefetchProblem::with_resident(&g, &schedule, &platform, &extended).unwrap();
+                let classic = ListScheduler::new().schedule(&problem).unwrap();
+
+                prepared.clear_residency(&mut scratch);
+                for &id in &resident {
+                    scratch.resident[id.index()] = true;
+                }
+                let (summary, fit) = prepared.evaluate_inter_task(window, &mut scratch).unwrap();
+                assert_eq!(fit, preloaded.len(), "{resident:?} w={window_ms}");
+                assert_eq!(
+                    summary.penalty,
+                    classic.penalty(),
+                    "{resident:?} w={window_ms}"
+                );
+                assert_eq!(
+                    summary.loads,
+                    classic.load_count(),
+                    "{resident:?} w={window_ms}"
+                );
+                assert_eq!(
+                    summary.trailing_port_idle,
+                    classic.trailing_port_idle(),
+                    "{resident:?} w={window_ms}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_kernel_matches_the_classic_evaluate() {
+        let (g, schedule, platform) = fig3();
+        let hybrid = HybridPrefetch::compute(&g, &schedule, &platform).unwrap();
+        let prepared = PreparedSchedule::new(&g, schedule.clone(), &platform).unwrap();
+        let mut scratch = Scratch::new();
+        for resident in resident_masks(g.len()) {
+            for window_ms in [0u64, 4, 9, 100] {
+                let window = InterTaskWindow::new(Time::from_millis(window_ms));
+                let classic = hybrid
+                    .evaluate(&g, &schedule, &platform, &resident, window)
+                    .unwrap();
+                prepared.clear_residency(&mut scratch);
+                for &id in &resident {
+                    scratch.resident[id.index()] = true;
+                }
+                let summary = prepared
+                    .evaluate_hybrid(&hybrid, window, &mut scratch)
+                    .unwrap();
+                assert_eq!(
+                    summary.penalty,
+                    classic.penalty(),
+                    "{resident:?} w={window_ms}"
+                );
+                assert_eq!(
+                    summary.loads_performed,
+                    classic.loads_performed(),
+                    "{resident:?} w={window_ms}"
+                );
+                assert_eq!(
+                    summary.preloaded,
+                    classic.decision().preloaded.len(),
+                    "{resident:?} w={window_ms}"
+                );
+                assert_eq!(
+                    summary.cancelled,
+                    classic.decision().cancelled_loads.len(),
+                    "{resident:?} w={window_ms}"
+                );
+                assert_eq!(
+                    summary.trailing_port_idle,
+                    classic.trailing_window().remaining(),
+                    "{resident:?} w={window_ms}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replacement_and_reuse_kernels_match_the_classic_modules() {
+        let (g, schedule, platform) = fig3();
+        let prepared = PreparedSchedule::new(&g, schedule.clone(), &platform).unwrap();
+        let mut scratch = Scratch::new();
+        let mut contents = TileContents::new(platform.tile_count());
+        // A few activations' worth of evolving contents.
+        for step in 0..4u64 {
+            for policy in [
+                ReplacementPolicy::ReuseAware,
+                ReplacementPolicy::LeastRecentlyUsed,
+                ReplacementPolicy::Direct,
+            ] {
+                let protected: BTreeSet<ConfigId> =
+                    [ConfigId::new(2), ConfigId::new(7)].into_iter().collect();
+                let classic =
+                    assign_tiles_protecting(&g, &schedule, &contents, policy, &protected).unwrap();
+                scratch.set_protected(protected.iter().copied());
+                prepared
+                    .assign_tiles_into(&contents, policy, &mut scratch)
+                    .unwrap();
+                let tiles: Vec<TileId> = (0..classic.slot_count())
+                    .map(|s| classic.tile_of(TileSlot::new(s)))
+                    .collect();
+                assert_eq!(scratch.slot_to_tile(), &tiles[..], "{policy} step {step}");
+
+                let classic_resident = reusable_subtasks(&g, &schedule, &classic, &contents);
+                let count = prepared.mark_reusable(&contents, &mut scratch);
+                assert_eq!(count, classic_resident.len(), "{policy} step {step}");
+                for id in g.ids() {
+                    assert_eq!(
+                        scratch.resident[id.index()],
+                        classic_resident.contains(&id),
+                        "{policy} step {step} {id}"
+                    );
+                }
+            }
+            // Advance the contents the classic way and via the kernel; both
+            // must agree.
+            let mapping = assign_tiles_protecting(
+                &g,
+                &schedule,
+                &contents,
+                ReplacementPolicy::ReuseAware,
+                &BTreeSet::new(),
+            )
+            .unwrap();
+            let mut classic_contents = contents.clone();
+            apply_schedule_to_contents(
+                &g,
+                &schedule,
+                &mapping,
+                &mut classic_contents,
+                Time::from_millis(10 * (step + 1)),
+            );
+            scratch.set_protected(std::iter::empty());
+            prepared
+                .assign_tiles_into(&contents, ReplacementPolicy::ReuseAware, &mut scratch)
+                .unwrap();
+            prepared.apply_to_contents(&mut contents, &scratch, Time::from_millis(10 * (step + 1)));
+            assert_eq!(contents, classic_contents, "step {step}");
+        }
+    }
+
+    #[test]
+    fn fixed_strategy_matches_the_classic_executor() {
+        let (g, schedule, platform) = fig3();
+        let prepared = PreparedSchedule::new(&g, schedule.clone(), &platform).unwrap();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let list = ListScheduler::new().schedule(&problem).unwrap();
+        let replay = simulate(&problem, LoadStrategy::FixedOrder(list.load_order())).unwrap();
+        // Drive the core directly with the same fixed order.
+        let mut scratch = Scratch::new();
+        prepared.clear_residency(&mut scratch);
+        let Scratch {
+            resident,
+            needs_base,
+            exec_finish,
+            loaded_at,
+            pending,
+            ..
+        } = &mut scratch;
+        prepared.needs_load_into(resident, needs_base);
+        let summary = simulate_core(
+            &prepared,
+            needs_base,
+            Strategy::Fixed(list.load_order()),
+            Time::ZERO,
+            Time::ZERO,
+            exec_finish,
+            loaded_at,
+            pending,
+        )
+        .unwrap();
+        assert_eq!(summary.penalty, replay.penalty());
+        assert_eq!(summary.loads, replay.load_count());
+    }
+
+    #[test]
+    fn prepared_schedule_rejects_oversized_schedules() {
+        let (g, schedule, _) = fig3();
+        let small = Platform::virtex_like(2).unwrap();
+        let err = PreparedSchedule::new(&g, schedule, &small).unwrap_err();
+        assert_eq!(
+            err,
+            PrefetchError::NotEnoughTiles {
+                required: 3,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn accessors_expose_the_prepared_artifacts() {
+        let (g, schedule, platform) = fig3();
+        let ideal = schedule.ideal_timing(&g).unwrap().makespan();
+        let prepared = PreparedSchedule::new(&g, schedule, &platform).unwrap();
+        assert_eq!(prepared.ideal_makespan(), ideal);
+        assert_eq!(prepared.drhw_count(), 4);
+        assert_eq!(prepared.graph().len(), 4);
+        assert_eq!(prepared.schedule().slot_count(), 3);
+        assert_eq!(prepared.platform().tile_count(), 3);
+        assert_eq!(prepared.analysis().topological_order().len(), 4);
+        // TileMapping parity: identity mapping for the Direct policy.
+        let mut scratch = Scratch::new();
+        scratch.set_protected(std::iter::empty());
+        let contents = TileContents::new(3);
+        prepared
+            .assign_tiles_into(&contents, ReplacementPolicy::Direct, &mut scratch)
+            .unwrap();
+        let identity = TileMapping::identity(3);
+        for s in 0..3 {
+            assert_eq!(
+                scratch.slot_to_tile()[s],
+                identity.tile_of(TileSlot::new(s))
+            );
+        }
+    }
+}

@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 mod branch_bound;
 mod critical;
 mod design_time;
@@ -76,6 +77,7 @@ mod replacement;
 mod reuse;
 mod scheduler;
 
+pub use arena::{ExecSummary, HybridSummary, PreparedSchedule, Scratch};
 pub use branch_bound::{optimal_penalty, BranchBoundScheduler};
 pub use critical::CriticalSetAnalysis;
 pub use design_time::DesignTimePrefetch;

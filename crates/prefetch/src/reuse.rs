@@ -83,6 +83,20 @@ impl TileContents {
             *c = None;
         }
     }
+
+    /// Resets the tracker to the cold state of [`TileContents::new`]: every
+    /// tile empty *and* every LRU timestamp back to zero. Unlike
+    /// [`clear`](Self::clear) this is bit-identical to a freshly constructed
+    /// value, which is what the chunked simulation engine needs when it
+    /// reuses one tracker across chunk boundaries instead of reallocating.
+    pub fn reset(&mut self) {
+        for c in &mut self.configs {
+            *c = None;
+        }
+        for t in &mut self.last_used {
+            *t = Time::ZERO;
+        }
+    }
 }
 
 /// A mapping from the abstract tile slots of one schedule to physical tiles.

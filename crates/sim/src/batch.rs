@@ -87,9 +87,14 @@ impl<'p, 'a> SimBatch<'p, 'a> {
         slots.resize_with(jobs, || None);
 
         if workers <= 1 {
+            // One scratch for the whole sequential pass: per-iteration work
+            // reuses its buffers and never touches the allocator.
+            let mut scratch = self.plan.make_scratch();
             for (job, slot) in slots.iter_mut().enumerate() {
                 let policy = policies[job / chunk_count];
-                let outcome = self.plan.evaluate_chunk(policy, job % chunk_count);
+                let outcome =
+                    self.plan
+                        .evaluate_chunk_with(policy, job % chunk_count, &mut scratch);
                 let stop = outcome.is_err();
                 *slot = Some(outcome);
                 // Fail fast, as the pre-batch sequential runner did; the
@@ -104,25 +109,35 @@ impl<'p, 'a> SimBatch<'p, 'a> {
             let results = Mutex::new(&mut slots);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        // Check the failure flag BEFORE claiming: once a job
-                        // is claimed it is always evaluated and its slot
-                        // written, so the filled slots always form a prefix
-                        // of the job order and every error lands in it.
-                        if failed.load(Ordering::Relaxed) {
-                            break;
+                    scope.spawn(|| {
+                        // One scratch per worker, reused across every chunk
+                        // the worker claims.
+                        let mut scratch = self.plan.make_scratch();
+                        loop {
+                            // Check the failure flag BEFORE claiming: once a
+                            // job is claimed it is always evaluated and its
+                            // slot written, so the filled slots always form a
+                            // prefix of the job order and every error lands
+                            // in it.
+                            if failed.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let job = next.fetch_add(1, Ordering::Relaxed);
+                            if job >= jobs {
+                                break;
+                            }
+                            let policy = policies[job / chunk_count];
+                            let outcome = self.plan.evaluate_chunk_with(
+                                policy,
+                                job % chunk_count,
+                                &mut scratch,
+                            );
+                            if outcome.is_err() {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                            results.lock().expect("simulation workers never panic")[job] =
+                                Some(outcome);
                         }
-                        let job = next.fetch_add(1, Ordering::Relaxed);
-                        if job >= jobs {
-                            break;
-                        }
-                        let policy = policies[job / chunk_count];
-                        let outcome = self.plan.evaluate_chunk(policy, job % chunk_count);
-                        if outcome.is_err() {
-                            failed.store(true, Ordering::Relaxed);
-                        }
-                        results.lock().expect("simulation workers never panic")[job] =
-                            Some(outcome);
                     });
                 }
             });

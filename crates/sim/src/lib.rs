@@ -50,6 +50,7 @@ mod config;
 mod error;
 mod plan;
 mod runner;
+mod scratch;
 mod stats;
 
 pub use batch::SimBatch;
@@ -57,4 +58,5 @@ pub use config::{PointSelection, ScenarioPolicy, SimulationConfig, DEFAULT_CHUNK
 pub use error::SimError;
 pub use plan::IterationPlan;
 pub use runner::DynamicSimulation;
+pub use scratch::SimScratch;
 pub use stats::{IterationOutcome, SimulationReport};

@@ -19,13 +19,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use drhw_model::{
-    ConfigId, InitialSchedule, Platform, ScenarioId, SubtaskGraph, SubtaskId, Task, TaskId,
-    TaskSet, Time,
+    ConfigId, InitialSchedule, Platform, ScenarioId, SubtaskGraph, Task, TaskId, TaskSet,
 };
 use drhw_prefetch::{
-    apply_schedule_to_contents, assign_tiles_protecting, plan_preloads, reusable_subtasks,
-    DesignTimePrefetch, HybridPrefetch, InterTaskWindow, ListScheduler, OnDemandScheduler,
-    PolicyKind, PrefetchProblem, PrefetchScheduler, TileContents,
+    DesignTimePrefetch, ExecSummary, HybridPrefetch, InterTaskWindow, PolicyKind, PreparedSchedule,
 };
 use drhw_tcm::{DesignTimeLibrary, DesignTimeScheduler, RuntimeScheduler, TaskActivation};
 use rand::rngs::StdRng;
@@ -34,38 +31,24 @@ use rand::{Rng, SeedableRng};
 
 use crate::config::{PointSelection, ScenarioPolicy, SimulationConfig};
 use crate::error::SimError;
+use crate::scratch::SimScratch;
 use crate::stats::{IterationOutcome, StatsAccumulator};
 
-/// Everything the simulator precomputes for one (task, scenario) pair.
+/// Everything the simulator precomputes for one (task, scenario) pair:
+/// the prepared schedule (graph analysis, topological order, per-slot data),
+/// the design-time artifacts of the offline policies, and the
+/// activation-independent on-demand baseline outcome.
 #[derive(Debug)]
-struct ScenarioArtifacts {
-    schedule: InitialSchedule,
-    ideal: Time,
+struct ScenarioArtifacts<'a> {
+    prepared: PreparedSchedule<'a>,
     /// Configurations the scenario's DRHW subtasks require (protected from
     /// eviction while the scenario is still queued in the iteration).
     required_configs: Vec<ConfigId>,
     design_time: DesignTimePrefetch,
     hybrid: HybridPrefetch,
-}
-
-/// The mutable state one chunk of consecutive iterations threads along:
-/// which configurations the tiles hold, the trailing reconfiguration-port
-/// idle window of the previous task, and the simulated clock.
-#[derive(Debug)]
-struct ChunkState {
-    contents: TileContents,
-    window: InterTaskWindow,
-    now: Time,
-}
-
-impl ChunkState {
-    fn cold(tile_count: usize) -> Self {
-        ChunkState {
-            contents: TileContents::new(tile_count),
-            window: InterTaskWindow::empty(),
-            now: Time::ZERO,
-        }
-    }
+    /// The no-prefetch outcome with nothing resident — independent of the
+    /// tile state, so it is scored once here instead of on every iteration.
+    on_demand: ExecSummary,
 }
 
 /// A fully prepared simulation: design-time artifacts for every scenario of
@@ -79,7 +62,7 @@ pub struct IterationPlan<'a> {
     platform: &'a Platform,
     config: SimulationConfig,
     library: DesignTimeLibrary,
-    artifacts: BTreeMap<(TaskId, ScenarioId), ScenarioArtifacts>,
+    artifacts: BTreeMap<(TaskId, ScenarioId), ScenarioArtifacts<'a>>,
 }
 
 impl<'a> IterationPlan<'a> {
@@ -111,6 +94,7 @@ impl<'a> IterationPlan<'a> {
         // iterations. What IS worth skipping are scenarios a correlated
         // policy can never activate.
         let reachable = plan.reachable_scenarios();
+        let mut build_scratch = drhw_prefetch::Scratch::new();
         for task in task_set.tasks() {
             for scenario in task.scenarios() {
                 if let Some(reachable) = &reachable {
@@ -120,7 +104,6 @@ impl<'a> IterationPlan<'a> {
                 }
                 let graph = scenario.graph();
                 let schedule = plan.build_schedule(task.id(), scenario.id(), graph)?;
-                let ideal = schedule.ideal_timing(graph)?.makespan();
                 let required_configs = graph
                     .drhw_subtasks()
                     .into_iter()
@@ -128,14 +111,16 @@ impl<'a> IterationPlan<'a> {
                     .collect();
                 let design_time = DesignTimePrefetch::compute(graph, &schedule, platform)?;
                 let hybrid = HybridPrefetch::compute(graph, &schedule, platform)?;
+                let prepared = PreparedSchedule::new(graph, schedule, platform)?;
+                let on_demand = prepared.evaluate_on_demand_cold(&mut build_scratch)?;
                 plan.artifacts.insert(
                     (task.id(), scenario.id()),
                     ScenarioArtifacts {
-                        schedule,
-                        ideal,
+                        prepared,
                         required_configs,
                         design_time,
                         hybrid,
+                        on_demand,
                     },
                 );
             }
@@ -200,10 +185,34 @@ impl<'a> IterationPlan<'a> {
     /// sequence depends only on the master seed and `index`, so every policy
     /// sees exactly the same workload (paired comparisons).
     pub fn activations(&self, index: usize) -> Vec<(TaskId, ScenarioId)> {
-        self.pick_activations(index)
+        let mut buffer = Vec::new();
+        self.pick_activations_into(index, &mut buffer);
+        let tasks = self.task_set.tasks();
+        buffer
             .into_iter()
-            .map(|(task, scenario)| (task.id(), scenario))
+            .map(|(task_index, scenario)| (tasks[task_index].id(), scenario))
             .collect()
+    }
+
+    /// Creates a [`SimScratch`] whose buffers are pre-sized for this plan, so
+    /// evaluation through it never touches the allocator — not even on the
+    /// first iteration.
+    pub fn make_scratch(&self) -> SimScratch {
+        let mut subtasks = 0usize;
+        let mut slots = 0usize;
+        let mut configs = 0usize;
+        for artifacts in self.artifacts.values() {
+            subtasks = subtasks.max(artifacts.prepared.graph().len());
+            slots = slots.max(artifacts.prepared.schedule().slot_count());
+            configs += artifacts.required_configs.len();
+        }
+        SimScratch::with_capacity(
+            subtasks,
+            slots,
+            self.platform.tile_count(),
+            configs,
+            self.task_set.tasks().len(),
+        )
     }
 
     /// Scores one (policy, iteration) pair independently of any other.
@@ -217,6 +226,21 @@ impl<'a> IterationPlan<'a> {
     ///
     /// Returns an error if `index` is out of range or scheduling fails.
     pub fn evaluate(&self, policy: PolicyKind, index: usize) -> Result<IterationOutcome, SimError> {
+        self.evaluate_with(policy, index, &mut self.make_scratch())
+    }
+
+    /// Like [`evaluate`](Self::evaluate), reusing the caller's scratch
+    /// buffers — the allocation-free entry point for repeated scoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `index` is out of range or scheduling fails.
+    pub fn evaluate_with(
+        &self,
+        policy: PolicyKind,
+        index: usize,
+        scratch: &mut SimScratch,
+    ) -> Result<IterationOutcome, SimError> {
         if index >= self.config.iterations {
             return Err(SimError::IterationOutOfRange {
                 index,
@@ -224,11 +248,11 @@ impl<'a> IterationPlan<'a> {
             });
         }
         let chunk_start = index - index % self.config.chunk_size;
-        let mut state = ChunkState::cold(self.platform.tile_count());
+        scratch.reset_chunk();
         for warm in chunk_start..index {
-            self.run_iteration(policy, warm, &mut state)?;
+            self.run_iteration(policy, warm, scratch)?;
         }
-        self.run_iteration(policy, index, &mut state)
+        self.run_iteration(policy, index, scratch)
     }
 
     /// Scores every configured iteration of one policy in a single
@@ -249,122 +273,139 @@ impl<'a> IterationPlan<'a> {
     ///
     /// Returns the first scheduling error in iteration order.
     pub fn evaluate_run(&self, policy: PolicyKind) -> Result<Vec<IterationOutcome>, SimError> {
+        self.evaluate_run_with(policy, &mut self.make_scratch())
+    }
+
+    /// Like [`evaluate_run`](Self::evaluate_run), reusing the caller's
+    /// scratch buffers. Apart from the returned `Vec`, the pass performs no
+    /// heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scheduling error in iteration order.
+    pub fn evaluate_run_with(
+        &self,
+        policy: PolicyKind,
+        scratch: &mut SimScratch,
+    ) -> Result<Vec<IterationOutcome>, SimError> {
         let mut outcomes = Vec::with_capacity(self.config.iterations);
-        let mut state = ChunkState::cold(self.platform.tile_count());
         for index in 0..self.config.iterations {
             if index % self.config.chunk_size == 0 {
-                state = ChunkState::cold(self.platform.tile_count());
+                scratch.reset_chunk();
             }
-            outcomes.push(self.run_iteration(policy, index, &mut state)?);
+            outcomes.push(self.run_iteration(policy, index, scratch)?);
         }
         Ok(outcomes)
     }
 
     /// Evaluates every iteration of one chunk in order and returns their
     /// summed statistics. This is the unit of work the parallel engine
-    /// schedules onto threads.
-    pub(crate) fn evaluate_chunk(
+    /// schedules onto threads; workers pass their own long-lived scratch.
+    pub(crate) fn evaluate_chunk_with(
         &self,
         policy: PolicyKind,
         chunk: usize,
+        scratch: &mut SimScratch,
     ) -> Result<StatsAccumulator, SimError> {
         let start = chunk * self.config.chunk_size;
         let end = (start + self.config.chunk_size).min(self.config.iterations);
-        let mut state = ChunkState::cold(self.platform.tile_count());
+        scratch.reset_chunk();
         let mut stats = StatsAccumulator::default();
         for index in start..end {
-            let outcome = self.run_iteration(policy, index, &mut state)?;
+            let outcome = self.run_iteration(policy, index, scratch)?;
             stats.absorb(&outcome);
         }
         Ok(stats)
     }
 
-    /// Simulates one iteration on top of the given chunk state.
+    /// Simulates one iteration on top of the chunk state carried in
+    /// `scratch`. The steady-state loop body: no heap allocation happens in
+    /// here (enforced by the `alloc_free` integration test).
     fn run_iteration(
         &self,
         policy: PolicyKind,
         index: usize,
-        state: &mut ChunkState,
+        scratch: &mut SimScratch,
     ) -> Result<IterationOutcome, SimError> {
-        let latency = self.platform.reconfig_latency();
-        let activations = self.pick_activations(index);
+        self.pick_activations_into(index, &mut scratch.activations);
         let mut outcome = IterationOutcome::default();
+        let tasks = self.task_set.tasks();
 
-        for (position, &(task, scenario_id)) in activations.iter().enumerate() {
+        for position in 0..scratch.activations.len() {
+            let (task_index, scenario_id) = scratch.activations[position];
+            let task = &tasks[task_index];
             let key = (task.id(), scenario_id);
             // A correlated scenario policy can name a scenario the task does
             // not define; report it as the scheduling error it is rather
             // than panicking inside a worker thread.
-            let (artifacts, scenario) = self
+            let (artifacts, _scenario) = self
                 .artifacts
                 .get(&key)
                 .zip(task.scenario(scenario_id))
                 .ok_or(drhw_tcm::TcmError::UnknownScenario {
-                    task: task.id(),
-                    scenario: scenario_id,
-                })?;
-            let graph = scenario.graph();
-            let schedule = &artifacts.schedule;
-            let ideal = artifacts.ideal;
+                task: task.id(),
+                scenario: scenario_id,
+            })?;
+            let prepared = &artifacts.prepared;
+            let ideal = prepared.ideal_makespan();
 
             // The run-time scheduler knows which tasks follow in this
             // iteration; the replacement module avoids evicting the
             // configurations they are about to need.
-            let protected: BTreeSet<ConfigId> = activations[position + 1..]
-                .iter()
-                .filter_map(|&(t, s)| self.artifacts.get(&(t.id(), s)))
-                .flat_map(|a| a.required_configs.iter().copied())
-                .collect();
-            let mapping = assign_tiles_protecting(
-                graph,
-                schedule,
-                &state.contents,
+            {
+                let SimScratch {
+                    prefetch,
+                    activations,
+                    ..
+                } = scratch;
+                let upcoming = activations[position + 1..]
+                    .iter()
+                    .filter_map(|&(t, s)| self.artifacts.get(&(tasks[t].id(), s)))
+                    .flat_map(|a| a.required_configs.iter().copied());
+                prefetch.set_protected(upcoming);
+            }
+            prepared.assign_tiles_into(
+                &scratch.contents,
                 self.config.replacement,
-                &protected,
+                &mut scratch.prefetch,
             )?;
-            let resident: BTreeSet<SubtaskId> = if policy.exploits_reuse() {
-                reusable_subtasks(graph, schedule, &mapping, &state.contents)
+            let reused = if policy.exploits_reuse() {
+                prepared.mark_reusable(&scratch.contents, &mut scratch.prefetch)
             } else {
-                BTreeSet::new()
+                prepared.clear_residency(&mut scratch.prefetch);
+                0
             };
 
             let (penalty, loads, cancelled) = match policy {
                 PolicyKind::NoPrefetch => {
-                    let problem = PrefetchProblem::new(graph, schedule, self.platform)?;
-                    let result = OnDemandScheduler::new().schedule(&problem)?;
-                    (result.penalty(), result.load_count(), 0)
+                    (artifacts.on_demand.penalty, artifacts.on_demand.loads, 0)
                 }
                 PolicyKind::DesignTimeOnly => {
                     let artifact = &artifacts.design_time;
                     (artifact.penalty(), artifact.load_count(), 0)
                 }
                 PolicyKind::RunTime => {
-                    let problem =
-                        PrefetchProblem::with_resident(graph, schedule, self.platform, &resident)?;
-                    let result = ListScheduler::new().schedule(&problem)?;
-                    (result.penalty(), result.load_count(), 0)
+                    let summary = prepared.evaluate_list(&mut scratch.prefetch)?;
+                    (summary.penalty, summary.loads, 0)
                 }
                 PolicyKind::RunTimeInterTask => {
-                    let base =
-                        PrefetchProblem::with_resident(graph, schedule, self.platform, &resident)?;
-                    let (preloaded, _) =
-                        plan_preloads(&base.loads_by_weight_desc(), state.window, latency);
-                    let mut extended = resident.clone();
-                    extended.extend(preloaded.iter().copied());
-                    let problem =
-                        PrefetchProblem::with_resident(graph, schedule, self.platform, &extended)?;
-                    let result = ListScheduler::new().schedule(&problem)?;
-                    state.window = InterTaskWindow::new(result.trailing_port_idle());
-                    (result.penalty(), result.load_count() + preloaded.len(), 0)
+                    let (summary, preloaded) =
+                        prepared.evaluate_inter_task(scratch.window, &mut scratch.prefetch)?;
+                    scratch.window = InterTaskWindow::new(summary.trailing_port_idle);
+                    (summary.penalty, summary.loads + preloaded, 0)
                 }
                 PolicyKind::Hybrid => {
-                    let hybrid = &artifacts.hybrid;
-                    let run =
-                        hybrid.evaluate(graph, schedule, self.platform, &resident, state.window)?;
-                    state.window = run.trailing_window();
-                    let loads = run.loads_performed() + run.decision().preloaded.len();
-                    let cancelled = run.decision().cancelled_loads.len();
-                    (run.penalty(), loads, cancelled)
+                    let summary = prepared.evaluate_hybrid(
+                        &artifacts.hybrid,
+                        scratch.window,
+                        &mut scratch.prefetch,
+                    )?;
+                    scratch.window = InterTaskWindow::new(summary.trailing_port_idle);
+                    (
+                        summary.penalty,
+                        summary.loads_performed + summary.preloaded,
+                        summary.cancelled,
+                    )
                 }
             };
 
@@ -373,51 +414,53 @@ impl<'a> IterationPlan<'a> {
             outcome.penalty += penalty;
             outcome.loads_performed += loads;
             outcome.loads_cancelled += cancelled;
-            outcome.drhw_subtasks_executed += graph.drhw_subtasks().len();
-            outcome.reused_subtasks += resident.len();
+            outcome.drhw_subtasks_executed += prepared.drhw_count();
+            outcome.reused_subtasks += reused;
             outcome.reconfiguration_energy_mj += loads as f64 * self.platform.reconfig_energy_mj();
 
-            state.now += ideal + penalty;
-            apply_schedule_to_contents(graph, schedule, &mapping, &mut state.contents, state.now);
+            scratch.now += ideal + penalty;
+            prepared.apply_to_contents(&mut scratch.contents, &scratch.prefetch, scratch.now);
         }
 
         Ok(outcome)
     }
 
-    /// Chooses which tasks run in iteration `index` and in which scenarios.
-    fn pick_activations(&self, index: usize) -> Vec<(&'a Task, ScenarioId)> {
+    /// Chooses which tasks run in iteration `index` and in which scenarios,
+    /// writing (task index, scenario) pairs into `out`. Allocation-free once
+    /// `out` has capacity for the task count.
+    fn pick_activations_into(&self, index: usize, out: &mut Vec<(usize, ScenarioId)>) {
         let mut rng = StdRng::seed_from_u64(self.iteration_seed(index));
         let tasks = self.task_set.tasks();
-        let mut selected: Vec<&Task> = tasks
-            .iter()
-            .filter(|_| rng.gen_bool(self.config.task_inclusion_probability))
-            .collect();
-        if selected.is_empty() {
-            selected.push(&tasks[rng.gen_range(0..tasks.len())]);
+        out.clear();
+        // Placeholder scenario ids until the selection below; the RNG call
+        // sequence (inclusion draws, fallback draw, shuffle, scenario draws)
+        // mirrors the original reference implementation exactly.
+        for (task_index, _) in tasks.iter().enumerate() {
+            if rng.gen_bool(self.config.task_inclusion_probability) {
+                out.push((task_index, ScenarioId::new(0)));
+            }
         }
-        selected.shuffle(&mut rng);
+        if out.is_empty() {
+            out.push((rng.gen_range(0..tasks.len()), ScenarioId::new(0)));
+        }
+        out.shuffle(&mut rng);
 
         match &self.config.scenario_policy {
-            ScenarioPolicy::Independent => selected
-                .into_iter()
-                .map(|task| {
-                    let scenario = pick_weighted_scenario(task, &mut rng);
-                    (task, scenario)
-                })
-                .collect(),
+            ScenarioPolicy::Independent => {
+                for slot in out.iter_mut() {
+                    slot.1 = pick_weighted_scenario(&tasks[slot.0], &mut rng);
+                }
+            }
             ScenarioPolicy::Correlated(combos) => {
                 // validate() guarantees at least one combination.
                 let combo = &combos[rng.gen_range(0..combos.len())];
-                selected
-                    .into_iter()
-                    .map(|task| {
-                        let scenario = combo
-                            .get(&task.id())
-                            .copied()
-                            .unwrap_or_else(|| task.scenarios()[0].id());
-                        (task, scenario)
-                    })
-                    .collect()
+                for slot in out.iter_mut() {
+                    let task = &tasks[slot.0];
+                    slot.1 = combo
+                        .get(&task.id())
+                        .copied()
+                        .unwrap_or_else(|| task.scenarios()[0].id());
+                }
             }
         }
     }
@@ -504,7 +547,7 @@ fn pick_weighted_scenario(task: &Task, rng: &mut StdRng) -> ScenarioId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drhw_model::{Scenario, Subtask};
+    use drhw_model::{Scenario, Subtask, Time};
 
     fn two_task_set() -> TaskSet {
         let mut chain = SubtaskGraph::new("chain");
@@ -691,7 +734,9 @@ mod tests {
             .with_iterations(12)
             .with_chunk_size(4);
         let plan = IterationPlan::new(&set, &platform, config).unwrap();
-        let chunk = plan.evaluate_chunk(PolicyKind::RunTime, 1).unwrap();
+        let chunk = plan
+            .evaluate_chunk_with(PolicyKind::RunTime, 1, &mut plan.make_scratch())
+            .unwrap();
         let mut summed = StatsAccumulator::default();
         for index in 4..8 {
             summed.absorb(&plan.evaluate(PolicyKind::RunTime, index).unwrap());

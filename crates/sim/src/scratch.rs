@@ -1,0 +1,77 @@
+//! Reusable per-worker state of the batched simulation engine.
+//!
+//! [`SimScratch`] bundles everything one worker mutates while evaluating
+//! iterations: the prefetch-kernel buffers ([`drhw_prefetch::Scratch`]), the
+//! chunk-scoped platform state (tile contents, inter-task window, simulated
+//! clock) and the per-iteration activation/protection buffers. One instance
+//! per worker thread; every buffer is pre-sized by
+//! [`IterationPlan::make_scratch`](crate::IterationPlan::make_scratch) to the
+//! largest graph of the plan, so a warm evaluation loop performs **zero heap
+//! allocations** — an invariant enforced by the `alloc_free` integration test
+//! with a counting global allocator.
+//!
+//! # Ownership and reset rules
+//!
+//! * The *plan* is immutable and shared; the *scratch* is exclusively owned
+//!   by one worker and never crosses threads.
+//! * Chunk-scoped state (`contents`, `window`, `now`) is reset in place by
+//!   [`reset_chunk`](SimScratch::reset_chunk) at every chunk boundary —
+//!   bit-identical to constructing fresh state, without the allocation.
+//! * Kernel buffers are cleared and refilled by the kernels themselves; their
+//!   contents are meaningless between calls.
+
+use drhw_model::{ScenarioId, Time};
+use drhw_prefetch::{InterTaskWindow, Scratch, TileContents};
+
+/// The mutable per-worker state threaded through
+/// [`IterationPlan::evaluate_with`](crate::IterationPlan::evaluate_with) and
+/// the [`SimBatch`](crate::SimBatch) workers.
+///
+/// Create one via [`IterationPlan::make_scratch`](crate::IterationPlan::make_scratch),
+/// which pre-sizes every buffer for the plan.
+#[derive(Debug)]
+pub struct SimScratch {
+    /// Buffers of the per-activation prefetch kernels.
+    pub(crate) prefetch: Scratch,
+    /// What every physical tile currently holds (chunk-scoped).
+    pub(crate) contents: TileContents,
+    /// Trailing port idle window of the previous task (chunk-scoped).
+    pub(crate) window: InterTaskWindow,
+    /// Simulated clock (chunk-scoped).
+    pub(crate) now: Time,
+    /// The iteration's activations as (task index, scenario) pairs.
+    pub(crate) activations: Vec<(usize, ScenarioId)>,
+}
+
+impl SimScratch {
+    /// Creates a scratch pre-sized for plans whose largest graph has
+    /// `subtasks` subtasks on `slots` slots, on a platform of `tiles` tiles,
+    /// with at most `configs` protected configurations and `tasks` tasks per
+    /// iteration.
+    pub(crate) fn with_capacity(
+        subtasks: usize,
+        slots: usize,
+        tiles: usize,
+        configs: usize,
+        tasks: usize,
+    ) -> Self {
+        let mut prefetch = Scratch::new();
+        prefetch.reserve(subtasks, slots, tiles, configs);
+        SimScratch {
+            prefetch,
+            contents: TileContents::new(tiles),
+            window: InterTaskWindow::empty(),
+            now: Time::ZERO,
+            activations: Vec::with_capacity(tasks),
+        }
+    }
+
+    /// Resets the chunk-scoped state to the cold start every chunk begins
+    /// from: empty tiles, no inter-task window, clock at zero. In-place and
+    /// bit-identical to fresh construction.
+    pub(crate) fn reset_chunk(&mut self) {
+        self.contents.reset();
+        self.window = InterTaskWindow::empty();
+        self.now = Time::ZERO;
+    }
+}

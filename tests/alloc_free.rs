@@ -1,0 +1,137 @@
+//! The zero-allocation invariant of the per-iteration evaluator.
+//!
+//! The batched engine promises that, once a plan and a scratch exist, the
+//! steady-state per-iteration loop never touches the global allocator: every
+//! buffer lives in [`drhw_sim::SimScratch`] and is pre-sized by
+//! `IterationPlan::make_scratch`. This test installs a counting global
+//! allocator and proves it, plus the weaker-but-end-to-end corollary that a
+//! warm `SimBatch` run performs a constant number of allocations no matter
+//! how many iterations it simulates.
+//!
+//! Everything lives in ONE `#[test]` on purpose: the allocation counter is
+//! process-global, and concurrent tests in the same binary would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use drhw_model::Platform;
+use drhw_prefetch::PolicyKind;
+use drhw_sim::{IterationPlan, SimBatch, SimulationConfig};
+use drhw_workloads::{MultimediaWorkload, Workload};
+
+/// Counts every allocation event (alloc, alloc_zeroed, realloc) and forwards
+/// to the system allocator.
+struct CountingAllocator;
+
+static ALLOCATION_EVENTS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_events() -> usize {
+    ALLOCATION_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Counts the allocation events of one warm single-threaded `SimBatch` run
+/// over all five policies.
+fn batch_run_allocations(plan: &IterationPlan<'_>) -> usize {
+    let batch = SimBatch::with_threads(plan, 1);
+    // Warm run outside the measurement: lets lazy process-wide state (e.g.
+    // environment lookups) settle.
+    batch.run(&PolicyKind::ALL).expect("simulation runs");
+    let before = allocation_events();
+    batch.run(&PolicyKind::ALL).expect("simulation runs");
+    allocation_events() - before
+}
+
+#[test]
+fn warm_iteration_loop_performs_zero_heap_allocations() {
+    let workload = MultimediaWorkload;
+    let set = workload.task_set();
+    let platform = Platform::virtex_like(8).expect("tile count is positive");
+    let config = SimulationConfig::default()
+        .with_iterations(96)
+        .with_chunk_size(32)
+        .with_seed(7)
+        .with_threads(1);
+    let plan = IterationPlan::new(&set, &platform, config).expect("plan builds");
+    let mut scratch = plan.make_scratch();
+
+    // Warm-up: touch every policy's code path once.
+    for policy in PolicyKind::ALL {
+        plan.evaluate_with(policy, 0, &mut scratch)
+            .expect("iteration evaluates");
+    }
+
+    // The invariant itself: scoring every (policy, iteration) pair against
+    // the warm scratch must never touch the allocator. evaluate_with replays
+    // each chunk prefix, so this also covers the chunk-reset path.
+    let before = allocation_events();
+    for policy in PolicyKind::ALL {
+        for index in 0..plan.config().iterations {
+            plan.evaluate_with(policy, index, &mut scratch)
+                .expect("iteration evaluates");
+        }
+    }
+    assert_eq!(
+        allocation_events() - before,
+        0,
+        "the steady-state per-iteration loop must be allocation-free"
+    );
+
+    // End-to-end corollary: a warm SimBatch run allocates only its per-run
+    // setup (scratch, job slots, reports), so the allocation count must not
+    // grow with the iteration count.
+    let small = IterationPlan::new(
+        &set,
+        &platform,
+        SimulationConfig::default()
+            .with_iterations(64)
+            .with_chunk_size(32)
+            .with_seed(7)
+            .with_threads(1),
+    )
+    .expect("plan builds");
+    let large = IterationPlan::new(
+        &set,
+        &platform,
+        SimulationConfig::default()
+            .with_iterations(512)
+            .with_chunk_size(32)
+            .with_seed(7)
+            .with_threads(1),
+    )
+    .expect("plan builds");
+    let small_allocs = batch_run_allocations(&small);
+    let large_allocs = batch_run_allocations(&large);
+    assert_eq!(
+        small_allocs, large_allocs,
+        "SimBatch allocations must be independent of the iteration count \
+         (64 iters: {small_allocs}, 512 iters: {large_allocs})"
+    );
+    assert!(
+        small_allocs < 64,
+        "a batch run should only pay a small constant setup cost, got {small_allocs}"
+    );
+}

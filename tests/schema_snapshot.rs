@@ -1,14 +1,15 @@
-//! Golden snapshot of the `BENCH_results.json` schema (version 2).
+//! Golden snapshot of the `BENCH_results.json` schema (version 3).
 //!
 //! `render_results_json` is hand-rolled (no JSON backend offline), so report
 //! refactors can silently drop or rename keys that downstream consumers —
-//! CI artifact scrapers, the EXPERIMENTS.md examples — depend on. This test
-//! pins the exact key set, nesting and value *types* of schema v2; changing
-//! the schema intentionally means bumping `schema_version` and updating this
-//! snapshot in the same commit.
+//! CI artifact scrapers, the `perf_gate` baseline, the EXPERIMENTS.md
+//! examples — depend on. This test pins the exact key set, nesting and value
+//! *types* of schema v3; changing the schema intentionally means bumping
+//! `schema_version` and updating this snapshot in the same commit.
 
 use drhw_bench::experiments::policy_overhead_reports;
 use drhw_bench::report::{render_results_json, RunTiming};
+use drhw_bench::stages::STAGE_NAMES;
 
 /// Parses the flat `indent → key → raw value` triples of the hand-rolled
 /// JSON (two-space indentation per nesting level, one key per line).
@@ -32,51 +33,23 @@ fn is_number(raw: &str) -> bool {
     raw.parse::<f64>().is_ok()
 }
 
+/// The exact top-level key order of schema v3.
+const TOP_LEVEL_V3: [&str; 10] = [
+    "iterations",
+    "tiles",
+    "policy_overhead_percent",
+    "policy_reuse_percent",
+    "threads",
+    "wall_clock_ms",
+    "speedup",
+    "stage_ms",
+    "policy_iterations_per_sec",
+    "schema_version",
+];
+
 #[test]
-fn bench_results_schema_v2_golden_snapshot() {
+fn bench_results_schema_v3_golden_snapshot() {
     let reports = policy_overhead_reports(2, 1, 8, 1).expect("simulation runs");
-    let timing = RunTiming {
-        threads: 2,
-        experiments: vec![("table1".to_string(), 10.0), ("fig6".to_string(), 20.0)],
-        sequential_ms: Some(100.0),
-        parallel_ms: Some(50.0),
-    };
-    let json = render_results_json(&reports, &timing);
-    let entries = keys_with_indent(&json);
-
-    // Top level: the exact schema v2 key set, in order.
-    let top: Vec<&str> = entries
-        .iter()
-        .filter(|(indent, _, _)| *indent == 2)
-        .map(|(_, key, _)| key.as_str())
-        .collect();
-    assert_eq!(
-        top,
-        vec![
-            "iterations",
-            "tiles",
-            "policy_overhead_percent",
-            "policy_reuse_percent",
-            "threads",
-            "wall_clock_ms",
-            "speedup",
-            "schema_version",
-        ],
-        "schema v2 top-level keys changed — bump schema_version and update this snapshot"
-    );
-
-    // Scalar top-level values are numbers.
-    for (_, key, raw) in entries.iter().filter(|(indent, _, _)| *indent == 2) {
-        match key.as_str() {
-            "policy_overhead_percent" | "policy_reuse_percent" | "wall_clock_ms" | "speedup" => {
-                assert_eq!(raw, "{", "{key} must be an object");
-            }
-            "schema_version" => assert_eq!(raw, "2", "this snapshot pins schema v2"),
-            _ => assert!(is_number(raw), "{key} must be a number, got {raw:?}"),
-        }
-    }
-
-    // Both policy maps carry exactly the five policy names, each numeric.
     let policies = [
         "no-prefetch",
         "design-time-prefetch",
@@ -84,6 +57,49 @@ fn bench_results_schema_v2_golden_snapshot() {
         "run-time+inter-task",
         "hybrid",
     ];
+    let timing = RunTiming {
+        threads: 2,
+        experiments: vec![("table1".to_string(), 10.0), ("fig6".to_string(), 20.0)],
+        sequential_ms: Some(100.0),
+        parallel_ms: Some(50.0),
+        stage_ms: STAGE_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| (stage.to_string(), i as f64 + 0.5))
+            .collect(),
+        policy_iterations_per_sec: policies.iter().map(|p| (p.to_string(), 1000.0)).collect(),
+    };
+    let json = render_results_json(&reports, &timing);
+    let entries = keys_with_indent(&json);
+
+    // Top level: the exact schema v3 key set, in order.
+    let top: Vec<&str> = entries
+        .iter()
+        .filter(|(indent, _, _)| *indent == 2)
+        .map(|(_, key, _)| key.as_str())
+        .collect();
+    assert_eq!(
+        top, TOP_LEVEL_V3,
+        "schema v3 top-level keys changed — bump schema_version and update this snapshot"
+    );
+
+    // Scalar top-level values are numbers; containers are objects.
+    for (_, key, raw) in entries.iter().filter(|(indent, _, _)| *indent == 2) {
+        match key.as_str() {
+            "policy_overhead_percent"
+            | "policy_reuse_percent"
+            | "wall_clock_ms"
+            | "speedup"
+            | "stage_ms"
+            | "policy_iterations_per_sec" => {
+                assert_eq!(raw, "{", "{key} must be an object");
+            }
+            "schema_version" => assert_eq!(raw, "3", "this snapshot pins schema v3"),
+            _ => assert!(is_number(raw), "{key} must be a number, got {raw:?}"),
+        }
+    }
+
+    // Both policy maps carry exactly the five policy names, each numeric.
     let nested: Vec<(&str, &str)> = entries
         .iter()
         .filter(|(indent, _, _)| *indent == 4)
@@ -91,13 +107,36 @@ fn bench_results_schema_v2_golden_snapshot() {
         .collect();
     for policy in policies {
         let occurrences = nested.iter().filter(|(key, _)| *key == policy).count();
-        assert_eq!(occurrences, 2, "{policy} must appear in both policy maps");
+        assert_eq!(
+            occurrences, 3,
+            "{policy} must appear in both policy maps and the throughput map"
+        );
     }
     for (key, raw) in &nested {
         assert!(
             is_number(raw) || *raw == "null",
             "nested key {key} must be numeric or null, got {raw:?}"
         );
+    }
+
+    // The stage_ms block: exactly the five pipeline stages, every one numeric.
+    let stage_start = json
+        .find("\"stage_ms\": {")
+        .expect("stage_ms block present");
+    let stage_block = &json[stage_start
+        ..json[stage_start..]
+            .find('}')
+            .map(|end| stage_start + end)
+            .expect("stage_ms block closes")];
+    for stage in STAGE_NAMES {
+        assert!(
+            stage_block.contains(&format!("\"{stage}\":")),
+            "stage_ms block lost {stage}"
+        );
+    }
+    for stage in STAGE_NAMES {
+        let occurrences = nested.iter().filter(|(key, _)| *key == stage).count();
+        assert_eq!(occurrences, 1, "{stage} must appear exactly once");
     }
 
     // The speedup block: exact key set, with the headline ratio present.
@@ -125,7 +164,7 @@ fn bench_results_schema_v2_golden_snapshot() {
 
 #[test]
 fn schema_snapshot_also_holds_for_absent_measurements() {
-    // Null measurements must stay *null*, not vanish from the key set.
+    // Null/empty measurements must stay in the key set, not vanish from it.
     let json = render_results_json(&[], &RunTiming::default());
     let entries = keys_with_indent(&json);
     let top: Vec<&str> = entries
@@ -134,18 +173,10 @@ fn schema_snapshot_also_holds_for_absent_measurements() {
         .map(|(_, key, _)| key.as_str())
         .collect();
     // Without reports the iteration/tile header is absent, but everything
-    // else — including the speedup block — must survive.
-    assert_eq!(
-        top,
-        vec![
-            "policy_overhead_percent",
-            "policy_reuse_percent",
-            "threads",
-            "wall_clock_ms",
-            "speedup",
-            "schema_version",
-        ]
-    );
+    // else — including the speedup, stage and throughput blocks — survives.
+    assert_eq!(top, &TOP_LEVEL_V3[2..]);
     assert!(json.contains("\"sequential_over_parallel\": null"));
-    assert!(json.ends_with("\"schema_version\": 2\n}\n"));
+    assert!(json.contains("\"stage_ms\": {\n  }"));
+    assert!(json.contains("\"policy_iterations_per_sec\": {\n  }"));
+    assert!(json.ends_with("\"schema_version\": 3\n}\n"));
 }
