@@ -12,10 +12,10 @@ use drhw_bench::report::render_ablation;
 
 fn main() {
     let iterations = iterations_arg(500);
-    drhw_bench::cli::announce_engine_threads();
+    let engine = drhw_bench::cli::engine();
 
-    let rows =
-        replacement_ablation(iterations, 2005, 10).expect("replacement ablation simulation runs");
+    let rows = replacement_ablation(&engine, iterations, 2005, 10)
+        .expect("replacement ablation simulation runs");
     println!(
         "{}",
         render_ablation(

@@ -5,10 +5,13 @@
 //! sequential-versus-parallel speedup measurement** to `BENCH_results.json`
 //! (override the path with the `BENCH_RESULTS_PATH` environment variable).
 //!
-//! All simulations dispatch through the parallel `SimBatch` engine; the
-//! worker count comes from `DRHW_SIM_THREADS` or the available hardware
+//! All simulations go through one shared `drhw-engine` job engine (its
+//! plan-cache counters land in the schema-v4 `plan_cache` block); the worker
+//! count comes from `DRHW_SIM_THREADS` or the available hardware
 //! parallelism, and never changes the simulated numbers — only the wall
-//! clock.
+//! clock. The speedup measurement additionally re-runs the E2 workload
+//! through a directly-prepared `SimBatch` and asserts bit-for-bit agreement
+//! with the engine's reports.
 //!
 //! Usage: `cargo run -p drhw-bench --bin all_experiments --release [-- <iterations>]`
 
@@ -16,8 +19,8 @@ use std::time::Instant;
 
 use drhw_bench::cli::iterations_arg;
 use drhw_bench::experiments::{
-    cs_scheduler_ablation, figure6_series, figure7_headline, figure7_series, replacement_ablation,
-    table1_rows, workload_config,
+    cs_scheduler_ablation, figure6_series, figure7_headline, figure7_series,
+    policy_overhead_reports, replacement_ablation, table1_rows, workload_config,
 };
 use drhw_bench::report::{
     render_ablation, render_figure, render_results_json, render_table1, RunTiming,
@@ -41,7 +44,8 @@ fn timed<T>(timing: &mut RunTiming, label: &str, run: impl FnOnce() -> T) -> T {
 fn main() {
     let iterations = iterations_arg(300);
     let seed = 2005;
-    let threads = drhw_bench::cli::announce_engine_threads();
+    let engine = drhw_bench::cli::engine();
+    let threads = engine.threads();
     let mut timing = RunTiming {
         threads,
         ..RunTiming::default()
@@ -54,10 +58,12 @@ fn main() {
 
     // One paired five-policy simulation serves the E2 headline numbers, the
     // machine-readable results written at the end, and the speedup
-    // measurement. The plan (design-time artifacts) is prepared once outside
-    // both timed regions, so sequential_ms and parallel_ms measure the batch
-    // engine alone on the very same work — and the reports are asserted
-    // bit-identical before the timing is recorded.
+    // measurement. The job goes through the engine (plan cache + worker
+    // pool); the speedup measurement below re-runs the identical work
+    // through a directly-prepared plan, which doubles as an end-to-end
+    // parity assert: the engine's reports must be bit-identical to the
+    // classic SimBatch path, sequential and parallel alike.
+    let reports = policy_overhead_reports(&engine, iterations, seed, 8).expect("simulation runs");
     let workload = MultimediaWorkload;
     let set = workload.task_set();
     let platform = Platform::virtex_like(8).expect("tile count is positive");
@@ -77,19 +83,30 @@ fn main() {
         .expect("simulation runs");
     timing.sequential_ms = Some(sequential_started.elapsed().as_secs_f64() * 1e3);
     let parallel_started = Instant::now();
-    let reports = SimBatch::with_threads(&plan, threads)
+    let parallel = SimBatch::with_threads(&plan, threads)
         .run(&PolicyKind::ALL)
         .expect("simulation runs");
     timing.parallel_ms = Some(parallel_started.elapsed().as_secs_f64() * 1e3);
     assert_eq!(
-        sequential, reports,
+        sequential, parallel,
         "the parallel engine must be bit-identical to the sequential one"
     );
-    // Per-policy iteration throughput on the same prepared plan (schema v3).
+    assert_eq!(
+        reports, sequential,
+        "the job engine must be bit-identical to the classic SimBatch path"
+    );
+    // Per-policy iteration throughput on warm engine jobs (the plan is
+    // cached after the cross-policy job above).
     for policy in PolicyKind::ALL {
         let started = Instant::now();
-        SimBatch::with_threads(&plan, threads)
-            .run(&[policy])
+        engine
+            .run(
+                drhw_engine::JobSpec::new("multimedia")
+                    .with_tiles(8)
+                    .with_iterations(iterations)
+                    .with_seed(seed)
+                    .with_policies([policy]),
+            )
             .expect("simulation runs");
         let throughput = iterations as f64 / started.elapsed().as_secs_f64();
         timing
@@ -117,7 +134,7 @@ fn main() {
 
     println!("=== E3: Figure 6 ===");
     let points = timed(&mut timing, "fig6", || {
-        figure6_series(iterations, seed).expect("simulation runs")
+        figure6_series(&engine, iterations, seed).expect("simulation runs")
     });
     println!(
         "{}",
@@ -126,7 +143,7 @@ fn main() {
 
     println!("=== E4: Figure 7 ===");
     let (np, dt) = timed(&mut timing, "fig7_headline", || {
-        figure7_headline(iterations, seed, 5).expect("simulation runs")
+        figure7_headline(&engine, iterations, seed, 5).expect("simulation runs")
     });
     println!(
         "  no prefetch          : {:>5.1}%   (paper: 71%)",
@@ -137,7 +154,7 @@ fn main() {
         dt.overhead_percent()
     );
     let points = timed(&mut timing, "fig7", || {
-        figure7_series(iterations, seed).expect("simulation runs")
+        figure7_series(&engine, iterations, seed).expect("simulation runs")
     });
     println!(
         "{}",
@@ -154,7 +171,7 @@ fn main() {
 
     println!("=== E7: ablations ===");
     let rows = timed(&mut timing, "ablations", || {
-        replacement_ablation(iterations, seed, 10).expect("simulation runs")
+        replacement_ablation(&engine, iterations, seed, 10).expect("simulation runs")
     });
     println!(
         "{}",
@@ -174,6 +191,17 @@ fn main() {
             .speedup()
             .map(|s| format!(" ({s:.2}x)"))
             .unwrap_or_default()
+    );
+
+    // Every simulation above went through the shared engine; its cache
+    // counters become the schema-v4 plan_cache block.
+    let cache = engine.cache_stats();
+    timing.plan_cache = Some(cache.into());
+    println!(
+        "plan cache: {} hit(s), {} miss(es), {:.2} ms amortized prepare",
+        cache.hits,
+        cache.misses,
+        cache.amortized_prepare_ms()
     );
 
     let path =

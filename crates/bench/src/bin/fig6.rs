@@ -12,10 +12,10 @@ use drhw_bench::report::render_figure;
 fn main() {
     let iterations = iterations_arg(1000);
     let seed = 2005;
-    drhw_bench::cli::announce_engine_threads();
+    let engine = drhw_bench::cli::engine();
 
     let (no_prefetch, design_time) =
-        headline_numbers(iterations, seed, 8).expect("headline simulation runs");
+        headline_numbers(&engine, iterations, seed, 8).expect("headline simulation runs");
     println!("Headline numbers (multimedia set, 8 tiles, {iterations} iterations):");
     println!(
         "  no prefetch          : {:>5.1}%   (paper: 23%)",
@@ -27,7 +27,7 @@ fn main() {
     );
     println!();
 
-    let points = figure6_series(iterations, seed).expect("figure 6 simulation runs");
+    let points = figure6_series(&engine, iterations, seed).expect("figure 6 simulation runs");
     println!(
         "{}",
         render_figure(

@@ -11,10 +11,10 @@ use drhw_bench::report::render_figure;
 fn main() {
     let iterations = iterations_arg(1000);
     let seed = 2005;
-    drhw_bench::cli::announce_engine_threads();
+    let engine = drhw_bench::cli::engine();
 
     let (no_prefetch, design_time) =
-        figure7_headline(iterations, seed, 5).expect("headline simulation runs");
+        figure7_headline(&engine, iterations, seed, 5).expect("headline simulation runs");
     println!("Headline numbers (Pocket GL, 5 tiles, {iterations} iterations):");
     println!(
         "  no prefetch          : {:>5.1}%   (paper: 71%)",
@@ -26,7 +26,7 @@ fn main() {
     );
     println!();
 
-    let points = figure7_series(iterations, seed).expect("figure 7 simulation runs");
+    let points = figure7_series(&engine, iterations, seed).expect("figure 7 simulation runs");
     println!(
         "{}",
         render_figure(

@@ -5,7 +5,7 @@
 //! cross-policy wall clock, and compares them against the committed
 //! `BENCH_baseline.json` under per-metric tolerance bands. On a regression it
 //! prints a delta table and exits non-zero; the same table plus the
-//! schema-v3 `BENCH_results.json` are written to disk so CI can upload them
+//! schema-v4 `BENCH_results.json` are written to disk so CI can upload them
 //! as artifacts.
 //!
 //! ```text
@@ -13,12 +13,18 @@
 //! perf_gate --write-baseline   # record a fresh baseline instead of gating
 //! ```
 //!
+//! Besides raw engine throughput, the gate measures the *plan cache*: a
+//! cold job submission pays the design-time preparation, warm submissions
+//! (same workload/tiles, fresh seeds) must not. If the cache stops hitting,
+//! `plan_cache.warm_submit_ms` blows through its tolerance band and the
+//! gate fails — and a functional hit-count check fails even earlier.
+//!
 //! Environment knobs:
 //!
 //! * `PERF_GATE_RUNS` — repeated measurement runs (default 5)
 //! * `PERF_GATE_ITERATIONS` — simulated iterations per run (default 2000)
 //! * `PERF_BASELINE_PATH` — baseline location (default `BENCH_baseline.json`)
-//! * `BENCH_RESULTS_PATH` — schema-v3 results output (default `BENCH_results.json`)
+//! * `BENCH_RESULTS_PATH` — schema-v4 results output (default `BENCH_results.json`)
 //! * `PERF_DELTA_PATH` — delta table output (default `PERF_delta.txt`)
 //!
 //! The suite runs single-threaded on purpose: the gate measures the engine,
@@ -113,6 +119,58 @@ fn main() {
         ..RunTiming::default()
     };
     let mut measured = Vec::new();
+
+    // Plan-cache efficacy through the job engine: the cold submission pays
+    // plan preparation, the warm ones (fresh seeds — seeds are not part of
+    // the cache key) must be served from the cache.
+    let engine = drhw_engine::Engine::builder()
+        .threads(1)
+        .cache_capacity(4)
+        .build();
+    let cache_iterations = 100;
+    let cache_spec = drhw_engine::JobSpec::new("multimedia")
+        .with_tiles(8)
+        .with_iterations(cache_iterations);
+    let cold_started = Instant::now();
+    engine
+        .run(cache_spec.clone().with_seed(seed))
+        .expect("simulation runs");
+    let cold_ms = cold_started.elapsed().as_secs_f64() * 1e3;
+    let mut warm_samples = Vec::with_capacity(runs);
+    for run in 0..runs {
+        let started = Instant::now();
+        engine
+            .run(cache_spec.clone().with_seed(seed + 1 + run as u64))
+            .expect("simulation runs");
+        warm_samples.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let warm_ms = median(&mut warm_samples);
+    let cache = engine.cache_stats();
+    if cache.misses != 1 || cache.hits != runs as u64 {
+        eprintln!(
+            "perf gate FAILED: plan cache broken — expected 1 miss and {runs} hits, got {} miss(es) and {} hit(s)",
+            cache.misses, cache.hits
+        );
+        std::process::exit(1);
+    }
+    timing.plan_cache = Some(cache.into());
+    measured.push(Measured::lower_is_better(
+        "plan_cache.cold_submit_ms",
+        cold_ms,
+    ));
+    measured.push(Measured::lower_is_better(
+        "plan_cache.warm_submit_ms",
+        warm_ms,
+    ));
+    measured.push(Measured::lower_is_better(
+        "plan_cache.amortized_prepare_ms",
+        cache.amortized_prepare_ms(),
+    ));
+    println!(
+        "  plan cache: cold submit {cold_ms:.2} ms, warm submit {warm_ms:.2} ms (median of {runs}), \
+         amortized prepare {:.2} ms",
+        cache.amortized_prepare_ms()
+    );
     for (which, &policy) in PolicyKind::ALL.iter().enumerate() {
         let ms = median(&mut per_policy_ms[which]);
         let throughput = iterations as f64 / (ms / 1e3);
@@ -147,7 +205,7 @@ fn main() {
         eprintln!("error: cannot write {results_path}: {err}");
         std::process::exit(3);
     }
-    println!("schema-v3 results written to {results_path}");
+    println!("schema-v4 results written to {results_path}");
 
     if write_baseline {
         let text = render_baseline_json(&measured, DEFAULT_TOLERANCE);

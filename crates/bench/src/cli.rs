@@ -1,12 +1,19 @@
 //! Shared command-line helpers for the experiment binaries.
 
-/// Prints the worker-thread count the batched simulation engine resolves to
-/// (`DRHW_SIM_THREADS` or the available hardware parallelism) and returns it,
-/// so every experiment binary reports the same banner.
-pub fn announce_engine_threads() -> usize {
-    let threads = drhw_sim::SimulationConfig::default().resolved_threads();
-    println!("batched simulation engine: {threads} worker thread(s)");
-    threads
+use drhw_engine::Engine;
+
+/// Builds the job engine the experiment binaries share — default registry
+/// and plan-cache capacity, worker count from `DRHW_SIM_THREADS` or the
+/// available hardware parallelism — and prints the standard banner, so
+/// every experiment binary reports the same one.
+pub fn engine() -> Engine {
+    let engine = Engine::builder().build();
+    println!(
+        "job engine: {} worker thread(s), plan cache capacity {}",
+        engine.threads(),
+        drhw_engine::DEFAULT_CACHE_CAPACITY
+    );
+    engine
 }
 
 /// Parses the iteration count from the first CLI argument, falling back to

@@ -15,20 +15,18 @@
 
 use std::collections::BTreeMap;
 
+use drhw_engine::{Engine, EngineError, JobSpec};
 use drhw_model::{Platform, SubtaskGraph, TaskId, Time};
 use drhw_prefetch::{
     BranchBoundScheduler, CriticalSetAnalysis, ListScheduler, OnDemandScheduler, PolicyKind,
     PrefetchProblem, PrefetchScheduler, ReplacementPolicy,
 };
-use drhw_sim::{
-    DynamicSimulation, IterationPlan, ScenarioPolicy, SimBatch, SimError, SimulationConfig,
-    SimulationReport,
-};
+use drhw_sim::{ScenarioPolicy, SimulationConfig, SimulationReport};
 use drhw_workloads::multimedia::{
     fully_parallel_schedule, jpeg_decoder_graph, mpeg_encoder_graph, parallel_jpeg_graph,
     pattern_recognition_graph, MpegFrame,
 };
-use drhw_workloads::{MultimediaWorkload, PocketGlWorkload, Workload};
+use drhw_workloads::{PocketGlWorkload, Workload};
 
 /// One row of Table 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,31 +160,42 @@ pub fn workload_config(workload: &dyn Workload, iterations: usize, seed: u64) ->
     config
 }
 
-/// Sweeps one workload over its tile range: every sweep point prepares an
-/// [`IterationPlan`] and dispatches all requested policies × iterations
-/// through the parallel [`SimBatch`] engine in a single pass.
+/// The base job spec of one experiment: a named workload, iteration count
+/// and seed — everything else (inclusion probability, correlated scenarios)
+/// comes from the workload itself, exactly as [`workload_config`] derives
+/// it.
+fn experiment_spec(workload: &str, iterations: usize, seed: u64) -> JobSpec {
+    JobSpec::new(workload)
+        .with_iterations(iterations)
+        .with_seed(seed)
+}
+
+/// Sweeps one workload over its tile range: every sweep point is one engine
+/// job covering all requested policies × iterations in a single pass over
+/// the worker pool.
 ///
-/// This is the generic engine behind Figures 6 and 7; it runs unchanged over
-/// any workload registered in a
-/// [`WorkloadRegistry`](drhw_workloads::WorkloadRegistry).
+/// This is the generic harness behind Figures 6 and 7; it runs unchanged
+/// over any workload the engine's registry resolves (built-ins,
+/// `random-<t>x<s>`, `fuzz-<family>-<seed>`, …). Re-running a sweep on a
+/// warm engine reuses every cached plan.
 ///
 /// # Errors
 ///
-/// Propagates simulation errors.
+/// Propagates engine errors (unknown workloads, simulation failures).
 pub fn workload_sweep(
-    workload: &dyn Workload,
+    engine: &Engine,
+    workload: &str,
     iterations: usize,
     seed: u64,
     policies: &[PolicyKind],
-) -> Result<Vec<FigurePoint>, SimError> {
-    let task_set = workload.task_set();
-    let config = workload_config(workload, iterations, seed);
+) -> Result<Vec<FigurePoint>, EngineError> {
+    let resolved = engine.registry().resolve(workload)?;
     let mut points = Vec::new();
-    for tile_count in workload.tile_sweep() {
-        let platform = Platform::virtex_like(tile_count).expect("tile count is positive");
-        let plan = IterationPlan::new(&task_set, &platform, config.clone())?;
-        let reports = SimBatch::new(&plan).run(policies)?;
-        for report in reports {
+    for tile_count in resolved.tile_sweep() {
+        let spec = experiment_spec(workload, iterations, seed)
+            .with_tiles(tile_count)
+            .with_policies(policies);
+        for report in engine.run(spec)? {
             points.push(FigurePoint {
                 tiles: tile_count,
                 policy: report.policy(),
@@ -204,10 +213,15 @@ pub fn workload_sweep(
 ///
 /// # Errors
 ///
-/// Propagates simulation errors.
-pub fn figure6_series(iterations: usize, seed: u64) -> Result<Vec<FigurePoint>, SimError> {
+/// Propagates engine errors.
+pub fn figure6_series(
+    engine: &Engine,
+    iterations: usize,
+    seed: u64,
+) -> Result<Vec<FigurePoint>, EngineError> {
     workload_sweep(
-        &MultimediaWorkload,
+        engine,
+        "multimedia",
         iterations,
         seed,
         &PolicyKind::FIGURE_POLICIES,
@@ -220,29 +234,29 @@ pub fn figure6_series(iterations: usize, seed: u64) -> Result<Vec<FigurePoint>, 
 ///
 /// # Errors
 ///
-/// Propagates simulation errors.
+/// Propagates engine errors.
 pub fn headline_numbers(
+    engine: &Engine,
     iterations: usize,
     seed: u64,
     tiles: usize,
-) -> Result<(SimulationReport, SimulationReport), SimError> {
-    baseline_pair(&MultimediaWorkload, iterations, seed, tiles)
+) -> Result<(SimulationReport, SimulationReport), EngineError> {
+    baseline_pair(engine, "multimedia", iterations, seed, tiles)
 }
 
-/// Runs the no-prefetch and design-time-only baselines of one workload in a
-/// single batched pass.
+/// Runs the no-prefetch and design-time-only baselines of one workload as a
+/// single engine job.
 fn baseline_pair(
-    workload: &dyn Workload,
+    engine: &Engine,
+    workload: &str,
     iterations: usize,
     seed: u64,
     tiles: usize,
-) -> Result<(SimulationReport, SimulationReport), SimError> {
-    let set = workload.task_set();
-    let platform = Platform::virtex_like(tiles).expect("tile count is positive");
-    let plan = IterationPlan::new(&set, &platform, workload_config(workload, iterations, seed))?;
-    let mut reports = SimBatch::new(&plan)
-        .run(&[PolicyKind::NoPrefetch, PolicyKind::DesignTimeOnly])?
-        .into_iter();
+) -> Result<(SimulationReport, SimulationReport), EngineError> {
+    let spec = experiment_spec(workload, iterations, seed)
+        .with_tiles(tiles)
+        .with_policies([PolicyKind::NoPrefetch, PolicyKind::DesignTimeOnly]);
+    let mut reports = engine.run(spec)?.into_iter();
     Ok((
         reports.next().expect("one report per requested policy"),
         reports.next().expect("one report per requested policy"),
@@ -255,10 +269,15 @@ fn baseline_pair(
 ///
 /// # Errors
 ///
-/// Propagates simulation errors.
-pub fn figure7_series(iterations: usize, seed: u64) -> Result<Vec<FigurePoint>, SimError> {
+/// Propagates engine errors.
+pub fn figure7_series(
+    engine: &Engine,
+    iterations: usize,
+    seed: u64,
+) -> Result<Vec<FigurePoint>, EngineError> {
     workload_sweep(
-        &PocketGlWorkload,
+        engine,
+        "pocket_gl",
         iterations,
         seed,
         &PolicyKind::FIGURE_POLICIES,
@@ -270,13 +289,14 @@ pub fn figure7_series(iterations: usize, seed: u64) -> Result<Vec<FigurePoint>, 
 ///
 /// # Errors
 ///
-/// Propagates simulation errors.
+/// Propagates engine errors.
 pub fn figure7_headline(
+    engine: &Engine,
     iterations: usize,
     seed: u64,
     tiles: usize,
-) -> Result<(SimulationReport, SimulationReport), SimError> {
-    baseline_pair(&PocketGlWorkload, iterations, seed, tiles)
+) -> Result<(SimulationReport, SimulationReport), EngineError> {
+    baseline_pair(engine, "pocket_gl", iterations, seed, tiles)
 }
 
 /// Converts the Pocket GL inter-task scenarios into the correlated scenario
@@ -304,55 +324,47 @@ pub struct AblationRow {
 /// behind the machine-readable `BENCH_results.json` the `all_experiments`
 /// binary emits.
 ///
-/// `threads` is the worker count handed to the batched engine (`0` = the
-/// automatic resolution of
-/// [`SimulationConfig::resolved_threads`](drhw_sim::SimulationConfig::resolved_threads));
-/// the reports are bit-identical for every value, which is what lets the
-/// binaries measure the sequential-versus-parallel speedup on the very same
-/// workload.
-///
 /// # Errors
 ///
-/// Propagates simulation errors.
+/// Propagates engine errors.
 pub fn policy_overhead_reports(
+    engine: &Engine,
     iterations: usize,
     seed: u64,
     tiles: usize,
-    threads: usize,
-) -> Result<Vec<SimulationReport>, SimError> {
-    let workload = MultimediaWorkload;
-    let set = workload.task_set();
-    let platform = Platform::virtex_like(tiles).expect("tile count is positive");
-    let config = workload_config(&workload, iterations, seed).with_threads(threads);
-    let plan = IterationPlan::new(&set, &platform, config)?;
-    SimBatch::new(&plan).run(&PolicyKind::ALL)
+) -> Result<Vec<SimulationReport>, EngineError> {
+    engine.run(
+        experiment_spec("multimedia", iterations, seed)
+            .with_tiles(tiles)
+            .with_policies(PolicyKind::ALL),
+    )
 }
 
 /// Ablation: how much the reuse-aware replacement policy matters compared to
-/// LRU and direct mapping (multimedia set, hybrid prefetch, fixed tile count).
+/// LRU and direct mapping (multimedia set, hybrid prefetch, fixed tile
+/// count). The replacement policy is a run-time knob, so all three variants
+/// share one cached plan.
 ///
 /// # Errors
 ///
-/// Propagates simulation errors.
+/// Propagates engine errors.
 pub fn replacement_ablation(
+    engine: &Engine,
     iterations: usize,
     seed: u64,
     tiles: usize,
-) -> Result<Vec<AblationRow>, SimError> {
-    let set = MultimediaWorkload.task_set();
-    let platform = Platform::virtex_like(tiles).expect("tile count is positive");
+) -> Result<Vec<AblationRow>, EngineError> {
     let mut rows = Vec::new();
     for policy in [
         ReplacementPolicy::ReuseAware,
         ReplacementPolicy::LeastRecentlyUsed,
         ReplacementPolicy::Direct,
     ] {
-        let config = SimulationConfig::default()
-            .with_iterations(iterations)
-            .with_seed(seed)
+        let spec = experiment_spec("multimedia", iterations, seed)
+            .with_tiles(tiles)
+            .with_policies([PolicyKind::Hybrid])
             .with_replacement(policy);
-        let sim = DynamicSimulation::new(&set, &platform, config)?;
-        let report = sim.run(PolicyKind::Hybrid)?;
+        let report = engine.run(spec)?.remove(0);
         rows.push(AblationRow {
             label: format!("replacement={policy}"),
             overhead_percent: report.overhead_percent(),
@@ -438,9 +450,13 @@ mod tests {
         }
     }
 
+    fn test_engine() -> Engine {
+        Engine::builder().build()
+    }
+
     #[test]
     fn quick_figure6_sweep_shows_the_expected_ordering() {
-        let points = figure6_series(60, 7).unwrap();
+        let points = figure6_series(&test_engine(), 60, 7).unwrap();
         assert_eq!(points.len(), 9 * 3);
         // At every tile count the hybrid and the inter-task variant stay at or
         // below the pure run-time heuristic plus a small tolerance.
@@ -459,9 +475,9 @@ mod tests {
 
     #[test]
     fn workload_sweep_runs_over_any_registered_workload() {
-        let registry = drhw_workloads::WorkloadRegistry::with_builtins();
-        let random = registry.get("random-3x5").expect("built-in workload");
-        let points = workload_sweep(random.as_ref(), 10, 1, &[PolicyKind::Hybrid]).unwrap();
+        let engine = test_engine();
+        let random = engine.registry().resolve("random-3x5").expect("built-in");
+        let points = workload_sweep(&engine, "random-3x5", 10, 1, &[PolicyKind::Hybrid]).unwrap();
         assert_eq!(points.len(), random.tile_sweep().count());
         for point in &points {
             assert_eq!(point.policy, PolicyKind::Hybrid);
@@ -471,7 +487,8 @@ mod tests {
 
     #[test]
     fn ablation_reports_cover_every_variant() {
-        let rows = replacement_ablation(30, 3, 10).unwrap();
+        let engine = test_engine();
+        let rows = replacement_ablation(&engine, 30, 3, 10).unwrap();
         assert_eq!(rows.len(), 3);
         let reuse_aware = &rows[0];
         let direct = &rows[2];

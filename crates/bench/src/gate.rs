@@ -14,7 +14,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "default_tolerance": 0.5000,
 //!   "tolerance": {
 //!     "wall_clock_ms.cross_policy": 1.0000
@@ -229,7 +229,7 @@ pub fn render_baseline_json(measured: &[Measured], default_tolerance: f64) -> St
         }
     }
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!(
         "  \"default_tolerance\": {default_tolerance:.4},\n"
     ));

@@ -79,6 +79,29 @@ pub fn render_ablation(rows: &[AblationRow], title: &str) -> String {
     out
 }
 
+/// How the engine's prepared-plan cache behaved over one harness run — the
+/// schema-v4 `plan_cache` block of `BENCH_results.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanCacheBlock {
+    /// Jobs that reused a cached plan (no design-time work).
+    pub hits: u64,
+    /// Jobs that prepared a plan.
+    pub misses: u64,
+    /// Average preparation wall clock per submitted job, in milliseconds —
+    /// the amortisation the cache bought.
+    pub amortized_prepare_ms: f64,
+}
+
+impl From<drhw_engine::CacheStats> for PlanCacheBlock {
+    fn from(stats: drhw_engine::CacheStats) -> Self {
+        PlanCacheBlock {
+            hits: stats.hits,
+            misses: stats.misses,
+            amortized_prepare_ms: stats.amortized_prepare_ms(),
+        }
+    }
+}
+
 /// Wall-clock measurements of one experiment-harness run, recorded alongside
 /// the simulation results so the performance trajectory of the engine itself
 /// is machine-readable.
@@ -100,6 +123,10 @@ pub struct RunTiming {
     /// Measured simulation throughput per policy, as `(policy,
     /// iterations per second)` pairs.
     pub policy_iterations_per_sec: Vec<(String, f64)>,
+    /// Plan-cache counters of the engine the run went through, when the run
+    /// used one (`None` renders as an all-zero block so the schema's key set
+    /// is stable).
+    pub plan_cache: Option<PlanCacheBlock>,
 }
 
 impl RunTiming {
@@ -115,14 +142,15 @@ impl RunTiming {
 
 /// Renders the cross-policy simulation reports plus the run's wall-clock
 /// timings as the machine-readable JSON written to `BENCH_results.json`
-/// (schema v3): simulation parameters, one `policy → overhead_percent` (and
+/// (schema v4): simulation parameters, one `policy → overhead_percent` (and
 /// `policy → reuse_percent`) entry per policy, the threads used,
 /// per-experiment `wall_clock_ms`, the sequential-versus-parallel speedup
-/// measurement, the per-stage `stage_ms` block, and the per-policy
-/// `policy_iterations_per_sec` throughput block. Hand-rolled because no JSON
-/// backend is available offline; the output is plain ASCII and the policy
-/// names, experiment labels and stage names contain no characters needing
-/// escapes.
+/// measurement, the per-stage `stage_ms` block, the per-policy
+/// `policy_iterations_per_sec` throughput block, and the engine's
+/// `plan_cache` block (hits, misses, amortised preparation cost).
+/// Hand-rolled because no JSON backend is available offline; the output is
+/// plain ASCII and the policy names, experiment labels and stage names
+/// contain no characters needing escapes.
 pub fn render_results_json(reports: &[SimulationReport], timing: &RunTiming) -> String {
     fn number(v: f64) -> String {
         // JSON has no NaN/Infinity; an absent measurement becomes null.
@@ -191,7 +219,16 @@ pub fn render_results_json(reports: &[SimulationReport], timing: &RunTiming) -> 
         }
         out.push_str("  },\n");
     }
-    out.push_str("  \"schema_version\": 3\n}\n");
+    let cache = timing.plan_cache.unwrap_or_default();
+    out.push_str("  \"plan_cache\": {\n");
+    out.push_str(&format!("    \"hits\": {},\n", cache.hits));
+    out.push_str(&format!("    \"misses\": {},\n", cache.misses));
+    out.push_str(&format!(
+        "    \"amortized_prepare_ms\": {}\n",
+        number(cache.amortized_prepare_ms)
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"schema_version\": 4\n}\n");
     out
 }
 
@@ -267,8 +304,9 @@ mod tests {
 
     #[test]
     fn results_json_is_well_formed_and_covers_every_policy() {
+        let engine = drhw_engine::Engine::builder().build();
         let reports =
-            crate::experiments::policy_overhead_reports(2, 1, 8, 1).expect("simulation runs");
+            crate::experiments::policy_overhead_reports(&engine, 2, 1, 8).expect("simulation runs");
         let timing = RunTiming {
             threads: 2,
             experiments: vec![("fig6".to_string(), 1234.5), ("fig7".to_string(), 987.0)],
@@ -279,6 +317,11 @@ mod tests {
                 ("pareto".to_string(), 2.5),
             ],
             policy_iterations_per_sec: vec![("hybrid".to_string(), 512.0)],
+            plan_cache: Some(PlanCacheBlock {
+                hits: 3,
+                misses: 2,
+                amortized_prepare_ms: 1.25,
+            }),
         };
         let json = render_results_json(&reports, &timing);
         assert!(json.starts_with("{\n"));
@@ -296,7 +339,11 @@ mod tests {
         assert!(json.contains("\"list_scheduler\": 1.5000"));
         assert!(json.contains("\"policy_iterations_per_sec\""));
         assert!(json.contains("\"hybrid\": 512.0000"));
-        assert!(json.ends_with("\"schema_version\": 3\n}\n"));
+        assert!(json.contains("\"plan_cache\""));
+        assert!(json.contains("\"hits\": 3"));
+        assert!(json.contains("\"misses\": 2"));
+        assert!(json.contains("\"amortized_prepare_ms\": 1.2500"));
+        assert!(json.ends_with("\"schema_version\": 4\n}\n"));
         // No trailing comma before a closing brace, and balanced braces.
         assert!(!json.contains(",\n  }"));
         assert!(!json.contains(",\n    }"));
@@ -319,6 +366,10 @@ mod tests {
         // Empty stage/throughput blocks stay in the key set as empty objects.
         assert!(json.contains("\"stage_ms\": {\n  }"));
         assert!(json.contains("\"policy_iterations_per_sec\": {\n  }"));
+        // A run without an engine still renders the plan_cache key set.
+        assert!(json.contains("\"plan_cache\""));
+        assert!(json.contains("\"hits\": 0"));
+        assert!(json.contains("\"amortized_prepare_ms\": 0.0000"));
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! JSON-lines serving front-end over the job engine.
+//!
+//! Reads one [`JobSpec`](drhw_engine::JobSpec) JSON object per stdin line
+//! and writes result/progress/error JSON lines to stdout (protocol:
+//! [`drhw_engine::serve`]). A session's output is byte-for-byte
+//! reproducible, which is how CI diffs it against a golden transcript.
+//!
+//! ```text
+//! echo '{"workload":"multimedia","tiles":8,"iterations":100}' \
+//!   | cargo run --release -p drhw-engine --bin engine_serve
+//! ```
+//!
+//! Environment knobs: `DRHW_SIM_THREADS` sizes the worker pool (default:
+//! available parallelism); `DRHW_ENGINE_CACHE` sizes the plan cache
+//! (default 8, `0` disables caching).
+//!
+//! Exit status: `0` when every request succeeded, `1` when any line failed,
+//! `2` on an I/O error.
+
+use std::io::{BufWriter, Write};
+
+use drhw_engine::Engine;
+
+fn main() {
+    let cache_capacity = std::env::var("DRHW_ENGINE_CACHE")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(drhw_engine::DEFAULT_CACHE_CAPACITY);
+    let engine = Engine::builder().cache_capacity(cache_capacity).build();
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut writer = BufWriter::new(stdout.lock());
+    let summary = match drhw_engine::serve(&engine, stdin.lock(), &mut writer) {
+        Ok(summary) => summary,
+        Err(err) => {
+            eprintln!("error: serving failed: {err}");
+            std::process::exit(2);
+        }
+    };
+    if writer.flush().is_err() {
+        std::process::exit(2);
+    }
+    let stats = engine.cache_stats();
+    eprintln!(
+        "served {} job(s), {} error(s); plan cache: {} hit(s), {} miss(es)",
+        summary.completed, summary.failed, stats.hits, stats.misses
+    );
+    if summary.failed > 0 {
+        std::process::exit(1);
+    }
+}

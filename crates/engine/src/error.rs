@@ -1,0 +1,133 @@
+//! The unified error type of the engine layer.
+//!
+//! Every failure a job can hit — an unknown workload name, an invalid spec
+//! field, a scheduling error deep inside the simulation stack, a cooperative
+//! cancellation — surfaces as one [`EngineError`]. The wrapped errors keep
+//! their full `source()` chains (`SimError` → `TcmError`/`PrefetchError`/
+//! `ModelError`), and every `Display` rendering names the offending
+//! workload, policy or configuration field so a serving front-end can emit
+//! actionable messages without inspecting variants.
+
+use std::error::Error;
+use std::fmt;
+
+use drhw_sim::SimError;
+use drhw_workloads::WorkloadError;
+
+use crate::job::JobId;
+
+/// Errors returned by [`Engine`](crate::Engine) job submission and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The job spec named a workload the registry cannot resolve.
+    Workload(WorkloadError),
+    /// The simulation stack rejected the job; `workload` names the workload
+    /// being simulated so batch logs stay attributable.
+    Sim {
+        /// The workload the failing job was simulating.
+        workload: String,
+        /// The underlying simulation error (its `source()` chain reaches the
+        /// TCM/prefetch/model layers).
+        source: SimError,
+    },
+    /// A field of the [`JobSpec`](crate::JobSpec) failed validation before
+    /// any simulation work started.
+    InvalidSpec {
+        /// The spec field that was rejected.
+        field: &'static str,
+        /// Why it was rejected (names the offending input).
+        reason: String,
+    },
+    /// The job was cancelled (via [`JobHandle::cancel`](crate::JobHandle::cancel)
+    /// or an engine shutdown) before it completed.
+    Cancelled {
+        /// The id of the cancelled job.
+        job: JobId,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Workload(e) => write!(f, "workload resolution failed: {e}"),
+            EngineError::Sim { workload, source } => {
+                write!(f, "simulating workload {workload:?}: {source}")
+            }
+            EngineError::InvalidSpec { field, reason } => {
+                write!(f, "job spec field `{field}`: {reason}")
+            }
+            EngineError::Cancelled { job } => {
+                write!(f, "job {job} was cancelled before it completed")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Workload(e) => Some(e),
+            EngineError::Sim { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for EngineError {
+    fn from(e: WorkloadError) -> Self {
+        EngineError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drhw_tcm::TcmError;
+
+    #[test]
+    fn display_names_the_workload_policy_or_field() {
+        let e = EngineError::Workload(WorkloadError::Unknown {
+            name: "warp-drive".to_string(),
+            known: vec!["multimedia".to_string()],
+        });
+        assert!(e.to_string().contains("warp-drive"));
+        assert!(e.to_string().contains("multimedia"));
+
+        let e = EngineError::Sim {
+            workload: "pocket_gl".to_string(),
+            source: SimError::NoIterations,
+        };
+        let message = e.to_string();
+        assert!(message.contains("pocket_gl"), "{message}");
+        assert!(message.contains("`iterations`"), "{message}");
+
+        let e = EngineError::InvalidSpec {
+            field: "policies",
+            reason: "unknown policy \"turbo\"".to_string(),
+        };
+        let message = e.to_string();
+        assert!(message.contains("`policies`"), "{message}");
+        assert!(message.contains("turbo"), "{message}");
+
+        let e = EngineError::Cancelled { job: JobId::new(7) };
+        assert!(e.to_string().contains("7"));
+    }
+
+    #[test]
+    fn source_chain_reaches_the_tcm_layer() {
+        let e = EngineError::Sim {
+            workload: "multimedia".to_string(),
+            source: SimError::Tcm(TcmError::EmptyCurve),
+        };
+        let sim = e.source().expect("EngineError::Sim has a source");
+        let tcm = sim.source().expect("SimError::Tcm has a source");
+        assert!(tcm.downcast_ref::<TcmError>().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<EngineError>();
+    }
+}

@@ -1,0 +1,340 @@
+//! The JSON-lines serving protocol: the first serving-shaped scenario of the
+//! roadmap.
+//!
+//! One request per input line, one or more response lines per request, all
+//! compact JSON objects:
+//!
+//! * **Request** — a [`JobSpec`] object (see [`JobSpec::from_json`]) plus
+//!   two optional envelope fields: `id` (any JSON value, echoed back
+//!   verbatim) and `progress` (boolean; `true` streams per-chunk progress
+//!   lines before the result).
+//! * **`{"type":"progress",…}`** — one per folded chunk, in deterministic
+//!   (policy, chunk) order, carrying the partial overhead so far.
+//! * **`{"type":"result",…}`** — the job's reports (one per policy) plus
+//!   `"cache":"hit"|"miss"` telling whether the plan cache skipped the
+//!   design-time work.
+//! * **`{"type":"error",…}`** — a failed line, with the input line number
+//!   and a message naming the offending workload/policy/field.
+//!
+//! Every response value is a pure function of the request line and its
+//! position in the session (cache hits depend on what ran before), so a
+//! whole session's output is byte-for-byte reproducible — which is how CI
+//! pins the protocol with a golden transcript.
+
+use std::io::{BufRead, Write};
+
+use drhw_sim::SimulationReport;
+
+use crate::engine::Engine;
+use crate::job::ProgressEvent;
+use crate::json::{parse, JsonValue};
+use crate::spec::JobSpec;
+
+/// What one serving session processed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Lines that produced a result.
+    pub completed: usize,
+    /// Lines that produced an error.
+    pub failed: usize,
+}
+
+/// Runs the JSON-lines protocol: reads requests from `input` line by line,
+/// executes them on `engine` in order, writes response lines to `output`.
+/// Blank lines are skipped. Returns how many requests succeeded/failed.
+///
+/// # Errors
+///
+/// Returns I/O errors from the reader or writer; protocol-level failures
+/// (bad JSON, unknown workloads, simulation errors) become `error` response
+/// lines instead.
+pub fn serve(
+    engine: &Engine,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for (index, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_number = index + 1;
+        match serve_line(engine, &line, &mut output)? {
+            Ok(()) => summary.completed += 1,
+            Err(error) => {
+                summary.failed += 1;
+                let mut entries =
+                    vec![("type".to_string(), JsonValue::String("error".to_string()))];
+                if let Some(id) = request_id(&line) {
+                    entries.push(("id".to_string(), id));
+                }
+                entries.push(("line".to_string(), JsonValue::UInt(line_number as u64)));
+                entries.push(("message".to_string(), JsonValue::String(error)));
+                writeln!(output, "{}", JsonValue::Object(entries).to_json())?;
+            }
+        }
+    }
+    output.flush()?;
+    Ok(summary)
+}
+
+/// The echoed `id` of a request line, when the line parses far enough to
+/// have one.
+fn request_id(line: &str) -> Option<JsonValue> {
+    parse(line).ok()?.get("id").cloned()
+}
+
+/// Processes one request line; `Err` carries the protocol error message.
+fn serve_line(
+    engine: &Engine,
+    line: &str,
+    output: &mut impl Write,
+) -> std::io::Result<Result<(), String>> {
+    let value = match parse(line) {
+        Ok(value) => value,
+        Err(e) => return Ok(Err(e.to_string())),
+    };
+    let spec = match JobSpec::from_json(&value) {
+        Ok(spec) => spec,
+        Err(e) => return Ok(Err(e.to_string())),
+    };
+    let id = value.get("id").cloned();
+    let want_progress = value
+        .get("progress")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+
+    let mut handle = match engine.submit(spec) {
+        Ok(handle) => handle,
+        Err(e) => return Ok(Err(e.to_string())),
+    };
+    let receiver = handle.progress();
+    if want_progress {
+        if let Some(receiver) = receiver {
+            // The channel closes when the job resolves, so this drains the
+            // complete, deterministically-ordered event stream.
+            for event in receiver.iter() {
+                writeln!(output, "{}", progress_json(&event, id.as_ref()).to_json())?;
+            }
+        }
+    }
+    match handle.wait() {
+        Ok(reports) => {
+            let result = result_json(&handle, &reports, id.as_ref());
+            writeln!(output, "{}", result.to_json())?;
+            Ok(Ok(()))
+        }
+        Err(e) => Ok(Err(e.to_string())),
+    }
+}
+
+fn progress_json(event: &ProgressEvent, id: Option<&JsonValue>) -> JsonValue {
+    let mut entries = vec![(
+        "type".to_string(),
+        JsonValue::String("progress".to_string()),
+    )];
+    if let Some(id) = id {
+        entries.push(("id".to_string(), id.clone()));
+    }
+    entries.extend([
+        (
+            "policy".to_string(),
+            JsonValue::String(event.policy.to_string()),
+        ),
+        ("chunk".to_string(), JsonValue::UInt(event.chunk as u64)),
+        (
+            "chunks".to_string(),
+            JsonValue::UInt(event.chunks_per_policy as u64),
+        ),
+        (
+            "iterations_done".to_string(),
+            JsonValue::UInt(event.iterations_done as u64),
+        ),
+        (
+            "overhead_percent".to_string(),
+            JsonValue::Float(event.partial_stats.overhead_percent()),
+        ),
+    ]);
+    JsonValue::Object(entries)
+}
+
+fn result_json(
+    handle: &crate::JobHandle,
+    reports: &[SimulationReport],
+    id: Option<&JsonValue>,
+) -> JsonValue {
+    let mut entries = vec![("type".to_string(), JsonValue::String("result".to_string()))];
+    if let Some(id) = id {
+        entries.push(("id".to_string(), id.clone()));
+    }
+    let first = reports.first();
+    entries.extend([
+        (
+            "workload".to_string(),
+            JsonValue::String(handle.spec().workload.clone()),
+        ),
+        (
+            "tiles".to_string(),
+            JsonValue::UInt(first.map_or(0, |r| r.tile_count()) as u64),
+        ),
+        (
+            "iterations".to_string(),
+            JsonValue::UInt(first.map_or(0, |r| r.iterations()) as u64),
+        ),
+        (
+            "cache".to_string(),
+            JsonValue::String(
+                if handle.was_cache_hit() {
+                    "hit"
+                } else {
+                    "miss"
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "reports".to_string(),
+            JsonValue::Array(reports.iter().map(report_json).collect()),
+        ),
+    ]);
+    JsonValue::Object(entries)
+}
+
+/// Renders one per-policy report as the wire object — the schema pinned by
+/// `tests/schema_snapshot.rs`.
+pub fn report_json(report: &SimulationReport) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "policy".to_string(),
+            JsonValue::String(report.policy().to_string()),
+        ),
+        (
+            "activations".to_string(),
+            JsonValue::UInt(report.activations() as u64),
+        ),
+        (
+            "ideal_us".to_string(),
+            JsonValue::UInt(report.ideal_total().as_micros()),
+        ),
+        (
+            "penalty_us".to_string(),
+            JsonValue::UInt(report.penalty_total().as_micros()),
+        ),
+        (
+            "overhead_percent".to_string(),
+            JsonValue::Float(report.overhead_percent()),
+        ),
+        (
+            "loads_performed".to_string(),
+            JsonValue::UInt(report.loads_performed() as u64),
+        ),
+        (
+            "loads_cancelled".to_string(),
+            JsonValue::UInt(report.loads_cancelled() as u64),
+        ),
+        (
+            "drhw_subtasks_executed".to_string(),
+            JsonValue::UInt(report.drhw_subtasks_executed() as u64),
+        ),
+        (
+            "reused_subtasks".to_string(),
+            JsonValue::UInt(report.reused_subtasks() as u64),
+        ),
+        (
+            "reuse_percent".to_string(),
+            JsonValue::Float(report.reuse_percent()),
+        ),
+        (
+            "reconfiguration_energy_mj".to_string(),
+            JsonValue::Float(report.reconfiguration_energy_mj()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+
+    fn serve_session(input: &str) -> (ServeSummary, String) {
+        let engine = Engine::builder().threads(2).build();
+        let mut out = Vec::new();
+        let summary = serve(&engine, input.as_bytes(), &mut out).expect("in-memory I/O");
+        (summary, String::from_utf8(out).expect("output is UTF-8"))
+    }
+
+    #[test]
+    fn a_session_is_deterministic_and_marks_cache_hits() {
+        let input = concat!(
+            r#"{"id":1,"workload":"multimedia","tiles":8,"iterations":20,"policies":["hybrid"]}"#,
+            "\n",
+            r#"{"id":2,"workload":"multimedia","tiles":8,"iterations":20,"seed":77,"policies":["hybrid"]}"#,
+            "\n",
+        );
+        let (summary, first) = serve_session(input);
+        assert_eq!(
+            summary,
+            ServeSummary {
+                completed: 2,
+                failed: 0
+            }
+        );
+        let (_, second) = serve_session(input);
+        assert_eq!(first, second, "sessions must be byte-for-byte reproducible");
+        let lines: Vec<&str> = first.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""cache":"miss""#), "{}", lines[0]);
+        // Same workload/tiles, different seed: the plan is reused.
+        assert!(lines[1].contains(r#""cache":"hit""#), "{}", lines[1]);
+        assert!(lines[0].contains(r#""type":"result""#));
+        assert!(lines[0].contains(r#""id":1"#));
+    }
+
+    #[test]
+    fn progress_lines_precede_the_result_in_fold_order() {
+        let input = concat!(
+            r#"{"workload":"multimedia","tiles":8,"iterations":64,"chunk_size":16,"#,
+            r#""policies":["no-prefetch"],"progress":true}"#,
+            "\n"
+        );
+        let (summary, output) = serve_session(input);
+        assert_eq!(summary.completed, 1);
+        let lines: Vec<&str> = output.lines().collect();
+        assert_eq!(lines.len(), 5, "4 chunks + 1 result: {output}");
+        for (chunk, line) in lines[..4].iter().enumerate() {
+            assert!(line.contains(r#""type":"progress""#), "{line}");
+            assert!(line.contains(&format!(r#""chunk":{chunk}"#)), "{line}");
+        }
+        assert!(lines[4].contains(r#""type":"result""#));
+    }
+
+    #[test]
+    fn bad_lines_become_error_lines_with_the_line_number() {
+        let input = concat!(
+            "this is not json\n",
+            "\n",
+            r#"{"id":"x","workload":"nope"}"#,
+            "\n",
+            r#"{"workload":"multimedia","tiles":8,"iterations":5,"policies":["hybrid"]}"#,
+            "\n",
+        );
+        let (summary, output) = serve_session(input);
+        assert_eq!(
+            summary,
+            ServeSummary {
+                completed: 1,
+                failed: 2
+            }
+        );
+        let lines: Vec<&str> = output.lines().collect();
+        assert!(lines[0].contains(r#""type":"error""#));
+        assert!(lines[0].contains(r#""line":1"#));
+        assert!(lines[0].contains("invalid JSON"));
+        // The unknown-workload error names the offending input and echoes id.
+        assert!(lines[1].contains(r#""line":3"#), "{}", lines[1]);
+        assert!(lines[1].contains("nope"), "{}", lines[1]);
+        assert!(lines[1].contains(r#""id":"x""#), "{}", lines[1]);
+        assert!(lines[2].contains(r#""type":"result""#));
+    }
+}

@@ -22,6 +22,7 @@
 
 use std::collections::BTreeMap;
 
+use drhw_engine::{Engine, JobSpec};
 use drhw_model::{PeClass, Platform, Scenario, ScenarioId, SubtaskGraph, Task, TaskId, TaskSet};
 use drhw_prefetch::{PolicyKind, ReplacementPolicy};
 use drhw_sim::{
@@ -64,6 +65,11 @@ pub struct DiffCase {
     pub tiles: usize,
     /// The engine-side configuration (the oracle side is derived from it).
     pub config: SimulationConfig,
+    /// Registry name of the workload the case was generated from, when the
+    /// task set is reproducible by name — this is what lets [`run_corpus`]
+    /// additionally push the case through the `drhw-engine` job path.
+    /// Structurally shrunk cases lose the name (`None`).
+    pub workload: Option<String>,
 }
 
 impl DiffCase {
@@ -88,7 +94,24 @@ impl DiffCase {
             task_set: workload.task_set(),
             tiles,
             config,
+            workload: Some(workload.name().to_string()),
         }
+    }
+
+    /// The job spec reproducing this case through the `drhw-engine` path, or
+    /// `None` when the task set is not reproducible by name.
+    pub fn job_spec(&self) -> Option<JobSpec> {
+        let workload = self.workload.as_ref()?;
+        Some(
+            JobSpec::new(workload)
+                .with_tiles(self.tiles)
+                .with_iterations(self.config.iterations)
+                .with_seed(self.config.seed)
+                .with_chunk_size(self.config.chunk_size)
+                .with_replacement(self.config.replacement)
+                .with_point_selection(self.config.point_selection)
+                .with_task_inclusion_probability(self.config.task_inclusion_probability),
+        )
     }
 
     fn oracle_config(&self) -> OracleConfig {
@@ -174,7 +197,7 @@ impl std::fmt::Display for Divergence {
 impl std::error::Error for Divergence {}
 
 /// Statistics of one successfully compared case.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CaseOutcome {
     /// The case label.
     pub label: String,
@@ -182,6 +205,11 @@ pub struct CaseOutcome {
     pub iterations: usize,
     /// Policies swept (always all five).
     pub policies: usize,
+    /// The aggregate default-thread-count [`SimBatch`] reports of the case,
+    /// when every policy simulated cleanly — reused by [`run_corpus`] as
+    /// the comparison target for the engine replay, so the direct path is
+    /// not recomputed.
+    pub reports: Option<Vec<SimulationReport>>,
 }
 
 macro_rules! compare_fields {
@@ -324,6 +352,7 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Box<Divergence>> {
                     label: case.label.clone(),
                     iterations: 0,
                     policies: PolicyKind::ALL.len(),
+                    reports: None,
                 }),
                 Ok(_) => Err(Box::new(Divergence {
                     case: case.label.clone(),
@@ -391,6 +420,7 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Box<Divergence>> {
     // Aggregate comparison: one batch per thread mode covering every policy
     // at once (a batch over a policy subset would still be bit-identical,
     // but sweeping all five in one pool is what production runs do).
+    let mut batch_reports = None;
     if reference_reports.iter().all(Option::is_some) {
         let single = SimBatch::with_threads(&plan, 1)
             .run(&PolicyKind::ALL)
@@ -405,12 +435,14 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, Box<Divergence>> {
             compare_report(case, policy, "1", &single[which], reference)?;
             compare_report(case, policy, "default", &parallel[which], reference)?;
         }
+        batch_reports = Some(parallel);
     }
 
     Ok(CaseOutcome {
         label: case.label.clone(),
         iterations: case.config.iterations,
         policies: PolicyKind::ALL.len(),
+        reports: batch_reports,
     })
 }
 
@@ -455,18 +487,112 @@ pub fn pinned_corpus(cases: usize) -> Vec<DiffCase> {
 
 /// Runs a whole corpus, shrinking the first divergence before returning it.
 ///
+/// Every case that carries a workload name is additionally replayed through
+/// the `drhw-engine` job path (plan cache, worker pool, ordered fold) —
+/// once cold (a cache miss that prepares the plan) and once warm (a
+/// guaranteed cache hit on the same key) — and both replays are compared
+/// bit for bit against the [`SimBatch`] reports the direct pass already
+/// computed. The two stacks, and the hit and miss paths, must be
+/// indistinguishable on the whole corpus.
+///
 /// # Errors
 ///
 /// Returns the shrunk [`Divergence`] of the first failing case.
 pub fn run_corpus(cases: &[DiffCase]) -> Result<Vec<CaseOutcome>, Box<Divergence>> {
+    // One engine for the whole corpus. Corpus workload names are unique
+    // (the fuzz seed is part of the name), so within one case the first
+    // submission misses and the resubmission below hits.
+    let engine = Engine::builder().cache_capacity(16).build();
     let mut outcomes = Vec::with_capacity(cases.len());
     for case in cases {
         match run_case(case) {
-            Ok(outcome) => outcomes.push(outcome),
+            Ok(outcome) => {
+                engine_check(case, &engine, outcome.reports.as_deref())?;
+                outcomes.push(outcome);
+            }
             Err(divergence) => return Err(shrink(case, *divergence)),
         }
     }
     Ok(outcomes)
+}
+
+/// Replays a named case through the engine — cold, then warm — and demands
+/// bit-for-bit agreement with the direct batch reports `run_case` computed
+/// (including agreement on *failing*: if the direct pass produced no
+/// aggregate reports, the engine job must error too).
+fn engine_check(
+    case: &DiffCase,
+    engine: &Engine,
+    batch_reports: Option<&[SimulationReport]>,
+) -> Result<(), Box<Divergence>> {
+    let Some(spec) = case.job_spec() else {
+        return Ok(());
+    };
+    let divergence = |field: &str, engine_side: String, batch_side: String| {
+        Box::new(Divergence {
+            case: case.label.clone(),
+            policy: PolicyKind::NoPrefetch,
+            iteration: None,
+            field: field.to_string(),
+            engine: engine_side,
+            oracle: batch_side,
+            minimized: None,
+        })
+    };
+    match (engine.run(spec.clone()), batch_reports) {
+        (Ok(via_engine), Some(via_batch)) => {
+            if via_engine != via_batch {
+                return Err(divergence(
+                    "reports[engine-vs-batch]",
+                    format!("{via_engine:?}"),
+                    format!("{via_batch:?}"),
+                ));
+            }
+            // Resubmit: same key, so this run is served from the plan
+            // cache and must still be bit-identical.
+            let handle = match engine.submit(spec) {
+                Ok(handle) => handle,
+                Err(e) => {
+                    return Err(divergence(
+                        "error[cache-replay]",
+                        e.to_string(),
+                        "first submission succeeded".to_string(),
+                    ))
+                }
+            };
+            if !handle.was_cache_hit() {
+                return Err(divergence(
+                    "cache[cache-replay]",
+                    "miss".to_string(),
+                    "hit expected on resubmission".to_string(),
+                ));
+            }
+            match handle.wait() {
+                Ok(warm) if warm == via_engine => Ok(()),
+                Ok(warm) => Err(divergence(
+                    "reports[cache-replay]",
+                    format!("{warm:?}"),
+                    format!("{via_engine:?}"),
+                )),
+                Err(e) => Err(divergence(
+                    "error[cache-replay]",
+                    e.to_string(),
+                    "cold replay succeeded".to_string(),
+                )),
+            }
+        }
+        (Err(_), None) => Ok(()),
+        (Ok(_), None) => Err(divergence(
+            "error[engine-vs-batch]",
+            "simulated successfully".to_string(),
+            "direct pass produced no aggregate reports".to_string(),
+        )),
+        (Err(e), Some(_)) => Err(divergence(
+            "error[engine-vs-batch]",
+            e.to_string(),
+            "simulated successfully".to_string(),
+        )),
+    }
 }
 
 /// Shrinks a diverging case to a (locally) minimal counterexample: first the
@@ -616,6 +742,9 @@ fn rebuild(case: &DiffCase, tasks: Vec<Task>) -> Option<DiffCase> {
         task_set,
         tiles: case.tiles,
         config,
+        // A structurally shrunk task set no longer matches any registry
+        // name, so the engine replay is skipped for it.
+        workload: None,
     })
 }
 

@@ -51,6 +51,17 @@ impl PolicyKind {
     pub fn uses_inter_task_window(self) -> bool {
         matches!(self, PolicyKind::RunTimeInterTask | PolicyKind::Hybrid)
     }
+
+    /// Parses the stable [`Display`](std::fmt::Display) name of a policy
+    /// (`no-prefetch`, `design-time-prefetch`, `run-time`,
+    /// `run-time+inter-task`, `hybrid`) — the names used in job specs,
+    /// reports and `BENCH_results.json` keys. Returns `None` for anything
+    /// else.
+    pub fn parse(name: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL
+            .into_iter()
+            .find(|policy| policy.to_string() == name)
+    }
 }
 
 impl std::fmt::Display for PolicyKind {
@@ -85,6 +96,15 @@ mod tests {
         assert!(!PolicyKind::RunTime.uses_inter_task_window());
         assert!(PolicyKind::RunTimeInterTask.uses_inter_task_window());
         assert!(PolicyKind::Hybrid.uses_inter_task_window());
+    }
+
+    #[test]
+    fn parse_round_trips_every_display_name() {
+        for policy in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(&policy.to_string()), Some(policy));
+        }
+        assert_eq!(PolicyKind::parse("turbo"), None);
+        assert_eq!(PolicyKind::parse(""), None);
     }
 
     #[test]

@@ -31,6 +31,20 @@ pub enum ReplacementPolicy {
     Direct,
 }
 
+impl ReplacementPolicy {
+    /// Parses the stable [`Display`](std::fmt::Display) name of a policy
+    /// (`reuse-aware`, `lru`, `direct`) — the names used in job specs and
+    /// ablation labels. Returns `None` for anything else.
+    pub fn parse(name: &str) -> Option<ReplacementPolicy> {
+        match name {
+            "reuse-aware" => Some(ReplacementPolicy::ReuseAware),
+            "lru" => Some(ReplacementPolicy::LeastRecentlyUsed),
+            "direct" => Some(ReplacementPolicy::Direct),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for ReplacementPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

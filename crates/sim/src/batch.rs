@@ -15,7 +15,7 @@ use drhw_prefetch::PolicyKind;
 
 use crate::error::SimError;
 use crate::plan::IterationPlan;
-use crate::stats::StatsAccumulator;
+use crate::stats::ChunkStats;
 use crate::SimulationReport;
 
 /// A batched run of one or more policies over a prepared simulation.
@@ -83,7 +83,7 @@ impl<'p, 'a> SimBatch<'p, 'a> {
         let jobs = policies.len() * chunk_count;
         let workers = self.threads.min(jobs.max(1));
 
-        let mut slots: Vec<Option<Result<StatsAccumulator, SimError>>> = Vec::new();
+        let mut slots: Vec<Option<Result<ChunkStats, SimError>>> = Vec::new();
         slots.resize_with(jobs, || None);
 
         if workers <= 1 {
@@ -162,7 +162,7 @@ impl<'p, 'a> SimBatch<'p, 'a> {
         // slot is filled.
         let mut reports = Vec::with_capacity(policies.len());
         for (which, &policy) in policies.iter().enumerate() {
-            let mut total = StatsAccumulator::default();
+            let mut total = ChunkStats::default();
             for chunk in 0..chunk_count {
                 match slots[which * chunk_count + chunk].take() {
                     Some(Ok(stats)) => total.merge(&stats),

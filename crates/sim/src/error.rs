@@ -36,6 +36,13 @@ pub enum SimError {
         /// The offending value, scaled by 1000 for exact comparison.
         permille: u32,
     },
+    /// [`IterationPlan::with_config`](crate::IterationPlan::with_config) was
+    /// asked to change a design-time knob, which would invalidate the shared
+    /// artifacts.
+    IncompatiblePlanConfig {
+        /// The configuration field that differs from the prepared plan.
+        field: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -44,14 +51,21 @@ impl fmt::Display for SimError {
             SimError::Model(e) => write!(f, "invalid model: {e}"),
             SimError::Tcm(e) => write!(f, "tcm substrate error: {e}"),
             SimError::Prefetch(e) => write!(f, "prefetch error: {e}"),
-            SimError::NoIterations => write!(f, "simulation needs at least one iteration"),
+            SimError::NoIterations => write!(
+                f,
+                "config field `iterations`: the simulation needs at least one iteration"
+            ),
             SimError::InvalidChunkSize => {
-                write!(f, "simulation chunks need at least one iteration each")
+                write!(
+                    f,
+                    "config field `chunk_size`: simulation chunks need at least one iteration each"
+                )
             }
             SimError::NoScenarioCombinations => {
                 write!(
                     f,
-                    "a correlated scenario policy needs at least one combination"
+                    "config field `scenario_policy`: a correlated scenario policy needs at least \
+                     one combination"
                 )
             }
             SimError::IterationOutOfRange { index, iterations } => {
@@ -63,8 +77,15 @@ impl fmt::Display for SimError {
             SimError::InvalidInclusionProbability { permille } => {
                 write!(
                     f,
-                    "task inclusion probability {} is outside [0, 1]",
+                    "config field `task_inclusion_probability`: {} is outside [0, 1]",
                     *permille as f64 / 1000.0
+                )
+            }
+            SimError::IncompatiblePlanConfig { field } => {
+                write!(
+                    f,
+                    "config field `{field}` differs from the prepared plan's; design-time \
+                     artifacts cannot be reused — build a fresh plan instead"
                 )
             }
         }
@@ -119,6 +140,30 @@ mod tests {
             .contains("combination"));
         let e = SimError::InvalidInclusionProbability { permille: 1500 };
         assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn config_errors_name_the_offending_field() {
+        // Every configuration error must name the config field it rejects,
+        // so service-level errors (drhw-engine) stay actionable.
+        for (error, field) in [
+            (SimError::NoIterations, "`iterations`"),
+            (SimError::InvalidChunkSize, "`chunk_size`"),
+            (SimError::NoScenarioCombinations, "`scenario_policy`"),
+            (
+                SimError::InvalidInclusionProbability { permille: 1500 },
+                "`task_inclusion_probability`",
+            ),
+            (
+                SimError::IncompatiblePlanConfig {
+                    field: "point_selection",
+                },
+                "`point_selection`",
+            ),
+        ] {
+            let message = error.to_string();
+            assert!(message.contains(field), "{message:?} must name {field}");
+        }
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! ([`SimulationConfig::chunk_size`]) whose boundaries depend only on the
 //! configuration, and per-chunk statistics are folded back in chunk order.
 //!
+//! This crate is the simulation *core*; the preferred application-facing
+//! entry point is the `drhw-engine` crate, whose `Engine` submits jobs by
+//! workload name on top of these primitives and adds plan caching across
+//! runs, streaming progress and cancellation — with reports bit-identical
+//! to a direct [`SimBatch`] run.
+//!
 //! ```
 //! use drhw_model::{ConfigId, Platform, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time};
 //! use drhw_prefetch::PolicyKind;
@@ -59,4 +65,4 @@ pub use error::SimError;
 pub use plan::IterationPlan;
 pub use runner::DynamicSimulation;
 pub use scratch::SimScratch;
-pub use stats::{IterationOutcome, SimulationReport};
+pub use stats::{ChunkStats, IterationOutcome, SimulationReport};

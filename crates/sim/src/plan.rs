@@ -17,6 +17,7 @@
 //! on the thread count.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use drhw_model::{
     ConfigId, InitialSchedule, Platform, ScenarioId, SubtaskGraph, Task, TaskId, TaskSet,
@@ -32,7 +33,7 @@ use rand::{Rng, SeedableRng};
 use crate::config::{PointSelection, ScenarioPolicy, SimulationConfig};
 use crate::error::SimError;
 use crate::scratch::SimScratch;
-use crate::stats::{IterationOutcome, StatsAccumulator};
+use crate::stats::{ChunkStats, IterationOutcome};
 
 /// Everything the simulator precomputes for one (task, scenario) pair:
 /// the prepared schedule (graph analysis, topological order, per-slot data),
@@ -51,18 +52,31 @@ struct ScenarioArtifacts<'a> {
     on_demand: ExecSummary,
 }
 
+/// The shared, iteration-independent part of a plan: the TCM library and the
+/// per-scenario artifacts. Behind an [`Arc`] so re-parameterised plans
+/// ([`IterationPlan::with_config`]) share it instead of recomputing it —
+/// this is what the engine-layer plan cache amortises across jobs.
+#[derive(Debug)]
+struct PlanShared<'a> {
+    library: DesignTimeLibrary,
+    artifacts: BTreeMap<(TaskId, ScenarioId), ScenarioArtifacts<'a>>,
+}
+
 /// A fully prepared simulation: design-time artifacts for every scenario of
 /// every task, ready to score any (policy, iteration) pair from any thread.
 ///
 /// The plan is immutable after construction and `Send + Sync`, so a single
-/// instance can back an entire [`SimBatch`](crate::SimBatch) run.
+/// instance can back an entire [`SimBatch`](crate::SimBatch) run. The
+/// design-time artifacts live behind an [`Arc`], so
+/// [`with_config`](Self::with_config) can stamp out plans for new
+/// run-time parameters (seed, iteration count, replacement policy, …)
+/// without repeating any design-time work.
 #[derive(Debug)]
 pub struct IterationPlan<'a> {
     task_set: &'a TaskSet,
     platform: &'a Platform,
     config: SimulationConfig,
-    library: DesignTimeLibrary,
-    artifacts: BTreeMap<(TaskId, ScenarioId), ScenarioArtifacts<'a>>,
+    shared: Arc<PlanShared<'a>>,
 }
 
 impl<'a> IterationPlan<'a> {
@@ -81,19 +95,13 @@ impl<'a> IterationPlan<'a> {
     ) -> Result<Self, SimError> {
         config.validate()?;
         let library = DesignTimeLibrary::build(task_set, platform, &DesignTimeScheduler::new())?;
-        let mut plan = IterationPlan {
-            task_set,
-            platform,
-            config,
-            library,
-            artifacts: BTreeMap::new(),
-        };
+        let mut artifacts = BTreeMap::new();
         // Artifacts for every policy are computed eagerly so the plan stays
         // immutable (and trivially Send + Sync) afterwards — the design-time
         // and hybrid artifacts are cheap next to even a handful of simulated
         // iterations. What IS worth skipping are scenarios a correlated
         // policy can never activate.
-        let reachable = plan.reachable_scenarios();
+        let reachable = reachable_scenarios(&config, task_set);
         let mut build_scratch = drhw_prefetch::Scratch::new();
         for task in task_set.tasks() {
             for scenario in task.scenarios() {
@@ -103,7 +111,8 @@ impl<'a> IterationPlan<'a> {
                     }
                 }
                 let graph = scenario.graph();
-                let schedule = plan.build_schedule(task.id(), scenario.id(), graph)?;
+                let schedule =
+                    build_schedule(&library, &config, platform, task.id(), scenario.id(), graph)?;
                 let required_configs = graph
                     .drhw_subtasks()
                     .into_iter()
@@ -113,7 +122,7 @@ impl<'a> IterationPlan<'a> {
                 let hybrid = HybridPrefetch::compute(graph, &schedule, platform)?;
                 let prepared = PreparedSchedule::new(graph, schedule, platform)?;
                 let on_demand = prepared.evaluate_on_demand_cold(&mut build_scratch)?;
-                plan.artifacts.insert(
+                artifacts.insert(
                     (task.id(), scenario.id()),
                     ScenarioArtifacts {
                         prepared,
@@ -125,30 +134,46 @@ impl<'a> IterationPlan<'a> {
                 );
             }
         }
-        Ok(plan)
+        Ok(IterationPlan {
+            task_set,
+            platform,
+            config,
+            shared: Arc::new(PlanShared { library, artifacts }),
+        })
     }
 
-    /// The (task, scenario) pairs the configured scenario policy can ever
-    /// activate, or `None` when every pair is reachable (independent
-    /// selection). Under a correlated policy a task runs either the scenario
-    /// a drawn combination names or, when the combination omits the task,
-    /// its first scenario — nothing else.
-    fn reachable_scenarios(&self) -> Option<BTreeSet<(TaskId, ScenarioId)>> {
-        match &self.config.scenario_policy {
-            ScenarioPolicy::Independent => None,
-            ScenarioPolicy::Correlated(combos) => {
-                let mut reachable = BTreeSet::new();
-                for task in self.task_set.tasks() {
-                    reachable.insert((task.id(), task.scenarios()[0].id()));
-                    for combo in combos {
-                        if let Some(&scenario) = combo.get(&task.id()) {
-                            reachable.insert((task.id(), scenario));
-                        }
-                    }
-                }
-                Some(reachable)
-            }
+    /// Stamps out a plan for different *run-time* parameters (seed, iteration
+    /// count, chunk size, replacement policy, inclusion probability, thread
+    /// count) while sharing every design-time artifact with `self` — an
+    /// `Arc` clone instead of a rebuild.
+    ///
+    /// The design-time knobs must match: the initial schedules depend on
+    /// [`SimulationConfig::point_selection`] and the artifact set depends on
+    /// [`SimulationConfig::scenario_policy`], so changing either requires a
+    /// fresh [`IterationPlan::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IncompatiblePlanConfig`] when a design-time knob
+    /// differs, or a validation error when `config` is invalid on its own.
+    pub fn with_config(&self, config: SimulationConfig) -> Result<IterationPlan<'a>, SimError> {
+        config.validate()?;
+        if config.point_selection != self.config.point_selection {
+            return Err(SimError::IncompatiblePlanConfig {
+                field: "point_selection",
+            });
         }
+        if config.scenario_policy != self.config.scenario_policy {
+            return Err(SimError::IncompatiblePlanConfig {
+                field: "scenario_policy",
+            });
+        }
+        Ok(IterationPlan {
+            task_set: self.task_set,
+            platform: self.platform,
+            config,
+            shared: Arc::clone(&self.shared),
+        })
     }
 
     /// The configuration of this plan.
@@ -161,9 +186,14 @@ impl<'a> IterationPlan<'a> {
         self.platform
     }
 
+    /// The task set the plan simulates.
+    pub fn task_set(&self) -> &'a TaskSet {
+        self.task_set
+    }
+
     /// The TCM design-time library built for the task set.
     pub fn library(&self) -> &DesignTimeLibrary {
-        &self.library
+        &self.shared.library
     }
 
     /// The seed driving iteration `index`, derived from the master seed with
@@ -201,7 +231,7 @@ impl<'a> IterationPlan<'a> {
         let mut subtasks = 0usize;
         let mut slots = 0usize;
         let mut configs = 0usize;
-        for artifacts in self.artifacts.values() {
+        for artifacts in self.shared.artifacts.values() {
             subtasks = subtasks.max(artifacts.prepared.graph().len());
             slots = slots.max(artifacts.prepared.schedule().slot_count());
             configs += artifacts.required_configs.len();
@@ -299,18 +329,29 @@ impl<'a> IterationPlan<'a> {
     }
 
     /// Evaluates every iteration of one chunk in order and returns their
-    /// summed statistics. This is the unit of work the parallel engine
-    /// schedules onto threads; workers pass their own long-lived scratch.
-    pub(crate) fn evaluate_chunk_with(
+    /// summed statistics. This is the unit of work the parallel engines
+    /// ([`SimBatch`](crate::SimBatch) and the `drhw-engine` job executor)
+    /// schedule onto threads; workers pass their own long-lived scratch.
+    ///
+    /// Folding the returned [`ChunkStats`] in (policy, chunk) order with
+    /// [`ChunkStats::merge`] and finishing with [`ChunkStats::finish`]
+    /// reproduces the aggregate [`SimulationReport`](crate::SimulationReport)
+    /// bit for bit, no matter which threads evaluated which chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scheduling error in iteration order within the
+    /// chunk.
+    pub fn evaluate_chunk_with(
         &self,
         policy: PolicyKind,
         chunk: usize,
         scratch: &mut SimScratch,
-    ) -> Result<StatsAccumulator, SimError> {
+    ) -> Result<ChunkStats, SimError> {
         let start = chunk * self.config.chunk_size;
         let end = (start + self.config.chunk_size).min(self.config.iterations);
         scratch.reset_chunk();
-        let mut stats = StatsAccumulator::default();
+        let mut stats = ChunkStats::default();
         for index in start..end {
             let outcome = self.run_iteration(policy, index, scratch)?;
             stats.absorb(&outcome);
@@ -339,13 +380,14 @@ impl<'a> IterationPlan<'a> {
             // not define; report it as the scheduling error it is rather
             // than panicking inside a worker thread.
             let (artifacts, _scenario) = self
+                .shared
                 .artifacts
                 .get(&key)
                 .zip(task.scenario(scenario_id))
                 .ok_or(drhw_tcm::TcmError::UnknownScenario {
-                task: task.id(),
-                scenario: scenario_id,
-            })?;
+                    task: task.id(),
+                    scenario: scenario_id,
+                })?;
             let prepared = &artifacts.prepared;
             let ideal = prepared.ideal_makespan();
 
@@ -360,7 +402,7 @@ impl<'a> IterationPlan<'a> {
                 } = scratch;
                 let upcoming = activations[position + 1..]
                     .iter()
-                    .filter_map(|&(t, s)| self.artifacts.get(&(tasks[t].id(), s)))
+                    .filter_map(|&(t, s)| self.shared.artifacts.get(&(tasks[t].id(), s)))
                     .flat_map(|a| a.required_configs.iter().copied());
                 prefetch.set_protected(upcoming);
             }
@@ -464,52 +506,79 @@ impl<'a> IterationPlan<'a> {
             }
         }
     }
+}
 
-    /// Builds the initial schedule of one scenario according to the configured
-    /// point-selection strategy.
-    fn build_schedule(
-        &self,
-        task: TaskId,
-        scenario: ScenarioId,
-        graph: &SubtaskGraph,
-    ) -> Result<InitialSchedule, SimError> {
-        let tiles = self.platform.tile_count();
-        match self.config.point_selection {
-            PointSelection::FullyParallel => {
-                let parallel = InitialSchedule::fully_parallel(graph)?;
-                if parallel.slot_count() <= tiles {
-                    return Ok(parallel);
+/// The (task, scenario) pairs the configured scenario policy can ever
+/// activate, or `None` when every pair is reachable (independent selection).
+/// Under a correlated policy a task runs either the scenario a drawn
+/// combination names or, when the combination omits the task, its first
+/// scenario — nothing else.
+fn reachable_scenarios(
+    config: &SimulationConfig,
+    task_set: &TaskSet,
+) -> Option<BTreeSet<(TaskId, ScenarioId)>> {
+    match &config.scenario_policy {
+        ScenarioPolicy::Independent => None,
+        ScenarioPolicy::Correlated(combos) => {
+            let mut reachable = BTreeSet::new();
+            for task in task_set.tasks() {
+                reachable.insert((task.id(), task.scenarios()[0].id()));
+                for combo in combos {
+                    if let Some(&scenario) = combo.get(&task.id()) {
+                        reachable.insert((task.id(), scenario));
+                    }
                 }
-                // Fall back to the fastest Pareto point that fits.
-                self.fastest_schedule(task, scenario, tiles)
             }
-            PointSelection::Fastest => self.fastest_schedule(task, scenario, tiles),
-            PointSelection::EnergyAware => {
-                let runtime = RuntimeScheduler::new(&self.library);
-                let point = runtime.select(TaskActivation { task, scenario }, tiles)?;
-                Ok(point.schedule().clone())
-            }
+            Some(reachable)
         }
     }
+}
 
-    /// The fastest Pareto point of the scenario that fits on `tiles` tiles.
-    fn fastest_schedule(
-        &self,
-        task: TaskId,
-        scenario: ScenarioId,
-        tiles: usize,
-    ) -> Result<InitialSchedule, SimError> {
-        let curve = self.library.curve(task, scenario)?;
-        let point =
-            curve
-                .fastest_within_tiles(tiles)
-                .ok_or(drhw_tcm::TcmError::NoFeasiblePoint {
-                    task,
-                    scenario,
-                    available_tiles: tiles,
-                })?;
-        Ok(point.schedule().clone())
+/// Builds the initial schedule of one scenario according to the configured
+/// point-selection strategy.
+fn build_schedule(
+    library: &DesignTimeLibrary,
+    config: &SimulationConfig,
+    platform: &Platform,
+    task: TaskId,
+    scenario: ScenarioId,
+    graph: &SubtaskGraph,
+) -> Result<InitialSchedule, SimError> {
+    let tiles = platform.tile_count();
+    match config.point_selection {
+        PointSelection::FullyParallel => {
+            let parallel = InitialSchedule::fully_parallel(graph)?;
+            if parallel.slot_count() <= tiles {
+                return Ok(parallel);
+            }
+            // Fall back to the fastest Pareto point that fits.
+            fastest_schedule(library, task, scenario, tiles)
+        }
+        PointSelection::Fastest => fastest_schedule(library, task, scenario, tiles),
+        PointSelection::EnergyAware => {
+            let runtime = RuntimeScheduler::new(library);
+            let point = runtime.select(TaskActivation { task, scenario }, tiles)?;
+            Ok(point.schedule().clone())
+        }
     }
+}
+
+/// The fastest Pareto point of the scenario that fits on `tiles` tiles.
+fn fastest_schedule(
+    library: &DesignTimeLibrary,
+    task: TaskId,
+    scenario: ScenarioId,
+    tiles: usize,
+) -> Result<InitialSchedule, SimError> {
+    let curve = library.curve(task, scenario)?;
+    let point = curve
+        .fastest_within_tiles(tiles)
+        .ok_or(drhw_tcm::TcmError::NoFeasiblePoint {
+            task,
+            scenario,
+            available_tiles: tiles,
+        })?;
+    Ok(point.schedule().clone())
 }
 
 /// The Weyl-sequence increment of SplitMix64.
@@ -678,6 +747,57 @@ mod tests {
     }
 
     #[test]
+    fn with_config_shares_artifacts_and_matches_a_fresh_plan() {
+        let set = two_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let base = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let reconfigured = SimulationConfig::quick()
+            .with_seed(99)
+            .with_iterations(17)
+            .with_chunk_size(5);
+        let derived = base.with_config(reconfigured.clone()).unwrap();
+        let fresh = IterationPlan::new(&set, &platform, reconfigured).unwrap();
+        for index in [0, 7, 16] {
+            assert_eq!(
+                derived.evaluate(PolicyKind::Hybrid, index).unwrap(),
+                fresh.evaluate(PolicyKind::Hybrid, index).unwrap(),
+                "iteration {index}"
+            );
+        }
+        // The derived plan shares (not recomputes) the artifacts.
+        assert!(Arc::ptr_eq(&base.shared, &derived.shared));
+    }
+
+    #[test]
+    fn with_config_rejects_design_time_knob_changes() {
+        let set = two_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let err = plan
+            .with_config(SimulationConfig::quick().with_point_selection(PointSelection::Fastest))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::IncompatiblePlanConfig {
+                field: "point_selection"
+            }
+        );
+        assert!(err.to_string().contains("point_selection"));
+        let err = plan
+            .with_config(
+                SimulationConfig::quick()
+                    .with_scenario_policy(ScenarioPolicy::Correlated(vec![BTreeMap::new()])),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::IncompatiblePlanConfig {
+                field: "scenario_policy"
+            }
+        );
+    }
+
+    #[test]
     fn evaluate_rejects_out_of_range_iterations() {
         let set = two_task_set();
         let platform = Platform::virtex_like(6).unwrap();
@@ -737,7 +857,7 @@ mod tests {
         let chunk = plan
             .evaluate_chunk_with(PolicyKind::RunTime, 1, &mut plan.make_scratch())
             .unwrap();
-        let mut summed = StatsAccumulator::default();
+        let mut summed = ChunkStats::default();
         for index in 4..8 {
             summed.absorb(&plan.evaluate(PolicyKind::RunTime, index).unwrap());
         }

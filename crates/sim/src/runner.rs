@@ -25,6 +25,14 @@ use crate::stats::SimulationReport;
 /// artifacts are prepared once, then any number of policies can be simulated
 /// under identical randomised workloads (same seed ⇒ same activation
 /// sequence, so policy comparisons are paired).
+///
+/// **Deprecated as an entry point.** New code should submit jobs to the
+/// `drhw-engine` crate's `Engine`, which adds plan caching across runs,
+/// streaming progress, cancellation and a serving front-end on top of the
+/// same plan + batch machinery (with bit-identical reports). This facade
+/// remains for callers that already own a `TaskSet`/`Platform` pair and for
+/// the engine's own differential tests; it cannot carry a `#[deprecated]`
+/// attribute without poisoning those uses under `-D warnings`.
 #[derive(Debug)]
 pub struct DynamicSimulation<'a> {
     plan: IterationPlan<'a>,

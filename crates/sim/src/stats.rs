@@ -81,24 +81,34 @@ impl IterationOutcome {
     }
 }
 
-/// Mutable accumulator used by the engine while iterating.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct StatsAccumulator {
-    pub activations: usize,
-    pub ideal_total: Time,
-    pub penalty_total: Time,
-    pub loads_performed: usize,
-    pub loads_cancelled: usize,
-    pub drhw_subtasks_executed: usize,
-    pub reused_subtasks: usize,
-    pub reconfiguration_energy_mj: f64,
+/// Running statistics of part of a simulation run — the unit the parallel
+/// engines fold.
+///
+/// Produced by
+/// [`IterationPlan::evaluate_chunk_with`](crate::IterationPlan::evaluate_chunk_with);
+/// merging the chunks of a run **in chunk order** and calling
+/// [`finish`](Self::finish) reproduces the aggregate [`SimulationReport`]
+/// bit for bit (the ordering matters only for the floating-point energy
+/// sum; every other field is an integer). This is the contract both
+/// [`SimBatch`](crate::SimBatch) and the `drhw-engine` job executor build
+/// their determinism guarantee on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChunkStats {
+    pub(crate) activations: usize,
+    pub(crate) ideal_total: Time,
+    pub(crate) penalty_total: Time,
+    pub(crate) loads_performed: usize,
+    pub(crate) loads_cancelled: usize,
+    pub(crate) drhw_subtasks_executed: usize,
+    pub(crate) reused_subtasks: usize,
+    pub(crate) reconfiguration_energy_mj: f64,
 }
 
-impl StatsAccumulator {
+impl ChunkStats {
     /// Adds one iteration's contribution. Must be called in iteration order so
     /// the floating-point energy sum is reproduced bit-for-bit regardless of
     /// how iterations were distributed over threads.
-    pub(crate) fn absorb(&mut self, outcome: &IterationOutcome) {
+    pub fn absorb(&mut self, outcome: &IterationOutcome) {
         self.activations += outcome.activations;
         self.ideal_total += outcome.ideal;
         self.penalty_total += outcome.penalty;
@@ -111,7 +121,7 @@ impl StatsAccumulator {
 
     /// Folds another accumulator (a chunk's subtotal) into this one. Like
     /// [`absorb`](Self::absorb), callers fold chunks in chunk order.
-    pub(crate) fn merge(&mut self, other: &StatsAccumulator) {
+    pub fn merge(&mut self, other: &ChunkStats) {
         self.activations += other.activations;
         self.ideal_total += other.ideal_total;
         self.penalty_total += other.penalty_total;
@@ -122,7 +132,14 @@ impl StatsAccumulator {
         self.reconfiguration_energy_mj += other.reconfiguration_energy_mj;
     }
 
-    pub(crate) fn finish(
+    /// Number of task activations folded in so far.
+    pub fn activations(&self) -> usize {
+        self.activations
+    }
+
+    /// Seals the fold into the aggregate report of a run of `iterations`
+    /// iterations on a `tile_count`-tile platform.
+    pub fn finish(
         self,
         policy: PolicyKind,
         tile_count: usize,
@@ -243,7 +260,7 @@ mod tests {
     use super::*;
 
     fn report(policy: PolicyKind, ideal_ms: u64, penalty_ms: u64) -> SimulationReport {
-        let acc = StatsAccumulator {
+        let acc = ChunkStats {
             activations: 10,
             ideal_total: Time::from_millis(ideal_ms),
             penalty_total: Time::from_millis(penalty_ms),
@@ -290,7 +307,7 @@ mod tests {
 
     #[test]
     fn empty_accumulator_produces_zeroes() {
-        let r = StatsAccumulator::default().finish(PolicyKind::Hybrid, 4, 1);
+        let r = ChunkStats::default().finish(PolicyKind::Hybrid, 4, 1);
         assert_eq!(r.overhead_percent(), 0.0);
         assert_eq!(r.reuse_percent(), 0.0);
         assert_eq!(r.loads_per_activation(), 0.0);

@@ -8,15 +8,10 @@
 //!
 //! Run with: `cargo run -p drhw-examples --bin dynamic_3d_rendering [-- <iterations>]`
 
-use std::collections::BTreeMap;
 use std::error::Error;
 
-use drhw_model::{Platform, ScenarioId, TaskId};
-use drhw_prefetch::PolicyKind;
-use drhw_sim::{DynamicSimulation, ScenarioPolicy, SimulationConfig};
-use drhw_workloads::pocket_gl::{
-    inter_task_scenarios, pocket_gl_task_set, workload_stats, TASK_COUNT,
-};
+use drhw_engine::{Engine, JobSpec};
+use drhw_workloads::pocket_gl::{inter_task_scenarios, pocket_gl_task_set, workload_stats};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let iterations: usize = std::env::args()
@@ -37,39 +32,22 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!();
 
-    // Convert the feasible inter-task scenarios into the correlated scenario
-    // maps the simulator consumes.
-    let combos: Vec<BTreeMap<TaskId, ScenarioId>> = inter_task_scenarios()
-        .into_iter()
-        .map(|combo| {
-            (0..TASK_COUNT)
-                .map(|t| (TaskId::new(10 + t), ScenarioId::new(combo.scenarios[t])))
-                .collect()
-        })
-        .collect();
-
+    // The engine's built-in `pocket_gl` workload carries the 20 feasible
+    // inter-task scenarios and the every-frame activation probability, so
+    // one job per tile count is the whole experiment.
+    let engine = Engine::builder().build();
     println!("Reconfiguration overhead over {iterations} frames (4 ms loads):");
     println!("tiles  no-prefetch  design-time  run-time  run-time+inter  hybrid");
     for tiles in [5usize, 6, 7, 8, 9, 10] {
-        let platform = Platform::virtex_like(tiles)?;
-        let config = SimulationConfig {
-            task_inclusion_probability: 1.0,
-            ..SimulationConfig::default()
-                .with_iterations(iterations)
-                .with_scenario_policy(ScenarioPolicy::Correlated(combos.clone()))
-        };
-        let sim = DynamicSimulation::new(&set, &platform, config)?;
-        let overhead = |policy: PolicyKind| -> Result<f64, Box<dyn Error>> {
-            Ok(sim.run(policy)?.overhead_percent())
-        };
+        let reports = engine.run(
+            JobSpec::new("pocket_gl")
+                .with_tiles(tiles)
+                .with_iterations(iterations),
+        )?;
+        let overhead: Vec<f64> = reports.iter().map(|r| r.overhead_percent()).collect();
         println!(
             "{:>5}  {:>10.1}%  {:>10.1}%  {:>7.1}%  {:>13.1}%  {:>5.1}%",
-            tiles,
-            overhead(PolicyKind::NoPrefetch)?,
-            overhead(PolicyKind::DesignTimeOnly)?,
-            overhead(PolicyKind::RunTime)?,
-            overhead(PolicyKind::RunTimeInterTask)?,
-            overhead(PolicyKind::Hybrid)?,
+            tiles, overhead[0], overhead[1], overhead[2], overhead[3], overhead[4],
         );
     }
     println!();

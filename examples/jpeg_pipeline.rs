@@ -96,5 +96,23 @@ fn main() -> Result<(), Box<dyn Error>> {
         let warm = hybrid.evaluate(&graph, &schedule, &platform, &all_resident, window)?;
         println!("  hybrid, fully resident: penalty {}\n", warm.penalty());
     }
+
+    // The same decoders inside the full multimedia workload, end to end
+    // through the job engine: many randomised iterations instead of the
+    // hand-stepped frames above.
+    let engine = drhw_engine::Engine::builder().build();
+    let reports = engine.run(
+        drhw_engine::JobSpec::new("multimedia")
+            .with_tiles(8)
+            .with_iterations(200),
+    )?;
+    println!("multimedia workload through the engine (8 tiles, 200 iterations):");
+    for report in &reports {
+        println!(
+            "  {:<22} overhead {:>5.1}%",
+            report.policy().to_string(),
+            report.overhead_percent()
+        );
+    }
     Ok(())
 }

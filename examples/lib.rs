@@ -2,7 +2,11 @@
 //!
 //! Each example is a standalone binary exercising the public API:
 //!
-//! * `quickstart` — the Fig. 3 / Fig. 5 worked example;
-//! * `jpeg_pipeline` — the JPEG decoders through the full Fig. 2 flow;
-//! * `dynamic_3d_rendering` — the Pocket GL application swept over tile counts;
-//! * `design_vs_runtime` — critical-subtask statistics and run-time cost.
+//! * `quickstart` — one `drhw-engine` job comparing all five policies;
+//! * `fig3_walkthrough` — the Fig. 3 / Fig. 5 worked example, step by step;
+//! * `jpeg_pipeline` — the JPEG decoders through the full Fig. 2 flow, then
+//!   end to end through the engine;
+//! * `dynamic_3d_rendering` — the Pocket GL application swept over tile
+//!   counts via engine jobs;
+//! * `design_vs_runtime` — critical-subtask statistics, run-time cost, and
+//!   the engine plan cache's cold/warm amortisation.

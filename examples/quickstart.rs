@@ -1,107 +1,22 @@
-//! Quickstart: the Fig. 3 / Fig. 5 worked example of the paper.
-//!
-//! Builds the four-subtask graph, shows what happens without prefetch, with
-//! the run-time prefetch heuristic, and with the hybrid heuristic (critical
-//! subtasks, initialization phase, inter-task window), printing the Gantt
-//! charts of each schedule.
+//! Quickstart: one engine, one job, all five prefetch policies compared.
 //!
 //! Run with: `cargo run -p drhw-examples --bin quickstart`
 
-use std::collections::BTreeSet;
-use std::error::Error;
+use drhw_engine::{Engine, EngineError, JobSpec};
 
-use drhw_model::{
-    ConfigId, InitialSchedule, PeAssignment, Platform, Subtask, SubtaskGraph, TileSlot, Time,
-};
-use drhw_prefetch::{
-    HybridPrefetch, InterTaskWindow, ListScheduler, OnDemandScheduler, PrefetchProblem,
-    PrefetchScheduler,
-};
-
-fn main() -> Result<(), Box<dyn Error>> {
-    // The subtask graph of Fig. 3: 1 -> {2, 3}, 3 -> 4, mapped on three tiles
-    // (subtask 4 shares its tile with subtask 1).
-    let mut graph = SubtaskGraph::new("fig3");
-    let s1 = graph.add_subtask(Subtask::new("1", Time::from_millis(10), ConfigId::new(1)));
-    let s2 = graph.add_subtask(Subtask::new("2", Time::from_millis(12), ConfigId::new(2)));
-    let s3 = graph.add_subtask(Subtask::new("3", Time::from_millis(6), ConfigId::new(3)));
-    let s4 = graph.add_subtask(Subtask::new("4", Time::from_millis(8), ConfigId::new(4)));
-    graph.add_dependency(s1, s2)?;
-    graph.add_dependency(s1, s3)?;
-    graph.add_dependency(s3, s4)?;
-
-    let schedule = InitialSchedule::from_assignment(
-        &graph,
-        vec![
-            PeAssignment::Tile(TileSlot::new(0)),
-            PeAssignment::Tile(TileSlot::new(1)),
-            PeAssignment::Tile(TileSlot::new(2)),
-            PeAssignment::Tile(TileSlot::new(0)),
-        ],
-    )?;
-    let platform = Platform::virtex_like(3)?;
-    let ideal = schedule.ideal_timing(&graph)?;
-    println!("== Ideal schedule (no reconfiguration overhead), Fig. 3(a) ==");
-    println!("{}\n", ideal.to_gantt_string(&graph));
-
-    // Without prefetch every load sits on the critical path (Fig. 3(b)).
-    let problem = PrefetchProblem::new(&graph, &schedule, &platform)?;
-    let on_demand = OnDemandScheduler::new().schedule(&problem)?;
-    println!(
-        "== Without prefetch, Fig. 3(b): penalty {} ==",
-        on_demand.penalty()
-    );
-    println!("{}\n", on_demand.timed().to_gantt_string(&graph));
-
-    // The run-time list-scheduling heuristic hides all but the first load
-    // (Fig. 3(c)).
-    let run_time = ListScheduler::new().schedule(&problem)?;
-    println!(
-        "== Run-time prefetch, Fig. 3(c): penalty {} ==",
-        run_time.penalty()
-    );
-    println!("{}\n", run_time.timed().to_gantt_string(&graph));
-
-    // The hybrid heuristic: the design-time phase finds the critical subtasks
-    // and stores a zero-penalty schedule for everything else.
-    let hybrid = HybridPrefetch::compute(&graph, &schedule, &platform)?;
-    let critical: Vec<&str> = hybrid
-        .critical()
-        .critical_subtasks()
-        .iter()
-        .map(|&id| graph.subtask(id).name())
-        .collect();
-    println!("== Hybrid heuristic ==");
-    println!("critical subtasks (CS): {critical:?}");
-    println!(
-        "stored load order     : {:?}",
-        hybrid.critical().stored_load_order()
-    );
-
-    // Cold start: nothing resident, no idle window — the task pays only the
-    // initialization phase (loading subtask 1).
-    let cold = hybrid.evaluate(
-        &graph,
-        &schedule,
-        &platform,
-        &BTreeSet::new(),
-        InterTaskWindow::empty(),
-    )?;
-    println!("cold start            : penalty {}", cold.penalty());
-
-    // With the inter-task optimization the previous task's idle window loads
-    // subtask 1 in advance (Fig. 5(b)) and the penalty disappears.
-    let warm = hybrid.evaluate(
-        &graph,
-        &schedule,
-        &platform,
-        &BTreeSet::new(),
-        InterTaskWindow::new(Time::from_millis(6)),
-    )?;
-    println!("with inter-task window: penalty {}", warm.penalty());
-    println!(
-        "trailing idle window offered to the next task: {}",
-        warm.trailing_window().remaining()
-    );
+fn main() -> Result<(), EngineError> {
+    let engine = Engine::builder().build();
+    let spec = JobSpec::new("multimedia")
+        .with_tiles(8)
+        .with_iterations(200);
+    println!("policy                  overhead   reuse");
+    for report in engine.run(spec)? {
+        println!(
+            "{:<22} {:>7.1}%  {:>5.1}%",
+            report.policy().to_string(),
+            report.overhead_percent(),
+            report.reuse_percent(),
+        );
+    }
     Ok(())
 }

@@ -66,8 +66,10 @@ fn every_policy_runs_on_the_quickstart_graph() {
 #[test]
 fn every_registered_workload_round_trips_through_the_engine() {
     // Registry round trip: each built-in workload must build a valid task
-    // set, prepare an IterationPlan (which validates every scenario graph
-    // and computes all design-time artifacts), and simulate end-to-end.
+    // set, then simulate end-to-end through the `drhw-engine` job path —
+    // with the result bit-identical to a directly prepared
+    // IterationPlan + SimBatch run under the same derived config.
+    let engine = drhw_engine::Engine::builder().build();
     let registry = WorkloadRegistry::with_builtins();
     assert!(!registry.is_empty());
     for workload in registry.iter() {
@@ -83,14 +85,16 @@ fn every_registered_workload_round_trips_through_the_engine() {
         }
 
         let tiles = *workload.tile_sweep().end();
-        let platform = Platform::virtex_like(tiles).unwrap();
-        // The same workload → config mapping the experiment binaries use.
-        let config = workload_config(workload.as_ref(), 20, 1);
-        let plan = IterationPlan::new(&set, &platform, config)
-            .unwrap_or_else(|e| panic!("{name}: plan fails to build: {e}"));
-        let reports = SimBatch::new(&plan)
-            .run(&[PolicyKind::NoPrefetch, PolicyKind::Hybrid])
-            .unwrap_or_else(|e| panic!("{name}: simulation fails: {e}"));
+        let policies = [PolicyKind::NoPrefetch, PolicyKind::Hybrid];
+        let reports = engine
+            .run(
+                drhw_engine::JobSpec::new(name)
+                    .with_tiles(tiles)
+                    .with_iterations(20)
+                    .with_seed(1)
+                    .with_policies(policies),
+            )
+            .unwrap_or_else(|e| panic!("{name}: engine job fails: {e}"));
         for report in &reports {
             assert!(report.activations() > 0, "{name}: no activations simulated");
             assert!(
@@ -102,6 +106,17 @@ fn every_registered_workload_round_trips_through_the_engine() {
             reports[1].overhead_percent() <= reports[0].overhead_percent(),
             "{name}: hybrid must not exceed no-prefetch"
         );
+
+        // Old-API parity under the same workload → config mapping the
+        // experiment binaries used before the engine existed.
+        let platform = Platform::virtex_like(tiles).unwrap();
+        let config = workload_config(workload.as_ref(), 20, 1);
+        let plan = IterationPlan::new(&set, &platform, config)
+            .unwrap_or_else(|e| panic!("{name}: plan fails to build: {e}"));
+        let classic = SimBatch::new(&plan)
+            .run(&policies)
+            .unwrap_or_else(|e| panic!("{name}: simulation fails: {e}"));
+        assert_eq!(reports, classic, "{name}: engine and classic API disagree");
     }
 }
 

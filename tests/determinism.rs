@@ -10,6 +10,27 @@ use drhw_workloads::pocket_gl::pocket_gl_task_set;
 use drhw_workloads::random::{random_task_set, seeded_random_graph, RandomGraphConfig};
 
 #[test]
+fn identical_specs_produce_identical_reports_through_the_engine() {
+    // The engine-level determinism contract: the same JobSpec resolves to
+    // the same reports on any engine — across separate engine instances,
+    // worker counts and cache states.
+    let spec = drhw_engine::JobSpec::new("multimedia")
+        .with_tiles(9)
+        .with_iterations(80)
+        .with_seed(77);
+    let engine = drhw_engine::Engine::builder().build();
+    let first = engine.run(spec.clone()).unwrap();
+    let warm = engine.run(spec.clone()).unwrap();
+    let fresh = drhw_engine::Engine::builder()
+        .threads(1)
+        .build()
+        .run(spec)
+        .unwrap();
+    assert_eq!(first, warm);
+    assert_eq!(first, fresh);
+}
+
+#[test]
 fn identical_seeds_produce_identical_reports() {
     let set = multimedia_task_set();
     let platform = Platform::virtex_like(9).unwrap();

@@ -4,6 +4,7 @@
 //! produced by the `drhw-bench` binaries.
 
 use drhw_bench::experiments::{figure6_series, figure7_series, headline_numbers, table1_rows};
+use drhw_engine::Engine;
 use drhw_model::Platform;
 use drhw_prefetch::PolicyKind;
 use drhw_sim::{DynamicSimulation, SimulationConfig};
@@ -12,6 +13,10 @@ use drhw_workloads::pocket_gl::pocket_gl_task_set;
 
 const ITERATIONS: usize = 120;
 const SEED: u64 = 2005;
+
+fn engine() -> Engine {
+    Engine::builder().build()
+}
 
 #[test]
 fn table1_reproduces_the_published_shape() {
@@ -33,7 +38,7 @@ fn table1_reproduces_the_published_shape() {
 
 #[test]
 fn headline_numbers_follow_the_paper_ordering() {
-    let (no_prefetch, design_time) = headline_numbers(ITERATIONS, SEED, 8).unwrap();
+    let (no_prefetch, design_time) = headline_numbers(&engine(), ITERATIONS, SEED, 8).unwrap();
     // ~23 % and ~7 % in the paper: we accept a generous band but require the
     // factor-three improvement and the absolute ballpark.
     assert!(no_prefetch.overhead_percent() > 15.0 && no_prefetch.overhead_percent() < 45.0);
@@ -43,7 +48,7 @@ fn headline_numbers_follow_the_paper_ordering() {
 
 #[test]
 fn figure6_curves_keep_their_relative_order_and_fall_with_tiles() {
-    let points = figure6_series(ITERATIONS, SEED).unwrap();
+    let points = figure6_series(&engine(), ITERATIONS, SEED).unwrap();
     let at = |tiles: usize, policy: PolicyKind| {
         points
             .iter()
@@ -77,7 +82,7 @@ fn figure6_curves_keep_their_relative_order_and_fall_with_tiles() {
 
 #[test]
 fn figure7_hybrid_removes_most_of_the_initial_overhead() {
-    let points = figure7_series(ITERATIONS, SEED).unwrap();
+    let points = figure7_series(&engine(), ITERATIONS, SEED).unwrap();
     let hybrid_5 = points
         .iter()
         .find(|p| p.tiles == 5 && p.policy == PolicyKind::Hybrid)

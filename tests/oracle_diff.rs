@@ -14,13 +14,21 @@ use drhw_oracle::{corpus_cases_from_env, pinned_corpus, run_case, run_corpus, Di
 use drhw_prefetch::PolicyKind;
 use drhw_sim::{IterationPlan, SimulationConfig};
 
-/// Default corpus size for `cargo test` (unoptimised build); CI and the
-/// `oracle_diff` binary run larger corpora in release mode.
+/// Default corpus size for unoptimised `cargo test` runs; the release-mode
+/// test (and the `oracle_diff` binary) run the full pinned 240-case corpus,
+/// which `run_corpus` routes through BOTH the direct plan + batch path and
+/// the `drhw-engine` job path with bit-for-bit comparison.
+#[cfg(debug_assertions)]
 const DEFAULT_TEST_CASES: usize = 18;
+#[cfg(not(debug_assertions))]
+const DEFAULT_TEST_CASES: usize = 240;
 
 #[test]
 fn pinned_corpus_agrees_bit_for_bit() {
     let cases = pinned_corpus(corpus_cases_from_env(DEFAULT_TEST_CASES));
+    // Every generated case is reproducible by registry name, so the corpus
+    // genuinely exercises the engine replay inside run_corpus.
+    assert!(cases.iter().all(|c| c.workload.is_some()));
     match run_corpus(&cases) {
         Ok(outcomes) => {
             assert_eq!(outcomes.len(), cases.len());
@@ -62,6 +70,7 @@ fn oracle_matches_engine_on_a_handwritten_workload() {
         task_set: set,
         tiles: 4,
         config,
+        workload: None,
     };
     if let Err(divergence) = run_case(&case) {
         panic!("{divergence}");

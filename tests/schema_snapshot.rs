@@ -1,15 +1,19 @@
-//! Golden snapshot of the `BENCH_results.json` schema (version 3).
+//! Golden snapshot of the `BENCH_results.json` schema (version 4) and of
+//! the `engine_serve` wire schema (`JobSpec` requests, result objects).
 //!
-//! `render_results_json` is hand-rolled (no JSON backend offline), so report
-//! refactors can silently drop or rename keys that downstream consumers —
-//! CI artifact scrapers, the `perf_gate` baseline, the EXPERIMENTS.md
-//! examples — depend on. This test pins the exact key set, nesting and value
-//! *types* of schema v3; changing the schema intentionally means bumping
-//! `schema_version` and updating this snapshot in the same commit.
+//! `render_results_json` and the serve protocol are hand-rolled (no JSON
+//! backend offline), so refactors can silently drop or rename keys that
+//! downstream consumers — CI artifact scrapers, the `perf_gate` baseline,
+//! the EXPERIMENTS.md examples, serving clients — depend on. These tests
+//! pin the exact key sets, nesting and value *types*; changing a schema
+//! intentionally means bumping its version marker and updating this
+//! snapshot in the same commit.
 
 use drhw_bench::experiments::policy_overhead_reports;
-use drhw_bench::report::{render_results_json, RunTiming};
+use drhw_bench::report::{render_results_json, PlanCacheBlock, RunTiming};
 use drhw_bench::stages::STAGE_NAMES;
+use drhw_engine::{json, JobSpec};
+use drhw_prefetch::PolicyKind;
 
 /// Parses the flat `indent → key → raw value` triples of the hand-rolled
 /// JSON (two-space indentation per nesting level, one key per line).
@@ -33,8 +37,8 @@ fn is_number(raw: &str) -> bool {
     raw.parse::<f64>().is_ok()
 }
 
-/// The exact top-level key order of schema v3.
-const TOP_LEVEL_V3: [&str; 10] = [
+/// The exact top-level key order of schema v4.
+const TOP_LEVEL_V4: [&str; 11] = [
     "iterations",
     "tiles",
     "policy_overhead_percent",
@@ -44,12 +48,14 @@ const TOP_LEVEL_V3: [&str; 10] = [
     "speedup",
     "stage_ms",
     "policy_iterations_per_sec",
+    "plan_cache",
     "schema_version",
 ];
 
 #[test]
-fn bench_results_schema_v3_golden_snapshot() {
-    let reports = policy_overhead_reports(2, 1, 8, 1).expect("simulation runs");
+fn bench_results_schema_v4_golden_snapshot() {
+    let engine = drhw_engine::Engine::builder().build();
+    let reports = policy_overhead_reports(&engine, 2, 1, 8).expect("simulation runs");
     let policies = [
         "no-prefetch",
         "design-time-prefetch",
@@ -68,19 +74,24 @@ fn bench_results_schema_v3_golden_snapshot() {
             .map(|(i, stage)| (stage.to_string(), i as f64 + 0.5))
             .collect(),
         policy_iterations_per_sec: policies.iter().map(|p| (p.to_string(), 1000.0)).collect(),
+        plan_cache: Some(PlanCacheBlock {
+            hits: 4,
+            misses: 1,
+            amortized_prepare_ms: 0.5,
+        }),
     };
     let json = render_results_json(&reports, &timing);
     let entries = keys_with_indent(&json);
 
-    // Top level: the exact schema v3 key set, in order.
+    // Top level: the exact schema v4 key set, in order.
     let top: Vec<&str> = entries
         .iter()
         .filter(|(indent, _, _)| *indent == 2)
         .map(|(_, key, _)| key.as_str())
         .collect();
     assert_eq!(
-        top, TOP_LEVEL_V3,
-        "schema v3 top-level keys changed — bump schema_version and update this snapshot"
+        top, TOP_LEVEL_V4,
+        "schema v4 top-level keys changed — bump schema_version and update this snapshot"
     );
 
     // Scalar top-level values are numbers; containers are objects.
@@ -91,13 +102,32 @@ fn bench_results_schema_v3_golden_snapshot() {
             | "wall_clock_ms"
             | "speedup"
             | "stage_ms"
-            | "policy_iterations_per_sec" => {
+            | "policy_iterations_per_sec"
+            | "plan_cache" => {
                 assert_eq!(raw, "{", "{key} must be an object");
             }
-            "schema_version" => assert_eq!(raw, "3", "this snapshot pins schema v3"),
+            "schema_version" => assert_eq!(raw, "4", "this snapshot pins schema v4"),
             _ => assert!(is_number(raw), "{key} must be a number, got {raw:?}"),
         }
     }
+
+    // The plan_cache block: exactly hits/misses/amortized_prepare_ms.
+    let cache_start = json
+        .find("\"plan_cache\": {")
+        .expect("plan_cache block present");
+    let cache_block = &json[cache_start
+        ..json[cache_start..]
+            .find('}')
+            .map(|end| cache_start + end)
+            .expect("plan_cache block closes")];
+    for key in ["hits", "misses", "amortized_prepare_ms"] {
+        assert!(
+            cache_block.contains(&format!("\"{key}\":")),
+            "plan_cache block lost {key}"
+        );
+    }
+    assert!(cache_block.contains("\"hits\": 4"));
+    assert!(cache_block.contains("\"amortized_prepare_ms\": 0.5000"));
 
     // Both policy maps carry exactly the five policy names, each numeric.
     let nested: Vec<(&str, &str)> = entries
@@ -173,10 +203,98 @@ fn schema_snapshot_also_holds_for_absent_measurements() {
         .map(|(_, key, _)| key.as_str())
         .collect();
     // Without reports the iteration/tile header is absent, but everything
-    // else — including the speedup, stage and throughput blocks — survives.
-    assert_eq!(top, &TOP_LEVEL_V3[2..]);
+    // else — including the speedup, stage, throughput and plan-cache blocks
+    // — survives.
+    assert_eq!(top, &TOP_LEVEL_V4[2..]);
     assert!(json.contains("\"sequential_over_parallel\": null"));
     assert!(json.contains("\"stage_ms\": {\n  }"));
     assert!(json.contains("\"policy_iterations_per_sec\": {\n  }"));
-    assert!(json.ends_with("\"schema_version\": 3\n}\n"));
+    assert!(json.contains("\"hits\": 0"));
+    assert!(json.ends_with("\"schema_version\": 4\n}\n"));
+}
+
+/// The exact key order of a `JobSpec` with every field set, as put on the
+/// `engine_serve` wire. Optional fields are omitted when unset (pinned by
+/// the minimal-spec assert below).
+const JOB_SPEC_KEYS: [&str; 9] = [
+    "workload",
+    "tiles",
+    "policies",
+    "iterations",
+    "seed",
+    "replacement",
+    "point_selection",
+    "chunk_size",
+    "task_inclusion_probability",
+];
+
+/// The exact key order of one per-policy report object inside a serve
+/// `result` line.
+const REPORT_KEYS: [&str; 11] = [
+    "policy",
+    "activations",
+    "ideal_us",
+    "penalty_us",
+    "overhead_percent",
+    "loads_performed",
+    "loads_cancelled",
+    "drhw_subtasks_executed",
+    "reused_subtasks",
+    "reuse_percent",
+    "reconfiguration_energy_mj",
+];
+
+#[test]
+fn job_spec_wire_schema_is_pinned() {
+    let full = JobSpec::new("multimedia")
+        .with_tiles(8)
+        .with_policies([PolicyKind::Hybrid])
+        .with_iterations(10)
+        .with_seed(1)
+        .with_replacement(drhw_prefetch::ReplacementPolicy::LeastRecentlyUsed)
+        .with_point_selection(drhw_sim::PointSelection::Fastest)
+        .with_chunk_size(4)
+        .with_task_inclusion_probability(0.5);
+    let rendered = full.to_json();
+    let keys: Vec<&str> = rendered
+        .entries()
+        .expect("a spec renders as an object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        keys, JOB_SPEC_KEYS,
+        "JobSpec wire keys changed — serving clients depend on these names"
+    );
+    // Round trip through the real parser.
+    let reparsed = JobSpec::from_json(&json::parse(&rendered.to_json()).unwrap()).unwrap();
+    assert_eq!(reparsed, full);
+    // A minimal spec stays minimal on the wire.
+    let minimal = JobSpec::new("multimedia").to_json();
+    assert_eq!(minimal.to_json(), r#"{"workload":"multimedia"}"#);
+}
+
+#[test]
+fn serve_result_wire_schema_is_pinned() {
+    let engine = drhw_engine::Engine::builder().build();
+    let reports = engine
+        .run(JobSpec::new("multimedia").with_tiles(8).with_iterations(2))
+        .expect("job runs");
+    let rendered = drhw_engine::serve::report_json(&reports[0]);
+    let keys: Vec<&str> = rendered
+        .entries()
+        .expect("a report renders as an object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        keys, REPORT_KEYS,
+        "serve result wire keys changed — update the golden session too"
+    );
+    for (key, value) in rendered.entries().unwrap() {
+        match key.as_str() {
+            "policy" => assert!(value.as_str().is_some()),
+            _ => assert!(value.as_f64().is_some(), "{key} must be numeric"),
+        }
+    }
 }

@@ -1,0 +1,55 @@
+//! Golden transcript of the `engine_serve` JSON-lines protocol.
+//!
+//! The committed session (`tests/golden/engine_serve_session.in.jsonl` →
+//! `….out.jsonl`) exercises a cold job, a byte-identical cache-hit
+//! resubmission, the correlated Pocket GL workload, a streamed-progress job
+//! and an error line. Serving output is a pure function of the session, so
+//! this test — and the CI step that pipes the same files through the actual
+//! `engine_serve` binary — must reproduce the golden bytes exactly. A
+//! mismatch means the wire protocol (or the simulation itself) changed:
+//! update the golden file in the same commit, deliberately.
+
+use drhw_engine::{serve, Engine};
+
+const INPUT: &str = include_str!("golden/engine_serve_session.in.jsonl");
+const EXPECTED: &str = include_str!("golden/engine_serve_session.out.jsonl");
+
+#[test]
+fn golden_session_round_trips_byte_for_byte() {
+    let engine = Engine::builder().build();
+    let mut out = Vec::new();
+    let summary = serve(&engine, INPUT.as_bytes(), &mut out).expect("in-memory I/O");
+    assert_eq!(summary.completed, 4, "four of the five lines succeed");
+    assert_eq!(summary.failed, 1, "the unknown workload fails");
+    let output = String::from_utf8(out).expect("output is UTF-8");
+    assert_eq!(
+        output, EXPECTED,
+        "serving output diverged from the committed golden transcript"
+    );
+
+    // The cache-hit resubmission line reports "hit" and otherwise matches
+    // its cold twin except for the echoed id.
+    let lines: Vec<&str> = output.lines().collect();
+    let normalize = |line: &str| {
+        line.replace(r#""id":2"#, r#""id":1"#)
+            .replace(r#""cache":"hit""#, r#""cache":"miss""#)
+    };
+    assert!(lines[0].contains(r#""cache":"miss""#));
+    assert!(lines[1].contains(r#""cache":"hit""#));
+    assert_eq!(lines[0], normalize(lines[1]));
+}
+
+#[test]
+fn the_session_replays_identically_on_any_worker_count() {
+    let mut outputs = Vec::new();
+    for threads in [1, 4] {
+        let engine = Engine::builder().threads(threads).build();
+        let mut out = Vec::new();
+        serve(&engine, INPUT.as_bytes(), &mut out).expect("in-memory I/O");
+        outputs.push(String::from_utf8(out).expect("output is UTF-8"));
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "worker count must not leak into the wire bytes"
+    );
+}
