@@ -1,12 +1,12 @@
 //! The CI performance gate.
 //!
 //! Runs the pinned perf suite (multimedia set, 8 tiles, fixed seed) several
-//! times, takes the **median** per-policy iteration throughput and
-//! cross-policy wall clock, and compares them against the committed
-//! `BENCH_baseline.json` under per-metric tolerance bands. On a regression it
-//! prints a delta table and exits non-zero; the same table plus the
-//! schema-v4 `BENCH_results.json` are written to disk so CI can upload them
-//! as artifacts.
+//! times, takes the **median** per-policy iteration throughput, per-kernel
+//! per-call cost and cross-policy wall clock, and compares them against the
+//! committed `BENCH_baseline.json` under per-metric tolerance bands. On a
+//! regression it prints a delta table and exits non-zero; the same table plus
+//! the schema-v5 `BENCH_results.json` are written to disk so CI can upload
+//! them as artifacts.
 //!
 //! ```text
 //! perf_gate                    # gate against BENCH_baseline.json
@@ -24,7 +24,7 @@
 //! * `PERF_GATE_RUNS` — repeated measurement runs (default 5)
 //! * `PERF_GATE_ITERATIONS` — simulated iterations per run (default 2000)
 //! * `PERF_BASELINE_PATH` — baseline location (default `BENCH_baseline.json`)
-//! * `BENCH_RESULTS_PATH` — schema-v4 results output (default `BENCH_results.json`)
+//! * `BENCH_RESULTS_PATH` — schema-v5 results output (default `BENCH_results.json`)
 //! * `PERF_DELTA_PATH` — delta table output (default `PERF_delta.txt`)
 //!
 //! The suite runs single-threaded on purpose: the gate measures the engine,
@@ -41,7 +41,7 @@ use drhw_bench::gate::{
     evaluate_gate, load_baseline, render_baseline_json, Measured, DEFAULT_TOLERANCE,
 };
 use drhw_bench::report::{render_results_json, RunTiming};
-use drhw_bench::stages::measure_stage_timings;
+use drhw_bench::stages::{measure_kernel_timings, measure_stage_timings, KERNEL_NAMES};
 use drhw_model::Platform;
 use drhw_prefetch::PolicyKind;
 use drhw_sim::{IterationPlan, SimBatch};
@@ -119,6 +119,26 @@ fn main() {
         ..RunTiming::default()
     };
     let mut measured = Vec::new();
+
+    // Per-kernel per-call cost: one measurement pass per gate run, median per
+    // kernel across the runs. Gated like a wall clock — more nanoseconds per
+    // call is a regression.
+    let mut kernel_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); KERNEL_NAMES.len()];
+    for _ in 0..runs {
+        for (which, (_, ns)) in measure_kernel_timings(50)
+            .as_pairs()
+            .into_iter()
+            .enumerate()
+        {
+            kernel_samples[which].push(ns);
+        }
+    }
+    for (which, name) in KERNEL_NAMES.iter().enumerate() {
+        let ns = median(&mut kernel_samples[which]);
+        timing.kernel_ns.push((name.to_string(), ns));
+        measured.push(Measured::lower_is_better(format!("kernel_ns.{name}"), ns));
+        println!("  kernel {name:<14} {ns:>10.0} ns/call (median of {runs})");
+    }
 
     // Plan-cache efficacy through the job engine: the cold submission pays
     // plan preparation, the warm ones (fresh seeds — seeds are not part of
@@ -205,7 +225,7 @@ fn main() {
         eprintln!("error: cannot write {results_path}: {err}");
         std::process::exit(3);
     }
-    println!("schema-v4 results written to {results_path}");
+    println!("schema-v5 results written to {results_path}");
 
     if write_baseline {
         let text = render_baseline_json(&measured, DEFAULT_TOLERANCE);

@@ -14,13 +14,16 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "default_tolerance": 0.5000,
 //!   "tolerance": {
 //!     "wall_clock_ms.cross_policy": 1.0000
 //!   },
 //!   "iterations_per_sec": {
 //!     "hybrid": 123456.0000
+//!   },
+//!   "kernel_ns": {
+//!     "executor": 850.0000
 //!   },
 //!   "wall_clock_ms": {
 //!     "cross_policy": 42.0000
@@ -229,7 +232,7 @@ pub fn render_baseline_json(measured: &[Measured], default_tolerance: f64) -> St
         }
     }
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 4,\n");
+    out.push_str("  \"schema_version\": 5,\n");
     out.push_str(&format!(
         "  \"default_tolerance\": {default_tolerance:.4},\n"
     ));

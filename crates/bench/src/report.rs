@@ -80,7 +80,7 @@ pub fn render_ablation(rows: &[AblationRow], title: &str) -> String {
 }
 
 /// How the engine's prepared-plan cache behaved over one harness run — the
-/// schema-v4 `plan_cache` block of `BENCH_results.json`.
+/// `plan_cache` block of `BENCH_results.json` (since schema v4).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PlanCacheBlock {
     /// Jobs that reused a cached plan (no design-time work).
@@ -123,6 +123,11 @@ pub struct RunTiming {
     /// Measured simulation throughput per policy, as `(policy,
     /// iterations per second)` pairs.
     pub policy_iterations_per_sec: Vec<(String, f64)>,
+    /// Per-call cost of each per-iteration hot kernel (executor,
+    /// replacement, reuse, hybrid, timing loop) as `(kernel, nanoseconds)`
+    /// pairs — see [`crate::stages::measure_kernel_timings`]. New in
+    /// schema v5.
+    pub kernel_ns: Vec<(String, f64)>,
     /// Plan-cache counters of the engine the run went through, when the run
     /// used one (`None` renders as an all-zero block so the schema's key set
     /// is stable).
@@ -142,11 +147,12 @@ impl RunTiming {
 
 /// Renders the cross-policy simulation reports plus the run's wall-clock
 /// timings as the machine-readable JSON written to `BENCH_results.json`
-/// (schema v4): simulation parameters, one `policy → overhead_percent` (and
+/// (schema v5): simulation parameters, one `policy → overhead_percent` (and
 /// `policy → reuse_percent`) entry per policy, the threads used,
 /// per-experiment `wall_clock_ms`, the sequential-versus-parallel speedup
 /// measurement, the per-stage `stage_ms` block, the per-policy
-/// `policy_iterations_per_sec` throughput block, and the engine's
+/// `policy_iterations_per_sec` throughput block, the per-kernel `kernel_ns`
+/// block (nanoseconds per hot-kernel call — new in v5), and the engine's
 /// `plan_cache` block (hits, misses, amortised preparation cost).
 /// Hand-rolled because no JSON backend is available offline; the output is
 /// plain ASCII and the policy names, experiment labels and stage names
@@ -211,6 +217,7 @@ pub fn render_results_json(reports: &[SimulationReport], timing: &RunTiming) -> 
             "policy_iterations_per_sec",
             &timing.policy_iterations_per_sec,
         ),
+        ("kernel_ns", &timing.kernel_ns),
     ] {
         out.push_str(&format!("  \"{key}\": {{\n"));
         for (i, (label, value)) in pairs.iter().enumerate() {
@@ -228,7 +235,7 @@ pub fn render_results_json(reports: &[SimulationReport], timing: &RunTiming) -> 
         number(cache.amortized_prepare_ms)
     ));
     out.push_str("  },\n");
-    out.push_str("  \"schema_version\": 4\n}\n");
+    out.push_str("  \"schema_version\": 5\n}\n");
     out
 }
 
@@ -317,6 +324,10 @@ mod tests {
                 ("pareto".to_string(), 2.5),
             ],
             policy_iterations_per_sec: vec![("hybrid".to_string(), 512.0)],
+            kernel_ns: vec![
+                ("executor".to_string(), 850.25),
+                ("timing_loop".to_string(), 410.0),
+            ],
             plan_cache: Some(PlanCacheBlock {
                 hits: 3,
                 misses: 2,
@@ -339,11 +350,14 @@ mod tests {
         assert!(json.contains("\"list_scheduler\": 1.5000"));
         assert!(json.contains("\"policy_iterations_per_sec\""));
         assert!(json.contains("\"hybrid\": 512.0000"));
+        assert!(json.contains("\"kernel_ns\""));
+        assert!(json.contains("\"executor\": 850.2500"));
+        assert!(json.contains("\"timing_loop\": 410.0000"));
         assert!(json.contains("\"plan_cache\""));
         assert!(json.contains("\"hits\": 3"));
         assert!(json.contains("\"misses\": 2"));
         assert!(json.contains("\"amortized_prepare_ms\": 1.2500"));
-        assert!(json.ends_with("\"schema_version\": 4\n}\n"));
+        assert!(json.ends_with("\"schema_version\": 5\n}\n"));
         // No trailing comma before a closing brace, and balanced braces.
         assert!(!json.contains(",\n  }"));
         assert!(!json.contains(",\n    }"));
@@ -363,9 +377,11 @@ mod tests {
         assert!(json.contains("\"sequential_ms\": 10.0000"));
         assert!(json.contains("\"parallel_ms\": null"));
         assert!(json.contains("\"sequential_over_parallel\": null"));
-        // Empty stage/throughput blocks stay in the key set as empty objects.
+        // Empty stage/throughput/kernel blocks stay in the key set as empty
+        // objects.
         assert!(json.contains("\"stage_ms\": {\n  }"));
         assert!(json.contains("\"policy_iterations_per_sec\": {\n  }"));
+        assert!(json.contains("\"kernel_ns\": {\n  }"));
         // A run without an engine still renders the plan_cache key set.
         assert!(json.contains("\"plan_cache\""));
         assert!(json.contains("\"hits\": 0"));

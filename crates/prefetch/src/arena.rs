@@ -9,18 +9,31 @@
 //!
 //! This module splits that work in two:
 //!
-//! * [`PreparedSchedule`] owns everything that is *activation-independent* —
-//!   the graph analysis, the combined topological order, the per-PE
-//!   predecessor of every subtask, the per-slot first subtask and desired
-//!   configuration — computed once per (task, scenario) pair.
+//! * [`PreparedSchedule`] owns everything that is *activation-independent*,
+//!   computed once per (task, scenario) pair and laid out
+//!   **struct-of-arrays**: parallel flat vectors indexed by subtask id
+//!   (execution times, criticality weights, required configurations, per-PE
+//!   predecessors) and by slot (first subtask, desired and last
+//!   configuration), plus CSR-packed adjacency (graph + PE predecessors,
+//!   per-slot subtask lists) so the timing loop streams contiguous cache
+//!   lines instead of chasing per-slot structures.
 //! * [`Scratch`] owns every buffer the per-activation kernels write into.
 //!   One scratch per worker thread; buffers are pre-sized with
-//!   [`Scratch::reserve`] and only ever `clear()`-ed between activations, so
-//!   a warm evaluation loop performs **zero heap allocations**.
+//!   [`Scratch::reserve`], so a warm evaluation loop performs **zero heap
+//!   allocations**.
+//!
+//! Residency, needs-load and pending-load sets are [`SlotMask`] bitmasks
+//! (one `u64` word each): membership is a bit test, set union is `OR`, and
+//! "are all dependencies timed?" is a single `AND` against a precomputed
+//! per-subtask dependency mask. The mask width bounds the kernels to graphs
+//! of at most [`SlotMask::CAPACITY`] subtasks — [`PreparedSchedule::new`]
+//! validates the invariant up front and larger graphs keep using the classic
+//! scheduler entry points.
 //!
 //! The kernels replicate the classic implementations *exactly* — same
-//! traversal orders, same tie-breaking comparators, same chunk semantics —
-//! so their results are bit-for-bit identical to the
+//! traversal orders, same tie-breaking comparators, same chunk semantics
+//! (mask iteration is ascending by construction, matching the classic
+//! ascending-id vectors) — so their results are bit-for-bit identical to the
 //! [`executor`](crate::executor)-based path. The differential oracle corpus
 //! (`drhw-oracle`) enforces that equivalence on every CI run.
 
@@ -32,12 +45,17 @@ use drhw_model::{
 use crate::error::PrefetchError;
 use crate::hybrid::HybridPrefetch;
 use crate::inter_task::InterTaskWindow;
+use crate::mask::SlotMask;
 use crate::replacement::ReplacementPolicy;
 use crate::reuse::TileContents;
 
+/// Sentinel in the flat per-PE predecessor table: no predecessor.
+const NO_PRED: u32 = u32::MAX;
+
 /// One (graph, initial schedule, platform) triple prepared for repeated
-/// evaluation: every activation-independent artifact is computed once here
-/// and borrowed by the per-activation kernels.
+/// evaluation: every activation-independent artifact is computed once here,
+/// flattened into index-addressed arrays, and borrowed by the per-activation
+/// kernels.
 #[derive(Debug)]
 pub struct PreparedSchedule<'a> {
     graph: &'a SubtaskGraph,
@@ -45,10 +63,34 @@ pub struct PreparedSchedule<'a> {
     schedule: InitialSchedule,
     analysis: GraphAnalysis,
     /// Combined (precedence + per-PE order) topological order, the traversal
-    /// order of the timing loop.
-    topo: Vec<SubtaskId>,
-    /// The subtask scheduled immediately before each subtask on the same PE.
-    pred_on_pe: Vec<Option<SubtaskId>>,
+    /// order of the timing loop, as flat subtask indices.
+    topo: Vec<u32>,
+    /// Per-subtask execution time (SoA mirror of `graph.subtask(..)`).
+    exec_times: Vec<Time>,
+    /// Per-subtask criticality weight (SoA mirror of `analysis.weight(..)`).
+    weights: Vec<Time>,
+    /// Every subtask index ordered by decreasing weight (ties: ascending
+    /// index) — the criticality order the windowed kernels load in.
+    /// Restricting this fixed order to any pending subset reproduces the
+    /// per-call sort the classic pipeline performs.
+    weight_order: Vec<u32>,
+    /// Per-subtask required configuration.
+    required: Vec<Option<ConfigId>>,
+    /// The subtask scheduled immediately before each subtask on the same PE
+    /// ([`NO_PRED`] = none).
+    pred_on_pe: Vec<u32>,
+    /// All timing dependencies of each subtask (graph predecessors plus the
+    /// PE predecessor) as one mask: "every dependency timed" is one `AND`.
+    dep_masks: Vec<SlotMask>,
+    /// CSR offsets into `pred_ids`, one entry per subtask plus a tail.
+    pred_offsets: Vec<u32>,
+    /// CSR-packed dependency lists (graph predecessors, then the PE
+    /// predecessor) — the ids the ready-time `max` folds over.
+    pred_ids: Vec<u32>,
+    /// CSR offsets into `slot_subtasks`, one entry per slot plus a tail.
+    slot_offsets: Vec<u32>,
+    /// CSR-packed subtasks of each slot, in schedule order.
+    slot_subtasks: Vec<u32>,
     /// Makespan of the schedule under zero reconfiguration latency.
     ideal: Time,
     /// First subtask executed on each abstract tile slot.
@@ -59,6 +101,9 @@ pub struct PreparedSchedule<'a> {
     /// `desired_configs` flattened in slot order (the replacement module's
     /// "wanted" list).
     wanted_configs: Vec<ConfigId>,
+    /// The configuration each slot's tile holds after the task ran (the one
+    /// of its last DRHW subtask).
+    last_config_on_slot: Vec<Option<ConfigId>>,
     /// Number of DRHW subtasks in the graph.
     drhw_count: usize,
 }
@@ -68,14 +113,22 @@ impl<'a> PreparedSchedule<'a> {
     ///
     /// # Errors
     ///
-    /// Returns an error if the graph is invalid or the schedule needs more
-    /// tile slots than the platform has tiles.
+    /// Returns an error if the graph is invalid, has more subtasks than the
+    /// [`SlotMask`] width ([`PrefetchError::ExceedsMaskWidth`]), or the
+    /// schedule needs more tile slots than the platform has tiles.
     pub fn new(
         graph: &'a SubtaskGraph,
         schedule: InitialSchedule,
         platform: &'a Platform,
     ) -> Result<Self, PrefetchError> {
         graph.validate()?;
+        let n = graph.len();
+        if !SlotMask::fits(n) {
+            return Err(PrefetchError::ExceedsMaskWidth {
+                subtasks: n,
+                capacity: SlotMask::CAPACITY,
+            });
+        }
         if schedule.slot_count() > platform.tile_count() {
             return Err(PrefetchError::NotEnoughTiles {
                 required: schedule.slot_count(),
@@ -84,31 +137,92 @@ impl<'a> PreparedSchedule<'a> {
         }
         let analysis = GraphAnalysis::new(graph)?;
         let ideal = schedule.ideal_timing(graph)?.makespan();
-        let topo = schedule.combined_topological_order(graph)?;
-        let pred_on_pe = graph
-            .ids()
-            .map(|id| schedule.predecessor_on_pe(id))
+        let topo: Vec<u32> = schedule
+            .combined_topological_order(graph)?
+            .iter()
+            .map(|id| id.index() as u32)
             .collect();
-        let first_on_slot: Vec<Option<SubtaskId>> = (0..schedule.slot_count())
-            .map(|s| schedule.first_on_slot(TileSlot::new(s)))
-            .collect();
+
+        let mut exec_times = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let mut required = Vec::with_capacity(n);
+        let mut pred_on_pe = Vec::with_capacity(n);
+        let mut dep_masks = Vec::with_capacity(n);
+        let mut pred_offsets = Vec::with_capacity(n + 1);
+        let mut pred_ids = Vec::new();
+        pred_offsets.push(0u32);
+        for id in graph.ids() {
+            exec_times.push(graph.subtask(id).exec_time());
+            weights.push(analysis.weight(id));
+            required.push(graph.required_config(id));
+            let mut deps = SlotMask::empty();
+            for &p in graph.predecessors(id) {
+                pred_ids.push(p.index() as u32);
+                deps.insert(p.index());
+            }
+            match schedule.predecessor_on_pe(id) {
+                Some(prev) => {
+                    pred_ids.push(prev.index() as u32);
+                    deps.insert(prev.index());
+                    pred_on_pe.push(prev.index() as u32);
+                }
+                None => pred_on_pe.push(NO_PRED),
+            }
+            pred_offsets.push(pred_ids.len() as u32);
+            dep_masks.push(deps);
+        }
+
+        let slots = schedule.slot_count();
+        let mut slot_offsets = Vec::with_capacity(slots + 1);
+        let mut slot_subtasks = Vec::new();
+        let mut first_on_slot = Vec::with_capacity(slots);
+        let mut last_config_on_slot = Vec::with_capacity(slots);
+        slot_offsets.push(0u32);
+        for s in 0..slots {
+            let on_slot = schedule.subtasks_on(PeAssignment::Tile(TileSlot::new(s)));
+            slot_subtasks.extend(on_slot.iter().map(|id| id.index() as u32));
+            slot_offsets.push(slot_subtasks.len() as u32);
+            first_on_slot.push(schedule.first_on_slot(TileSlot::new(s)));
+            last_config_on_slot.push(
+                on_slot
+                    .iter()
+                    .rev()
+                    .find_map(|&id| graph.required_config(id)),
+            );
+        }
         let desired_configs: Vec<Option<ConfigId>> = first_on_slot
             .iter()
             .map(|first| first.and_then(|id| graph.required_config(id)))
             .collect();
         let wanted_configs = desired_configs.iter().flatten().copied().collect();
         let drhw_count = graph.drhw_subtasks().len();
+        let mut weight_order: Vec<u32> = (0..n as u32).collect();
+        weight_order.sort_unstable_by(|&a, &b| {
+            weights[b as usize]
+                .cmp(&weights[a as usize])
+                .then(a.cmp(&b))
+        });
         Ok(PreparedSchedule {
             graph,
             platform,
             schedule,
             analysis,
             topo,
+            exec_times,
+            weights,
+            weight_order,
+            required,
             pred_on_pe,
+            dep_masks,
+            pred_offsets,
+            pred_ids,
+            slot_offsets,
+            slot_subtasks,
             ideal,
             first_on_slot,
             desired_configs,
             wanted_configs,
+            last_config_on_slot,
             drhw_count,
         })
     }
@@ -143,11 +257,6 @@ impl<'a> PreparedSchedule<'a> {
         self.drhw_count
     }
 
-    /// The paper's criticality weight of a subtask.
-    fn weight(&self, id: SubtaskId) -> Time {
-        self.analysis.weight(id)
-    }
-
     /// Chooses a physical tile for every abstract slot, writing the mapping
     /// into `scratch.slot_to_tile`. Replicates
     /// [`assign_tiles_protecting`](crate::assign_tiles_protecting) exactly;
@@ -176,6 +285,7 @@ impl<'a> PreparedSchedule<'a> {
             assigned,
             taken,
             free,
+            free_keyed,
             protected,
             ..
         } = scratch;
@@ -211,26 +321,30 @@ impl<'a> PreparedSchedule<'a> {
                     }
                 }
                 // Pass 2: fill the rest with free tiles, evicting tiles whose
-                // content nobody wants first, oldest first.
-                free.clear();
-                free.extend((0..tiles).map(TileId::new).filter(|t| !taken[t.index()]));
-                free.sort_unstable_by_key(|&t| {
-                    let holds_wanted = contents
-                        .config_on(t)
-                        .map(|c| self.wanted_configs.contains(&c))
-                        .unwrap_or(false);
-                    let holds_protected = contents
-                        .config_on(t)
-                        .map(|c| protected.binary_search(&c).is_ok())
-                        .unwrap_or(false);
-                    (
-                        holds_wanted,
-                        holds_protected,
-                        contents.last_used(t),
-                        t.index(),
-                    )
+                // content nobody wants first, oldest first. The eviction key
+                // is computed once per tile (not per comparison), then the
+                // tuple order — with the tile index as final tiebreak — gives
+                // the same deterministic total order as the classic sort.
+                free_keyed.clear();
+                free_keyed.extend(
+                    (0..tiles)
+                        .map(TileId::new)
+                        .filter(|t| !taken[t.index()])
+                        .map(|t| {
+                            let held = contents.config_on(t);
+                            let holds_wanted = held
+                                .map(|c| self.wanted_configs.contains(&c))
+                                .unwrap_or(false);
+                            let holds_protected = held
+                                .map(|c| protected.binary_search(&c).is_ok())
+                                .unwrap_or(false);
+                            (holds_wanted, holds_protected, contents.last_used(t), t)
+                        }),
+                );
+                free_keyed.sort_unstable_by_key(|&(wanted, prot, used, t)| {
+                    (wanted, prot, used, t.index())
                 });
-                let mut free_iter = free.iter().copied();
+                let mut free_iter = free_keyed.iter().map(|&(_, _, _, t)| t);
                 slot_to_tile.extend(assigned.iter().map(|slot_tile| {
                     slot_tile.unwrap_or_else(|| {
                         free_iter
@@ -248,19 +362,17 @@ impl<'a> PreparedSchedule<'a> {
     /// mapped to (per `scratch.slot_to_tile`), returning how many there are.
     /// Replicates [`reusable_subtasks`](crate::reusable_subtasks).
     pub fn mark_reusable(&self, contents: &TileContents, scratch: &mut Scratch) -> usize {
-        let n = self.graph.len();
         scratch.resident.clear();
-        scratch.resident.resize(n, false);
         let mut count = 0usize;
         for (slot, first) in self.first_on_slot.iter().enumerate() {
             let Some(first) = first else { continue };
-            let Some(required) = self.graph.required_config(*first) else {
+            let Some(required) = self.required[first.index()] else {
                 continue;
             };
             if slot < scratch.slot_to_tile.len()
                 && contents.config_on(scratch.slot_to_tile[slot]) == Some(required)
             {
-                scratch.resident[first.index()] = true;
+                scratch.resident.insert(first.index());
                 count += 1;
             }
         }
@@ -270,7 +382,6 @@ impl<'a> PreparedSchedule<'a> {
     /// Clears the residency mask (for policies that cannot exploit reuse).
     pub fn clear_residency(&self, scratch: &mut Scratch) {
         scratch.resident.clear();
-        scratch.resident.resize(self.graph.len(), false);
     }
 
     /// Applies the effect of executing this schedule to the tile contents:
@@ -280,14 +391,7 @@ impl<'a> PreparedSchedule<'a> {
     /// against `scratch.slot_to_tile`.
     pub fn apply_to_contents(&self, contents: &mut TileContents, scratch: &Scratch, now: Time) {
         for (slot, &tile) in scratch.slot_to_tile.iter().enumerate() {
-            let subtasks = self
-                .schedule
-                .subtasks_on(PeAssignment::Tile(TileSlot::new(slot)));
-            let last_config = subtasks
-                .iter()
-                .rev()
-                .find_map(|&id| self.graph.required_config(id));
-            if let Some(config) = last_config {
+            if let Some(config) = self.last_config_on_slot[slot] {
                 contents.record_load(tile, config, now);
             }
         }
@@ -295,27 +399,29 @@ impl<'a> PreparedSchedule<'a> {
 
     /// Computes which subtasks need a configuration load given a residency
     /// mask, honouring intra-task reuse. Replicates the private
-    /// `compute_needs_load` of [`PrefetchProblem`](crate::PrefetchProblem).
-    fn needs_load_into(&self, resident: &[bool], needs: &mut Vec<bool>) {
-        needs.clear();
-        needs.resize(self.graph.len(), false);
-        for slot_index in 0..self.schedule.slot_count() {
-            let slot = PeAssignment::Tile(TileSlot::new(slot_index));
+    /// `compute_needs_load` of [`PrefetchProblem`](crate::PrefetchProblem)
+    /// over the CSR slot tables.
+    fn needs_load_mask(&self, resident: SlotMask) -> SlotMask {
+        let mut needs = SlotMask::empty();
+        for slot in 0..self.slot_offsets.len() - 1 {
+            let range = self.slot_offsets[slot] as usize..self.slot_offsets[slot + 1] as usize;
             let mut current: Option<ConfigId> = None;
-            for (position, &id) in self.schedule.subtasks_on(slot).iter().enumerate() {
-                let Some(required) = self.graph.required_config(id) else {
+            for (position, &raw) in self.slot_subtasks[range].iter().enumerate() {
+                let idx = raw as usize;
+                let Some(required) = self.required[idx] else {
                     continue;
                 };
-                let externally_resident = position == 0 && resident[id.index()];
-                let later_resident = position > 0 && resident[id.index()] && current.is_none();
+                let externally_resident = position == 0 && resident.contains(idx);
+                let later_resident = position > 0 && resident.contains(idx) && current.is_none();
                 if Some(required) == current || externally_resident || later_resident {
                     current = Some(required);
                     continue;
                 }
-                needs[id.index()] = true;
+                needs.insert(idx);
                 current = Some(required);
             }
         }
+        needs
     }
 
     /// Scores the on-demand (no-prefetch) policy with nothing resident.
@@ -330,25 +436,16 @@ impl<'a> PreparedSchedule<'a> {
         &self,
         scratch: &mut Scratch,
     ) -> Result<ExecSummary, PrefetchError> {
-        self.clear_residency(scratch);
-        let Scratch {
-            resident,
-            needs_base,
-            exec_finish,
-            loaded_at,
-            pending,
-            ..
-        } = scratch;
-        self.needs_load_into(resident, needs_base);
+        scratch.resident.clear();
+        let needs = self.needs_load_mask(SlotMask::EMPTY);
         simulate_core(
             self,
-            needs_base,
+            needs,
             Strategy::OnDemand,
             Time::ZERO,
             Time::ZERO,
-            exec_finish,
-            loaded_at,
-            pending,
+            &mut scratch.exec_finish,
+            &mut scratch.loaded_at,
         )
     }
 
@@ -359,24 +456,15 @@ impl<'a> PreparedSchedule<'a> {
     ///
     /// Propagates timing-loop errors.
     pub fn evaluate_list(&self, scratch: &mut Scratch) -> Result<ExecSummary, PrefetchError> {
-        let Scratch {
-            resident,
-            needs_base,
-            exec_finish,
-            loaded_at,
-            pending,
-            ..
-        } = scratch;
-        self.needs_load_into(resident, needs_base);
+        let needs = self.needs_load_mask(scratch.resident);
         simulate_core(
             self,
-            needs_base,
+            needs,
             Strategy::ListByWeight,
             Time::ZERO,
             Time::ZERO,
-            exec_finish,
-            loaded_at,
-            pending,
+            &mut scratch.exec_finish,
+            &mut scratch.loaded_at,
         )
     }
 
@@ -395,44 +483,34 @@ impl<'a> PreparedSchedule<'a> {
         scratch: &mut Scratch,
     ) -> Result<(ExecSummary, usize), PrefetchError> {
         let latency = self.platform.reconfig_latency();
-        let Scratch {
-            resident,
-            aux_resident,
-            needs_base,
-            needs_aux,
-            order_a,
-            exec_finish,
-            loaded_at,
-            pending,
-            ..
-        } = scratch;
-        self.needs_load_into(resident, needs_base);
+        let needs_base = self.needs_load_mask(scratch.resident);
         // The pending loads by decreasing criticality weight — the order the
-        // initialization phase would load them in.
+        // initialization phase would load them in. Filtering the precomputed
+        // whole-graph weight order down to the pending set gives exactly the
+        // list the classic pipeline sorts per call.
+        let order_a = &mut scratch.order_a;
         order_a.clear();
-        order_a.extend(self.graph.ids().filter(|id| needs_base[id.index()]));
-        order_a.sort_unstable_by(|a, b| {
-            self.weight(*b)
-                .cmp(&self.weight(*a))
-                .then(a.index().cmp(&b.index()))
-        });
+        order_a.extend(
+            self.weight_order
+                .iter()
+                .filter(|&&idx| needs_base.contains(idx as usize))
+                .map(|&idx| SubtaskId::new(idx as usize)),
+        );
         let fit = window.whole_loads(latency).min(order_a.len());
         // Extended residency: what the preloads leave on the tiles.
-        aux_resident.clear();
-        aux_resident.extend_from_slice(resident);
+        let mut aux_resident = scratch.resident;
         for &id in order_a.iter().take(fit) {
-            aux_resident[id.index()] = true;
+            aux_resident.insert(id.index());
         }
-        self.needs_load_into(aux_resident, needs_aux);
+        let needs_aux = self.needs_load_mask(aux_resident);
         let summary = simulate_core(
             self,
             needs_aux,
             Strategy::ListByWeight,
             Time::ZERO,
             Time::ZERO,
-            exec_finish,
-            loaded_at,
-            pending,
+            &mut scratch.exec_finish,
+            &mut scratch.loaded_at,
         )?;
         Ok((summary, fit))
     }
@@ -452,38 +530,26 @@ impl<'a> PreparedSchedule<'a> {
     ) -> Result<HybridSummary, PrefetchError> {
         let latency = self.platform.reconfig_latency();
         let critical = hybrid.critical();
-        let Scratch {
-            resident,
-            aux_resident,
-            needs_base,
-            needs_aux,
-            needs_body,
-            order_a,
-            order_b,
-            exec_finish,
-            loaded_at,
-            pending,
-            ..
-        } = scratch;
-        self.needs_load_into(resident, needs_base);
+        let resident = scratch.resident;
+        let needs_base = self.needs_load_mask(resident);
         // Assumed residency: the critical set on top of what is resident.
-        aux_resident.clear();
-        aux_resident.extend_from_slice(resident);
+        let mut aux_resident = resident;
         for &id in critical.critical_subtasks() {
-            aux_resident[id.index()] = true;
+            aux_resident.insert(id.index());
         }
-        self.needs_load_into(aux_resident, needs_aux);
+        let needs_aux = self.needs_load_mask(aux_resident);
 
         // Critical subtasks whose residency assumption must be realised by
         // the initialization phase, most critical first; the prefix that fits
         // in the inter-task window is preloaded for free.
+        let order_a = &mut scratch.order_a;
         order_a.clear();
         order_a.extend(
             critical
                 .critical_subtasks()
                 .iter()
                 .copied()
-                .filter(|id| needs_base[id.index()] && !needs_aux[id.index()]),
+                .filter(|id| needs_base.contains(id.index()) && !needs_aux.contains(id.index())),
         );
         let preloaded = window.whole_loads(latency).min(order_a.len());
         let init_count = order_a.len() - preloaded;
@@ -491,46 +557,45 @@ impl<'a> PreparedSchedule<'a> {
 
         // Body loads: the stored order minus cancelled loads, plus any load
         // the stored order does not cover, in subtask-id order.
+        let order_b = &mut scratch.order_b;
         order_b.clear();
         order_b.extend(
             critical
                 .stored_load_order()
                 .iter()
                 .copied()
-                .filter(|id| needs_aux[id.index()]),
+                .filter(|id| needs_aux.contains(id.index())),
         );
-        for (index, &needed) in needs_aux.iter().enumerate() {
+        for index in needs_aux.iter() {
             let id = SubtaskId::new(index);
-            if needed && !order_b.contains(&id) {
+            if !order_b.contains(&id) {
                 order_b.push(id);
             }
         }
         let cancelled = critical
             .stored_load_order()
             .iter()
-            .filter(|id| !needs_aux[id.index()])
+            .filter(|id| !needs_aux.contains(id.index()))
             .count();
 
         // During the body the initialization and preloaded configurations are
         // resident, and nothing starts before the initialization phase ends.
-        aux_resident.clear();
-        aux_resident.extend_from_slice(resident);
+        let mut body_resident = resident;
         for &id in order_a.iter() {
-            aux_resident[id.index()] = true;
+            body_resident.insert(id.index());
         }
-        self.needs_load_into(aux_resident, needs_body);
+        let needs_body = self.needs_load_mask(body_resident);
         // The classic path validates the stored order against the body
         // problem's loads; replicate that contract.
-        let body_load_count = needs_body.iter().filter(|&&b| b).count();
-        if order_b.len() != body_load_count {
+        if order_b.len() != needs_body.len() {
             let id = order_b
                 .iter()
                 .copied()
-                .find(|id| !needs_body[id.index()])
+                .find(|id| !needs_body.contains(id.index()))
                 .unwrap_or(SubtaskId::new(0));
             return Err(PrefetchError::InvalidLoadOrder { id });
         }
-        if let Some(&id) = order_b.iter().find(|id| !needs_body[id.index()]) {
+        if let Some(&id) = order_b.iter().find(|id| !needs_body.contains(id.index())) {
             return Err(PrefetchError::InvalidLoadOrder { id });
         }
 
@@ -540,13 +605,12 @@ impl<'a> PreparedSchedule<'a> {
             Strategy::Fixed(order_b),
             init_duration,
             init_duration,
-            exec_finish,
-            loaded_at,
-            pending,
+            &mut scratch.exec_finish,
+            &mut scratch.loaded_at,
         )?;
         Ok(HybridSummary {
             penalty: summary.penalty,
-            loads_performed: init_count + order_b.len(),
+            loads_performed: init_count + scratch.order_b.len(),
             preloaded,
             cancelled,
             trailing_port_idle: summary.trailing_port_idle,
@@ -588,30 +652,28 @@ pub struct HybridSummary {
 /// worker thread; create it once, [`reserve`](Scratch::reserve) it to the
 /// largest graph it will see, and reuse it for every activation — the kernels
 /// only `clear()` and refill, so a warm loop never touches the allocator.
+///
+/// The set-shaped state (residency, needs-load, pending loads) lives in
+/// [`SlotMask`] words, not here; only the buffers that genuinely need heap
+/// backing remain — the load-order lists, the flat finish/load timestamp
+/// tables (valid only under the timing loop's internal masks), and the
+/// replacement-kernel working vectors.
 #[derive(Debug, Default)]
 pub struct Scratch {
-    /// Residency mask consumed by the evaluation kernels (one flag per
+    /// Residency mask consumed by the evaluation kernels (one bit per
     /// subtask). Fill via [`PreparedSchedule::mark_reusable`] or
     /// [`PreparedSchedule::clear_residency`].
-    pub(crate) resident: Vec<bool>,
-    /// Secondary residency mask (assumed / extended residency).
-    aux_resident: Vec<bool>,
-    /// Needs-load mask under the primary residency.
-    needs_base: Vec<bool>,
-    /// Needs-load mask under the secondary residency.
-    needs_aux: Vec<bool>,
-    /// Needs-load mask of the hybrid body problem.
-    needs_body: Vec<bool>,
+    pub(crate) resident: SlotMask,
     /// Weight-ordered load list / hybrid initialization loads.
     order_a: Vec<SubtaskId>,
     /// Hybrid body load order.
     order_b: Vec<SubtaskId>,
-    /// Execution finish times of the timing loop (`None` = not yet timed).
-    exec_finish: Vec<Option<Time>>,
-    /// Instant each load completes (`None` = not yet loaded).
-    loaded_at: Vec<Option<Time>>,
-    /// Loads the port still has to perform, in ascending subtask-id order.
-    pending: Vec<SubtaskId>,
+    /// Execution finish times of the timing loop; entries are only
+    /// meaningful under the loop's internal `timed` mask.
+    exec_finish: Vec<Time>,
+    /// Instant each load completes; entries are only meaningful under the
+    /// loop's internal `loaded` mask.
+    loaded_at: Vec<Time>,
     /// The slot-to-tile mapping the replacement kernel produces.
     pub(crate) slot_to_tile: Vec<TileId>,
     /// Per-slot assignment working buffer of the reuse-aware mapping.
@@ -620,6 +682,9 @@ pub struct Scratch {
     taken: Vec<bool>,
     /// Free-tile candidate list of the replacement kernels.
     free: Vec<TileId>,
+    /// Eviction-order keys of the reuse-aware mapping, precomputed once per
+    /// tile so the sort comparator stays branch-free.
+    free_keyed: Vec<(bool, bool, Time, TileId)>,
     /// Sorted configurations the upcoming tasks want kept resident.
     protected: Vec<ConfigId>,
 }
@@ -636,20 +701,15 @@ impl Scratch {
     /// schedules of up to `slots` slots, platforms of up to `tiles` tiles and
     /// protected-configuration lists of up to `configs` entries.
     pub fn reserve(&mut self, subtasks: usize, slots: usize, tiles: usize, configs: usize) {
-        self.resident.reserve(subtasks);
-        self.aux_resident.reserve(subtasks);
-        self.needs_base.reserve(subtasks);
-        self.needs_aux.reserve(subtasks);
-        self.needs_body.reserve(subtasks);
         self.order_a.reserve(subtasks);
         self.order_b.reserve(subtasks);
         self.exec_finish.reserve(subtasks);
         self.loaded_at.reserve(subtasks);
-        self.pending.reserve(subtasks);
         self.slot_to_tile.reserve(slots.max(tiles));
         self.assigned.reserve(slots.max(tiles));
         self.taken.reserve(tiles);
         self.free.reserve(tiles);
+        self.free_keyed.reserve(tiles);
         self.protected.reserve(configs);
     }
 
@@ -657,6 +717,15 @@ impl Scratch {
     /// [`PreparedSchedule::assign_tiles_into`].
     pub fn slot_to_tile(&self) -> &[TileId] {
         &self.slot_to_tile
+    }
+
+    /// The residency mask most recently produced by
+    /// [`PreparedSchedule::mark_reusable`] (or cleared by
+    /// [`PreparedSchedule::clear_residency`]). Together with the inter-task
+    /// window this is the *entire* activation-dependent input of the
+    /// evaluation kernels, so callers can key memo tables on it.
+    pub fn resident(&self) -> SlotMask {
+        self.resident
     }
 
     /// Replaces the protected-configuration list (the configurations upcoming
@@ -679,66 +748,76 @@ enum Strategy<'o> {
 }
 
 /// Earliest instant a subtask could start, ignoring its own load. `None`
-/// while a dependency is untimed.
+/// while a dependency is untimed (one mask `AND` against the precomputed
+/// dependency set, then a `max` fold over the CSR predecessor list).
 #[inline]
 fn ready_time(
     prepared: &PreparedSchedule<'_>,
-    exec_finish: &[Option<Time>],
+    timed: SlotMask,
+    exec_finish: &[Time],
     earliest_exec: Time,
-    id: SubtaskId,
+    idx: usize,
 ) -> Option<Time> {
-    let mut ready = earliest_exec;
-    for &p in prepared.graph.predecessors(id) {
-        ready = ready.max(exec_finish[p.index()]?);
+    if !prepared.dep_masks[idx].difference(timed).is_empty() {
+        return None;
     }
-    if let Some(prev) = prepared.pred_on_pe[id.index()] {
-        ready = ready.max(exec_finish[prev.index()]?);
+    let mut ready = earliest_exec;
+    let range = prepared.pred_offsets[idx] as usize..prepared.pred_offsets[idx + 1] as usize;
+    for &p in &prepared.pred_ids[range] {
+        ready = ready.max(exec_finish[p as usize]);
     }
     Some(ready)
 }
 
-/// Earliest instant the tile of `id` can accept a load. `None` while its
+/// Earliest instant the tile of `idx` can accept a load. `None` while its
 /// previous occupant is untimed.
 #[inline]
 fn tile_available(
     prepared: &PreparedSchedule<'_>,
-    exec_finish: &[Option<Time>],
-    id: SubtaskId,
+    timed: SlotMask,
+    exec_finish: &[Time],
+    idx: usize,
 ) -> Option<Time> {
-    match prepared.pred_on_pe[id.index()] {
-        Some(prev) => exec_finish[prev.index()],
-        None => Some(Time::ZERO),
+    let prev = prepared.pred_on_pe[idx];
+    if prev == NO_PRED {
+        Some(Time::ZERO)
+    } else if timed.contains(prev as usize) {
+        Some(exec_finish[prev as usize])
+    } else {
+        None
     }
 }
 
 /// The timing loop shared by every strategy: a scratch-buffer replica of the
 /// executor's `simulate` that reports only the aggregate summary instead of
-/// materialising execution and load windows.
-#[allow(clippy::too_many_arguments)]
+/// materialising execution and load windows. The timed/loaded/pending sets
+/// are register-resident bitmasks; `exec_finish`/`loaded_at` are flat
+/// timestamp tables valid only under those masks.
 fn simulate_core(
     prepared: &PreparedSchedule<'_>,
-    needs: &[bool],
+    needs: SlotMask,
     strategy: Strategy<'_>,
     earliest_exec: Time,
     earliest_port: Time,
-    exec_finish: &mut Vec<Option<Time>>,
-    loaded_at: &mut Vec<Option<Time>>,
-    pending: &mut Vec<SubtaskId>,
+    exec_finish: &mut Vec<Time>,
+    loaded_at: &mut Vec<Time>,
 ) -> Result<ExecSummary, PrefetchError> {
-    let graph = prepared.graph;
     let latency = prepared.platform.reconfig_latency();
-    let n = graph.len();
+    let n = prepared.exec_times.len();
 
-    exec_finish.clear();
-    exec_finish.resize(n, None);
-    loaded_at.clear();
-    loaded_at.resize(n, None);
-    pending.clear();
-    pending.extend(graph.ids().filter(|id| needs[id.index()]));
-    let total_loads = pending.len();
+    if exec_finish.len() < n {
+        exec_finish.resize(n, Time::ZERO);
+    }
+    if loaded_at.len() < n {
+        loaded_at.resize(n, Time::ZERO);
+    }
+    let mut timed = SlotMask::empty();
+    let mut loaded = SlotMask::empty();
+    let mut pending = needs;
+    let total_loads = needs.len();
 
     let mut port_free = earliest_port;
-    let mut last_load_finish: Option<Time> = None;
+    let mut last_load_finish = Time::ZERO;
     let mut fixed_cursor = 0usize;
     let mut remaining_execs = n;
     let mut exec_makespan = Time::ZERO;
@@ -747,22 +826,25 @@ fn simulate_core(
         let mut progress = false;
 
         // Phase 1: schedule every execution whose dependencies are all timed.
-        for &id in &prepared.topo {
-            if exec_finish[id.index()].is_some() {
+        for &raw in &prepared.topo {
+            let idx = raw as usize;
+            if timed.contains(idx) {
                 continue;
             }
-            let Some(ready) = ready_time(prepared, exec_finish, earliest_exec, id) else {
+            let Some(ready) = ready_time(prepared, timed, exec_finish, earliest_exec, idx) else {
                 continue;
             };
-            if needs[id.index()] && loaded_at[id.index()].is_none() {
+            if needs.contains(idx) && !loaded.contains(idx) {
                 continue;
             }
-            let start = match loaded_at[id.index()] {
-                Some(resident) => ready.max(resident),
-                None => ready,
+            let start = if loaded.contains(idx) {
+                ready.max(loaded_at[idx])
+            } else {
+                ready
             };
-            let finish = start + graph.subtask(id).exec_time();
-            exec_finish[id.index()] = Some(finish);
+            let finish = start + prepared.exec_times[idx];
+            exec_finish[idx] = finish;
+            timed.insert(idx);
             exec_makespan = exec_makespan.max(finish);
             remaining_execs -= 1;
             progress = true;
@@ -772,29 +854,29 @@ fn simulate_core(
         if !pending.is_empty() {
             let pick = match &strategy {
                 Strategy::Fixed(order) => {
-                    while fixed_cursor < order.len()
-                        && loaded_at[order[fixed_cursor].index()].is_some()
+                    while fixed_cursor < order.len() && loaded.contains(order[fixed_cursor].index())
                     {
                         fixed_cursor += 1;
                     }
                     order.get(fixed_cursor).and_then(|&next| {
-                        tile_available(prepared, exec_finish, next).map(|t| (next, t))
+                        tile_available(prepared, timed, exec_finish, next.index())
+                            .map(|t| (next.index(), t))
                     })
                 }
                 Strategy::ListByWeight => {
                     // Horizon: earliest instant any known-available load could
                     // actually start.
                     let mut earliest: Option<Time> = None;
-                    for &id in pending.iter() {
-                        if let Some(t) = tile_available(prepared, exec_finish, id) {
+                    for idx in pending.iter() {
+                        if let Some(t) = tile_available(prepared, timed, exec_finish, idx) {
                             earliest = Some(earliest.map_or(t, |e| e.min(t)));
                         }
                     }
                     earliest.and_then(|e| {
                         let horizon = e.max(port_free);
-                        let mut best: Option<(SubtaskId, Time)> = None;
-                        for &id in pending.iter() {
-                            let Some(t) = tile_available(prepared, exec_finish, id) else {
+                        let mut best: Option<(usize, Time)> = None;
+                        for idx in pending.iter() {
+                            let Some(t) = tile_available(prepared, timed, exec_finish, idx) else {
                                 continue;
                             };
                             if t > horizon {
@@ -803,13 +885,13 @@ fn simulate_core(
                             // Replicates `max_by(weight asc, index desc)`:
                             // higher weight wins, lower index breaks ties.
                             best = match best {
-                                None => Some((id, t)),
-                                Some((bid, _))
-                                    if prepared.weight(id) > prepared.weight(bid)
-                                        || (prepared.weight(id) == prepared.weight(bid)
-                                            && id.index() < bid.index()) =>
+                                None => Some((idx, t)),
+                                Some((bidx, _))
+                                    if prepared.weights[idx] > prepared.weights[bidx]
+                                        || (prepared.weights[idx] == prepared.weights[bidx]
+                                            && idx < bidx) =>
                                 {
-                                    Some((id, t))
+                                    Some((idx, t))
                                 }
                                 keep => keep,
                             };
@@ -820,21 +902,23 @@ fn simulate_core(
                 Strategy::OnDemand => {
                     // Replicates `min_by(ready asc, weight desc, index asc)`:
                     // the earliest requested load wins, most critical first.
-                    let mut best: Option<(SubtaskId, Time)> = None;
-                    for &id in pending.iter() {
-                        let Some(t) = ready_time(prepared, exec_finish, earliest_exec, id) else {
+                    let mut best: Option<(usize, Time)> = None;
+                    for idx in pending.iter() {
+                        let Some(t) = ready_time(prepared, timed, exec_finish, earliest_exec, idx)
+                        else {
                             continue;
                         };
                         best = match best {
-                            None => Some((id, t)),
-                            Some((bid, bt))
+                            None => Some((idx, t)),
+                            Some((bidx, bt))
                                 if t < bt
-                                    || (t == bt && prepared.weight(id) > prepared.weight(bid))
                                     || (t == bt
-                                        && prepared.weight(id) == prepared.weight(bid)
-                                        && id.index() < bid.index()) =>
+                                        && prepared.weights[idx] > prepared.weights[bidx])
+                                    || (t == bt
+                                        && prepared.weights[idx] == prepared.weights[bidx]
+                                        && idx < bidx) =>
                             {
-                                Some((id, t))
+                                Some((idx, t))
                             }
                             keep => keep,
                         };
@@ -842,13 +926,14 @@ fn simulate_core(
                     best
                 }
             };
-            if let Some((id, available)) = pick {
+            if let Some((idx, available)) = pick {
                 let start = port_free.max(available);
                 let finish = start + latency;
-                loaded_at[id.index()] = Some(finish);
+                loaded_at[idx] = finish;
+                loaded.insert(idx);
                 port_free = finish;
-                last_load_finish = Some(finish);
-                pending.retain(|&p| p != id);
+                last_load_finish = finish;
+                pending.remove(idx);
                 progress = true;
             }
         }
@@ -858,11 +943,10 @@ fn simulate_core(
         }
     }
 
-    let port_busy_until = last_load_finish.unwrap_or(Time::ZERO);
     Ok(ExecSummary {
         penalty: exec_makespan.saturating_sub(prepared.ideal),
         loads: total_loads,
-        trailing_port_idle: exec_makespan.saturating_sub(port_busy_until),
+        trailing_port_idle: exec_makespan.saturating_sub(last_load_finish),
     })
 }
 
@@ -923,7 +1007,7 @@ mod tests {
             let classic = ListScheduler::new().schedule(&problem).unwrap();
             prepared.clear_residency(&mut scratch);
             for &id in &resident {
-                scratch.resident[id.index()] = true;
+                scratch.resident.insert(id.index());
             }
             let summary = prepared.evaluate_list(&mut scratch).unwrap();
             assert_eq!(summary.penalty, classic.penalty(), "{resident:?}");
@@ -969,7 +1053,7 @@ mod tests {
 
                 prepared.clear_residency(&mut scratch);
                 for &id in &resident {
-                    scratch.resident[id.index()] = true;
+                    scratch.resident.insert(id.index());
                 }
                 let (summary, fit) = prepared.evaluate_inter_task(window, &mut scratch).unwrap();
                 assert_eq!(fit, preloaded.len(), "{resident:?} w={window_ms}");
@@ -1006,7 +1090,7 @@ mod tests {
                     .unwrap();
                 prepared.clear_residency(&mut scratch);
                 for &id in &resident {
-                    scratch.resident[id.index()] = true;
+                    scratch.resident.insert(id.index());
                 }
                 let summary = prepared
                     .evaluate_hybrid(&hybrid, window, &mut scratch)
@@ -1071,7 +1155,7 @@ mod tests {
                 assert_eq!(count, classic_resident.len(), "{policy} step {step}");
                 for id in g.ids() {
                     assert_eq!(
-                        scratch.resident[id.index()],
+                        scratch.resident.contains(id.index()),
                         classic_resident.contains(&id),
                         "{policy} step {step} {id}"
                     );
@@ -1114,24 +1198,15 @@ mod tests {
         // Drive the core directly with the same fixed order.
         let mut scratch = Scratch::new();
         prepared.clear_residency(&mut scratch);
-        let Scratch {
-            resident,
-            needs_base,
-            exec_finish,
-            loaded_at,
-            pending,
-            ..
-        } = &mut scratch;
-        prepared.needs_load_into(resident, needs_base);
+        let needs = prepared.needs_load_mask(scratch.resident);
         let summary = simulate_core(
             &prepared,
-            needs_base,
+            needs,
             Strategy::Fixed(list.load_order()),
             Time::ZERO,
             Time::ZERO,
-            exec_finish,
-            loaded_at,
-            pending,
+            &mut scratch.exec_finish,
+            &mut scratch.loaded_at,
         )
         .unwrap();
         assert_eq!(summary.penalty, replay.penalty());
@@ -1150,6 +1225,34 @@ mod tests {
                 available: 2
             }
         );
+    }
+
+    #[test]
+    fn prepared_schedule_rejects_graphs_wider_than_the_mask() {
+        // 65 independent subtasks on one shared slot: a valid schedule, but
+        // one more subtask than the bitmask kernels can track.
+        let mut g = SubtaskGraph::new("wide");
+        let n = SlotMask::CAPACITY + 1;
+        for i in 0..n {
+            g.add_subtask(Subtask::new(
+                format!("s{i}"),
+                Time::from_millis(1),
+                ConfigId::new(i),
+            ));
+        }
+        let schedule =
+            InitialSchedule::from_assignment(&g, vec![PeAssignment::Tile(TileSlot::new(0)); n])
+                .unwrap();
+        let platform = Platform::virtex_like(3).unwrap();
+        let err = PreparedSchedule::new(&g, schedule, &platform).unwrap_err();
+        assert_eq!(
+            err,
+            PrefetchError::ExceedsMaskWidth {
+                subtasks: n,
+                capacity: SlotMask::CAPACITY
+            }
+        );
+        assert!(err.to_string().contains("65 subtasks"));
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub enum PrefetchError {
         /// Tiles available on the platform.
         available: usize,
     },
+    /// The task graph has more subtasks than the bitmask-based hot kernels
+    /// can track (the [`SlotMask`](crate::SlotMask) width). The classic
+    /// scheduler entry points remain available for larger graphs.
+    ExceedsMaskWidth {
+        /// Subtasks in the graph.
+        subtasks: usize,
+        /// Maximum the prepared-schedule kernels support.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for PrefetchError {
@@ -52,6 +61,13 @@ impl fmt::Display for PrefetchError {
                 write!(
                     f,
                     "schedule needs {required} tile slots but the platform has {available} tiles"
+                )
+            }
+            PrefetchError::ExceedsMaskWidth { subtasks, capacity } => {
+                write!(
+                    f,
+                    "graph has {subtasks} subtasks but the prepared-schedule kernels track at \
+                     most {capacity}; use the classic scheduler API for larger graphs"
                 )
             }
         }
@@ -92,6 +108,12 @@ mod tests {
             available: 3,
         };
         assert!(e.to_string().contains("8"));
+        let e = PrefetchError::ExceedsMaskWidth {
+            subtasks: 90,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("90 subtasks"));
+        assert!(e.to_string().contains("at most 64"));
     }
 
     #[test]

@@ -70,6 +70,7 @@ mod executor;
 mod hybrid;
 mod inter_task;
 mod list_scheduler;
+mod mask;
 mod on_demand;
 mod policy;
 mod problem;
@@ -85,6 +86,7 @@ pub use error::PrefetchError;
 pub use hybrid::{HybridOutcome, HybridPrefetch, HybridRuntimeDecision};
 pub use inter_task::{plan_preloads, InterTaskWindow};
 pub use list_scheduler::ListScheduler;
+pub use mask::{SlotMask, SlotMaskIter};
 pub use on_demand::OnDemandScheduler;
 pub use policy::PolicyKind;
 pub use problem::{ExecutionResult, PrefetchProblem};

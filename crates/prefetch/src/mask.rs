@@ -1,0 +1,269 @@
+//! Fixed-width bitmask sets over subtask and slot indices.
+//!
+//! The per-activation kernels in [`arena`](crate::arena) track residency,
+//! needs-load and pending-load sets for graphs whose size is bounded by the
+//! platform (a handful to a few dozen subtasks). Storing those sets as one
+//! `u64` word each turns the hot-loop set operations — membership, insert,
+//! remove, union, iteration — into single machine instructions, and lets the
+//! timing loop test "are all dependencies timed?" with one `AND` against a
+//! precomputed dependency mask instead of chasing per-subtask heap data.
+//!
+//! The price is the width invariant: a [`SlotMask`] holds indices `0..64`
+//! only. The invariant is validated once, at preparation time —
+//! [`PreparedSchedule::new`](crate::PreparedSchedule::new) rejects larger
+//! graphs with [`PrefetchError::ExceedsMaskWidth`](crate::PrefetchError) and
+//! the simulation layer rejects wider platforms before any worker starts —
+//! so the kernels themselves never re-check it.
+
+use std::fmt;
+
+/// A set of indices in `0..`[`SlotMask::CAPACITY`] stored as one `u64`.
+///
+/// Semantically a `HashSet<usize>` restricted to small indices; every
+/// operation is branch-free word arithmetic. Iteration yields indices in
+/// ascending order (via trailing-zeros extraction), which is exactly the
+/// "ascending subtask id" order the classic kernels produced — the property
+/// the bit-for-bit parity of the refactor rests on.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct SlotMask(u64);
+
+impl SlotMask {
+    /// Maximum number of distinct indices a mask can hold (`0..64`).
+    pub const CAPACITY: usize = u64::BITS as usize;
+
+    /// The empty set.
+    pub const EMPTY: SlotMask = SlotMask(0);
+
+    /// Whether `count` indices fit the mask width — the invariant the
+    /// preparation-time validators enforce before any kernel runs.
+    #[inline]
+    pub const fn fits(count: usize) -> bool {
+        count <= Self::CAPACITY
+    }
+
+    /// The empty set (`const`-friendly alias of [`SlotMask::EMPTY`]).
+    #[inline]
+    pub const fn empty() -> Self {
+        Self::EMPTY
+    }
+
+    /// The set `{0, 1, …, count-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds [`SlotMask::CAPACITY`].
+    #[inline]
+    pub fn full(count: usize) -> Self {
+        assert!(Self::fits(count), "{count} indices exceed the mask width");
+        if count == Self::CAPACITY {
+            SlotMask(u64::MAX)
+        } else {
+            SlotMask((1u64 << count) - 1)
+        }
+    }
+
+    /// A mask over the raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        SlotMask(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Adds `index` to the set. Debug-asserts the width invariant; callers
+    /// are behind the preparation-time validation.
+    #[inline]
+    pub fn insert(&mut self, index: usize) {
+        debug_assert!(index < Self::CAPACITY, "index {index} exceeds mask width");
+        self.0 |= 1u64 << index;
+    }
+
+    /// Removes `index` from the set.
+    #[inline]
+    pub fn remove(&mut self, index: usize) {
+        debug_assert!(index < Self::CAPACITY, "index {index} exceeds mask width");
+        self.0 &= !(1u64 << index);
+    }
+
+    /// Whether `index` is in the set.
+    #[inline]
+    pub fn contains(self, index: usize) -> bool {
+        debug_assert!(index < Self::CAPACITY, "index {index} exceeds mask width");
+        self.0 & (1u64 << index) != 0
+    }
+
+    /// Number of indices in the set (popcount).
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Empties the set in place.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// The union of two sets.
+    #[inline]
+    pub const fn union(self, other: SlotMask) -> SlotMask {
+        SlotMask(self.0 | other.0)
+    }
+
+    /// The intersection of two sets.
+    #[inline]
+    pub const fn intersection(self, other: SlotMask) -> SlotMask {
+        SlotMask(self.0 & other.0)
+    }
+
+    /// The indices in `self` but not in `other`.
+    #[inline]
+    pub const fn difference(self, other: SlotMask) -> SlotMask {
+        SlotMask(self.0 & !other.0)
+    }
+
+    /// Iterates the indices in ascending order.
+    #[inline]
+    pub fn iter(self) -> SlotMaskIter {
+        SlotMaskIter(self.0)
+    }
+}
+
+impl FromIterator<usize> for SlotMask {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut mask = SlotMask::EMPTY;
+        for index in iter {
+            mask.insert(index);
+        }
+        mask
+    }
+}
+
+impl Extend<usize> for SlotMask {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for index in iter {
+            self.insert(index);
+        }
+    }
+}
+
+impl IntoIterator for SlotMask {
+    type Item = usize;
+    type IntoIter = SlotMaskIter;
+
+    fn into_iter(self) -> SlotMaskIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for SlotMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Ascending-order iterator over the indices of a [`SlotMask`]
+/// (trailing-zeros extraction, one bit cleared per step).
+#[derive(Debug, Clone)]
+pub struct SlotMaskIter(u64);
+
+impl Iterator for SlotMaskIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let index = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(index)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SlotMaskIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_semantics() {
+        let mut m = SlotMask::empty();
+        assert!(m.is_empty());
+        m.insert(0);
+        m.insert(63);
+        m.insert(17);
+        assert_eq!(m.len(), 3);
+        assert!(m.contains(0) && m.contains(17) && m.contains(63));
+        assert!(!m.contains(1));
+        m.remove(17);
+        assert!(!m.contains(17));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 63]);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let m: SlotMask = [5usize, 1, 40, 2, 63].into_iter().collect();
+        let order: Vec<usize> = m.iter().collect();
+        assert_eq!(order, vec![1, 2, 5, 40, 63]);
+        assert_eq!(m.iter().len(), 5);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: SlotMask = [0usize, 1, 2].into_iter().collect();
+        let b: SlotMask = [2usize, 3].into_iter().collect();
+        assert_eq!(a.union(b).iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(a.intersection(b).iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn full_and_fits_cover_the_boundaries() {
+        assert!(SlotMask::fits(0));
+        assert!(SlotMask::fits(64));
+        assert!(!SlotMask::fits(65));
+        assert_eq!(SlotMask::full(0), SlotMask::EMPTY);
+        assert_eq!(SlotMask::full(64).len(), 64);
+        assert_eq!(SlotMask::full(3).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the mask width")]
+    fn full_rejects_oversized_counts() {
+        let _ = SlotMask::full(65);
+    }
+
+    #[test]
+    fn debug_formats_as_a_set() {
+        let m: SlotMask = [1usize, 4].into_iter().collect();
+        assert_eq!(format!("{m:?}"), "{1, 4}");
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let m: SlotMask = [0usize, 8, 63].into_iter().collect();
+        assert_eq!(SlotMask::from_bits(m.bits()), m);
+        let mut e = SlotMask::EMPTY;
+        e.extend([3usize, 9]);
+        assert_eq!(e.len(), 2);
+    }
+}

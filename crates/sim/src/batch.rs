@@ -184,11 +184,13 @@ impl<'p, 'a> SimBatch<'p, 'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{PointSelection, ScenarioPolicy};
     use crate::SimulationConfig;
     use drhw_model::{
         ConfigId, Platform, Scenario, ScenarioId, Subtask, SubtaskGraph, Task, TaskId, TaskSet,
         Time,
     };
+    use std::collections::BTreeMap;
 
     fn task_set() -> TaskSet {
         let mut g = SubtaskGraph::new("pipe");
@@ -265,5 +267,198 @@ mod tests {
         let reports = SimBatch::new(&plan).run(&wanted).unwrap();
         let kinds: Vec<PolicyKind> = reports.iter().map(|r| r.policy()).collect();
         assert_eq!(kinds, wanted);
+    }
+
+    // §7-shape tests, formerly hosted by the DynamicSimulation facade: the
+    // plan + batch pair is now the only driver, so the behavioural contract
+    // lives here.
+
+    /// A small two-task set with a chain and a fork, enough to exercise reuse.
+    fn small_task_set() -> TaskSet {
+        let mut chain = SubtaskGraph::new("chain");
+        let ids: Vec<_> = (0..3)
+            .map(|i| {
+                chain.add_subtask(Subtask::new(
+                    format!("c{i}"),
+                    Time::from_millis(10),
+                    ConfigId::new(i),
+                ))
+            })
+            .collect();
+        chain.add_dependency(ids[0], ids[1]).unwrap();
+        chain.add_dependency(ids[1], ids[2]).unwrap();
+
+        let mut fork = SubtaskGraph::new("fork");
+        let root = fork.add_subtask(Subtask::new(
+            "root",
+            Time::from_millis(15),
+            ConfigId::new(10),
+        ));
+        for i in 0..2 {
+            let child = fork.add_subtask(Subtask::new(
+                format!("f{i}"),
+                Time::from_millis(8),
+                ConfigId::new(11 + i),
+            ));
+            fork.add_dependency(root, child).unwrap();
+        }
+
+        TaskSet::new(
+            "small",
+            vec![
+                Task::new(
+                    TaskId::new(0),
+                    "chain",
+                    vec![Scenario::new(ScenarioId::new(0), chain)],
+                )
+                .unwrap(),
+                Task::new(
+                    TaskId::new(1),
+                    "fork",
+                    vec![Scenario::new(ScenarioId::new(0), fork)],
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn simulate(policy: PolicyKind, tiles: usize) -> SimulationReport {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(tiles).unwrap();
+        let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let mut reports = SimBatch::new(&plan).run(&[policy]).unwrap();
+        reports.remove(0)
+    }
+
+    #[test]
+    fn policies_are_ordered_as_the_paper_reports() {
+        let tiles = 8;
+        let no_prefetch = simulate(PolicyKind::NoPrefetch, tiles);
+        let design_time = simulate(PolicyKind::DesignTimeOnly, tiles);
+        let run_time = simulate(PolicyKind::RunTime, tiles);
+        let inter_task = simulate(PolicyKind::RunTimeInterTask, tiles);
+        let hybrid = simulate(PolicyKind::Hybrid, tiles);
+
+        assert!(no_prefetch.overhead_percent() > design_time.overhead_percent());
+        assert!(design_time.overhead_percent() >= run_time.overhead_percent());
+        assert!(run_time.overhead_percent() >= inter_task.overhead_percent() - 1e-9);
+        // Hybrid and run-time+inter-task are close; both remove most overhead.
+        assert!(hybrid.overhead_percent() <= design_time.overhead_percent());
+        assert!(hybrid.overhead_hidden_vs(&no_prefetch) > 50.0);
+    }
+
+    #[test]
+    fn reuse_grows_with_the_number_of_tiles() {
+        let few = simulate(PolicyKind::RunTime, 3);
+        let many = simulate(PolicyKind::RunTime, 8);
+        assert!(many.reuse_percent() >= few.reuse_percent());
+        // With 8 tiles every configuration of the small set stays resident, so
+        // reuse is substantial.
+        assert!(
+            many.reuse_percent() > 30.0,
+            "reuse was {}",
+            many.reuse_percent()
+        );
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = simulate(PolicyKind::Hybrid, 6);
+        let b = simulate(PolicyKind::Hybrid, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_change_the_workload_but_not_the_shape() {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let plan_a =
+            IterationPlan::new(&set, &platform, SimulationConfig::quick().with_seed(1)).unwrap();
+        let plan_b =
+            IterationPlan::new(&set, &platform, SimulationConfig::quick().with_seed(2)).unwrap();
+        let a = SimBatch::new(&plan_a)
+            .run(&[PolicyKind::NoPrefetch])
+            .unwrap()
+            .remove(0);
+        let b = SimBatch::new(&plan_b)
+            .run(&[PolicyKind::NoPrefetch])
+            .unwrap()
+            .remove(0);
+        // Different activation counts are expected; both still show overhead.
+        assert!(a.overhead_percent() > 5.0);
+        assert!(b.overhead_percent() > 5.0);
+    }
+
+    #[test]
+    fn run_all_covers_every_policy() {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(8).unwrap();
+        let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let reports = SimBatch::new(&plan).run(&PolicyKind::ALL).unwrap();
+        assert_eq!(reports.len(), PolicyKind::ALL.len());
+        for (report, policy) in reports.iter().zip(PolicyKind::ALL) {
+            assert_eq!(report.policy(), policy);
+            assert_eq!(report.iterations(), SimulationConfig::quick().iterations);
+            assert!(report.activations() > 0);
+        }
+    }
+
+    #[test]
+    fn default_threads_agree_with_a_single_worker() {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(8).unwrap();
+        let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let direct = SimBatch::with_threads(&plan, 1)
+            .run(&[PolicyKind::Hybrid])
+            .unwrap();
+        let default = SimBatch::new(&plan).run(&[PolicyKind::Hybrid]).unwrap();
+        assert_eq!(default, direct);
+    }
+
+    #[test]
+    fn energy_aware_selection_also_runs() {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(4).unwrap();
+        let config = SimulationConfig::quick()
+            .with_point_selection(PointSelection::EnergyAware)
+            .with_iterations(20);
+        let plan = IterationPlan::new(&set, &platform, config).unwrap();
+        let report = SimBatch::new(&plan)
+            .run(&[PolicyKind::Hybrid])
+            .unwrap()
+            .remove(0);
+        assert!(report.activations() > 0);
+    }
+
+    #[test]
+    fn fully_parallel_falls_back_when_the_platform_is_small() {
+        // The fork task needs 3 slots; with only 2 tiles the plan must fall
+        // back to a Pareto point that fits.
+        let set = small_task_set();
+        let platform = Platform::virtex_like(2).unwrap();
+        let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let report = SimBatch::new(&plan)
+            .run(&[PolicyKind::RunTime])
+            .unwrap()
+            .remove(0);
+        assert!(report.activations() > 0);
+    }
+
+    #[test]
+    fn correlated_scenarios_use_the_listed_combinations() {
+        let set = small_task_set();
+        let platform = Platform::virtex_like(8).unwrap();
+        let mut combo = BTreeMap::new();
+        combo.insert(TaskId::new(0), ScenarioId::new(0));
+        combo.insert(TaskId::new(1), ScenarioId::new(0));
+        let config =
+            SimulationConfig::quick().with_scenario_policy(ScenarioPolicy::Correlated(vec![combo]));
+        let plan = IterationPlan::new(&set, &platform, config).unwrap();
+        let report = SimBatch::new(&plan)
+            .run(&[PolicyKind::Hybrid])
+            .unwrap()
+            .remove(0);
+        assert!(report.activations() > 0);
     }
 }

@@ -43,6 +43,14 @@ pub enum SimError {
         /// The configuration field that differs from the prepared plan.
         field: &'static str,
     },
+    /// The platform has more tiles than the bitmask-based hot kernels can
+    /// track (the `SlotMask` width), so a plan cannot be prepared for it.
+    PlatformExceedsMaskWidth {
+        /// Tiles on the platform.
+        tiles: usize,
+        /// Maximum the simulation kernels support.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -86,6 +94,13 @@ impl fmt::Display for SimError {
                     f,
                     "config field `{field}` differs from the prepared plan's; design-time \
                      artifacts cannot be reused — build a fresh plan instead"
+                )
+            }
+            SimError::PlatformExceedsMaskWidth { tiles, capacity } => {
+                write!(
+                    f,
+                    "platform has {tiles} tiles but the simulation kernels track at most \
+                     {capacity} slots; use the classic scheduler API for wider platforms"
                 )
             }
         }
@@ -140,6 +155,12 @@ mod tests {
             .contains("combination"));
         let e = SimError::InvalidInclusionProbability { permille: 1500 };
         assert!(e.to_string().contains("1.5"));
+        let e = SimError::PlatformExceedsMaskWidth {
+            tiles: 128,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("128 tiles"));
+        assert!(e.to_string().contains("at most 64"));
     }
 
     #[test]

@@ -5,21 +5,22 @@
 //! headline overhead numbers of §7, Figure 6 (multimedia task set) and
 //! Figure 7 (Pocket GL 3-D renderer).
 //!
-//! A [`DynamicSimulation`] prepares a task set and a platform once, then runs
-//! any [`PolicyKind`](drhw_prefetch::PolicyKind) under an identical randomised
-//! workload so policy comparisons are paired. The result is a
+//! An [`IterationPlan`] prepares a task set and a platform once — the TCM
+//! design-time library, one initial schedule per (task, scenario) pair, the
+//! design-time and hybrid prefetch artifacts — and a [`SimBatch`] then runs
+//! any [`PolicyKind`](drhw_prefetch::PolicyKind) under an identical
+//! randomised workload so policy comparisons are paired. The result is a
 //! [`SimulationReport`] whose [`overhead_percent`](SimulationReport::overhead_percent)
 //! is the metric plotted on the paper's figures.
 //!
-//! Internally every run goes through the batched parallel engine: an
-//! [`IterationPlan`] precomputes the design-time artifacts and can score any
-//! (policy, iteration) pair independently thanks to per-iteration seeds, and
-//! [`SimBatch`] fans policies × iterations out over a scoped-thread worker
-//! pool ([`SimulationConfig::threads`], or the `DRHW_SIM_THREADS` environment
-//! variable). Reports are **bit-identical for every thread count**: work is
-//! split into fixed chunks of consecutive iterations
-//! ([`SimulationConfig::chunk_size`]) whose boundaries depend only on the
-//! configuration, and per-chunk statistics are folded back in chunk order.
+//! The plan can score any (policy, iteration) pair independently thanks to
+//! per-iteration seeds, and [`SimBatch`] fans policies × iterations out over
+//! a scoped-thread worker pool ([`SimulationConfig::threads`], or the
+//! `DRHW_SIM_THREADS` environment variable). Reports are **bit-identical for
+//! every thread count**: work is split into fixed chunks of consecutive
+//! iterations ([`SimulationConfig::chunk_size`]) whose boundaries depend only
+//! on the configuration, and per-chunk statistics are folded back in chunk
+//! order.
 //!
 //! This crate is the simulation *core*; the preferred application-facing
 //! entry point is the `drhw-engine` crate, whose `Engine` submits jobs by
@@ -30,7 +31,7 @@
 //! ```
 //! use drhw_model::{ConfigId, Platform, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time};
 //! use drhw_prefetch::PolicyKind;
-//! use drhw_sim::{DynamicSimulation, SimulationConfig};
+//! use drhw_sim::{IterationPlan, SimBatch, SimulationConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut graph = SubtaskGraph::new("toy");
@@ -40,10 +41,9 @@
 //! let set = TaskSet::new("toy", vec![Task::single_scenario(TaskId::new(0), "toy", graph)?])?;
 //! let platform = Platform::virtex_like(4)?;
 //!
-//! let sim = DynamicSimulation::new(&set, &platform, SimulationConfig::quick())?;
-//! let no_prefetch = sim.run(PolicyKind::NoPrefetch)?;
-//! let hybrid = sim.run(PolicyKind::Hybrid)?;
-//! assert!(hybrid.overhead_percent() <= no_prefetch.overhead_percent());
+//! let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick())?;
+//! let reports = SimBatch::new(&plan).run(&[PolicyKind::NoPrefetch, PolicyKind::Hybrid])?;
+//! assert!(reports[1].overhead_percent() <= reports[0].overhead_percent());
 //! # Ok(())
 //! # }
 //! ```
@@ -55,7 +55,6 @@ mod batch;
 mod config;
 mod error;
 mod plan;
-mod runner;
 mod scratch;
 mod stats;
 
@@ -63,6 +62,5 @@ pub use batch::SimBatch;
 pub use config::{PointSelection, ScenarioPolicy, SimulationConfig, DEFAULT_CHUNK_SIZE};
 pub use error::SimError;
 pub use plan::IterationPlan;
-pub use runner::DynamicSimulation;
 pub use scratch::SimScratch;
 pub use stats::{ChunkStats, IterationOutcome, SimulationReport};

@@ -21,7 +21,91 @@
 //!   contents are meaningless between calls.
 
 use drhw_model::{ScenarioId, Time};
-use drhw_prefetch::{InterTaskWindow, Scratch, TileContents};
+use drhw_prefetch::{ExecSummary, HybridSummary, InterTaskWindow, Scratch, SlotMask, TileContents};
+
+/// Slots per memo set (a power of two — the fingerprint is masked down to an
+/// index). The windowed policies key on (mask, window) pairs whose working
+/// set reaches the low hundreds per artifact across a run, so the table is
+/// sized to keep conflict evictions rare while a lookup stays one probe.
+const MEMO_SLOTS: usize = 256;
+
+/// A key a [`MemoSet`] can index by: a cheap 64-bit fingerprint that picks
+/// the slot (full keys are still compared on probe, so fingerprint collisions
+/// only cost a miss, never a wrong hit).
+pub(crate) trait MemoKey: Copy + PartialEq {
+    fn fingerprint(self) -> u64;
+}
+
+/// SplitMix64 finalizer — mixes every key bit into the slot index.
+fn mix(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl MemoKey for SlotMask {
+    fn fingerprint(self) -> u64 {
+        mix(self.bits())
+    }
+}
+
+impl MemoKey for (SlotMask, InterTaskWindow) {
+    fn fingerprint(self) -> u64 {
+        mix(self.0.bits().wrapping_add(
+            self.1
+                .remaining()
+                .as_micros()
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+/// A fixed-capacity direct-mapped cache: the key's fingerprint picks one
+/// slot, a full-key compare decides hit or miss, and a colliding insert
+/// simply overwrites. Both sides are `Copy`, so hits copy the stored value
+/// out — bit-identical to recomputing it, which is what makes memoising the
+/// evaluation kernels safe for the differential oracle.
+#[derive(Debug, Clone)]
+pub(crate) struct MemoSet<K: MemoKey, V: Copy> {
+    entries: Box<[Option<(K, V)>]>,
+}
+
+impl<K: MemoKey, V: Copy> Default for MemoSet<K, V> {
+    fn default() -> Self {
+        MemoSet {
+            entries: vec![None; MEMO_SLOTS].into_boxed_slice(),
+        }
+    }
+}
+
+impl<K: MemoKey, V: Copy> MemoSet<K, V> {
+    pub(crate) fn get(&self, key: K) -> Option<V> {
+        match self.entries[key.fingerprint() as usize & (MEMO_SLOTS - 1)] {
+            Some((k, v)) if k == key => Some(v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn put(&mut self, key: K, value: V) {
+        self.entries[key.fingerprint() as usize & (MEMO_SLOTS - 1)] = Some((key, value));
+    }
+}
+
+/// Per-(task, scenario) memo of the run-time evaluation kernels. The kernels
+/// are pure functions of the residency mask (plus the inter-task window for
+/// the windowed policies) once the schedule is prepared, so their summaries
+/// can be replayed from here instead of re-running the timing loop — the
+/// replacement/reuse/contents pipeline still runs every activation because
+/// it feeds the evolving tile state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct KernelMemo {
+    /// `evaluate_list` keyed by residency mask.
+    pub(crate) list: MemoSet<SlotMask, ExecSummary>,
+    /// `evaluate_inter_task` (summary, preloaded) keyed by (mask, window).
+    pub(crate) inter: MemoSet<(SlotMask, InterTaskWindow), (ExecSummary, usize)>,
+    /// `evaluate_hybrid` keyed by (mask, window).
+    pub(crate) hybrid: MemoSet<(SlotMask, InterTaskWindow), HybridSummary>,
+}
 
 /// The mutable per-worker state threaded through
 /// [`IterationPlan::evaluate_with`](crate::IterationPlan::evaluate_with) and
@@ -41,6 +125,16 @@ pub struct SimScratch {
     pub(crate) now: Time,
     /// The iteration's activations as (task index, scenario) pairs.
     pub(crate) activations: Vec<(usize, ScenarioId)>,
+    /// The artifact index of each activation (parallel to `activations`),
+    /// resolved once per iteration so the hot loop never touches the
+    /// artifact map.
+    pub(crate) activation_artifacts: Vec<usize>,
+    /// One kernel memo per plan artifact, indexed by artifact slot. Memo
+    /// entries are pure-function results, so they survive chunk resets; they
+    /// are only discarded when the scratch is bound to a different plan.
+    pub(crate) memo: Vec<KernelMemo>,
+    /// Identity token of the plan the memos belong to (0 = unbound).
+    plan_token: u64,
 }
 
 impl SimScratch {
@@ -54,6 +148,8 @@ impl SimScratch {
         tiles: usize,
         configs: usize,
         tasks: usize,
+        artifacts: usize,
+        plan_token: u64,
     ) -> Self {
         let mut prefetch = Scratch::new();
         prefetch.reserve(subtasks, slots, tiles, configs);
@@ -63,6 +159,24 @@ impl SimScratch {
             window: InterTaskWindow::empty(),
             now: Time::ZERO,
             activations: Vec::with_capacity(tasks),
+            activation_artifacts: Vec::with_capacity(tasks),
+            memo: vec![KernelMemo::default(); artifacts],
+            plan_token,
+        }
+    }
+
+    /// Makes the memo tables safe to use with the plan identified by `token`:
+    /// a scratch created by one plan's `make_scratch` but reused with a
+    /// different plan gets its memos discarded and re-sized here, instead of
+    /// replaying another plan's summaries. Plans stamped out by
+    /// [`with_config`](crate::IterationPlan::with_config) share design-time
+    /// artifacts and therefore the token, so re-parameterised runs keep their
+    /// warm memos. No-op (two word compares) on the steady path.
+    pub(crate) fn bind_plan(&mut self, token: u64, artifacts: usize) {
+        if self.plan_token != token || self.memo.len() != artifacts {
+            self.plan_token = token;
+            self.memo.clear();
+            self.memo.resize(artifacts, KernelMemo::default());
         }
     }
 

@@ -7,7 +7,7 @@
 use drhw_bench::experiments::workload_config;
 use drhw_model::{ConfigId, Platform, Subtask, SubtaskGraph, Task, TaskId, TaskSet, Time};
 use drhw_prefetch::PolicyKind;
-use drhw_sim::{DynamicSimulation, IterationPlan, SimBatch, SimulationConfig};
+use drhw_sim::{IterationPlan, SimBatch, SimulationConfig};
 use drhw_workloads::WorkloadRegistry;
 
 /// The four-subtask graph of Fig. 3: `1 -> {2, 3}`, `3 -> 4`, as used by the
@@ -32,11 +32,11 @@ fn every_policy_runs_on_the_quickstart_graph() {
     )
     .unwrap();
     let platform = Platform::virtex_like(4).unwrap();
-    let sim = DynamicSimulation::new(&set, &platform, SimulationConfig::quick()).unwrap();
+    let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+    let reports = SimBatch::new(&plan).run(&PolicyKind::ALL).unwrap();
 
     let mut overhead = std::collections::BTreeMap::new();
-    for policy in PolicyKind::ALL {
-        let report = sim.run(policy).unwrap();
+    for (policy, report) in PolicyKind::ALL.into_iter().zip(&reports) {
         assert_eq!(report.policy(), policy);
         assert!(
             report.activations() > 0,
@@ -125,9 +125,12 @@ fn hybrid_never_loses_to_no_prefetch_on_the_multimedia_set() {
     let set = drhw_workloads::multimedia::multimedia_task_set();
     for tiles in [8, 12, 16] {
         let platform = Platform::virtex_like(tiles).unwrap();
-        let sim = DynamicSimulation::new(&set, &platform, SimulationConfig::quick()).unwrap();
-        let no_prefetch = sim.run(PolicyKind::NoPrefetch).unwrap();
-        let hybrid = sim.run(PolicyKind::Hybrid).unwrap();
+        let plan = IterationPlan::new(&set, &platform, SimulationConfig::quick()).unwrap();
+        let mut reports = SimBatch::new(&plan)
+            .run(&[PolicyKind::NoPrefetch, PolicyKind::Hybrid])
+            .unwrap();
+        let hybrid = reports.remove(1);
+        let no_prefetch = reports.remove(0);
         assert!(
             hybrid.overhead_percent() <= no_prefetch.overhead_percent(),
             "{tiles} tiles: hybrid ({:.3}%) must not exceed no-prefetch ({:.3}%)",

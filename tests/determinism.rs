@@ -4,7 +4,7 @@
 
 use drhw_model::Platform;
 use drhw_prefetch::PolicyKind;
-use drhw_sim::{DynamicSimulation, IterationPlan, SimBatch, SimulationConfig};
+use drhw_sim::{IterationPlan, SimBatch, SimulationConfig};
 use drhw_workloads::multimedia::multimedia_task_set;
 use drhw_workloads::pocket_gl::pocket_gl_task_set;
 use drhw_workloads::random::{random_task_set, seeded_random_graph, RandomGraphConfig};
@@ -37,12 +37,12 @@ fn identical_seeds_produce_identical_reports() {
     let config = SimulationConfig::default()
         .with_iterations(80)
         .with_seed(77);
-    let sim_a = DynamicSimulation::new(&set, &platform, config.clone()).unwrap();
-    let sim_b = DynamicSimulation::new(&set, &platform, config).unwrap();
+    let plan_a = IterationPlan::new(&set, &platform, config.clone()).unwrap();
+    let plan_b = IterationPlan::new(&set, &platform, config).unwrap();
     for policy in PolicyKind::ALL {
         assert_eq!(
-            sim_a.run(policy).unwrap(),
-            sim_b.run(policy).unwrap(),
+            SimBatch::new(&plan_a).run(&[policy]).unwrap(),
+            SimBatch::new(&plan_b).run(&[policy]).unwrap(),
             "{policy}"
         );
     }
@@ -53,8 +53,8 @@ fn policies_see_exactly_the_same_workload() {
     let set = multimedia_task_set();
     let platform = Platform::virtex_like(12).unwrap();
     let config = SimulationConfig::default().with_iterations(60).with_seed(3);
-    let sim = DynamicSimulation::new(&set, &platform, config).unwrap();
-    let reports = sim.run_all().unwrap();
+    let plan = IterationPlan::new(&set, &platform, config).unwrap();
+    let reports = SimBatch::new(&plan).run(&PolicyKind::ALL).unwrap();
     let reference = &reports[0];
     for report in &reports {
         assert_eq!(report.activations(), reference.activations());
@@ -73,9 +73,9 @@ fn pocket_gl_simulation_is_deterministic_too() {
     let config = SimulationConfig::default()
         .with_iterations(50)
         .with_seed(11);
-    let sim = DynamicSimulation::new(&set, &platform, config).unwrap();
-    let a = sim.run(PolicyKind::Hybrid).unwrap();
-    let b = sim.run(PolicyKind::Hybrid).unwrap();
+    let plan = IterationPlan::new(&set, &platform, config).unwrap();
+    let a = SimBatch::new(&plan).run(&[PolicyKind::Hybrid]).unwrap();
+    let b = SimBatch::new(&plan).run(&[PolicyKind::Hybrid]).unwrap();
     assert_eq!(a, b);
 }
 
@@ -118,35 +118,39 @@ fn sim_batch_is_bit_identical_for_any_thread_count() {
 }
 
 #[test]
-fn batch_reports_match_the_dynamic_simulation_facade() {
+fn batch_reports_match_across_independently_built_plans() {
     let set = multimedia_task_set();
     let platform = Platform::virtex_like(9).unwrap();
     let config = SimulationConfig::default().with_iterations(40).with_seed(7);
-    let sim = DynamicSimulation::new(&set, &platform, config.clone()).unwrap();
-    let plan = IterationPlan::new(&set, &platform, config).unwrap();
-    let batch = SimBatch::with_threads(&plan, 3)
+    let plan_a = IterationPlan::new(&set, &platform, config.clone()).unwrap();
+    let plan_b = IterationPlan::new(&set, &platform, config).unwrap();
+    let batch = SimBatch::with_threads(&plan_b, 3)
         .run(&PolicyKind::ALL)
         .unwrap();
-    assert_eq!(sim.run_all().unwrap(), batch);
+    assert_eq!(SimBatch::new(&plan_a).run(&PolicyKind::ALL).unwrap(), batch);
 }
 
 #[test]
 fn different_seeds_produce_different_workloads() {
     let set = multimedia_task_set();
     let platform = Platform::virtex_like(9).unwrap();
-    let sim_a = DynamicSimulation::new(
+    let plan_a = IterationPlan::new(
         &set,
         &platform,
         SimulationConfig::default().with_iterations(80).with_seed(1),
     )
     .unwrap();
-    let sim_b = DynamicSimulation::new(
+    let plan_b = IterationPlan::new(
         &set,
         &platform,
         SimulationConfig::default().with_iterations(80).with_seed(2),
     )
     .unwrap();
-    let a = sim_a.run(PolicyKind::NoPrefetch).unwrap();
-    let b = sim_b.run(PolicyKind::NoPrefetch).unwrap();
+    let a = SimBatch::new(&plan_a)
+        .run(&[PolicyKind::NoPrefetch])
+        .unwrap();
+    let b = SimBatch::new(&plan_b)
+        .run(&[PolicyKind::NoPrefetch])
+        .unwrap();
     assert_ne!(a, b);
 }

@@ -1,4 +1,4 @@
-//! Golden snapshot of the `BENCH_results.json` schema (version 4) and of
+//! Golden snapshot of the `BENCH_results.json` schema (version 5) and of
 //! the `engine_serve` wire schema (`JobSpec` requests, result objects).
 //!
 //! `render_results_json` and the serve protocol are hand-rolled (no JSON
@@ -11,7 +11,7 @@
 
 use drhw_bench::experiments::policy_overhead_reports;
 use drhw_bench::report::{render_results_json, PlanCacheBlock, RunTiming};
-use drhw_bench::stages::STAGE_NAMES;
+use drhw_bench::stages::{KERNEL_NAMES, STAGE_NAMES};
 use drhw_engine::{json, JobSpec};
 use drhw_prefetch::PolicyKind;
 
@@ -37,8 +37,8 @@ fn is_number(raw: &str) -> bool {
     raw.parse::<f64>().is_ok()
 }
 
-/// The exact top-level key order of schema v4.
-const TOP_LEVEL_V4: [&str; 11] = [
+/// The exact top-level key order of schema v5.
+const TOP_LEVEL_V5: [&str; 12] = [
     "iterations",
     "tiles",
     "policy_overhead_percent",
@@ -48,12 +48,13 @@ const TOP_LEVEL_V4: [&str; 11] = [
     "speedup",
     "stage_ms",
     "policy_iterations_per_sec",
+    "kernel_ns",
     "plan_cache",
     "schema_version",
 ];
 
 #[test]
-fn bench_results_schema_v4_golden_snapshot() {
+fn bench_results_schema_v5_golden_snapshot() {
     let engine = drhw_engine::Engine::builder().build();
     let reports = policy_overhead_reports(&engine, 2, 1, 8).expect("simulation runs");
     let policies = [
@@ -74,6 +75,11 @@ fn bench_results_schema_v4_golden_snapshot() {
             .map(|(i, stage)| (stage.to_string(), i as f64 + 0.5))
             .collect(),
         policy_iterations_per_sec: policies.iter().map(|p| (p.to_string(), 1000.0)).collect(),
+        kernel_ns: KERNEL_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, kernel)| (kernel.to_string(), i as f64 * 100.0 + 50.0))
+            .collect(),
         plan_cache: Some(PlanCacheBlock {
             hits: 4,
             misses: 1,
@@ -83,15 +89,15 @@ fn bench_results_schema_v4_golden_snapshot() {
     let json = render_results_json(&reports, &timing);
     let entries = keys_with_indent(&json);
 
-    // Top level: the exact schema v4 key set, in order.
+    // Top level: the exact schema v5 key set, in order.
     let top: Vec<&str> = entries
         .iter()
         .filter(|(indent, _, _)| *indent == 2)
         .map(|(_, key, _)| key.as_str())
         .collect();
     assert_eq!(
-        top, TOP_LEVEL_V4,
-        "schema v4 top-level keys changed — bump schema_version and update this snapshot"
+        top, TOP_LEVEL_V5,
+        "schema v5 top-level keys changed — bump schema_version and update this snapshot"
     );
 
     // Scalar top-level values are numbers; containers are objects.
@@ -103,10 +109,11 @@ fn bench_results_schema_v4_golden_snapshot() {
             | "speedup"
             | "stage_ms"
             | "policy_iterations_per_sec"
+            | "kernel_ns"
             | "plan_cache" => {
                 assert_eq!(raw, "{", "{key} must be an object");
             }
-            "schema_version" => assert_eq!(raw, "4", "this snapshot pins schema v4"),
+            "schema_version" => assert_eq!(raw, "5", "this snapshot pins schema v5"),
             _ => assert!(is_number(raw), "{key} must be a number, got {raw:?}"),
         }
     }
@@ -137,8 +144,11 @@ fn bench_results_schema_v4_golden_snapshot() {
         .collect();
     for policy in policies {
         let occurrences = nested.iter().filter(|(key, _)| *key == policy).count();
+        // "hybrid" doubles as a kernel name, so it also shows up in the
+        // kernel_ns block.
+        let expected = if policy == "hybrid" { 4 } else { 3 };
         assert_eq!(
-            occurrences, 3,
+            occurrences, expected,
             "{policy} must appear in both policy maps and the throughput map"
         );
     }
@@ -168,6 +178,32 @@ fn bench_results_schema_v4_golden_snapshot() {
         let occurrences = nested.iter().filter(|(key, _)| *key == stage).count();
         assert_eq!(occurrences, 1, "{stage} must appear exactly once");
     }
+
+    // The kernel_ns block: exactly the five hot kernels, every one numeric.
+    let kernel_start = json
+        .find("\"kernel_ns\": {")
+        .expect("kernel_ns block present");
+    let kernel_block = &json[kernel_start
+        ..json[kernel_start..]
+            .find('}')
+            .map(|end| kernel_start + end)
+            .expect("kernel_ns block closes")];
+    let kernel_entries = keys_with_indent(kernel_block);
+    for kernel in KERNEL_NAMES {
+        let occurrences = kernel_entries
+            .iter()
+            .filter(|(_, key, _)| key == kernel)
+            .count();
+        assert_eq!(
+            occurrences, 1,
+            "{kernel} must appear exactly once in the kernel_ns block"
+        );
+    }
+    assert_eq!(
+        kernel_entries.len(),
+        KERNEL_NAMES.len() + 1, // the "kernel_ns" opener itself plus 5 kernels
+        "kernel_ns block must carry exactly the five hot kernels"
+    );
 
     // The speedup block: exact key set, with the headline ratio present.
     let speedup_start = json.find("\"speedup\": {").expect("speedup block present");
@@ -205,12 +241,13 @@ fn schema_snapshot_also_holds_for_absent_measurements() {
     // Without reports the iteration/tile header is absent, but everything
     // else — including the speedup, stage, throughput and plan-cache blocks
     // — survives.
-    assert_eq!(top, &TOP_LEVEL_V4[2..]);
+    assert_eq!(top, &TOP_LEVEL_V5[2..]);
     assert!(json.contains("\"sequential_over_parallel\": null"));
     assert!(json.contains("\"stage_ms\": {\n  }"));
     assert!(json.contains("\"policy_iterations_per_sec\": {\n  }"));
+    assert!(json.contains("\"kernel_ns\": {\n  }"));
     assert!(json.contains("\"hits\": 0"));
-    assert!(json.ends_with("\"schema_version\": 4\n}\n"));
+    assert!(json.ends_with("\"schema_version\": 5\n}\n"));
 }
 
 /// The exact key order of a `JobSpec` with every field set, as put on the
