@@ -5,7 +5,7 @@
 //! activation and the on-demand timing loop — each driven through the same
 //! allocation-free `PreparedSchedule` kernels the simulation engine runs
 //! every iteration, over the four multimedia benchmark graphs. These are the
-//! kernels the `kernel_ns` block of the schema-v5 `BENCH_results.json`
+//! kernels the `kernel_ns` block of the schema-v6 `BENCH_results.json`
 //! gates; the bench exists so a regression can be bisected to one kernel
 //! with `cargo bench -p drhw-bench --bench kernels`. CI invokes it as a
 //! smoke test, so any panic in a kernel fails the pipeline.

@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drhw_model::{InitialSchedule, Platform, SubtaskGraph};
 use drhw_prefetch::{
     BranchBoundScheduler, HybridPrefetch, InterTaskWindow, ListScheduler, PrefetchProblem,
-    PrefetchScheduler,
+    PrefetchScheduler, SearchCache,
 };
 use drhw_workloads::random::{seeded_random_graph, RandomGraphConfig};
 
@@ -49,7 +49,7 @@ fn bench_list_scheduler(c: &mut Criterion) {
 
 fn bench_branch_and_bound(c: &mut Criterion) {
     let mut group = c.benchmark_group("branch_and_bound");
-    for &n in &[4usize, 6, 8, 10] {
+    for &n in &[4usize, 6, 8, 10, 12] {
         let (graph, schedule, platform) = setup(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -58,6 +58,54 @@ fn bench_branch_and_bound(c: &mut Criterion) {
                 BranchBoundScheduler::new()
                     .schedule(&problem)
                     .expect("search succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Pruned vs naive search, 4 → 12 loads: times both searches and prints how
+/// many branch nodes each explores, so the effect of the memo, dominance
+/// table, and serialization bound is visible as a node-count ratio rather
+/// than only as wall clock.
+fn bench_pruning_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_and_bound_pruning");
+    for &n in &[4usize, 6, 8, 10, 12] {
+        let (graph, schedule, platform) = setup(n);
+        let problem =
+            PrefetchProblem::new(&graph, &schedule, &platform).expect("problem is well-formed");
+        let scheduler = BranchBoundScheduler::new();
+        let (naive, naive_stats) = scheduler
+            .schedule_naive_with_stats(&problem)
+            .expect("naive search succeeds");
+        let mut cache = SearchCache::new();
+        let (pruned, pruned_stats) = scheduler
+            .schedule_with_stats(&problem, &mut cache, None)
+            .expect("assisted search succeeds");
+        assert_eq!(pruned, naive, "the accelerations must stay bit-identical");
+        println!(
+            "branch_and_bound_pruning/{n}: naive {} nodes, pruned {} nodes \
+             ({} memo hits, {} dominance prunes, {} tail prunes)",
+            naive_stats.nodes,
+            pruned_stats.nodes,
+            pruned_stats.memo_hits,
+            pruned_stats.dominance_prunes,
+            pruned_stats.tail_prunes
+        );
+        // Past 8 loads the naive search takes seconds per run; the node
+        // counts above already tell the scaling story, so only time it while
+        // a timing loop is affordable.
+        if n <= 8 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| scheduler.schedule_naive(&problem).expect("naive search"))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("pruned", n), &n, |b, _| {
+            b.iter(|| {
+                let mut cache = SearchCache::new();
+                scheduler
+                    .schedule_with_stats(&problem, &mut cache, None)
+                    .expect("assisted search")
             })
         });
     }
@@ -94,6 +142,7 @@ criterion_group!(
     benches,
     bench_list_scheduler,
     bench_branch_and_bound,
+    bench_pruning_sweep,
     bench_hybrid_runtime_phase
 );
 criterion_main!(benches);

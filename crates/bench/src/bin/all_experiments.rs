@@ -6,7 +6,7 @@
 //! (override the path with the `BENCH_RESULTS_PATH` environment variable).
 //!
 //! All simulations go through one shared `drhw-engine` job engine (its
-//! plan-cache counters land in the schema-v5 `plan_cache` block); the worker
+//! plan-cache counters land in the schema-v6 `plan_cache` block); the worker
 //! count comes from `DRHW_SIM_THREADS` or the available hardware
 //! parallelism, and never changes the simulated numbers — only the wall
 //! clock. The speedup measurement additionally re-runs the E2 workload
@@ -198,7 +198,7 @@ fn main() {
     );
 
     // Every simulation above went through the shared engine; its cache
-    // counters become the schema-v5 plan_cache block.
+    // counters become the schema-v6 plan_cache block.
     let cache = engine.cache_stats();
     timing.plan_cache = Some(cache.into());
     println!(

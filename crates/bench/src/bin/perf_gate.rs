@@ -2,34 +2,46 @@
 //!
 //! Runs the pinned perf suite (multimedia set, 8 tiles, fixed seed) several
 //! times, takes the **median** per-policy iteration throughput, per-kernel
-//! per-call cost and cross-policy wall clock, and compares them against the
-//! committed `BENCH_baseline.json` under per-metric tolerance bands. On a
-//! regression it prints a delta table and exits non-zero; the same table plus
-//! the schema-v5 `BENCH_results.json` are written to disk so CI can upload
-//! them as artifacts.
+//! per-call cost, per-stage design-time wall clock and cross-policy wall
+//! clock, and compares them against the committed `BENCH_baseline.json`
+//! under per-metric tolerance bands. On a regression it prints a delta table
+//! and exits non-zero; the same table plus the schema-v6
+//! `BENCH_results.json` are written to disk so CI can upload them as
+//! artifacts.
 //!
 //! ```text
 //! perf_gate                    # gate against BENCH_baseline.json
 //! perf_gate --write-baseline   # record a fresh baseline instead of gating
 //! ```
 //!
-//! Besides raw engine throughput, the gate measures the *plan cache*: a
-//! cold job submission pays the design-time preparation, warm submissions
-//! (same workload/tiles, fresh seeds) must not. If the cache stops hitting,
-//! `plan_cache.warm_submit_ms` blows through its tolerance band and the
-//! gate fails — and a functional hit-count check fails even earlier.
+//! Besides raw engine throughput, the gate measures the *plan cache* at
+//! three temperatures: a cold job submission pays the design-time
+//! preparation; warm submissions (same workload/tiles, fresh seeds) must be
+//! served from the in-memory cache; and a **disk-warm** submission — a
+//! fresh engine sharing the persistent on-disk plan cache, simulating a
+//! process restart — must restore the design-time search artifacts instead
+//! of recomputing them (`plan_cache.disk_warm_submit_ms`). The restart pair
+//! runs on a heavier generated workload (`random-8x10`) whose cold submit is
+//! dominated by design-time preparation, and the gate *requires* the
+//! disk-warm restart to be at least 10x faster than the cold one. If either
+//! cache stops hitting, or the restart ratio collapses, a functional check
+//! fails before any tolerance band does. Of the design-time stages,
+//! `stage_ms.branch_bound` and `stage_ms.critical_set` are gated so the
+//! memoized/pruned search cannot silently regress toward the naive one.
 //!
 //! Environment knobs:
 //!
 //! * `PERF_GATE_RUNS` — repeated measurement runs (default 5)
 //! * `PERF_GATE_ITERATIONS` — simulated iterations per run (default 2000)
 //! * `PERF_BASELINE_PATH` — baseline location (default `BENCH_baseline.json`)
-//! * `BENCH_RESULTS_PATH` — schema-v5 results output (default `BENCH_results.json`)
+//! * `BENCH_RESULTS_PATH` — schema-v6 results output (default `BENCH_results.json`)
 //! * `PERF_DELTA_PATH` — delta table output (default `PERF_delta.txt`)
 //!
-//! The suite runs single-threaded on purpose: the gate measures the engine,
-//! not the CI runner's core count, and one thread is the least noisy
-//! configuration.
+//! The gated suite runs single-threaded on purpose: the gate measures the
+//! engine, not the CI runner's core count, and one thread is the least noisy
+//! configuration. The `speedup` block of the results file additionally
+//! records the same cross-policy batch on every available core — reported
+//! for the performance trajectory, never gated (it measures the runner).
 //!
 //! Exit status: `0` pass (or baseline written), `1` regression, `2` missing
 //! or invalid baseline, `3` output file not writable.
@@ -40,8 +52,10 @@ use drhw_bench::experiments::workload_config;
 use drhw_bench::gate::{
     evaluate_gate, load_baseline, render_baseline_json, Measured, DEFAULT_TOLERANCE,
 };
-use drhw_bench::report::{render_results_json, RunTiming};
-use drhw_bench::stages::{measure_kernel_timings, measure_stage_timings, KERNEL_NAMES};
+use drhw_bench::report::{render_results_json, PlanCacheBlock, RunTiming};
+use drhw_bench::stages::{
+    measure_kernel_timings, measure_stage_timings, KERNEL_NAMES, STAGE_NAMES,
+};
 use drhw_model::Platform;
 use drhw_prefetch::PolicyKind;
 use drhw_sim::{IterationPlan, SimBatch};
@@ -115,10 +129,27 @@ fn main() {
 
     let mut timing = RunTiming {
         threads: 1,
-        stage_ms: measure_stage_timings(5).as_pairs(),
         ..RunTiming::default()
     };
     let mut measured = Vec::new();
+
+    // Per-stage design-time wall clock: one measurement pass per gate run,
+    // median per stage. The two search stages the memoized branch & bound
+    // accelerates are gated; the others are reported for the trajectory.
+    let mut stage_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); STAGE_NAMES.len()];
+    for _ in 0..runs {
+        for (which, (_, ms)) in measure_stage_timings(5).as_pairs().into_iter().enumerate() {
+            stage_samples[which].push(ms);
+        }
+    }
+    for (which, name) in STAGE_NAMES.iter().enumerate() {
+        let ms = median(&mut stage_samples[which]);
+        timing.stage_ms.push((name.to_string(), ms));
+        if matches!(*name, "branch_bound" | "critical_set") {
+            measured.push(Measured::lower_is_better(format!("stage_ms.{name}"), ms));
+        }
+        println!("  stage {name:<18} {ms:>10.2} ms (median of {runs})");
+    }
 
     // Per-kernel per-call cost: one measurement pass per gate run, median per
     // kernel across the runs. Gated like a wall clock — more nanoseconds per
@@ -173,7 +204,6 @@ fn main() {
         );
         std::process::exit(1);
     }
-    timing.plan_cache = Some(cache.into());
     measured.push(Measured::lower_is_better(
         "plan_cache.cold_submit_ms",
         cold_ms,
@@ -191,6 +221,83 @@ fn main() {
          amortized prepare {:.2} ms",
         cache.amortized_prepare_ms()
     );
+
+    // Disk-warm restart: seed a persistent on-disk plan cache, then measure a
+    // *fresh* engine per run (simulating a process restart) that must restore
+    // the design-time search artifacts from disk instead of recomputing them.
+    // The restart spec is deliberately heavier than the pinned multimedia
+    // suite (8 generated tasks of 10 subtasks, few iterations): design-time
+    // preparation dominates its cold submit, so the cold/disk-warm ratio
+    // actually measures what the on-disk cache saves across restarts.
+    let restart_spec = drhw_engine::JobSpec::new("random-8x10")
+        .with_tiles(8)
+        .with_iterations(50);
+    let mut cold_restart_samples = Vec::with_capacity(runs);
+    for run in 0..runs {
+        let cold_engine = drhw_engine::Engine::builder().threads(1).build();
+        let started = Instant::now();
+        cold_engine
+            .run(restart_spec.clone().with_seed(seed + 200 + run as u64))
+            .expect("simulation runs");
+        cold_restart_samples.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let cold_restart_ms = median(&mut cold_restart_samples);
+    let disk_dir =
+        std::env::temp_dir().join(format!("drhw-perf-gate-plan-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    drhw_engine::Engine::builder()
+        .threads(1)
+        .cache_capacity(4)
+        .cache_dir(&disk_dir)
+        .build()
+        .run(restart_spec.clone().with_seed(seed))
+        .expect("simulation runs");
+    let mut disk_warm_samples = Vec::with_capacity(runs);
+    let mut disk_hits = 0u64;
+    for run in 0..runs {
+        let fresh = drhw_engine::Engine::builder()
+            .threads(1)
+            .cache_capacity(4)
+            .cache_dir(&disk_dir)
+            .build();
+        let started = Instant::now();
+        fresh
+            .run(restart_spec.clone().with_seed(seed + 100 + run as u64))
+            .expect("simulation runs");
+        disk_warm_samples.push(started.elapsed().as_secs_f64() * 1e3);
+        disk_hits += fresh.cache_stats().disk_hits;
+    }
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    if disk_hits != runs as u64 {
+        eprintln!(
+            "perf gate FAILED: disk plan cache broken — expected {runs} disk restore(s), got {disk_hits}"
+        );
+        std::process::exit(1);
+    }
+    let disk_warm_ms = median(&mut disk_warm_samples);
+    if disk_warm_ms * 10.0 > cold_restart_ms {
+        eprintln!(
+            "perf gate FAILED: disk-warm restart submit ({disk_warm_ms:.2} ms) must be at least \
+             10x faster than a cold restart ({cold_restart_ms:.2} ms)"
+        );
+        std::process::exit(1);
+    }
+    measured.push(Measured::lower_is_better(
+        "plan_cache.cold_restart_submit_ms",
+        cold_restart_ms,
+    ));
+    measured.push(Measured::lower_is_better(
+        "plan_cache.disk_warm_submit_ms",
+        disk_warm_ms,
+    ));
+    println!(
+        "  plan cache: cold restart {cold_restart_ms:.2} ms vs disk-warm restart {disk_warm_ms:.2} ms \
+         ({:.1}x, median of {runs}, {disk_hits} restore(s) from disk)",
+        cold_restart_ms / disk_warm_ms
+    );
+    let mut cache_block: PlanCacheBlock = cache.into();
+    cache_block.disk_hits = disk_hits;
+    timing.plan_cache = Some(cache_block);
     for (which, &policy) in PolicyKind::ALL.iter().enumerate() {
         let ms = median(&mut per_policy_ms[which]);
         let throughput = iterations as f64 / (ms / 1e3);
@@ -221,11 +328,39 @@ fn main() {
         .push(("perf_gate_cross_policy".to_string(), cross_ms));
     println!("  cross-policy batch: {cross_ms:.1} ms ({all_throughput:.0} policy-iterations/s)");
 
+    // The speedup block: the same cross-policy batch on every available
+    // core versus the single-threaded median above. Reported (the results
+    // file should never carry a permanently-null block), not gated — the
+    // ratio measures the runner's core count as much as the engine.
+    let parallel_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let parallel_batch = SimBatch::with_threads(&plan, parallel_threads);
+    parallel_batch
+        .run(&PolicyKind::ALL)
+        .expect("simulation runs");
+    let mut parallel_samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let started = Instant::now();
+        parallel_batch
+            .run(&PolicyKind::ALL)
+            .expect("simulation runs");
+        parallel_samples.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let parallel_ms = median(&mut parallel_samples);
+    timing.sequential_ms = Some(cross_ms);
+    timing.parallel_ms = Some(parallel_ms);
+    println!(
+        "  speedup: sequential {cross_ms:.1} ms vs parallel {parallel_ms:.1} ms on \
+         {parallel_threads} thread(s) ({:.2}x)",
+        timing.speedup().unwrap_or(f64::NAN)
+    );
+
     if let Err(err) = std::fs::write(&results_path, render_results_json(&reports, &timing)) {
         eprintln!("error: cannot write {results_path}: {err}");
         std::process::exit(3);
     }
-    println!("schema-v5 results written to {results_path}");
+    println!("schema-v6 results written to {results_path}");
 
     if write_baseline {
         let text = render_baseline_json(&measured, DEFAULT_TOLERANCE);

@@ -87,6 +87,10 @@ pub struct PlanCacheBlock {
     pub hits: u64,
     /// Jobs that prepared a plan.
     pub misses: u64,
+    /// The subset of `misses` whose design-time search artifacts were
+    /// restored from the persistent on-disk plan cache instead of
+    /// recomputed. New in schema v6.
+    pub disk_hits: u64,
     /// Average preparation wall clock per submitted job, in milliseconds —
     /// the amortisation the cache bought.
     pub amortized_prepare_ms: f64,
@@ -97,6 +101,7 @@ impl From<drhw_engine::CacheStats> for PlanCacheBlock {
         PlanCacheBlock {
             hits: stats.hits,
             misses: stats.misses,
+            disk_hits: stats.disk_hits,
             amortized_prepare_ms: stats.amortized_prepare_ms(),
         }
     }
@@ -147,13 +152,14 @@ impl RunTiming {
 
 /// Renders the cross-policy simulation reports plus the run's wall-clock
 /// timings as the machine-readable JSON written to `BENCH_results.json`
-/// (schema v5): simulation parameters, one `policy → overhead_percent` (and
+/// (schema v6): simulation parameters, one `policy → overhead_percent` (and
 /// `policy → reuse_percent`) entry per policy, the threads used,
 /// per-experiment `wall_clock_ms`, the sequential-versus-parallel speedup
 /// measurement, the per-stage `stage_ms` block, the per-policy
 /// `policy_iterations_per_sec` throughput block, the per-kernel `kernel_ns`
 /// block (nanoseconds per hot-kernel call — new in v5), and the engine's
-/// `plan_cache` block (hits, misses, amortised preparation cost).
+/// `plan_cache` block (hits, misses, amortised preparation cost, plus the
+/// on-disk `disk_hits` counter — new in v6).
 /// Hand-rolled because no JSON backend is available offline; the output is
 /// plain ASCII and the policy names, experiment labels and stage names
 /// contain no characters needing escapes.
@@ -230,12 +236,13 @@ pub fn render_results_json(reports: &[SimulationReport], timing: &RunTiming) -> 
     out.push_str("  \"plan_cache\": {\n");
     out.push_str(&format!("    \"hits\": {},\n", cache.hits));
     out.push_str(&format!("    \"misses\": {},\n", cache.misses));
+    out.push_str(&format!("    \"disk_hits\": {},\n", cache.disk_hits));
     out.push_str(&format!(
         "    \"amortized_prepare_ms\": {}\n",
         number(cache.amortized_prepare_ms)
     ));
     out.push_str("  },\n");
-    out.push_str("  \"schema_version\": 5\n}\n");
+    out.push_str("  \"schema_version\": 6\n}\n");
     out
 }
 
@@ -331,6 +338,7 @@ mod tests {
             plan_cache: Some(PlanCacheBlock {
                 hits: 3,
                 misses: 2,
+                disk_hits: 1,
                 amortized_prepare_ms: 1.25,
             }),
         };
@@ -356,8 +364,9 @@ mod tests {
         assert!(json.contains("\"plan_cache\""));
         assert!(json.contains("\"hits\": 3"));
         assert!(json.contains("\"misses\": 2"));
+        assert!(json.contains("\"disk_hits\": 1"));
         assert!(json.contains("\"amortized_prepare_ms\": 1.2500"));
-        assert!(json.ends_with("\"schema_version\": 5\n}\n"));
+        assert!(json.ends_with("\"schema_version\": 6\n}\n"));
         // No trailing comma before a closing brace, and balanced braces.
         assert!(!json.contains(",\n  }"));
         assert!(!json.contains(",\n    }"));

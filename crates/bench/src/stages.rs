@@ -73,7 +73,7 @@ impl StageTimings {
 }
 
 /// Names of the five per-iteration hot kernels, in the order the `kernel_ns`
-/// block of the schema-v5 `BENCH_results.json` reports them.
+/// block of the schema-v6 `BENCH_results.json` reports them.
 pub const KERNEL_NAMES: [&str; 5] = ["executor", "replacement", "reuse", "hybrid", "timing_loop"];
 
 /// Nanoseconds **per kernel call** of each per-iteration hot kernel, measured

@@ -12,7 +12,9 @@
 //!
 //! Environment knobs: `DRHW_SIM_THREADS` sizes the worker pool (default:
 //! available parallelism); `DRHW_ENGINE_CACHE` sizes the plan cache
-//! (default 8, `0` disables caching).
+//! (default 8, `0` disables caching); `DRHW_PLAN_CACHE_DIR` names a
+//! directory for the persistent on-disk plan cache, so design-time search
+//! artifacts survive process restarts (unset disables persistence).
 //!
 //! Exit status: `0` when every request succeeded, `1` when any line failed,
 //! `2` on an I/O error.
@@ -26,7 +28,11 @@ fn main() {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .unwrap_or(drhw_engine::DEFAULT_CACHE_CAPACITY);
-    let engine = Engine::builder().cache_capacity(cache_capacity).build();
+    let mut builder = Engine::builder().cache_capacity(cache_capacity);
+    if let Some(dir) = std::env::var_os("DRHW_PLAN_CACHE_DIR").filter(|v| !v.is_empty()) {
+        builder = builder.cache_dir(std::path::PathBuf::from(dir));
+    }
+    let engine = builder.build();
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -43,8 +49,9 @@ fn main() {
     }
     let stats = engine.cache_stats();
     eprintln!(
-        "served {} job(s), {} error(s); plan cache: {} hit(s), {} miss(es)",
-        summary.completed, summary.failed, stats.hits, stats.misses
+        "served {} job(s), {} error(s); plan cache: {} hit(s), {} miss(es), \
+         {} restored from disk",
+        summary.completed, summary.failed, stats.hits, stats.misses, stats.disk_hits
     );
     if summary.failed > 0 {
         std::process::exit(1);

@@ -17,8 +17,8 @@ use std::sync::Arc;
 #[cfg(test)]
 use std::time::Instant;
 
-use drhw_model::{Platform, TaskSet};
-use drhw_sim::{IterationPlan, SimError, SimulationConfig};
+use drhw_model::{Platform, ScenarioId, TaskId, TaskSet};
+use drhw_sim::{IterationPlan, ScenarioSearchArtifacts, SimError, SimulationConfig};
 
 /// Cache key: the exact set of inputs the design-time artifacts depend on.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -59,19 +59,36 @@ impl PreparedPlan {
         platform: Platform,
         config: SimulationConfig,
     ) -> Result<Self, SimError> {
+        Self::prepare_with_artifacts(task_set, platform, config, &BTreeMap::new())
+    }
+
+    /// Like [`prepare`](Self::prepare), injecting previously extracted
+    /// design-time search artifacts (the on-disk plan cache's restore path);
+    /// pairs the map does not cover — or does not fit — are computed cold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-construction errors.
+    pub fn prepare_with_artifacts(
+        task_set: TaskSet,
+        platform: Platform,
+        config: SimulationConfig,
+        artifacts: &BTreeMap<(TaskId, ScenarioId), ScenarioSearchArtifacts>,
+    ) -> Result<Self, SimError> {
         let task_set = Box::new(task_set);
         let platform = Box::new(platform);
-        // SAFETY: the references handed to `IterationPlan::new` point into
-        // the boxed heap allocations above, which (a) do not move when the
-        // boxes are moved into the struct, (b) are never mutated (no &mut is
-        // ever taken), and (c) outlive `plan` because `plan` is declared
-        // before them and Rust drops fields in declaration order. The
-        // `'static` plan never leaves this struct except reborrowed to the
-        // struct's own lifetime (`plan()`/`derive()`), so the fiction cannot
-        // be observed.
+        // SAFETY: the references handed to `IterationPlan::new_with_artifacts`
+        // point into the boxed heap allocations above, which (a) do not move
+        // when the boxes are moved into the struct, (b) are never mutated (no
+        // &mut is ever taken), and (c) outlive `plan` because `plan` is
+        // declared before them and Rust drops fields in declaration order.
+        // The `'static` plan never leaves this struct except reborrowed to
+        // the struct's own lifetime (`plan()`/`derive()`), so the fiction
+        // cannot be observed.
         let task_set_ref: &'static TaskSet = unsafe { &*(task_set.as_ref() as *const TaskSet) };
         let platform_ref: &'static Platform = unsafe { &*(platform.as_ref() as *const Platform) };
-        let plan = IterationPlan::new(task_set_ref, platform_ref, config)?;
+        let plan =
+            IterationPlan::new_with_artifacts(task_set_ref, platform_ref, config, artifacts)?;
         Ok(PreparedPlan {
             plan,
             _task_set: task_set,
@@ -79,10 +96,10 @@ impl PreparedPlan {
         })
     }
 
-    /// The prepared plan, reborrowed to this entry's lifetime (the engine
-    /// always goes through [`derive`](Self::derive); this accessor serves
-    /// the cache's own tests).
-    #[cfg(test)]
+    /// The prepared plan, reborrowed to this entry's lifetime. The engine
+    /// derives job plans through [`derive`](Self::derive); this accessor
+    /// serves the on-disk cache's artifact extraction and the cache's own
+    /// tests.
     pub fn plan(&self) -> &IterationPlan<'_> {
         &self.plan
     }
@@ -127,6 +144,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Jobs that had to prepare a plan.
     pub misses: u64,
+    /// The subset of `misses` whose design-time search artifacts were
+    /// restored from the on-disk plan cache instead of recomputed.
+    pub disk_hits: u64,
     /// Entries evicted because the cache was at capacity.
     pub evictions: u64,
     /// Total wall-clock milliseconds spent preparing plans (misses only).
@@ -162,6 +182,7 @@ pub(crate) struct PlanCache {
     entries: BTreeMap<PlanKey, Slot>,
     hits: u64,
     misses: u64,
+    disk_hits: u64,
     evictions: u64,
     prepare_ms: f64,
 }
@@ -175,6 +196,7 @@ impl PlanCache {
             entries: BTreeMap::new(),
             hits: 0,
             misses: 0,
+            disk_hits: 0,
             evictions: 0,
             prepare_ms: 0.0,
         }
@@ -193,18 +215,21 @@ impl PlanCache {
     }
 
     /// Records a freshly prepared plan: counts the miss and its preparation
-    /// wall clock, inserts (evicting LRU entries past capacity) and returns
-    /// the entry to use. If another submitter stored the same key while
-    /// this plan was being prepared off-lock, the already-resident entry
-    /// wins so both jobs share one allocation — plans for the same key are
-    /// identical by construction.
+    /// wall clock (`disk_hit` notes when the preparation was a restore from
+    /// the on-disk cache rather than a cold build), inserts (evicting LRU
+    /// entries past capacity) and returns the entry to use. If another
+    /// submitter stored the same key while this plan was being prepared
+    /// off-lock, the already-resident entry wins so both jobs share one
+    /// allocation — plans for the same key are identical by construction.
     pub fn store(
         &mut self,
         key: PlanKey,
         entry: Arc<PreparedPlan>,
         prepare_ms: f64,
+        disk_hit: bool,
     ) -> Arc<PreparedPlan> {
         self.misses += 1;
+        self.disk_hits += u64::from(disk_hit);
         self.prepare_ms += prepare_ms;
         if self.capacity == 0 {
             return entry;
@@ -253,7 +278,7 @@ impl PlanCache {
         let started = Instant::now();
         let entry = Arc::new(build()?);
         let prepare_ms = started.elapsed().as_secs_f64() * 1e3;
-        Ok(self.store(key, entry, prepare_ms))
+        Ok(self.store(key, entry, prepare_ms, false))
     }
 
     /// Whether a key is currently resident (test helper).
@@ -267,6 +292,7 @@ impl PlanCache {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
+            disk_hits: self.disk_hits,
             evictions: self.evictions,
             prepare_ms: self.prepare_ms,
             entries: self.entries.len(),

@@ -9,6 +9,7 @@
 //! worker count or how many jobs run interleaved.
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -18,6 +19,7 @@ use drhw_sim::{SimulationConfig, SimulationReport};
 use drhw_workloads::{Workload, WorkloadRegistry};
 
 use crate::cache::{CacheStats, PlanCache, PlanKey, PreparedPlan};
+use crate::disk::DiskPlanCache;
 use crate::error::EngineError;
 use crate::job::{JobHandle, JobId, JobState};
 use crate::spec::JobSpec;
@@ -47,6 +49,7 @@ impl PoolShared {
 pub struct EngineBuilder {
     threads: usize,
     cache_capacity: usize,
+    cache_dir: Option<PathBuf>,
     default_config: SimulationConfig,
     registry: WorkloadRegistry,
 }
@@ -56,6 +59,7 @@ impl Default for EngineBuilder {
         EngineBuilder {
             threads: 0,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            cache_dir: None,
             default_config: SimulationConfig::default(),
             registry: WorkloadRegistry::with_builtins(),
         }
@@ -79,6 +83,22 @@ impl EngineBuilder {
     #[must_use]
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Directory of the persistent on-disk plan cache (disabled by default).
+    ///
+    /// When set, every in-memory plan-cache miss first tries to restore the
+    /// expensive design-time search artifacts from
+    /// `<dir>/<workload>-t<tiles>-p<ps>-<hash>.json` before rebuilding them,
+    /// and freshly built plans are persisted there — so a restarted process
+    /// starts warm. Entries are versioned, fingerprinted against the
+    /// workload definition and checksummed; anything corrupt or stale is
+    /// silently ignored and rebuilt (then overwritten). Restored plans are
+    /// bit-identical to cold builds.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
         self
     }
 
@@ -129,6 +149,7 @@ impl EngineBuilder {
             workers,
             threads: threads.max(1),
             cache: Mutex::new(PlanCache::new(self.cache_capacity)),
+            disk: self.cache_dir.map(DiskPlanCache::new),
             default_config: self.default_config,
             registry: self.registry,
             next_job: AtomicU64::new(1),
@@ -154,6 +175,7 @@ pub struct Engine {
     workers: Vec<JoinHandle<()>>,
     threads: usize,
     cache: Mutex<PlanCache>,
+    disk: Option<DiskPlanCache>,
     default_config: SimulationConfig,
     registry: WorkloadRegistry,
     next_job: AtomicU64,
@@ -226,16 +248,41 @@ impl Engine {
             Some(entry) => entry,
             None => {
                 let started = std::time::Instant::now();
-                let prepared = (|| {
+                let (prepared, disk_hit) = (|| {
                     let platform = Platform::virtex_like(tiles)?;
-                    PreparedPlan::prepare(workload.task_set(), platform, config.clone())
+                    let task_set = workload.task_set();
+                    // With a cache directory configured, try to restore the
+                    // expensive design-time search artifacts from disk; a
+                    // missing, stale or corrupt entry degrades to a cold
+                    // build whose artifacts are persisted for next time.
+                    let Some(disk) = &self.disk else {
+                        let prepared = PreparedPlan::prepare(task_set, platform, config.clone())?;
+                        return Ok((prepared, false));
+                    };
+                    let fingerprint =
+                        crate::disk::workload_fingerprint(&task_set, &platform, &config);
+                    match disk.load(&key, fingerprint) {
+                        Some(artifacts) => PreparedPlan::prepare_with_artifacts(
+                            task_set,
+                            platform,
+                            config.clone(),
+                            &artifacts,
+                        )
+                        .map(|prepared| (prepared, true)),
+                        None => {
+                            let prepared =
+                                PreparedPlan::prepare(task_set, platform, config.clone())?;
+                            disk.store(&key, fingerprint, prepared.plan());
+                            Ok((prepared, false))
+                        }
+                    }
                 })()
                 .map_err(&sim_error)?;
                 let prepare_ms = started.elapsed().as_secs_f64() * 1e3;
                 self.cache
                     .lock()
                     .expect("engine cache lock is never poisoned")
-                    .store(key, Arc::new(prepared), prepare_ms)
+                    .store(key, Arc::new(prepared), prepare_ms, disk_hit)
             }
         };
 

@@ -48,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 
 mod cache;
+mod disk;
 mod engine;
 mod error;
 mod job;

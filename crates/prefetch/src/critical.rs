@@ -23,7 +23,7 @@ use std::collections::BTreeSet;
 use drhw_model::{InitialSchedule, Platform, SubtaskGraph, SubtaskId, Time};
 use serde::{Deserialize, Serialize};
 
-use crate::branch_bound::BranchBoundScheduler;
+use crate::branch_bound::{BranchBoundScheduler, SearchCache};
 use crate::error::PrefetchError;
 use crate::problem::PrefetchProblem;
 use crate::scheduler::PrefetchScheduler;
@@ -69,13 +69,52 @@ impl CriticalSetAnalysis {
         platform: &Platform,
         scheduler: &dyn PrefetchScheduler,
     ) -> Result<Self, PrefetchError> {
+        let mut cache = SearchCache::new();
+        Self::compute_with_cache(graph, schedule, platform, scheduler, &mut cache)
+    }
+
+    /// The incremental selection loop: every round re-searches the same
+    /// graph/schedule/platform with one more subtask assumed resident, so the
+    /// rounds share a [`SearchCache`] (their prefix evaluations key on the
+    /// load set and stay valid as the set shrinks) and each round warm-starts
+    /// from the previous round's best order filtered to the loads that
+    /// remain. Both are pure accelerations — the selected set, stored order
+    /// and penalty are bit-identical to [`compute_naive`](Self::compute_naive).
+    ///
+    /// The cache must be fresh or previously used on the same
+    /// graph/schedule/platform (see [`SearchCache::clear`]); sharing it with
+    /// the design-time all-loads search of the same schedule is what makes
+    /// the first round here nearly free.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is inconsistent.
+    pub fn compute_with_cache(
+        graph: &SubtaskGraph,
+        schedule: &InitialSchedule,
+        platform: &Platform,
+        scheduler: &dyn PrefetchScheduler,
+        cache: &mut SearchCache,
+    ) -> Result<Self, PrefetchError> {
         let drhw_subtasks = graph.drhw_subtasks().len();
         let mut critical: BTreeSet<SubtaskId> = BTreeSet::new();
         let mut iterations = 0usize;
+        let mut previous_order: Vec<SubtaskId> = Vec::new();
         loop {
             iterations += 1;
             let problem = PrefetchProblem::with_resident(graph, schedule, platform, &critical)?;
-            let result = scheduler.schedule(&problem)?;
+            // Warm start: the loads of this round are a subset of the previous
+            // round's (marking one more subtask resident never adds loads), so
+            // the previous best order filtered to the current loads is a
+            // feasible complete order whose penalty bounds the new optimum.
+            let warm: Vec<SubtaskId> = previous_order
+                .iter()
+                .copied()
+                .filter(|&id| problem.needs_load(id))
+                .collect();
+            let warm = (!warm.is_empty()).then_some(warm.as_slice());
+            let result = scheduler.schedule_assisted(&problem, cache, warm)?;
+            previous_order = result.load_order().to_vec();
             if result.penalty().is_zero() {
                 return Ok(Self::assemble(
                     graph,
@@ -136,6 +175,104 @@ impl CriticalSetAnalysis {
                     ));
                 }
             }
+        }
+    }
+
+    /// The original, non-incremental selection loop: every round runs the
+    /// scheduler's plain [`schedule`](PrefetchScheduler::schedule) from
+    /// scratch, with no shared cache and no warm start. Kept as the
+    /// differential reference for the scheduler-equivalence tests;
+    /// [`compute_with`](Self::compute_with) must produce bit-identical
+    /// analyses.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is inconsistent.
+    pub fn compute_naive(
+        graph: &SubtaskGraph,
+        schedule: &InitialSchedule,
+        platform: &Platform,
+        scheduler: &dyn PrefetchScheduler,
+    ) -> Result<Self, PrefetchError> {
+        let drhw_subtasks = graph.drhw_subtasks().len();
+        let mut critical: BTreeSet<SubtaskId> = BTreeSet::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let problem = PrefetchProblem::with_resident(graph, schedule, platform, &critical)?;
+            let result = scheduler.schedule(&problem)?;
+            if result.penalty().is_zero() {
+                return Ok(Self::assemble(
+                    graph,
+                    schedule,
+                    platform,
+                    critical,
+                    result.load_order().to_vec(),
+                    Time::ZERO,
+                    iterations,
+                    drhw_subtasks,
+                ));
+            }
+            let candidate = result
+                .delayed_subtasks()
+                .into_iter()
+                .filter(|id| !critical.contains(id))
+                .max_by(|a, b| {
+                    problem
+                        .weight(*a)
+                        .cmp(&problem.weight(*b))
+                        .then(b.index().cmp(&a.index()))
+                });
+            let candidate = candidate.or_else(|| {
+                result
+                    .load_order()
+                    .iter()
+                    .copied()
+                    .filter(|id| !critical.contains(id))
+                    .max_by(|a, b| {
+                        problem
+                            .weight(*a)
+                            .cmp(&problem.weight(*b))
+                            .then(b.index().cmp(&a.index()))
+                    })
+            });
+            match candidate {
+                Some(pick) => {
+                    critical.insert(pick);
+                }
+                None => {
+                    return Ok(Self::assemble(
+                        graph,
+                        schedule,
+                        platform,
+                        critical,
+                        result.load_order().to_vec(),
+                        result.penalty(),
+                        iterations,
+                        drhw_subtasks,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Reconstructs an analysis from its stored fields (the on-disk plan
+    /// cache). The caller is responsible for the fields describing a real
+    /// analysis of the same graph/schedule/platform — nothing is re-derived
+    /// or validated here.
+    pub fn from_parts(
+        critical: Vec<SubtaskId>,
+        stored_order: Vec<SubtaskId>,
+        stored_penalty: Time,
+        iterations: usize,
+        drhw_subtasks: usize,
+    ) -> Self {
+        CriticalSetAnalysis {
+            critical,
+            stored_order,
+            stored_penalty,
+            iterations,
+            drhw_subtasks,
         }
     }
 
@@ -207,6 +344,12 @@ impl CriticalSetAnalysis {
     /// in the worst case).
     pub fn is_empty(&self) -> bool {
         self.critical.is_empty()
+    }
+
+    /// Number of DRHW subtasks of the analysed graph (the denominator of
+    /// [`critical_fraction`](Self::critical_fraction)).
+    pub fn drhw_subtask_count(&self) -> usize {
+        self.drhw_subtasks
     }
 
     /// Fraction of DRHW subtasks that are critical (the paper reports 62 % for
@@ -333,6 +476,43 @@ mod tests {
         assert!(!cs.is_empty());
         assert_eq!(cs.stored_penalty(), Time::ZERO);
         assert!(cs.iterations() >= 2);
+    }
+
+    #[test]
+    fn incremental_loop_matches_the_naive_loop_bit_for_bit() {
+        let (g, schedule, platform) = fig3();
+        let scheduler = BranchBoundScheduler::new();
+        let naive =
+            CriticalSetAnalysis::compute_naive(&g, &schedule, &platform, &scheduler).unwrap();
+        let incremental =
+            CriticalSetAnalysis::compute_with(&g, &schedule, &platform, &scheduler).unwrap();
+        assert_eq!(incremental, naive);
+        // Reusing one cache across the design-time search and the loop (the
+        // plan-preparation pattern) must not change the outcome either.
+        let mut cache = crate::branch_bound::SearchCache::new();
+        let problem = PrefetchProblem::new(&g, &schedule, &platform).unwrap();
+        let _ = scheduler
+            .schedule_with_stats(&problem, &mut cache, None)
+            .unwrap();
+        let shared = CriticalSetAnalysis::compute_with_cache(
+            &g, &schedule, &platform, &scheduler, &mut cache,
+        )
+        .unwrap();
+        assert_eq!(shared, naive);
+    }
+
+    #[test]
+    fn from_parts_round_trips_every_field() {
+        let (g, schedule, platform) = fig3();
+        let cs = CriticalSetAnalysis::compute(&g, &schedule, &platform).unwrap();
+        let rebuilt = CriticalSetAnalysis::from_parts(
+            cs.critical_subtasks().to_vec(),
+            cs.stored_load_order().to_vec(),
+            cs.stored_penalty(),
+            cs.iterations(),
+            cs.drhw_subtask_count(),
+        );
+        assert_eq!(rebuilt, cs);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use drhw_model::{InitialSchedule, Platform, SubtaskGraph, SubtaskId, Time};
 use serde::{Deserialize, Serialize};
 
-use crate::branch_bound::BranchBoundScheduler;
+use crate::branch_bound::{BranchBoundScheduler, SearchCache};
 use crate::error::PrefetchError;
 use crate::problem::{ExecutionResult, PrefetchProblem};
 use crate::scheduler::PrefetchScheduler;
@@ -61,6 +61,43 @@ impl DesignTimePrefetch {
             penalty: result.penalty(),
             ideal_makespan: problem.ideal_makespan(),
         })
+    }
+
+    /// Like [`compute`](Self::compute), reusing a caller-provided search
+    /// cache. The all-loads problem solved here is exactly the first round of
+    /// the critical-set loop over the same schedule, so sharing one cache
+    /// between this call and
+    /// [`HybridPrefetch::compute_assisted`](crate::HybridPrefetch::compute_assisted)
+    /// lets the loop replay this search's prefix evaluations instead of
+    /// redoing them. Results are bit-identical to [`compute`](Self::compute).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is inconsistent.
+    pub fn compute_assisted(
+        graph: &SubtaskGraph,
+        schedule: &InitialSchedule,
+        platform: &Platform,
+        cache: &mut SearchCache,
+    ) -> Result<Self, PrefetchError> {
+        let problem = PrefetchProblem::new(graph, schedule, platform)?;
+        let result = BranchBoundScheduler::new().schedule_assisted(&problem, cache, None)?;
+        Ok(DesignTimePrefetch {
+            load_order: result.load_order().to_vec(),
+            penalty: result.penalty(),
+            ideal_makespan: problem.ideal_makespan(),
+        })
+    }
+
+    /// Reconstructs an artifact from its stored fields (the on-disk plan
+    /// cache). The caller is responsible for the fields describing a real
+    /// design-time schedule — nothing is re-derived or validated here.
+    pub fn from_parts(load_order: Vec<SubtaskId>, penalty: Time, ideal_makespan: Time) -> Self {
+        DesignTimePrefetch {
+            load_order,
+            penalty,
+            ideal_makespan,
+        }
     }
 
     /// The frozen load order executed on every run of the task.

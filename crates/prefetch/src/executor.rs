@@ -37,13 +37,28 @@ pub(crate) fn simulate(
     problem: &PrefetchProblem<'_>,
     strategy: LoadStrategy<'_>,
 ) -> Result<ExecutionResult, PrefetchError> {
+    simulate_with_needs(problem, strategy, problem.needs_load_slice())
+}
+
+/// Like [`simulate`], but with the needs-load flags supplied by the caller
+/// instead of read from the problem. The branch & bound search evaluates many
+/// "only this prefix of loads costs anything" relaxations of one problem;
+/// overriding the flags here replaces a full problem clone per search node.
+/// Passing `problem.needs_load_slice()` is exactly [`simulate`] — everything
+/// else about the problem (slot map, weights, ideal makespan, timing offsets)
+/// is needs-independent.
+pub(crate) fn simulate_with_needs(
+    problem: &PrefetchProblem<'_>,
+    strategy: LoadStrategy<'_>,
+    needs_load: &[bool],
+) -> Result<ExecutionResult, PrefetchError> {
     let graph = problem.graph();
     let schedule = problem.schedule();
     let latency = problem.platform().reconfig_latency();
     let n = graph.len();
     let topo = schedule.combined_topological_order(graph)?;
 
-    let loads = problem.loads();
+    let loads: Vec<SubtaskId> = graph.ids().filter(|id| needs_load[id.index()]).collect();
     if let LoadStrategy::FixedOrder(order) = &strategy {
         validate_order(&loads, order)?;
     }
@@ -70,7 +85,7 @@ pub(crate) fn simulate(
             let Some(ready) = exec_ready_time(problem, &exec_finish, id) else {
                 continue;
             };
-            if problem.needs_load(id) && loaded_at[id.index()].is_none() {
+            if needs_load[id.index()] && loaded_at[id.index()].is_none() {
                 // Remember how long the subtask would have waited anyway so the
                 // direct load delay can be separated from inherited delays.
                 ready_without_load[id.index()] = ready;

@@ -164,6 +164,38 @@ impl HybridPrefetch {
         })
     }
 
+    /// Like [`compute`](Self::compute), reusing a caller-provided search
+    /// cache (see
+    /// [`CriticalSetAnalysis::compute_with_cache`]). Sharing the cache with
+    /// the design-time search of the same schedule makes the first
+    /// critical-set round nearly free; results are bit-identical to
+    /// [`compute`](Self::compute).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is inconsistent.
+    pub fn compute_assisted(
+        graph: &SubtaskGraph,
+        schedule: &InitialSchedule,
+        platform: &Platform,
+        cache: &mut crate::branch_bound::SearchCache,
+    ) -> Result<Self, PrefetchError> {
+        Ok(HybridPrefetch {
+            critical: CriticalSetAnalysis::compute_with_cache(
+                graph,
+                schedule,
+                platform,
+                &crate::branch_bound::BranchBoundScheduler::new(),
+                cache,
+            )?,
+        })
+    }
+
+    /// Wraps an already-computed (e.g. disk-restored) critical-set analysis.
+    pub fn from_critical(critical: CriticalSetAnalysis) -> Self {
+        HybridPrefetch { critical }
+    }
+
     /// The critical-subtask analysis stored at design time.
     pub fn critical(&self) -> &CriticalSetAnalysis {
         &self.critical

@@ -79,7 +79,7 @@ mod reuse;
 mod scheduler;
 
 pub use arena::{ExecSummary, HybridSummary, PreparedSchedule, Scratch};
-pub use branch_bound::{optimal_penalty, BranchBoundScheduler};
+pub use branch_bound::{optimal_penalty, BranchBoundScheduler, SearchCache, SearchStats};
 pub use critical::CriticalSetAnalysis;
 pub use design_time::DesignTimePrefetch;
 pub use error::PrefetchError;

@@ -181,6 +181,14 @@ impl<'a> PrefetchProblem<'a> {
         self.needs_load[id.index()]
     }
 
+    /// The needs-load flags indexed by subtask position — the executor's view
+    /// of [`needs_load`](Self::needs_load), exposed so search code can
+    /// evaluate "only these loads cost anything" relaxations without cloning
+    /// the whole problem.
+    pub(crate) fn needs_load_slice(&self) -> &[bool] {
+        &self.needs_load
+    }
+
     /// The subtasks that require a load, in subtask-id order.
     pub fn loads(&self) -> Vec<SubtaskId> {
         self.graph

@@ -1,5 +1,8 @@
 //! The common interface every prefetch scheduler implements.
 
+use drhw_model::SubtaskId;
+
+use crate::branch_bound::SearchCache;
 use crate::error::PrefetchError;
 use crate::problem::{ExecutionResult, PrefetchProblem};
 
@@ -32,6 +35,31 @@ pub trait PrefetchScheduler: Send + Sync {
     /// Returns an error if the problem's model is inconsistent (the schedulers
     /// themselves never produce deadlocking orders).
     fn schedule(&self, problem: &PrefetchProblem<'_>) -> Result<ExecutionResult, PrefetchError>;
+
+    /// Produces a timed schedule, optionally assisted by a reusable
+    /// [`SearchCache`] and a warm-start order carried over from a related
+    /// search (e.g. the previous round of the critical-set loop, filtered to
+    /// this problem's loads).
+    ///
+    /// The hints may only change how fast the answer is found, never the
+    /// answer: implementations must return results bit-identical to
+    /// [`schedule`](Self::schedule). The default ignores both hints and
+    /// defers to `schedule`; schedulers whose searches can exploit them
+    /// (notably [`BranchBoundScheduler`](crate::BranchBoundScheduler))
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the problem's model is inconsistent.
+    fn schedule_assisted(
+        &self,
+        problem: &PrefetchProblem<'_>,
+        cache: &mut SearchCache,
+        warm_order: Option<&[SubtaskId]>,
+    ) -> Result<ExecutionResult, PrefetchError> {
+        let _ = (cache, warm_order);
+        self.schedule(problem)
+    }
 }
 
 #[cfg(test)]

@@ -243,6 +243,25 @@ mod tests {
     }
 
     #[test]
+    fn parallel_plan_build_matches_a_sequential_build() {
+        // Plan preparation itself fans out over workers; the resulting plans
+        // must be indistinguishable from a single-threaded build.
+        let set = task_set();
+        let platform = Platform::virtex_like(4).unwrap();
+        let config = SimulationConfig::quick().with_iterations(16);
+        let sequential =
+            IterationPlan::new(&set, &platform, config.clone().with_threads(1)).unwrap();
+        let parallel = IterationPlan::new(&set, &platform, config.with_threads(4)).unwrap();
+        let a = SimBatch::with_threads(&sequential, 1)
+            .run(&PolicyKind::ALL)
+            .unwrap();
+        let b = SimBatch::with_threads(&parallel, 1)
+            .run(&PolicyKind::ALL)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn oversubscribed_batch_still_runs() {
         let set = task_set();
         let platform = Platform::virtex_like(4).unwrap();

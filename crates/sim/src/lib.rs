@@ -61,6 +61,6 @@ mod stats;
 pub use batch::SimBatch;
 pub use config::{PointSelection, ScenarioPolicy, SimulationConfig, DEFAULT_CHUNK_SIZE};
 pub use error::SimError;
-pub use plan::IterationPlan;
+pub use plan::{IterationPlan, ScenarioSearchArtifacts};
 pub use scratch::SimScratch;
 pub use stats::{ChunkStats, IterationOutcome, SimulationReport};

@@ -17,7 +17,8 @@
 //! on the thread count.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use drhw_model::{
     ConfigId, InitialSchedule, Platform, ScenarioId, SubtaskGraph, Task, TaskId, TaskSet,
@@ -35,6 +36,33 @@ use crate::config::{PointSelection, ScenarioPolicy, SimulationConfig};
 use crate::error::SimError;
 use crate::scratch::SimScratch;
 use crate::stats::{ChunkStats, IterationOutcome};
+
+/// The design-time *search* artifacts of one (task, scenario) pair — the
+/// branch & bound and critical-set outputs that dominate the cost of a cold
+/// plan build. [`IterationPlan::search_artifacts`] extracts them and
+/// [`IterationPlan::new_with_artifacts`] injects them back into a fresh
+/// build, skipping the searches; this is the payload the engine's on-disk
+/// plan cache round-trips across process restarts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSearchArtifacts {
+    /// The design-time-only prefetch artifact (frozen load order + penalty).
+    pub design_time: DesignTimePrefetch,
+    /// The hybrid heuristic's stored critical-set analysis.
+    pub hybrid: HybridPrefetch,
+}
+
+impl ScenarioSearchArtifacts {
+    /// Whether every subtask id the artifacts reference exists in `graph`.
+    /// Injected artifacts that fail this check are ignored and recomputed —
+    /// restored data is never trusted to index into a graph it does not fit.
+    fn fits(&self, graph: &SubtaskGraph) -> bool {
+        let in_range =
+            |ids: &[drhw_model::SubtaskId]| ids.iter().all(|id| id.index() < graph.len());
+        in_range(self.design_time.load_order())
+            && in_range(self.hybrid.critical().critical_subtasks())
+            && in_range(self.hybrid.critical().stored_load_order())
+    }
+}
 
 /// Everything the simulator precomputes for one (task, scenario) pair:
 /// the prepared schedule (graph analysis, topological order, per-slot data),
@@ -106,6 +134,32 @@ impl<'a> IterationPlan<'a> {
         platform: &'a Platform,
         config: SimulationConfig,
     ) -> Result<Self, SimError> {
+        Self::new_with_artifacts(task_set, platform, config, &BTreeMap::new())
+    }
+
+    /// Like [`new`](Self::new), but reusing previously extracted design-time
+    /// search artifacts (see [`search_artifacts`](Self::search_artifacts))
+    /// instead of re-running the branch & bound and critical-set searches for
+    /// the pairs `precomputed` covers. Pairs that are missing — or whose
+    /// artifacts reference subtask ids outside their graph — are computed
+    /// from scratch, so a partial or ill-fitting map degrades to a cold
+    /// build, never to a corrupt plan.
+    ///
+    /// The caller is responsible for passing artifacts that were extracted
+    /// from a plan of the *same* task set, platform and design-time
+    /// configuration; the engine's on-disk cache enforces that with a
+    /// workload fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration or any scenario graph is
+    /// invalid, or if any design-time artifact cannot be computed.
+    pub fn new_with_artifacts(
+        task_set: &'a TaskSet,
+        platform: &'a Platform,
+        config: SimulationConfig,
+        precomputed: &BTreeMap<(TaskId, ScenarioId), ScenarioSearchArtifacts>,
+    ) -> Result<Self, SimError> {
         config.validate()?;
         // The hot kernels track slot and subtask sets as one-word bitmasks;
         // reject wider platforms here, with a descriptive error, instead of
@@ -118,15 +172,14 @@ impl<'a> IterationPlan<'a> {
             });
         }
         let library = DesignTimeLibrary::build(task_set, platform, &DesignTimeScheduler::new())?;
-        let mut artifact_index = BTreeMap::new();
-        let mut artifacts = Vec::new();
         // Artifacts for every policy are computed eagerly so the plan stays
-        // immutable (and trivially Send + Sync) afterwards — the design-time
-        // and hybrid artifacts are cheap next to even a handful of simulated
-        // iterations. What IS worth skipping are scenarios a correlated
-        // policy can never activate.
+        // immutable (and trivially Send + Sync) afterwards. What IS worth
+        // skipping are scenarios a correlated policy can never activate.
         let reachable = reachable_scenarios(&config, task_set);
-        let mut build_scratch = drhw_prefetch::Scratch::new();
+        let mut jobs: Vec<(TaskId, ScenarioId, &'a SubtaskGraph)> = Vec::new();
+        // Injected search artifacts, parallel to `jobs` (separate vector so
+        // the graph references keep the task set's lifetime).
+        let mut hints: Vec<Option<&ScenarioSearchArtifacts>> = Vec::new();
         for task in task_set.tasks() {
             for scenario in task.scenarios() {
                 if let Some(reachable) = &reachable {
@@ -134,26 +187,107 @@ impl<'a> IterationPlan<'a> {
                         continue;
                     }
                 }
-                let graph = scenario.graph();
-                let schedule =
-                    build_schedule(&library, &config, platform, task.id(), scenario.id(), graph)?;
-                let required_configs = graph
-                    .drhw_subtasks()
-                    .into_iter()
-                    .filter_map(|id| graph.required_config(id))
-                    .collect();
-                let design_time = DesignTimePrefetch::compute(graph, &schedule, platform)?;
-                let hybrid = HybridPrefetch::compute(graph, &schedule, platform)?;
-                let prepared = PreparedSchedule::new(graph, schedule, platform)?;
-                let on_demand = prepared.evaluate_on_demand_cold(&mut build_scratch)?;
-                artifact_index.insert((task.id(), scenario.id()), artifacts.len());
-                artifacts.push(ScenarioArtifacts {
-                    prepared,
-                    required_configs,
-                    design_time,
-                    hybrid,
-                    on_demand,
-                });
+                jobs.push((task.id(), scenario.id(), scenario.graph()));
+                hints.push(precomputed.get(&(task.id(), scenario.id())));
+            }
+        }
+
+        // Per-(task, scenario) preparation is independent, and the design-time
+        // searches dominate a cold build — fan it out over the same
+        // scoped-thread claim pool the batch engine uses, and fold the
+        // artifacts back in job order so the plan is bit-identical to a
+        // sequential build no matter the thread count or interleaving.
+        let workers = config.resolved_threads().min(jobs.len().max(1));
+        let mut slots: Vec<Option<Result<ScenarioArtifacts<'a>, SimError>>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+        if workers <= 1 {
+            // One kernel scratch for the whole sequential pass.
+            let mut build_scratch = drhw_prefetch::Scratch::new();
+            for ((slot, &(task, scenario, graph)), &hint) in slots.iter_mut().zip(&jobs).zip(&hints)
+            {
+                let outcome = prepare_scenario(
+                    &library,
+                    &config,
+                    platform,
+                    task,
+                    scenario,
+                    graph,
+                    hint,
+                    &mut build_scratch,
+                );
+                let stop = outcome.is_err();
+                *slot = Some(outcome);
+                // Fail fast; the scan below reports the error from its slot.
+                if stop {
+                    break;
+                }
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let failed = AtomicBool::new(false);
+            let results = Mutex::new(&mut slots);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        // One scratch per worker, reused across every pair the
+                        // worker claims.
+                        let mut build_scratch = drhw_prefetch::Scratch::new();
+                        loop {
+                            // Check the failure flag BEFORE claiming: once a
+                            // job is claimed it is always evaluated and its
+                            // slot written, so the filled slots always form a
+                            // prefix of the job order and every error lands
+                            // in it.
+                            if failed.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let job = next.fetch_add(1, Ordering::Relaxed);
+                            if job >= jobs.len() {
+                                break;
+                            }
+                            let (task, scenario, graph) = jobs[job];
+                            let outcome = prepare_scenario(
+                                &library,
+                                &config,
+                                platform,
+                                task,
+                                scenario,
+                                graph,
+                                hints[job],
+                                &mut build_scratch,
+                            );
+                            if outcome.is_err() {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                            results.lock().expect("plan workers never panic")[job] = Some(outcome);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Report the first error in job order — deterministic regardless of
+        // which worker hit it first.
+        for slot in slots.iter_mut() {
+            if matches!(slot.as_ref(), Some(Err(_))) {
+                let Some(Err(e)) = slot.take() else {
+                    unreachable!("just matched an error in this slot")
+                };
+                return Err(e);
+            }
+        }
+
+        let mut artifact_index = BTreeMap::new();
+        let mut artifacts = Vec::with_capacity(jobs.len());
+        for (slot, &(task, scenario, _)) in slots.iter_mut().zip(&jobs) {
+            match slot.take() {
+                Some(Ok(prepared)) => {
+                    artifact_index.insert((task, scenario), artifacts.len());
+                    artifacts.push(prepared);
+                }
+                _ => {
+                    unreachable!("workers only leave holes after an error, and errors return above")
+                }
             }
         }
         Ok(IterationPlan {
@@ -221,6 +355,27 @@ impl<'a> IterationPlan<'a> {
     /// The TCM design-time library built for the task set.
     pub fn library(&self) -> &DesignTimeLibrary {
         &self.shared.library
+    }
+
+    /// Extracts the design-time search artifacts of every prepared
+    /// (task, scenario) pair, in key order — the payload a persistent plan
+    /// cache stores and later injects back via
+    /// [`new_with_artifacts`](Self::new_with_artifacts).
+    pub fn search_artifacts(&self) -> Vec<((TaskId, ScenarioId), ScenarioSearchArtifacts)> {
+        self.shared
+            .artifact_index
+            .iter()
+            .map(|(&key, &slot)| {
+                let artifacts = &self.shared.artifacts[slot];
+                (
+                    key,
+                    ScenarioSearchArtifacts {
+                        design_time: artifacts.design_time.clone(),
+                        hybrid: artifacts.hybrid.clone(),
+                    },
+                )
+            })
+            .collect()
     }
 
     /// The seed driving iteration `index`, derived from the master seed with
@@ -614,6 +769,57 @@ fn reachable_scenarios(
 
 /// Builds the initial schedule of one scenario according to the configured
 /// point-selection strategy.
+/// Prepares every per-(task, scenario) artifact: the initial schedule, the
+/// design-time and hybrid prefetch artifacts (sharing one search cache, so
+/// the critical-set loop replays the design-time search's prefix
+/// evaluations), the prepared hot-path schedule and the activation-independent
+/// on-demand baseline. When `precomputed` carries search artifacts that fit
+/// the graph, both searches are skipped and the stored artifacts are used
+/// verbatim. Pure function of its inputs — the plan builder calls it
+/// from worker threads and folds results back in deterministic order.
+#[allow(clippy::too_many_arguments)]
+fn prepare_scenario<'a>(
+    library: &DesignTimeLibrary,
+    config: &SimulationConfig,
+    platform: &'a Platform,
+    task: TaskId,
+    scenario: ScenarioId,
+    graph: &'a SubtaskGraph,
+    precomputed: Option<&ScenarioSearchArtifacts>,
+    build_scratch: &mut drhw_prefetch::Scratch,
+) -> Result<ScenarioArtifacts<'a>, SimError> {
+    let schedule = build_schedule(library, config, platform, task, scenario, graph)?;
+    let required_configs = graph
+        .drhw_subtasks()
+        .into_iter()
+        .filter_map(|id| graph.required_config(id))
+        .collect();
+    let (design_time, hybrid) = match precomputed.filter(|artifacts| artifacts.fits(graph)) {
+        Some(artifacts) => (artifacts.design_time.clone(), artifacts.hybrid.clone()),
+        None => {
+            let mut search_cache = drhw_prefetch::SearchCache::new();
+            let design_time = DesignTimePrefetch::compute_assisted(
+                graph,
+                &schedule,
+                platform,
+                &mut search_cache,
+            )?;
+            let hybrid =
+                HybridPrefetch::compute_assisted(graph, &schedule, platform, &mut search_cache)?;
+            (design_time, hybrid)
+        }
+    };
+    let prepared = PreparedSchedule::new(graph, schedule, platform)?;
+    let on_demand = prepared.evaluate_on_demand_cold(build_scratch)?;
+    Ok(ScenarioArtifacts {
+        prepared,
+        required_configs,
+        design_time,
+        hybrid,
+        on_demand,
+    })
+}
+
 fn build_schedule(
     library: &DesignTimeLibrary,
     config: &SimulationConfig,
@@ -844,6 +1050,54 @@ mod tests {
         }
         // The derived plan shares (not recomputes) the artifacts.
         assert!(Arc::ptr_eq(&base.shared, &derived.shared));
+    }
+
+    #[test]
+    fn injected_search_artifacts_round_trip_bit_identically() {
+        let set = two_task_set();
+        let platform = Platform::virtex_like(6).unwrap();
+        let config = SimulationConfig::quick();
+        let cold = IterationPlan::new(&set, &platform, config.clone()).unwrap();
+        let extracted: BTreeMap<_, _> = cold.search_artifacts().into_iter().collect();
+        assert_eq!(extracted.len(), 2);
+        let warm =
+            IterationPlan::new_with_artifacts(&set, &platform, config.clone(), &extracted).unwrap();
+        // The warm build skipped the searches but produced the same plan.
+        assert_eq!(
+            warm.search_artifacts()
+                .into_iter()
+                .collect::<BTreeMap<_, _>>(),
+            extracted
+        );
+        for policy in [PolicyKind::Hybrid, PolicyKind::DesignTimeOnly] {
+            for index in [0, 5, 11] {
+                assert_eq!(
+                    cold.evaluate(policy, index).unwrap(),
+                    warm.evaluate(policy, index).unwrap(),
+                    "{policy} iteration {index}"
+                );
+            }
+        }
+
+        // Ill-fitting artifacts (ids out of range for the graph) are ignored
+        // and recomputed, never trusted.
+        let mut poisoned = extracted.clone();
+        for artifacts in poisoned.values_mut() {
+            artifacts.design_time = DesignTimePrefetch::from_parts(
+                vec![drhw_model::SubtaskId::new(99)],
+                Time::from_millis(1),
+                Time::from_millis(1),
+            );
+        }
+        let repaired =
+            IterationPlan::new_with_artifacts(&set, &platform, config, &poisoned).unwrap();
+        assert_eq!(
+            repaired
+                .search_artifacts()
+                .into_iter()
+                .collect::<BTreeMap<_, _>>(),
+            extracted
+        );
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Property tests of the persistent on-disk plan cache, through the public
+//! engine API: whatever workload shape the cache serves, a disk-restored
+//! plan must report **bit-identically** to a cold build, and any entry that
+//! is not byte-for-byte trustworthy — wrong format version, truncated,
+//! corrupted — must be silently rejected in favour of a cold rebuild, never
+//! partially trusted.
+//!
+//! Each case drives a fresh temporary cache directory: one engine seeds it,
+//! then "process restarts" (fresh engines sharing the directory) replay the
+//! same job under cache tampering chosen by proptest.
+
+use std::fs;
+use std::path::PathBuf;
+
+use drhw_engine::{Engine, JobSpec};
+use drhw_workloads::fuzz::FuzzFamily;
+use proptest::prelude::*;
+
+/// A fresh engine bound to `dir`, mirroring a restarted `engine_serve`
+/// process with `DRHW_PLAN_CACHE_DIR` set.
+fn engine_with(dir: &PathBuf) -> Engine {
+    Engine::builder().threads(1).cache_dir(dir).build()
+}
+
+/// A per-case temporary directory (removed by the case itself).
+fn scratch_dir(tag: &str, case: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "drhw-disk-cache-props-{}-{tag}-{case}",
+        std::process::id()
+    ))
+}
+
+/// The generated workload spec of one case: one of the six fuzz DAG
+/// families, a generator seed, and a small platform/iteration shape.
+fn case_spec(family: usize, seed: u64, tiles: usize, iterations: usize) -> JobSpec {
+    let family = FuzzFamily::ALL[family % FuzzFamily::ALL.len()];
+    JobSpec::new(format!("fuzz-{}-{seed}", family.name()))
+        .with_tiles(tiles)
+        .with_iterations(iterations)
+        .with_seed(seed ^ 0xD15C)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Round trip: a fresh engine restores the stored plan from disk (a
+    /// disk hit, not a recompute) and reports bit-identically to the cold
+    /// build that seeded the cache.
+    #[test]
+    fn disk_round_trip_is_bit_identical(
+        family in 0usize..6,
+        seed in 0u64..200,
+        tiles in 3usize..8,
+        iterations in 2usize..8,
+    ) {
+        let dir = scratch_dir("roundtrip", seed ^ family as u64);
+        let _ = fs::remove_dir_all(&dir);
+        let spec = case_spec(family, seed, tiles, iterations);
+
+        let cold_engine = engine_with(&dir);
+        let cold = cold_engine.run(spec.clone()).expect("cold job runs");
+        prop_assert_eq!(cold_engine.cache_stats().disk_hits, 0);
+
+        let fresh = engine_with(&dir);
+        let warm = fresh.run(spec).expect("disk-warm job runs");
+        prop_assert_eq!(fresh.cache_stats().disk_hits, 1, "plan must restore from disk");
+        prop_assert_eq!(warm, cold, "a disk-restored plan must not change the report");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A cache entry written by a different (future) format version is
+    /// rejected: no disk hit, a cold rebuild, and an unchanged report.
+    #[test]
+    fn version_mismatch_rejects_the_entry(
+        family in 0usize..6,
+        seed in 0u64..200,
+        bumped_version in 2u64..1_000,
+    ) {
+        let dir = scratch_dir("version", seed ^ family as u64);
+        let _ = fs::remove_dir_all(&dir);
+        let spec = case_spec(family, seed, 4, 3);
+
+        let cold = engine_with(&dir).run(spec.clone()).expect("cold job runs");
+        let mut rewritten = 0usize;
+        for entry in fs::read_dir(&dir).expect("cache dir exists") {
+            let path = entry.expect("cache entry").path();
+            let text = fs::read_to_string(&path).expect("cache entries are JSON");
+            prop_assert!(text.contains("\"version\":1"), "entries carry the format version");
+            fs::write(&path, text.replace("\"version\":1", &format!("\"version\":{bumped_version}")))
+                .expect("rewrite entry");
+            rewritten += 1;
+        }
+        prop_assert!(rewritten > 0, "the cold run must have stored an entry");
+
+        let fresh = engine_with(&dir);
+        let rebuilt = fresh.run(spec).expect("job survives a stale cache");
+        prop_assert_eq!(fresh.cache_stats().disk_hits, 0, "future versions must be rejected");
+        prop_assert_eq!(rebuilt, cold, "the cold rebuild must reproduce the report");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Truncation or byte corruption anywhere in a stored entry is detected
+    /// (parse failure or checksum mismatch) and falls back to a cold build
+    /// with an unchanged report.
+    #[test]
+    fn corrupt_entries_fall_back_to_a_cold_build(
+        family in 0usize..6,
+        seed in 0u64..200,
+        cut_permille in 50u64..950,
+        flip in 0u64..6,
+        truncate in 0u64..2,
+    ) {
+        let dir = scratch_dir("corrupt", seed ^ family as u64);
+        let _ = fs::remove_dir_all(&dir);
+        let spec = case_spec(family, seed, 4, 3);
+
+        let cold = engine_with(&dir).run(spec.clone()).expect("cold job runs");
+        for entry in fs::read_dir(&dir).expect("cache dir exists") {
+            let path = entry.expect("cache entry").path();
+            let mut bytes = fs::read(&path).expect("cache entries readable");
+            let at = ((bytes.len() as u64 * cut_permille / 1000) as usize)
+                .min(bytes.len().saturating_sub(1));
+            if truncate == 1 {
+                bytes.truncate(at);
+            } else {
+                // Always a real change, whatever byte sits at the cut point.
+                bytes[at] = bytes[at].wrapping_add(1 + flip as u8);
+            }
+            fs::write(&path, bytes).expect("rewrite entry");
+        }
+
+        let fresh = engine_with(&dir);
+        let rebuilt = fresh.run(spec).expect("job survives a corrupt cache");
+        prop_assert_eq!(fresh.cache_stats().disk_hits, 0, "corrupt entries must be rejected");
+        prop_assert_eq!(rebuilt, cold, "the cold rebuild must reproduce the report");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

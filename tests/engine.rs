@@ -268,6 +268,63 @@ fn custom_workloads_register_and_default_their_tiles_from_the_sweep() {
     assert!(reports.iter().all(|r| r.activations() > 0));
 }
 
+#[test]
+fn a_fresh_engine_restores_plans_from_the_shared_disk_cache_bit_identically() {
+    let dir =
+        std::env::temp_dir().join(format!("drhw-engine-disk-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = JobSpec::new("multimedia")
+        .with_tiles(8)
+        .with_iterations(40)
+        .with_seed(2005);
+
+    // Cold engine: builds the plan from scratch and persists the search
+    // artifacts to disk as a side effect of the miss.
+    let cold_engine = Engine::builder().threads(1).cache_dir(&dir).build();
+    let cold = cold_engine.run(spec.clone()).expect("cold job runs");
+    let cold_stats = cold_engine.cache_stats();
+    assert_eq!(cold_stats.misses, 1);
+    assert_eq!(
+        cold_stats.disk_hits, 0,
+        "nothing on disk before the first run"
+    );
+    assert!(
+        std::fs::read_dir(&dir)
+            .map(|d| d.count() > 0)
+            .unwrap_or(false),
+        "the cold miss must leave a cache entry in {}",
+        dir.display()
+    );
+
+    // A second, fresh engine (simulating a process restart) restores the
+    // artifacts from disk: still an in-memory miss, but a disk hit — and the
+    // report is bit-identical to the cold build.
+    let warm_engine = Engine::builder().threads(1).cache_dir(&dir).build();
+    let warm = warm_engine.run(spec.clone()).expect("warm job runs");
+    let warm_stats = warm_engine.cache_stats();
+    assert_eq!(warm_stats.misses, 1);
+    assert_eq!(warm_stats.disk_hits, 1, "restart must restore from disk");
+    assert_eq!(
+        cold, warm,
+        "a disk-restored plan must not change the report"
+    );
+
+    // Damage every entry: the next fresh engine silently falls back to a
+    // cold build (and repairs the entry) rather than trusting bad bytes.
+    for entry in std::fs::read_dir(&dir).expect("cache dir lists") {
+        let path = entry.expect("entry reads").path();
+        std::fs::write(&path, "{\"format\":\"drhw-plan-cache\",").expect("truncates");
+    }
+    let repaired_engine = Engine::builder().threads(1).cache_dir(&dir).build();
+    let repaired = repaired_engine
+        .run(spec)
+        .expect("job survives a corrupt cache");
+    assert_eq!(repaired_engine.cache_stats().disk_hits, 0);
+    assert_eq!(cold, repaired);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The acceptance bound of the plan cache: on a preparation-heavy workload
 /// (Pocket GL: 40 scenarios through branch & bound) a warm submission must
 /// be measurably faster than the cold one. Release mode only — debug-build

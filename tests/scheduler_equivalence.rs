@@ -1,0 +1,149 @@
+//! Oracle-level scheduler equivalence: the assisted branch & bound against
+//! the naive reference, over every fuzz DAG family.
+//!
+//! The assisted search (evaluation memo, dominance table, warm start,
+//! serialization bound) is what the entire design-time pipeline runs on; the
+//! naive search and the naive critical-set loop are the paper's plain
+//! algorithms, kept alive precisely for this comparison. The contract is
+//! **bit-for-bit**: identical `ExecutionResult`s (timed windows, load order,
+//! penalty) and identical `CriticalSetAnalysis` outcomes, for every schedule
+//! the Pareto exploration would actually feed the search — across all six
+//! generated DAG families, with and without warm starts, with fresh and with
+//! cross-round shared caches.
+
+use drhw_model::Platform;
+use drhw_prefetch::{
+    BranchBoundScheduler, CriticalSetAnalysis, ExecutionResult, PrefetchError, PrefetchProblem,
+    PrefetchScheduler, SearchCache,
+};
+use drhw_tcm::DesignTimeScheduler;
+use drhw_workloads::fuzz::{fuzz_task_set, FuzzFamily};
+
+/// Seeds per family. Debug builds keep the corpus small (the naive search is
+/// deliberately slow); release runs sweep a wider net.
+#[cfg(debug_assertions)]
+const SEEDS: [u64; 2] = [1, 2005];
+#[cfg(not(debug_assertions))]
+const SEEDS: [u64; 5] = [0, 1, 7, 42, 2005];
+
+/// The naive search behind the [`PrefetchScheduler`] trait, so the *naive*
+/// critical-set loop really runs the *naive* search every round — a full
+/// end-to-end reference with no acceleration anywhere.
+struct NaiveReference(BranchBoundScheduler);
+
+impl PrefetchScheduler for NaiveReference {
+    fn name(&self) -> &str {
+        "naive-branch-and-bound"
+    }
+
+    fn schedule(&self, problem: &PrefetchProblem<'_>) -> Result<ExecutionResult, PrefetchError> {
+        self.0.schedule_naive(problem)
+    }
+}
+
+/// Every (graph, schedule) pair the design-time pipeline would search: each
+/// scenario of each task, under every Pareto point of its tile exploration.
+fn for_each_case(mut visit: impl FnMut(&drhw_model::SubtaskGraph, &drhw_model::InitialSchedule)) {
+    let platform = Platform::virtex_like(8).expect("non-empty platform");
+    let tcm = DesignTimeScheduler::new();
+    for family in FuzzFamily::ALL {
+        for seed in SEEDS {
+            let set = fuzz_task_set(family, seed);
+            for task in set.tasks() {
+                for scenario in task.scenarios() {
+                    let curve = tcm
+                        .pareto_curve(scenario.graph(), &platform)
+                        .expect("generated graphs build Pareto curves");
+                    for point in curve.points() {
+                        visit(scenario.graph(), point.schedule());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn assisted_search_is_bit_identical_to_the_naive_search_on_the_fuzz_corpus() {
+    let platform = Platform::virtex_like(8).expect("non-empty platform");
+    let scheduler = BranchBoundScheduler::new();
+    let mut cases = 0usize;
+    let mut nontrivial = 0usize;
+    for_each_case(|graph, schedule| {
+        let problem = PrefetchProblem::new(graph, schedule, &platform)
+            .expect("Pareto schedules build problems");
+        let (naive, naive_stats) = scheduler
+            .schedule_naive_with_stats(&problem)
+            .expect("naive search");
+        let mut cache = SearchCache::new();
+        let (assisted, stats) = scheduler
+            .schedule_with_stats(&problem, &mut cache, None)
+            .expect("assisted search");
+        assert_eq!(
+            assisted,
+            naive,
+            "assisted search diverged on {} ({} loads)",
+            graph.name(),
+            problem.load_count()
+        );
+        assert!(
+            stats.nodes <= naive_stats.nodes,
+            "the accelerations must never *grow* the search on {}",
+            graph.name()
+        );
+        // A second search over the warmed cache replays to the same result.
+        let (again, _) = scheduler
+            .schedule_with_stats(&problem, &mut cache, None)
+            .expect("assisted search replays");
+        assert_eq!(again, naive, "memo replay diverged on {}", graph.name());
+        // Warm-starting from the known optimum must not change anything.
+        let warm = naive.load_order().to_vec();
+        let (warmed, _) = scheduler
+            .schedule_with_stats(&problem, &mut cache, Some(&warm))
+            .expect("warm-started search");
+        assert_eq!(warmed, naive, "warm start diverged on {}", graph.name());
+        cases += 1;
+        if naive_stats.nodes > 0 {
+            nontrivial += 1;
+        }
+    });
+    assert!(
+        cases >= 50,
+        "corpus too small to be credible: {cases} cases"
+    );
+    assert!(
+        nontrivial >= 10,
+        "corpus must exercise real searches, got {nontrivial}"
+    );
+}
+
+#[test]
+fn incremental_critical_sets_are_bit_identical_to_the_naive_loop() {
+    let platform = Platform::virtex_like(8).expect("non-empty platform");
+    let scheduler = BranchBoundScheduler::new();
+    let reference = NaiveReference(scheduler);
+    let mut multi_round = 0usize;
+    for_each_case(|graph, schedule| {
+        let naive = CriticalSetAnalysis::compute_naive(graph, schedule, &platform, &reference)
+            .expect("naive critical-set loop");
+        // The production path: assisted search, shared cache, warm rounds.
+        let mut cache = SearchCache::new();
+        let assisted = CriticalSetAnalysis::compute_with_cache(
+            graph, schedule, &platform, &scheduler, &mut cache,
+        )
+        .expect("incremental critical-set loop");
+        assert_eq!(
+            assisted,
+            naive,
+            "critical-set analyses diverged on {}",
+            graph.name()
+        );
+        if naive.iterations() > 1 {
+            multi_round += 1;
+        }
+    });
+    assert!(
+        multi_round >= 5,
+        "corpus must exercise multi-round selections, got {multi_round}"
+    );
+}

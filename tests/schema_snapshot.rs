@@ -1,4 +1,4 @@
-//! Golden snapshot of the `BENCH_results.json` schema (version 5) and of
+//! Golden snapshot of the `BENCH_results.json` schema (version 6) and of
 //! the `engine_serve` wire schema (`JobSpec` requests, result objects).
 //!
 //! `render_results_json` and the serve protocol are hand-rolled (no JSON
@@ -37,8 +37,8 @@ fn is_number(raw: &str) -> bool {
     raw.parse::<f64>().is_ok()
 }
 
-/// The exact top-level key order of schema v5.
-const TOP_LEVEL_V5: [&str; 12] = [
+/// The exact top-level key order of schema v6.
+const TOP_LEVEL_V6: [&str; 12] = [
     "iterations",
     "tiles",
     "policy_overhead_percent",
@@ -54,7 +54,7 @@ const TOP_LEVEL_V5: [&str; 12] = [
 ];
 
 #[test]
-fn bench_results_schema_v5_golden_snapshot() {
+fn bench_results_schema_v6_golden_snapshot() {
     let engine = drhw_engine::Engine::builder().build();
     let reports = policy_overhead_reports(&engine, 2, 1, 8).expect("simulation runs");
     let policies = [
@@ -83,21 +83,22 @@ fn bench_results_schema_v5_golden_snapshot() {
         plan_cache: Some(PlanCacheBlock {
             hits: 4,
             misses: 1,
+            disk_hits: 1,
             amortized_prepare_ms: 0.5,
         }),
     };
     let json = render_results_json(&reports, &timing);
     let entries = keys_with_indent(&json);
 
-    // Top level: the exact schema v5 key set, in order.
+    // Top level: the exact schema v6 key set, in order.
     let top: Vec<&str> = entries
         .iter()
         .filter(|(indent, _, _)| *indent == 2)
         .map(|(_, key, _)| key.as_str())
         .collect();
     assert_eq!(
-        top, TOP_LEVEL_V5,
-        "schema v5 top-level keys changed — bump schema_version and update this snapshot"
+        top, TOP_LEVEL_V6,
+        "schema v6 top-level keys changed — bump schema_version and update this snapshot"
     );
 
     // Scalar top-level values are numbers; containers are objects.
@@ -113,12 +114,12 @@ fn bench_results_schema_v5_golden_snapshot() {
             | "plan_cache" => {
                 assert_eq!(raw, "{", "{key} must be an object");
             }
-            "schema_version" => assert_eq!(raw, "5", "this snapshot pins schema v5"),
+            "schema_version" => assert_eq!(raw, "6", "this snapshot pins schema v6"),
             _ => assert!(is_number(raw), "{key} must be a number, got {raw:?}"),
         }
     }
 
-    // The plan_cache block: exactly hits/misses/amortized_prepare_ms.
+    // The plan_cache block: exactly hits/misses/disk_hits/amortized_prepare_ms.
     let cache_start = json
         .find("\"plan_cache\": {")
         .expect("plan_cache block present");
@@ -127,13 +128,14 @@ fn bench_results_schema_v5_golden_snapshot() {
             .find('}')
             .map(|end| cache_start + end)
             .expect("plan_cache block closes")];
-    for key in ["hits", "misses", "amortized_prepare_ms"] {
+    for key in ["hits", "misses", "disk_hits", "amortized_prepare_ms"] {
         assert!(
             cache_block.contains(&format!("\"{key}\":")),
             "plan_cache block lost {key}"
         );
     }
     assert!(cache_block.contains("\"hits\": 4"));
+    assert!(cache_block.contains("\"disk_hits\": 1"));
     assert!(cache_block.contains("\"amortized_prepare_ms\": 0.5000"));
 
     // Both policy maps carry exactly the five policy names, each numeric.
@@ -241,13 +243,13 @@ fn schema_snapshot_also_holds_for_absent_measurements() {
     // Without reports the iteration/tile header is absent, but everything
     // else — including the speedup, stage, throughput and plan-cache blocks
     // — survives.
-    assert_eq!(top, &TOP_LEVEL_V5[2..]);
+    assert_eq!(top, &TOP_LEVEL_V6[2..]);
     assert!(json.contains("\"sequential_over_parallel\": null"));
     assert!(json.contains("\"stage_ms\": {\n  }"));
     assert!(json.contains("\"policy_iterations_per_sec\": {\n  }"));
     assert!(json.contains("\"kernel_ns\": {\n  }"));
     assert!(json.contains("\"hits\": 0"));
-    assert!(json.ends_with("\"schema_version\": 5\n}\n"));
+    assert!(json.ends_with("\"schema_version\": 6\n}\n"));
 }
 
 /// The exact key order of a `JobSpec` with every field set, as put on the
