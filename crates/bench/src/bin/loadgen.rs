@@ -1,0 +1,181 @@
+//! `loadgen` — the serving-tier load generator.
+//!
+//! Boots an in-process `drhw-net` server (or targets an external one via
+//! `LOADGEN_ADDR`), fires a swarm of concurrent synthetic clients over real
+//! sockets, and prints a latency/throughput summary: p50/p99 per-job
+//! latency and end-to-end jobs per second.
+//!
+//! Environment knobs:
+//!
+//! * `LOADGEN_CLIENTS` — concurrent clients (default 1000)
+//! * `LOADGEN_JOBS` — jobs per client (default 2)
+//! * `LOADGEN_ADDR` — target an already-running server instead of booting one
+//! * `LOADGEN_SPEC` — job line template (JSON object, no `id` field)
+//! * `LOADGEN_THREADS` — engine worker threads of the in-process server
+//! * `LOADGEN_SUMMARY_PATH` — also write the JSON summary to this file
+//!
+//! The last stdout line is the machine-readable summary
+//! (`{"type":"loadgen",…}`), which CI uploads as an artifact. Exit status:
+//! 0 when every client connected and every job completed, 1 otherwise,
+//! 2 on a configuration error.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use drhw_bench::serving::{run_swarm, SwarmConfig, SwarmOutcome};
+use drhw_net::{Server, ServerConfig};
+
+fn env_usize(name: &str, default: usize) -> Result<usize, String> {
+    match std::env::var(name) {
+        Err(_) => Ok(default),
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .map_err(|_| format!("{name}: expected an unsigned integer, got {raw:?}")),
+    }
+}
+
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn summary_json(config: &SwarmConfig, outcome: &SwarmOutcome) -> String {
+    format!(
+        concat!(
+            "{{\"type\":\"loadgen\",\"clients\":{},\"jobs_per_client\":{},",
+            "\"clients_connected\":{},\"clients_failed\":{},",
+            "\"jobs_completed\":{},\"jobs_errored\":{},\"rejections_seen\":{},",
+            "\"elapsed_ms\":{},\"jobs_per_sec\":{},\"p50_ms\":{},\"p99_ms\":{}}}"
+        ),
+        config.clients,
+        config.jobs_per_client,
+        outcome.clients_connected,
+        outcome.clients_failed,
+        outcome.jobs_completed,
+        outcome.jobs_errored,
+        outcome.rejections_seen,
+        number(outcome.elapsed_ms),
+        number(outcome.jobs_per_sec()),
+        number(outcome.p50_ms()),
+        number(outcome.p99_ms()),
+    )
+}
+
+fn fail_config(message: &str) -> ! {
+    eprintln!("loadgen: {message}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let clients = env_usize("LOADGEN_CLIENTS", 1000).unwrap_or_else(|m| fail_config(&m));
+    let jobs = env_usize("LOADGEN_JOBS", 2).unwrap_or_else(|m| fail_config(&m));
+    let threads = env_usize("LOADGEN_THREADS", 0).unwrap_or_else(|m| fail_config(&m));
+    let external_addr = std::env::var("LOADGEN_ADDR").ok();
+    let summary_path = std::env::var("LOADGEN_SUMMARY_PATH").ok();
+
+    let mut config = SwarmConfig {
+        clients,
+        jobs_per_client: jobs,
+        ..SwarmConfig::default()
+    };
+    if let Ok(spec) = std::env::var("LOADGEN_SPEC") {
+        config.spec_json = spec;
+    }
+
+    // Either an external server, or an in-process one sized for the swarm.
+    let mut local_server = None;
+    match external_addr {
+        Some(addr) => config.addr = addr,
+        None => {
+            let mut builder = drhw_engine::Engine::builder();
+            if threads > 0 {
+                builder = builder.threads(threads);
+            }
+            let engine = Arc::new(builder.build());
+            // Pre-warm the plan cache with the swarm's job spec so the
+            // measured window is pure serving, not one-off design time.
+            match drhw_engine::Request::parse(&config.spec_json) {
+                Ok(request) => {
+                    if let Err(e) = engine.run(request.spec) {
+                        fail_config(&format!("spec does not run: {e}"));
+                    }
+                }
+                Err(e) => fail_config(&format!("LOADGEN_SPEC does not parse: {e}")),
+            }
+            let server_config = ServerConfig {
+                max_connections: clients + 64,
+                max_pending_jobs: (clients * jobs).max(2048),
+                ..ServerConfig::default()
+            };
+            let server = match Server::start(engine, server_config) {
+                Ok(server) => server,
+                Err(e) => fail_config(&format!("cannot start in-process server: {e}")),
+            };
+            config.addr = server.local_addr().to_string();
+            local_server = Some(server);
+        }
+    }
+
+    println!(
+        "loadgen: {clients} client(s) x {jobs} job(s) against {}{}",
+        config.addr,
+        if local_server.is_some() {
+            " (in-process server)"
+        } else {
+            ""
+        }
+    );
+    let started = Instant::now();
+    let outcome = match run_swarm(&config) {
+        Ok(outcome) => outcome,
+        Err(message) => fail_config(&message),
+    };
+    println!(
+        "loadgen: {}/{} clients connected, {} job(s) completed, {} errored, {} rejection(s) \
+         observed in {:.1} s",
+        outcome.clients_connected,
+        clients,
+        outcome.jobs_completed,
+        outcome.jobs_errored,
+        outcome.rejections_seen,
+        started.elapsed().as_secs_f64()
+    );
+    println!(
+        "loadgen: {:.1} jobs/s, latency p50 {:.2} ms, p99 {:.2} ms",
+        outcome.jobs_per_sec(),
+        outcome.p50_ms(),
+        outcome.p99_ms()
+    );
+
+    if let Some(server) = local_server {
+        server.handle().shutdown();
+        let stats = server.join();
+        println!(
+            "loadgen: server drained — {} session(s), {} completed, {} failed, {} rejected",
+            stats.connections_served, stats.jobs_completed, stats.jobs_failed, stats.jobs_rejected
+        );
+    }
+
+    let summary = summary_json(&config, &outcome);
+    if let Some(path) = summary_path {
+        if let Err(e) = std::fs::write(&path, format!("{summary}\n")) {
+            eprintln!("loadgen: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!("{summary}");
+
+    let expected = (clients * jobs) as u64;
+    if outcome.clients_failed > 0 || outcome.jobs_completed != expected {
+        eprintln!(
+            "loadgen FAILED: expected {expected} completed job(s) from {clients} client(s), got {} \
+             (with {} failed client(s))",
+            outcome.jobs_completed, outcome.clients_failed
+        );
+        std::process::exit(1);
+    }
+}

@@ -5,7 +5,7 @@
 //! per-call cost, per-stage design-time wall clock and cross-policy wall
 //! clock, and compares them against the committed `BENCH_baseline.json`
 //! under per-metric tolerance bands. On a regression it prints a delta table
-//! and exits non-zero; the same table plus the schema-v6
+//! and exits non-zero; the same table plus the schema-v7
 //! `BENCH_results.json` are written to disk so CI can upload them as
 //! artifacts.
 //!
@@ -29,12 +29,19 @@
 //! `stage_ms.branch_bound` and `stage_ms.critical_set` are gated so the
 //! memoized/pruned search cannot silently regress toward the naive one.
 //!
+//! The TCP serving tier is gated too: an in-process `drhw-net` server on a
+//! single-worker engine takes a pinned 32-client swarm over real sockets
+//! each run, and the medians of end-to-end `serving.jobs_per_sec` and
+//! `serving.p50_ms`/`serving.p99_ms` job latency are compared under the
+//! `serving.` tolerance band. A swarm that loses a client or a job fails
+//! functionally before any band applies.
+//!
 //! Environment knobs:
 //!
 //! * `PERF_GATE_RUNS` — repeated measurement runs (default 5)
 //! * `PERF_GATE_ITERATIONS` — simulated iterations per run (default 2000)
 //! * `PERF_BASELINE_PATH` — baseline location (default `BENCH_baseline.json`)
-//! * `BENCH_RESULTS_PATH` — schema-v6 results output (default `BENCH_results.json`)
+//! * `BENCH_RESULTS_PATH` — schema-v7 results output (default `BENCH_results.json`)
 //! * `PERF_DELTA_PATH` — delta table output (default `PERF_delta.txt`)
 //!
 //! The gated suite runs single-threaded on purpose: the gate measures the
@@ -52,7 +59,8 @@ use drhw_bench::experiments::workload_config;
 use drhw_bench::gate::{
     evaluate_gate, load_baseline, render_baseline_json, Measured, DEFAULT_TOLERANCE,
 };
-use drhw_bench::report::{render_results_json, PlanCacheBlock, RunTiming};
+use drhw_bench::report::{render_results_json, PlanCacheBlock, RunTiming, ServingBlock};
+use drhw_bench::serving::{run_swarm, SwarmConfig};
 use drhw_bench::stages::{
     measure_kernel_timings, measure_stage_timings, KERNEL_NAMES, STAGE_NAMES,
 };
@@ -298,6 +306,79 @@ fn main() {
     let mut cache_block: PlanCacheBlock = cache.into();
     cache_block.disk_hits = disk_hits;
     timing.plan_cache = Some(cache_block);
+
+    // The serving tier under a pinned small swarm: an in-process drhw-net
+    // server on a single-worker engine, hit by 32 concurrent clients over
+    // real sockets. One swarm per gate run; medians gate end-to-end job
+    // throughput and p50/p99 job latency. A swarm that loses a client or a
+    // job is a functional failure, not a tolerance question. (The full-scale
+    // swarm — 1000+ clients — lives in the `loadgen` binary; the gate keeps
+    // the pinned scale small so its numbers are about the serving path, not
+    // the runner's scheduler.)
+    let serving_clients = 32;
+    let serving_jobs_per_client = 4;
+    let serving_engine = std::sync::Arc::new(drhw_engine::Engine::builder().threads(1).build());
+    let swarm_template = SwarmConfig {
+        clients: serving_clients,
+        jobs_per_client: serving_jobs_per_client,
+        ..SwarmConfig::default()
+    };
+    let warm_request =
+        drhw_engine::Request::parse(&swarm_template.spec_json).expect("pinned swarm spec parses");
+    serving_engine
+        .run(warm_request.spec)
+        .expect("swarm spec runs");
+    let server = drhw_net::Server::start(
+        std::sync::Arc::clone(&serving_engine),
+        drhw_net::ServerConfig::default(),
+    )
+    .expect("serving gate binds a local port");
+    let swarm_config = SwarmConfig {
+        addr: server.local_addr().to_string(),
+        ..swarm_template
+    };
+    let mut swarm_jobs_per_sec = Vec::with_capacity(runs);
+    let mut swarm_p50 = Vec::with_capacity(runs);
+    let mut swarm_p99 = Vec::with_capacity(runs);
+    let expected_jobs = (serving_clients * serving_jobs_per_client) as u64;
+    for _ in 0..runs {
+        let outcome = run_swarm(&swarm_config).expect("swarm runs");
+        if outcome.jobs_completed != expected_jobs || outcome.clients_failed > 0 {
+            eprintln!(
+                "perf gate FAILED: serving swarm lost work — expected {expected_jobs} completed \
+                 job(s) from {serving_clients} client(s), got {} (with {} failed client(s), {} \
+                 errored job(s))",
+                outcome.jobs_completed, outcome.clients_failed, outcome.jobs_errored
+            );
+            std::process::exit(1);
+        }
+        swarm_jobs_per_sec.push(outcome.jobs_per_sec());
+        swarm_p50.push(outcome.p50_ms());
+        swarm_p99.push(outcome.p99_ms());
+    }
+    server.handle().shutdown();
+    server.join();
+    let serving_jobs_per_sec = median(&mut swarm_jobs_per_sec);
+    let serving_p50_ms = median(&mut swarm_p50);
+    let serving_p99_ms = median(&mut swarm_p99);
+    timing.serving = Some(ServingBlock {
+        clients: serving_clients as u64,
+        jobs: expected_jobs,
+        jobs_per_sec: serving_jobs_per_sec,
+        p50_ms: serving_p50_ms,
+        p99_ms: serving_p99_ms,
+    });
+    measured.push(Measured::higher_is_better(
+        "serving.jobs_per_sec",
+        serving_jobs_per_sec,
+    ));
+    measured.push(Measured::lower_is_better("serving.p50_ms", serving_p50_ms));
+    measured.push(Measured::lower_is_better("serving.p99_ms", serving_p99_ms));
+    println!(
+        "  serving: {serving_clients} clients x {serving_jobs_per_client} jobs — \
+         {serving_jobs_per_sec:.0} jobs/s, p50 {serving_p50_ms:.2} ms, p99 {serving_p99_ms:.2} ms \
+         (medians of {runs})"
+    );
     for (which, &policy) in PolicyKind::ALL.iter().enumerate() {
         let ms = median(&mut per_policy_ms[which]);
         let throughput = iterations as f64 / (ms / 1e3);
@@ -360,7 +441,7 @@ fn main() {
         eprintln!("error: cannot write {results_path}: {err}");
         std::process::exit(3);
     }
-    println!("schema-v6 results written to {results_path}");
+    println!("schema-v7 results written to {results_path}");
 
     if write_baseline {
         let text = render_baseline_json(&measured, DEFAULT_TOLERANCE);

@@ -14,7 +14,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 6,
+//!   "schema_version": 7,
 //!   "default_tolerance": 0.5000,
 //!   "tolerance": {
 //!     "wall_clock_ms.cross_policy": 1.0000
@@ -52,6 +52,7 @@ pub const DEFAULT_TOLERANCE: f64 = 0.5;
 pub const TOLERANCE_OVERRIDES: &[(&str, f64)] = &[
     ("kernel_ns.", 2.0),
     ("plan_cache.", 3.0),
+    ("serving.", 3.0),
     ("stage_ms.", 2.0),
     ("wall_clock_ms.cross_policy", 3.0),
 ];
@@ -262,7 +263,7 @@ pub fn render_baseline_json(measured: &[Measured], default_tolerance: f64) -> St
         }
     }
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 6,\n");
+    out.push_str("  \"schema_version\": 7,\n");
     out.push_str(&format!(
         "  \"default_tolerance\": {default_tolerance:.4},\n"
     ));
@@ -561,6 +562,8 @@ mod tests {
             tolerance_override_for("plan_cache.disk_warm_submit_ms"),
             Some(3.0)
         );
+        assert_eq!(tolerance_override_for("serving.p99_ms"), Some(3.0));
+        assert_eq!(tolerance_override_for("serving.jobs_per_sec"), Some(3.0));
         assert_eq!(tolerance_override_for("iterations_per_sec.hybrid"), None);
     }
 

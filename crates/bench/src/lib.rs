@@ -19,4 +19,5 @@ pub mod cli;
 pub mod experiments;
 pub mod gate;
 pub mod report;
+pub mod serving;
 pub mod stages;

@@ -107,6 +107,22 @@ impl From<drhw_engine::CacheStats> for PlanCacheBlock {
     }
 }
 
+/// How the TCP serving tier performed under the pinned loadgen swarm — the
+/// `serving` block of `BENCH_results.json` (since schema v7).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServingBlock {
+    /// Concurrent clients the swarm ran.
+    pub clients: u64,
+    /// Jobs completed across the swarm.
+    pub jobs: u64,
+    /// End-to-end completed-job throughput of the measured window.
+    pub jobs_per_sec: f64,
+    /// Median per-job latency, in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-job latency, in milliseconds.
+    pub p99_ms: f64,
+}
+
 /// Wall-clock measurements of one experiment-harness run, recorded alongside
 /// the simulation results so the performance trajectory of the engine itself
 /// is machine-readable.
@@ -137,6 +153,10 @@ pub struct RunTiming {
     /// used one (`None` renders as an all-zero block so the schema's key set
     /// is stable).
     pub plan_cache: Option<PlanCacheBlock>,
+    /// Serving-tier swarm measurements, when the run exercised the TCP
+    /// server (`None` renders as an all-zero block so the schema's key set
+    /// is stable). New in schema v7.
+    pub serving: Option<ServingBlock>,
 }
 
 impl RunTiming {
@@ -152,14 +172,15 @@ impl RunTiming {
 
 /// Renders the cross-policy simulation reports plus the run's wall-clock
 /// timings as the machine-readable JSON written to `BENCH_results.json`
-/// (schema v6): simulation parameters, one `policy → overhead_percent` (and
+/// (schema v7): simulation parameters, one `policy → overhead_percent` (and
 /// `policy → reuse_percent`) entry per policy, the threads used,
 /// per-experiment `wall_clock_ms`, the sequential-versus-parallel speedup
 /// measurement, the per-stage `stage_ms` block, the per-policy
 /// `policy_iterations_per_sec` throughput block, the per-kernel `kernel_ns`
-/// block (nanoseconds per hot-kernel call — new in v5), and the engine's
+/// block (nanoseconds per hot-kernel call — new in v5), the engine's
 /// `plan_cache` block (hits, misses, amortised preparation cost, plus the
-/// on-disk `disk_hits` counter — new in v6).
+/// on-disk `disk_hits` counter — new in v6), and the TCP serving tier's
+/// `serving` block (swarm size, jobs/sec, p50/p99 job latency — new in v7).
 /// Hand-rolled because no JSON backend is available offline; the output is
 /// plain ASCII and the policy names, experiment labels and stage names
 /// contain no characters needing escapes.
@@ -242,7 +263,18 @@ pub fn render_results_json(reports: &[SimulationReport], timing: &RunTiming) -> 
         number(cache.amortized_prepare_ms)
     ));
     out.push_str("  },\n");
-    out.push_str("  \"schema_version\": 6\n}\n");
+    let serving = timing.serving.unwrap_or_default();
+    out.push_str("  \"serving\": {\n");
+    out.push_str(&format!("    \"clients\": {},\n", serving.clients));
+    out.push_str(&format!("    \"jobs\": {},\n", serving.jobs));
+    out.push_str(&format!(
+        "    \"jobs_per_sec\": {},\n",
+        number(serving.jobs_per_sec)
+    ));
+    out.push_str(&format!("    \"p50_ms\": {},\n", number(serving.p50_ms)));
+    out.push_str(&format!("    \"p99_ms\": {}\n", number(serving.p99_ms)));
+    out.push_str("  },\n");
+    out.push_str("  \"schema_version\": 7\n}\n");
     out
 }
 
@@ -341,6 +373,13 @@ mod tests {
                 disk_hits: 1,
                 amortized_prepare_ms: 1.25,
             }),
+            serving: Some(ServingBlock {
+                clients: 64,
+                jobs: 128,
+                jobs_per_sec: 321.5,
+                p50_ms: 12.25,
+                p99_ms: 48.5,
+            }),
         };
         let json = render_results_json(&reports, &timing);
         assert!(json.starts_with("{\n"));
@@ -366,7 +405,13 @@ mod tests {
         assert!(json.contains("\"misses\": 2"));
         assert!(json.contains("\"disk_hits\": 1"));
         assert!(json.contains("\"amortized_prepare_ms\": 1.2500"));
-        assert!(json.ends_with("\"schema_version\": 6\n}\n"));
+        assert!(json.contains("\"serving\""));
+        assert!(json.contains("\"clients\": 64"));
+        assert!(json.contains("\"jobs\": 128"));
+        assert!(json.contains("\"jobs_per_sec\": 321.5000"));
+        assert!(json.contains("\"p50_ms\": 12.2500"));
+        assert!(json.contains("\"p99_ms\": 48.5000"));
+        assert!(json.ends_with("\"schema_version\": 7\n}\n"));
         // No trailing comma before a closing brace, and balanced braces.
         assert!(!json.contains(",\n  }"));
         assert!(!json.contains(",\n    }"));
@@ -395,6 +440,10 @@ mod tests {
         assert!(json.contains("\"plan_cache\""));
         assert!(json.contains("\"hits\": 0"));
         assert!(json.contains("\"amortized_prepare_ms\": 0.0000"));
+        // A run without a serving swarm still renders the serving key set.
+        assert!(json.contains("\"serving\""));
+        assert!(json.contains("\"clients\": 0"));
+        assert!(json.contains("\"jobs_per_sec\": 0.0000"));
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! The client swarm behind the `loadgen` binary and the serving metrics of
+//! the perf gate: hammers a running `drhw-net` server with many concurrent
+//! synthetic clients over real sockets, recording per-job latency.
+//!
+//! Every client is one OS thread with a small stack: connect, then submit
+//! `jobs_per_client` jobs back to back, timing each from the moment its
+//! request line hits the socket to the moment its terminal line (`result`,
+//! `error` or final `rejected`) is read back. A `rejected` line — the
+//! server's admission control pushing back — is retried after a short
+//! backoff and counted, so the swarm observes backpressure instead of
+//! failing on it.
+//!
+//! All clients arm at a [`Barrier`] and fire together; the measured window
+//! runs from the barrier release to the last job's terminal line, which
+//! makes `jobs_per_sec` an end-to-end number including connect jitter,
+//! queueing and engine contention.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use drhw_engine::json::{parse, JsonValue};
+
+/// How one swarm run is shaped.
+#[derive(Debug, Clone)]
+pub struct SwarmConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Concurrent clients (one OS thread + one socket each).
+    pub clients: usize,
+    /// Jobs each client submits sequentially.
+    pub jobs_per_client: usize,
+    /// The job line template (a JSON object, no `id` field; the swarm
+    /// splices a unique `id` per job).
+    pub spec_json: String,
+    /// How long a client waits for a response line before giving up on the
+    /// job (counted as an error).
+    pub read_timeout: Duration,
+    /// Connect attempts per client before it counts as failed — under
+    /// thousands of simultaneous connects the listener backlog overflows
+    /// transiently and a retry is expected, not an error.
+    pub connect_attempts: usize,
+    /// Submissions attempted per job before a persistently `rejected` job
+    /// counts as an error.
+    pub submit_attempts: usize,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            addr: String::new(),
+            clients: 1000,
+            jobs_per_client: 2,
+            spec_json:
+                r#"{"workload":"multimedia","tiles":4,"iterations":2,"policies":["no-prefetch"]}"#
+                    .to_string(),
+            read_timeout: Duration::from_secs(120),
+            connect_attempts: 200,
+            submit_attempts: 50,
+        }
+    }
+}
+
+/// What the swarm observed, aggregated across all clients.
+#[derive(Debug, Clone, Default)]
+pub struct SwarmOutcome {
+    /// Clients that connected and ran their jobs.
+    pub clients_connected: usize,
+    /// Clients that never got a connection.
+    pub clients_failed: usize,
+    /// Jobs answered with a `result` line.
+    pub jobs_completed: u64,
+    /// Jobs answered with an `error` line, or that timed out / lost their
+    /// connection / stayed rejected past the retry budget.
+    pub jobs_errored: u64,
+    /// `rejected` lines observed (each one a retried submission) — the
+    /// count of backpressure events, not of lost jobs.
+    pub rejections_seen: u64,
+    /// The measured window: barrier release to last terminal line, in
+    /// milliseconds.
+    pub elapsed_ms: f64,
+    /// Per-completed-job latency samples, in milliseconds (unsorted).
+    pub latencies_ms: Vec<f64>,
+}
+
+impl SwarmOutcome {
+    /// End-to-end completed-job throughput over the measured window.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.elapsed_ms > 0.0 {
+            self.jobs_completed as f64 / (self.elapsed_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+
+    /// The `p`-th percentile (0–100, nearest-rank) of the per-job latency
+    /// samples; `NaN` when no job completed.
+    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Median per-job latency in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.latency_percentile_ms(50.0)
+    }
+
+    /// Tail per-job latency in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency_percentile_ms(99.0)
+    }
+}
+
+#[derive(Default)]
+struct ClientReport {
+    connected: bool,
+    completed: u64,
+    errored: u64,
+    rejections: u64,
+    latencies_ms: Vec<f64>,
+}
+
+enum JobOutcome {
+    Completed,
+    Rejected,
+    Errored,
+}
+
+/// Splices `"id":<id>` into the front of the spec template. The template is
+/// validated to be a non-empty JSON object by [`run_swarm`] before any
+/// client uses it.
+fn job_line(spec_json: &str, id: u64) -> String {
+    let rest = spec_json.trim().strip_prefix('{').unwrap_or(spec_json);
+    format!("{{\"id\":{id},{rest}\n")
+}
+
+fn submit_once(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+    id: u64,
+) -> JobOutcome {
+    if stream.write_all(line.as_bytes()).is_err() {
+        return JobOutcome::Errored;
+    }
+    let mut response = String::new();
+    loop {
+        response.clear();
+        match reader.read_line(&mut response) {
+            Ok(0) | Err(_) => return JobOutcome::Errored,
+            Ok(_) => {}
+        }
+        let Ok(value) = parse(response.trim_end()) else {
+            return JobOutcome::Errored;
+        };
+        // Responses to other jobs cannot appear (submission is sequential
+        // per client), but progress lines for this id could if the spec
+        // asked for them; skip anything non-terminal.
+        if value.get("id").and_then(JsonValue::as_u64) != Some(id) {
+            continue;
+        }
+        match value.get("type").and_then(JsonValue::as_str) {
+            Some("result") => return JobOutcome::Completed,
+            Some("rejected") => return JobOutcome::Rejected,
+            Some("error") => return JobOutcome::Errored,
+            _ => continue,
+        }
+    }
+}
+
+fn run_client(config: &SwarmConfig, index: usize, barrier: &Barrier) -> ClientReport {
+    let mut report = ClientReport::default();
+    let mut stream = None;
+    for attempt in 0..config.connect_attempts {
+        match TcpStream::connect(&config.addr) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5 + (attempt as u64 % 16))),
+        }
+    }
+    // Every client passes the barrier exactly once, connected or not, so
+    // the swarm cannot deadlock on failed connects.
+    barrier.wait();
+    let Some(mut stream) = stream else {
+        report.errored = config.jobs_per_client as u64;
+        return report;
+    };
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err() {
+        report.errored = config.jobs_per_client as u64;
+        return report;
+    }
+    let Ok(clone) = stream.try_clone() else {
+        report.errored = config.jobs_per_client as u64;
+        return report;
+    };
+    let mut reader = BufReader::new(clone);
+    report.connected = true;
+    for job in 0..config.jobs_per_client {
+        let id = (index as u64) * 1_000_000 + job as u64 + 1;
+        let line = job_line(&config.spec_json, id);
+        let started = Instant::now();
+        let mut outcome = JobOutcome::Errored;
+        for attempt in 0..config.submit_attempts {
+            outcome = submit_once(&mut stream, &mut reader, &line, id);
+            match outcome {
+                JobOutcome::Rejected => {
+                    report.rejections += 1;
+                    thread::sleep(Duration::from_millis(2 << (attempt as u64).min(5)));
+                }
+                _ => break,
+            }
+        }
+        match outcome {
+            JobOutcome::Completed => {
+                report.completed += 1;
+                report
+                    .latencies_ms
+                    .push(started.elapsed().as_secs_f64() * 1e3);
+            }
+            _ => report.errored += 1,
+        }
+    }
+    report
+}
+
+/// Runs one swarm against a live server and aggregates what every client
+/// saw.
+///
+/// # Errors
+///
+/// Returns a message when the config is unusable (no address, zero
+/// clients/jobs, or a spec template that is not a JSON object with at least
+/// one field). Server-side trouble is not an error: it surfaces in the
+/// outcome's `jobs_errored` / `clients_failed` counters.
+pub fn run_swarm(config: &SwarmConfig) -> Result<SwarmOutcome, String> {
+    if config.addr.is_empty() {
+        return Err("swarm config: addr must name a running server".into());
+    }
+    if config.clients == 0 || config.jobs_per_client == 0 {
+        return Err("swarm config: clients and jobs_per_client must be positive".into());
+    }
+    let template = parse(&config.spec_json)
+        .map_err(|e| format!("swarm config: spec_json does not parse: {e}"))?;
+    match template {
+        JsonValue::Object(ref entries) if !entries.is_empty() => {}
+        _ => return Err("swarm config: spec_json must be a JSON object with fields".into()),
+    }
+    if template.get("id").is_some() {
+        return Err("swarm config: spec_json must not carry an id (the swarm assigns them)".into());
+    }
+
+    let barrier = Arc::new(Barrier::new(config.clients + 1));
+    let reports: Arc<Mutex<Vec<ClientReport>>> =
+        Arc::new(Mutex::new(Vec::with_capacity(config.clients)));
+    let mut handles = Vec::with_capacity(config.clients);
+    for index in 0..config.clients {
+        let config = config.clone();
+        let barrier = Arc::clone(&barrier);
+        let reports = Arc::clone(&reports);
+        let handle = thread::Builder::new()
+            .name(format!("loadgen-{index}"))
+            .stack_size(96 * 1024)
+            .spawn(move || {
+                let report = run_client(&config, index, &barrier);
+                reports.lock().unwrap().push(report);
+            })
+            .map_err(|e| format!("cannot spawn client thread {index}: {e}"))?;
+        handles.push(handle);
+    }
+    barrier.wait();
+    let started = Instant::now();
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut outcome = SwarmOutcome {
+        elapsed_ms,
+        ..SwarmOutcome::default()
+    };
+    for report in reports.lock().unwrap().iter() {
+        if report.connected {
+            outcome.clients_connected += 1;
+        } else {
+            outcome.clients_failed += 1;
+        }
+        outcome.jobs_completed += report.completed;
+        outcome.jobs_errored += report.errored;
+        outcome.rejections_seen += report.rejections;
+        outcome.latencies_ms.extend_from_slice(&report.latencies_ms);
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_lines_splice_the_id_into_the_template() {
+        let line = job_line(r#"{"workload":"multimedia","tiles":4}"#, 42);
+        assert_eq!(
+            line,
+            "{\"id\":42,\"workload\":\"multimedia\",\"tiles\":4}\n"
+        );
+        let value = parse(line.trim_end()).expect("spliced line is valid JSON");
+        assert_eq!(value.get("id").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_samples() {
+        let outcome = SwarmOutcome {
+            latencies_ms: vec![5.0, 1.0, 3.0, 2.0, 4.0],
+            jobs_completed: 5,
+            elapsed_ms: 1000.0,
+            ..SwarmOutcome::default()
+        };
+        assert_eq!(outcome.p50_ms(), 3.0);
+        assert_eq!(outcome.p99_ms(), 5.0);
+        assert_eq!(outcome.latency_percentile_ms(0.0), 1.0);
+        assert!((outcome.jobs_per_sec() - 5.0).abs() < 1e-9);
+        assert!(SwarmOutcome::default().p50_ms().is_nan());
+    }
+
+    #[test]
+    fn config_validation_rejects_unusable_swarms() {
+        let mut config = SwarmConfig::default();
+        assert!(run_swarm(&config).unwrap_err().contains("addr"));
+        config.addr = "127.0.0.1:1".into();
+        config.clients = 0;
+        assert!(run_swarm(&config).unwrap_err().contains("clients"));
+        config.clients = 1;
+        config.spec_json = "[]".into();
+        assert!(run_swarm(&config).unwrap_err().contains("object"));
+        config.spec_json = r#"{"id":1,"workload":"multimedia"}"#.into();
+        assert!(run_swarm(&config).unwrap_err().contains("id"));
+    }
+
+    #[test]
+    fn a_small_swarm_round_trips_against_a_live_server() {
+        let engine = std::sync::Arc::new(drhw_engine::Engine::builder().threads(2).build());
+        let server =
+            drhw_net::Server::start(engine, drhw_net::ServerConfig::default()).expect("bind");
+        let config = SwarmConfig {
+            addr: server.local_addr().to_string(),
+            clients: 8,
+            jobs_per_client: 2,
+            ..SwarmConfig::default()
+        };
+        let outcome = run_swarm(&config).expect("swarm runs");
+        assert_eq!(outcome.clients_connected, 8);
+        assert_eq!(outcome.jobs_completed, 16);
+        assert_eq!(outcome.jobs_errored, 0);
+        assert_eq!(outcome.latencies_ms.len(), 16);
+        assert!(outcome.p50_ms() > 0.0);
+        assert!(outcome.p99_ms() >= outcome.p50_ms());
+        server.handle().shutdown();
+        let stats = server.join();
+        assert_eq!(stats.jobs_completed, 16);
+    }
+}

@@ -54,6 +54,15 @@ impl JsonValue {
         self.as_u64().and_then(|v| usize::try_from(v).ok())
     }
 
+    /// The value as a signed integer, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            JsonValue::UInt(v) => i64::try_from(v).ok(),
+            JsonValue::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// The value as a float (integers convert losslessly within `2^53`).
     pub fn as_f64(&self) -> Option<f64> {
         match *self {
@@ -455,6 +464,14 @@ mod tests {
             let err = parse(bad).unwrap_err();
             assert!(!err.to_string().is_empty(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn signed_accessor_covers_both_integer_widths() {
+        assert_eq!(JsonValue::UInt(7).as_i64(), Some(7));
+        assert_eq!(JsonValue::Int(-7).as_i64(), Some(-7));
+        assert_eq!(JsonValue::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(JsonValue::Float(1.5).as_i64(), None);
     }
 
     #[test]

@@ -60,5 +60,5 @@ pub use cache::CacheStats;
 pub use engine::{Engine, EngineBuilder, DEFAULT_CACHE_CAPACITY};
 pub use error::EngineError;
 pub use job::{JobHandle, JobId, JobResult, ProgressEvent};
-pub use serve::{serve, ServeSummary};
+pub use serve::{error_json, execute, request_id, serve, Request, ServeSummary};
 pub use spec::{parse_point_selection, point_selection_name, ConfigOverrides, JobSpec};

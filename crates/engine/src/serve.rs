@@ -5,9 +5,11 @@
 //! compact JSON objects:
 //!
 //! * **Request** — a [`JobSpec`] object (see [`JobSpec::from_json`]) plus
-//!   two optional envelope fields: `id` (any JSON value, echoed back
-//!   verbatim) and `progress` (boolean; `true` streams per-chunk progress
-//!   lines before the result).
+//!   three optional envelope fields: `id` (any JSON value, echoed back
+//!   verbatim), `progress` (boolean; `true` streams per-chunk progress
+//!   lines before the result) and `priority` (integer, default 0; the
+//!   stdin/stdout front-end validates it and runs strictly in order, the
+//!   TCP serving tier's per-client queues run higher priorities first).
 //! * **`{"type":"progress",…}`** — one per folded chunk, in deterministic
 //!   (policy, chunk) order, carrying the partial overhead so far.
 //! * **`{"type":"result",…}`** — the job's reports (one per policy) plus
@@ -39,6 +41,87 @@ pub struct ServeSummary {
     pub failed: usize,
 }
 
+/// One parsed request line: the job spec plus the protocol envelope fields.
+///
+/// This is the session-level unit both serving front-ends share: the
+/// stdin/stdout [`serve`] loop and the TCP serving tier (`drhw-net`) parse
+/// lines into `Request`s and run them through [`execute`], which is what
+/// keeps their per-session transcripts byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The job to run.
+    pub spec: JobSpec,
+    /// The echoed `id` envelope field, when present.
+    pub id: Option<JsonValue>,
+    /// Whether the client asked for streamed per-chunk progress lines.
+    pub progress: bool,
+    /// Scheduling priority within a session's queue (envelope field
+    /// `priority`, default 0). Higher runs earlier; ties run in submission
+    /// order. The stdin/stdout front-end executes strictly in order and
+    /// only validates the field; the TCP tier's per-client queues honour it.
+    pub priority: i64,
+}
+
+impl Request {
+    /// Parses one request line; `Err` carries the protocol error message.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message of the `error` response line: invalid JSON, an
+    /// invalid spec field, or a malformed envelope field.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value = parse(line).map_err(|e| e.to_string())?;
+        Request::from_value(&value)
+    }
+
+    /// Builds a request from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the protocol error message, as [`parse`](Request::parse).
+    pub fn from_value(value: &JsonValue) -> Result<Request, String> {
+        let spec = JobSpec::from_json(value).map_err(|e| e.to_string())?;
+        let priority = match value.get("priority") {
+            None => 0,
+            Some(v) => v.as_i64().ok_or_else(|| {
+                format!("job spec field `priority`: expected an integer, got {v:?}")
+            })?,
+        };
+        Ok(Request {
+            spec,
+            id: value.get("id").cloned(),
+            progress: value
+                .get("progress")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+            priority,
+        })
+    }
+}
+
+/// The echoed `id` of a request line, when the line parses far enough to
+/// have one — used to attribute `error` lines for requests that failed to
+/// parse as a [`Request`].
+pub fn request_id(line: &str) -> Option<JsonValue> {
+    parse(line).ok()?.get("id").cloned()
+}
+
+/// Renders the `error` response line for a failed request: `type`, the
+/// echoed `id` (when one was recoverable), the 1-based input `line` number
+/// and the `message`.
+pub fn error_json(id: Option<&JsonValue>, line_number: u64, message: &str) -> JsonValue {
+    let mut entries = vec![("type".to_string(), JsonValue::String("error".to_string()))];
+    if let Some(id) = id {
+        entries.push(("id".to_string(), id.clone()));
+    }
+    entries.push(("line".to_string(), JsonValue::UInt(line_number)));
+    entries.push((
+        "message".to_string(),
+        JsonValue::String(message.to_string()),
+    ));
+    JsonValue::Object(entries)
+}
+
 /// Runs the JSON-lines protocol: reads requests from `input` line by line,
 /// executes them on `engine` in order, writes response lines to `output`.
 /// Blank lines are skipped. Returns how many requests succeeded/failed.
@@ -60,18 +143,20 @@ pub fn serve(
             continue;
         }
         let line_number = index + 1;
-        match serve_line(engine, &line, &mut output)? {
+        let outcome = match Request::parse(&line) {
+            Ok(request) => execute(engine, &request, &mut output)?,
+            Err(error) => Err(error),
+        };
+        match outcome {
             Ok(()) => summary.completed += 1,
             Err(error) => {
                 summary.failed += 1;
-                let mut entries =
-                    vec![("type".to_string(), JsonValue::String("error".to_string()))];
-                if let Some(id) = request_id(&line) {
-                    entries.push(("id".to_string(), id));
-                }
-                entries.push(("line".to_string(), JsonValue::UInt(line_number as u64)));
-                entries.push(("message".to_string(), JsonValue::String(error)));
-                writeln!(output, "{}", JsonValue::Object(entries).to_json())?;
+                let id = request_id(&line);
+                writeln!(
+                    output,
+                    "{}",
+                    error_json(id.as_ref(), line_number as u64, &error).to_json()
+                )?;
             }
         }
     }
@@ -79,49 +164,38 @@ pub fn serve(
     Ok(summary)
 }
 
-/// The echoed `id` of a request line, when the line parses far enough to
-/// have one.
-fn request_id(line: &str) -> Option<JsonValue> {
-    parse(line).ok()?.get("id").cloned()
-}
-
-/// Processes one request line; `Err` carries the protocol error message.
-fn serve_line(
+/// Executes one parsed request on `engine`, writing its progress (when
+/// requested) and `result` lines to `output`. A protocol-level failure —
+/// submission rejected, simulation error — is returned as `Err(message)`
+/// for the caller to render with [`error_json`] at the session's line
+/// numbering.
+///
+/// # Errors
+///
+/// Returns I/O errors from the writer.
+pub fn execute(
     engine: &Engine,
-    line: &str,
+    request: &Request,
     output: &mut impl Write,
 ) -> std::io::Result<Result<(), String>> {
-    let value = match parse(line) {
-        Ok(value) => value,
-        Err(e) => return Ok(Err(e.to_string())),
-    };
-    let spec = match JobSpec::from_json(&value) {
-        Ok(spec) => spec,
-        Err(e) => return Ok(Err(e.to_string())),
-    };
-    let id = value.get("id").cloned();
-    let want_progress = value
-        .get("progress")
-        .and_then(JsonValue::as_bool)
-        .unwrap_or(false);
-
-    let mut handle = match engine.submit(spec) {
+    let id = request.id.as_ref();
+    let mut handle = match engine.submit(request.spec.clone()) {
         Ok(handle) => handle,
         Err(e) => return Ok(Err(e.to_string())),
     };
     let receiver = handle.progress();
-    if want_progress {
+    if request.progress {
         if let Some(receiver) = receiver {
             // The channel closes when the job resolves, so this drains the
             // complete, deterministically-ordered event stream.
             for event in receiver.iter() {
-                writeln!(output, "{}", progress_json(&event, id.as_ref()).to_json())?;
+                writeln!(output, "{}", progress_json(&event, id).to_json())?;
             }
         }
     }
     match handle.wait() {
         Ok(reports) => {
-            let result = result_json(&handle, &reports, id.as_ref());
+            let result = result_json(&handle, &reports, id);
             writeln!(output, "{}", result.to_json())?;
             Ok(Ok(()))
         }
@@ -307,6 +381,46 @@ mod tests {
             assert!(line.contains(&format!(r#""chunk":{chunk}"#)), "{line}");
         }
         assert!(lines[4].contains(r#""type":"result""#));
+    }
+
+    #[test]
+    fn request_parses_the_envelope_fields() {
+        let request = Request::parse(
+            r#"{"id":"a","workload":"multimedia","tiles":8,"progress":true,"priority":-2}"#,
+        )
+        .expect("request parses");
+        assert_eq!(request.spec.workload, "multimedia");
+        assert_eq!(request.id, Some(JsonValue::String("a".to_string())));
+        assert!(request.progress);
+        assert_eq!(request.priority, -2);
+
+        let minimal = Request::parse(r#"{"workload":"multimedia"}"#).expect("request parses");
+        assert_eq!(minimal.id, None);
+        assert!(!minimal.progress);
+        assert_eq!(minimal.priority, 0);
+
+        let err = Request::parse(r#"{"workload":"multimedia","priority":"high"}"#).unwrap_err();
+        assert!(err.contains("`priority`"), "{err}");
+        assert!(Request::parse("not json")
+            .unwrap_err()
+            .contains("invalid JSON"));
+    }
+
+    #[test]
+    fn error_json_matches_the_served_error_lines() {
+        let id = JsonValue::UInt(9);
+        let rendered = error_json(Some(&id), 3, "boom").to_json();
+        assert_eq!(
+            rendered,
+            r#"{"type":"error","id":9,"line":3,"message":"boom"}"#
+        );
+        let rendered = error_json(None, 1, "boom").to_json();
+        assert_eq!(rendered, r#"{"type":"error","line":1,"message":"boom"}"#);
+        assert_eq!(
+            request_id(r#"{"id":42,"workload":"nope"}"#),
+            Some(JsonValue::UInt(42))
+        );
+        assert_eq!(request_id("garbage"), None);
     }
 
     #[test]

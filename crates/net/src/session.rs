@@ -1,0 +1,496 @@
+//! One TCP connection = one session: a reader thread that frames lines and
+//! admits jobs, an executor thread that drains the session's priority queue
+//! through the shared [`Engine`](drhw_engine::Engine).
+//!
+//! Transcript ordering contract: parse errors travel *through* the queue as
+//! items at the default priority, so a session that never sets `priority`
+//! gets responses in exact submission order — byte-identical to the
+//! stdin/stdout `engine_serve` front-end. Only admission-control
+//! `rejected` lines and the shutdown acknowledgement are written
+//! immediately by the reader (that immediacy is their point).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use drhw_engine::json::{parse, JsonValue};
+use drhw_engine::{error_json, execute, Request};
+
+use crate::server::Shared;
+use crate::wire::{refused_json, rejected_json, shutdown_ack_json, RejectScope};
+
+/// Extra queued parse-error items tolerated beyond the job quota before the
+/// reader stops queueing them and answers inline — bounds memory against a
+/// client flooding garbage without reading responses.
+const ERROR_QUEUE_SLACK: usize = 32;
+
+enum Payload {
+    Job(Request),
+    Error {
+        id: Option<JsonValue>,
+        message: String,
+    },
+}
+
+struct QueueEntry {
+    priority: i64,
+    seq: u64,
+    line_no: u64,
+    payload: Payload,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    // Max-heap: highest priority first, submission order (lowest seq) on ties.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Default)]
+struct QueueState {
+    heap: BinaryHeap<QueueEntry>,
+    /// Jobs in the heap (excludes queued error items).
+    jobs_queued: usize,
+    /// Jobs popped but not yet terminally answered.
+    executing: usize,
+    reader_done: bool,
+}
+
+#[derive(Default)]
+struct SessionQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+}
+
+/// Serves one accepted connection to completion. Runs on the per-session
+/// thread; spawns the session's executor thread internally. The caller's
+/// active-session accounting is handled by the guard it installed.
+pub(crate) fn serve_connection(shared: &Arc<Shared>, stream: TcpStream, peer: SocketAddr) {
+    let _ = run(shared, stream, peer);
+}
+
+fn run(shared: &Arc<Shared>, stream: TcpStream, peer: SocketAddr) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(shared.config.poll_interval))?;
+    let reader = stream.try_clone()?;
+    let writer = Arc::new(Mutex::new(stream));
+    let queue = Arc::new(SessionQueue::default());
+
+    let executor = {
+        let shared = Arc::clone(shared);
+        let queue = Arc::clone(&queue);
+        let writer = Arc::clone(&writer);
+        thread::Builder::new()
+            .name(format!("drhw-exec-{peer}"))
+            .stack_size(shared.config.session_stack_bytes)
+            .spawn(move || executor_loop(&shared, &queue, &writer))?
+    };
+
+    let outcome = reader_loop(shared, reader, &writer, &queue, &peer.to_string());
+    {
+        let mut state = queue.state.lock().unwrap();
+        state.reader_done = true;
+        queue.cond.notify_all();
+    }
+    // Accepted jobs finish and get their terminal lines before the socket
+    // closes — the drain contract.
+    let _ = executor.join();
+    if let Ok(mut guard) = writer.lock() {
+        let _ = guard.flush();
+        let _ = guard.shutdown(Shutdown::Both);
+    }
+    outcome
+}
+
+/// Writes one complete response line under the session's writer lock.
+fn write_line(writer: &Mutex<TcpStream>, line: &str) -> io::Result<()> {
+    let mut guard = writer.lock().unwrap();
+    guard.write_all(line.as_bytes())?;
+    guard.write_all(b"\n")
+}
+
+/// A [`Write`] adapter handed to [`drhw_engine::execute`]: buffers until a
+/// newline, then emits whole lines under the shared writer lock, so the
+/// reader's immediate `rejected` lines never split a result line.
+struct LineWriter {
+    sink: Arc<Mutex<TcpStream>>,
+    buf: Vec<u8>,
+}
+
+impl Write for LineWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if let Some(pos) = self.buf.iter().rposition(|&b| b == b'\n') {
+            let mut guard = self.sink.lock().unwrap();
+            guard.write_all(&self.buf[..=pos])?;
+            self.buf.drain(..=pos);
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            let mut guard = self.sink.lock().unwrap();
+            guard.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+}
+
+fn executor_loop(shared: &Shared, queue: &SessionQueue, writer: &Arc<Mutex<TcpStream>>) {
+    // Once a write fails the client is gone: remaining queued jobs are
+    // drained without touching the engine so their admission permits free up.
+    let mut dead = false;
+    loop {
+        let entry = {
+            let mut state = queue.state.lock().unwrap();
+            loop {
+                if let Some(entry) = state.heap.pop() {
+                    if matches!(entry.payload, Payload::Job(_)) {
+                        state.jobs_queued -= 1;
+                        state.executing += 1;
+                    }
+                    break Some(entry);
+                }
+                if state.reader_done {
+                    break None;
+                }
+                state = queue.cond.wait(state).unwrap();
+            }
+        };
+        let Some(entry) = entry else { break };
+        match entry.payload {
+            Payload::Error { id, message } => {
+                shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                if !dead {
+                    let line = error_json(id.as_ref(), entry.line_no, &message).to_json();
+                    if write_line(writer, &line).is_err() {
+                        dead = true;
+                    }
+                }
+            }
+            Payload::Job(request) => {
+                if dead {
+                    shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let mut line_writer = LineWriter {
+                        sink: Arc::clone(writer),
+                        buf: Vec::new(),
+                    };
+                    match execute(&shared.engine, &request, &mut line_writer) {
+                        Err(_) => {
+                            dead = true;
+                            shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(Ok(())) => {
+                            shared.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(Err(message)) => {
+                            shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                            let line =
+                                error_json(request.id.as_ref(), entry.line_no, &message).to_json();
+                            if write_line(writer, &line).is_err() {
+                                dead = true;
+                            }
+                        }
+                    }
+                }
+                let mut state = queue.state.lock().unwrap();
+                state.executing -= 1;
+                drop(state);
+                shared.release_pending();
+                queue.cond.notify_all();
+            }
+        }
+    }
+}
+
+fn reader_loop(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    queue: &Arc<SessionQueue>,
+    peer: &str,
+) -> io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let mut line_no: u64 = 0;
+    let mut seq: u64 = 0;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            // Stop taking input; in-flight jobs still get their terminal
+            // lines before the connection closes.
+            let _ = write_line(
+                writer,
+                &refused_json(
+                    "draining",
+                    "server is draining; closing after in-flight jobs complete",
+                )
+                .to_json(),
+            );
+            return Ok(());
+        }
+        let read = match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF: a trailing unterminated line still counts, matching
+                // the stdin front-end's `lines()` behaviour.
+                if !buf.is_empty() {
+                    let line = String::from_utf8_lossy(&buf).into_owned();
+                    line_no += 1;
+                    let _ = process_line(shared, writer, queue, peer, &line, line_no, &mut seq);
+                }
+                return Ok(());
+            }
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        buf.extend_from_slice(&chunk[..read]);
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes[..pos]).into_owned();
+            line_no += 1;
+            if line.len() > shared.config.max_line_bytes {
+                enqueue_oversized_error(shared, queue, &mut seq, line_no);
+                return Ok(());
+            }
+            process_line(shared, writer, queue, peer, &line, line_no, &mut seq)?;
+        }
+        if buf.len() > shared.config.max_line_bytes {
+            // Mid-line overflow: the session cannot resynchronise, so the
+            // error closes the connection (after queued jobs finish).
+            line_no += 1;
+            enqueue_oversized_error(shared, queue, &mut seq, line_no);
+            return Ok(());
+        }
+    }
+}
+
+fn enqueue_oversized_error(shared: &Shared, queue: &SessionQueue, seq: &mut u64, line_no: u64) {
+    let message = format!(
+        "request line exceeds max_line_bytes ({}); closing connection",
+        shared.config.max_line_bytes
+    );
+    push_entry(
+        queue,
+        QueueEntry {
+            priority: 0,
+            seq: next_seq(seq),
+            line_no,
+            payload: Payload::Error { id: None, message },
+        },
+    );
+}
+
+fn next_seq(seq: &mut u64) -> u64 {
+    let value = *seq;
+    *seq += 1;
+    value
+}
+
+fn push_entry(queue: &SessionQueue, entry: QueueEntry) {
+    let mut state = queue.state.lock().unwrap();
+    if matches!(entry.payload, Payload::Job(_)) {
+        state.jobs_queued += 1;
+    }
+    state.heap.push(entry);
+    drop(state);
+    queue.cond.notify_all();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_line(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    queue: &Arc<SessionQueue>,
+    peer: &str,
+    raw: &str,
+    line_no: u64,
+    seq: &mut u64,
+) -> io::Result<()> {
+    let line = raw.strip_suffix('\r').unwrap_or(raw);
+    if line.trim().is_empty() {
+        return Ok(());
+    }
+    let value = match parse(line) {
+        Ok(value) => value,
+        Err(e) => {
+            queue_error(shared, writer, queue, None, line_no, e.to_string(), seq)?;
+            return Ok(());
+        }
+    };
+    if let Some(cmd) = value.get("cmd") {
+        return handle_command(shared, writer, queue, cmd, line_no, seq);
+    }
+    let request = match Request::from_value(&value) {
+        Ok(request) => request,
+        Err(message) => {
+            let id = value.get("id").cloned();
+            queue_error(shared, writer, queue, id, line_no, message, seq)?;
+            return Ok(());
+        }
+    };
+
+    // Admission control: per-client quota first, then the server-wide bound.
+    let quota = shared.config.per_client_quota;
+    let mut state = queue.state.lock().unwrap();
+    if state.jobs_queued + state.executing >= quota {
+        drop(state);
+        shared.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        write_line(
+            writer,
+            &rejected_json(
+                RejectScope::Client,
+                request.id.as_ref(),
+                line_no,
+                peer,
+                quota,
+            )
+            .to_json(),
+        )?;
+        return Ok(());
+    }
+    if !shared.try_acquire_pending() {
+        drop(state);
+        shared.stats.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        write_line(
+            writer,
+            &rejected_json(
+                RejectScope::Server,
+                request.id.as_ref(),
+                line_no,
+                peer,
+                shared.config.max_pending_jobs,
+            )
+            .to_json(),
+        )?;
+        return Ok(());
+    }
+    state.jobs_queued += 1;
+    state.heap.push(QueueEntry {
+        priority: request.priority,
+        seq: next_seq(seq),
+        line_no,
+        payload: Payload::Job(request),
+    });
+    drop(state);
+    queue.cond.notify_all();
+    Ok(())
+}
+
+fn queue_error(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    queue: &SessionQueue,
+    id: Option<JsonValue>,
+    line_no: u64,
+    message: String,
+    seq: &mut u64,
+) -> io::Result<()> {
+    let over_bound = {
+        let state = queue.state.lock().unwrap();
+        state.heap.len() >= shared.config.per_client_quota + ERROR_QUEUE_SLACK
+    };
+    if over_bound {
+        // A garbage flood past the queue bound is answered inline (order be
+        // damned) so queue memory stays bounded.
+        shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        write_line(
+            writer,
+            &error_json(id.as_ref(), line_no, &message).to_json(),
+        )?;
+        return Ok(());
+    }
+    push_entry(
+        queue,
+        QueueEntry {
+            priority: 0,
+            seq: next_seq(seq),
+            line_no,
+            payload: Payload::Error { id, message },
+        },
+    );
+    Ok(())
+}
+
+fn handle_command(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    queue: &Arc<SessionQueue>,
+    cmd: &JsonValue,
+    line_no: u64,
+    seq: &mut u64,
+) -> io::Result<()> {
+    match cmd.as_str() {
+        Some("shutdown") if shared.config.allow_shutdown_command => {
+            shared.begin_drain();
+            write_line(writer, &shutdown_ack_json().to_json())?;
+            // The next reader iteration observes the drain flag and closes.
+            Ok(())
+        }
+        Some("shutdown") => {
+            queue_error(
+                shared,
+                writer,
+                queue,
+                None,
+                line_no,
+                "the shutdown command is disabled on this server".to_string(),
+                seq,
+            )?;
+            Ok(())
+        }
+        Some(other) => {
+            queue_error(
+                shared,
+                writer,
+                queue,
+                None,
+                line_no,
+                format!("unknown command {other:?} (supported: \"shutdown\")"),
+                seq,
+            )?;
+            Ok(())
+        }
+        None => {
+            queue_error(
+                shared,
+                writer,
+                queue,
+                None,
+                line_no,
+                format!("command field `cmd`: expected a string, got {cmd:?}"),
+                seq,
+            )?;
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end test of the `engine_net` binary: boot, serve a session over
+//! a real socket, SIGTERM, graceful drain, exit code 0.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+/// Pulls the bind address out of the `{"type":"listening","addr":"…"}`
+/// line the binary prints first.
+fn listening_addr(line: &str) -> String {
+    let marker = "\"addr\":\"";
+    let start = line.find(marker).expect("listening line names the addr") + marker.len();
+    let end = line[start..].find('"').expect("addr is quoted") + start;
+    line[start..end].to_string()
+}
+
+#[test]
+fn engine_net_drains_and_exits_zero_on_sigterm() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_engine_net"))
+        .env("DRHW_NET_THREADS", "1")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("engine_net spawns");
+    let mut child_out = BufReader::new(child.stdout.take().expect("piped stdout"));
+
+    let mut line = String::new();
+    child_out.read_line(&mut line).expect("listening line");
+    assert!(line.contains("\"type\":\"listening\""), "{line}");
+    let addr = listening_addr(&line);
+
+    // One real session: submit a job, get its result.
+    let mut stream = TcpStream::connect(&addr).expect("client connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    stream
+        .write_all(
+            b"{\"id\":1,\"workload\":\"multimedia\",\"tiles\":4,\"iterations\":2,\
+              \"policies\":[\"no-prefetch\"]}\n",
+        )
+        .expect("submit");
+    let mut session = BufReader::new(stream.try_clone().expect("clone"));
+    let mut result = String::new();
+    session.read_line(&mut result).expect("result line");
+    assert!(result.contains("\"type\":\"result\""), "{result}");
+    assert!(result.contains("\"id\":1"), "{result}");
+
+    // SIGTERM (kill's default signal) must start a graceful drain.
+    let killed = Command::new("kill")
+        .arg(child.id().to_string())
+        .status()
+        .expect("kill runs");
+    assert!(killed.success());
+
+    // The open session is told the server is draining, then closed.
+    let mut rest = Vec::new();
+    session
+        .get_mut()
+        .read_to_end(&mut rest)
+        .expect("drain closes the session");
+    let rest = String::from_utf8(rest).expect("UTF-8");
+    assert!(
+        rest.contains("\"reason\":\"draining\""),
+        "drain notice on the open session: {rest:?}"
+    );
+    drop(session);
+    drop(stream);
+
+    // The binary prints its stats line and exits 0.
+    let mut tail = String::new();
+    child_out.read_to_string(&mut tail).expect("stats line");
+    assert!(tail.contains("\"type\":\"stats\""), "{tail}");
+    assert!(tail.contains("\"jobs_completed\":1"), "{tail}");
+    let status = child.wait().expect("child exits");
+    assert_eq!(status.code(), Some(0), "graceful drain exits 0");
+}

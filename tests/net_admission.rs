@@ -1,0 +1,268 @@
+//! Admission-control contract of the TCP serving tier: per-client quotas,
+//! the server-wide pending bound, the shape of the structured `rejected`
+//! line, and the guarantee that engine errors cross the wire with exactly
+//! the rendering the stdin/stdout front-end produces (`EngineError`
+//! `Display` round-trip).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use drhw_engine::Engine;
+use drhw_net::{Server, ServerConfig};
+
+/// A job heavy enough (hundreds of milliseconds on one worker) that it is
+/// still queued or executing when the follow-up submits of a test arrive.
+fn heavy_job(id: u64) -> String {
+    format!(
+        "{{\"id\":{id},\"workload\":\"multimedia\",\"tiles\":8,\"iterations\":200000,\
+         \"policies\":[\"hybrid\"]}}\n"
+    )
+}
+
+/// A job that completes in a few milliseconds.
+fn light_job(id: u64) -> String {
+    format!(
+        "{{\"id\":{id},\"workload\":\"multimedia\",\"tiles\":4,\"iterations\":2,\
+         \"policies\":[\"no-prefetch\"]}}\n"
+    )
+}
+
+fn start(config: ServerConfig) -> Server {
+    let engine = Arc::new(Engine::builder().threads(1).build());
+    Server::start(engine, config).expect("server binds")
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("client connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    stream
+}
+
+/// Reads every response line until the server closes the connection.
+fn read_lines(mut stream: TcpStream) -> Vec<String> {
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .expect("server closes the connection instead of hanging");
+    String::from_utf8(raw)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn over_quota_submits_get_an_immediate_client_scoped_rejection() {
+    let server = start(ServerConfig {
+        per_client_quota: 1,
+        ..ServerConfig::default()
+    });
+    let mut stream = connect(server.local_addr());
+    let client = stream.local_addr().expect("local addr").to_string();
+
+    // Both submits land in one write: the first occupies the only quota
+    // slot (and runs for hundreds of milliseconds), so the second must be
+    // bounced by the reader before the first job's result exists.
+    let batch = format!("{}{}", heavy_job(1), heavy_job(2));
+    stream.write_all(batch.as_bytes()).expect("submit batch");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+
+    let lines = read_lines(stream);
+    assert_eq!(lines.len(), 2, "one rejection + one result: {lines:?}");
+
+    // The rejection is immediate and precedes the accepted job's result.
+    let rejected = &lines[0];
+    assert!(rejected.contains("\"type\":\"rejected\""), "{rejected}");
+    assert!(rejected.contains("\"id\":2"), "echoes the id: {rejected}");
+    assert!(
+        rejected.contains("\"line\":2"),
+        "names the line: {rejected}"
+    );
+    assert!(rejected.contains("\"scope\":\"client\""), "{rejected}");
+    assert!(
+        rejected.contains("\"limit\":1"),
+        "names the quota: {rejected}"
+    );
+    assert!(
+        rejected.contains(&format!("\"client\":\"{client}\"")),
+        "names the client: {rejected}"
+    );
+
+    assert!(lines[1].contains("\"type\":\"result\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"id\":1"), "{}", lines[1]);
+
+    let stats = server.stats();
+    assert_eq!(stats.jobs_rejected, 1);
+    assert_eq!(stats.jobs_completed, 1);
+
+    server.handle().shutdown();
+    server.join();
+}
+
+#[test]
+fn quota_slots_free_as_jobs_finish() {
+    let server = start(ServerConfig {
+        per_client_quota: 1,
+        ..ServerConfig::default()
+    });
+    let stream = connect(server.local_addr());
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Serially submitting N jobs on a quota-1 session never trips the
+    // quota: each completed job frees its slot.
+    for id in 1..=3u64 {
+        writer.write_all(light_job(id).as_bytes()).expect("submit");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response");
+        assert!(line.contains("\"type\":\"result\""), "{line}");
+        assert!(line.contains(&format!("\"id\":{id}")), "{line}");
+    }
+    drop(writer);
+    drop(reader);
+
+    let stats = server.stats();
+    assert_eq!(stats.jobs_rejected, 0);
+    assert_eq!(stats.jobs_completed, 3);
+
+    server.handle().shutdown();
+    server.join();
+}
+
+#[test]
+fn the_server_wide_pending_bound_rejects_with_server_scope() {
+    let server = start(ServerConfig {
+        per_client_quota: 2,
+        max_pending_jobs: 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Session A fills the server-wide bound: one heavy job executing, one
+    // queued behind it on the single engine worker.
+    let mut filler = connect(addr);
+    let batch = format!("{}{}", heavy_job(1), heavy_job(2));
+    filler.write_all(batch.as_bytes()).expect("fill the bound");
+
+    // Give the reader thread a moment to enqueue both; the jobs themselves
+    // hold the bound for hundreds of milliseconds.
+    thread::sleep(Duration::from_millis(100));
+
+    // Session B is within its own quota but the server is full.
+    let mut probe = connect(addr);
+    probe
+        .write_all(light_job(7).as_bytes())
+        .expect("probe submit");
+    probe.shutdown(Shutdown::Write).expect("half-close");
+    let probe_lines = read_lines(probe);
+    assert_eq!(probe_lines.len(), 1, "{probe_lines:?}");
+    let rejected = &probe_lines[0];
+    assert!(rejected.contains("\"type\":\"rejected\""), "{rejected}");
+    assert!(rejected.contains("\"id\":7"), "{rejected}");
+    assert!(rejected.contains("\"scope\":\"server\""), "{rejected}");
+    assert!(
+        rejected.contains("\"limit\":2"),
+        "names the bound: {rejected}"
+    );
+
+    // Session A is unaffected: both of its jobs complete.
+    filler.shutdown(Shutdown::Write).expect("half-close");
+    let filler_lines = read_lines(filler);
+    let results = filler_lines
+        .iter()
+        .filter(|l| l.contains("\"type\":\"result\""))
+        .count();
+    assert_eq!(results, 2, "{filler_lines:?}");
+
+    let stats = server.stats();
+    assert_eq!(stats.jobs_rejected, 1);
+    assert_eq!(stats.jobs_completed, 2);
+
+    server.handle().shutdown();
+    server.join();
+}
+
+#[test]
+fn engine_errors_cross_the_wire_exactly_as_the_stdin_front_end_renders_them() {
+    // The reference rendering: the same request through the in-process
+    // stdin/stdout front-end (`drhw_engine::serve`).
+    let request = "{\"id\":9,\"workload\":\"warp-drive\"}\n";
+    let engine = Arc::new(Engine::builder().threads(1).build());
+    let mut reference = Vec::new();
+    drhw_engine::serve(&engine, request.as_bytes(), &mut reference).expect("reference session");
+    let reference = String::from_utf8(reference).expect("UTF-8");
+    let reference_line = reference.lines().next().expect("one error line");
+    assert!(
+        reference_line.contains("\"type\":\"error\""),
+        "{reference_line}"
+    );
+
+    // The same request over TCP must produce the byte-identical line —
+    // the `EngineError` `Display` rendering survives the JSON round-trip.
+    let server = Server::start(Arc::clone(&engine), ServerConfig::default()).expect("bind");
+    let mut stream = connect(server.local_addr());
+    stream.write_all(request.as_bytes()).expect("submit");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let lines = read_lines(stream);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert_eq!(lines[0], reference_line);
+
+    let stats = server.stats();
+    assert_eq!(stats.jobs_failed, 1);
+    assert_eq!(stats.jobs_completed, 0);
+
+    server.handle().shutdown();
+    server.join();
+}
+
+#[test]
+fn connections_beyond_the_limit_are_refused_with_a_structured_reason() {
+    let server = start(ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Occupy the only slot and prove it is live.
+    let mut occupant = connect(addr);
+    occupant
+        .write_all(light_job(1).as_bytes())
+        .expect("occupant submits");
+    let mut reader = BufReader::new(occupant.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("occupant result");
+    assert!(line.contains("\"type\":\"result\""), "{line}");
+
+    // The next connection is turned away immediately.
+    let extra = connect(addr);
+    let extra_lines = read_lines(extra);
+    assert_eq!(extra_lines.len(), 1, "{extra_lines:?}");
+    assert!(
+        extra_lines[0].contains("\"type\":\"rejected\""),
+        "{}",
+        extra_lines[0]
+    );
+    assert!(
+        extra_lines[0].contains("\"scope\":\"connection\""),
+        "{}",
+        extra_lines[0]
+    );
+    assert!(
+        extra_lines[0].contains("\"reason\":\"connection-limit\""),
+        "{}",
+        extra_lines[0]
+    );
+
+    drop(reader);
+    drop(occupant);
+    let handle = server.handle();
+    handle.shutdown();
+    let stats = server.join();
+    assert_eq!(stats.connections_served, 1);
+    assert!(stats.connections_refused >= 1);
+}

@@ -1,0 +1,104 @@
+//! Concurrency determinism of the serving tier: N clients replaying the
+//! golden session concurrently against one shared engine each receive a
+//! per-session transcript byte-identical to the stdin/stdout front-end's
+//! output, whatever the engine worker count and however the sessions
+//! interleave.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use drhw_engine::Engine;
+use drhw_net::{Server, ServerConfig};
+
+const INPUT: &str = include_str!("golden/engine_serve_session.in.jsonl");
+const EXPECTED: &str = include_str!("golden/engine_serve_session.out.jsonl");
+
+const CLIENTS: usize = 8;
+
+/// The golden transcript after the plan cache is warm. The `cache` marker
+/// is the only part of a response that depends on *global* submission order
+/// across sessions, so the test pre-warms the cache and normalises the
+/// expectation; everything else must match byte-for-byte.
+fn expected_after_warm() -> String {
+    EXPECTED.replace("\"cache\":\"miss\"", "\"cache\":\"hit\"")
+}
+
+fn run_session(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("client connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(180)))
+        .expect("read timeout");
+    stream
+        .write_all(INPUT.as_bytes())
+        .expect("replay the golden session");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut transcript = String::new();
+    stream
+        .read_to_string(&mut transcript)
+        .expect("server closes the session instead of hanging");
+    transcript
+}
+
+#[test]
+fn concurrent_sessions_replay_the_golden_transcript_byte_identically() {
+    // The engine worker count must not leak into any session's transcript:
+    // the same battery runs on a single worker and on four.
+    for threads in [1usize, 4] {
+        let engine = Arc::new(Engine::builder().threads(threads).build());
+
+        // Warm the plan cache through the in-process front-end so every
+        // TCP session sees the same cache markers regardless of which
+        // connection's job lands first.
+        let mut warm = Vec::new();
+        drhw_engine::serve(&engine, INPUT.as_bytes(), &mut warm).expect("warm-up session");
+
+        let server =
+            Server::start(Arc::clone(&engine), ServerConfig::default()).expect("server binds");
+        let addr = server.local_addr();
+        let expected = expected_after_warm();
+
+        // Release every client at once to maximise interleaving.
+        let barrier = Arc::new(Barrier::new(CLIENTS));
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                thread::spawn(move || {
+                    barrier.wait();
+                    run_session(addr)
+                })
+            })
+            .collect();
+
+        for (client, worker) in workers.into_iter().enumerate() {
+            let transcript = worker.join().expect("client thread");
+            assert_eq!(
+                transcript, expected,
+                "client {client} diverged from the golden transcript (threads={threads})"
+            );
+        }
+
+        server.handle().shutdown();
+        let stats = server.join();
+        assert_eq!(stats.connections_served, CLIENTS as u64);
+        // Four jobs complete and one fails per golden session.
+        assert_eq!(stats.jobs_completed, (CLIENTS * 4) as u64);
+        assert_eq!(stats.jobs_failed, CLIENTS as u64);
+        assert_eq!(stats.jobs_rejected, 0);
+    }
+}
+
+#[test]
+fn a_single_tcp_session_matches_the_stdin_front_end_without_warming() {
+    // With exactly one session there is no cross-session cache traffic, so
+    // the raw golden transcript (misses included) must match byte-for-byte
+    // — the serving tier adds nothing and loses nothing.
+    let engine = Arc::new(Engine::builder().threads(1).build());
+    let server = Server::start(engine, ServerConfig::default()).expect("server binds");
+    let transcript = run_session(server.local_addr());
+    assert_eq!(transcript, EXPECTED);
+    server.handle().shutdown();
+    server.join();
+}

@@ -1,0 +1,195 @@
+//! The drain/shutdown contract of the serving tier: once a drain begins,
+//! new connections are refused with a structured reason, every job the
+//! server already accepted still gets exactly one terminal line, every
+//! session is flushed and closed, and `Server::join` returns (the library
+//! analogue of the `engine_net` binary exiting 0).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use drhw_engine::Engine;
+use drhw_net::{Server, ServerConfig};
+
+/// Runs long enough (hundreds of milliseconds on one worker) that the
+/// drain begins while it is still in flight.
+fn heavy_job(id: u64) -> String {
+    format!(
+        "{{\"id\":{id},\"workload\":\"multimedia\",\"tiles\":8,\"iterations\":200000,\
+         \"policies\":[\"hybrid\"]}}\n"
+    )
+}
+
+fn light_job(id: u64) -> String {
+    format!(
+        "{{\"id\":{id},\"workload\":\"multimedia\",\"tiles\":4,\"iterations\":2,\
+         \"policies\":[\"no-prefetch\"]}}\n"
+    )
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("client connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    stream
+}
+
+fn terminal_lines_for(lines: &[String], id: u64) -> usize {
+    lines
+        .iter()
+        .filter(|l| {
+            (l.contains("\"type\":\"result\"") || l.contains("\"type\":\"error\""))
+                && l.contains(&format!("\"id\":{id}"))
+        })
+        .count()
+}
+
+#[test]
+fn drain_finishes_accepted_jobs_and_refuses_late_connections() {
+    let engine = Arc::new(Engine::builder().threads(1).build());
+    let server = Server::start(engine, ServerConfig::default()).expect("server binds");
+    let addr = server.local_addr();
+
+    // One executing job (id 1) and one queued behind it (id 2) when the
+    // drain begins.
+    let session = connect(addr);
+    let mut writer = session.try_clone().expect("clone");
+    let mut reader = BufReader::new(session);
+    writer
+        .write_all(format!("{}{}", heavy_job(1), heavy_job(2)).as_bytes())
+        .expect("submit batch");
+
+    // Reading the first result proves both submits were accepted (the
+    // reader thread enqueued line 2 long before job 1 finished).
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("first result");
+    assert!(first.contains("\"type\":\"result\""), "{first}");
+    assert!(first.contains("\"id\":1"), "{first}");
+
+    server.handle().shutdown();
+
+    // A connection arriving mid-drain is refused with a structured reason,
+    // then closed.
+    let late = connect(addr);
+    let mut late_raw = Vec::new();
+    let mut late = late;
+    late.read_to_end(&mut late_raw).expect("refusal then close");
+    let late_text = String::from_utf8(late_raw).expect("UTF-8");
+    let late_lines: Vec<&str> = late_text.lines().collect();
+    assert_eq!(late_lines.len(), 1, "{late_lines:?}");
+    assert!(
+        late_lines[0].contains("\"type\":\"rejected\""),
+        "{}",
+        late_lines[0]
+    );
+    assert!(
+        late_lines[0].contains("\"scope\":\"connection\""),
+        "{}",
+        late_lines[0]
+    );
+    assert!(
+        late_lines[0].contains("\"reason\":\"draining\""),
+        "{}",
+        late_lines[0]
+    );
+
+    // The already-accepted job still completes — exactly one terminal line
+    // — the session is told the server is draining, and then closed.
+    let mut rest_raw = Vec::new();
+    reader
+        .get_mut()
+        .read_to_end(&mut rest_raw)
+        .expect("drain flushes and closes the session");
+    let rest_text = String::from_utf8(rest_raw).expect("UTF-8");
+    let mut lines: Vec<String> = vec![first.trim_end().to_owned()];
+    lines.extend(rest_text.lines().map(str::to_owned));
+    assert_eq!(terminal_lines_for(&lines, 1), 1, "{lines:?}");
+    assert_eq!(terminal_lines_for(&lines, 2), 1, "{lines:?}");
+    assert!(
+        lines.iter().any(|l| l.contains("\"reason\":\"draining\"")),
+        "the open session is told about the drain: {lines:?}"
+    );
+    drop(writer);
+
+    // join() returning is the library-level "exit 0".
+    let stats = server.join();
+    assert_eq!(stats.jobs_completed, 2);
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(stats.connections_served, 1);
+    assert!(stats.connections_refused >= 1);
+}
+
+#[test]
+fn the_wire_shutdown_command_acks_then_drains() {
+    let engine = Arc::new(Engine::builder().threads(1).build());
+    let server = Server::start(engine, ServerConfig::default()).expect("server binds");
+    let addr = server.local_addr();
+
+    let mut stream = connect(addr);
+    stream
+        .write_all(format!("{}{{\"cmd\":\"shutdown\"}}\n", light_job(1)).as_bytes())
+        .expect("job then shutdown command");
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .expect("drain closes the session");
+    let text = String::from_utf8(raw).expect("UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"shutdown\"") && l.contains("\"draining\":true")),
+        "the command is acknowledged: {lines:?}"
+    );
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"type\":\"result\"") && l.contains("\"id\":1"))
+            .count(),
+        1,
+        "the job submitted before the command still completes: {lines:?}"
+    );
+
+    let stats = server.join();
+    assert_eq!(stats.jobs_completed, 1);
+}
+
+#[test]
+fn disabling_the_wire_shutdown_command_keeps_the_server_up() {
+    let engine = Arc::new(Engine::builder().threads(1).build());
+    let config = ServerConfig {
+        allow_shutdown_command: false,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, config).expect("server binds");
+    let addr = server.local_addr();
+
+    let mut stream = connect(addr);
+    stream
+        .write_all(b"{\"cmd\":\"shutdown\"}\n")
+        .expect("forbidden command");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("session closes");
+    let text = String::from_utf8(raw).expect("UTF-8");
+    assert!(
+        text.contains("\"type\":\"error\""),
+        "a structured error, not a drain: {text}"
+    );
+    assert!(!server.handle().is_draining());
+
+    // The server still serves new sessions afterwards.
+    let mut probe = connect(addr);
+    probe.write_all(light_job(5).as_bytes()).expect("probe job");
+    probe.shutdown(Shutdown::Write).expect("half-close");
+    let mut probe_raw = Vec::new();
+    probe.read_to_end(&mut probe_raw).expect("probe closes");
+    let probe_text = String::from_utf8(probe_raw).expect("UTF-8");
+    assert!(probe_text.contains("\"type\":\"result\""), "{probe_text}");
+
+    server.handle().shutdown();
+    server.join();
+}

@@ -1,0 +1,216 @@
+//! Byte-level fuzz of the serving tier's session protocol. Each case takes
+//! the golden session bytes, applies a seeded mutation — truncation
+//! (mid-line disconnect), garbage injection, byte flips, an oversized
+//! line, or a slow-loris dribble — and replays it against a live server.
+//! The contract: every response line is structured JSON of a known type,
+//! the connection always closes (no hangs), the server never panics, and
+//! a well-formed canary session afterwards still round-trips (no
+//! cross-session corruption).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+use drhw_engine::Engine;
+use drhw_net::{Server, ServerConfig};
+use proptest::prelude::*;
+
+const GOLDEN: &str = include_str!("golden/engine_serve_session.in.jsonl");
+
+/// Every line the serving tier may legally emit.
+const KNOWN_TYPES: [&str; 5] = ["result", "progress", "error", "rejected", "shutdown"];
+
+/// One server shared by every fuzz case: surviving all of them on a single
+/// engine is the cross-session-isolation claim under test. The wire
+/// shutdown command is disabled so no mutation can drain it mid-battery.
+fn server_addr() -> SocketAddr {
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    SERVER
+        .get_or_init(|| {
+            let engine = Arc::new(Engine::builder().threads(2).build());
+            let config = ServerConfig {
+                max_line_bytes: 4096,
+                allow_shutdown_command: false,
+                ..ServerConfig::default()
+            };
+            Server::start(engine, config).expect("fuzz server binds")
+        })
+        .local_addr()
+}
+
+/// SplitMix64 — deterministic per-case byte source.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+const TRUNCATE: usize = 0;
+const GARBAGE: usize = 1;
+const FLIP: usize = 2;
+const OVERSIZED: usize = 3;
+const SLOW_LORIS: usize = 4;
+
+fn mutate(seed: u64, strategy: usize) -> Vec<u8> {
+    let mut rng = Rng(seed.wrapping_mul(2) | 1);
+    let mut bytes = GOLDEN.as_bytes().to_vec();
+    match strategy {
+        TRUNCATE => {
+            // Mid-line disconnect: the client vanishes part-way through.
+            bytes.truncate(rng.below(bytes.len()));
+        }
+        GARBAGE => {
+            let at = rng.below(bytes.len());
+            let garbage: Vec<u8> = (0..1 + rng.below(64))
+                .map(|_| (rng.next() & 0xff) as u8)
+                .collect();
+            bytes.splice(at..at, garbage);
+        }
+        FLIP => {
+            for _ in 0..1 + rng.below(16) {
+                let at = rng.below(bytes.len());
+                bytes[at] ^= 1 + (rng.next() % 255) as u8;
+            }
+        }
+        OVERSIZED => {
+            // A line twice the server's limit, spliced in at a line
+            // boundary; the session must answer with a structured error
+            // and close rather than buffer without bound.
+            let mut line = vec![b'{'; 8192];
+            line.push(b'\n');
+            let at = rng.below(bytes.len());
+            let boundary = bytes[..at]
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |p| p + 1);
+            bytes.splice(boundary..boundary, line);
+        }
+        _ => {}
+    }
+    bytes
+}
+
+/// Replays a mutated payload and collects every response line until the
+/// server closes the connection. Write errors are expected (the server is
+/// allowed to close first, e.g. on an oversized line); hangs are not.
+fn exercise(addr: SocketAddr, payload: &[u8], strategy: usize) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("fuzz client connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    if strategy == SLOW_LORIS {
+        // Dribble the start of the session one byte at a time, then
+        // vanish mid-line without closing cleanly.
+        for chunk in payload.iter().take(80) {
+            if stream.write_all(std::slice::from_ref(chunk)).is_err() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        return Vec::new();
+    }
+    let _ = stream.write_all(payload);
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .expect("the session always ends in a close, never a hang");
+    String::from_utf8_lossy(&raw)
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+/// A well-formed session against the same server; proves the previous
+/// case corrupted nothing shared.
+fn canary(addr: SocketAddr) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("canary connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    stream
+        .write_all(
+            b"{\"id\":77,\"workload\":\"multimedia\",\"tiles\":4,\"iterations\":2,\
+              \"policies\":[\"no-prefetch\"]}\n",
+        )
+        .expect("canary submits");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("canary closes");
+    String::from_utf8_lossy(&raw)
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mutated_sessions_never_hang_panic_or_corrupt_the_server(
+        seed in 0u64..(1 << 48),
+        strategy in 0usize..5,
+    ) {
+        let addr = server_addr();
+        let payload = mutate(seed, strategy);
+        let lines = exercise(addr, &payload, strategy);
+
+        // Whatever came back is structured JSON of a known type, one
+        // object per line.
+        for line in &lines {
+            prop_assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "non-JSON response line: {line:?}"
+            );
+            prop_assert!(
+                KNOWN_TYPES
+                    .iter()
+                    .any(|t| line.contains(&format!("\"type\":\"{t}\""))),
+                "unknown response type: {line:?}"
+            );
+        }
+
+        // The server survived: a fresh well-formed session round-trips.
+        let canary_lines = canary(addr);
+        prop_assert_eq!(canary_lines.len(), 1, "canary transcript: {:?}", &canary_lines);
+        prop_assert!(
+            canary_lines[0].contains("\"type\":\"result\"")
+                && canary_lines[0].contains("\"id\":77"),
+            "canary got {:?}",
+            &canary_lines[0]
+        );
+    }
+}
+
+#[test]
+fn an_oversized_line_gets_a_structured_error_then_a_close() {
+    // The deterministic spine of the OVERSIZED strategy: a single line
+    // over the limit, nothing else.
+    let addr = server_addr();
+    let mut payload = vec![b'{'; 8192];
+    payload.push(b'\n');
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let _ = stream.write_all(&payload);
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("close, not hang");
+    let text = String::from_utf8_lossy(&raw);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].contains("\"type\":\"error\""), "{}", lines[0]);
+}

@@ -1,4 +1,4 @@
-//! Golden snapshot of the `BENCH_results.json` schema (version 6) and of
+//! Golden snapshot of the `BENCH_results.json` schema (version 7) and of
 //! the `engine_serve` wire schema (`JobSpec` requests, result objects).
 //!
 //! `render_results_json` and the serve protocol are hand-rolled (no JSON
@@ -10,7 +10,7 @@
 //! snapshot in the same commit.
 
 use drhw_bench::experiments::policy_overhead_reports;
-use drhw_bench::report::{render_results_json, PlanCacheBlock, RunTiming};
+use drhw_bench::report::{render_results_json, PlanCacheBlock, RunTiming, ServingBlock};
 use drhw_bench::stages::{KERNEL_NAMES, STAGE_NAMES};
 use drhw_engine::{json, JobSpec};
 use drhw_prefetch::PolicyKind;
@@ -37,8 +37,8 @@ fn is_number(raw: &str) -> bool {
     raw.parse::<f64>().is_ok()
 }
 
-/// The exact top-level key order of schema v6.
-const TOP_LEVEL_V6: [&str; 12] = [
+/// The exact top-level key order of schema v7.
+const TOP_LEVEL_V7: [&str; 13] = [
     "iterations",
     "tiles",
     "policy_overhead_percent",
@@ -50,11 +50,12 @@ const TOP_LEVEL_V6: [&str; 12] = [
     "policy_iterations_per_sec",
     "kernel_ns",
     "plan_cache",
+    "serving",
     "schema_version",
 ];
 
 #[test]
-fn bench_results_schema_v6_golden_snapshot() {
+fn bench_results_schema_v7_golden_snapshot() {
     let engine = drhw_engine::Engine::builder().build();
     let reports = policy_overhead_reports(&engine, 2, 1, 8).expect("simulation runs");
     let policies = [
@@ -86,6 +87,13 @@ fn bench_results_schema_v6_golden_snapshot() {
             disk_hits: 1,
             amortized_prepare_ms: 0.5,
         }),
+        serving: Some(ServingBlock {
+            clients: 16,
+            jobs: 32,
+            jobs_per_sec: 123.5,
+            p50_ms: 1.5,
+            p99_ms: 9.0,
+        }),
     };
     let json = render_results_json(&reports, &timing);
     let entries = keys_with_indent(&json);
@@ -97,8 +105,8 @@ fn bench_results_schema_v6_golden_snapshot() {
         .map(|(_, key, _)| key.as_str())
         .collect();
     assert_eq!(
-        top, TOP_LEVEL_V6,
-        "schema v6 top-level keys changed — bump schema_version and update this snapshot"
+        top, TOP_LEVEL_V7,
+        "schema v7 top-level keys changed — bump schema_version and update this snapshot"
     );
 
     // Scalar top-level values are numbers; containers are objects.
@@ -111,10 +119,11 @@ fn bench_results_schema_v6_golden_snapshot() {
             | "stage_ms"
             | "policy_iterations_per_sec"
             | "kernel_ns"
-            | "plan_cache" => {
+            | "plan_cache"
+            | "serving" => {
                 assert_eq!(raw, "{", "{key} must be an object");
             }
-            "schema_version" => assert_eq!(raw, "6", "this snapshot pins schema v6"),
+            "schema_version" => assert_eq!(raw, "7", "this snapshot pins schema v7"),
             _ => assert!(is_number(raw), "{key} must be a number, got {raw:?}"),
         }
     }
@@ -137,6 +146,31 @@ fn bench_results_schema_v6_golden_snapshot() {
     assert!(cache_block.contains("\"hits\": 4"));
     assert!(cache_block.contains("\"disk_hits\": 1"));
     assert!(cache_block.contains("\"amortized_prepare_ms\": 0.5000"));
+
+    // The serving block (new in v7): exactly the swarm size, job count and
+    // latency/throughput summary the loadgen emits.
+    let serving_start = json.find("\"serving\": {").expect("serving block present");
+    let serving_block = &json[serving_start
+        ..json[serving_start..]
+            .find('}')
+            .map(|end| serving_start + end)
+            .expect("serving block closes")];
+    let serving_entries = keys_with_indent(serving_block);
+    let serving_keys: Vec<&str> = serving_entries
+        .iter()
+        .filter(|(indent, _, _)| *indent == 4)
+        .map(|(_, key, _)| key.as_str())
+        .collect();
+    assert_eq!(
+        serving_keys,
+        ["clients", "jobs", "jobs_per_sec", "p50_ms", "p99_ms"],
+        "serving block keys changed — the loadgen summary and CI scrapers pin these"
+    );
+    assert!(serving_block.contains("\"clients\": 16"));
+    assert!(serving_block.contains("\"jobs\": 32"));
+    assert!(serving_block.contains("\"jobs_per_sec\": 123.5000"));
+    assert!(serving_block.contains("\"p50_ms\": 1.5000"));
+    assert!(serving_block.contains("\"p99_ms\": 9.0000"));
 
     // Both policy maps carry exactly the five policy names, each numeric.
     let nested: Vec<(&str, &str)> = entries
@@ -243,13 +277,15 @@ fn schema_snapshot_also_holds_for_absent_measurements() {
     // Without reports the iteration/tile header is absent, but everything
     // else — including the speedup, stage, throughput and plan-cache blocks
     // — survives.
-    assert_eq!(top, &TOP_LEVEL_V6[2..]);
+    assert_eq!(top, &TOP_LEVEL_V7[2..]);
     assert!(json.contains("\"sequential_over_parallel\": null"));
     assert!(json.contains("\"stage_ms\": {\n  }"));
     assert!(json.contains("\"policy_iterations_per_sec\": {\n  }"));
     assert!(json.contains("\"kernel_ns\": {\n  }"));
     assert!(json.contains("\"hits\": 0"));
-    assert!(json.ends_with("\"schema_version\": 6\n}\n"));
+    assert!(json.contains("\"clients\": 0"));
+    assert!(json.contains("\"jobs_per_sec\": 0.0000"));
+    assert!(json.ends_with("\"schema_version\": 7\n}\n"));
 }
 
 /// The exact key order of a `JobSpec` with every field set, as put on the
