@@ -1,12 +1,21 @@
 //! JSON-lines serving front-end over the job engine.
 //!
-//! Reads one [`JobSpec`](drhw_engine::JobSpec) JSON object per stdin line
-//! and writes result/progress/error JSON lines to stdout (protocol:
+//! Reads one request JSON object per stdin line and writes
+//! result/progress/error JSON lines to stdout (protocol:
 //! [`drhw_engine::serve`]). A session's output is byte-for-byte
-//! reproducible, which is how CI diffs it against a golden transcript.
+//! reproducible, which is how CI diffs it against the two golden
+//! transcripts (v1 and v2).
+//!
+//! Requests come in two envelope versions — the flat v1 form (a
+//! [`JobSpec`](drhw_engine::JobSpec) with the `id`/`priority`/`progress`
+//! framing fields mixed in, implicit `v:1`) and the versioned v2 form
+//! wrapping the same spec — plus the introspection commands
+//! `{"cmd":"list_workloads"}` and `{"cmd":"describe_spec"}`:
 //!
 //! ```text
-//! echo '{"workload":"multimedia","tiles":8,"iterations":100}' \
+//! printf '%s\n%s\n' \
+//!   '{"workload":"multimedia","tiles":8,"iterations":100}' \
+//!   '{"v":2,"id":7,"spec":{"workload":"multimedia","tiles":8,"iterations":100}}' \
 //!   | cargo run --release -p drhw-engine --bin engine_serve
 //! ```
 //!

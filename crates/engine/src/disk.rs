@@ -324,7 +324,7 @@ pub(crate) fn decode_entry(text: &str, key: &PlanKey, fingerprint: u64) -> Optio
 }
 
 /// 64-bit FNV-1a over a byte string (the entry checksum).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &byte in bytes {
         hash ^= u64::from(byte);

@@ -39,11 +39,41 @@ pub enum EngineError {
         /// Why it was rejected (names the offending input).
         reason: String,
     },
+    /// A spec object carried a field no parser knows. Silently ignoring it
+    /// would turn a typo (`"chunk_sizes"`) into a silently-defaulted knob,
+    /// so the parsers reject strictly and suggest the closest valid name.
+    UnknownField {
+        /// What was being parsed ("job spec", "experiment spec", …).
+        context: &'static str,
+        /// The unrecognised field name, exactly as it appeared.
+        field: String,
+        /// The valid field name nearest to the offending one (by edit
+        /// distance).
+        nearest: String,
+    },
+    /// A spec object carried the same field twice. The parser reads the
+    /// first occurrence, so a duplicate means part of the input would be
+    /// silently dropped — rejected instead.
+    DuplicateField {
+        /// What was being parsed ("job spec", "experiment spec", …).
+        context: &'static str,
+        /// The duplicated field name.
+        field: String,
+    },
     /// The job was cancelled (via [`JobHandle::cancel`](crate::JobHandle::cancel)
     /// or an engine shutdown) before it completed.
     Cancelled {
         /// The id of the cancelled job.
         job: JobId,
+    },
+    /// A sweep session failed outside the simulation itself: the output
+    /// directory could not be written, an existing session belongs to a
+    /// different spec, or the result log is corrupt beyond recovery.
+    Sweep {
+        /// What the sweep was doing (usually names the offending path).
+        context: String,
+        /// Why it failed.
+        reason: String,
     },
 }
 
@@ -57,8 +87,29 @@ impl fmt::Display for EngineError {
             EngineError::InvalidSpec { field, reason } => {
                 write!(f, "job spec field `{field}`: {reason}")
             }
+            EngineError::UnknownField {
+                context,
+                field,
+                nearest,
+            } => {
+                write!(
+                    f,
+                    "{context} field `{field}` is not recognised; \
+                     nearest valid field: `{nearest}`"
+                )
+            }
+            EngineError::DuplicateField { context, field } => {
+                write!(
+                    f,
+                    "{context} field `{field}` appears more than once; \
+                     each field may be given at most once"
+                )
+            }
             EngineError::Cancelled { job } => {
                 write!(f, "job {job} was cancelled before it completed")
+            }
+            EngineError::Sweep { context, reason } => {
+                write!(f, "sweep session ({context}): {reason}")
             }
         }
     }

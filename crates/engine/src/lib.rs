@@ -55,10 +55,19 @@ mod job;
 pub mod json;
 pub mod serve;
 mod spec;
+pub mod sweep;
 
 pub use cache::CacheStats;
 pub use engine::{Engine, EngineBuilder, DEFAULT_CACHE_CAPACITY};
 pub use error::EngineError;
 pub use job::{JobHandle, JobId, JobResult, ProgressEvent};
-pub use serve::{error_json, execute, request_id, serve, Request, ServeSummary};
-pub use spec::{parse_point_selection, point_selection_name, ConfigOverrides, JobSpec};
+pub use serve::{
+    command_reply, error_json, execute, parse_command, request_id, serve, spec_schema_json,
+    workloads_json, Command, Request, ServeSummary, ENVELOPE_V1_FIELDS, ENVELOPE_V2_FIELDS,
+    SHUTDOWN_DISABLED_MESSAGE,
+};
+pub use spec::{
+    parse_point_selection, point_selection_name, ConfigOverrides, JobSpec, SpecField,
+    JOB_SPEC_FIELDS,
+};
+pub use sweep::{ExperimentSpec, ParamSet, ParamSetId, SweepOptions, SweepOutcome};

@@ -4,12 +4,17 @@
 //! One request per input line, one or more response lines per request, all
 //! compact JSON objects:
 //!
-//! * **Request** — a [`JobSpec`] object (see [`JobSpec::from_json`]) plus
-//!   three optional envelope fields: `id` (any JSON value, echoed back
-//!   verbatim), `progress` (boolean; `true` streams per-chunk progress
-//!   lines before the result) and `priority` (integer, default 0; the
-//!   stdin/stdout front-end validates it and runs strictly in order, the
-//!   TCP serving tier's per-client queues run higher priorities first).
+//! * **Request** — a [`JobSpec`] object plus the envelope fields: `id` (any
+//!   JSON value, echoed back verbatim), `progress` (boolean; `true` streams
+//!   per-chunk progress lines before the result) and `priority` (integer,
+//!   default 0; the stdin/stdout front-end validates it and runs strictly
+//!   in order, the TCP serving tier's per-client queues run higher
+//!   priorities first). Two envelope encodings are accepted (see
+//!   [`Request`]): the legacy v1 flat line, and the versioned v2 envelope
+//!   `{"v":2,"id":…,"priority":…,"spec":{…}}`.
+//! * **Command** — `{"cmd":"list_workloads"}` / `{"cmd":"describe_spec"}`
+//!   introspection lines (see [`Command`]), answered with one structured
+//!   reply line, identically over stdin and TCP.
 //! * **`{"type":"progress",…}`** — one per folded chunk, in deterministic
 //!   (policy, chunk) order, carrying the partial overhead so far.
 //! * **`{"type":"result",…}`** — the job's reports (one per policy) plus
@@ -41,12 +46,29 @@ pub struct ServeSummary {
     pub failed: usize,
 }
 
+/// The envelope fields a **v1** request line may carry beside the flat
+/// [`JobSpec`] fields.
+pub const ENVELOPE_V1_FIELDS: [&str; 4] = ["v", "id", "progress", "priority"];
+
+/// The fields of a **v2** request envelope: `{"v":2,"id":…,"priority":…,`
+/// `"progress":…,"spec":{…}}`. The job spec lives under `spec`, so envelope
+/// growth can never collide with spec fields again.
+pub const ENVELOPE_V2_FIELDS: [&str; 5] = ["v", "id", "progress", "priority", "spec"];
+
 /// One parsed request line: the job spec plus the protocol envelope fields.
 ///
 /// This is the session-level unit both serving front-ends share: the
 /// stdin/stdout [`serve`] loop and the TCP serving tier (`drhw-net`) parse
 /// lines into `Request`s and run them through [`execute`], which is what
 /// keeps their per-session transcripts byte-identical.
+///
+/// Two envelope versions are accepted, selected by the optional integer
+/// field `v` (default 1):
+///
+/// * **v1** (legacy, still fully supported): the spec fields sit flat on
+///   the line beside `id`/`progress`/`priority`.
+/// * **v2**: the spec is wrapped — `{"v":2,"id":…,"priority":…,"spec":{…}}`
+///   — so envelope and spec namespaces can grow independently.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// The job to run.
@@ -60,6 +82,10 @@ pub struct Request {
     /// order. The stdin/stdout front-end executes strictly in order and
     /// only validates the field; the TCP tier's per-client queues honour it.
     pub priority: i64,
+    /// The envelope version the request arrived in (1 or 2). Responses do
+    /// not depend on it — v1 and v2 encodings of the same job produce
+    /// byte-identical result lines.
+    pub version: u8,
 }
 
 impl Request {
@@ -74,29 +100,269 @@ impl Request {
         Request::from_value(&value)
     }
 
-    /// Builds a request from an already-parsed JSON value.
+    /// Builds a request from an already-parsed JSON value (v1 or v2
+    /// envelope).
     ///
     /// # Errors
     ///
     /// Returns the protocol error message, as [`parse`](Request::parse).
     pub fn from_value(value: &JsonValue) -> Result<Request, String> {
-        let spec = JobSpec::from_json(value).map_err(|e| e.to_string())?;
+        let version = match value.get("v") {
+            None => 1,
+            Some(v) => match v.as_u64() {
+                Some(1) => 1,
+                Some(2) => 2,
+                _ => {
+                    return Err(format!(
+                        "request envelope field `v`: unsupported version {v:?} (supported: 1, 2)"
+                    ))
+                }
+            },
+        };
+        let spec = if version == 2 {
+            let entries = value
+                .entries()
+                .ok_or_else(|| "each line must be a JSON object".to_string())?;
+            crate::spec::check_object_fields(entries, "request envelope", &ENVELOPE_V2_FIELDS, &[])
+                .map_err(|e| e.to_string())?;
+            let spec_value = value.get("spec").ok_or_else(|| {
+                "request envelope field `spec`: missing required field \
+                 (a v2 envelope wraps the job spec in `spec`)"
+                    .to_string()
+            })?;
+            JobSpec::from_json(spec_value).map_err(|e| e.to_string())?
+        } else {
+            JobSpec::from_json_with(value, &ENVELOPE_V1_FIELDS).map_err(|e| e.to_string())?
+        };
         let priority = match value.get("priority") {
             None => 0,
             Some(v) => v.as_i64().ok_or_else(|| {
-                format!("job spec field `priority`: expected an integer, got {v:?}")
+                format!("request envelope field `priority`: expected an integer, got {v:?}")
+            })?,
+        };
+        let progress = match value.get("progress") {
+            None => false,
+            Some(v) => v.as_bool().ok_or_else(|| {
+                format!("request envelope field `progress`: expected a boolean, got {v:?}")
             })?,
         };
         Ok(Request {
             spec,
             id: value.get("id").cloned(),
-            progress: value
-                .get("progress")
-                .and_then(JsonValue::as_bool)
-                .unwrap_or(false),
+            progress,
             priority,
+            version,
         })
     }
+}
+
+/// A session-level command line: `{"cmd":"…"}` instead of a job spec.
+///
+/// Commands are part of the shared serve API — the stdin/stdout front-end
+/// and the TCP tier parse them with [`parse_command`] and answer the
+/// introspection commands identically (byte-for-byte) via
+/// [`command_reply`]. Only `shutdown` is front-end-specific: the TCP tier
+/// drains and closes, the stdin front-end rejects it (its shutdown is EOF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// `{"cmd":"list_workloads"}` — enumerate the engine's registry
+    /// (built-ins plus the parameterised name families) as one structured
+    /// reply, so sweep specs can be authored against a live server.
+    ListWorkloads,
+    /// `{"cmd":"describe_spec"}` — the wire schema of the request envelope,
+    /// the [`JobSpec`] fields and the `ExperimentSpec` fields, plus the
+    /// valid policy/override names.
+    DescribeSpec,
+    /// `{"cmd":"shutdown"}` — drain and stop serving (TCP tier only).
+    Shutdown,
+}
+
+/// The error message both front-ends give a `shutdown` command they will
+/// not honour.
+pub const SHUTDOWN_DISABLED_MESSAGE: &str = "the shutdown command is disabled on this server";
+
+/// Parses a command line (an object with a `cmd` field) strictly; `Err`
+/// carries the protocol error message.
+///
+/// # Errors
+///
+/// Returns the message of the `error` response line: a non-string or
+/// unknown `cmd`, or extra fields on the command object.
+pub fn parse_command(value: &JsonValue) -> Result<Command, String> {
+    if let Some(entries) = value.entries() {
+        crate::spec::check_object_fields(entries, "command", &["cmd"], &[])
+            .map_err(|e| e.to_string())?;
+    }
+    let cmd = value.get("cmd").ok_or("command lines need a `cmd` field")?;
+    match cmd.as_str() {
+        Some("list_workloads") => Ok(Command::ListWorkloads),
+        Some("describe_spec") => Ok(Command::DescribeSpec),
+        Some("shutdown") => Ok(Command::Shutdown),
+        Some(other) => Err(format!(
+            "unknown command {other:?} (supported: \"list_workloads\", \"describe_spec\", \
+             \"shutdown\")"
+        )),
+        None => Err(format!(
+            "command field `cmd`: expected a string, got {cmd:?}"
+        )),
+    }
+}
+
+/// The structured reply of an introspection command, or `None` for
+/// [`Command::Shutdown`] (whose handling is front-end-specific). Replies
+/// are a pure function of the engine's registry, so both front-ends answer
+/// byte-identically.
+pub fn command_reply(engine: &Engine, command: Command) -> Option<JsonValue> {
+    match command {
+        Command::ListWorkloads => Some(workloads_json(engine)),
+        Command::DescribeSpec => Some(spec_schema_json()),
+        Command::Shutdown => None,
+    }
+}
+
+/// The `{"type":"workloads",…}` reply of `list_workloads`: every registered
+/// workload (name, description, tile sweep, fixed knobs) plus the
+/// parameterised name families the registry resolves on demand.
+pub fn workloads_json(engine: &Engine) -> JsonValue {
+    let registry = engine.registry();
+    let workloads = registry
+        .iter()
+        .map(|workload| {
+            let sweep = workload.tile_sweep();
+            JsonValue::Object(vec![
+                (
+                    "name".to_string(),
+                    JsonValue::String(workload.name().to_string()),
+                ),
+                (
+                    "description".to_string(),
+                    JsonValue::String(workload.description().to_string()),
+                ),
+                (
+                    "tiles_min".to_string(),
+                    JsonValue::UInt(*sweep.start() as u64),
+                ),
+                (
+                    "tiles_max".to_string(),
+                    JsonValue::UInt(*sweep.end() as u64),
+                ),
+                (
+                    "task_inclusion_probability".to_string(),
+                    JsonValue::Float(workload.task_inclusion_probability()),
+                ),
+                (
+                    "correlated_scenarios".to_string(),
+                    JsonValue::Bool(workload.correlated_scenarios().is_some()),
+                ),
+            ])
+        })
+        .collect();
+    let families = drhw_workloads::parameterised_families()
+        .into_iter()
+        .map(|family| {
+            JsonValue::Object(vec![
+                (
+                    "pattern".to_string(),
+                    JsonValue::String(family.pattern.to_string()),
+                ),
+                (
+                    "description".to_string(),
+                    JsonValue::String(family.description.to_string()),
+                ),
+                (
+                    "members".to_string(),
+                    JsonValue::Array(
+                        family
+                            .members
+                            .iter()
+                            .map(|m| JsonValue::String(m.to_string()))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::Object(vec![
+        (
+            "type".to_string(),
+            JsonValue::String("workloads".to_string()),
+        ),
+        ("workloads".to_string(), JsonValue::Array(workloads)),
+        ("families".to_string(), JsonValue::Array(families)),
+    ])
+}
+
+fn field_rows(fields: &[crate::spec::SpecField]) -> JsonValue {
+    JsonValue::Array(
+        fields
+            .iter()
+            .map(|field| {
+                JsonValue::Object(vec![
+                    (
+                        "name".to_string(),
+                        JsonValue::String(field.name.to_string()),
+                    ),
+                    (
+                        "type".to_string(),
+                        JsonValue::String(field.kind.to_string()),
+                    ),
+                    ("required".to_string(), JsonValue::Bool(field.required)),
+                    (
+                        "description".to_string(),
+                        JsonValue::String(field.description.to_string()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn string_array(names: &[&str]) -> JsonValue {
+    JsonValue::Array(
+        names
+            .iter()
+            .map(|n| JsonValue::String(n.to_string()))
+            .collect(),
+    )
+}
+
+/// The `{"type":"spec_schema",…}` reply of `describe_spec`: the envelope
+/// versions, the [`JobSpec`] and `ExperimentSpec` field tables (the same
+/// tables the strict parsers enforce), and every valid policy/override
+/// name — enough to author job and sweep specs against a live server.
+pub fn spec_schema_json() -> JsonValue {
+    let policies: Vec<String> = drhw_prefetch::PolicyKind::ALL
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
+    JsonValue::Object(vec![
+        (
+            "type".to_string(),
+            JsonValue::String("spec_schema".to_string()),
+        ),
+        ("envelope_v1".to_string(), string_array(&ENVELOPE_V1_FIELDS)),
+        ("envelope_v2".to_string(), string_array(&ENVELOPE_V2_FIELDS)),
+        (
+            "job_spec".to_string(),
+            field_rows(&crate::spec::JOB_SPEC_FIELDS),
+        ),
+        (
+            "experiment_spec".to_string(),
+            field_rows(&crate::sweep::EXPERIMENT_SPEC_FIELDS),
+        ),
+        (
+            "policies".to_string(),
+            JsonValue::Array(policies.into_iter().map(JsonValue::String).collect()),
+        ),
+        (
+            "replacement".to_string(),
+            string_array(&["reuse-aware", "lru", "direct"]),
+        ),
+        (
+            "point_selection".to_string(),
+            string_array(&["fully-parallel", "fastest", "energy-aware"]),
+        ),
+    ])
 }
 
 /// The echoed `id` of a request line, when the line parses far enough to
@@ -143,9 +409,25 @@ pub fn serve(
             continue;
         }
         let line_number = index + 1;
-        let outcome = match Request::parse(&line) {
-            Ok(request) => execute(engine, &request, &mut output)?,
-            Err(error) => Err(error),
+        let outcome = match parse(&line) {
+            Err(e) => Err(e.to_string()),
+            Ok(value) if value.get("cmd").is_some() => match parse_command(&value) {
+                Ok(command) => match command_reply(engine, command) {
+                    Some(reply) => {
+                        writeln!(output, "{}", reply.to_json())?;
+                        Ok(())
+                    }
+                    // The stdin front-end's shutdown is EOF; reject the
+                    // command with the same message the TCP tier uses when
+                    // its shutdown command is disabled.
+                    None => Err(SHUTDOWN_DISABLED_MESSAGE.to_string()),
+                },
+                Err(error) => Err(error),
+            },
+            Ok(value) => match Request::from_value(&value) {
+                Ok(request) => execute(engine, &request, &mut output)?,
+                Err(error) => Err(error),
+            },
         };
         match outcome {
             Ok(()) => summary.completed += 1,

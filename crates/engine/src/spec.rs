@@ -243,22 +243,37 @@ impl JobSpec {
         Ok(())
     }
 
-    /// Parses a spec from a JSON object (one line of the serving protocol).
-    /// Unknown keys are ignored so the protocol can grow envelope fields
-    /// (`id`, `progress`) around the spec.
+    /// Parses a spec from a JSON object — strictly: a field that is not part
+    /// of the [`JOB_SPEC_FIELDS`] wire schema, or appears twice, is rejected
+    /// (with the nearest valid field name), never silently ignored.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::InvalidSpec`] naming the offending field.
+    /// Returns [`EngineError::InvalidSpec`] naming the offending field,
+    /// [`EngineError::UnknownField`] or [`EngineError::DuplicateField`].
     pub fn from_json(value: &JsonValue) -> Result<Self, EngineError> {
+        Self::from_json_with(value, &[])
+    }
+
+    /// [`from_json`](Self::from_json) for protocol layers that wrap a spec
+    /// object in envelope fields (the v1 request line carries `id`,
+    /// `progress`, `priority` beside the spec): `envelope` names the extra
+    /// top-level fields the strict check tolerates.
+    ///
+    /// # Errors
+    ///
+    /// As [`from_json`](Self::from_json).
+    pub fn from_json_with(value: &JsonValue, envelope: &[&str]) -> Result<Self, EngineError> {
         let invalid =
             |field: &'static str, reason: String| EngineError::InvalidSpec { field, reason };
-        if value.entries().is_none() {
+        let Some(entries) = value.entries() else {
             return Err(invalid(
                 "job",
                 "each line must be a JSON object".to_string(),
             ));
-        }
+        };
+        let valid: Vec<&str> = JOB_SPEC_FIELDS.iter().map(|f| f.name).collect();
+        check_object_fields(entries, "job spec", &valid, envelope)?;
         let workload = match value.get("workload") {
             Some(v) => v
                 .as_str()
@@ -401,6 +416,142 @@ impl JobSpec {
         }
         JsonValue::Object(entries)
     }
+}
+
+/// One row of a wire-schema field table: enough for the `describe_spec`
+/// introspection reply and for the strict parser's suggestions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecField {
+    /// The wire name of the field.
+    pub name: &'static str,
+    /// A short JSON-ish type description (`"string"`, `"uint"`, …).
+    pub kind: &'static str,
+    /// Whether the field must be present.
+    pub required: bool,
+    /// One-line description for the introspection reply.
+    pub description: &'static str,
+}
+
+/// The wire schema of a [`JobSpec`] object: every field a request line (or
+/// the `spec` object of a v2 envelope) may carry. The strict parser rejects
+/// anything else, and `describe_spec` serves this table verbatim.
+pub const JOB_SPEC_FIELDS: [SpecField; 9] = [
+    SpecField {
+        name: "workload",
+        kind: "string",
+        required: true,
+        description: "registered workload name (see list_workloads)",
+    },
+    SpecField {
+        name: "tiles",
+        kind: "uint",
+        required: false,
+        description: "DRHW tile count; defaults to the workload's first sweep point",
+    },
+    SpecField {
+        name: "policies",
+        kind: "array of strings",
+        required: false,
+        description: "prefetch policies to sweep, in order; empty/absent means all five",
+    },
+    SpecField {
+        name: "iterations",
+        kind: "uint",
+        required: false,
+        description: "iteration count; defaults to the engine configuration",
+    },
+    SpecField {
+        name: "seed",
+        kind: "uint",
+        required: false,
+        description: "master seed; defaults to the engine configuration",
+    },
+    SpecField {
+        name: "replacement",
+        kind: "string",
+        required: false,
+        description: "replacement-policy override (reuse-aware, lru, direct)",
+    },
+    SpecField {
+        name: "point_selection",
+        kind: "string",
+        required: false,
+        description: "schedule-selection override (fully-parallel, fastest, energy-aware)",
+    },
+    SpecField {
+        name: "chunk_size",
+        kind: "uint",
+        required: false,
+        description: "iterations per independent chunk of parallel work",
+    },
+    SpecField {
+        name: "task_inclusion_probability",
+        kind: "number",
+        required: false,
+        description: "per-iteration task activation probability in [0, 1]",
+    },
+];
+
+/// Levenshtein edit distance — small inputs only (field names), so the full
+/// DP table is fine.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let substitute = prev[j] + usize::from(ca != cb);
+            current[j + 1] = substitute.min(prev[j + 1] + 1).min(current[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[b.len()]
+}
+
+/// The valid field name nearest to `field` by edit distance (ties break to
+/// the earlier entry, so suggestions are deterministic).
+pub(crate) fn nearest_field(field: &str, valid: &[&str]) -> String {
+    valid
+        .iter()
+        .min_by_key(|candidate| edit_distance(field, candidate))
+        .unwrap_or(&"")
+        .to_string()
+}
+
+/// Strictly checks an object's keys: every key must be one of `valid` or
+/// `extra` (envelope fields of the surrounding protocol layer), and no key
+/// may appear twice. `context` names the object kind in error messages.
+///
+/// # Errors
+///
+/// [`EngineError::UnknownField`] (with the nearest valid name) or
+/// [`EngineError::DuplicateField`].
+pub(crate) fn check_object_fields(
+    entries: &[(String, JsonValue)],
+    context: &'static str,
+    valid: &[&str],
+    extra: &[&str],
+) -> Result<(), EngineError> {
+    for (index, (key, _)) in entries.iter().enumerate() {
+        if entries[..index].iter().any(|(earlier, _)| earlier == key) {
+            return Err(EngineError::DuplicateField {
+                context,
+                field: key.clone(),
+            });
+        }
+        if !valid.contains(&key.as_str()) && !extra.contains(&key.as_str()) {
+            let mut candidates: Vec<&str> = valid.to_vec();
+            candidates.extend_from_slice(extra);
+            return Err(EngineError::UnknownField {
+                context,
+                field: key.clone(),
+                nearest: nearest_field(key, &candidates),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// The stable wire name of a point-selection strategy.

@@ -1,0 +1,427 @@
+//! End-of-sweep aggregation: per-axis medians and the best/worst policy per
+//! workload, rendered both as `SWEEP_summary.json` and as a stdout table.
+//!
+//! The summary deliberately carries **no wall-clock data** and no cache
+//! statistics: like the result log it aggregates, it is a pure function of
+//! the result lines, so a resumed sweep's summary is byte-identical to an
+//! uninterrupted run's.
+
+use crate::json::JsonValue;
+use crate::JobSpec;
+
+/// One parsed result line, reduced to what aggregation needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetRecord {
+    /// 0-based expansion index.
+    pub index: usize,
+    /// The resolved spec of the set.
+    pub spec: JobSpec,
+    /// Per-policy overhead percentages, or the error message of a
+    /// `sweep_error` line.
+    pub outcome: Result<Vec<(String, f64)>, String>,
+}
+
+impl SetRecord {
+    /// Parses one `sweep_result` / `sweep_error` line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the line is not a valid result line.
+    pub fn from_json(value: &JsonValue) -> Result<SetRecord, String> {
+        let kind = value
+            .get("type")
+            .and_then(|v| v.as_str())
+            .ok_or("missing `type`")?;
+        let index = value
+            .get("index")
+            .and_then(|v| v.as_usize())
+            .ok_or("missing `index`")?;
+        let spec_value = value.get("spec").ok_or("missing `spec`")?;
+        let spec = JobSpec::from_json(spec_value).map_err(|e| e.to_string())?;
+        let outcome = match kind {
+            "sweep_result" => {
+                let reports = value
+                    .get("reports")
+                    .and_then(|v| v.as_array())
+                    .ok_or("missing `reports`")?;
+                let mut stats = Vec::with_capacity(reports.len());
+                for report in reports {
+                    let policy = report
+                        .get("policy")
+                        .and_then(|v| v.as_str())
+                        .ok_or("report missing `policy`")?;
+                    let overhead = report
+                        .get("overhead_percent")
+                        .and_then(|v| v.as_f64())
+                        .ok_or("report missing `overhead_percent`")?;
+                    stats.push((policy.to_string(), overhead));
+                }
+                Ok(stats)
+            }
+            "sweep_error" => Err(value
+                .get("message")
+                .and_then(|v| v.as_str())
+                .unwrap_or("unknown error")
+                .to_string()),
+            other => return Err(format!("unexpected line type {other:?}")),
+        };
+        Ok(SetRecord {
+            index,
+            spec,
+            outcome,
+        })
+    }
+}
+
+/// Median of an unsorted sample (mean of the middle two for even sizes).
+/// `None` for an empty sample.
+fn median(mut values: Vec<f64>) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("overheads are finite"));
+    let mid = values.len() / 2;
+    Some(if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    })
+}
+
+fn stat_object(label: (&'static str, String), overheads: Vec<f64>) -> JsonValue {
+    let sets = overheads.len();
+    JsonValue::Object(vec![
+        (label.0.to_string(), JsonValue::String(label.1)),
+        (
+            "median_overhead_percent".to_string(),
+            median(overheads).map_or(JsonValue::Null, JsonValue::Float),
+        ),
+        ("sets".to_string(), JsonValue::UInt(sets as u64)),
+    ])
+}
+
+/// The per-axis value of a record's spec, as a stable display string —
+/// `None` when the axis is unset on that record.
+fn axis_value(spec: &JobSpec, axis: &str) -> Option<String> {
+    match axis {
+        "tiles" => spec.tiles.map(|t| t.to_string()),
+        "iterations" => spec.iterations.map(|i| i.to_string()),
+        "seed" => spec.seed.map(|s| s.to_string()),
+        "replacement" => spec.overrides.replacement.map(|r| r.to_string()),
+        "point_selection" => spec
+            .overrides
+            .point_selection
+            .map(|p| crate::spec::point_selection_name(p).to_string()),
+        "chunk_size" => spec.overrides.chunk_size.map(|c| c.to_string()),
+        "task_inclusion_probability" => spec
+            .overrides
+            .task_inclusion_probability
+            .map(|p| p.to_string()),
+        _ => None,
+    }
+}
+
+/// The axes the summary reports medians over, in display order.
+const SUMMARY_AXES: [&str; 7] = [
+    "tiles",
+    "iterations",
+    "seed",
+    "replacement",
+    "point_selection",
+    "chunk_size",
+    "task_inclusion_probability",
+];
+
+/// Aggregates a complete result log into the `SWEEP_summary.json` value:
+/// per-workload policy medians with best/worst policy, and per-axis
+/// medians for every axis the sweep actually varied.
+pub fn summarize(
+    experiment: &str,
+    sets: usize,
+    duplicates: usize,
+    records: &[SetRecord],
+) -> JsonValue {
+    let errors = records.iter().filter(|r| r.outcome.is_err()).count();
+
+    // Per-workload, per-policy overhead samples, both in first-seen order
+    // (expansion order is deterministic, so the summary is too).
+    let mut workloads: Vec<&str> = Vec::new();
+    for record in records {
+        if !workloads.contains(&record.spec.workload.as_str()) {
+            workloads.push(&record.spec.workload);
+        }
+    }
+    let workload_rows: Vec<JsonValue> = workloads
+        .iter()
+        .map(|&workload| {
+            let mut policies: Vec<&str> = Vec::new();
+            let mut samples: Vec<(&str, Vec<f64>)> = Vec::new();
+            for record in records.iter().filter(|r| r.spec.workload == workload) {
+                if let Ok(stats) = &record.outcome {
+                    for (policy, overhead) in stats {
+                        if !policies.contains(&policy.as_str()) {
+                            policies.push(policy);
+                            samples.push((policy, Vec::new()));
+                        }
+                        let slot = samples
+                            .iter_mut()
+                            .find(|(name, _)| name == policy)
+                            .expect("pushed above");
+                        slot.1.push(*overhead);
+                    }
+                }
+            }
+            let medians: Vec<(&str, Option<f64>)> = samples
+                .iter()
+                .map(|(policy, overheads)| (*policy, median(overheads.clone())))
+                .collect();
+            let best = medians
+                .iter()
+                .filter_map(|(p, m)| m.map(|m| (*p, m)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .map(|(p, _)| p);
+            let worst = medians
+                .iter()
+                .filter_map(|(p, m)| m.map(|m| (*p, m)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .map(|(p, _)| p);
+            let policy_rows: Vec<JsonValue> = samples
+                .into_iter()
+                .map(|(policy, overheads)| stat_object(("policy", policy.to_string()), overheads))
+                .collect();
+            JsonValue::Object(vec![
+                (
+                    "workload".to_string(),
+                    JsonValue::String(workload.to_string()),
+                ),
+                ("policies".to_string(), JsonValue::Array(policy_rows)),
+                (
+                    "best_policy".to_string(),
+                    best.map_or(JsonValue::Null, |p| JsonValue::String(p.to_string())),
+                ),
+                (
+                    "worst_policy".to_string(),
+                    worst.map_or(JsonValue::Null, |p| JsonValue::String(p.to_string())),
+                ),
+            ])
+        })
+        .collect();
+
+    // Per-axis medians, only for axes the sweep actually set somewhere and
+    // with more than one distinct value (a constant axis has no spread
+    // worth a table row — but a single-valued axis that was explicitly set
+    // still shows, so spec authors can confirm it took effect).
+    let mut axis_rows: Vec<JsonValue> = Vec::new();
+    for axis in SUMMARY_AXES {
+        let mut values: Vec<String> = Vec::new();
+        let mut samples: Vec<(String, Vec<f64>)> = Vec::new();
+        for record in records {
+            let Some(value) = axis_value(&record.spec, axis) else {
+                continue;
+            };
+            if !values.contains(&value) {
+                values.push(value.clone());
+                samples.push((value.clone(), Vec::new()));
+            }
+            if let Ok(stats) = &record.outcome {
+                let slot = samples
+                    .iter_mut()
+                    .find(|(name, _)| *name == value)
+                    .expect("pushed above");
+                slot.1.extend(stats.iter().map(|(_, overhead)| *overhead));
+            }
+        }
+        if samples.is_empty() {
+            continue;
+        }
+        let value_rows: Vec<JsonValue> = samples
+            .into_iter()
+            .map(|(value, overheads)| stat_object(("value", value), overheads))
+            .collect();
+        axis_rows.push(JsonValue::Object(vec![
+            ("axis".to_string(), JsonValue::String(axis.to_string())),
+            ("values".to_string(), JsonValue::Array(value_rows)),
+        ]));
+    }
+
+    JsonValue::Object(vec![
+        (
+            "type".to_string(),
+            JsonValue::String("sweep_summary".to_string()),
+        ),
+        (
+            "experiment".to_string(),
+            JsonValue::String(experiment.to_string()),
+        ),
+        ("sets".to_string(), JsonValue::UInt(sets as u64)),
+        ("duplicates".to_string(), JsonValue::UInt(duplicates as u64)),
+        ("errors".to_string(), JsonValue::UInt(errors as u64)),
+        ("workloads".to_string(), JsonValue::Array(workload_rows)),
+        ("axes".to_string(), JsonValue::Array(axis_rows)),
+    ])
+}
+
+fn float_cell(value: Option<&JsonValue>) -> String {
+    match value.and_then(JsonValue::as_f64) {
+        Some(v) => format!("{v:.4}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders the summary as the human-facing stdout table.
+pub fn render_table(summary: &JsonValue) -> String {
+    let mut out = String::new();
+    let experiment = summary
+        .get("experiment")
+        .and_then(|v| v.as_str())
+        .unwrap_or("?");
+    let sets = summary.get("sets").and_then(|v| v.as_u64()).unwrap_or(0);
+    let errors = summary.get("errors").and_then(|v| v.as_u64()).unwrap_or(0);
+    out.push_str(&format!(
+        "sweep summary: {experiment} — {sets} sets, {errors} errors\n"
+    ));
+    out.push_str(&format!(
+        "{:<14} {:<22} {:>18} {:>6}\n",
+        "workload", "policy", "median overhead %", "sets"
+    ));
+    for row in summary
+        .get("workloads")
+        .and_then(|v| v.as_array())
+        .unwrap_or(&[])
+    {
+        let workload = row.get("workload").and_then(|v| v.as_str()).unwrap_or("?");
+        for policy in row
+            .get("policies")
+            .and_then(|v| v.as_array())
+            .unwrap_or(&[])
+        {
+            out.push_str(&format!(
+                "{:<14} {:<22} {:>18} {:>6}\n",
+                workload,
+                policy.get("policy").and_then(|v| v.as_str()).unwrap_or("?"),
+                float_cell(policy.get("median_overhead_percent")),
+                policy.get("sets").and_then(|v| v.as_u64()).unwrap_or(0),
+            ));
+        }
+        let best = row.get("best_policy").and_then(|v| v.as_str());
+        let worst = row.get("worst_policy").and_then(|v| v.as_str());
+        if let (Some(best), Some(worst)) = (best, worst) {
+            out.push_str(&format!("{:<14} best: {best}  worst: {worst}\n", workload));
+        }
+    }
+    for axis in summary
+        .get("axes")
+        .and_then(|v| v.as_array())
+        .unwrap_or(&[])
+    {
+        let name = axis.get("axis").and_then(|v| v.as_str()).unwrap_or("?");
+        out.push_str(&format!("axis {name}:\n"));
+        for value in axis.get("values").and_then(|v| v.as_array()).unwrap_or(&[]) {
+            out.push_str(&format!(
+                "  {:<20} {:>18} {:>6}\n",
+                value.get("value").and_then(|v| v.as_str()).unwrap_or("?"),
+                float_cell(value.get("median_overhead_percent")),
+                value.get("sets").and_then(|v| v.as_u64()).unwrap_or(0),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn record(workload: &str, seed: u64, stats: &[(&str, f64)]) -> SetRecord {
+        SetRecord {
+            index: 0,
+            spec: JobSpec::new(workload).with_seed(seed),
+            outcome: Ok(stats.iter().map(|(p, o)| (p.to_string(), *o)).collect()),
+        }
+    }
+
+    #[test]
+    fn medians_and_best_worst_policies_are_computed_per_workload() {
+        let records = vec![
+            record("multimedia", 1, &[("no-prefetch", 30.0), ("hybrid", 4.0)]),
+            record("multimedia", 2, &[("no-prefetch", 34.0), ("hybrid", 6.0)]),
+            record("multimedia", 3, &[("no-prefetch", 38.0), ("hybrid", 5.0)]),
+        ];
+        let summary = summarize("demo", 3, 0, &records);
+        let workloads = summary.get("workloads").and_then(|v| v.as_array()).unwrap();
+        let row = &workloads[0];
+        assert_eq!(
+            row.get("best_policy").and_then(|v| v.as_str()),
+            Some("hybrid")
+        );
+        assert_eq!(
+            row.get("worst_policy").and_then(|v| v.as_str()),
+            Some("no-prefetch")
+        );
+        let policies = row.get("policies").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(
+            policies[0]
+                .get("median_overhead_percent")
+                .and_then(|v| v.as_f64()),
+            Some(34.0)
+        );
+        // The seed axis shows up with one row per distinct value.
+        let axes = summary.get("axes").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(axes.len(), 1);
+        assert_eq!(axes[0].get("axis").and_then(|v| v.as_str()), Some("seed"));
+        assert_eq!(
+            axes[0]
+                .get("values")
+                .and_then(|v| v.as_array())
+                .unwrap()
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn error_records_count_but_contribute_no_samples() {
+        let mut records = vec![record("multimedia", 1, &[("hybrid", 4.0)])];
+        records.push(SetRecord {
+            index: 1,
+            spec: JobSpec::new("multimedia").with_seed(2),
+            outcome: Err("boom".to_string()),
+        });
+        let summary = summarize("demo", 2, 0, &records);
+        assert_eq!(summary.get("errors").and_then(|v| v.as_u64()), Some(1));
+        let workloads = summary.get("workloads").and_then(|v| v.as_array()).unwrap();
+        let policies = workloads[0]
+            .get("policies")
+            .and_then(|v| v.as_array())
+            .unwrap();
+        assert_eq!(policies[0].get("sets").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn set_records_round_trip_through_result_lines() {
+        let line = r#"{"type":"sweep_result","set":"00000000000000aa","index":3,
+            "spec":{"workload":"multimedia","seed":7},
+            "reports":[{"policy":"hybrid","overhead_percent":4.25}]}"#
+            .replace('\n', "");
+        let parsed = SetRecord::from_json(&parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed.index, 3);
+        assert_eq!(parsed.spec.workload, "multimedia");
+        assert_eq!(parsed.outcome, Ok(vec![("hybrid".to_string(), 4.25)]));
+
+        let error_line = r#"{"type":"sweep_error","set":"00000000000000ab","index":4,
+            "spec":{"workload":"multimedia"},"message":"boom"}"#
+            .replace('\n', "");
+        let parsed = SetRecord::from_json(&parse(&error_line).unwrap()).unwrap();
+        assert_eq!(parsed.outcome, Err("boom".to_string()));
+    }
+
+    #[test]
+    fn the_table_renders_every_section() {
+        let records = vec![record("multimedia", 1, &[("hybrid", 4.0)])];
+        let table = render_table(&summarize("demo", 1, 0, &records));
+        assert!(table.contains("sweep summary: demo"), "{table}");
+        assert!(table.contains("hybrid"), "{table}");
+        assert!(table.contains("axis seed:"), "{table}");
+    }
+}

@@ -35,6 +35,11 @@ pub struct ServerStats {
     pub jobs_failed: u64,
     /// Submits refused by admission control with a `rejected` line.
     pub jobs_rejected: u64,
+    /// Jobs currently queued or executing — the live backpressure gauge
+    /// (always 0 after [`Server::join`]). A job leaves this gauge only
+    /// after its terminal line *and* its quota slot release, so observing
+    /// 0 means the next submit cannot race a finished job's bookkeeping.
+    pub jobs_pending: usize,
 }
 
 pub(crate) struct Stats {
@@ -45,14 +50,15 @@ pub(crate) struct Stats {
     pub(crate) jobs_rejected: AtomicU64,
 }
 
-impl Stats {
-    fn snapshot(&self) -> ServerStats {
+impl Shared {
+    fn stats_snapshot(&self) -> ServerStats {
         ServerStats {
-            connections_served: self.connections_served.load(Ordering::Relaxed),
-            connections_refused: self.connections_refused.load(Ordering::Relaxed),
-            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
-            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
-            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            connections_served: self.stats.connections_served.load(Ordering::Relaxed),
+            connections_refused: self.stats.connections_refused.load(Ordering::Relaxed),
+            jobs_completed: self.stats.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.stats.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected: self.stats.jobs_rejected.load(Ordering::Relaxed),
+            jobs_pending: self.pending.load(Ordering::SeqCst),
         }
     }
 }
@@ -144,7 +150,7 @@ impl ServerHandle {
 
     /// A live snapshot of the server's counters.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 }
 
@@ -217,7 +223,7 @@ impl Server {
 
     /// A live snapshot of the server's counters.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 
     /// Waits for the drain to complete — every session flushed and closed,
@@ -228,7 +234,7 @@ impl Server {
         if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
         }
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 }
 

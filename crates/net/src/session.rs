@@ -18,7 +18,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 use drhw_engine::json::{parse, JsonValue};
-use drhw_engine::{error_json, execute, Request};
+use drhw_engine::{
+    command_reply, error_json, execute, parse_command, Command, Request, SHUTDOWN_DISABLED_MESSAGE,
+};
 
 use crate::server::Shared;
 use crate::wire::{refused_json, rejected_json, shutdown_ack_json, RejectScope};
@@ -30,6 +32,11 @@ const ERROR_QUEUE_SLACK: usize = 32;
 
 enum Payload {
     Job(Request),
+    /// A pre-rendered introspection reply (`list_workloads`,
+    /// `describe_spec`). Replies travel through the queue at the default
+    /// priority so an all-default session stays in exact submission order —
+    /// the same transcript the stdin front-end produces.
+    Reply(JsonValue),
     Error {
         id: Option<JsonValue>,
         message: String,
@@ -181,6 +188,12 @@ fn executor_loop(shared: &Shared, queue: &SessionQueue, writer: &Arc<Mutex<TcpSt
         };
         let Some(entry) = entry else { break };
         match entry.payload {
+            Payload::Reply(reply) => {
+                shared.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                if !dead && write_line(writer, &reply.to_json()).is_err() {
+                    dead = true;
+                }
+            }
             Payload::Error { id, message } => {
                 shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
                 if !dead {
@@ -347,8 +360,8 @@ fn process_line(
             return Ok(());
         }
     };
-    if let Some(cmd) = value.get("cmd") {
-        return handle_command(shared, writer, queue, cmd, line_no, seq);
+    if value.get("cmd").is_some() {
+        return handle_command(shared, writer, queue, &value, line_no, seq);
     }
     let request = match Request::from_value(&value) {
         Ok(request) => request,
@@ -441,56 +454,50 @@ fn queue_error(
     Ok(())
 }
 
+/// Commands parse through the shared [`parse_command`] so both front-ends
+/// accept and reject the same lines with the same messages. Introspection
+/// replies come pre-rendered from [`command_reply`] — byte-identical to the
+/// stdin front-end's — and queue at the default priority; only `shutdown`
+/// is front-end-specific (acked immediately, then the drain flag closes
+/// the session).
 fn handle_command(
     shared: &Arc<Shared>,
     writer: &Arc<Mutex<TcpStream>>,
     queue: &Arc<SessionQueue>,
-    cmd: &JsonValue,
+    value: &JsonValue,
     line_no: u64,
     seq: &mut u64,
 ) -> io::Result<()> {
-    match cmd.as_str() {
-        Some("shutdown") if shared.config.allow_shutdown_command => {
+    match parse_command(value) {
+        Ok(Command::Shutdown) if shared.config.allow_shutdown_command => {
             shared.begin_drain();
             write_line(writer, &shutdown_ack_json().to_json())?;
             // The next reader iteration observes the drain flag and closes.
             Ok(())
         }
-        Some("shutdown") => {
-            queue_error(
-                shared,
-                writer,
+        Ok(Command::Shutdown) => queue_error(
+            shared,
+            writer,
+            queue,
+            None,
+            line_no,
+            SHUTDOWN_DISABLED_MESSAGE.to_string(),
+            seq,
+        ),
+        Ok(command) => {
+            let reply =
+                command_reply(&shared.engine, command).expect("introspection commands reply");
+            push_entry(
                 queue,
-                None,
-                line_no,
-                "the shutdown command is disabled on this server".to_string(),
-                seq,
-            )?;
+                QueueEntry {
+                    priority: 0,
+                    seq: next_seq(seq),
+                    line_no,
+                    payload: Payload::Reply(reply),
+                },
+            );
             Ok(())
         }
-        Some(other) => {
-            queue_error(
-                shared,
-                writer,
-                queue,
-                None,
-                line_no,
-                format!("unknown command {other:?} (supported: \"shutdown\")"),
-                seq,
-            )?;
-            Ok(())
-        }
-        None => {
-            queue_error(
-                shared,
-                writer,
-                queue,
-                None,
-                line_no,
-                format!("command field `cmd`: expected a string, got {cmd:?}"),
-                seq,
-            )?;
-            Ok(())
-        }
+        Err(message) => queue_error(shared, writer, queue, None, line_no, message, seq),
     }
 }

@@ -43,6 +43,6 @@ pub mod registry;
 
 pub use fuzz::{FuzzFamily, FuzzWorkload};
 pub use registry::{
-    MultimediaWorkload, PocketGlWorkload, RandomDagWorkload, Workload, WorkloadError,
-    WorkloadRegistry,
+    parameterised_families, FamilyInfo, MultimediaWorkload, PocketGlWorkload, RandomDagWorkload,
+    Workload, WorkloadError, WorkloadRegistry,
 };

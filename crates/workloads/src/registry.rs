@@ -336,6 +336,42 @@ impl WorkloadRegistry {
 /// registration agree).
 pub const DEFAULT_RANDOM_SEED: u64 = 2005;
 
+/// One parameterised workload-name family [`WorkloadRegistry::resolve`]
+/// constructs on demand — the machine-readable form of "anything matching
+/// this pattern is a valid workload name", served by the engine's
+/// `list_workloads` introspection command and enumerated by sweep specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyInfo {
+    /// The name prefix that routes into this family (`"random-"`).
+    pub prefix: &'static str,
+    /// The full name pattern (`"random-<tasks>x<subtasks>"`).
+    pub pattern: &'static str,
+    /// One-line description for listings.
+    pub description: &'static str,
+    /// The enumerable members of the family's inner parameter, when it has
+    /// one (the fuzz DAG family names); empty for purely numeric families.
+    pub members: Vec<&'static str>,
+}
+
+/// The parameterised name families every registry resolves on demand, in
+/// stable order: `random-<tasks>x<subtasks>` and `fuzz-<family>-<seed>`.
+pub fn parameterised_families() -> Vec<FamilyInfo> {
+    vec![
+        FamilyInfo {
+            prefix: "random-",
+            pattern: "random-<tasks>x<subtasks>",
+            description: "parameterised layered random DAGs (TGFF-style) for scalability studies",
+            members: Vec::new(),
+        },
+        FamilyInfo {
+            prefix: "fuzz-",
+            pattern: "fuzz-<family>-<seed>",
+            description: "seeded DAG-family generators feeding the differential oracle",
+            members: FuzzFamily::ALL.iter().map(|f| f.name()).collect(),
+        },
+    ]
+}
+
 fn parse_random_shape(name: &str, shape: &str) -> Result<(usize, usize), WorkloadError> {
     let malformed = |reason: String| WorkloadError::MalformedRandom {
         name: name.to_string(),

@@ -115,13 +115,19 @@ fn quota_slots_free_as_jobs_finish() {
     let mut reader = BufReader::new(stream);
 
     // Serially submitting N jobs on a quota-1 session never trips the
-    // quota: each completed job frees its slot.
+    // quota: each completed job frees its slot. The slot release happens
+    // just *after* the result line hits the wire, so wait for the pending
+    // gauge to drop before the next submit — otherwise this would race the
+    // executor's bookkeeping and flake.
     for id in 1..=3u64 {
         writer.write_all(light_job(id).as_bytes()).expect("submit");
         let mut line = String::new();
         reader.read_line(&mut line).expect("response");
         assert!(line.contains("\"type\":\"result\""), "{line}");
         assert!(line.contains(&format!("\"id\":{id}")), "{line}");
+        while server.stats().jobs_pending > 0 {
+            thread::yield_now();
+        }
     }
     drop(writer);
     drop(reader);

@@ -20,7 +20,15 @@ use proptest::prelude::*;
 const GOLDEN: &str = include_str!("golden/engine_serve_session.in.jsonl");
 
 /// Every line the serving tier may legally emit.
-const KNOWN_TYPES: [&str; 5] = ["result", "progress", "error", "rejected", "shutdown"];
+const KNOWN_TYPES: [&str; 7] = [
+    "result",
+    "progress",
+    "error",
+    "rejected",
+    "shutdown",
+    "workloads",
+    "spec_schema",
+];
 
 /// One server shared by every fuzz case: surviving all of them on a single
 /// engine is the cross-session-isolation claim under test. The wire

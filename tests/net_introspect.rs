@@ -1,0 +1,117 @@
+//! Front-end parity for the v2 request envelope and the introspection
+//! commands: `list_workloads` and `describe_spec` must be answered
+//! byte-identically over stdin/stdout and over TCP, and the shared
+//! shutdown-disabled message must cross the wire verbatim.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use drhw_engine::{serve, Engine, SHUTDOWN_DISABLED_MESSAGE};
+use drhw_net::{Server, ServerConfig};
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::builder().threads(1).build())
+}
+
+/// Runs one stdin/stdout session and returns its response lines.
+fn stdin_session(input: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    serve(&engine(), input.as_bytes(), &mut out).expect("stdin session");
+    String::from_utf8(out)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Runs one TCP session against a fresh server and returns its response
+/// lines. A fresh engine per session keeps cache markers (`hit`/`miss`)
+/// identical to a fresh stdin session's.
+fn tcp_session(config: ServerConfig, input: &str) -> Vec<String> {
+    let server = Server::start(engine(), config).expect("server binds");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("client connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    stream.write_all(input.as_bytes()).expect("submit");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("server closes");
+    server.handle().shutdown();
+    server.join();
+    String::from_utf8(raw)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn introspection_replies_are_byte_identical_across_front_ends() {
+    for (command, reply_type) in [
+        ("{\"cmd\":\"list_workloads\"}\n", "\"type\":\"workloads\""),
+        ("{\"cmd\":\"describe_spec\"}\n", "\"type\":\"spec_schema\""),
+    ] {
+        let stdin = stdin_session(command);
+        let tcp = tcp_session(ServerConfig::default(), command);
+        assert_eq!(stdin.len(), 1, "{stdin:?}");
+        assert!(stdin[0].contains(reply_type), "{}", stdin[0]);
+        assert_eq!(
+            stdin, tcp,
+            "both front-ends must answer {command:?} identically"
+        );
+    }
+}
+
+#[test]
+fn the_v2_envelope_is_accepted_identically_on_both_front_ends() {
+    let v2 = "{\"v\":2,\"id\":11,\"spec\":{\"workload\":\"multimedia\",\"tiles\":4,\
+              \"iterations\":3,\"policies\":[\"no-prefetch\"]}}\n";
+    let stdin = stdin_session(v2);
+    let tcp = tcp_session(ServerConfig::default(), v2);
+    assert_eq!(stdin.len(), 1, "{stdin:?}");
+    assert!(stdin[0].contains("\"type\":\"result\""), "{}", stdin[0]);
+    assert!(stdin[0].contains("\"id\":11"), "{}", stdin[0]);
+    assert_eq!(stdin, tcp);
+
+    // The equivalent v1 flat request produces the same result line.
+    let v1 = "{\"id\":11,\"workload\":\"multimedia\",\"tiles\":4,\
+              \"iterations\":3,\"policies\":[\"no-prefetch\"]}\n";
+    assert_eq!(stdin_session(v1), stdin);
+}
+
+#[test]
+fn unsupported_envelope_versions_fail_identically_on_both_front_ends() {
+    let v3 = "{\"v\":3,\"id\":4,\"spec\":{\"workload\":\"multimedia\"}}\n";
+    let stdin = stdin_session(v3);
+    let tcp = tcp_session(ServerConfig::default(), v3);
+    assert_eq!(stdin.len(), 1, "{stdin:?}");
+    assert!(stdin[0].contains("\"type\":\"error\""), "{}", stdin[0]);
+    assert!(stdin[0].contains("unsupported version"), "{}", stdin[0]);
+    assert_eq!(stdin, tcp);
+}
+
+#[test]
+fn a_disabled_shutdown_command_reports_the_shared_message_and_keeps_serving() {
+    let config = ServerConfig {
+        allow_shutdown_command: false,
+        ..ServerConfig::default()
+    };
+    // The refused shutdown must not take the session down: the job that
+    // follows it on the same connection still completes.
+    let input = "{\"cmd\":\"shutdown\"}\n{\"id\":1,\"workload\":\"multimedia\",\"tiles\":4,\
+                 \"iterations\":2,\"policies\":[\"no-prefetch\"]}\n";
+    let lines = tcp_session(config, input);
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert!(lines[0].contains("\"type\":\"error\""), "{}", lines[0]);
+    assert!(lines[0].contains(SHUTDOWN_DISABLED_MESSAGE), "{}", lines[0]);
+    assert!(lines[1].contains("\"type\":\"result\""), "{}", lines[1]);
+
+    // The stdin front-end (where shutdown is always EOF) uses the same
+    // message for the same command.
+    let stdin = stdin_session("{\"cmd\":\"shutdown\"}\n");
+    assert_eq!(stdin.len(), 1, "{stdin:?}");
+    assert!(stdin[0].contains(SHUTDOWN_DISABLED_MESSAGE), "{}", stdin[0]);
+}

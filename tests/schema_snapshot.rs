@@ -349,6 +349,117 @@ fn job_spec_wire_schema_is_pinned() {
     assert_eq!(minimal.to_json(), r#"{"workload":"multimedia"}"#);
 }
 
+/// The exact key order of a `sweep_result` line in `results.jsonl`.
+const SWEEP_RESULT_KEYS: [&str; 5] = ["type", "set", "index", "spec", "reports"];
+
+/// The exact key order of a `sweep_error` line in `results.jsonl`.
+const SWEEP_ERROR_KEYS: [&str; 5] = ["type", "set", "index", "spec", "message"];
+
+/// The exact top-level key order of `SWEEP_summary.json`.
+const SWEEP_SUMMARY_KEYS: [&str; 7] = [
+    "type",
+    "experiment",
+    "sets",
+    "duplicates",
+    "errors",
+    "workloads",
+    "axes",
+];
+
+fn object_keys(value: &json::JsonValue) -> Vec<&str> {
+    value
+        .entries()
+        .expect("an object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect()
+}
+
+/// Runs a three-set sweep (one set failing) and pins every key set the
+/// sweep session emits: result lines, error lines and the summary —
+/// downstream scrapers and the CI sweep job depend on these names.
+#[test]
+fn sweep_wire_schema_is_pinned() {
+    use drhw_engine::sweep::{run_sweep, SweepOptions, RESULTS_FILE, SUMMARY_FILE};
+    use drhw_engine::ExperimentSpec;
+
+    let spec_json = r#"{"experiment":"schema_pin","workloads":["multimedia"],
+        "tiles":[4],"policies":["no-prefetch"],"iterations":[2],"seeds":[1,2],
+        "explicit":[{"workload":"random-200x200","tiles":2,"iterations":1}]}"#;
+    let spec = ExperimentSpec::from_json(&json::parse(spec_json).unwrap()).unwrap();
+    let dir = std::env::temp_dir().join(format!("drhw-schema-pin-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let engine = drhw_engine::Engine::builder().threads(1).build();
+    let mut log = Vec::new();
+    let outcome =
+        run_sweep(&engine, &spec, &dir, &SweepOptions::default(), &mut log).expect("sweep runs");
+    assert!(outcome.finished);
+    assert_eq!(outcome.errors, 1, "the explicit set fails in simulation");
+
+    let results =
+        std::fs::read_to_string(outcome.session_dir.join(RESULTS_FILE)).expect("result log");
+    let mut saw_result = false;
+    let mut saw_error = false;
+    for line in results.lines() {
+        let value = json::parse(line).expect("result lines are JSON");
+        match value.get("type").and_then(|v| v.as_str()) {
+            Some("sweep_result") => {
+                saw_result = true;
+                assert_eq!(object_keys(&value), SWEEP_RESULT_KEYS, "{line}");
+            }
+            Some("sweep_error") => {
+                saw_error = true;
+                assert_eq!(object_keys(&value), SWEEP_ERROR_KEYS, "{line}");
+            }
+            other => panic!("unknown result-line type {other:?}: {line}"),
+        }
+        // The `set` id is the 16-hex-digit ParamSetId.
+        let id = value.get("set").and_then(|v| v.as_str()).expect("set id");
+        assert_eq!(id.len(), 16, "{line}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{line}");
+        // Report objects inside a result line reuse the serve schema.
+        if let Some(reports) = value.get("reports").and_then(|v| v.as_array()) {
+            for report in reports {
+                assert_eq!(object_keys(report), REPORT_KEYS, "{line}");
+            }
+        }
+    }
+    assert!(saw_result && saw_error);
+
+    let summary_text =
+        std::fs::read_to_string(outcome.session_dir.join(SUMMARY_FILE)).expect("summary");
+    let summary = json::parse(summary_text.trim_end()).expect("summary is JSON");
+    assert_eq!(
+        object_keys(&summary),
+        SWEEP_SUMMARY_KEYS,
+        "SWEEP_summary.json keys changed — the CI sweep job scrapes these"
+    );
+    for row in summary.get("workloads").and_then(|v| v.as_array()).unwrap() {
+        assert_eq!(
+            object_keys(row),
+            ["workload", "policies", "best_policy", "worst_policy"]
+        );
+        for policy in row.get("policies").and_then(|v| v.as_array()).unwrap() {
+            assert_eq!(
+                object_keys(policy),
+                ["policy", "median_overhead_percent", "sets"]
+            );
+        }
+    }
+    for row in summary.get("axes").and_then(|v| v.as_array()).unwrap() {
+        assert_eq!(object_keys(row), ["axis", "values"]);
+        for value in row.get("values").and_then(|v| v.as_array()).unwrap() {
+            assert_eq!(
+                object_keys(value),
+                ["value", "median_overhead_percent", "sets"]
+            );
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn serve_result_wire_schema_is_pinned() {
     let engine = drhw_engine::Engine::builder().build();

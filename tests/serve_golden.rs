@@ -14,6 +14,9 @@ use drhw_engine::{serve, Engine};
 const INPUT: &str = include_str!("golden/engine_serve_session.in.jsonl");
 const EXPECTED: &str = include_str!("golden/engine_serve_session.out.jsonl");
 
+const INPUT_V2: &str = include_str!("golden/engine_serve_session_v2.in.jsonl");
+const EXPECTED_V2: &str = include_str!("golden/engine_serve_session_v2.out.jsonl");
+
 #[test]
 fn golden_session_round_trips_byte_for_byte() {
     let engine = Engine::builder().build();
@@ -36,6 +39,40 @@ fn golden_session_round_trips_byte_for_byte() {
     };
     assert!(lines[0].contains(r#""cache":"miss""#));
     assert!(lines[1].contains(r#""cache":"hit""#));
+    assert_eq!(lines[0], normalize(lines[1]));
+}
+
+/// The v2 session mixes versioned envelopes with v1 flat requests and the
+/// introspection commands. A v2 envelope whose `spec` matches a v1 request
+/// byte-for-byte must land in the same plan-cache slot (`"cache":"hit"`).
+#[test]
+fn golden_v2_session_round_trips_byte_for_byte() {
+    let engine = Engine::builder().build();
+    let mut out = Vec::new();
+    let summary = serve(&engine, INPUT_V2.as_bytes(), &mut out).expect("in-memory I/O");
+    assert_eq!(
+        summary.completed, 6,
+        "four jobs + two introspection replies"
+    );
+    assert_eq!(
+        summary.failed, 3,
+        "the unknown field, the shutdown command and the v3 envelope fail"
+    );
+    let output = String::from_utf8(out).expect("output is UTF-8");
+    assert_eq!(
+        output, EXPECTED_V2,
+        "v2 serving output diverged from the committed golden transcript"
+    );
+
+    // The v1 twin of the v2 opener is a cache hit: the envelope is pure
+    // framing and never reaches the cache key.
+    let lines: Vec<&str> = output.lines().collect();
+    assert!(lines[0].contains(r#""id":1"#) && lines[0].contains(r#""cache":"miss""#));
+    assert!(lines[1].contains(r#""id":2"#) && lines[1].contains(r#""cache":"hit""#));
+    let normalize = |line: &str| {
+        line.replace(r#""id":2"#, r#""id":1"#)
+            .replace(r#""cache":"hit""#, r#""cache":"miss""#)
+    };
     assert_eq!(lines[0], normalize(lines[1]));
 }
 

@@ -1,0 +1,233 @@
+//! Session-level contract of the sweep orchestrator: byte-identical result
+//! logs at any worker count, and kill/restart resume that never recomputes
+//! or duplicates a completed [`ParamSetId`].
+
+use std::fs;
+use std::path::Path;
+
+use drhw_engine::json::parse;
+use drhw_engine::sweep::{run_sweep, SweepOptions, MANIFEST_FILE, RESULTS_FILE, SUMMARY_FILE};
+use drhw_engine::{Engine, ExperimentSpec};
+
+fn spec(text: &str) -> ExperimentSpec {
+    ExperimentSpec::from_json(&parse(text).expect("valid JSON")).expect("valid spec")
+}
+
+/// A small but multi-axis sweep: 2 workloads × 2 tiles × 2 policies ×
+/// 3 seeds = 24 sets.
+fn demo_spec() -> ExperimentSpec {
+    spec(
+        r#"{"experiment":"demo","workloads":["multimedia","pocket_gl"],
+            "tiles":[4,8],"policies":["no-prefetch","hybrid"],
+            "iterations":[6],"seeds":[1,2,3]}"#,
+    )
+}
+
+fn engine(threads: usize) -> Engine {
+    Engine::builder().threads(threads).build()
+}
+
+fn run(
+    engine: &Engine,
+    spec: &ExperimentSpec,
+    out: &Path,
+    stop_after: Option<usize>,
+) -> drhw_engine::SweepOutcome {
+    let options = SweepOptions {
+        stop_after,
+        ..SweepOptions::default()
+    };
+    let mut log = Vec::new();
+    run_sweep(engine, spec, out, &options, &mut log).expect("sweep session runs")
+}
+
+fn read(session: &Path, file: &str) -> String {
+    fs::read_to_string(session.join(file)).expect("session file exists")
+}
+
+#[test]
+fn the_same_spec_produces_identical_bytes_at_any_worker_count() {
+    let spec = demo_spec();
+    let mut outputs = Vec::new();
+    for threads in [1, 4] {
+        let dir = tempdir(&format!("sweep-threads-{threads}"));
+        let outcome = run(&engine(threads), &spec, &dir, None);
+        assert!(outcome.finished);
+        assert_eq!(outcome.total, 24);
+        assert_eq!(outcome.errors, 0);
+        outputs.push((
+            read(&outcome.session_dir, RESULTS_FILE),
+            read(&outcome.session_dir, SUMMARY_FILE),
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+    assert_eq!(
+        outputs[0].0, outputs[1].0,
+        "worker count must not leak into the result log"
+    );
+    assert_eq!(
+        outputs[0].1, outputs[1].1,
+        "worker count must not leak into the summary"
+    );
+}
+
+#[test]
+fn kill_and_resume_recomputes_and_duplicates_nothing() {
+    let spec = demo_spec();
+    let reference_dir = tempdir("sweep-reference");
+    let reference = run(&engine(2), &spec, &reference_dir, None);
+    let reference_log = read(&reference.session_dir, RESULTS_FILE);
+    let reference_summary = read(&reference.session_dir, SUMMARY_FILE);
+
+    // Interrupted session: stop after 7, then 9, then run to the end —
+    // three separate engines, as three separate processes would be.
+    let dir = tempdir("sweep-resumed");
+    let first = run(&engine(2), &spec, &dir, Some(7));
+    assert_eq!((first.resumed, first.completed), (0, 7));
+    assert!(!first.finished);
+    let after_first = read(&first.session_dir, RESULTS_FILE);
+
+    let second = run(&engine(2), &spec, &dir, Some(9));
+    assert_eq!(
+        (second.resumed, second.completed),
+        (7, 9),
+        "the second run must skip exactly the 7 completed sets"
+    );
+    let after_second = read(&second.session_dir, RESULTS_FILE);
+    assert!(
+        after_second.starts_with(&after_first),
+        "resume must append, never rewrite completed result lines"
+    );
+
+    let last = run(&engine(2), &spec, &dir, None);
+    assert_eq!((last.resumed, last.completed), (16, 8));
+    assert!(last.finished);
+
+    let merged = read(&last.session_dir, RESULTS_FILE);
+    assert_eq!(
+        merged, reference_log,
+        "a killed-and-resumed session must merge to the uninterrupted log, byte for byte"
+    );
+    assert_eq!(read(&last.session_dir, SUMMARY_FILE), reference_summary);
+
+    // Every ParamSetId appears exactly once.
+    let ids: Vec<&str> = merged
+        .lines()
+        .map(|line| {
+            let start = line.find("\"set\":\"").expect("result lines carry ids") + 7;
+            &line[start..start + 16]
+        })
+        .collect();
+    let mut unique = ids.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(ids.len(), 24);
+    assert_eq!(unique.len(), 24, "no ParamSetId may be duplicated");
+
+    fs::remove_dir_all(&reference_dir).ok();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_torn_trailing_line_is_truncated_and_recomputed() {
+    let spec = demo_spec();
+    let reference_dir = tempdir("sweep-torn-reference");
+    let reference = run(&engine(2), &spec, &reference_dir, None);
+    let reference_log = read(&reference.session_dir, RESULTS_FILE);
+
+    let dir = tempdir("sweep-torn");
+    let partial = run(&engine(2), &spec, &dir, Some(5));
+    // Simulate a kill mid-write: append half a result line, no newline.
+    let results = partial.session_dir.join(RESULTS_FILE);
+    let mut torn = fs::read_to_string(&results).expect("log exists");
+    torn.push_str("{\"type\":\"sweep_res");
+    fs::write(&results, &torn).expect("log writes");
+
+    let resumed = run(&engine(2), &spec, &dir, None);
+    assert_eq!(
+        resumed.resumed, 5,
+        "the torn line must not count as completed"
+    );
+    assert!(resumed.finished);
+    assert_eq!(read(&resumed.session_dir, RESULTS_FILE), reference_log);
+
+    fs::remove_dir_all(&reference_dir).ok();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_session_directory_of_a_different_spec_is_refused() {
+    let dir = tempdir("sweep-foreign");
+    run(&engine(1), &demo_spec(), &dir, Some(2));
+    // Same experiment name, different axes → different expansion.
+    let other = spec(
+        r#"{"experiment":"demo","workloads":["multimedia"],
+            "tiles":[4],"iterations":[6],"seeds":[1,2]}"#,
+    );
+    let mut log = Vec::new();
+    let err = run_sweep(&engine(1), &other, &dir, &SweepOptions::default(), &mut log)
+        .expect_err("foreign session directories must be refused");
+    let message = err.to_string();
+    assert!(message.contains("different sweep"), "{message}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failing_sets_become_error_lines_and_are_not_retried_on_resume() {
+    // random-200x200 resolves (so expansion accepts it) but the simulation
+    // rejects it deterministically: more subtasks than any schedule fits.
+    let spec = spec(
+        r#"{"experiment":"partial","workloads":["multimedia"],
+            "tiles":[8],"policies":["hybrid"],"iterations":[4],"seeds":[1,2],
+            "explicit":[{"workload":"random-200x200","tiles":2,"iterations":1}]}"#,
+    );
+    let dir = tempdir("sweep-errors");
+    let outcome = run(&engine(2), &spec, &dir, None);
+    assert!(outcome.finished);
+    assert_eq!(outcome.total, 3);
+    assert_eq!(outcome.errors, 1);
+    let log = read(&outcome.session_dir, RESULTS_FILE);
+    assert_eq!(log.lines().count(), 3);
+    let error_line = log
+        .lines()
+        .find(|l| l.contains("\"type\":\"sweep_error\""))
+        .expect("the failing set is recorded");
+    assert!(error_line.contains("random-200x200"), "{error_line}");
+
+    // Resume over a finished session (errors included) recomputes nothing.
+    let again = run(&engine(2), &spec, &dir, None);
+    assert_eq!((again.resumed, again.completed), (3, 0));
+    assert_eq!(again.errors, 1);
+    assert_eq!(read(&again.session_dir, RESULTS_FILE), log);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn the_manifest_pins_the_expansion() {
+    let dir = tempdir("sweep-manifest");
+    let outcome = run(&engine(1), &demo_spec(), &dir, Some(1));
+    let manifest = read(&outcome.session_dir, MANIFEST_FILE);
+    let value = parse(manifest.trim_end()).expect("manifest is JSON");
+    assert_eq!(
+        value.get("format").and_then(|v| v.as_str()),
+        Some("drhw-sweep")
+    );
+    assert_eq!(value.get("sets").and_then(|v| v.as_u64()), Some(24));
+    assert_eq!(
+        value
+            .get("spec_hash")
+            .and_then(|v| v.as_str())
+            .map(str::len),
+        Some(16)
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A per-test scratch directory under the target dir (no tempfile crate in
+/// the offline build); the process id keeps concurrent test binaries apart.
+fn tempdir(label: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("drhw-{label}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).expect("scratch dir creates");
+    dir
+}
