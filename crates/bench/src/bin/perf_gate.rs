@@ -5,7 +5,7 @@
 //! per-call cost, per-stage design-time wall clock and cross-policy wall
 //! clock, and compares them against the committed `BENCH_baseline.json`
 //! under per-metric tolerance bands. On a regression it prints a delta table
-//! and exits non-zero; the same table plus the schema-v7
+//! and exits non-zero; the same table plus the schema-v8
 //! `BENCH_results.json` are written to disk so CI can upload them as
 //! artifacts.
 //!
@@ -41,7 +41,7 @@
 //! * `PERF_GATE_RUNS` — repeated measurement runs (default 5)
 //! * `PERF_GATE_ITERATIONS` — simulated iterations per run (default 2000)
 //! * `PERF_BASELINE_PATH` — baseline location (default `BENCH_baseline.json`)
-//! * `BENCH_RESULTS_PATH` — schema-v7 results output (default `BENCH_results.json`)
+//! * `BENCH_RESULTS_PATH` — schema-v8 results output (default `BENCH_results.json`)
 //! * `PERF_DELTA_PATH` — delta table output (default `PERF_delta.txt`)
 //!
 //! The gated suite runs single-threaded on purpose: the gate measures the
@@ -59,7 +59,9 @@ use drhw_bench::experiments::workload_config;
 use drhw_bench::gate::{
     evaluate_gate, load_baseline, render_baseline_json, Measured, DEFAULT_TOLERANCE,
 };
-use drhw_bench::report::{render_results_json, PlanCacheBlock, RunTiming, ServingBlock};
+use drhw_bench::report::{
+    render_results_json, PlanCacheBlock, RunTiming, ServingBlock, TrafficBlock,
+};
 use drhw_bench::serving::{run_swarm, SwarmConfig};
 use drhw_bench::stages::{
     measure_kernel_timings, measure_stage_timings, KERNEL_NAMES, STAGE_NAMES,
@@ -67,7 +69,31 @@ use drhw_bench::stages::{
 use drhw_model::Platform;
 use drhw_prefetch::PolicyKind;
 use drhw_sim::{IterationPlan, SimBatch};
+use drhw_traffic::{run_scenario, TrafficScenario};
 use drhw_workloads::{MultimediaWorkload, Workload};
+
+/// The pinned traffic scenario the gate drives every run: Poisson and
+/// bursty on-off arrivals against a 2-slot queue on the multimedia
+/// workload, contrasting the paper's two extremes (no prefetch vs hybrid).
+/// Rates are tuned so the slots run loaded but not saturated — the sojourn
+/// tail actually reflects queueing, and a policy regression that stretches
+/// service times shows up in p99/p999 before it shows up anywhere else.
+const PINNED_TRAFFIC_SCENARIO: &str = r#"{
+    "scenario": "perf-gate",
+    "seed": 2005,
+    "slots": 2,
+    "duration_ms": 60000,
+    "warmup_ms": 5000,
+    "iterations": 120,
+    "tiles": 8,
+    "generators": [
+        {"name": "steady", "kind": "poisson", "rate_per_sec": 6.0},
+        {"name": "bursty", "kind": "onoff", "rate_on_per_sec": 12.0,
+         "rate_off_per_sec": 0.5, "mean_on_ms": 1500, "mean_off_ms": 1500}
+    ],
+    "workloads": ["multimedia"],
+    "policies": ["no-prefetch", "hybrid"]
+}"#;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -340,6 +366,8 @@ fn main() {
     let mut swarm_jobs_per_sec = Vec::with_capacity(runs);
     let mut swarm_p50 = Vec::with_capacity(runs);
     let mut swarm_p99 = Vec::with_capacity(runs);
+    let mut swarm_p999 = Vec::with_capacity(runs);
+    let mut swarm_utilization = Vec::with_capacity(runs);
     let expected_jobs = (serving_clients * serving_jobs_per_client) as u64;
     for _ in 0..runs {
         let outcome = run_swarm(&swarm_config).expect("swarm runs");
@@ -355,18 +383,24 @@ fn main() {
         swarm_jobs_per_sec.push(outcome.jobs_per_sec());
         swarm_p50.push(outcome.p50_ms());
         swarm_p99.push(outcome.p99_ms());
+        swarm_p999.push(outcome.p999_ms());
+        swarm_utilization.push(outcome.utilization());
     }
     server.handle().shutdown();
     server.join();
     let serving_jobs_per_sec = median(&mut swarm_jobs_per_sec);
     let serving_p50_ms = median(&mut swarm_p50);
     let serving_p99_ms = median(&mut swarm_p99);
+    let serving_p999_ms = median(&mut swarm_p999);
+    let serving_utilization = median(&mut swarm_utilization);
     timing.serving = Some(ServingBlock {
         clients: serving_clients as u64,
         jobs: expected_jobs,
         jobs_per_sec: serving_jobs_per_sec,
         p50_ms: serving_p50_ms,
         p99_ms: serving_p99_ms,
+        p999_ms: serving_p999_ms,
+        utilization: serving_utilization,
     });
     measured.push(Measured::higher_is_better(
         "serving.jobs_per_sec",
@@ -374,10 +408,123 @@ fn main() {
     ));
     measured.push(Measured::lower_is_better("serving.p50_ms", serving_p50_ms));
     measured.push(Measured::lower_is_better("serving.p99_ms", serving_p99_ms));
+    measured.push(Measured::lower_is_better(
+        "serving.p999_ms",
+        serving_p999_ms,
+    ));
     println!(
         "  serving: {serving_clients} clients x {serving_jobs_per_client} jobs — \
-         {serving_jobs_per_sec:.0} jobs/s, p50 {serving_p50_ms:.2} ms, p99 {serving_p99_ms:.2} ms \
-         (medians of {runs})"
+         {serving_jobs_per_sec:.0} jobs/s, p50 {serving_p50_ms:.2} ms, p99 {serving_p99_ms:.2} ms, \
+         p999 {serving_p999_ms:.2} ms, {:.0} % client-slot utilization (medians of {runs})",
+        serving_utilization * 100.0
+    );
+
+    // The open-loop traffic scenario: the pinned spec below exercises the
+    // whole drhw-traffic pipeline — service-pool measurement through the
+    // engine, Poisson and bursty on-off arrivals, the DES drain — on the
+    // virtual clock. Its latency/utilization metrics are fully
+    // deterministic (gated at the default band; any drift is a real
+    // behavior change, not noise); only `traffic.events_per_sec`, the
+    // wall-clock rate the driver streams events at, is runner-dependent.
+    // Two identical runs must produce byte-identical event streams — a
+    // functional check, not a tolerance question.
+    let traffic_scenario = TrafficScenario::from_json_text(PINNED_TRAFFIC_SCENARIO)
+        .expect("pinned traffic scenario parses");
+    let traffic_engine = drhw_engine::Engine::builder().threads(1).build();
+    let mut traffic_event_rates = Vec::with_capacity(runs);
+    let mut first_stream: Option<Vec<u8>> = None;
+    let mut traffic_outcome = None;
+    for _ in 0..runs {
+        let mut events = Vec::new();
+        let started = Instant::now();
+        let outcome = run_scenario(
+            &traffic_engine,
+            &traffic_scenario,
+            std::path::Path::new("."),
+            &mut events,
+        )
+        .expect("pinned traffic scenario runs");
+        let elapsed_s = started.elapsed().as_secs_f64();
+        let event_lines = events.iter().filter(|&&b| b == b'\n').count();
+        traffic_event_rates.push(event_lines as f64 / elapsed_s);
+        match &first_stream {
+            None => first_stream = Some(events),
+            Some(first) => {
+                if *first != events {
+                    eprintln!(
+                        "perf gate FAILED: traffic scenario is not deterministic — two runs \
+                         produced different event streams"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        traffic_outcome = Some(outcome);
+    }
+    let traffic_outcome = traffic_outcome.expect("at least one gate run");
+    let mut traffic_sojourn = drhw_traffic::Histogram::new();
+    let mut traffic_jobs = 0u64;
+    let mut traffic_offered = 0.0;
+    let mut traffic_achieved = 0.0;
+    let mut traffic_utilization = 0.0;
+    for cell in &traffic_outcome.cells {
+        if cell.measured == 0 || cell.completed_in_window == 0 {
+            eprintln!(
+                "perf gate FAILED: traffic cell {} ({}/{}/{}) measured no work — the pinned \
+                 scenario must load every cell",
+                cell.cell, cell.generator, cell.workload, cell.policy
+            );
+            std::process::exit(1);
+        }
+        traffic_sojourn.merge(&cell.sojourn);
+        traffic_jobs += cell.measured;
+        traffic_offered += cell.offered_per_sec();
+        traffic_achieved += cell.achieved_per_sec();
+        traffic_utilization += cell.utilization_mean();
+    }
+    traffic_utilization /= traffic_outcome.cells.len() as f64;
+    let traffic_events_per_sec = median(&mut traffic_event_rates);
+    timing.traffic = Some(TrafficBlock {
+        cells: traffic_outcome.cells.len() as u64,
+        jobs: traffic_jobs,
+        offered_per_sec: traffic_offered,
+        achieved_per_sec: traffic_achieved,
+        p50_ms: traffic_sojourn.p50_ms(),
+        p99_ms: traffic_sojourn.p99_ms(),
+        p999_ms: traffic_sojourn.p999_ms(),
+        utilization: traffic_utilization,
+        events_per_sec: traffic_events_per_sec,
+    });
+    measured.push(Measured::lower_is_better(
+        "traffic.p50_ms",
+        traffic_sojourn.p50_ms(),
+    ));
+    measured.push(Measured::lower_is_better(
+        "traffic.p99_ms",
+        traffic_sojourn.p99_ms(),
+    ));
+    measured.push(Measured::lower_is_better(
+        "traffic.p999_ms",
+        traffic_sojourn.p999_ms(),
+    ));
+    measured.push(Measured::higher_is_better(
+        "traffic.utilization",
+        traffic_utilization,
+    ));
+    measured.push(Measured::higher_is_better(
+        "traffic.events_per_sec",
+        traffic_events_per_sec,
+    ));
+    println!(
+        "  traffic: {} cells, {} measured job(s) — sojourn p50 {:.1} ms, p99 {:.1} ms, p999 \
+         {:.1} ms, {:.0} % slot utilization, {:.0} events/s wall clock (median of {runs})",
+        traffic_outcome.cells.len(),
+        traffic_jobs,
+        traffic_sojourn.p50_ms(),
+        traffic_sojourn.p99_ms(),
+        traffic_sojourn.p999_ms(),
+        traffic_utilization * 100.0,
+        traffic_events_per_sec,
     );
     for (which, &policy) in PolicyKind::ALL.iter().enumerate() {
         let ms = median(&mut per_policy_ms[which]);
@@ -441,7 +588,7 @@ fn main() {
         eprintln!("error: cannot write {results_path}: {err}");
         std::process::exit(3);
     }
-    println!("schema-v7 results written to {results_path}");
+    println!("schema-v8 results written to {results_path}");
 
     if write_baseline {
         let text = render_baseline_json(&measured, DEFAULT_TOLERANCE);

@@ -1,0 +1,98 @@
+//! `traffic` — runs an open-loop traffic scenario end to end.
+//!
+//! Reads a `TrafficScenario` spec (strict JSON), measures service pools
+//! through the job engine, walks every cell's queueing run on the virtual
+//! clock, and writes the session into `<out>/<scenario>/`:
+//!
+//! * `TRAFFIC_results.jsonl` — header, cell and `traffic_event` lines in
+//!   virtual-time order;
+//! * `TRAFFIC_summary.json` — per-cell aggregates (schema v8): offered vs
+//!   achieved throughput, wait/service/sojourn p50/p99/p999, per-slot
+//!   utilization, and the paper's overhead metric;
+//! * `trace-<generator>.jsonl` — every generator's arrival stream, ready
+//!   for replay with a `{"kind": "trace"}` generator.
+//!
+//! Every output byte is determined by the scenario alone — the same
+//! scenario produces identical files at any engine worker count, which the
+//! CI `traffic` job checks by diffing two runs.
+//!
+//! ```text
+//! traffic <scenario.json>
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `TRAFFIC_OUT` — session parent directory (default `traffic-out`)
+//! * `TRAFFIC_THREADS` — engine worker threads (default: engine's choice)
+//!
+//! Exit status: 0 on success, 1 on an engine/runtime failure, 2 on a
+//! usage or scenario error.
+
+use std::path::Path;
+
+use drhw_traffic::{render_table, run_session, TrafficError, TrafficScenario};
+
+fn fail_usage(message: &str) -> ! {
+    eprintln!("traffic: {message}");
+    eprintln!("usage: traffic <scenario.json>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(spec_path) = args.next() else {
+        fail_usage("a scenario file is required");
+    };
+    if let Some(extra) = args.next() {
+        fail_usage(&format!("unexpected argument {extra:?}"));
+    }
+    let out = std::env::var("TRAFFIC_OUT").unwrap_or_else(|_| "traffic-out".to_string());
+    let threads = std::env::var("TRAFFIC_THREADS")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+
+    let text = match std::fs::read_to_string(&spec_path) {
+        Ok(text) => text,
+        Err(e) => fail_usage(&format!("cannot read {spec_path}: {e}")),
+    };
+    let scenario = match TrafficScenario::from_json_text(&text) {
+        Ok(scenario) => scenario,
+        Err(e) => fail_usage(&format!("{spec_path}: {e}")),
+    };
+    // Trace-replay paths resolve relative to the scenario file, so a
+    // scenario and its recorded traces can travel together.
+    let base_dir = Path::new(&spec_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| Path::new("."));
+
+    let mut builder = drhw_engine::Engine::builder();
+    if threads > 0 {
+        builder = builder.threads(threads);
+    }
+    let engine = builder.build();
+
+    println!(
+        "traffic: scenario {:?} — {} generator(s) x {} workload(s) x {} policy(ies), {} slot(s), \
+         {} ms horizon ({} ms warmup)",
+        scenario.scenario,
+        scenario.generators.len(),
+        scenario.workloads.len(),
+        scenario.resolved_policies().len(),
+        scenario.slots,
+        scenario.duration_ms,
+        scenario.warmup_ms,
+    );
+    match run_session(&engine, &scenario, base_dir, Path::new(&out)) {
+        Ok(session) => {
+            print!("{}", render_table(&session.outcome));
+            println!("traffic: session written to {}", session.dir.display());
+        }
+        Err(e @ TrafficError::Scenario { .. }) => fail_usage(&e.to_string()),
+        Err(e) => {
+            eprintln!("traffic: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -54,6 +54,10 @@ pub const TOLERANCE_OVERRIDES: &[(&str, f64)] = &[
     ("plan_cache.", 3.0),
     ("serving.", 3.0),
     ("stage_ms.", 2.0),
+    // The traffic scenario runs on a virtual clock — its latency and
+    // utilization metrics are deterministic and keep the default band; only
+    // the wall-clock event throughput of the driver is runner-noisy.
+    ("traffic.events_per_sec", 3.0),
     ("wall_clock_ms.cross_policy", 3.0),
 ];
 

@@ -121,6 +121,37 @@ pub struct ServingBlock {
     pub p50_ms: f64,
     /// 99th-percentile per-job latency, in milliseconds.
     pub p99_ms: f64,
+    /// 99.9th-percentile per-job latency, in milliseconds. New in schema v8.
+    pub p999_ms: f64,
+    /// Busy fraction of the client slots over the measured window: total
+    /// in-flight job time divided by `elapsed × clients`. New in schema v8.
+    pub utilization: f64,
+}
+
+/// How the pinned open-loop traffic scenario behaved — the `traffic` block
+/// of `BENCH_results.json` (since schema v8). Latency and utilization
+/// figures are deterministic (virtual clock); `events_per_sec` is the
+/// wall-clock rate the driver produced events at.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrafficBlock {
+    /// Cells of the pinned scenario.
+    pub cells: u64,
+    /// Jobs that arrived inside the measurement window, across cells.
+    pub jobs: u64,
+    /// Offered load across cells, per second of virtual window.
+    pub offered_per_sec: f64,
+    /// Achieved completion throughput across cells, per second of window.
+    pub achieved_per_sec: f64,
+    /// Median sojourn latency across cells, in virtual milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile sojourn latency, in virtual milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile sojourn latency, in virtual milliseconds.
+    pub p999_ms: f64,
+    /// Mean slot utilization across cells (busy fraction of the window).
+    pub utilization: f64,
+    /// Wall-clock event throughput of the driver (events per second).
+    pub events_per_sec: f64,
 }
 
 /// Wall-clock measurements of one experiment-harness run, recorded alongside
@@ -157,6 +188,10 @@ pub struct RunTiming {
     /// server (`None` renders as an all-zero block so the schema's key set
     /// is stable). New in schema v7.
     pub serving: Option<ServingBlock>,
+    /// Open-loop traffic-scenario measurements, when the run drove the
+    /// pinned scenario (`None` renders as an all-zero block so the schema's
+    /// key set is stable). New in schema v8.
+    pub traffic: Option<TrafficBlock>,
 }
 
 impl RunTiming {
@@ -179,8 +214,11 @@ impl RunTiming {
 /// `policy_iterations_per_sec` throughput block, the per-kernel `kernel_ns`
 /// block (nanoseconds per hot-kernel call — new in v5), the engine's
 /// `plan_cache` block (hits, misses, amortised preparation cost, plus the
-/// on-disk `disk_hits` counter — new in v6), and the TCP serving tier's
-/// `serving` block (swarm size, jobs/sec, p50/p99 job latency — new in v7).
+/// on-disk `disk_hits` counter — new in v6), the TCP serving tier's
+/// `serving` block (swarm size, jobs/sec, p50/p99 job latency — new in v7,
+/// p999/utilization — new in v8), and the open-loop traffic scenario's
+/// `traffic` block (offered vs achieved throughput, sojourn p50/p99/p999,
+/// utilization, event rate — new in v8).
 /// Hand-rolled because no JSON backend is available offline; the output is
 /// plain ASCII and the policy names, experiment labels and stage names
 /// contain no characters needing escapes.
@@ -272,9 +310,38 @@ pub fn render_results_json(reports: &[SimulationReport], timing: &RunTiming) -> 
         number(serving.jobs_per_sec)
     ));
     out.push_str(&format!("    \"p50_ms\": {},\n", number(serving.p50_ms)));
-    out.push_str(&format!("    \"p99_ms\": {}\n", number(serving.p99_ms)));
+    out.push_str(&format!("    \"p99_ms\": {},\n", number(serving.p99_ms)));
+    out.push_str(&format!("    \"p999_ms\": {},\n", number(serving.p999_ms)));
+    out.push_str(&format!(
+        "    \"utilization\": {}\n",
+        number(serving.utilization)
+    ));
     out.push_str("  },\n");
-    out.push_str("  \"schema_version\": 7\n}\n");
+    let traffic = timing.traffic.unwrap_or_default();
+    out.push_str("  \"traffic\": {\n");
+    out.push_str(&format!("    \"cells\": {},\n", traffic.cells));
+    out.push_str(&format!("    \"jobs\": {},\n", traffic.jobs));
+    out.push_str(&format!(
+        "    \"offered_per_sec\": {},\n",
+        number(traffic.offered_per_sec)
+    ));
+    out.push_str(&format!(
+        "    \"achieved_per_sec\": {},\n",
+        number(traffic.achieved_per_sec)
+    ));
+    out.push_str(&format!("    \"p50_ms\": {},\n", number(traffic.p50_ms)));
+    out.push_str(&format!("    \"p99_ms\": {},\n", number(traffic.p99_ms)));
+    out.push_str(&format!("    \"p999_ms\": {},\n", number(traffic.p999_ms)));
+    out.push_str(&format!(
+        "    \"utilization\": {},\n",
+        number(traffic.utilization)
+    ));
+    out.push_str(&format!(
+        "    \"events_per_sec\": {}\n",
+        number(traffic.events_per_sec)
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"schema_version\": 8\n}\n");
     out
 }
 
@@ -379,6 +446,19 @@ mod tests {
                 jobs_per_sec: 321.5,
                 p50_ms: 12.25,
                 p99_ms: 48.5,
+                p999_ms: 91.75,
+                utilization: 0.5625,
+            }),
+            traffic: Some(TrafficBlock {
+                cells: 6,
+                jobs: 900,
+                offered_per_sec: 30.0,
+                achieved_per_sec: 29.5,
+                p50_ms: 310.0,
+                p99_ms: 1200.5,
+                p999_ms: 1500.25,
+                utilization: 0.875,
+                events_per_sec: 250000.0,
             }),
         };
         let json = render_results_json(&reports, &timing);
@@ -411,7 +491,14 @@ mod tests {
         assert!(json.contains("\"jobs_per_sec\": 321.5000"));
         assert!(json.contains("\"p50_ms\": 12.2500"));
         assert!(json.contains("\"p99_ms\": 48.5000"));
-        assert!(json.ends_with("\"schema_version\": 7\n}\n"));
+        assert!(json.contains("\"p999_ms\": 91.7500"));
+        assert!(json.contains("\"utilization\": 0.5625"));
+        assert!(json.contains("\"traffic\""));
+        assert!(json.contains("\"cells\": 6"));
+        assert!(json.contains("\"offered_per_sec\": 30.0000"));
+        assert!(json.contains("\"achieved_per_sec\": 29.5000"));
+        assert!(json.contains("\"events_per_sec\": 250000.0000"));
+        assert!(json.ends_with("\"schema_version\": 8\n}\n"));
         // No trailing comma before a closing brace, and balanced braces.
         assert!(!json.contains(",\n  }"));
         assert!(!json.contains(",\n    }"));
@@ -444,6 +531,11 @@ mod tests {
         assert!(json.contains("\"serving\""));
         assert!(json.contains("\"clients\": 0"));
         assert!(json.contains("\"jobs_per_sec\": 0.0000"));
+        // And likewise the traffic key set.
+        assert!(json.contains("\"traffic\""));
+        assert!(json.contains("\"cells\": 0"));
+        assert!(json.contains("\"offered_per_sec\": 0.0000"));
+        assert!(json.contains("\"events_per_sec\": 0.0000"));
     }
 
     #[test]

@@ -14,8 +14,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use drhw_model::Platform;
-use drhw_sim::{SimulationConfig, SimulationReport};
+use drhw_model::{Platform, Time};
+use drhw_prefetch::PolicyKind;
+use drhw_sim::{ChunkStats, SimulationConfig, SimulationReport};
 use drhw_workloads::{Workload, WorkloadRegistry};
 
 use crate::cache::{CacheStats, PlanCache, PlanKey, PreparedPlan};
@@ -235,57 +236,9 @@ impl Engine {
             tiles,
             point_selection: spec.resolved_point_selection(&self.default_config) as u8,
         };
-        // Fast path under the lock; the expensive preparation happens
-        // UNLOCKED so a cold prepare never stalls other submitters (a rare
-        // same-key race prepares twice and `store` keeps the first copy).
-        let cached = self
-            .cache
-            .lock()
-            .expect("engine cache lock is never poisoned")
-            .lookup(&key);
-        let cache_hit = cached.is_some();
-        let entry = match cached {
-            Some(entry) => entry,
-            None => {
-                let started = std::time::Instant::now();
-                let (prepared, disk_hit) = (|| {
-                    let platform = Platform::virtex_like(tiles)?;
-                    let task_set = workload.task_set();
-                    // With a cache directory configured, try to restore the
-                    // expensive design-time search artifacts from disk; a
-                    // missing, stale or corrupt entry degrades to a cold
-                    // build whose artifacts are persisted for next time.
-                    let Some(disk) = &self.disk else {
-                        let prepared = PreparedPlan::prepare(task_set, platform, config.clone())?;
-                        return Ok((prepared, false));
-                    };
-                    let fingerprint =
-                        crate::disk::workload_fingerprint(&task_set, &platform, &config);
-                    match disk.load(&key, fingerprint) {
-                        Some(artifacts) => PreparedPlan::prepare_with_artifacts(
-                            task_set,
-                            platform,
-                            config.clone(),
-                            &artifacts,
-                        )
-                        .map(|prepared| (prepared, true)),
-                        None => {
-                            let prepared =
-                                PreparedPlan::prepare(task_set, platform, config.clone())?;
-                            disk.store(&key, fingerprint, prepared.plan());
-                            Ok((prepared, false))
-                        }
-                    }
-                })()
-                .map_err(&sim_error)?;
-                let prepare_ms = started.elapsed().as_secs_f64() * 1e3;
-                self.cache
-                    .lock()
-                    .expect("engine cache lock is never poisoned")
-                    .store(key, Arc::new(prepared), prepare_ms, disk_hit)
-            }
-        };
-
+        let (entry, cache_hit) = self
+            .cached_entry(workload.as_ref(), key, &config)
+            .map_err(&sim_error)?;
         let plan = entry.derive(config).map_err(&sim_error)?;
         let policies = spec.resolved_policies();
         let (sender, receiver) = mpsc::channel();
@@ -319,6 +272,155 @@ impl Engine {
     pub fn run(&self, spec: JobSpec) -> Result<Vec<SimulationReport>, EngineError> {
         self.submit(spec)?.wait()
     }
+
+    /// Measures the simulated per-iteration service time of every policy a
+    /// spec requests: one [`ServiceMeasurement`] per policy, in request
+    /// order, each pairing the aggregate report with the iteration-by-
+    /// iteration execution times (`ideal + penalty`, integer microseconds).
+    ///
+    /// This is the hook the `drhw-traffic` open-loop driver samples service
+    /// times from. It shares the engine's plan cache (and counts hits and
+    /// misses like [`submit`](Self::submit)) but evaluates on the calling
+    /// thread in one sequential pass per policy — the results depend only on
+    /// the spec and are bit-identical at any worker count, which is what
+    /// makes traffic scenarios byte-reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec is invalid, the workload is unknown,
+    /// or plan preparation or evaluation fails.
+    pub fn measure_service_times(
+        &self,
+        spec: &JobSpec,
+    ) -> Result<Vec<ServiceMeasurement>, EngineError> {
+        spec.validate()?;
+        let workload = self.registry.resolve(&spec.workload)?;
+        let workload_name = workload.name().to_string();
+        let tiles = spec.resolved_tiles(workload.as_ref());
+        let config = spec.config_for(workload.as_ref(), &self.default_config);
+        let sim_error = |source| EngineError::Sim {
+            workload: workload_name.clone(),
+            source,
+        };
+
+        let key = PlanKey {
+            workload: workload_name.clone(),
+            tiles,
+            point_selection: spec.resolved_point_selection(&self.default_config) as u8,
+        };
+        let (entry, _cache_hit) = self
+            .cached_entry(workload.as_ref(), key, &config)
+            .map_err(&sim_error)?;
+        let iterations = config.iterations;
+        let chunk_size = config.chunk_size.max(1);
+        let job = entry.derive(config).map_err(&sim_error)?;
+        let plan = job.plan();
+        let mut scratch = plan.make_scratch();
+        let mut measurements = Vec::new();
+        for policy in spec.resolved_policies() {
+            let outcomes = plan
+                .evaluate_run_with(policy, &mut scratch)
+                .map_err(&sim_error)?;
+            let service_times: Vec<Time> = outcomes
+                .iter()
+                .map(|outcome| outcome.ideal() + outcome.penalty())
+                .collect();
+            // Fold per-chunk partial sums in chunk order so the floating-
+            // point energy total matches the batched engine bit for bit.
+            let mut total = ChunkStats::default();
+            for chunk in outcomes.chunks(chunk_size) {
+                let mut stats = ChunkStats::default();
+                for outcome in chunk {
+                    stats.absorb(outcome);
+                }
+                total.merge(&stats);
+            }
+            let report = total.finish(policy, tiles, iterations);
+            measurements.push(ServiceMeasurement {
+                policy,
+                report,
+                service_times,
+            });
+        }
+        Ok(measurements)
+    }
+
+    /// Returns the cached prepared plan for `key` (and whether it was a
+    /// cache hit), preparing it — with the on-disk restore path, off-lock —
+    /// on a miss. Shared by [`submit`](Self::submit) and
+    /// [`measure_service_times`](Self::measure_service_times).
+    fn cached_entry(
+        &self,
+        workload: &dyn Workload,
+        key: PlanKey,
+        config: &SimulationConfig,
+    ) -> Result<(Arc<PreparedPlan>, bool), drhw_sim::SimError> {
+        // Fast path under the lock; the expensive preparation happens
+        // UNLOCKED so a cold prepare never stalls other submitters (a rare
+        // same-key race prepares twice and `store` keeps the first copy).
+        let cached = self
+            .cache
+            .lock()
+            .expect("engine cache lock is never poisoned")
+            .lookup(&key);
+        let cache_hit = cached.is_some();
+        let entry = match cached {
+            Some(entry) => entry,
+            None => {
+                let started = std::time::Instant::now();
+                let (prepared, disk_hit) = (|| {
+                    let platform = Platform::virtex_like(key.tiles)?;
+                    let task_set = workload.task_set();
+                    // With a cache directory configured, try to restore the
+                    // expensive design-time search artifacts from disk; a
+                    // missing, stale or corrupt entry degrades to a cold
+                    // build whose artifacts are persisted for next time.
+                    let Some(disk) = &self.disk else {
+                        let prepared = PreparedPlan::prepare(task_set, platform, config.clone())?;
+                        return Ok((prepared, false));
+                    };
+                    let fingerprint =
+                        crate::disk::workload_fingerprint(&task_set, &platform, config);
+                    match disk.load(&key, fingerprint) {
+                        Some(artifacts) => PreparedPlan::prepare_with_artifacts(
+                            task_set,
+                            platform,
+                            config.clone(),
+                            &artifacts,
+                        )
+                        .map(|prepared| (prepared, true)),
+                        None => {
+                            let prepared =
+                                PreparedPlan::prepare(task_set, platform, config.clone())?;
+                            disk.store(&key, fingerprint, prepared.plan());
+                            Ok((prepared, false))
+                        }
+                    }
+                })()?;
+                let prepare_ms = started.elapsed().as_secs_f64() * 1e3;
+                self.cache
+                    .lock()
+                    .expect("engine cache lock is never poisoned")
+                    .store(key, Arc::new(prepared), prepare_ms, disk_hit)
+            }
+        };
+        Ok((entry, cache_hit))
+    }
+}
+
+/// One policy's service-time measurement from
+/// [`Engine::measure_service_times`]: the aggregate report plus the
+/// simulated execution time of each iteration, in iteration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMeasurement {
+    /// The policy measured.
+    pub policy: PolicyKind,
+    /// The aggregate report of the run — bit-identical to what
+    /// [`Engine::run`] returns for the same spec and policy.
+    pub report: SimulationReport,
+    /// Per-iteration simulated execution time (`ideal + penalty`), one entry
+    /// per configured iteration.
+    pub service_times: Vec<Time>,
 }
 
 impl Drop for Engine {

@@ -58,7 +58,7 @@ mod spec;
 pub mod sweep;
 
 pub use cache::CacheStats;
-pub use engine::{Engine, EngineBuilder, DEFAULT_CACHE_CAPACITY};
+pub use engine::{Engine, EngineBuilder, ServiceMeasurement, DEFAULT_CACHE_CAPACITY};
 pub use error::EngineError;
 pub use job::{JobHandle, JobId, JobResult, ProgressEvent};
 pub use serve::{
@@ -67,7 +67,7 @@ pub use serve::{
     SHUTDOWN_DISABLED_MESSAGE,
 };
 pub use spec::{
-    parse_point_selection, point_selection_name, ConfigOverrides, JobSpec, SpecField,
-    JOB_SPEC_FIELDS,
+    check_object_fields, nearest_field, parse_point_selection, point_selection_name,
+    ConfigOverrides, JobSpec, SpecField, JOB_SPEC_FIELDS,
 };
 pub use sweep::{ExperimentSpec, ParamSet, ParamSetId, SweepOptions, SweepOutcome};

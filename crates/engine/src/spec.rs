@@ -512,7 +512,7 @@ fn edit_distance(a: &str, b: &str) -> usize {
 
 /// The valid field name nearest to `field` by edit distance (ties break to
 /// the earlier entry, so suggestions are deterministic).
-pub(crate) fn nearest_field(field: &str, valid: &[&str]) -> String {
+pub fn nearest_field(field: &str, valid: &[&str]) -> String {
     valid
         .iter()
         .min_by_key(|candidate| edit_distance(field, candidate))
@@ -528,7 +528,7 @@ pub(crate) fn nearest_field(field: &str, valid: &[&str]) -> String {
 ///
 /// [`EngineError::UnknownField`] (with the nearest valid name) or
 /// [`EngineError::DuplicateField`].
-pub(crate) fn check_object_fields(
+pub fn check_object_fields(
     entries: &[(String, JsonValue)],
     context: &'static str,
     valid: &[&str],

@@ -1,0 +1,302 @@
+//! Log-bucketed latency histogram.
+//!
+//! [`Histogram`] records non-negative durations in integer microseconds into
+//! log-linear buckets: values below 2^5 get one exact bucket each, and every
+//! further power-of-two octave is split into 32 equal sub-buckets. A
+//! recorded value therefore lands in a bucket whose upper edge overestimates
+//! it by **at most 1/32 (3.125 %)** — and percentiles, which report the
+//! upper edge of the bucket holding the nearest-rank sample (clamped to the
+//! observed min/max), inherit the same one-sided error bound against exact
+//! sorted-sample quantiles. The integration suite proptests exactly that
+//! contract.
+//!
+//! The bucket layout is fixed (1920 buckets covering all of `u64`), so
+//! histograms merge losslessly and percentile queries are a single
+//! cumulative walk — no samples are retained. Everything is integer
+//! arithmetic; the same inputs produce the same histogram on any platform.
+
+use drhw_model::Time;
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range: one exact bucket per
+/// value below `SUBS`, then octaves 1..=59 (the msb of `u64::MAX` is 63,
+/// mapping to octave `63 - SUB_BITS + 1 = 59`) of `SUBS` buckets each.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS;
+
+/// The bucket index a microsecond value lands in.
+fn bucket_index(value_us: u64) -> usize {
+    if value_us < SUBS as u64 {
+        return value_us as usize;
+    }
+    let msb = 63 - value_us.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let sub = ((value_us >> (msb - SUB_BITS)) as usize) & (SUBS - 1);
+    octave * SUBS + sub
+}
+
+/// The smallest microsecond value mapping to bucket `index`.
+fn bucket_floor(index: usize) -> u64 {
+    let octave = index / SUBS;
+    let sub = (index % SUBS) as u64;
+    if octave == 0 {
+        sub
+    } else {
+        (SUBS as u64 + sub) << (octave - 1)
+    }
+}
+
+/// The largest microsecond value mapping to bucket `index`.
+fn bucket_ceil(index: usize) -> u64 {
+    if index + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_floor(index + 1) - 1
+    }
+}
+
+/// A mergeable log-bucketed histogram of durations (integer microseconds).
+///
+/// See the [module docs](self) for the bucket layout and the ≤ 3.125 %
+/// one-sided percentile error bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_us: u128,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    /// Records one duration given in microseconds.
+    pub fn record_us(&mut self, value_us: u64) {
+        self.counts[bucket_index(value_us)] += 1;
+        self.total += 1;
+        self.sum_us += u128::from(value_us);
+        self.min_us = self.min_us.min(value_us);
+        self.max_us = self.max_us.max(value_us);
+    }
+
+    /// Records one [`Time`] duration.
+    pub fn record(&mut self, value: Time) {
+        self.record_us(value.as_micros());
+    }
+
+    /// Records a wall-clock duration in (fractional) milliseconds, rounded
+    /// to the nearest microsecond. Negative and non-finite inputs are
+    /// ignored — a wall-clock sample can only be malformed, never useful.
+    pub fn record_ms_f64(&mut self, value_ms: f64) {
+        if value_ms.is_finite() && value_ms >= 0.0 {
+            self.record_us((value_ms * 1e3).round() as u64);
+        }
+    }
+
+    /// Folds another histogram into this one. The result equals recording
+    /// both sample streams into a single histogram, in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The smallest recorded value in microseconds (0 when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// The largest recorded value in microseconds (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean of the recorded values in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64 / 1e3
+        }
+    }
+
+    /// The largest recorded value in milliseconds (0 when empty).
+    pub fn max_ms(&self) -> f64 {
+        self.max_us as f64 / 1e3
+    }
+
+    /// The nearest-rank `percentile` (0 < p ≤ 100) in microseconds: the
+    /// upper edge of the bucket holding the rank-⌈p/100·n⌉ sample, clamped
+    /// to the observed min/max. Returns 0 on an empty histogram.
+    pub fn percentile_us(&self, percentile: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((percentile / 100.0) * self.total as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_ceil(index).clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// [`percentile_us`](Self::percentile_us) in milliseconds.
+    pub fn percentile_ms(&self, percentile: f64) -> f64 {
+        self.percentile_us(percentile) as f64 / 1e3
+    }
+
+    /// Median (p50) in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.percentile_ms(50.0)
+    }
+
+    /// 99th percentile in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile_ms(99.0)
+    }
+
+    /// 99.9th percentile in milliseconds.
+    pub fn p999_ms(&self) -> f64 {
+        self.percentile_ms(99.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        // Every bucket's ceiling is the next bucket's floor minus one, and
+        // boundary values map back to their own bucket.
+        for index in 0..BUCKETS {
+            let floor = bucket_floor(index);
+            let ceil = bucket_ceil(index);
+            assert!(floor <= ceil, "bucket {index}: floor {floor} > ceil {ceil}");
+            assert_eq!(bucket_index(floor), index);
+            assert_eq!(bucket_index(ceil), index);
+            if index + 1 < BUCKETS {
+                assert_eq!(bucket_floor(index + 1), ceil + 1);
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for value in [1u64, 31, 32, 33, 100, 1000, 12_345, 1 << 30, u64::MAX / 3] {
+            let ceil = bucket_ceil(bucket_index(value));
+            assert!(ceil >= value);
+            // ceil - value < value / 32 + 1
+            assert!(ceil - value <= value / 32, "value {value} ceil {ceil}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record_us(v);
+        }
+        assert_eq!(h.percentile_us(50.0), 15);
+        assert_eq!(h.percentile_us(100.0), 31);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.max_us(), 31);
+    }
+
+    #[test]
+    fn percentiles_clamp_to_observed_extremes() {
+        let mut h = Histogram::new();
+        h.record_us(1_000_003);
+        assert_eq!(h.percentile_us(50.0), 1_000_003);
+        assert_eq!(h.percentile_us(99.9), 1_000_003);
+        assert_eq!(h.max_us(), 1_000_003);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_once() {
+        let mut all = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for i in 0..500u64 {
+            let v = i * i % 7919;
+            all.record_us(v);
+            if i % 2 == 0 {
+                left.record_us(v);
+            } else {
+                right.record_us(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, all);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile_us(99.0), 0);
+        assert_eq!(h.mean_ms(), 0.0);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn wall_clock_samples_round_to_microseconds() {
+        let mut h = Histogram::new();
+        h.record_ms_f64(1.2345);
+        h.record_ms_f64(-3.0); // ignored
+        h.record_ms_f64(f64::NAN); // ignored
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min_us(), 1235);
+    }
+
+    #[test]
+    fn time_values_record_as_micros() {
+        let mut h = Histogram::new();
+        h.record(Time::from_millis(2));
+        assert_eq!(h.min_us(), 2000);
+        assert!((h.mean_ms() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,419 @@
+//! Wire formats of the traffic subsystem: the `TRAFFIC_results.jsonl`
+//! stream (header, cell and `traffic_event` lines), recorded arrival traces
+//! and the `TRAFFIC_summary.json` document (bench schema v8).
+//!
+//! Every line is compact single-line JSON rendered through
+//! [`drhw_engine::json::JsonValue`] with fixed key order — the byte-level
+//! schema `tests/schema_snapshot.rs` pins. Floats use Rust's shortest
+//! round-trip formatting, so identical runs produce identical bytes.
+
+use std::io::Write;
+
+use drhw_engine::check_object_fields;
+use drhw_engine::json::{parse, JsonValue};
+use drhw_prefetch::PolicyKind;
+
+use crate::driver::{CellReport, ScenarioOutcome};
+use crate::latency::Histogram;
+use crate::scenario::TrafficScenario;
+use crate::TrafficError;
+
+/// Schema version of every traffic wire object.
+pub const TRAFFIC_SCHEMA_VERSION: u64 = 8;
+
+/// The wire fields of a `trace_arrival` line.
+pub const TRACE_ARRIVAL_FIELDS: [&str; 3] = ["type", "job", "t_us"];
+
+fn io_error(e: std::io::Error) -> TrafficError {
+    TrafficError::Io {
+        path: "<event sink>".to_string(),
+        message: e.to_string(),
+    }
+}
+
+fn write_line(sink: &mut dyn Write, value: &JsonValue) -> Result<(), TrafficError> {
+    let mut line = value.to_json();
+    line.push('\n');
+    sink.write_all(line.as_bytes()).map_err(io_error)
+}
+
+/// Writes the `traffic_scenario` header line opening a results log.
+pub fn write_scenario_header(
+    sink: &mut dyn Write,
+    scenario: &TrafficScenario,
+    cells: usize,
+) -> Result<(), TrafficError> {
+    write_line(
+        sink,
+        &JsonValue::Object(vec![
+            ("type".into(), JsonValue::String("traffic_scenario".into())),
+            (
+                "scenario".into(),
+                JsonValue::String(scenario.scenario.clone()),
+            ),
+            ("seed".into(), JsonValue::UInt(scenario.seed)),
+            ("slots".into(), JsonValue::UInt(scenario.slots as u64)),
+            ("duration_ms".into(), JsonValue::UInt(scenario.duration_ms)),
+            ("warmup_ms".into(), JsonValue::UInt(scenario.warmup_ms)),
+            (
+                "iterations".into(),
+                JsonValue::UInt(scenario.iterations as u64),
+            ),
+            ("cells".into(), JsonValue::UInt(cells as u64)),
+            (
+                "schema_version".into(),
+                JsonValue::UInt(TRAFFIC_SCHEMA_VERSION),
+            ),
+        ]),
+    )
+}
+
+/// Writes the `traffic_cell` line introducing one cell's event stream.
+pub fn write_cell_line(
+    sink: &mut dyn Write,
+    cell: usize,
+    generator: &str,
+    workload: &str,
+    policy: PolicyKind,
+    slots: usize,
+) -> Result<(), TrafficError> {
+    write_line(
+        sink,
+        &JsonValue::Object(vec![
+            ("type".into(), JsonValue::String("traffic_cell".into())),
+            ("cell".into(), JsonValue::UInt(cell as u64)),
+            ("generator".into(), JsonValue::String(generator.into())),
+            ("workload".into(), JsonValue::String(workload.into())),
+            ("policy".into(), JsonValue::String(policy.to_string())),
+            ("slots".into(), JsonValue::UInt(slots as u64)),
+        ]),
+    )
+}
+
+fn event_base(cell: usize, event: &str, job: u64, t_us: u64) -> Vec<(String, JsonValue)> {
+    vec![
+        ("type".into(), JsonValue::String("traffic_event".into())),
+        ("cell".into(), JsonValue::UInt(cell as u64)),
+        ("event".into(), JsonValue::String(event.into())),
+        ("job".into(), JsonValue::UInt(job)),
+        ("t_us".into(), JsonValue::UInt(t_us)),
+    ]
+}
+
+/// Writes an `arrival` event.
+pub fn write_event_arrival(
+    sink: &mut dyn Write,
+    cell: usize,
+    job: u64,
+    t_us: u64,
+) -> Result<(), TrafficError> {
+    write_line(
+        sink,
+        &JsonValue::Object(event_base(cell, "arrival", job, t_us)),
+    )
+}
+
+/// Writes a `drop` event (bounded-queue overflow; the job never runs).
+pub fn write_event_drop(
+    sink: &mut dyn Write,
+    cell: usize,
+    job: u64,
+    t_us: u64,
+) -> Result<(), TrafficError> {
+    write_line(
+        sink,
+        &JsonValue::Object(event_base(cell, "drop", job, t_us)),
+    )
+}
+
+/// Writes a `start` event (the job left the queue for a slot).
+pub fn write_event_start(
+    sink: &mut dyn Write,
+    cell: usize,
+    job: u64,
+    t_us: u64,
+    slot: usize,
+    wait_us: u64,
+) -> Result<(), TrafficError> {
+    let mut entries = event_base(cell, "start", job, t_us);
+    entries.push(("slot".into(), JsonValue::UInt(slot as u64)));
+    entries.push(("wait_us".into(), JsonValue::UInt(wait_us)));
+    write_line(sink, &JsonValue::Object(entries))
+}
+
+/// Writes a `completion` event.
+pub fn write_event_completion(
+    sink: &mut dyn Write,
+    cell: usize,
+    job: u64,
+    t_us: u64,
+    slot: usize,
+    service_us: u64,
+    sojourn_us: u64,
+) -> Result<(), TrafficError> {
+    let mut entries = event_base(cell, "completion", job, t_us);
+    entries.push(("slot".into(), JsonValue::UInt(slot as u64)));
+    entries.push(("service_us".into(), JsonValue::UInt(service_us)));
+    entries.push(("sojourn_us".into(), JsonValue::UInt(sojourn_us)));
+    write_line(sink, &JsonValue::Object(entries))
+}
+
+/// Renders an arrival stream as a JSONL trace (one `trace_arrival` line per
+/// job) — the file a `trace` generator replays.
+pub fn render_trace(arrivals: &[u64]) -> String {
+    let mut out = String::new();
+    for (job, &t_us) in arrivals.iter().enumerate() {
+        let line = JsonValue::Object(vec![
+            ("type".into(), JsonValue::String("trace_arrival".into())),
+            ("job".into(), JsonValue::UInt(job as u64)),
+            ("t_us".into(), JsonValue::UInt(t_us)),
+        ]);
+        out.push_str(&line.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL arrival trace — strictly: every non-empty line must be a
+/// `trace_arrival` object with exactly the pinned fields, and arrival times
+/// must be nondecreasing. `path` names the file in error messages.
+///
+/// # Errors
+///
+/// Returns [`TrafficError::Trace`] describing the first offending line.
+pub fn parse_trace(text: &str, path: &str) -> Result<Vec<u64>, TrafficError> {
+    let bad = |line: usize, message: String| TrafficError::Trace {
+        path: path.to_string(),
+        line,
+        message,
+    };
+    let mut arrivals = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let number = index + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse(line).map_err(|e| bad(number, format!("malformed JSON: {e}")))?;
+        let entries = value
+            .entries()
+            .ok_or_else(|| bad(number, "expected a JSON object".into()))?;
+        check_object_fields(entries, "trace arrival", &TRACE_ARRIVAL_FIELDS, &[])
+            .map_err(|e| bad(number, e.to_string()))?;
+        match value.get("type").and_then(JsonValue::as_str) {
+            Some("trace_arrival") => {}
+            other => {
+                return Err(bad(
+                    number,
+                    format!("expected type \"trace_arrival\", got {other:?}"),
+                ))
+            }
+        }
+        let t_us = value
+            .get("t_us")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| bad(number, "t_us must be an unsigned integer".into()))?;
+        if let Some(&last) = arrivals.last() {
+            if t_us < last {
+                return Err(bad(
+                    number,
+                    format!("arrival times must be nondecreasing ({t_us} after {last})"),
+                ));
+            }
+        }
+        arrivals.push(t_us);
+    }
+    Ok(arrivals)
+}
+
+/// The summary block of one latency histogram.
+fn latency_json(histogram: &Histogram) -> JsonValue {
+    JsonValue::Object(vec![
+        ("samples".into(), JsonValue::UInt(histogram.count())),
+        ("p50_ms".into(), JsonValue::Float(histogram.p50_ms())),
+        ("p99_ms".into(), JsonValue::Float(histogram.p99_ms())),
+        ("p999_ms".into(), JsonValue::Float(histogram.p999_ms())),
+        ("mean_ms".into(), JsonValue::Float(histogram.mean_ms())),
+        ("max_ms".into(), JsonValue::Float(histogram.max_ms())),
+    ])
+}
+
+/// The summary block of one cell.
+fn cell_json(report: &CellReport) -> JsonValue {
+    JsonValue::Object(vec![
+        ("cell".into(), JsonValue::UInt(report.cell as u64)),
+        (
+            "generator".into(),
+            JsonValue::String(report.generator.clone()),
+        ),
+        (
+            "workload".into(),
+            JsonValue::String(report.workload.clone()),
+        ),
+        (
+            "policy".into(),
+            JsonValue::String(report.policy.to_string()),
+        ),
+        ("arrived".into(), JsonValue::UInt(report.arrived)),
+        ("measured".into(), JsonValue::UInt(report.measured)),
+        ("dropped".into(), JsonValue::UInt(report.dropped)),
+        (
+            "dropped_measured".into(),
+            JsonValue::UInt(report.dropped_measured),
+        ),
+        (
+            "completed_in_window".into(),
+            JsonValue::UInt(report.completed_in_window),
+        ),
+        (
+            "offered_per_sec".into(),
+            JsonValue::Float(report.offered_per_sec()),
+        ),
+        (
+            "achieved_per_sec".into(),
+            JsonValue::Float(report.achieved_per_sec()),
+        ),
+        ("wait".into(), latency_json(&report.wait)),
+        ("service".into(), latency_json(&report.service)),
+        ("sojourn".into(), latency_json(&report.sojourn)),
+        (
+            "utilization".into(),
+            JsonValue::Object(vec![
+                (
+                    "per_slot".into(),
+                    JsonValue::Array(
+                        report
+                            .utilization_per_slot()
+                            .into_iter()
+                            .map(JsonValue::Float)
+                            .collect(),
+                    ),
+                ),
+                ("mean".into(), JsonValue::Float(report.utilization_mean())),
+            ]),
+        ),
+        (
+            "overhead_percent".into(),
+            JsonValue::Float(report.overhead_percent),
+        ),
+    ])
+}
+
+/// Renders `TRAFFIC_summary.json`: the scenario echo plus every cell's
+/// aggregate block, as one compact line (newline-terminated).
+pub fn render_summary(outcome: &ScenarioOutcome) -> String {
+    let scenario = &outcome.scenario;
+    let value = JsonValue::Object(vec![
+        ("type".into(), JsonValue::String("traffic_summary".into())),
+        (
+            "scenario".into(),
+            JsonValue::String(scenario.scenario.clone()),
+        ),
+        ("seed".into(), JsonValue::UInt(scenario.seed)),
+        ("slots".into(), JsonValue::UInt(scenario.slots as u64)),
+        ("duration_ms".into(), JsonValue::UInt(scenario.duration_ms)),
+        ("warmup_ms".into(), JsonValue::UInt(scenario.warmup_ms)),
+        (
+            "iterations".into(),
+            JsonValue::UInt(scenario.iterations as u64),
+        ),
+        (
+            "cells".into(),
+            JsonValue::Array(outcome.cells.iter().map(cell_json).collect()),
+        ),
+        (
+            "schema_version".into(),
+            JsonValue::UInt(TRAFFIC_SCHEMA_VERSION),
+        ),
+    ]);
+    let mut out = value.to_json();
+    out.push('\n');
+    out
+}
+
+/// Renders the stdout table of a scenario run: one row per cell.
+pub fn render_table(outcome: &ScenarioOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<4} {:<12} {:<14} {:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>7}\n",
+        "cell",
+        "generator",
+        "workload",
+        "policy",
+        "offered/s",
+        "achiev/s",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms",
+        "util",
+        "drops"
+    ));
+    for cell in &outcome.cells {
+        out.push_str(&format!(
+            "{:<4} {:<12} {:<14} {:<22} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>6.3} {:>7}\n",
+            cell.cell,
+            cell.generator,
+            cell.workload,
+            cell.policy.to_string(),
+            cell.offered_per_sec(),
+            cell.achieved_per_sec(),
+            cell.sojourn.p50_ms(),
+            cell.sojourn.p99_ms(),
+            cell.sojourn.p999_ms(),
+            cell.utilization_mean(),
+            cell.dropped,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_round_trips() {
+        let arrivals = vec![5, 5, 1000, 2_000_000];
+        let text = render_trace(&arrivals);
+        assert_eq!(parse_trace(&text, "t.jsonl").unwrap(), arrivals);
+    }
+
+    #[test]
+    fn trace_rejects_decreasing_times() {
+        let text = "{\"type\":\"trace_arrival\",\"job\":0,\"t_us\":10}\n\
+                    {\"type\":\"trace_arrival\",\"job\":1,\"t_us\":9}\n";
+        let err = parse_trace(text, "t.jsonl").unwrap_err();
+        assert!(err.to_string().contains("nondecreasing"), "{err}");
+    }
+
+    #[test]
+    fn trace_rejects_unknown_fields() {
+        let text = "{\"type\":\"trace_arrival\",\"job\":0,\"t_us\":10,\"extra\":1}\n";
+        let err = parse_trace(text, "t.jsonl").unwrap_err();
+        assert!(err.to_string().contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn trace_skips_blank_lines() {
+        let text = "\n{\"type\":\"trace_arrival\",\"job\":0,\"t_us\":10}\n\n";
+        assert_eq!(parse_trace(text, "t.jsonl").unwrap(), vec![10]);
+    }
+
+    #[test]
+    fn event_lines_have_pinned_key_order() {
+        let mut sink = Vec::new();
+        write_event_start(&mut sink, 2, 7, 1000, 1, 250).unwrap();
+        write_event_completion(&mut sink, 2, 7, 2000, 1, 750, 1250).unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"type\":\"traffic_event\",\"cell\":2,\"event\":\"start\",\"job\":7,\
+             \"t_us\":1000,\"slot\":1,\"wait_us\":250}"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "{\"type\":\"traffic_event\",\"cell\":2,\"event\":\"completion\",\"job\":7,\
+             \"t_us\":2000,\"slot\":1,\"service_us\":750,\"sojourn_us\":1250}"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! On-disk traffic sessions: the layout the `traffic` binary (and the test
+//! battery) writes a scenario run into.
+//!
+//! A session lives at `<out>/<scenario>/` and holds:
+//!
+//! * `TRAFFIC_results.jsonl` — the full event stream (header, cell and
+//!   `traffic_event` lines), streamed during the run and moved into place
+//!   atomically when it completes;
+//! * `TRAFFIC_summary.json` — the per-cell aggregate document (schema v8);
+//! * `trace-<generator>.jsonl` — every generator's recorded arrival stream,
+//!   replayable with a `{"kind": "trace"}` generator.
+//!
+//! All files are byte-deterministic for a given scenario, at any engine
+//! worker count.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use drhw_engine::Engine;
+
+use crate::driver::{run_scenario, ScenarioOutcome};
+use crate::record::render_summary;
+use crate::record::render_trace;
+use crate::scenario::TrafficScenario;
+use crate::TrafficError;
+
+/// File name of the event stream.
+pub const RESULTS_FILE: &str = "TRAFFIC_results.jsonl";
+/// File name of the aggregate summary.
+pub const SUMMARY_FILE: &str = "TRAFFIC_summary.json";
+
+/// Where a completed session ended up on disk.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The in-memory run outcome.
+    pub outcome: ScenarioOutcome,
+    /// The session directory (`<out>/<scenario>/`).
+    pub dir: PathBuf,
+}
+
+fn io_error(path: &Path, e: std::io::Error) -> TrafficError {
+    TrafficError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Writes `contents` to `path` atomically (temp file + rename), so readers
+/// never observe a torn file.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), TrafficError> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents).map_err(|e| io_error(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| io_error(path, e))
+}
+
+/// Runs `scenario` into `<out>/<scenario.scenario>/`: streams the event log,
+/// then writes the summary and every generator's trace. Trace-replay paths
+/// in the scenario resolve against `base_dir`. Returns the outcome and the
+/// session directory.
+///
+/// # Errors
+///
+/// Returns scenario, engine, trace and filesystem errors.
+pub fn run_session(
+    engine: &Engine,
+    scenario: &TrafficScenario,
+    base_dir: &Path,
+    out: &Path,
+) -> Result<SessionOutcome, TrafficError> {
+    scenario.validate()?;
+    let dir = out.join(&scenario.scenario);
+    fs::create_dir_all(&dir).map_err(|e| io_error(&dir, e))?;
+
+    let results_path = dir.join(RESULTS_FILE);
+    let tmp_path = dir.join(format!("{RESULTS_FILE}.tmp"));
+    let mut events =
+        std::io::BufWriter::new(fs::File::create(&tmp_path).map_err(|e| io_error(&tmp_path, e))?);
+    let outcome = run_scenario(engine, scenario, base_dir, &mut events)?;
+    events.flush().map_err(|e| io_error(&tmp_path, e))?;
+    drop(events);
+    fs::rename(&tmp_path, &results_path).map_err(|e| io_error(&results_path, e))?;
+
+    for (name, arrivals) in &outcome.traces {
+        write_atomic(
+            &dir.join(format!("trace-{name}.jsonl")),
+            &render_trace(arrivals),
+        )?;
+    }
+    write_atomic(&dir.join(SUMMARY_FILE), &render_summary(&outcome))?;
+
+    Ok(SessionOutcome { outcome, dir })
+}

@@ -1,5 +1,6 @@
-//! Golden snapshot of the `BENCH_results.json` schema (version 7) and of
-//! the `engine_serve` wire schema (`JobSpec` requests, result objects).
+//! Golden snapshot of the `BENCH_results.json` schema (version 8) and of
+//! the `engine_serve` and traffic wire schemas (`JobSpec` requests, result
+//! objects, `traffic_event` streams).
 //!
 //! `render_results_json` and the serve protocol are hand-rolled (no JSON
 //! backend offline), so refactors can silently drop or rename keys that
@@ -10,7 +11,9 @@
 //! snapshot in the same commit.
 
 use drhw_bench::experiments::policy_overhead_reports;
-use drhw_bench::report::{render_results_json, PlanCacheBlock, RunTiming, ServingBlock};
+use drhw_bench::report::{
+    render_results_json, PlanCacheBlock, RunTiming, ServingBlock, TrafficBlock,
+};
 use drhw_bench::stages::{KERNEL_NAMES, STAGE_NAMES};
 use drhw_engine::{json, JobSpec};
 use drhw_prefetch::PolicyKind;
@@ -37,8 +40,8 @@ fn is_number(raw: &str) -> bool {
     raw.parse::<f64>().is_ok()
 }
 
-/// The exact top-level key order of schema v7.
-const TOP_LEVEL_V7: [&str; 13] = [
+/// The exact top-level key order of schema v8.
+const TOP_LEVEL_V8: [&str; 14] = [
     "iterations",
     "tiles",
     "policy_overhead_percent",
@@ -51,11 +54,12 @@ const TOP_LEVEL_V7: [&str; 13] = [
     "kernel_ns",
     "plan_cache",
     "serving",
+    "traffic",
     "schema_version",
 ];
 
 #[test]
-fn bench_results_schema_v7_golden_snapshot() {
+fn bench_results_schema_v8_golden_snapshot() {
     let engine = drhw_engine::Engine::builder().build();
     let reports = policy_overhead_reports(&engine, 2, 1, 8).expect("simulation runs");
     let policies = [
@@ -93,6 +97,19 @@ fn bench_results_schema_v7_golden_snapshot() {
             jobs_per_sec: 123.5,
             p50_ms: 1.5,
             p99_ms: 9.0,
+            p999_ms: 12.25,
+            utilization: 0.75,
+        }),
+        traffic: Some(TrafficBlock {
+            cells: 4,
+            jobs: 800,
+            offered_per_sec: 24.0,
+            achieved_per_sec: 23.5,
+            p50_ms: 310.0,
+            p99_ms: 1200.5,
+            p999_ms: 1500.25,
+            utilization: 0.625,
+            events_per_sec: 250000.0,
         }),
     };
     let json = render_results_json(&reports, &timing);
@@ -105,8 +122,8 @@ fn bench_results_schema_v7_golden_snapshot() {
         .map(|(_, key, _)| key.as_str())
         .collect();
     assert_eq!(
-        top, TOP_LEVEL_V7,
-        "schema v7 top-level keys changed — bump schema_version and update this snapshot"
+        top, TOP_LEVEL_V8,
+        "schema v8 top-level keys changed — bump schema_version and update this snapshot"
     );
 
     // Scalar top-level values are numbers; containers are objects.
@@ -120,10 +137,11 @@ fn bench_results_schema_v7_golden_snapshot() {
             | "policy_iterations_per_sec"
             | "kernel_ns"
             | "plan_cache"
-            | "serving" => {
+            | "serving"
+            | "traffic" => {
                 assert_eq!(raw, "{", "{key} must be an object");
             }
-            "schema_version" => assert_eq!(raw, "7", "this snapshot pins schema v7"),
+            "schema_version" => assert_eq!(raw, "8", "this snapshot pins schema v8"),
             _ => assert!(is_number(raw), "{key} must be a number, got {raw:?}"),
         }
     }
@@ -163,7 +181,15 @@ fn bench_results_schema_v7_golden_snapshot() {
         .collect();
     assert_eq!(
         serving_keys,
-        ["clients", "jobs", "jobs_per_sec", "p50_ms", "p99_ms"],
+        [
+            "clients",
+            "jobs",
+            "jobs_per_sec",
+            "p50_ms",
+            "p99_ms",
+            "p999_ms",
+            "utilization"
+        ],
         "serving block keys changed — the loadgen summary and CI scrapers pin these"
     );
     assert!(serving_block.contains("\"clients\": 16"));
@@ -171,6 +197,45 @@ fn bench_results_schema_v7_golden_snapshot() {
     assert!(serving_block.contains("\"jobs_per_sec\": 123.5000"));
     assert!(serving_block.contains("\"p50_ms\": 1.5000"));
     assert!(serving_block.contains("\"p99_ms\": 9.0000"));
+    assert!(serving_block.contains("\"p999_ms\": 12.2500"));
+    assert!(serving_block.contains("\"utilization\": 0.7500"));
+
+    // The traffic block (new in v8): the pinned open-loop scenario's
+    // offered/achieved throughput, sojourn tail and utilization summary.
+    let traffic_start = json.find("\"traffic\": {").expect("traffic block present");
+    let traffic_block = &json[traffic_start
+        ..json[traffic_start..]
+            .find('}')
+            .map(|end| traffic_start + end)
+            .expect("traffic block closes")];
+    let traffic_entries = keys_with_indent(traffic_block);
+    let traffic_keys: Vec<&str> = traffic_entries
+        .iter()
+        .filter(|(indent, _, _)| *indent == 4)
+        .map(|(_, key, _)| key.as_str())
+        .collect();
+    assert_eq!(
+        traffic_keys,
+        [
+            "cells",
+            "jobs",
+            "offered_per_sec",
+            "achieved_per_sec",
+            "p50_ms",
+            "p99_ms",
+            "p999_ms",
+            "utilization",
+            "events_per_sec"
+        ],
+        "traffic block keys changed — the perf gate baseline and CI scrapers pin these"
+    );
+    assert!(traffic_block.contains("\"cells\": 4"));
+    assert!(traffic_block.contains("\"jobs\": 800"));
+    assert!(traffic_block.contains("\"offered_per_sec\": 24.0000"));
+    assert!(traffic_block.contains("\"achieved_per_sec\": 23.5000"));
+    assert!(traffic_block.contains("\"p999_ms\": 1500.2500"));
+    assert!(traffic_block.contains("\"utilization\": 0.6250"));
+    assert!(traffic_block.contains("\"events_per_sec\": 250000.0000"));
 
     // Both policy maps carry exactly the five policy names, each numeric.
     let nested: Vec<(&str, &str)> = entries
@@ -277,7 +342,7 @@ fn schema_snapshot_also_holds_for_absent_measurements() {
     // Without reports the iteration/tile header is absent, but everything
     // else — including the speedup, stage, throughput and plan-cache blocks
     // — survives.
-    assert_eq!(top, &TOP_LEVEL_V7[2..]);
+    assert_eq!(top, &TOP_LEVEL_V8[2..]);
     assert!(json.contains("\"sequential_over_parallel\": null"));
     assert!(json.contains("\"stage_ms\": {\n  }"));
     assert!(json.contains("\"policy_iterations_per_sec\": {\n  }"));
@@ -285,7 +350,9 @@ fn schema_snapshot_also_holds_for_absent_measurements() {
     assert!(json.contains("\"hits\": 0"));
     assert!(json.contains("\"clients\": 0"));
     assert!(json.contains("\"jobs_per_sec\": 0.0000"));
-    assert!(json.ends_with("\"schema_version\": 7\n}\n"));
+    assert!(json.contains("\"cells\": 0"));
+    assert!(json.contains("\"events_per_sec\": 0.0000"));
+    assert!(json.ends_with("\"schema_version\": 8\n}\n"));
 }
 
 /// The exact key order of a `JobSpec` with every field set, as put on the
@@ -458,6 +525,177 @@ fn sweep_wire_schema_is_pinned() {
     }
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The exact key order of a `traffic_event` line, per event kind.
+const TRAFFIC_EVENT_BASE_KEYS: [&str; 5] = ["type", "cell", "event", "job", "t_us"];
+
+/// The exact key order of one cell block inside `TRAFFIC_summary.json`.
+const TRAFFIC_CELL_KEYS: [&str; 16] = [
+    "cell",
+    "generator",
+    "workload",
+    "policy",
+    "arrived",
+    "measured",
+    "dropped",
+    "dropped_measured",
+    "completed_in_window",
+    "offered_per_sec",
+    "achieved_per_sec",
+    "wait",
+    "service",
+    "sojourn",
+    "utilization",
+    "overhead_percent",
+];
+
+/// The exact key order of one latency block (wait/service/sojourn).
+const TRAFFIC_LATENCY_KEYS: [&str; 6] = [
+    "samples", "p50_ms", "p99_ms", "p999_ms", "mean_ms", "max_ms",
+];
+
+/// Pins every wire object of the traffic subsystem (bench schema v8): the
+/// `TRAFFIC_results.jsonl` header/cell/event lines, recorded arrival traces
+/// and the `TRAFFIC_summary.json` document — the CI `traffic` job diffs
+/// these byte-for-byte across worker counts, so the key sets must only
+/// change together with a schema bump.
+#[test]
+fn traffic_wire_schema_is_pinned() {
+    use drhw_traffic::record::{
+        write_cell_line, write_event_arrival, write_event_completion, write_event_drop,
+        write_event_start, write_scenario_header,
+    };
+    use drhw_traffic::{render_summary, render_trace, run_scenario, TrafficScenario};
+
+    let scenario_json = r#"{
+        "scenario": "schema-pin",
+        "seed": 7,
+        "slots": 1,
+        "duration_ms": 2000,
+        "iterations": 10,
+        "tiles": 4,
+        "generators": [{"name": "g", "kind": "poisson", "rate_per_sec": 5.0}],
+        "workloads": ["multimedia"],
+        "policies": ["hybrid"]
+    }"#;
+    let scenario = TrafficScenario::from_json_text(scenario_json).expect("scenario parses");
+
+    // Synthetic event lines: exact key order per event kind.
+    let mut sink = Vec::new();
+    write_scenario_header(&mut sink, &scenario, 1).unwrap();
+    write_cell_line(
+        &mut sink,
+        0,
+        "g",
+        "multimedia",
+        PolicyKind::Hybrid,
+        scenario.slots,
+    )
+    .unwrap();
+    write_event_arrival(&mut sink, 0, 0, 100).unwrap();
+    write_event_drop(&mut sink, 0, 1, 200).unwrap();
+    write_event_start(&mut sink, 0, 0, 300, 0, 200).unwrap();
+    write_event_completion(&mut sink, 0, 0, 900, 0, 600, 800).unwrap();
+    let text = String::from_utf8(sink).unwrap();
+    let lines: Vec<json::JsonValue> = text.lines().map(|l| json::parse(l).unwrap()).collect();
+    assert_eq!(
+        object_keys(&lines[0]),
+        [
+            "type",
+            "scenario",
+            "seed",
+            "slots",
+            "duration_ms",
+            "warmup_ms",
+            "iterations",
+            "cells",
+            "schema_version"
+        ],
+        "traffic_scenario header keys changed"
+    );
+    assert_eq!(
+        lines[0].get("schema_version").and_then(|v| v.as_u64()),
+        Some(8)
+    );
+    assert_eq!(
+        object_keys(&lines[1]),
+        ["type", "cell", "generator", "workload", "policy", "slots"],
+        "traffic_cell keys changed"
+    );
+    assert_eq!(object_keys(&lines[2]), TRAFFIC_EVENT_BASE_KEYS, "arrival");
+    assert_eq!(object_keys(&lines[3]), TRAFFIC_EVENT_BASE_KEYS, "drop");
+    let start_keys: Vec<&str> = TRAFFIC_EVENT_BASE_KEYS
+        .iter()
+        .copied()
+        .chain(["slot", "wait_us"])
+        .collect();
+    assert_eq!(object_keys(&lines[4]), start_keys, "start");
+    let completion_keys: Vec<&str> = TRAFFIC_EVENT_BASE_KEYS
+        .iter()
+        .copied()
+        .chain(["slot", "service_us", "sojourn_us"])
+        .collect();
+    assert_eq!(object_keys(&lines[5]), completion_keys, "completion");
+
+    // Recorded traces: exactly the trace_arrival triple per line.
+    let trace = render_trace(&[10, 250]);
+    for line in trace.lines() {
+        let value = json::parse(line).unwrap();
+        assert_eq!(object_keys(&value), ["type", "job", "t_us"]);
+        assert_eq!(
+            value.get("type").and_then(|v| v.as_str()),
+            Some("trace_arrival")
+        );
+    }
+
+    // A real (tiny) run: the summary document and its nested blocks.
+    let engine = drhw_engine::Engine::builder().threads(1).build();
+    let mut events = Vec::new();
+    let outcome = run_scenario(&engine, &scenario, std::path::Path::new("."), &mut events)
+        .expect("scenario runs");
+    let summary_text = render_summary(&outcome);
+    let summary = json::parse(summary_text.trim_end()).expect("summary is JSON");
+    assert_eq!(
+        object_keys(&summary),
+        [
+            "type",
+            "scenario",
+            "seed",
+            "slots",
+            "duration_ms",
+            "warmup_ms",
+            "iterations",
+            "cells",
+            "schema_version"
+        ],
+        "TRAFFIC_summary.json top-level keys changed — the CI traffic job scrapes these"
+    );
+    assert_eq!(
+        summary.get("schema_version").and_then(|v| v.as_u64()),
+        Some(8)
+    );
+    let cells = summary.get("cells").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(cells.len(), 1);
+    for cell in cells {
+        assert_eq!(object_keys(cell), TRAFFIC_CELL_KEYS);
+        for block in ["wait", "service", "sojourn"] {
+            assert_eq!(
+                object_keys(cell.get(block).unwrap()),
+                TRAFFIC_LATENCY_KEYS,
+                "{block} latency block keys changed"
+            );
+        }
+        let utilization = cell.get("utilization").unwrap();
+        assert_eq!(object_keys(utilization), ["per_slot", "mean"]);
+        assert_eq!(
+            utilization
+                .get("per_slot")
+                .and_then(|v| v.as_array())
+                .map(|slots| slots.len()),
+            Some(scenario.slots)
+        );
+    }
 }
 
 #[test]
